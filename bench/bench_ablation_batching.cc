@@ -1,0 +1,92 @@
+// Ablation of the invalidator's group processing (Section 4.2.1): the
+// same update batch analyzed per-tuple versus folded into Δ-tables with
+// one OR-combined polling query per (instance, relation). Reports the
+// polling-query count and wall time per cycle for both modes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "invalidator/invalidator.h"
+#include "sniffer/qiurl_map.h"
+
+namespace {
+
+using namespace cacheportal;
+
+struct World {
+  explicit World(bool batch) : db(&clock) {
+    db.CreateTable(db::TableSchema("Car",
+                                   {{"maker", db::ColumnType::kString},
+                                    {"model", db::ColumnType::kString},
+                                    {"price", db::ColumnType::kInt}}))
+        .ok();
+    db.CreateTable(db::TableSchema("Mileage",
+                                   {{"model", db::ColumnType::kString},
+                                    {"EPA", db::ColumnType::kInt}}))
+        .ok();
+    for (int i = 0; i < 100; ++i) {
+      db.ExecuteSql(
+            StrCat("INSERT INTO Mileage VALUES ('m", i, "', ", i % 50, ")"))
+          .value();
+    }
+    invalidator::InvalidatorOptions options;
+    options.batch_deltas = batch;
+    invalidator =
+        std::make_unique<invalidator::Invalidator>(&db, &map, &clock,
+                                                   options);
+    invalidator->RunCycle().value();
+    // 20 join instances; inserts will need polling.
+    for (int i = 0; i < 20; ++i) {
+      map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+                     "Mileage.model AND Car.price < ",
+                     1000 + i),
+              StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+  }
+
+  void AddUpdates(int n) {
+    for (int i = 0; i < n; ++i) {
+      // Models outside Mileage: polls come back empty, instances persist.
+      db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('mk', 'zz", i, "', ",
+                           100 + i, ")"))
+          .value();
+    }
+  }
+
+  ManualClock clock;
+  db::Database db;
+  sniffer::QiUrlMap map;
+  std::unique_ptr<invalidator::Invalidator> invalidator;
+};
+
+void RunMode(benchmark::State& state, bool batch) {
+  World world(batch);
+  const int updates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.AddUpdates(updates);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["polls/cycle"] =
+      static_cast<double>(world.invalidator->stats().polls_issued) /
+      static_cast<double>(
+          std::max<uint64_t>(1, world.invalidator->stats().cycles - 1));
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+
+void BM_PerTuplePolling(benchmark::State& state) { RunMode(state, false); }
+BENCHMARK(BM_PerTuplePolling)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BatchedPolling(benchmark::State& state) { RunMode(state, true); }
+BENCHMARK(BM_BatchedPolling)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

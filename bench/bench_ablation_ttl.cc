@@ -1,0 +1,119 @@
+// Reproduces the introduction's argument against time-based refreshing
+// (the Oracle9i-era alternative): pages cached with a TTL are refreshed
+// whether or not they changed (wasted recomputation) and can still be
+// served stale inside the TTL window. CachePortal's invalidation
+// regenerates exactly the changed pages and never serves a stale one
+// after a cycle.
+//
+// Setup: one table of 10 groups; pages list one group each. Updates
+// arrive continuously. We compare:
+//   - TTL caching with max-age in {1, 5, 20} sync intervals;
+//   - CachePortal invalidation (no TTL).
+// Metrics per mode: stale hits (served bytes != fresh bytes), origin
+// regenerations (backend work), total hits.
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "workload/paper_site.h"
+
+namespace {
+
+using namespace cacheportal;
+using workload::PageClass;
+using workload::PaperSite;
+using workload::PaperSiteOptions;
+
+struct ModeResult {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t stale_hits = 0;
+  uint64_t regenerations = 0;
+};
+
+/// Runs the workload. `ttl_intervals` <= 0 means CachePortal invalidation;
+/// otherwise pages carry max-age = ttl_intervals seconds and no
+/// invalidation cycles run (only the mapper, which is free).
+ModeResult RunMode(int ttl_intervals, uint64_t seed) {
+  PaperSiteOptions options;
+  options.small_rows = 80;
+  options.large_rows = 240;
+  options.seed = seed;
+  PaperSite site(options);
+  Random rng(seed * 131 + 7);
+  ModeResult result;
+
+  // For TTL mode, wrap requests so responses carry max-age before they
+  // reach the cache. The servlet wrapper preserves max_age on rewrite, so
+  // the cleanest faithful injection point is the servlet config default:
+  // here we simulate TTL by explicitly re-storing with max-age... The
+  // public API path: the origin would set Cache-Control itself. PaperSite
+  // servlets do not, so for TTL mode we emulate expiry by ejecting all
+  // pages every `ttl_intervals` cycles (equivalent behavior: a full
+  // refresh wave each TTL period).
+  int interval = 0;
+  for (int round = 0; round < 60; ++round) {
+    for (int r = 0; r < 20; ++r) {
+      PageClass cls = static_cast<PageClass>(rng.Uniform(3));
+      int grp = static_cast<int>(rng.Uniform(site.join_values()));
+      http::HttpResponse resp = site.Request(cls, grp);
+      ++result.requests;
+      bool hit = resp.headers.Get("X-Cache") == "HIT";
+      if (hit) {
+        ++result.hits;
+        std::string fresh = site.FreshBody(cls, grp).value_or("");
+        if (resp.body != fresh) ++result.stale_hits;
+      } else {
+        ++result.regenerations;
+      }
+    }
+    site.RandomUpdates(2);
+    if (ttl_intervals <= 0) {
+      site.RunCycle().value();  // CachePortal invalidation.
+    } else {
+      // Time-based refresh: pages expire wholesale every TTL period;
+      // the database's update log is consumed by nobody.
+      ++interval;
+      if (interval % ttl_intervals == 0) {
+        site.portal()->page_cache()->Clear();
+      }
+      site.clock()->Advance(kMicrosPerSecond);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Time-based refresh vs CachePortal invalidation "
+              "(1200 requests, 2 updates/interval)\n");
+  std::printf("| %-22s | %8s | %6s | %11s | %13s |\n", "mode", "requests",
+              "hits", "stale hits", "regenerations");
+  std::printf("|------------------------|----------|--------|-------------|"
+              "---------------|\n");
+  struct Mode {
+    const char* name;
+    int ttl;
+  } modes[] = {
+      {"TTL, refresh every 1", 1},
+      {"TTL, refresh every 5", 5},
+      {"TTL, refresh every 20", 20},
+      {"CachePortal invalidation", 0},
+  };
+  for (const Mode& mode : modes) {
+    ModeResult r = RunMode(mode.ttl, 42);
+    std::printf("| %-22s | %8llu | %6llu | %11llu | %13llu |\n", mode.name,
+                static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.stale_hits),
+                static_cast<unsigned long long>(r.regenerations));
+  }
+  std::printf(
+      "\nReading: short TTLs waste regenerations; long TTLs serve stale\n"
+      "pages; CachePortal minimizes both simultaneously (the paper's\n"
+      "introduction, on Oracle9i-style time-based refreshing).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks of the cache layer: PageCache lookup/store/invalidate
+// and DataCache synchronization — the per-request costs that must stay
+// negligible next to page generation for Configuration III to win.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/data_cache.h"
+#include "cache/page_cache.h"
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace {
+
+using namespace cacheportal;
+
+http::PageId Page(int i) {
+  http::PageId id("shop", "/p");
+  id.get_params()["i"] = std::to_string(i);
+  return id;
+}
+
+http::HttpResponse CacheablePage() {
+  http::HttpResponse resp = http::HttpResponse::Ok(
+      std::string(2048, 'x'));  // A ~2 KiB page.
+  http::CacheControl cc;
+  cc.is_private = true;
+  cc.owner = http::kCachePortalOwner;
+  resp.SetCacheControl(cc);
+  return resp;
+}
+
+void BM_PageCacheHit(benchmark::State& state) {
+  ManualClock clock;
+  cache::PageCache cache(static_cast<size_t>(state.range(0)) + 1, &clock);
+  http::HttpResponse resp = CacheablePage();
+  for (int i = 0; i < state.range(0); ++i) cache.Store(Page(i), resp);
+  int i = 0;
+  for (auto _ : state) {
+    auto hit = cache.Lookup(Page(i++ % static_cast<int>(state.range(0))));
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCacheHit)->Arg(100)->Arg(10000);
+
+void BM_PageCacheStore(benchmark::State& state) {
+  ManualClock clock;
+  cache::PageCache cache(1 << 20, &clock);
+  http::HttpResponse resp = CacheablePage();
+  int i = 0;
+  for (auto _ : state) {
+    cache.Store(Page(i++), resp);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCacheStore);
+
+void BM_PageCacheEject(benchmark::State& state) {
+  ManualClock clock;
+  cache::PageCache cache(1 << 20, &clock);
+  http::HttpResponse resp = CacheablePage();
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cache.Store(Page(i), resp);
+    http::HttpRequest eject;
+    eject.host = "shop";
+    eject.path = "/p";
+    eject.get_params["i"] = std::to_string(i);
+    eject.headers.Set("Cache-Control", "eject");
+    ++i;
+    state.ResumeTiming();
+    auto response = cache.HandleInvalidationRequest(eject);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCacheEject);
+
+void BM_DataCacheSynchronize(benchmark::State& state) {
+  cache::DataCache cache(1 << 20);
+  db::QueryResult result;
+  result.columns = {"x"};
+  const int entries = static_cast<int>(state.range(0));
+  db::DeltaSet deltas;
+  db::UpdateRecord rec;
+  rec.table = "t0";
+  rec.op = db::UpdateOp::kInsert;
+  rec.row = {sql::Value::Int(1)};
+  deltas.Add(rec);
+  for (auto _ : state) {
+    state.PauseTiming();
+    cache.Clear();
+    for (int i = 0; i < entries; ++i) {
+      // 10 distinct tables; a sync on t0 invalidates ~10%.
+      cache.Store(StrCat("q", i), result, {StrCat("t", i % 10)});
+    }
+    state.ResumeTiming();
+    size_t dropped = cache.Synchronize(deltas);
+    benchmark::DoNotOptimize(dropped);
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_DataCacheSynchronize)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,246 @@
+// The three site configurations of Section 5 rebuilt on the REAL library
+// (the simulator measures time under contention; this measures the other
+// axis the paper argues about: DBMS burden and freshness).
+//
+//   Conf I   — replicated databases, no caching: every request queries a
+//              replica; every update is applied to every replica.
+//   Conf II  — one DBMS + a middle-tier DataCacheConnection per app
+//              server, synchronized once per interval: fewer DBMS
+//              queries, but pages served between an update and the next
+//              synchronization are STALE.
+//   Conf III — one DBMS + CachePortal's web cache + invalidator: fewest
+//              DBMS queries, and no stale page after a cycle.
+//
+// Identical workloads (same seed) for all three.
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "cache/data_cache_connection.h"
+#include "core/cache_portal.h"
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+
+namespace {
+
+using namespace cacheportal;
+
+constexpr int kGroups = 10;
+constexpr int kRounds = 50;
+constexpr int kRequestsPerRound = 20;
+constexpr int kUpdatesPerRound = 3;
+constexpr int kReplicas = 2;
+
+struct ConfigResult {
+  const char* name;
+  uint64_t db_queries = 0;   // SELECTs that reached a DBMS.
+  uint64_t db_dml = 0;       // DML statements executed across replicas.
+  uint64_t stale_serves = 0; // Responses not matching fresh regeneration.
+  uint64_t cache_hits = 0;
+};
+
+std::string PageSql(int grp) {
+  return StrCat("SELECT id, val FROM Data WHERE grp = ", grp,
+                " ORDER BY id");
+}
+
+void SeedData(db::Database* db, Random* rng, int* next_id) {
+  db->ExecuteSql("CREATE TABLE Data (id INT, grp INT, val INT)").value();
+  for (int i = 0; i < 200; ++i) {
+    db->ExecuteSql(StrCat("INSERT INTO Data VALUES (", (*next_id)++, ", ",
+                          rng->Uniform(kGroups), ", ", rng->Uniform(1000),
+                          ")"))
+        .value();
+  }
+}
+
+std::string UpdateSql(Random* rng, int* next_id) {
+  if (rng->OneIn(0.6)) {
+    return StrCat("INSERT INTO Data VALUES (", (*next_id)++, ", ",
+                  rng->Uniform(kGroups), ", ", rng->Uniform(1000), ")");
+  }
+  return StrCat("DELETE FROM Data WHERE id = ",
+                rng->Uniform(static_cast<uint64_t>(*next_id)));
+}
+
+// ---------------------------------------------------------------------
+ConfigResult RunConfI(uint64_t seed) {
+  ConfigResult result{"Conf I (replication)"};
+  Random rng(seed);
+  ManualClock clock;
+  std::vector<std::unique_ptr<db::Database>> replicas;
+  int next_id = 0;
+  for (int r = 0; r < kReplicas; ++r) {
+    replicas.push_back(std::make_unique<db::Database>(&clock));
+    Random seeder(seed + 100);  // Identical contents on every replica.
+    int id = 0;
+    SeedData(replicas.back().get(), &seeder, &id);
+    next_id = id;
+  }
+  size_t rr = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int q = 0; q < kRequestsPerRound; ++q) {
+      int grp = static_cast<int>(rng.Uniform(kGroups));
+      db::Database* db = replicas[rr++ % replicas.size()].get();
+      db->ExecuteSql(PageSql(grp)).value();  // Always fresh by definition.
+    }
+    for (int u = 0; u < kUpdatesPerRound; ++u) {
+      std::string dml = UpdateSql(&rng, &next_id);
+      for (auto& replica : replicas) replica->ExecuteSql(dml).value();
+    }
+  }
+  for (auto& replica : replicas) {
+    result.db_queries += replica->queries_executed();
+    result.db_dml += replica->dml_executed();
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+ConfigResult RunConfII(uint64_t seed) {
+  ConfigResult result{"Conf II (middle-tier)"};
+  Random rng(seed);
+  ManualClock clock;
+  db::Database db(&clock);
+  int next_id = 0;
+  {
+    Random seeder(seed + 100);
+    SeedData(&db, &seeder, &next_id);
+  }
+  server::MemoryDbDriver driver;
+  driver.BindDatabase("d", &db);
+  std::vector<std::unique_ptr<server::Connection>> inners;
+  std::vector<std::unique_ptr<cache::DataCacheConnection>> caches;
+  for (int i = 0; i < kReplicas; ++i) {
+    inners.push_back(std::move(driver.Connect("jdbc:cacheportal:d").value()));
+    caches.push_back(std::make_unique<cache::DataCacheConnection>(
+        inners.back().get(), 1000));
+  }
+  uint64_t baseline_queries = db.queries_executed();
+  uint64_t sync_seq = db.update_log().LastSeq();
+  size_t rr = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int q = 0; q < kRequestsPerRound; ++q) {
+      int grp = static_cast<int>(rng.Uniform(kGroups));
+      auto& conn = caches[rr++ % caches.size()];
+      auto served = conn->ExecuteQuery(PageSql(grp)).value();
+      // Freshness check against the DBMS directly (not counted as load).
+      uint64_t probe = db.queries_executed();
+      auto fresh = db.ExecuteSql(PageSql(grp)).value();
+      baseline_queries += db.queries_executed() - probe;
+      if (served.ToString() != fresh.ToString()) ++result.stale_serves;
+    }
+    for (int u = 0; u < kUpdatesPerRound; ++u) {
+      db.ExecuteSql(UpdateSql(&rng, &next_id)).value();
+    }
+    // The per-interval cache synchronization the paper charges Conf II.
+    db::DeltaSet deltas =
+        db::DeltaSet::FromRecords(db.update_log().ReadSince(sync_seq));
+    sync_seq = db.update_log().LastSeq();
+    for (auto& conn : caches) conn->Synchronize(deltas);
+  }
+  result.db_queries = db.queries_executed() - baseline_queries;
+  result.db_dml = db.dml_executed();
+  for (auto& conn : caches) result.cache_hits += conn->stats().hits;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+ConfigResult RunConfIII(uint64_t seed) {
+  ConfigResult result{"Conf III (CachePortal)"};
+  Random rng(seed);
+  ManualClock clock;
+  db::Database db(&clock);
+  int next_id = 0;
+  {
+    Random seeder(seed + 100);
+    SeedData(&db, &seeder, &next_id);
+  }
+  core::CachePortal portal(&db, &clock);
+  auto raw = std::make_unique<server::MemoryDbDriver>();
+  raw->BindDatabase("d", &db);
+  server::DriverManager drivers;
+  drivers.RegisterDriver(portal.WrapDriver(raw.get()));
+  auto pool = std::move(server::ConnectionPool::Create(
+                            "p", "jdbc:cacheportal-log:jdbc:cacheportal:d",
+                            2, &drivers)
+                            .value());
+  server::ApplicationServer app(pool.get());
+  app.RegisterServlet(
+         "/page",
+         std::make_unique<server::FunctionServlet>(
+             [&clock](const http::HttpRequest& req,
+                      server::ServletContext* ctx) {
+               clock.Advance(100);
+               auto rows = ctx->connection->ExecuteQuery(
+                   PageSql(static_cast<int>(
+                       std::strtol(req.get_params.at("grp").c_str(),
+                                   nullptr, 10))));
+               return http::HttpResponse::Ok(rows->ToString());
+             }),
+         server::ServletConfig{})
+      .ok();
+  portal.AttachTo(&app);
+  server::ServletConfig config;
+  config.name = "/page";
+  config.key_get_params = {"grp"};
+  portal.RegisterServlet(config);
+  core::CachingProxy* proxy = portal.CreateProxy(&app);
+
+  uint64_t baseline_queries = db.queries_executed();
+  for (int round = 0; round < kRounds; ++round) {
+    for (int q = 0; q < kRequestsPerRound; ++q) {
+      int grp = static_cast<int>(rng.Uniform(kGroups));
+      clock.Advance(50);
+      http::HttpResponse served = proxy->Handle(*http::HttpRequest::Get(
+          StrCat("http://site/page?grp=", grp)));
+      if (served.headers.Get("X-Cache") == "HIT") ++result.cache_hits;
+      uint64_t probe = db.queries_executed();
+      auto fresh = db.ExecuteSql(PageSql(grp)).value();
+      baseline_queries += db.queries_executed() - probe;
+      if (served.body != fresh.ToString()) ++result.stale_serves;
+    }
+    for (int u = 0; u < kUpdatesPerRound; ++u) {
+      db.ExecuteSql(UpdateSql(&rng, &next_id)).value();
+    }
+    clock.Advance(kMicrosPerSecond);
+    portal.RunCycle().value();
+  }
+  result.db_queries = db.queries_executed() - baseline_queries;
+  result.db_dml = db.dml_executed();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Real-stack configuration comparison: %d rounds x (%d "
+              "requests + %d updates), %d app servers\n",
+              kRounds, kRequestsPerRound, kUpdatesPerRound, kReplicas);
+  std::printf("(stale = served bytes differ from a fresh regeneration at "
+              "serve time)\n\n");
+  std::printf("| %-22s | %10s | %7s | %11s | %6s |\n", "configuration",
+              "db queries", "db DML", "stale pages", "hits");
+  std::printf("|------------------------|------------|---------|"
+              "-------------|--------|\n");
+  for (const ConfigResult& r :
+       {RunConfI(42), RunConfII(42), RunConfIII(42)}) {
+    std::printf("| %-22s | %10llu | %7llu | %11llu | %6llu |\n", r.name,
+                static_cast<unsigned long long>(r.db_queries),
+                static_cast<unsigned long long>(r.db_dml),
+                static_cast<unsigned long long>(r.stale_serves),
+                static_cast<unsigned long long>(r.cache_hits));
+  }
+  std::printf(
+      "\nReading: with per-interval synchronization (II) / invalidation "
+      "(III),\nno architecture serves stale pages at interval boundaries "
+      "- the\ndifferentiator is backend burden. Conf I pays every query "
+      "plus\nreplicated DML; Conf II still sends every cache miss and "
+      "every\nsynchronization to the one DBMS; Conf III sends only "
+      "cold misses,\nre-generations of genuinely invalidated pages, and "
+      "LIMIT-1 polls.\n");
+  return 0;
+}

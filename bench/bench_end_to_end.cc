@@ -1,0 +1,128 @@
+// End-to-end benchmark of the REAL CachePortal stack (no simulation):
+// the paper's synthetic application served through database + JDBC
+// wrapper + app server + sniffer + front cache + invalidator. Prints the
+// series the paper's hybrid testbed measured — hit ratio and invalidation
+// traffic as the update rate grows — then times the full request path.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "workload/paper_site.h"
+
+namespace {
+
+using namespace cacheportal;
+using workload::PageClass;
+using workload::PaperSite;
+using workload::PaperSiteOptions;
+
+/// One experiment: `rounds` rounds of (25 requests, `updates_per_round`
+/// updates, one cycle); reports the realized hit ratio.
+struct E2eResult {
+  double hit_ratio = 0;
+  uint64_t pages_invalidated = 0;
+  uint64_t polls = 0;
+};
+
+E2eResult RunScenario(int updates_per_round, uint64_t seed) {
+  PaperSiteOptions options;
+  options.small_rows = 100;
+  options.large_rows = 400;
+  options.seed = seed;
+  PaperSite site(options);
+  Random rng(seed * 31 + 5);
+  uint64_t hits = 0, requests = 0, invalidated = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int r = 0; r < 25; ++r) {
+      PageClass cls = static_cast<PageClass>(rng.Uniform(3));
+      int grp = static_cast<int>(rng.Uniform(site.join_values()));
+      http::HttpResponse resp = site.Request(cls, grp);
+      ++requests;
+      if (resp.headers.Get("X-Cache") == "HIT") ++hits;
+    }
+    site.RandomUpdates(updates_per_round);
+    auto report = site.RunCycle();
+    if (report.ok()) invalidated += report->pages_invalidated;
+  }
+  E2eResult result;
+  result.hit_ratio = static_cast<double>(hits) / requests;
+  result.pages_invalidated = invalidated;
+  result.polls = site.portal()->invalidator().stats().polls_issued;
+  return result;
+}
+
+void PrintSeries() {
+  std::printf(
+      "End-to-end (real stack): hit ratio vs update rate, 25 req + 1 "
+      "cycle per round, 20 rounds\n");
+  std::printf("| %13s | %9s | %12s | %6s |\n", "updates/round",
+              "hit ratio", "invalidated", "polls");
+  std::printf("|---------------|-----------|--------------|--------|\n");
+  for (int updates : {0, 1, 2, 5, 10, 20}) {
+    E2eResult r = RunScenario(updates, 42);
+    std::printf("| %13d | %9.2f | %12llu | %6llu |\n", updates, r.hit_ratio,
+                static_cast<unsigned long long>(r.pages_invalidated),
+                static_cast<unsigned long long>(r.polls));
+  }
+  std::printf("\n");
+}
+
+void BM_RequestPathHit(benchmark::State& state) {
+  PaperSiteOptions options;
+  options.small_rows = 100;
+  options.large_rows = 400;
+  PaperSite site(options);
+  site.Request(PageClass::kLight, 0);  // Warm the entry.
+  for (auto _ : state) {
+    http::HttpResponse resp = site.Request(PageClass::kLight, 0);
+    benchmark::DoNotOptimize(resp);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestPathHit);
+
+void BM_RequestPathMiss(benchmark::State& state) {
+  PaperSiteOptions options;
+  options.small_rows = 100;
+  options.large_rows = 400;
+  PaperSite site(options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    site.portal()->page_cache()->Clear();
+    state.ResumeTiming();
+    http::HttpResponse resp = site.Request(PageClass::kMedium, 3);
+    benchmark::DoNotOptimize(resp);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestPathMiss);
+
+void BM_FullRound(benchmark::State& state) {
+  PaperSiteOptions options;
+  options.small_rows = 100;
+  options.large_rows = 400;
+  PaperSite site(options);
+  Random rng(7);
+  for (auto _ : state) {
+    for (int r = 0; r < 25; ++r) {
+      site.Request(static_cast<PageClass>(rng.Uniform(3)),
+                   static_cast<int>(rng.Uniform(site.join_values())));
+    }
+    site.RandomUpdates(static_cast<int>(state.range(0)));
+    auto report = site.RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * 25);
+}
+BENCHMARK(BM_FullRound)->Arg(0)->Arg(5)->Arg(20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

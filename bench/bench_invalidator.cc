@@ -1,0 +1,128 @@
+// Invalidator throughput, backing Section 2.4's claim that the
+// invalidator is not a bottleneck: cost of one synchronization cycle as
+// the number of cached query instances and the update-batch size grow,
+// plus the effect of join indexes on DBMS polling traffic.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "invalidator/invalidator.h"
+#include "sniffer/qiurl_map.h"
+
+namespace {
+
+using namespace cacheportal;
+
+/// A self-contained world: the Example 4.1 schema, `instances` cached
+/// query instances (half single-table, half joins), ready for cycles.
+struct World {
+  World(int instances, bool with_join_index) : db(&clock) {
+    db.CreateTable(db::TableSchema("Car",
+                                   {{"maker", db::ColumnType::kString},
+                                    {"model", db::ColumnType::kString},
+                                    {"price", db::ColumnType::kInt}}))
+        .ok();
+    db.CreateTable(db::TableSchema("Mileage",
+                                   {{"model", db::ColumnType::kString},
+                                    {"EPA", db::ColumnType::kInt}}))
+        .ok();
+    for (int i = 0; i < 100; ++i) {
+      db.ExecuteSql(
+            StrCat("INSERT INTO Mileage VALUES ('m", i, "', ", i % 50, ")"))
+          .value();
+    }
+    invalidator =
+        std::make_unique<invalidator::Invalidator>(&db, &map, &clock,
+                                                   invalidator::InvalidatorOptions{});
+    if (with_join_index) {
+      invalidator->CreateJoinIndex("Mileage", "model").ok();
+    }
+    invalidator->RunCycle().value();  // Drain seeding.
+    // All join instances with thresholds far above the inserted prices:
+    // every cycle, every instance needs its join side checked (polling or
+    // join index), and the empty poll keeps instances registered.
+    for (int i = 0; i < instances; ++i) {
+      map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model "
+                     "= Mileage.model AND Car.price < ",
+                     10000000 + i),
+              StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+  }
+
+  void AddUpdates(int n) {
+    for (int i = 0; i < n; ++i) {
+      // Models outside Mileage: the price predicate passes, the join
+      // must be decided, and the verdict is "no partner" (no churn).
+      db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('mk', 'zz", i, "', ",
+                           500000 + i, ")"))
+          .value();
+    }
+  }
+
+  ManualClock clock;
+  db::Database db;
+  sniffer::QiUrlMap map;
+  std::unique_ptr<invalidator::Invalidator> invalidator;
+};
+
+/// Full cycle cost: `range(0)` instances, 10-update batches. Updates are
+/// non-matching (price 500k), so instances stay registered across
+/// iterations and the measurement is steady-state.
+void BM_CycleVsInstances(benchmark::State& state) {
+  World world(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.AddUpdates(10);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["polls/cycle"] = static_cast<double>(
+      world.invalidator->stats().polls_issued /
+      std::max<uint64_t>(1, world.invalidator->stats().cycles));
+}
+BENCHMARK(BM_CycleVsInstances)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Same with join indexes: polls answered inside the invalidator.
+void BM_CycleVsInstancesWithIndex(benchmark::State& state) {
+  World world(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.AddUpdates(10);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["polls/cycle"] = static_cast<double>(
+      world.invalidator->stats().polls_issued /
+      std::max<uint64_t>(1, world.invalidator->stats().cycles));
+  state.counters["idx-answers/cycle"] = static_cast<double>(
+      world.invalidator->stats().polls_answered_by_index /
+      std::max<uint64_t>(1, world.invalidator->stats().cycles));
+}
+BENCHMARK(BM_CycleVsInstancesWithIndex)->Arg(10)->Arg(100)->Arg(1000);
+
+/// Cycle cost versus update-batch size at a fixed 100 instances.
+void BM_CycleVsBatchSize(benchmark::State& state) {
+  World world(100, false);
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.AddUpdates(batch);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CycleVsBatchSize)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

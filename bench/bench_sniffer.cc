@@ -1,0 +1,99 @@
+// Sniffer overhead benchmark, backing the paper's claim (Section 2.4)
+// that the sniffer is never the bottleneck: per-request logging and
+// request-to-query mapping cost versus the cost of actually generating a
+// page (executing its query). Also scales the mapper over growing logs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "sniffer/mapper.h"
+#include "sniffer/qiurl_map.h"
+#include "sniffer/request_logger.h"
+
+namespace {
+
+using namespace cacheportal;
+
+/// Per-request cost of the request logger (open + close + key narrowing).
+void BM_RequestLogging(benchmark::State& state) {
+  ManualClock clock;
+  sniffer::RequestLog log;
+  sniffer::RequestLogger logger(&log, &clock);
+  server::ServletConfig config;
+  config.name = "cars";
+  config.key_get_params = {"model"};
+  logger.RegisterServlet(config);
+  auto req =
+      http::HttpRequest::Get("http://shop/cars?model=Avalon&session=xyz");
+  http::HttpResponse resp = http::HttpResponse::Ok("page");
+  for (auto _ : state) {
+    uint64_t token = logger.BeforeService("cars", *req);
+    clock.Advance(10);
+    logger.AfterService(token, "cars", *req, &resp);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestLogging);
+
+/// Page generation cost for comparison: one indexed select on a table of
+/// state.range(0) rows.
+void BM_PageGeneration(benchmark::State& state) {
+  db::Database db;
+  db.CreateTable(db::TableSchema("Car", {{"model", db::ColumnType::kString},
+                                         {"price", db::ColumnType::kInt}}))
+      .ok();
+  for (int i = 0; i < state.range(0); ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('m", i, "', ", i * 7, ")"))
+        .value();
+  }
+  for (auto _ : state) {
+    auto result = db.ExecuteSql("SELECT * FROM Car WHERE price < 5000");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageGeneration)->Arg(500)->Arg(2500);
+
+/// Mapper throughput: N completed requests each with one query.
+void BM_MapperRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sniffer::RequestLog requests;
+    sniffer::QueryLog queries;
+    sniffer::QiUrlMap map;
+    sniffer::RequestToQueryMapper mapper(&requests, &queries, &map);
+    for (int i = 0; i < n; ++i) {
+      Micros t = i * 100;
+      uint64_t id = requests.Open("s", StrCat("/p", i), "", "",
+                                  StrCat("page", i), t);
+      queries.Append(StrCat("SELECT * FROM T WHERE x = ", i), true, t + 10,
+                     t + 40);
+      requests.Close(id, t + 60);
+    }
+    state.ResumeTiming();
+    size_t added = mapper.Run();
+    benchmark::DoNotOptimize(added);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MapperRun)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// QI/URL map insertion with dedup.
+void BM_QiUrlMapAdd(benchmark::State& state) {
+  sniffer::QiUrlMap map;
+  int i = 0;
+  for (auto _ : state) {
+    map.Add(StrCat("SELECT * FROM T WHERE x = ", i % 1000),
+            StrCat("page", i % 1000), "/r", i);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QiUrlMapAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Microbenchmarks of the SQL substrate: lexing, parsing, canonical
+// printing, query-type extraction (the sniffer/registration hot path),
+// and condition folding (the invalidator hot path).
+
+#include <benchmark/benchmark.h>
+
+#include "sql/analyzer.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/template.h"
+
+namespace {
+
+using namespace cacheportal;
+
+const char* kQueries[] = {
+    "SELECT * FROM Car WHERE price < 20000",
+    "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage "
+    "WHERE Car.model = Mileage.model AND Car.price < 20000",
+    "SELECT maker, COUNT(*) AS n FROM Car WHERE price BETWEEN 1000 AND "
+    "30000 GROUP BY maker ORDER BY n DESC LIMIT 10",
+    "SELECT * FROM Car WHERE maker IN ('Toyota', 'Honda', 'Ford') AND "
+    "(price < 20000 OR model LIKE 'C%') AND model IS NOT NULL",
+};
+
+void BM_Lex(benchmark::State& state) {
+  const std::string sql = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto tokens = sql::Lexer::Tokenize(sql);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lex)->DenseRange(0, 3);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string sql = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto stmt = sql::Parser::Parse(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 3);
+
+void BM_Print(benchmark::State& state) {
+  auto stmt = sql::Parser::Parse(kQueries[state.range(0)]).value();
+  for (auto _ : state) {
+    std::string text = sql::StatementToSql(*stmt);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_Print)->DenseRange(0, 3);
+
+void BM_ExtractTemplate(benchmark::State& state) {
+  auto select = sql::Parser::ParseSelect(kQueries[state.range(0)]).value();
+  for (auto _ : state) {
+    auto tmpl = sql::ExtractTemplate(*select);
+    benchmark::DoNotOptimize(tmpl);
+  }
+}
+BENCHMARK(BM_ExtractTemplate)->DenseRange(0, 3);
+
+void BM_SubstituteAndFold(benchmark::State& state) {
+  auto select = sql::Parser::ParseSelect(kQueries[1]).value();
+  auto substituter = [](const std::string& table, const std::string& column)
+      -> std::optional<sql::Value> {
+    if (table != "Car") return std::nullopt;
+    if (column == "model") return sql::Value::String("Avalon");
+    if (column == "price") return sql::Value::Int(15000);
+    if (column == "maker") return sql::Value::String("Toyota");
+    return std::nullopt;
+  };
+  for (auto _ : state) {
+    auto substituted = sql::SubstituteColumns(*select->where, substituter);
+    auto folded = sql::FoldConstants(*substituted);
+    benchmark::DoNotOptimize(folded);
+  }
+}
+BENCHMARK(BM_SubstituteAndFold);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#ifndef CACHEPORTAL_BENCH_TABLE_COMMON_H_
+#define CACHEPORTAL_BENCH_TABLE_COMMON_H_
+
+#include <cstdio>
+
+#include "sim/site.h"
+
+namespace cacheportal::bench {
+
+/// Prints one response-time row in the layout of the paper's Tables 2/3:
+/// Miss(DB, Resp), Hit(Resp), Exp(Resp), all in milliseconds.
+inline void PrintTableRow(const char* update_label, const char* conf_label,
+                          const sim::RunReport& report, bool has_cache) {
+  const sim::SimMetrics& m = report.metrics;
+  if (has_cache) {
+    std::printf("| %-17s | %-9s | %8.0f | %8.0f | %6.0f | %8.0f |\n",
+                update_label, conf_label, m.miss_db.Mean(),
+                m.miss_response.Mean(), m.hit_response.Mean(),
+                m.response.Mean());
+  } else {
+    std::printf("| %-17s | %-9s | %8.0f | %8.0f | %6s | %8.0f |\n",
+                update_label, conf_label, m.miss_db.Mean(),
+                m.miss_response.Mean(), "N/A", m.response.Mean());
+  }
+}
+
+inline void PrintTableHeader(const char* title) {
+  std::printf("%s\n", title);
+  std::printf("| %-17s | %-9s | %8s | %8s | %6s | %8s |\n", "update rate",
+              "config", "missDB", "missResp", "hit", "exp");
+  std::printf("|-------------------|-----------|----------|----------|"
+              "--------|----------|\n");
+}
+
+struct UpdateCase {
+  const char* label;
+  sim::UpdateLoad load;
+};
+
+inline constexpr UpdateCase kUpdateCases[] = {
+    {"no updates", {0, 0, 0, 0}},
+    {"<5,5,5,5>", {5, 5, 5, 5}},
+    {"<12,12,12,12>", {12, 12, 12, 12}},
+};
+
+}  // namespace cacheportal::bench
+
+#endif  // CACHEPORTAL_BENCH_TABLE_COMMON_H_

@@ -1,0 +1,73 @@
+// Reproduces the architecture comparison of Section 5 interactively:
+// runs the three site configurations (replication, middle-tier data
+// caches, CachePortal's dynamic web cache) under the paper's workload and
+// prints response times in the layout of Tables 2 and 3, plus per-module
+// utilizations showing where the bottleneck sits.
+//
+// Build & run:  ./build/examples/config_comparison
+
+#include <cstdio>
+
+#include "sim/site.h"
+
+using namespace cacheportal;
+using namespace cacheportal::sim;
+
+namespace {
+
+void PrintRow(const char* label, const RunReport& report, bool has_cache) {
+  const SimMetrics& m = report.metrics;
+  if (has_cache) {
+    std::printf("  %-22s missDB=%8.0f  missResp=%8.0f  hit=%6.0f  "
+                "exp=%8.0f (ms)\n",
+                label, m.miss_db.Mean(), m.miss_response.Mean(),
+                m.hit_response.Mean(), m.response.Mean());
+  } else {
+    std::printf("  %-22s missDB=%8.0f  missResp=%8.0f  hit=   N/A  "
+                "exp=%8.0f (ms)\n",
+                label, m.miss_db.Mean(), m.miss_response.Mean(),
+                m.response.Mean());
+  }
+  std::printf("  %-22s p50=%.0f p95=%.0f (ms); util: machines=%.2f "
+              "db=%.2f network=%.2f cache=%.2f\n",
+              "", report.metrics.Percentile(0.5),
+              report.metrics.Percentile(0.95), report.machine_utilization,
+              report.db_utilization, report.network_utilization,
+              report.cache_utilization);
+}
+
+}  // namespace
+
+int main() {
+  const UpdateLoad loads[] = {{0, 0, 0, 0}, {5, 5, 5, 5}, {12, 12, 12, 12}};
+  const char* load_names[] = {"no updates", "<5,5,5,5>/s", "<12,12,12,12>/s"};
+
+  std::printf("Workload: 30 req/s (10 light + 10 medium + 10 heavy), "
+              "70%% cache hit ratio, 4 web servers\n\n");
+
+  for (int i = 0; i < 3; ++i) {
+    std::printf("== update load: %s ==\n", load_names[i]);
+    for (SiteConfig config : {SiteConfig::kReplicated,
+                              SiteConfig::kMiddleTierCache,
+                              SiteConfig::kWebCache}) {
+      SimParams params;
+      params.updates = loads[i];
+      RunReport report = RunSiteSimulation(config, params);
+      PrintRow(SiteConfigName(config), report,
+               config != SiteConfig::kReplicated);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("== Table 3 variant: Conf II with per-access connection "
+              "cost at the data cache ==\n");
+  for (int i = 0; i < 3; ++i) {
+    SimParams params;
+    params.updates = loads[i];
+    params.data_cache_connection_cost = true;
+    RunReport report =
+        RunSiteSimulation(SiteConfig::kMiddleTierCache, params);
+    PrintRow(load_names[i], report, true);
+  }
+  return 0;
+}

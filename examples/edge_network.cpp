@@ -1,0 +1,115 @@
+// The cache topology of the paper's Figure 1: the origin site (with
+// CachePortal's front cache) plus edge caches operated by a CDN, all
+// CachePortal-compliant. The invalidator's eject messages travel as real
+// serialized HTTP to every cache — the "vertical invalidation" of
+// Section 6, from the database up to the network edge.
+//
+// Build & run:  ./build/examples/edge_network
+
+#include <cstdio>
+
+#include "core/cache_portal.h"
+#include "core/remote_cache.h"
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+
+using namespace cacheportal;
+
+int main() {
+  SystemClock clock;
+
+  // ---- Origin site: database, app server, CachePortal. ----
+  db::Database database(&clock);
+  database
+      .CreateTable(db::TableSchema("News", {{"id", db::ColumnType::kInt},
+                                            {"region", db::ColumnType::kString},
+                                            {"headline", db::ColumnType::kString}}))
+      .ok();
+  database.ExecuteSql("INSERT INTO News VALUES (1, 'us', 'market rallies')")
+      .value();
+  database.ExecuteSql("INSERT INTO News VALUES (2, 'eu', 'summit opens')")
+      .value();
+
+  core::CachePortal portal(&database, &clock);
+  auto raw = std::make_unique<server::MemoryDbDriver>();
+  raw->BindDatabase("news", &database);
+  server::DriverManager drivers;
+  drivers.RegisterDriver(portal.WrapDriver(raw.get()));
+  auto pool = std::move(
+      server::ConnectionPool::Create(
+          "pool", "jdbc:cacheportal-log:jdbc:cacheportal:news", 2, &drivers)
+          .value());
+  server::ApplicationServer app(pool.get());
+  app.RegisterServlet(
+         "/headlines",
+         std::make_unique<server::FunctionServlet>(
+             [](const http::HttpRequest& req, server::ServletContext* ctx) {
+               std::string region = req.get_params.count("region")
+                                        ? req.get_params.at("region")
+                                        : "us";
+               auto rows = ctx->connection->ExecuteQuery(
+                   "SELECT headline FROM News WHERE region = '" + region +
+                   "'");
+               return http::HttpResponse::Ok(
+                   rows.ok() ? rows->ToString() : rows.status().ToString());
+             }),
+         server::ServletConfig{})
+      .ok();
+  portal.AttachTo(&app);
+  server::ServletConfig config;
+  config.name = "/headlines";
+  config.key_get_params = {"region"};
+  portal.RegisterServlet(config);
+  core::CachingProxy* origin = portal.CreateProxy(&app);
+
+  // ---- Two edge caches (say, one per continent), fed by the origin. ----
+  cache::PageCache us_edge_cache(100, &clock), eu_edge_cache(100, &clock);
+  auto lookup = [&config](const std::string& path)
+      -> const server::ServletConfig* {
+    return path == "/headlines" ? &config : nullptr;
+  };
+  core::RemoteCacheEndpoint us_edge(&us_edge_cache, origin, lookup);
+  core::RemoteCacheEndpoint eu_edge(&eu_edge_cache, origin, lookup);
+
+  // The invalidator notifies the edges over serialized HTTP.
+  core::WireCacheSink us_sink(&us_edge), eu_sink(&eu_edge);
+  portal.mutable_invalidator()->AddSink(&us_sink);
+  portal.mutable_invalidator()->AddSink(&eu_sink);
+
+  auto edge_get = [&](core::RemoteCacheEndpoint* edge, const char* name,
+                      const std::string& url) {
+    std::string wire = http::HttpRequest::Get(url)->Serialize();
+    auto resp = http::HttpResponse::Parse(edge->HandleWire(wire)).value();
+    std::printf("[%s edge] GET %-38s [%s]\n", name, url.c_str(),
+                resp.headers.Get("X-Cache").value_or("-").c_str());
+    return resp;
+  };
+
+  std::printf("== requests hit the edges; misses flow to the origin ==\n");
+  edge_get(&us_edge, "US", "http://news/headlines?region=us");
+  edge_get(&us_edge, "US", "http://news/headlines?region=us");  // HIT.
+  edge_get(&eu_edge, "EU", "http://news/headlines?region=eu");
+  edge_get(&eu_edge, "EU", "http://news/headlines?region=eu");  // HIT.
+  portal.RunCycle().value();  // QI/URL map now knows both pages.
+
+  std::printf("\n== breaking news in the US region ==\n");
+  database
+      .ExecuteSql("INSERT INTO News VALUES (3, 'us', 'CachePortal ships')")
+      .value();
+  auto report = portal.RunCycle().value();
+  std::printf("cycle: %llu page(s) invalidated; eject messages: US edge %llu"
+              " (confirmed %llu), EU edge %llu (confirmed %llu)\n",
+              static_cast<unsigned long long>(report.pages_invalidated),
+              static_cast<unsigned long long>(us_sink.messages_sent()),
+              static_cast<unsigned long long>(us_sink.ejections_confirmed()),
+              static_cast<unsigned long long>(eu_sink.messages_sent()),
+              static_cast<unsigned long long>(eu_sink.ejections_confirmed()));
+
+  std::printf("\n== the US page regenerates; the EU page still hits ==\n");
+  http::HttpResponse us =
+      edge_get(&us_edge, "US", "http://news/headlines?region=us");
+  std::printf("%s", us.body.c_str());
+  edge_get(&eu_edge, "EU", "http://news/headlines?region=eu");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "cache/data_cache.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::cache {
+
+DataCache::DataCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<db::QueryResult> DataCache::Lookup(const std::string& sql) {
+  ++stats_.lookups;
+  auto it = entries_.find(sql);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(it->first);
+  it->second.lru_pos = lru_.begin();
+  ++stats_.hits;
+  return it->second.result;
+}
+
+void DataCache::Store(const std::string& sql, db::QueryResult result,
+                      const std::vector<std::string>& tables) {
+  auto it = entries_.find(sql);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  Entry entry;
+  entry.result = std::move(result);
+  for (const std::string& t : tables) entry.tables.insert(AsciiToLower(t));
+  lru_.push_front(sql);
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(sql, std::move(entry));
+  ++stats_.stores;
+  EvictIfNeeded();
+}
+
+size_t DataCache::Synchronize(const db::DeltaSet& deltas) {
+  ++stats_.synchronizations;
+  size_t removed = 0;
+  std::set<std::string> updated;
+  for (const std::string& t : deltas.Tables()) {
+    updated.insert(AsciiToLower(t));
+  }
+  if (updated.empty()) return 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool stale = false;
+    for (const std::string& t : it->second.tables) {
+      if (updated.contains(t)) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.entries_invalidated += removed;
+  return removed;
+}
+
+size_t DataCache::InvalidateTable(const std::string& table) {
+  std::string key = AsciiToLower(table);
+  size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.tables.contains(key)) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.entries_invalidated += removed;
+  return removed;
+}
+
+void DataCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+void DataCache::EvictIfNeeded() {
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace cacheportal::cache

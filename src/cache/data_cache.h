@@ -1,0 +1,82 @@
+#ifndef CACHEPORTAL_CACHE_DATA_CACHE_H_
+#define CACHEPORTAL_CACHE_DATA_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "db/delta.h"
+
+namespace cacheportal::cache {
+
+/// Counters exposed by DataCache.
+struct DataCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stores = 0;
+  uint64_t synchronizations = 0;     // Synchronize() calls.
+  uint64_t entries_invalidated = 0;  // Results dropped by synchronization.
+
+  double HitRatio() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// A middle-tier data cache in the paper's Configuration II position
+/// (Oracle 8i-style): query results cached beside each application server.
+/// Results are keyed by SQL text and tagged with the tables they read;
+/// Synchronize() drops every result touching an updated table, modeling
+/// the database/data-cache synchronization the paper charges Conf. II for.
+class DataCache {
+ public:
+  explicit DataCache(size_t capacity);
+
+  DataCache(const DataCache&) = delete;
+  DataCache& operator=(const DataCache&) = delete;
+
+  /// Cached result of `sql`, if present.
+  std::optional<db::QueryResult> Lookup(const std::string& sql);
+
+  /// Caches `result` for `sql`; `tables` are the relations it read
+  /// (lower-cased for matching).
+  void Store(const std::string& sql, db::QueryResult result,
+             const std::vector<std::string>& tables);
+
+  /// Applies one synchronization interval: every cached result reading a
+  /// table present in `deltas` is invalidated. Returns how many results
+  /// were dropped.
+  size_t Synchronize(const db::DeltaSet& deltas);
+
+  /// Drops all results reading `table`.
+  size_t InvalidateTable(const std::string& table);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const DataCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DataCacheStats(); }
+
+ private:
+  struct Entry {
+    db::QueryResult result;
+    std::set<std::string> tables;  // Lower-cased.
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void EvictIfNeeded();
+
+  size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  DataCacheStats stats_;
+};
+
+}  // namespace cacheportal::cache
+
+#endif  // CACHEPORTAL_CACHE_DATA_CACHE_H_

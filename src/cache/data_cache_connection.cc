@@ -1,0 +1,57 @@
+#include "cache/data_cache_connection.h"
+
+#include "sql/parser.h"
+
+namespace cacheportal::cache {
+
+Result<db::QueryResult> DataCacheConnection::ExecuteQuery(
+    const std::string& sql) {
+  if (std::optional<db::QueryResult> hit = cache_.Lookup(sql);
+      hit.has_value()) {
+    return *hit;
+  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
+                               inner_->ExecuteQuery(sql));
+  // Tag the result with the relations it read so synchronization can
+  // invalidate it. Unparseable SQL is forwarded uncached (never stale).
+  Result<std::unique_ptr<sql::SelectStatement>> select =
+      sql::Parser::ParseSelect(sql);
+  if (select.ok()) {
+    std::vector<std::string> tables;
+    tables.reserve((*select)->from.size());
+    for (const sql::TableRef& ref : (*select)->from) {
+      tables.push_back(ref.table);
+    }
+    cache_.Store(sql, result, tables);
+  }
+  return result;
+}
+
+Result<int64_t> DataCacheConnection::ExecuteUpdate(const std::string& sql) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(int64_t affected,
+                               inner_->ExecuteUpdate(sql));
+  // Write-through hygiene: drop our own cached results for the table this
+  // statement touched.
+  Result<sql::StatementPtr> parsed = sql::Parser::Parse(sql);
+  if (parsed.ok()) {
+    switch ((*parsed)->kind()) {
+      case sql::StatementKind::kInsert:
+        cache_.InvalidateTable(
+            static_cast<const sql::InsertStatement&>(**parsed).table);
+        break;
+      case sql::StatementKind::kDelete:
+        cache_.InvalidateTable(
+            static_cast<const sql::DeleteStatement&>(**parsed).table);
+        break;
+      case sql::StatementKind::kUpdate:
+        cache_.InvalidateTable(
+            static_cast<const sql::UpdateStatement&>(**parsed).table);
+        break;
+      default:
+        break;
+    }
+  }
+  return affected;
+}
+
+}  // namespace cacheportal::cache

@@ -1,0 +1,49 @@
+#ifndef CACHEPORTAL_CACHE_DATA_CACHE_CONNECTION_H_
+#define CACHEPORTAL_CACHE_DATA_CACHE_CONNECTION_H_
+
+#include <string>
+
+#include "cache/data_cache.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::cache {
+
+/// Configuration II's middle-tier data cache as a JDBC decorator
+/// (Oracle 8i-style): a Connection that answers repeated SELECTs from a
+/// local DataCache and forwards misses (and all DML) to the inner
+/// connection. Deployed between the application server and its pool, it
+/// is invisible to servlets — exactly how the paper describes middle-tier
+/// data caching.
+///
+/// Consistency is the deployment's responsibility: call Synchronize()
+/// with each interval's deltas (the paper's once-per-second cache/DBMS
+/// synchronization), or results go stale. DML through THIS connection
+/// invalidates the tables it touches immediately (write-through hygiene);
+/// updates arriving on other paths are only seen at synchronization.
+class DataCacheConnection : public server::Connection {
+ public:
+  /// `inner` is not owned and must outlive this connection.
+  DataCacheConnection(server::Connection* inner, size_t capacity)
+      : inner_(inner), cache_(capacity) {}
+
+  // server::Connection:
+  Result<db::QueryResult> ExecuteQuery(const std::string& sql) override;
+  Result<int64_t> ExecuteUpdate(const std::string& sql) override;
+
+  /// Drops cached results reading tables updated in `deltas`; returns the
+  /// number dropped.
+  size_t Synchronize(const db::DeltaSet& deltas) {
+    return cache_.Synchronize(deltas);
+  }
+
+  const DataCacheStats& stats() const { return cache_.stats(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  server::Connection* inner_;
+  DataCache cache_;
+};
+
+}  // namespace cacheportal::cache
+
+#endif  // CACHEPORTAL_CACHE_DATA_CACHE_CONNECTION_H_

@@ -1,0 +1,132 @@
+#include "cache/page_cache.h"
+
+namespace cacheportal::cache {
+
+PageCache::PageCache(size_t capacity, const Clock* clock)
+    : capacity_(capacity == 0 ? 1 : capacity), clock_(clock) {}
+
+std::optional<http::HttpResponse> PageCache::Lookup(const http::PageId& id) {
+  ++stats_.lookups;
+  std::string key = id.CacheKey();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  if (entry.expires_at.has_value() &&
+      clock_->NowMicros() >= *entry.expires_at) {
+    lru_.erase(entry.lru_pos);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Touch(key, entry);
+  ++stats_.hits;
+  return entry.response;
+}
+
+bool PageCache::Store(const http::PageId& id,
+                      const http::HttpResponse& response) {
+  http::CacheControl cc = response.GetCacheControl();
+  if (!cc.CacheableByCachePortal()) {
+    ++stats_.rejected_stores;
+    return false;
+  }
+  std::string key = id.CacheKey();
+  Micros now = clock_->NowMicros();
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  Entry entry;
+  entry.response = response;
+  entry.stored_at = now;
+  if (cc.max_age_seconds.has_value()) {
+    entry.expires_at = now + *cc.max_age_seconds * kMicrosPerSecond;
+  }
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(std::move(key), std::move(entry));
+  ++stats_.stores;
+  EvictIfNeeded();
+  return true;
+}
+
+bool PageCache::Invalidate(const http::PageId& id) {
+  return InvalidateKey(id.CacheKey());
+}
+
+bool PageCache::InvalidateKey(const std::string& cache_key) {
+  auto it = entries_.find(cache_key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+http::HttpResponse PageCache::HandleInvalidationRequest(
+    const http::HttpRequest& req) {
+  std::optional<std::string> cc_header = req.headers.Get("Cache-Control");
+  if (!cc_header.has_value() ||
+      !http::CacheControl::Parse(*cc_header).eject) {
+    return http::HttpResponse(400, "missing eject directive");
+  }
+  if (Invalidate(req.ToPageId())) {
+    return http::HttpResponse(204, "");
+  }
+  return http::HttpResponse(404, "page not cached");
+}
+
+size_t PageCache::InvalidateMatching(
+    const std::function<bool(const std::string&)>& pred) {
+  size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (pred(it->first)) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+      ++removed;
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void PageCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+bool PageCache::Contains(const http::PageId& id) const {
+  return entries_.contains(id.CacheKey());
+}
+
+std::vector<std::string> PageCache::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+void PageCache::Touch(const std::string& key, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+void PageCache::EvictIfNeeded() {
+  while (entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace cacheportal::cache

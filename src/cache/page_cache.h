@@ -1,0 +1,106 @@
+#ifndef CACHEPORTAL_CACHE_PAGE_CACHE_H_
+#define CACHEPORTAL_CACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "http/message.h"
+#include "http/url.h"
+
+namespace cacheportal::cache {
+
+/// Counters exposed by PageCache for experiments and self-tuning.
+struct PageCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stores = 0;
+  uint64_t rejected_stores = 0;   // Response was not cacheable.
+  uint64_t invalidations = 0;     // Removed by eject messages.
+  uint64_t evictions = 0;         // Removed by LRU pressure.
+  uint64_t expirations = 0;       // Removed because max-age passed.
+
+  double HitRatio() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// A dynamic-content web cache in the paper's Configuration III position:
+/// it stores full HTTP responses keyed by the page identity (URL + key
+/// parameters), evicts LRU, honors max-age expiry, and understands the
+/// `Cache-Control: eject` invalidation message sent by the invalidator.
+///
+/// The cache is CachePortal-compliant: responses marked
+/// `private, owner="cacheportal"` are cacheable here but not elsewhere.
+class PageCache {
+ public:
+  /// `capacity` is the maximum number of cached pages; `clock` drives
+  /// expiry (must outlive the cache).
+  PageCache(size_t capacity, const Clock* clock);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Returns the cached response for `id` if present and fresh.
+  std::optional<http::HttpResponse> Lookup(const http::PageId& id);
+
+  /// Stores `response` under `id` if its Cache-Control allows a
+  /// CachePortal cache to keep it. Returns true if stored.
+  bool Store(const http::PageId& id, const http::HttpResponse& response);
+
+  /// Removes the page with identity `id`. Returns true if it was cached.
+  bool Invalidate(const http::PageId& id);
+
+  /// Removes the page with the given canonical cache key.
+  bool InvalidateKey(const std::string& cache_key);
+
+  /// Handles an invalidation HTTP message: a request carrying
+  /// `Cache-Control: eject` removes the addressed page. Returns 204 when
+  /// ejected, 404 when the page was not cached, and 400 for a request
+  /// without the eject directive.
+  http::HttpResponse HandleInvalidationRequest(const http::HttpRequest& req);
+
+  /// Removes every cached page whose key satisfies `pred`; returns count.
+  size_t InvalidateMatching(
+      const std::function<bool(const std::string& cache_key)>& pred);
+
+  /// Drops everything.
+  void Clear();
+
+  bool Contains(const http::PageId& id) const;
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  const PageCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PageCacheStats(); }
+
+  /// Canonical keys of all cached pages (diagnostics).
+  std::vector<std::string> Keys() const;
+
+ private:
+  struct Entry {
+    http::HttpResponse response;
+    Micros stored_at = 0;
+    std::optional<Micros> expires_at;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void Touch(const std::string& key, Entry& entry);
+  void EvictIfNeeded();
+
+  size_t capacity_;
+  const Clock* clock_;
+  std::unordered_map<std::string, Entry> entries_;
+  // Front = most recently used.
+  std::list<std::string> lru_;
+  PageCacheStats stats_;
+};
+
+}  // namespace cacheportal::cache
+
+#endif  // CACHEPORTAL_CACHE_PAGE_CACHE_H_

@@ -1,0 +1,21 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace cacheportal {
+
+namespace {
+
+Micros SteadyNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SystemClock::SystemClock() : epoch_(SteadyNow()) {}
+
+Micros SystemClock::NowMicros() const { return SteadyNow() - epoch_; }
+
+}  // namespace cacheportal

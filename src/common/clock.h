@@ -1,0 +1,56 @@
+#ifndef CACHEPORTAL_COMMON_CLOCK_H_
+#define CACHEPORTAL_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace cacheportal {
+
+/// Microseconds since an arbitrary epoch. All timestamps in the library
+/// (request logs, query logs, update logs, simulation events) use this unit.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+/// Abstract time source. Components take a Clock* so that tests and the
+/// discrete-event simulator can control time; production wiring uses
+/// SystemClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since this clock's epoch.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Wall-clock time source backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  SystemClock();
+
+  Micros NowMicros() const override;
+
+ private:
+  Micros epoch_;
+};
+
+/// Manually advanced clock for tests and simulation.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+
+  /// Moves time forward by `delta` microseconds (must be >= 0).
+  void Advance(Micros delta) { now_ += delta; }
+
+  /// Jumps to an absolute time (must not move backwards in normal use).
+  void SetTime(Micros now) { now_ = now; }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_CLOCK_H_

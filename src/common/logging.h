@@ -1,0 +1,22 @@
+#ifndef CACHEPORTAL_COMMON_LOGGING_H_
+#define CACHEPORTAL_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace cacheportal {
+
+/// Severity levels for the library's diagnostic log.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted to stderr. Defaults to
+/// kWarning so that library users see nothing in normal operation.
+void SetLogLevel(LogLevel level);
+
+LogLevel GetLogLevel();
+
+/// Emits `message` to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef CACHEPORTAL_COMMON_RANDOM_H_
+#define CACHEPORTAL_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace cacheportal {
+
+/// Deterministic pseudo-random generator (xorshift64*). Used throughout the
+/// workload generators and the simulator so that experiments are exactly
+/// reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times of Poisson processes in the workload generators).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_RANDOM_H_

@@ -1,0 +1,139 @@
+#ifndef CACHEPORTAL_COMMON_STATUS_H_
+#define CACHEPORTAL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cacheportal {
+
+/// A Status encapsulates the result of an operation. It may indicate
+/// success, or it may indicate an error with an associated error message.
+/// This library does not throw exceptions across public API boundaries;
+/// fallible operations return Status (or Result<T>, below).
+class Status {
+ public:
+  /// Error categories. kOk means success.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kNotSupported,
+    kParseError,
+    kInternal,
+  };
+
+  /// Creates a success status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Factory functions, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsParseError() const { return code_ == Code::kParseError; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+
+  /// The error message, empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Human-readable representation, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A Result<T> holds either a value of type T or an error Status.
+/// Modeled after arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so functions can
+  /// `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; OK() if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok(), otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define CACHEPORTAL_RETURN_NOT_OK(expr)             \
+  do {                                              \
+    ::cacheportal::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Evaluates a Result-returning expression; assigns the value to `lhs` or
+/// propagates the error.
+#define CACHEPORTAL_ASSIGN_OR_RETURN(lhs, expr) \
+  auto CACHEPORTAL_CONCAT_(_res_, __LINE__) = (expr);                 \
+  if (!CACHEPORTAL_CONCAT_(_res_, __LINE__).ok())                     \
+    return CACHEPORTAL_CONCAT_(_res_, __LINE__).status();             \
+  lhs = std::move(CACHEPORTAL_CONCAT_(_res_, __LINE__)).value()
+
+#define CACHEPORTAL_CONCAT_(a, b) CACHEPORTAL_CONCAT_IMPL_(a, b)
+#define CACHEPORTAL_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+#ifndef CACHEPORTAL_COMMON_STRINGS_H_
+#define CACHEPORTAL_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cacheportal {
+
+/// Splits `input` on `delimiter`, returning all pieces (including empty
+/// ones between consecutive delimiters). Splitting the empty string yields
+/// a single empty piece, matching absl::StrSplit semantics.
+std::vector<std::string> StrSplit(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// ASCII lower-casing (SQL keywords, header names).
+std::string AsciiToLower(std::string_view input);
+
+/// ASCII upper-casing.
+std::string AsciiToUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Streams all arguments into a single string. Lightweight stand-in for
+/// absl::StrCat (std::format is unavailable on the toolchain we target).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_STRINGS_H_

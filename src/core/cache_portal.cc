@@ -1,0 +1,73 @@
+#include "core/cache_portal.h"
+
+namespace cacheportal::core {
+
+CachePortal::CachePortal(db::Database* database, const Clock* clock,
+                         CachePortalOptions options)
+    : database_(database),
+      clock_(clock),
+      options_(options),
+      request_logger_(&request_log_, clock),
+      mapper_(&request_log_, &query_log_, &qiurl_map_),
+      page_cache_(options_.page_cache_capacity, clock),
+      invalidator_(database, &qiurl_map_, clock, options_.invalidator),
+      sink_(&page_cache_) {
+  request_logger_.SetInvalidationCycle(options_.invalidation_cycle);
+  // Feedback loop (Section 3.1): the wrapper consults the invalidator's
+  // policies before making a servlet's pages cacheable.
+  request_logger_.SetCacheabilityOracle(
+      [this](const std::string& servlet_name) {
+        return invalidator_.policy().IsServletCacheable(servlet_name);
+      });
+  invalidator_.AddSink(&sink_);
+}
+
+std::unique_ptr<server::Driver> CachePortal::WrapDriver(
+    server::Driver* inner) {
+  return std::make_unique<sniffer::QueryLoggingDriver>(inner, &query_log_,
+                                                       clock_);
+}
+
+std::unique_ptr<server::Connection> CachePortal::WrapConnection(
+    server::Connection* inner) {
+  sniffer::QueryLoggingDriver driver(nullptr, &query_log_, clock_);
+  return driver.WrapConnection(inner);
+}
+
+void CachePortal::AttachTo(server::ApplicationServer* app_server) {
+  attached_app_server_ = app_server;
+  app_server->SetInterceptor(&request_logger_);
+}
+
+void CachePortal::RegisterServlet(const server::ServletConfig& config) {
+  request_logger_.RegisterServlet(config);
+}
+
+CachingProxy* CachePortal::CreateProxy(server::RequestHandler* upstream) {
+  auto lookup = [this](const std::string& path)
+      -> const server::ServletConfig* {
+    // Prefer the request logger's registry (keyed by servlet name, which
+    // defaults to the path), then the attached app server.
+    const server::ServletConfig* config = request_logger_.FindConfig(path);
+    if (config != nullptr) return config;
+    if (attached_app_server_ != nullptr) {
+      return attached_app_server_->FindConfig(path);
+    }
+    return nullptr;
+  };
+  proxies_.push_back(
+      std::make_unique<CachingProxy>(&page_cache_, upstream, lookup));
+  return proxies_.back().get();
+}
+
+Result<invalidator::CycleReport> CachePortal::RunCycle() {
+  mapper_.Run();
+  CACHEPORTAL_ASSIGN_OR_RETURN(invalidator::CycleReport report,
+                               invalidator_.RunCycle());
+  if (options_.truncate_update_log) {
+    database_->update_log().Truncate(invalidator_.consumed_update_seq());
+  }
+  return report;
+}
+
+}  // namespace cacheportal::core

@@ -1,0 +1,31 @@
+#include "core/caching_proxy.h"
+
+#include "sniffer/request_logger.h"
+
+namespace cacheportal::core {
+
+http::HttpResponse CachingProxy::Handle(const http::HttpRequest& request) {
+  // Invalidation messages are ordinary requests with an eject directive.
+  std::optional<std::string> cc_header = request.headers.Get("Cache-Control");
+  if (cc_header.has_value() && http::CacheControl::Parse(*cc_header).eject) {
+    return cache_->HandleInvalidationRequest(request);
+  }
+
+  const server::ServletConfig* config =
+      config_lookup_ ? config_lookup_(request.path) : nullptr;
+  http::PageId page = sniffer::RequestLogger::NarrowToKeys(request, config);
+
+  if (std::optional<http::HttpResponse> hit = cache_->Lookup(page);
+      hit.has_value()) {
+    hit->headers.Set("X-Cache", "HIT");
+    return *hit;
+  }
+  http::HttpResponse response = upstream_->Handle(request);
+  if (response.status_code == 200) {
+    cache_->Store(page, response);
+  }
+  response.headers.Set("X-Cache", "MISS");
+  return response;
+}
+
+}  // namespace cacheportal::core

@@ -1,0 +1,43 @@
+#ifndef CACHEPORTAL_CORE_CACHING_PROXY_H_
+#define CACHEPORTAL_CORE_CACHING_PROXY_H_
+
+#include <functional>
+#include <string>
+
+#include "cache/page_cache.h"
+#include "server/handler.h"
+#include "server/servlet.h"
+
+namespace cacheportal::core {
+
+/// The dynamic-web-content cache of Configuration III, deployed in front
+/// of the load balancer: answers repeat requests from the PageCache,
+/// forwards misses upstream, stores cacheable responses, and services the
+/// invalidator's `Cache-Control: eject` messages.
+class CachingProxy : public server::RequestHandler {
+ public:
+  /// Maps a request path to the servlet's config (for key-parameter
+  /// narrowing); may return nullptr (all parameters become keys).
+  using ConfigLookup =
+      std::function<const server::ServletConfig*(const std::string& path)>;
+
+  /// `cache` and `upstream` are not owned.
+  CachingProxy(cache::PageCache* cache, server::RequestHandler* upstream,
+               ConfigLookup config_lookup)
+      : cache_(cache),
+        upstream_(upstream),
+        config_lookup_(std::move(config_lookup)) {}
+
+  http::HttpResponse Handle(const http::HttpRequest& request) override;
+
+  cache::PageCache* cache() { return cache_; }
+
+ private:
+  cache::PageCache* cache_;
+  server::RequestHandler* upstream_;
+  ConfigLookup config_lookup_;
+};
+
+}  // namespace cacheportal::core
+
+#endif  // CACHEPORTAL_CORE_CACHING_PROXY_H_

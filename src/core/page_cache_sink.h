@@ -1,0 +1,34 @@
+#ifndef CACHEPORTAL_CORE_PAGE_CACHE_SINK_H_
+#define CACHEPORTAL_CORE_PAGE_CACHE_SINK_H_
+
+#include "cache/page_cache.h"
+#include "invalidator/invalidator.h"
+
+namespace cacheportal::core {
+
+/// Delivers the invalidator's eject messages to an in-process PageCache
+/// the same way a remote cache would receive them: as HTTP requests run
+/// through the cache's invalidation endpoint.
+class PageCacheSink : public invalidator::InvalidationSink {
+ public:
+  /// `cache` is not owned.
+  explicit PageCacheSink(cache::PageCache* cache) : cache_(cache) {}
+
+  void SendInvalidation(const http::HttpRequest& eject_message,
+                        const std::string& cache_key) override {
+    http::HttpResponse response =
+        cache_->HandleInvalidationRequest(eject_message);
+    if (response.status_code == 400) {
+      // Malformed message (unparseable key): fall back to direct removal
+      // so staleness cannot leak.
+      cache_->InvalidateKey(cache_key);
+    }
+  }
+
+ private:
+  cache::PageCache* cache_;
+};
+
+}  // namespace cacheportal::core
+
+#endif  // CACHEPORTAL_CORE_PAGE_CACHE_SINK_H_

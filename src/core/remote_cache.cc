@@ -1,0 +1,53 @@
+#include "core/remote_cache.h"
+
+#include "sniffer/request_logger.h"
+
+namespace cacheportal::core {
+
+std::string RemoteCacheEndpoint::HandleWire(
+    const std::string& request_bytes) {
+  ++wire_requests_;
+  Result<http::HttpRequest> request = http::HttpRequest::Parse(request_bytes);
+  if (!request.ok()) {
+    ++parse_errors_;
+    return http::HttpResponse(400, request.status().ToString()).Serialize();
+  }
+
+  std::optional<std::string> cc_header =
+      request->headers.Get("Cache-Control");
+  if (cc_header.has_value() && http::CacheControl::Parse(*cc_header).eject) {
+    return cache_->HandleInvalidationRequest(*request).Serialize();
+  }
+
+  const server::ServletConfig* config =
+      config_lookup_ ? config_lookup_(request->path) : nullptr;
+  http::PageId page = sniffer::RequestLogger::NarrowToKeys(*request, config);
+  if (std::optional<http::HttpResponse> hit = cache_->Lookup(page);
+      hit.has_value()) {
+    hit->headers.Set("X-Cache", "HIT");
+    return hit->Serialize();
+  }
+  if (upstream_ == nullptr) {
+    return http::HttpResponse(503, "no upstream").Serialize();
+  }
+  http::HttpResponse response = upstream_->Handle(*request);
+  if (response.status_code == 200) {
+    cache_->Store(page, response);
+  }
+  response.headers.Set("X-Cache", "MISS");
+  return response.Serialize();
+}
+
+void WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
+                                     const std::string& /*cache_key*/) {
+  ++messages_sent_;
+  std::string response_bytes =
+      endpoint_->HandleWire(eject_message.Serialize());
+  Result<http::HttpResponse> response =
+      http::HttpResponse::Parse(response_bytes);
+  if (response.ok() && response->status_code == 204) {
+    ++ejections_confirmed_;
+  }
+}
+
+}  // namespace cacheportal::core

@@ -1,0 +1,73 @@
+#ifndef CACHEPORTAL_CORE_REMOTE_CACHE_H_
+#define CACHEPORTAL_CORE_REMOTE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cache/page_cache.h"
+#include "core/caching_proxy.h"
+#include "invalidator/invalidator.h"
+
+namespace cacheportal::core {
+
+/// The remote side of a CachePortal-compliant cache (an edge or proxy
+/// cache in Figure 1's positions A-D): receives HTTP requests as wire
+/// bytes, answers from its PageCache, and services eject messages. In the
+/// paper these caches live on other machines; here the "network" is a
+/// pair of strings, which still exercises the full serialize/parse path
+/// the real deployment uses.
+class RemoteCacheEndpoint {
+ public:
+  /// `cache` and `upstream` are not owned. `upstream` handles misses
+  /// (e.g. the origin site's load balancer); it may be null, in which
+  /// case misses answer 503. `config_lookup` must narrow requests with
+  /// the same key parameters the origin uses, or the invalidator's eject
+  /// messages (addressed by narrowed identity) would miss this cache's
+  /// entries; pass nullptr to key on all parameters.
+  RemoteCacheEndpoint(cache::PageCache* cache,
+                      server::RequestHandler* upstream,
+                      CachingProxy::ConfigLookup config_lookup = nullptr)
+      : cache_(cache),
+        upstream_(upstream),
+        config_lookup_(std::move(config_lookup)) {}
+
+  /// Processes one HTTP request in wire format, returning the response in
+  /// wire format. Malformed requests produce a 400 response.
+  std::string HandleWire(const std::string& request_bytes);
+
+  uint64_t wire_requests() const { return wire_requests_; }
+  uint64_t parse_errors() const { return parse_errors_; }
+
+ private:
+  cache::PageCache* cache_;
+  server::RequestHandler* upstream_;
+  CachingProxy::ConfigLookup config_lookup_;
+  uint64_t wire_requests_ = 0;
+  uint64_t parse_errors_ = 0;
+};
+
+/// Invalidation sink that delivers eject messages to a remote cache as
+/// serialized HTTP — the paper's actual invalidation transport
+/// (Section 4.2.4: "an HTTP message which contains the invalidation
+/// requests").
+class WireCacheSink : public invalidator::InvalidationSink {
+ public:
+  /// `endpoint` is not owned.
+  explicit WireCacheSink(RemoteCacheEndpoint* endpoint)
+      : endpoint_(endpoint) {}
+
+  void SendInvalidation(const http::HttpRequest& eject_message,
+                        const std::string& cache_key) override;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t ejections_confirmed() const { return ejections_confirmed_; }
+
+ private:
+  RemoteCacheEndpoint* endpoint_;
+  uint64_t messages_sent_ = 0;
+  uint64_t ejections_confirmed_ = 0;
+};
+
+}  // namespace cacheportal::core
+
+#endif  // CACHEPORTAL_CORE_REMOTE_CACHE_H_

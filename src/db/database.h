@@ -1,0 +1,91 @@
+#ifndef CACHEPORTAL_DB_DATABASE_H_
+#define CACHEPORTAL_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "db/table.h"
+#include "db/update_log.h"
+#include "sql/ast.h"
+
+namespace cacheportal::db {
+
+/// Result of a SELECT: output column names and rows. DML statements
+/// report their affected-row count instead.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Renders an aligned ASCII table (examples, debugging).
+  std::string ToString() const;
+};
+
+/// An in-memory relational database: a catalog of named tables, a SQL
+/// executor, and an update log that external observers (the CachePortal
+/// invalidator) can poll. Stands in for the paper's Oracle 8i instance.
+///
+/// Thread-compatibility: a Database confines itself to one thread; the
+/// simulation and server layers serialize access.
+class Database {
+ public:
+  /// `clock` supplies update-log timestamps; pass nullptr to use an
+  /// internal SystemClock. The clock must outlive the database.
+  explicit Database(const Clock* clock = nullptr);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers a new table. AlreadyExists if the name (case-insensitive)
+  /// is taken.
+  Status CreateTable(TableSchema schema);
+
+  /// Case-insensitive table lookup; nullptr when absent.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Names of all tables in creation order.
+  std::vector<std::string> TableNames() const;
+
+  /// Creates a hash index on `table`.`column`.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
+  /// Parses and executes any supported statement. SELECTs return their
+  /// result set; DML returns a one-cell result ("affected") and appends
+  /// to the update log.
+  Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// Executes a parsed SELECT.
+  Result<QueryResult> ExecuteQuery(const sql::SelectStatement& stmt) const;
+
+  /// Executes parsed DML; returns affected-row counts.
+  Result<int64_t> ExecuteInsert(const sql::InsertStatement& stmt);
+  Result<int64_t> ExecuteDelete(const sql::DeleteStatement& stmt);
+  Result<int64_t> ExecuteUpdate(const sql::UpdateStatement& stmt);
+
+  /// The database's modification log (the invalidator reads this).
+  const UpdateLog& update_log() const { return update_log_; }
+  UpdateLog& update_log() { return update_log_; }
+
+  /// Total queries executed (SELECTs), for load accounting.
+  uint64_t queries_executed() const { return queries_executed_; }
+  /// Total DML statements executed.
+  uint64_t dml_executed() const { return dml_executed_; }
+
+ private:
+  const Clock* clock_;
+  std::unique_ptr<Clock> owned_clock_;
+  // Lower-cased name -> table. `order_` keeps creation order.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> order_;
+  UpdateLog update_log_;
+  mutable uint64_t queries_executed_ = 0;
+  uint64_t dml_executed_ = 0;
+};
+
+}  // namespace cacheportal::db
+
+#endif  // CACHEPORTAL_DB_DATABASE_H_

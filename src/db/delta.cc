@@ -1,0 +1,50 @@
+#include "db/delta.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::db {
+
+namespace {
+const TableDelta& EmptyDelta() {
+  static const TableDelta& kEmpty = *new TableDelta();
+  return kEmpty;
+}
+}  // namespace
+
+DeltaSet DeltaSet::FromRecords(const std::vector<UpdateRecord>& records) {
+  DeltaSet set;
+  for (const UpdateRecord& record : records) set.Add(record);
+  return set;
+}
+
+void DeltaSet::Add(const UpdateRecord& record) {
+  TableDelta& delta = deltas_[AsciiToLower(record.table)];
+  if (record.op == UpdateOp::kInsert) {
+    delta.inserts.push_back(record.row);
+  } else {
+    delta.deletes.push_back(record.row);
+  }
+}
+
+std::vector<std::string> DeltaSet::Tables() const {
+  std::vector<std::string> names;
+  names.reserve(deltas_.size());
+  for (const auto& [name, delta] : deltas_) {
+    if (!delta.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+const TableDelta& DeltaSet::ForTable(const std::string& table) const {
+  auto it = deltas_.find(AsciiToLower(table));
+  if (it == deltas_.end()) return EmptyDelta();
+  return it->second;
+}
+
+size_t DeltaSet::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, delta] : deltas_) total += delta.size();
+  return total;
+}
+
+}  // namespace cacheportal::db

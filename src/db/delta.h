@@ -1,0 +1,53 @@
+#ifndef CACHEPORTAL_DB_DELTA_H_
+#define CACHEPORTAL_DB_DELTA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/update_log.h"
+
+namespace cacheportal::db {
+
+/// Per-relation delta tables for one synchronization interval: Δ⁺R holds
+/// rows inserted into R, Δ⁻R rows deleted from R (Section 4.2.1). UPDATEs
+/// appear as one row in each.
+struct TableDelta {
+  std::vector<Row> inserts;  // Δ⁺R
+  std::vector<Row> deletes;  // Δ⁻R
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  size_t size() const { return inserts.size() + deletes.size(); }
+};
+
+/// Groups a batch of update records by table into TableDeltas. This is the
+/// invalidator's update-processing step: instead of treating each update
+/// individually, related updates are processed as a group.
+class DeltaSet {
+ public:
+  DeltaSet() = default;
+
+  /// Builds the delta set of `records`.
+  static DeltaSet FromRecords(const std::vector<UpdateRecord>& records);
+
+  void Add(const UpdateRecord& record);
+
+  bool empty() const { return deltas_.empty(); }
+
+  /// Names of tables with a non-empty delta, lower-cased and sorted.
+  std::vector<std::string> Tables() const;
+
+  /// Delta of `table` (case-insensitive); an empty delta when the table
+  /// saw no updates.
+  const TableDelta& ForTable(const std::string& table) const;
+
+  /// Total number of delta rows across all tables.
+  size_t TotalRows() const;
+
+ private:
+  std::map<std::string, TableDelta> deltas_;
+};
+
+}  // namespace cacheportal::db
+
+#endif  // CACHEPORTAL_DB_DELTA_H_

@@ -1,0 +1,28 @@
+#ifndef CACHEPORTAL_DB_EXECUTOR_H_
+#define CACHEPORTAL_DB_EXECUTOR_H_
+
+#include "common/status.h"
+#include "db/database.h"
+#include "sql/ast.h"
+
+namespace cacheportal::db {
+
+/// Evaluates SELECT statements against a Database. Planning is simple but
+/// real: single-table conjuncts are pushed below the join (using hash
+/// indexes for `col = literal` when available), equi-join conjuncts drive
+/// hash joins, and remaining tables fall back to filtered nested loops.
+/// Aggregates (COUNT/SUM/MIN/MAX/AVG) with optional GROUP BY, DISTINCT,
+/// ORDER BY, and LIMIT are applied on top.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  Result<QueryResult> Execute(const sql::SelectStatement& stmt) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace cacheportal::db
+
+#endif  // CACHEPORTAL_DB_EXECUTOR_H_

@@ -1,0 +1,57 @@
+#include "db/schema.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::db {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool ValueMatchesType(const sql::Value& value, ColumnType type) {
+  if (value.is_null()) return true;
+  switch (type) {
+    case ColumnType::kInt:
+      return value.is_int();
+    case ColumnType::kDouble:
+      return value.is_numeric();
+    case ColumnType::kString:
+      return value.is_string();
+  }
+  return false;
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, column)) return i;
+  }
+  return std::nullopt;
+}
+
+Status TableSchema::ValidateRow(const std::vector<sql::Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrCat("row has ", row.size(), " values; table ", name_, " has ",
+               columns_.size(), " columns"));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ValueMatchesType(row[i], columns_[i].type)) {
+      return Status::InvalidArgument(
+          StrCat("value for column ", columns_[i].name, " of table ", name_,
+                 " has wrong type (expected ", ColumnTypeName(columns_[i].type),
+                 ", got ", row[i].ToSqlLiteral(), ")"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cacheportal::db

@@ -1,0 +1,57 @@
+#ifndef CACHEPORTAL_DB_SCHEMA_H_
+#define CACHEPORTAL_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace cacheportal::db {
+
+/// Declared type of a table column.
+enum class ColumnType { kInt, kDouble, kString };
+
+/// Returns the lower-case SQL-ish name of a column type ("int", ...).
+const char* ColumnTypeName(ColumnType type);
+
+/// True if `value` is storable in a column of `type` (NULL always is;
+/// ints are storable in double columns).
+bool ValueMatchesType(const sql::Value& value, ColumnType type);
+
+/// A column definition.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// An ordered list of columns with a table name.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column` or std::nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Validates a row against this schema (arity and per-column types).
+  Status ValidateRow(const std::vector<sql::Value>& row) const;
+
+  bool operator==(const TableSchema&) const = default;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace cacheportal::db
+
+#endif  // CACHEPORTAL_DB_SCHEMA_H_

@@ -1,0 +1,98 @@
+#include "db/table.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::db {
+
+Result<RowId> Table::Insert(Row row) {
+  CACHEPORTAL_RETURN_NOT_OK(schema_.ValidateRow(row));
+  RowId id = next_id_++;
+  IndexInsert(id, row);
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+Status Table::Delete(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrCat("row ", id, " in table ", schema_.name()));
+  }
+  IndexRemove(id, it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Status Table::Update(RowId id, Row row) {
+  CACHEPORTAL_RETURN_NOT_OK(schema_.ValidateRow(row));
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrCat("row ", id, " in table ", schema_.name()));
+  }
+  IndexRemove(id, it->second);
+  it->second = std::move(row);
+  IndexInsert(id, it->second);
+  return Status::OK();
+}
+
+Result<Row> Table::Get(RowId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrCat("row ", id, " in table ", schema_.name()));
+  }
+  return it->second;
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  std::optional<size_t> idx = schema_.ColumnIndex(column);
+  if (!idx.has_value()) {
+    return Status::NotFound(
+        StrCat("column ", column, " in table ", schema_.name()));
+  }
+  if (indexes_.contains(*idx)) {
+    return Status::AlreadyExists(StrCat("index on ", column));
+  }
+  IndexMap& map = indexes_[*idx];
+  for (const auto& [id, row] : rows_) {
+    map[row[*idx]].insert(id);
+  }
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  std::optional<size_t> idx = schema_.ColumnIndex(column);
+  return idx.has_value() && indexes_.contains(*idx);
+}
+
+Result<std::vector<RowId>> Table::IndexLookup(const std::string& column,
+                                              const sql::Value& key) const {
+  std::optional<size_t> idx = schema_.ColumnIndex(column);
+  if (!idx.has_value() || !indexes_.contains(*idx)) {
+    return Status::NotFound(StrCat("no index on ", column));
+  }
+  const IndexMap& map = indexes_.at(*idx);
+  auto it = map.find(key);
+  std::vector<RowId> ids;
+  if (it != map.end()) {
+    ids.assign(it->second.begin(), it->second.end());
+  }
+  BumpScanned(ids.size());
+  return ids;
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& [col, map] : indexes_) {
+    map[row[col]].insert(id);
+  }
+}
+
+void Table::IndexRemove(RowId id, const Row& row) {
+  for (auto& [col, map] : indexes_) {
+    auto it = map.find(row[col]);
+    if (it != map.end()) {
+      it->second.erase(id);
+      if (it->second.empty()) map.erase(it);
+    }
+  }
+}
+
+}  // namespace cacheportal::db

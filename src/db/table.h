@@ -1,0 +1,81 @@
+#ifndef CACHEPORTAL_DB_TABLE_H_
+#define CACHEPORTAL_DB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "sql/value.h"
+
+namespace cacheportal::db {
+
+/// Stable identifier of a stored row within one table.
+using RowId = uint64_t;
+
+/// A tuple; values are positional per the table schema.
+using Row = std::vector<sql::Value>;
+
+/// An in-memory heap table with optional single-column hash indexes.
+/// Rows keep a stable RowId; scans iterate in insertion order.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Inserts a row (validated against the schema). Returns its RowId.
+  Result<RowId> Insert(Row row);
+
+  /// Deletes by RowId. NotFound if absent.
+  Status Delete(RowId id);
+
+  /// Replaces the row stored under `id`. NotFound if absent.
+  Status Update(RowId id, Row row);
+
+  /// Row lookup. NotFound if absent.
+  Result<Row> Get(RowId id) const;
+
+  /// Creates a hash index over `column`. AlreadyExists / NotFound errors.
+  Status CreateIndex(const std::string& column);
+
+  bool HasIndex(const std::string& column) const;
+
+  /// RowIds whose `column` equals `key`, via the index. Requires an index.
+  Result<std::vector<RowId>> IndexLookup(const std::string& column,
+                                         const sql::Value& key) const;
+
+  /// Full scan in insertion (RowId) order.
+  const std::map<RowId, Row>& rows() const { return rows_; }
+
+  /// Cumulative count of rows touched by scans/lookups (cost accounting
+  /// for the benchmarks).
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  void BumpScanned(uint64_t n) const { rows_scanned_ += n; }
+
+ private:
+  using IndexMap =
+      std::unordered_map<sql::Value, std::set<RowId>, sql::ValueHash>;
+
+  void IndexInsert(RowId id, const Row& row);
+  void IndexRemove(RowId id, const Row& row);
+
+  TableSchema schema_;
+  std::map<RowId, Row> rows_;
+  RowId next_id_ = 1;
+  // column index in schema -> value -> row ids.
+  std::map<size_t, IndexMap> indexes_;
+  mutable uint64_t rows_scanned_ = 0;
+};
+
+}  // namespace cacheportal::db
+
+#endif  // CACHEPORTAL_DB_TABLE_H_

@@ -1,0 +1,39 @@
+#include "db/update_log.h"
+
+#include <algorithm>
+
+namespace cacheportal::db {
+
+uint64_t UpdateLog::Append(Micros timestamp, const std::string& table,
+                           UpdateOp op, Row row) {
+  UpdateRecord record;
+  record.seq = next_seq_++;
+  record.timestamp = timestamp;
+  record.table = table;
+  record.op = op;
+  record.row = std::move(row);
+  records_.push_back(std::move(record));
+  return records_.back().seq;
+}
+
+std::vector<UpdateRecord> UpdateLog::ReadSince(uint64_t after_seq) const {
+  std::vector<UpdateRecord> out;
+  if (records_.empty() || after_seq >= records_.back().seq) return out;
+  // Records are dense in seq: seq = first_seq_ + offset.
+  size_t begin = 0;
+  if (after_seq >= first_seq_) begin = after_seq - first_seq_ + 1;
+  out.assign(records_.begin() + static_cast<ptrdiff_t>(begin),
+             records_.end());
+  return out;
+}
+
+void UpdateLog::Truncate(uint64_t up_to_seq) {
+  if (records_.empty() || up_to_seq < first_seq_) return;
+  size_t drop = std::min(records_.size(),
+                         static_cast<size_t>(up_to_seq - first_seq_ + 1));
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(drop));
+  first_seq_ += drop;
+}
+
+}  // namespace cacheportal::db

@@ -1,0 +1,60 @@
+#ifndef CACHEPORTAL_DB_UPDATE_LOG_H_
+#define CACHEPORTAL_DB_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/table.h"
+
+namespace cacheportal::db {
+
+/// Kind of a logged modification. SQL UPDATE statements are logged as a
+/// kDelete of the old image followed by a kInsert of the new image, which
+/// matches the paper's Δ⁻R / Δ⁺R formulation (Section 4.2.1).
+enum class UpdateOp { kInsert, kDelete };
+
+/// One entry of the database update log.
+struct UpdateRecord {
+  uint64_t seq = 0;       // Monotonic sequence number, 1-based.
+  Micros timestamp = 0;   // When the modification committed.
+  std::string table;
+  UpdateOp op = UpdateOp::kInsert;
+  Row row;                // Full row image (inserted or deleted).
+};
+
+/// Append-only log of modifications, the invalidator's observation point.
+/// The invalidator pulls records since its last synchronization sequence.
+class UpdateLog {
+ public:
+  UpdateLog() = default;
+
+  UpdateLog(const UpdateLog&) = delete;
+  UpdateLog& operator=(const UpdateLog&) = delete;
+
+  /// Appends a record; assigns and returns its sequence number.
+  uint64_t Append(Micros timestamp, const std::string& table, UpdateOp op,
+                  Row row);
+
+  /// Records with seq > `after_seq`, in order.
+  std::vector<UpdateRecord> ReadSince(uint64_t after_seq) const;
+
+  /// Sequence number of the newest record (0 when empty).
+  uint64_t LastSeq() const { return records_.empty() ? 0 : records_.back().seq; }
+
+  size_t size() const { return records_.size(); }
+
+  /// Drops records with seq <= `up_to_seq` (log truncation after all
+  /// consumers have synchronized).
+  void Truncate(uint64_t up_to_seq);
+
+ private:
+  std::vector<UpdateRecord> records_;
+  uint64_t next_seq_ = 1;
+  uint64_t first_seq_ = 1;  // Seq of records_.front() when non-empty.
+};
+
+}  // namespace cacheportal::db
+
+#endif  // CACHEPORTAL_DB_UPDATE_LOG_H_

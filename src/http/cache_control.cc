@@ -1,0 +1,64 @@
+#include "http/cache_control.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace cacheportal::http {
+
+CacheControl CacheControl::Parse(const std::string& header_value) {
+  CacheControl cc;
+  for (const std::string& piece : StrSplit(header_value, ',')) {
+    std::string directive(StripWhitespace(piece));
+    std::string lower = AsciiToLower(directive);
+    if (lower == "no-cache") {
+      cc.no_cache = true;
+    } else if (lower == "no-store") {
+      cc.no_store = true;
+    } else if (lower == "private") {
+      cc.is_private = true;
+    } else if (lower == "public") {
+      cc.is_public = true;
+    } else if (lower == "eject") {
+      cc.eject = true;
+    } else if (StartsWith(lower, "max-age=")) {
+      cc.max_age_seconds = std::strtoll(directive.c_str() + 8, nullptr, 10);
+    } else if (StartsWith(lower, "owner=")) {
+      std::string value = directive.substr(6);
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      cc.owner = value;
+    }
+  }
+  return cc;
+}
+
+std::string CacheControl::ToHeaderValue() const {
+  std::vector<std::string> parts;
+  if (no_cache) parts.push_back("no-cache");
+  if (no_store) parts.push_back("no-store");
+  if (is_public) parts.push_back("public");
+  if (is_private) parts.push_back("private");
+  if (eject) parts.push_back("eject");
+  if (max_age_seconds.has_value()) {
+    parts.push_back(StrCat("max-age=", *max_age_seconds));
+  }
+  if (!owner.empty()) {
+    parts.push_back(StrCat("owner=\"", owner, "\""));
+  }
+  return StrJoin(parts, ", ");
+}
+
+bool CacheControl::CacheableByCachePortal() const {
+  if (no_store || no_cache) return false;
+  if (is_private) return owner == kCachePortalOwner;
+  return true;
+}
+
+bool CacheControl::CacheableByGenericCache() const {
+  if (no_store || no_cache || is_private) return false;
+  return true;
+}
+
+}  // namespace cacheportal::http

@@ -1,0 +1,48 @@
+#ifndef CACHEPORTAL_HTTP_CACHE_CONTROL_H_
+#define CACHEPORTAL_HTTP_CACHE_CONTROL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cacheportal::http {
+
+/// Parsed Cache-Control header, covering the standard directives the
+/// library needs plus the two extensions from the paper:
+///  - `private, owner="cacheportal"` — the sniffer's servlet wrapper
+///    rewrites `no-cache` into this so that CachePortal-compliant caches
+///    may cache the page while generic caches must not (Section 3.1);
+///  - `eject` — NetCache 4.0's demand-ejection directive, carried by the
+///    invalidator's invalidation messages (Section 4.2.4).
+struct CacheControl {
+  bool no_cache = false;
+  bool no_store = false;
+  bool is_private = false;
+  bool is_public = false;
+  bool eject = false;
+  std::optional<int64_t> max_age_seconds;
+  /// Value of the owner="..." extension, empty when absent.
+  std::string owner;
+
+  /// Parses a Cache-Control header value. Unknown directives are ignored.
+  static CacheControl Parse(const std::string& header_value);
+
+  /// Serializes back to a header value ("" when nothing is set).
+  std::string ToHeaderValue() const;
+
+  /// True if a CachePortal-compliant cache may store the response:
+  /// not no-store/no-cache, and if private, only when owned by us.
+  bool CacheableByCachePortal() const;
+
+  /// True if a generic (non-CachePortal) shared cache may store it.
+  bool CacheableByGenericCache() const;
+
+  bool operator==(const CacheControl&) const = default;
+};
+
+/// The owner token CachePortal uses in rewritten headers.
+inline constexpr char kCachePortalOwner[] = "cacheportal";
+
+}  // namespace cacheportal::http
+
+#endif  // CACHEPORTAL_HTTP_CACHE_CONTROL_H_

@@ -1,0 +1,43 @@
+#include "http/headers.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cacheportal::http {
+
+void HeaderMap::Add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void HeaderMap::Set(const std::string& name, std::string value) {
+  Remove(name);
+  Add(name, std::move(value));
+}
+
+std::optional<std::string> HeaderMap::Get(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (EqualsIgnoreCase(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> HeaderMap::GetAll(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [n, v] : entries_) {
+    if (EqualsIgnoreCase(n, name)) values.push_back(v);
+  }
+  return values;
+}
+
+size_t HeaderMap::Remove(const std::string& name) {
+  size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&name](const auto& entry) {
+                                  return EqualsIgnoreCase(entry.first, name);
+                                }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+}  // namespace cacheportal::http

@@ -1,0 +1,47 @@
+#ifndef CACHEPORTAL_HTTP_HEADERS_H_
+#define CACHEPORTAL_HTTP_HEADERS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cacheportal::http {
+
+/// HTTP header collection with case-insensitive names. Insertion order is
+/// preserved for serialization; Get returns the first match.
+class HeaderMap {
+ public:
+  HeaderMap() = default;
+
+  /// Appends a header (does not replace existing ones of the same name).
+  void Add(std::string name, std::string value);
+
+  /// Replaces all headers of `name` with a single value.
+  void Set(const std::string& name, std::string value);
+
+  /// First value of `name` (case-insensitive), if present.
+  std::optional<std::string> Get(const std::string& name) const;
+
+  /// All values of `name`.
+  std::vector<std::string> GetAll(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return Get(name).has_value(); }
+
+  /// Removes all headers of `name`; returns how many were removed.
+  size_t Remove(const std::string& name);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace cacheportal::http
+
+#endif  // CACHEPORTAL_HTTP_HEADERS_H_

@@ -1,0 +1,217 @@
+#include "http/message.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace cacheportal::http {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kGet:
+      return "GET";
+    case Method::kPost:
+      return "POST";
+  }
+  return "?";
+}
+
+const char* ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+Result<HttpRequest> HttpRequest::Get(const std::string& url) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(PageId id, PageId::FromUrl(url));
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.host = id.host();
+  req.path = id.path();
+  req.get_params = id.get_params();
+  return req;
+}
+
+Result<HttpRequest> HttpRequest::Post(const std::string& url,
+                                      const ParamMap& form) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(HttpRequest req, Get(url));
+  req.method = Method::kPost;
+  req.post_params = form;
+  return req;
+}
+
+PageId HttpRequest::ToPageId() const {
+  PageId id(host, path);
+  id.get_params() = get_params;
+  id.post_params() = post_params;
+  id.cookie_params() = cookies;
+  return id;
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string target = path;
+  std::string query = BuildQueryString(get_params);
+  if (!query.empty()) {
+    target += '?';
+    target += query;
+  }
+  std::string out = StrCat(MethodName(method), " ", target, " HTTP/1.1\r\n");
+  out += StrCat("Host: ", host, "\r\n");
+  if (!cookies.empty()) {
+    out += StrCat("Cookie: ", BuildCookieString(cookies), "\r\n");
+  }
+  std::string payload = body;
+  if (method == Method::kPost && !post_params.empty()) {
+    payload = BuildQueryString(post_params);
+    out += "Content-Type: application/x-www-form-urlencoded\r\n";
+  }
+  for (const auto& [name, value] : headers.entries()) {
+    out += StrCat(name, ": ", value, "\r\n");
+  }
+  if (!payload.empty()) {
+    out += StrCat("Content-Length: ", payload.size(), "\r\n");
+  }
+  out += "\r\n";
+  out += payload;
+  return out;
+}
+
+namespace {
+
+/// Splits wire format into (start line, headers, body).
+Status SplitMessage(const std::string& wire, std::string* start_line,
+                    HeaderMap* headers, std::string* body) {
+  size_t pos = wire.find("\r\n");
+  if (pos == std::string::npos) {
+    return Status::ParseError("missing start line terminator");
+  }
+  *start_line = wire.substr(0, pos);
+  pos += 2;
+  while (true) {
+    size_t eol = wire.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      return Status::ParseError("missing header terminator");
+    }
+    if (eol == pos) {  // Blank line: end of headers.
+      pos += 2;
+      break;
+    }
+    std::string line = wire.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError(StrCat("malformed header line: ", line));
+    }
+    headers->Add(std::string(StripWhitespace(line.substr(0, colon))),
+                 std::string(StripWhitespace(line.substr(colon + 1))));
+    pos = eol + 2;
+  }
+  *body = wire.substr(pos);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<HttpRequest> HttpRequest::Parse(const std::string& wire) {
+  std::string start_line;
+  HeaderMap headers;
+  std::string body;
+  CACHEPORTAL_RETURN_NOT_OK(SplitMessage(wire, &start_line, &headers, &body));
+
+  std::vector<std::string> parts = StrSplit(start_line, ' ');
+  if (parts.size() != 3) {
+    return Status::ParseError(StrCat("malformed request line: ", start_line));
+  }
+  HttpRequest req;
+  if (parts[0] == "GET") {
+    req.method = Method::kGet;
+  } else if (parts[0] == "POST") {
+    req.method = Method::kPost;
+  } else {
+    return Status::ParseError(StrCat("unsupported method: ", parts[0]));
+  }
+  const std::string& target = parts[1];
+  size_t q = target.find('?');
+  req.path = q == std::string::npos ? target : target.substr(0, q);
+  if (q != std::string::npos) {
+    req.get_params = ParseQueryString(target.substr(q + 1));
+  }
+  req.host = headers.Get("Host").value_or("");
+  headers.Remove("Host");
+  if (auto cookie = headers.Get("Cookie"); cookie.has_value()) {
+    req.cookies = ParseCookieString(*cookie);
+    headers.Remove("Cookie");
+  }
+  std::optional<std::string> ctype = headers.Get("Content-Type");
+  headers.Remove("Content-Length");
+  if (req.method == Method::kPost && ctype.has_value() &&
+      StartsWith(AsciiToLower(*ctype),
+                 "application/x-www-form-urlencoded")) {
+    req.post_params = ParseQueryString(body);
+    headers.Remove("Content-Type");
+  } else {
+    req.body = body;
+  }
+  req.headers = std::move(headers);
+  return req;
+}
+
+CacheControl HttpResponse::GetCacheControl() const {
+  std::optional<std::string> value = headers.Get("Cache-Control");
+  if (!value.has_value()) return CacheControl();
+  return CacheControl::Parse(*value);
+}
+
+void HttpResponse::SetCacheControl(const CacheControl& cc) {
+  std::string value = cc.ToHeaderValue();
+  if (value.empty()) {
+    headers.Remove("Cache-Control");
+  } else {
+    headers.Set("Cache-Control", value);
+  }
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out =
+      StrCat("HTTP/1.1 ", status_code, " ", ReasonPhrase(status_code),
+             "\r\n");
+  for (const auto& [name, value] : headers.entries()) {
+    out += StrCat(name, ": ", value, "\r\n");
+  }
+  out += StrCat("Content-Length: ", body.size(), "\r\n");
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Result<HttpResponse> HttpResponse::Parse(const std::string& wire) {
+  std::string start_line;
+  HeaderMap headers;
+  std::string body;
+  CACHEPORTAL_RETURN_NOT_OK(SplitMessage(wire, &start_line, &headers, &body));
+  if (!StartsWith(start_line, "HTTP/1.1 ") &&
+      !StartsWith(start_line, "HTTP/1.0 ")) {
+    return Status::ParseError(StrCat("malformed status line: ", start_line));
+  }
+  HttpResponse resp;
+  resp.status_code =
+      static_cast<int>(std::strtol(start_line.c_str() + 9, nullptr, 10));
+  headers.Remove("Content-Length");
+  resp.headers = std::move(headers);
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace cacheportal::http

@@ -1,0 +1,90 @@
+#ifndef CACHEPORTAL_HTTP_MESSAGE_H_
+#define CACHEPORTAL_HTTP_MESSAGE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "http/cache_control.h"
+#include "http/headers.h"
+#include "http/url.h"
+
+namespace cacheportal::http {
+
+/// HTTP request methods used by the library.
+enum class Method { kGet, kPost };
+
+const char* MethodName(Method method);
+
+/// An HTTP request. POST parameters live in the body
+/// (application/x-www-form-urlencoded); cookies in the Cookie header.
+class HttpRequest {
+ public:
+  HttpRequest() = default;
+
+  /// Builds a GET request for the URL "http://host/path?query".
+  static Result<HttpRequest> Get(const std::string& url);
+
+  /// Builds a POST request with form parameters.
+  static Result<HttpRequest> Post(const std::string& url,
+                                  const ParamMap& form);
+
+  Method method = Method::kGet;
+  std::string host;
+  std::string path = "/";  // Without the query string.
+  ParamMap get_params;
+  ParamMap post_params;
+  ParamMap cookies;
+  HeaderMap headers;
+  std::string body;  // Raw body; POST params are serialized into it.
+
+  /// The request's page identity (host, path, and all parameters); the
+  /// sniffer narrows this to key parameters per servlet.
+  PageId ToPageId() const;
+
+  /// Serializes to HTTP/1.1 wire format.
+  std::string Serialize() const;
+
+  /// Parses wire format produced by Serialize (or any conforming request).
+  static Result<HttpRequest> Parse(const std::string& wire);
+};
+
+/// An HTTP response.
+class HttpResponse {
+ public:
+  HttpResponse() = default;
+  HttpResponse(int status, std::string body_text)
+      : status_code(status), body(std::move(body_text)) {}
+
+  static HttpResponse Ok(std::string body_text) {
+    return HttpResponse(200, std::move(body_text));
+  }
+  static HttpResponse NotFound(std::string body_text = "not found") {
+    return HttpResponse(404, std::move(body_text));
+  }
+  static HttpResponse ServerError(std::string body_text = "internal error") {
+    return HttpResponse(500, std::move(body_text));
+  }
+
+  int status_code = 200;
+  HeaderMap headers;
+  std::string body;
+
+  /// Parses the Cache-Control header (empty defaults when absent).
+  CacheControl GetCacheControl() const;
+
+  /// Sets the Cache-Control header from a parsed structure.
+  void SetCacheControl(const CacheControl& cc);
+
+  /// Serializes to HTTP/1.1 wire format.
+  std::string Serialize() const;
+
+  /// Parses wire format.
+  static Result<HttpResponse> Parse(const std::string& wire);
+};
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* ReasonPhrase(int status_code);
+
+}  // namespace cacheportal::http
+
+#endif  // CACHEPORTAL_HTTP_MESSAGE_H_

@@ -1,0 +1,166 @@
+#include "http/url.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace cacheportal::http {
+
+namespace {
+
+bool IsUnreserved(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '_' || c == '.' || c == '~';
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string UrlEncode(const std::string& text) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (IsUnreserved(c)) {
+      out += c;
+    } else {
+      unsigned char u = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    }
+  }
+  return out;
+}
+
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out += ' ';
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               HexDigit(text[i + 1]) >= 0 && HexDigit(text[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(text[i + 1]) * 16 +
+                               HexDigit(text[i + 2]));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+ParamMap ParseQueryString(const std::string& query) {
+  ParamMap params;
+  if (query.empty()) return params;
+  for (const std::string& pair : StrSplit(query, '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      params[UrlDecode(pair)] = "";
+    } else {
+      params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+  return params;
+}
+
+std::string BuildQueryString(const ParamMap& params) {
+  std::string out;
+  for (const auto& [name, value] : params) {
+    if (!out.empty()) out += '&';
+    out += UrlEncode(name);
+    out += '=';
+    out += UrlEncode(value);
+  }
+  return out;
+}
+
+ParamMap ParseCookieString(const std::string& cookies) {
+  ParamMap params;
+  for (const std::string& piece : StrSplit(cookies, ';')) {
+    std::string_view item = StripWhitespace(piece);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      params[std::string(item)] = "";
+    } else {
+      params[std::string(item.substr(0, eq))] =
+          std::string(item.substr(eq + 1));
+    }
+  }
+  return params;
+}
+
+std::string BuildCookieString(const ParamMap& cookies) {
+  std::string out;
+  for (const auto& [name, value] : cookies) {
+    if (!out.empty()) out += "; ";
+    out += name;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::string PageId::CacheKey() const {
+  std::string out = host_;
+  out += path_;
+  out += '?';
+  out += BuildQueryString(get_params_);
+  out += '#';
+  out += BuildQueryString(post_params_);
+  out += '#';
+  out += BuildQueryString(cookie_params_);
+  return out;
+}
+
+Result<PageId> PageId::FromUrl(const std::string& url) {
+  std::string rest = url;
+  size_t scheme = rest.find("://");
+  if (scheme != std::string::npos) rest = rest.substr(scheme + 3);
+  if (rest.empty()) return Status::InvalidArgument("empty URL");
+  size_t slash = rest.find('/');
+  std::string host = slash == std::string::npos ? rest : rest.substr(0, slash);
+  std::string path_query =
+      slash == std::string::npos ? "/" : rest.substr(slash);
+  size_t q = path_query.find('?');
+  PageId id(std::move(host),
+            q == std::string::npos ? path_query : path_query.substr(0, q));
+  if (q != std::string::npos) {
+    id.get_params() = ParseQueryString(path_query.substr(q + 1));
+  }
+  return id;
+}
+
+Result<PageId> PageId::FromCacheKey(const std::string& cache_key) {
+  size_t slash = cache_key.find('/');
+  if (slash == std::string::npos) {
+    return Status::ParseError("cache key has no path");
+  }
+  std::string host = cache_key.substr(0, slash);
+  size_t q = cache_key.find('?', slash);
+  if (q == std::string::npos) {
+    return Status::ParseError("cache key has no '?' separator");
+  }
+  size_t h1 = cache_key.find('#', q);
+  size_t h2 = h1 == std::string::npos ? std::string::npos
+                                      : cache_key.find('#', h1 + 1);
+  if (h1 == std::string::npos || h2 == std::string::npos) {
+    return Status::ParseError("cache key is missing '#' separators");
+  }
+  PageId id(std::move(host), cache_key.substr(slash, q - slash));
+  id.get_params() = ParseQueryString(cache_key.substr(q + 1, h1 - q - 1));
+  id.post_params() = ParseQueryString(cache_key.substr(h1 + 1, h2 - h1 - 1));
+  id.cookie_params() = ParseQueryString(cache_key.substr(h2 + 1));
+  return id;
+}
+
+}  // namespace cacheportal::http

@@ -1,0 +1,82 @@
+#ifndef CACHEPORTAL_HTTP_URL_H_
+#define CACHEPORTAL_HTTP_URL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cacheportal::http {
+
+/// An ordered name -> value parameter map (GET query string, POST form
+/// body, or cookies). Ordering is lexicographic by name so canonical forms
+/// are stable.
+using ParamMap = std::map<std::string, std::string>;
+
+/// Percent-encodes `text` for use in a query string (RFC 3986 unreserved
+/// characters pass through; space becomes %20).
+std::string UrlEncode(const std::string& text);
+
+/// Decodes percent-escapes and '+' (as space). Invalid escapes are passed
+/// through verbatim.
+std::string UrlDecode(const std::string& text);
+
+/// Parses "a=1&b=2" into a ParamMap (later duplicates win).
+ParamMap ParseQueryString(const std::string& query);
+
+/// Serializes a ParamMap back to "a=1&b=2" with percent-encoding.
+std::string BuildQueryString(const ParamMap& params);
+
+/// Parses a "k1=v1; k2=v2" cookie header.
+ParamMap ParseCookieString(const std::string& cookies);
+
+/// Serializes cookies to "k1=v1; k2=v2".
+std::string BuildCookieString(const ParamMap& cookies);
+
+/// The paper's notion of a URL (Section 2.3.1): the identity of a cached
+/// page is the host, the path, and the *key* subset of its GET, POST, and
+/// cookie parameters. Two requests with equal PageIds are served the same
+/// cached page.
+class PageId {
+ public:
+  PageId() = default;
+  PageId(std::string host, std::string path)
+      : host_(std::move(host)), path_(std::move(path)) {}
+
+  const std::string& host() const { return host_; }
+  const std::string& path() const { return path_; }
+
+  ParamMap& get_params() { return get_params_; }
+  const ParamMap& get_params() const { return get_params_; }
+  ParamMap& post_params() { return post_params_; }
+  const ParamMap& post_params() const { return post_params_; }
+  ParamMap& cookie_params() { return cookie_params_; }
+  const ParamMap& cookie_params() const { return cookie_params_; }
+
+  /// Canonical cache-key string:
+  /// host "/" path "?" get "#" post "#" cookies, all percent-encoded and
+  /// sorted by parameter name.
+  std::string CacheKey() const;
+
+  /// Parses a full URL "http://host/path?query" (scheme optional).
+  static Result<PageId> FromUrl(const std::string& url);
+
+  /// Inverse of CacheKey(): reconstructs the page identity from its
+  /// canonical cache-key string (used by the invalidator to address
+  /// eject messages).
+  static Result<PageId> FromCacheKey(const std::string& cache_key);
+
+  bool operator==(const PageId& other) const = default;
+
+ private:
+  std::string host_;
+  std::string path_;  // Always begins with '/'.
+  ParamMap get_params_;
+  ParamMap post_params_;
+  ParamMap cookie_params_;
+};
+
+}  // namespace cacheportal::http
+
+#endif  // CACHEPORTAL_HTTP_URL_H_

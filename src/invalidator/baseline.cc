@@ -1,0 +1,73 @@
+#include "invalidator/baseline.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace cacheportal::invalidator {
+
+namespace {
+
+/// Order-insensitive fingerprint of a result set (a multiset digest):
+/// per-row strings are hashed and the sorted hash list is combined, so
+/// physical row order does not produce false "changes".
+std::string Fingerprint(const db::QueryResult& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const db::Row& row : result.rows) {
+    std::string r;
+    for (const sql::Value& v : row) {
+      r += v.ToSqlLiteral();
+      r += '\x1f';
+    }
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& r : rows) {
+    out += r;
+    out += '\x1e';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BaselineInvalidator::CycleResult> BaselineInvalidator::RunCycle() {
+  CycleResult cycle;
+
+  // Register new instances from the QI/URL map.
+  for (const sniffer::QiUrlEntry& entry : map_->ReadSince(last_map_id_)) {
+    last_map_id_ = std::max(last_map_id_, entry.id);
+    if (snapshots_.contains(entry.query_sql)) continue;
+    Result<std::unique_ptr<sql::SelectStatement>> parsed =
+        sql::Parser::ParseSelect(entry.query_sql);
+    if (!parsed.ok()) continue;  // Untrackable; CachePortal logs the same.
+    Tracked tracked;
+    tracked.statement = std::move(parsed).value();
+    // Snapshot the instance's result as of registration.
+    CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
+                                 database_->ExecuteQuery(*tracked.statement));
+    ++cycle.queries_executed;
+    tracked.result_fingerprint = Fingerprint(result);
+    snapshots_.emplace(entry.query_sql, std::move(tracked));
+  }
+
+  // Re-execute everything and diff.
+  for (auto& [sql_text, tracked] : snapshots_) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
+                                 database_->ExecuteQuery(*tracked.statement));
+    ++cycle.queries_executed;
+    std::string fingerprint = Fingerprint(result);
+    if (fingerprint != tracked.result_fingerprint) {
+      tracked.result_fingerprint = std::move(fingerprint);
+      cycle.changed_instances.insert(sql_text);
+      for (const std::string& page : map_->PagesForQuery(sql_text)) {
+        cycle.stale_pages.insert(page);
+      }
+    }
+  }
+  return cycle;
+}
+
+}  // namespace cacheportal::invalidator

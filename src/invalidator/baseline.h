@@ -1,0 +1,71 @@
+#ifndef CACHEPORTAL_INVALIDATOR_BASELINE_H_
+#define CACHEPORTAL_INVALIDATOR_BASELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "sniffer/qiurl_map.h"
+#include "sql/ast.h"
+
+namespace cacheportal::invalidator {
+
+/// The exact (but expensive) alternative the paper's Section 4 argues
+/// against: re-execute every registered query instance on every
+/// synchronization point and invalidate the pages of instances whose
+/// results changed — equivalent in effect to per-instance materialized
+/// views refreshed inside the DBMS.
+///
+/// It never over- and never under-invalidates, which makes it both the
+/// baseline of the ablation benchmarks and the oracle of the differential
+/// tests: CachePortal's invalidation set must always be a superset of
+/// this one.
+class BaselineInvalidator {
+ public:
+  /// Observes `database` and the sniffer-maintained `map` (not owned).
+  BaselineInvalidator(db::Database* database, sniffer::QiUrlMap* map)
+      : database_(database), map_(map) {}
+
+  BaselineInvalidator(const BaselineInvalidator&) = delete;
+  BaselineInvalidator& operator=(const BaselineInvalidator&) = delete;
+
+  struct CycleResult {
+    /// Instances whose result sets changed since the last cycle.
+    std::set<std::string> changed_instances;
+    /// Cache keys of pages built from those instances.
+    std::set<std::string> stale_pages;
+    /// Queries re-executed this cycle (the DBMS burden).
+    uint64_t queries_executed = 0;
+  };
+
+  /// One cycle: registers new instances from the map, re-executes every
+  /// instance, diffs against the previous snapshot. Does not modify the
+  /// map or any cache — callers act on the result.
+  Result<CycleResult> RunCycle();
+
+  /// Forgets an instance (its pages left the cache).
+  void Forget(const std::string& instance_sql) {
+    snapshots_.erase(instance_sql);
+  }
+
+  size_t tracked_instances() const { return snapshots_.size(); }
+
+ private:
+  struct Tracked {
+    std::unique_ptr<sql::SelectStatement> statement;
+    std::string result_fingerprint;
+  };
+
+  db::Database* database_;
+  sniffer::QiUrlMap* map_;
+  uint64_t last_map_id_ = 0;
+  std::map<std::string, Tracked> snapshots_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_BASELINE_H_

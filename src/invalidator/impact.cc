@@ -1,0 +1,160 @@
+#include "invalidator/impact.h"
+
+#include <optional>
+#include <set>
+
+#include "common/strings.h"
+#include "sql/analyzer.h"
+
+namespace cacheportal::invalidator {
+
+namespace {
+
+using sql::Expression;
+using sql::ExpressionPtr;
+
+/// Builds `left OR right` (null-tolerant).
+ExpressionPtr DisjoinExprs(ExpressionPtr left, ExpressionPtr right) {
+  if (left == nullptr) return right;
+  if (right == nullptr) return left;
+  return std::make_unique<sql::BinaryExpr>(sql::BinaryOp::kOr,
+                                           std::move(left), std::move(right));
+}
+
+/// Builds the polling query for a residual condition: SELECT 1 FROM the
+/// FROM entries still referenced by the residual WHERE residual LIMIT 1.
+std::unique_ptr<sql::SelectStatement> BuildPollingQuery(
+    const sql::SelectStatement& query, const std::string& removed_alias,
+    ExpressionPtr residual) {
+  auto poll = std::make_unique<sql::SelectStatement>();
+  sql::SelectItem item;
+  item.expr = std::make_unique<sql::LiteralExpr>(sql::Value::Int(1));
+  item.alias = "hit";
+  poll->items.push_back(std::move(item));
+
+  // Keep FROM entries referenced by the residual; if the residual
+  // references nothing (shouldn't happen), keep all but the removed one.
+  std::set<std::string> referenced;
+  if (residual != nullptr) {
+    for (const std::string& t : sql::CollectTables(*residual)) {
+      referenced.insert(AsciiToLower(t));
+    }
+  }
+  for (const sql::TableRef& ref : query.from) {
+    if (EqualsIgnoreCase(ref.EffectiveName(), removed_alias)) continue;
+    if (referenced.empty() ||
+        referenced.contains(AsciiToLower(ref.EffectiveName()))) {
+      poll->from.push_back(ref);
+    }
+  }
+  poll->where = std::move(residual);
+  poll->limit = 1;
+  return poll;
+}
+
+}  // namespace
+
+Result<ImpactResult> ImpactAnalyzer::AnalyzeTuple(
+    const sql::SelectStatement& query, const std::string& table,
+    const db::Row& tuple) const {
+  return AnalyzeDelta(query, table, {tuple});
+}
+
+Result<ImpactResult> ImpactAnalyzer::AnalyzeDelta(
+    const sql::SelectStatement& query, const std::string& table,
+    const std::vector<db::Row>& tuples) const {
+  ImpactResult result;
+  if (tuples.empty()) return result;  // kUnaffected.
+
+  // FROM occurrences of the updated table.
+  std::vector<const sql::TableRef*> occurrences;
+  for (const sql::TableRef& ref : query.from) {
+    if (EqualsIgnoreCase(ref.table, table)) occurrences.push_back(&ref);
+  }
+  if (occurrences.empty()) return result;  // kUnaffected.
+
+  const db::Table* updated = database_->FindTable(table);
+  if (updated == nullptr) {
+    return Status::NotFound(StrCat("table ", table));
+  }
+  const db::TableSchema& schema = updated->schema();
+  for (const db::Row& tuple : tuples) {
+    CACHEPORTAL_RETURN_NOT_OK(schema.ValidateRow(tuple));
+  }
+
+  // A query without a WHERE clause returns every tuple: any insert or
+  // delete on a FROM table affects it (for single-table queries exactly;
+  // for products, conservatively).
+  if (query.where == nullptr) {
+    result.kind = ImpactKind::kAffected;
+    return result;
+  }
+
+  // Qualify unqualified columns so substitution is by (alias, column).
+  auto owner_of =
+      [&](const std::string& column) -> std::optional<std::string> {
+    std::optional<std::string> owner;
+    for (const sql::TableRef& ref : query.from) {
+      const db::Table* t = database_->FindTable(ref.table);
+      if (t == nullptr) continue;
+      if (t->schema().ColumnIndex(column).has_value()) {
+        if (owner.has_value()) return std::nullopt;  // Ambiguous.
+        owner = ref.EffectiveName();
+      }
+    }
+    return owner;
+  };
+  ExpressionPtr qualified = sql::QualifyColumns(*query.where, owner_of);
+
+  // Per-occurrence, per-tuple substitution. Verdicts combine as:
+  // any TRUE -> affected outright; any residual -> needs polling (residuals
+  // are OR-ed per occurrence); all FALSE/NULL -> unaffected.
+  ExpressionPtr combined_residual;
+  std::string residual_alias;
+  for (const sql::TableRef* occ : occurrences) {
+    for (const db::Row& tuple : tuples) {
+      auto substituter =
+          [&](const std::string& tbl,
+              const std::string& col) -> std::optional<sql::Value> {
+        if (!EqualsIgnoreCase(tbl, occ->EffectiveName())) {
+          return std::nullopt;
+        }
+        std::optional<size_t> idx = schema.ColumnIndex(col);
+        if (!idx.has_value()) return std::nullopt;
+        return tuple[*idx];
+      };
+      ExpressionPtr substituted =
+          sql::SubstituteColumns(*qualified, substituter);
+      sql::FoldResult folded = sql::FoldConstants(*substituted);
+      switch (folded.outcome) {
+        case sql::FoldOutcome::kTrue:
+          result.kind = ImpactKind::kAffected;
+          return result;
+        case sql::FoldOutcome::kFalse:
+        case sql::FoldOutcome::kNull:
+          continue;  // This tuple cannot satisfy the condition.
+        case sql::FoldOutcome::kResidual:
+          if (!combined_residual) residual_alias = occ->EffectiveName();
+          if (EqualsIgnoreCase(residual_alias, occ->EffectiveName())) {
+            combined_residual = DisjoinExprs(std::move(combined_residual),
+                                             std::move(folded.residual));
+          } else {
+            // Residuals against different aliases cannot share one
+            // polling query; be conservative.
+            result.kind = ImpactKind::kAffected;
+            return result;
+          }
+          break;
+      }
+    }
+  }
+
+  if (combined_residual == nullptr) return result;  // kUnaffected.
+
+  result.kind = ImpactKind::kNeedsPolling;
+  result.polling_query = BuildPollingQuery(query, residual_alias,
+                                           std::move(combined_residual));
+  return result;
+}
+
+}  // namespace cacheportal::invalidator

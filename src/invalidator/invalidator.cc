@@ -1,0 +1,372 @@
+#include "invalidator/invalidator.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "db/delta.h"
+#include "sql/printer.h"
+
+namespace cacheportal::invalidator {
+
+Invalidator::Invalidator(db::Database* database, sniffer::QiUrlMap* map,
+                         const Clock* clock, InvalidatorOptions options)
+    : database_(database),
+      map_(map),
+      clock_(clock),
+      options_(options),
+      info_(database),
+      scheduler_(options.max_polls_per_cycle) {
+  policy_.SetThresholds(options_.thresholds);
+  if (options_.polling_cache_capacity > 0) {
+    polling_cache_ = std::make_unique<PollingDataCache>(
+        database_, options_.polling_cache_capacity);
+  }
+  // Attach at the database's current position: updates that committed
+  // before CachePortal was deployed predate every cached page.
+  last_update_seq_ = database_->update_log().LastSeq();
+}
+
+void Invalidator::AddSink(InvalidationSink* sink) { sinks_.push_back(sink); }
+
+Status Invalidator::RegisterQueryType(const std::string& name,
+                                      const std::string& parameterized_sql) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(uint64_t id,
+                               registry_.RegisterType(name,
+                                                      parameterized_sql));
+  (void)id;
+  return Status::OK();
+}
+
+Status Invalidator::CreateJoinIndex(const std::string& table,
+                                    const std::string& column) {
+  return info_.CreateJoinIndex(table, column);
+}
+
+bool Invalidator::IsQuerySqlCacheable(const std::string& sql_text) const {
+  const QueryInstance* instance = registry_.FindInstance(sql_text);
+  uint64_t type_id = 0;
+  if (instance != nullptr) {
+    type_id = instance->type_id;
+  } else {
+    // The instance may have been retired with its pages; its query type
+    // (and the type's policy verdict) outlives it.
+    Result<sql::QueryTemplate> tmpl = sql::ExtractTemplateFromSql(sql_text);
+    if (!tmpl.ok()) return true;  // Unknown queries default to yes.
+    type_id = tmpl->type_id;
+  }
+  const QueryType* type = registry_.FindType(type_id);
+  if (type == nullptr) return true;
+  return type->cacheable;
+}
+
+std::string Invalidator::StatsReport() const {
+  std::string out = StrCat(
+      "invalidator: cycles=", stats_.cycles,
+      " updates=", stats_.updates_processed,
+      " checks=", stats_.instance_checks,
+      " affected=", stats_.affected_immediately,
+      " unaffected=", stats_.unaffected, " polls=", stats_.polls_issued,
+      " idx-answered=", stats_.polls_answered_by_index,
+      " poll-hits=", stats_.poll_hits,
+      " conservative=", stats_.conservative_invalidations,
+      " pages-invalidated=", stats_.pages_invalidated, "\n");
+  for (const QueryType* type : registry_.Types()) {
+    const QueryTypeStats& ts = type->stats;
+    out += StrCat("  type '", type->name, "'",
+                  type->cacheable ? "" : " [non-cacheable]",
+                  ": instances=", ts.instances_seen, " checks=", ts.checks,
+                  " affected=", ts.affected, " polls=", ts.polling_queries,
+                  " inval-ratio=", ts.InvalidationRatio(),
+                  " avg-time-us=", ts.AvgInvalidationTime(),
+                  " max-time-us=", ts.max_invalidation_time, "\n");
+  }
+  return out;
+}
+
+Status Invalidator::InvalidateInstancePages(const std::string& instance_sql,
+                                            std::set<std::string>* pages_done,
+                                            uint64_t* pages_invalidated) {
+  for (const std::string& page_key : map_->PagesForQuery(instance_sql)) {
+    if (!pages_done->insert(page_key).second) continue;
+
+    // Build the eject message: a normal HTTP request addressed at the
+    // page, carrying the Cache-Control: eject extension (Section 4.2.4).
+    Result<http::PageId> id = http::PageId::FromCacheKey(page_key);
+    http::HttpRequest message;
+    if (id.ok()) {
+      message.method = http::Method::kGet;
+      message.host = id->host();
+      message.path = id->path();
+      message.get_params = id->get_params();
+      message.post_params = id->post_params();
+      message.cookies = id->cookie_params();
+    } else {
+      LogMessage(LogLevel::kWarning,
+                 StrCat("unparseable cache key '", page_key,
+                        "': ", id.status().ToString()));
+    }
+    http::CacheControl cc;
+    cc.eject = true;
+    message.headers.Set("Cache-Control", cc.ToHeaderValue());
+
+    for (InvalidationSink* sink : sinks_) {
+      sink->SendInvalidation(message, page_key);
+      ++stats_.messages_sent;
+    }
+    ++*pages_invalidated;
+    ++stats_.pages_invalidated;
+
+    // Retire every other instance that fed this page: its rows leave the
+    // map with the page. (Instances left without pages are unregistered
+    // below.)
+    map_->RemovePage(page_key);
+  }
+  if (map_->PagesForQuery(instance_sql).empty()) {
+    registry_.UnregisterInstance(instance_sql);
+  }
+  return Status::OK();
+}
+
+Result<CycleReport> Invalidator::RunCycle() {
+  CycleReport report;
+  Micros start = clock_->NowMicros();
+  ++stats_.cycles;
+
+  // ---- Registration module, online mode: scan the QI/URL map. ----
+  for (const sniffer::QiUrlEntry& entry : map_->ReadSince(last_map_id_)) {
+    last_map_id_ = std::max(last_map_id_, entry.id);
+    Result<const QueryInstance*> instance =
+        registry_.RegisterInstance(entry.query_sql);
+    if (!instance.ok()) {
+      // Unparseable query: nothing we can safely track. Drop its pages
+      // from consideration (they were cached under a query we cannot
+      // invalidate — treat as immediately suspect).
+      LogMessage(LogLevel::kWarning,
+                 StrCat("cannot register query instance: ",
+                        instance.status().ToString()));
+      continue;
+    }
+    ++report.new_instances;
+    ++stats_.instances_registered;
+  }
+
+  // ---- Invalidation module: pull the update log. ----
+  std::vector<db::UpdateRecord> records =
+      database_->update_log().ReadSince(last_update_seq_);
+  if (!records.empty()) last_update_seq_ = records.back().seq;
+  report.updates = records.size();
+  stats_.updates_processed += records.size();
+
+  if (records.empty()) {
+    report.duration = clock_->NowMicros() - start;
+    return report;
+  }
+
+  db::DeltaSet deltas = db::DeltaSet::FromRecords(records);
+  // The internal polling cache must not serve results that predate this
+  // batch: drop everything reading an updated table first.
+  if (polling_cache_ != nullptr) polling_cache_->Synchronize(deltas);
+  // Keep the information manager's auxiliary structures current *after*
+  // analysis would be wrong for deletes (the index must reflect the state
+  // including this batch for inserts when answering polls). The paper's
+  // daemon applies the same update stream it analyzes; we apply before
+  // answering polls so index answers match the database state the polls
+  // would see.
+  info_.ApplyDeltas(deltas);
+
+  ImpactAnalyzer analyzer(database_);
+  std::set<std::string> affected_instances;
+  std::vector<PollingTask> tasks;
+
+  // Analyze instances grouped by query type (Section 4.1.2's grouping).
+  for (const QueryType* type : registry_.Types()) {
+    for (const QueryInstance* instance :
+         registry_.InstancesOfType(type->type_id)) {
+      if (affected_instances.contains(instance->sql)) continue;
+      if (map_->PagesForQuery(instance->sql).empty()) {
+        // All pages built from this instance already left the cache
+        // (evicted or invalidated through another instance): retire it.
+        std::string sql_copy = instance->sql;
+        registry_.UnregisterInstance(sql_copy);
+        continue;
+      }
+      Micros check_start = clock_->NowMicros();
+      bool checked = false;
+      bool affected = false;
+      std::vector<std::unique_ptr<sql::SelectStatement>> polls;
+
+      // Soundness guard: polling queries run against the post-update
+      // database. If one batch touched two or more of this query's FROM
+      // relations, a poll can miss impacts (e.g. both join partners
+      // deleted together), so invalidate conservatively instead.
+      int from_tables_with_deltas = 0;
+      for (const sql::TableRef& ref : instance->statement->from) {
+        if (!deltas.ForTable(ref.table).empty()) ++from_tables_with_deltas;
+      }
+      if (from_tables_with_deltas >= 2) {
+        ++report.checks;
+        ++stats_.instance_checks;
+        ++stats_.affected_immediately;
+        if (QueryType* mt = registry_.FindType(type->type_id);
+            mt != nullptr) {
+          ++mt->stats.checks;
+          ++mt->stats.affected;
+        }
+        affected_instances.insert(instance->sql);
+        continue;
+      }
+
+      for (const std::string& table : deltas.Tables()) {
+        const db::TableDelta& delta = deltas.ForTable(table);
+        std::vector<db::Row> tuples = delta.inserts;
+        tuples.insert(tuples.end(), delta.deletes.begin(),
+                      delta.deletes.end());
+        if (tuples.empty()) continue;
+        checked = true;
+
+        if (options_.batch_deltas) {
+          CACHEPORTAL_ASSIGN_OR_RETURN(
+              ImpactResult impact,
+              analyzer.AnalyzeDelta(*instance->statement, table, tuples));
+          if (impact.kind == ImpactKind::kAffected) {
+            affected = true;
+            break;
+          }
+          if (impact.kind == ImpactKind::kNeedsPolling) {
+            polls.push_back(std::move(impact.polling_query));
+          }
+        } else {
+          for (const db::Row& tuple : tuples) {
+            CACHEPORTAL_ASSIGN_OR_RETURN(
+                ImpactResult impact,
+                analyzer.AnalyzeTuple(*instance->statement, table, tuple));
+            if (impact.kind == ImpactKind::kAffected) {
+              affected = true;
+              break;
+            }
+            if (impact.kind == ImpactKind::kNeedsPolling) {
+              polls.push_back(std::move(impact.polling_query));
+            }
+          }
+          if (affected) break;
+        }
+      }
+
+      if (!checked) continue;
+      ++report.checks;
+      ++stats_.instance_checks;
+      QueryType* mutable_type = registry_.FindType(type->type_id);
+      Micros check_time = clock_->NowMicros() - check_start;
+      if (mutable_type != nullptr) {
+        QueryTypeStats& ts = mutable_type->stats;
+        ++ts.checks;
+        ts.total_invalidation_time += check_time;
+        ts.max_invalidation_time =
+            std::max(ts.max_invalidation_time, check_time);
+      }
+
+      if (affected) {
+        affected_instances.insert(instance->sql);
+        ++stats_.affected_immediately;
+        if (mutable_type != nullptr) ++mutable_type->stats.affected;
+        continue;
+      }
+      if (polls.empty()) {
+        ++stats_.unaffected;
+        continue;
+      }
+      // Try the information manager's indexes before scheduling DBMS
+      // polls.
+      bool decided = false;
+      bool any_hit = false;
+      std::vector<std::unique_ptr<sql::SelectStatement>> remaining;
+      for (auto& poll : polls) {
+        std::optional<bool> answer = info_.AnswerPoll(*poll);
+        if (answer.has_value()) {
+          ++stats_.polls_answered_by_index;
+          ++report.polls_answered_by_index;
+          if (*answer) {
+            any_hit = true;
+            decided = true;
+            break;
+          }
+        } else {
+          remaining.push_back(std::move(poll));
+        }
+      }
+      if (decided && any_hit) {
+        affected_instances.insert(instance->sql);
+        if (mutable_type != nullptr) ++mutable_type->stats.affected;
+        continue;
+      }
+      if (remaining.empty()) {
+        ++stats_.unaffected;
+        continue;
+      }
+      for (auto& poll : remaining) {
+        PollingTask task;
+        task.instance_sql = instance->sql;
+        task.query = std::move(poll);
+        task.deadline = start + options_.cycle_deadline;
+        task.affected_pages = map_->PagesForQuery(instance->sql).size();
+        tasks.push_back(std::move(task));
+        if (mutable_type != nullptr) ++mutable_type->stats.polling_queries;
+      }
+    }
+  }
+
+  // ---- Schedule and execute polling queries. ----
+  InvalidationScheduler::Schedule schedule = scheduler_.Build(std::move(tasks));
+  for (PollingTask& task : schedule.to_poll) {
+    if (affected_instances.contains(task.instance_sql)) continue;
+    std::string poll_sql = sql::StatementToSql(*task.query);
+    ++stats_.polls_issued;
+    ++report.polls_issued;
+    server::Connection* poll_target = polling_connection_;
+    if (poll_target == nullptr) poll_target = polling_cache_.get();
+    Result<db::QueryResult> result =
+        poll_target != nullptr ? poll_target->ExecuteQuery(poll_sql)
+                               : database_->ExecuteSql(poll_sql);
+    if (!result.ok()) {
+      // A failed poll must not leak staleness: invalidate conservatively.
+      LogMessage(LogLevel::kWarning,
+                 StrCat("polling query failed (", result.status().ToString(),
+                        "); invalidating conservatively"));
+      affected_instances.insert(task.instance_sql);
+      ++stats_.conservative_invalidations;
+      ++report.conservative_invalidations;
+      continue;
+    }
+    if (!result->rows.empty()) {
+      ++stats_.poll_hits;
+      affected_instances.insert(task.instance_sql);
+    }
+  }
+  for (PollingTask& task : schedule.conservative) {
+    if (affected_instances.insert(task.instance_sql).second) {
+      ++stats_.conservative_invalidations;
+      ++report.conservative_invalidations;
+    }
+  }
+
+  // ---- Generate invalidation messages. ----
+  report.affected_instances = affected_instances.size();
+  std::set<std::string> pages_done;
+  for (const std::string& instance_sql : affected_instances) {
+    CACHEPORTAL_RETURN_NOT_OK(InvalidateInstancePages(
+        instance_sql, &pages_done, &report.pages_invalidated));
+  }
+
+  // ---- Policy discovery: refresh cacheability verdicts. ----
+  for (const QueryType* type : registry_.Types()) {
+    QueryType* mutable_type = registry_.FindType(type->type_id);
+    mutable_type->cacheable = policy_.IsQueryTypeCacheable(*mutable_type);
+  }
+
+  report.duration = clock_->NowMicros() - start;
+  return report;
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,179 @@
+#ifndef CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_
+#define CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "http/message.h"
+#include "invalidator/impact.h"
+#include "invalidator/info_manager.h"
+#include "invalidator/policy.h"
+#include "invalidator/polling_cache.h"
+#include "invalidator/registry.h"
+#include "invalidator/scheduler.h"
+#include "server/jdbc.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal::invalidator {
+
+/// Receives the invalidation messages the invalidator generates
+/// (Section 4.2.4). The message is a normal HTTP request carrying
+/// `Cache-Control: eject`; `cache_key` is the addressed page's canonical
+/// identity. core::PageCacheSink adapts a cache::PageCache.
+class InvalidationSink {
+ public:
+  virtual ~InvalidationSink() = default;
+
+  virtual void SendInvalidation(const http::HttpRequest& eject_message,
+                                const std::string& cache_key) = 0;
+};
+
+/// Tunables of the invalidation process.
+struct InvalidatorOptions {
+  /// Group a delta's tuples into one batched analysis / polling query per
+  /// (instance, table) — the paper's group processing. When false every
+  /// tuple is analyzed and polled separately (the ablation baseline).
+  bool batch_deltas = true;
+  /// Per-cycle polling budget; instances beyond it are invalidated
+  /// conservatively. 0 = unlimited.
+  size_t max_polls_per_cycle = 0;
+  /// Deadline granted to each cycle's invalidations (only orders polling;
+  /// the cycle always completes).
+  Micros cycle_deadline = kMicrosPerSecond;
+  /// When > 0, the invalidator maintains an internal data cache of this
+  /// capacity for its polling queries (Section 2.2) instead of hitting
+  /// the DBMS for every poll. Ignored while SetPollingConnection() has
+  /// installed an external connection.
+  size_t polling_cache_capacity = 0;
+  /// Thresholds for discovered (self-tuning) cacheability policies.
+  PolicyThresholds thresholds;
+};
+
+/// Lifetime counters for the whole invalidator.
+struct InvalidatorStats {
+  uint64_t cycles = 0;
+  uint64_t updates_processed = 0;       // Update-log records consumed.
+  uint64_t instances_registered = 0;    // From QI/URL map scans.
+  uint64_t instance_checks = 0;         // (instance, delta) analyses.
+  uint64_t affected_immediately = 0;    // Decided without polling.
+  uint64_t unaffected = 0;
+  uint64_t polls_issued = 0;            // Polling queries sent to the DBMS.
+  uint64_t polls_answered_by_index = 0; // Avoided via join indexes.
+  uint64_t poll_hits = 0;               // Polls that confirmed impact.
+  uint64_t conservative_invalidations = 0;  // Budget exceeded.
+  uint64_t pages_invalidated = 0;
+  uint64_t messages_sent = 0;
+};
+
+/// Per-cycle summary returned by RunCycle.
+struct CycleReport {
+  uint64_t updates = 0;
+  uint64_t new_instances = 0;
+  uint64_t checks = 0;
+  uint64_t affected_instances = 0;
+  uint64_t polls_issued = 0;
+  uint64_t polls_answered_by_index = 0;
+  uint64_t conservative_invalidations = 0;
+  uint64_t pages_invalidated = 0;
+  Micros duration = 0;
+};
+
+/// The CachePortal invalidator (Section 4): registration module (query
+/// type registration + discovery from the QI/URL map), information
+/// management module (policies, statistics, join indexes), and the
+/// invalidation module (update processing into Δ-tables, impact analysis,
+/// polling-query scheduling/generation, and invalidation message
+/// generation). It runs entirely outside the web server, application
+/// server, and DBMS, synchronizing by polling their logs.
+class Invalidator {
+ public:
+  /// Observes `database`'s update log and the sniffer-maintained `map`.
+  /// Nothing is owned; everything must outlive the invalidator.
+  Invalidator(db::Database* database, sniffer::QiUrlMap* map,
+              const Clock* clock, InvalidatorOptions options = {});
+
+  Invalidator(const Invalidator&) = delete;
+  Invalidator& operator=(const Invalidator&) = delete;
+
+  /// Adds a cache to notify (not owned).
+  void AddSink(InvalidationSink* sink);
+
+  /// Directs polling queries to `connection` instead of the observed
+  /// database — e.g. a middle-tier data cache maintained for the
+  /// invalidator. Pass nullptr to return to direct execution.
+  void SetPollingConnection(server::Connection* connection) {
+    polling_connection_ = connection;
+  }
+
+  /// Offline registration mode (Section 4.1.1): declare a query type.
+  Status RegisterQueryType(const std::string& name,
+                           const std::string& parameterized_sql);
+
+  /// Registers a hard invalidation policy rule (Section 4.1.3).
+  void AddPolicyRule(PolicyRule rule) { policy_.AddRule(std::move(rule)); }
+
+  /// Maintains a join index on `table`.`column` for index-answered polls.
+  Status CreateJoinIndex(const std::string& table, const std::string& column);
+
+  /// One synchronization cycle: scan the QI/URL map for new query
+  /// instances, pull new update-log records, analyze, poll, and send
+  /// invalidation messages.
+  Result<CycleReport> RunCycle();
+
+  /// Cacheability verdict for a query instance's SQL (feedback consumed
+  /// by the sniffer's servlet wrapper).
+  bool IsQuerySqlCacheable(const std::string& sql) const;
+
+  /// Update-log position this invalidator has consumed up to; the log
+  /// owner may Truncate() everything at or below it once all other
+  /// consumers are past it too.
+  uint64_t consumed_update_seq() const { return last_update_seq_; }
+
+  const QueryTypeRegistry& registry() const { return registry_; }
+  const PolicyEngine& policy() const { return policy_; }
+  const InformationManager& info() const { return info_; }
+  /// The internal polling data cache, or nullptr when not configured.
+  const PollingDataCache* polling_cache() const {
+    return polling_cache_.get();
+  }
+  const InvalidatorStats& stats() const { return stats_; }
+  const InvalidatorOptions& options() const { return options_; }
+
+  /// Human-readable dump of the lifetime counters and the per-query-type
+  /// statistics the information management module maintains
+  /// (Section 4.3) — for operators and the examples.
+  std::string StatsReport() const;
+
+ private:
+  /// Sends eject messages for every page of `instance_sql` and retires
+  /// the instance. `pages_done` dedupes pages across instances.
+  Status InvalidateInstancePages(const std::string& instance_sql,
+                                 std::set<std::string>* pages_done,
+                                 uint64_t* pages_invalidated);
+
+  db::Database* database_;
+  sniffer::QiUrlMap* map_;
+  const Clock* clock_;
+  InvalidatorOptions options_;
+
+  QueryTypeRegistry registry_;
+  PolicyEngine policy_;
+  InformationManager info_;
+  InvalidationScheduler scheduler_;
+  std::vector<InvalidationSink*> sinks_;
+  server::Connection* polling_connection_ = nullptr;
+  std::unique_ptr<PollingDataCache> polling_cache_;
+
+  uint64_t last_update_seq_ = 0;
+  uint64_t last_map_id_ = 0;
+  InvalidatorStats stats_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_

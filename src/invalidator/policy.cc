@@ -1,0 +1,40 @@
+#include "invalidator/policy.h"
+
+namespace cacheportal::invalidator {
+
+void PolicyEngine::AddRule(PolicyRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool PolicyEngine::IsQueryTypeCacheable(const QueryType& type) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.kind == PolicyRule::Kind::kQueryBased &&
+        rule.target == type.name) {
+      return rule.cacheable;
+    }
+  }
+  const QueryTypeStats& stats = type.stats;
+  if (stats.checks >= thresholds_.min_checks) {
+    if (thresholds_.max_invalidation_ratio < 1.0 &&
+        stats.InvalidationRatio() > thresholds_.max_invalidation_ratio) {
+      return false;
+    }
+    if (thresholds_.max_processing_time > 0 &&
+        stats.AvgInvalidationTime() > thresholds_.max_processing_time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PolicyEngine::IsServletCacheable(const std::string& servlet_name) const {
+  for (const PolicyRule& rule : rules_) {
+    if (rule.kind == PolicyRule::Kind::kRequestBased &&
+        rule.target == servlet_name) {
+      return rule.cacheable;
+    }
+  }
+  return true;
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,65 @@
+#ifndef CACHEPORTAL_INVALIDATOR_POLICY_H_
+#define CACHEPORTAL_INVALIDATOR_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "invalidator/registry.h"
+
+namespace cacheportal::invalidator {
+
+/// A hard-coded invalidation policy rule (Section 4.1.3), either
+/// query-type-based or request(servlet)-based, registered by a domain
+/// expert: the named target is forced cacheable or non-cacheable.
+struct PolicyRule {
+  enum class Kind { kQueryBased, kRequestBased };
+  Kind kind = Kind::kQueryBased;
+  std::string target;      // Query type name or servlet name.
+  bool cacheable = false;  // The forced verdict.
+};
+
+/// Self-tuning thresholds for policy discovery (Section 4.1.4): a query
+/// type becomes non-cacheable when maintaining its pages stops paying off.
+struct PolicyThresholds {
+  /// Max fraction of instance checks that invalidate; a type whose
+  /// updates invalidate more than this share of its instances is not
+  /// worth caching. 1.0 disables the rule.
+  double max_invalidation_ratio = 1.0;
+  /// Max average invalidation-processing time per check; 0 disables.
+  Micros max_processing_time = 0;
+  /// Minimum number of checks before the discovered rules kick in (avoid
+  /// reacting to noise).
+  uint64_t min_checks = 10;
+};
+
+/// Decides cacheability from hard-coded rules plus discovered statistics.
+class PolicyEngine {
+ public:
+  PolicyEngine() = default;
+
+  void AddRule(PolicyRule rule);
+  void SetThresholds(const PolicyThresholds& thresholds) {
+    thresholds_ = thresholds;
+  }
+  const PolicyThresholds& thresholds() const { return thresholds_; }
+
+  /// Verdict for a query type: a matching hard rule wins; otherwise the
+  /// statistics are compared against the thresholds.
+  bool IsQueryTypeCacheable(const QueryType& type) const;
+
+  /// Verdict for a servlet: only hard request-based rules apply (default
+  /// cacheable).
+  bool IsServletCacheable(const std::string& servlet_name) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::vector<PolicyRule> rules_;
+  PolicyThresholds thresholds_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_POLICY_H_

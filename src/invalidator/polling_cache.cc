@@ -1,0 +1,28 @@
+#include "invalidator/polling_cache.h"
+
+#include "sql/parser.h"
+
+namespace cacheportal::invalidator {
+
+Result<db::QueryResult> PollingDataCache::ExecuteQuery(
+    const std::string& sql) {
+  if (std::optional<db::QueryResult> hit = cache_.Lookup(sql);
+      hit.has_value()) {
+    return *hit;
+  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(auto select, sql::Parser::ParseSelect(sql));
+  CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
+                               database_->ExecuteQuery(*select));
+  std::vector<std::string> tables;
+  tables.reserve(select->from.size());
+  for (const sql::TableRef& ref : select->from) tables.push_back(ref.table);
+  cache_.Store(sql, result, tables);
+  return result;
+}
+
+Result<int64_t> PollingDataCache::ExecuteUpdate(const std::string& /*sql*/) {
+  return Status::NotSupported(
+      "the invalidator's polling connection is read-only");
+}
+
+}  // namespace cacheportal::invalidator

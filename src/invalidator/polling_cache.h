@@ -1,0 +1,53 @@
+#ifndef CACHEPORTAL_INVALIDATOR_POLLING_CACHE_H_
+#define CACHEPORTAL_INVALIDATOR_POLLING_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/data_cache.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/delta.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::invalidator {
+
+/// A middle-tier data cache maintained by the invalidator for its polling
+/// queries (Section 2.2: "in order to reduce the load on the DBMS,
+/// [polling queries can be directed] to a middle-tier data cache
+/// maintained by the invalidator").
+///
+/// It is a server::Connection, so it plugs straight into
+/// Invalidator::SetPollingConnection(). Repeated polling queries within a
+/// synchronization interval are answered from the cache; Synchronize()
+/// must be called with each interval's deltas to drop results reading
+/// updated tables (otherwise polls would see stale data and the
+/// invalidator could leak staleness).
+class PollingDataCache : public server::Connection {
+ public:
+  /// Polls fall through to `database` on cache misses (not owned).
+  /// `capacity` bounds the number of cached results.
+  PollingDataCache(db::Database* database, size_t capacity)
+      : database_(database), cache_(capacity) {}
+
+  // server::Connection:
+  Result<db::QueryResult> ExecuteQuery(const std::string& sql) override;
+  Result<int64_t> ExecuteUpdate(const std::string& sql) override;
+
+  /// Applies one synchronization interval's deltas: every cached result
+  /// reading an updated table is dropped. Returns results dropped.
+  size_t Synchronize(const db::DeltaSet& deltas) {
+    return cache_.Synchronize(deltas);
+  }
+
+  const cache::DataCacheStats& stats() const { return cache_.stats(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  db::Database* database_;
+  cache::DataCache cache_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_POLLING_CACHE_H_

@@ -1,0 +1,96 @@
+#include "invalidator/registry.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace cacheportal::invalidator {
+
+Result<uint64_t> QueryTypeRegistry::RegisterType(
+    const std::string& name, const std::string& parameterized_sql) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(auto select,
+                               sql::Parser::ParseSelect(parameterized_sql));
+  // Canonicalize through the template machinery so offline-declared types
+  // collide with discovered ones. ExtractTemplate renumbers parameters and
+  // leaves the structure intact.
+  CACHEPORTAL_ASSIGN_OR_RETURN(sql::QueryTemplate tmpl,
+                               sql::ExtractTemplate(*select));
+  auto it = types_.find(tmpl.type_id);
+  if (it != types_.end()) {
+    if (it->second.name.empty()) it->second.name = name;
+    return it->first;
+  }
+  QueryType type;
+  type.type_id = tmpl.type_id;
+  type.name = name;
+  type.tmpl = std::move(tmpl);
+  uint64_t id = type.type_id;
+  types_.emplace(id, std::move(type));
+  return id;
+}
+
+Result<const QueryInstance*> QueryTypeRegistry::RegisterInstance(
+    const std::string& sql_text) {
+  auto existing = instances_.find(sql_text);
+  if (existing != instances_.end()) return &existing->second;
+
+  CACHEPORTAL_ASSIGN_OR_RETURN(auto select,
+                               sql::Parser::ParseSelect(sql_text));
+  CACHEPORTAL_ASSIGN_OR_RETURN(sql::QueryTemplate tmpl,
+                               sql::ExtractTemplate(*select));
+  auto type_it = types_.find(tmpl.type_id);
+  if (type_it == types_.end()) {
+    // Query type discovery (Section 4.1.2).
+    QueryType type;
+    type.type_id = tmpl.type_id;
+    type.name = StrCat("discovered-", types_.size() + 1);
+    type.tmpl = tmpl.Clone();
+    type_it = types_.emplace(type.type_id, std::move(type)).first;
+  }
+  type_it->second.stats.instances_seen++;
+
+  QueryInstance instance;
+  instance.sql = sql_text;
+  instance.type_id = tmpl.type_id;
+  instance.statement = std::move(select);
+  auto [it, inserted] = instances_.emplace(sql_text, std::move(instance));
+  (void)inserted;
+  return &it->second;
+}
+
+void QueryTypeRegistry::UnregisterInstance(const std::string& sql_text) {
+  instances_.erase(sql_text);
+}
+
+const QueryType* QueryTypeRegistry::FindType(uint64_t type_id) const {
+  auto it = types_.find(type_id);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+QueryType* QueryTypeRegistry::FindType(uint64_t type_id) {
+  auto it = types_.find(type_id);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+const QueryInstance* QueryTypeRegistry::FindInstance(
+    const std::string& sql_text) const {
+  auto it = instances_.find(sql_text);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+std::vector<const QueryType*> QueryTypeRegistry::Types() const {
+  std::vector<const QueryType*> out;
+  out.reserve(types_.size());
+  for (const auto& [id, type] : types_) out.push_back(&type);
+  return out;
+}
+
+std::vector<const QueryInstance*> QueryTypeRegistry::InstancesOfType(
+    uint64_t type_id) const {
+  std::vector<const QueryInstance*> out;
+  for (const auto& [sql_text, instance] : instances_) {
+    if (instance.type_id == type_id) out.push_back(&instance);
+  }
+  return out;
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,99 @@
+#ifndef CACHEPORTAL_INVALIDATOR_REGISTRY_H_
+#define CACHEPORTAL_INVALIDATOR_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "sql/template.h"
+
+namespace cacheportal::invalidator {
+
+/// Self-tuning statistics kept per query type (Section 4.1.1): how often
+/// instances are seen, how often updates invalidate them, and how long
+/// invalidation processing takes.
+struct QueryTypeStats {
+  uint64_t instances_seen = 0;      // Query instances registered.
+  uint64_t checks = 0;              // (instance, update-batch) analyses.
+  uint64_t affected = 0;            // Analyses that invalidated.
+  uint64_t polling_queries = 0;     // Polls issued for this type.
+  Micros total_invalidation_time = 0;
+  Micros max_invalidation_time = 0;
+
+  /// Fraction of analyses that led to invalidation ("the ratio of query
+  /// instances invalidated by each update").
+  double InvalidationRatio() const {
+    return checks == 0 ? 0.0
+                       : static_cast<double>(affected) / checks;
+  }
+
+  Micros AvgInvalidationTime() const {
+    return checks == 0 ? 0 : total_invalidation_time / static_cast<Micros>(checks);
+  }
+};
+
+/// A registered query type: the parameterized template shared by all its
+/// instances, a human name, cacheability (set by the policy engine), and
+/// running statistics.
+struct QueryType {
+  uint64_t type_id = 0;
+  std::string name;
+  sql::QueryTemplate tmpl;
+  bool cacheable = true;
+  QueryTypeStats stats;
+};
+
+/// A registered query instance: the concrete SQL of a query that built at
+/// least one cached page, its parsed form, and the type it belongs to.
+struct QueryInstance {
+  std::string sql;
+  uint64_t type_id = 0;
+  std::unique_ptr<sql::SelectStatement> statement;
+};
+
+/// The registration module's data structures (Section 4.1): query types
+/// declared by domain experts (offline mode) plus types discovered from
+/// the QI/URL map (online mode), and the instances grouped under them.
+class QueryTypeRegistry {
+ public:
+  QueryTypeRegistry() = default;
+
+  QueryTypeRegistry(const QueryTypeRegistry&) = delete;
+  QueryTypeRegistry& operator=(const QueryTypeRegistry&) = delete;
+
+  /// Offline registration: a domain expert declares a query type by its
+  /// parameterized SQL ("SELECT ... WHERE R.A > $1"). Returns the type ID.
+  Result<uint64_t> RegisterType(const std::string& name,
+                                const std::string& parameterized_sql);
+
+  /// Online discovery: registers a concrete query instance, deriving (and
+  /// registering, if new) its query type. Returns the instance.
+  Result<const QueryInstance*> RegisterInstance(const std::string& sql);
+
+  /// Removes an instance (its last cached page disappeared).
+  void UnregisterInstance(const std::string& sql);
+
+  const QueryType* FindType(uint64_t type_id) const;
+  QueryType* FindType(uint64_t type_id);
+  const QueryInstance* FindInstance(const std::string& sql) const;
+
+  /// All registered types.
+  std::vector<const QueryType*> Types() const;
+  /// All live instances of `type_id`.
+  std::vector<const QueryInstance*> InstancesOfType(uint64_t type_id) const;
+
+  size_t NumTypes() const { return types_.size(); }
+  size_t NumInstances() const { return instances_.size(); }
+
+ private:
+  std::map<uint64_t, QueryType> types_;
+  std::map<std::string, QueryInstance> instances_;  // Keyed by SQL text.
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_REGISTRY_H_

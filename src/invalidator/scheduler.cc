@@ -1,0 +1,25 @@
+#include "invalidator/scheduler.h"
+
+#include <algorithm>
+
+namespace cacheportal::invalidator {
+
+InvalidationScheduler::Schedule InvalidationScheduler::Build(
+    std::vector<PollingTask> tasks) const {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const PollingTask& a, const PollingTask& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              return a.affected_pages > b.affected_pages;
+            });
+  Schedule schedule;
+  for (PollingTask& task : tasks) {
+    if (max_polls_ == 0 || schedule.to_poll.size() < max_polls_) {
+      schedule.to_poll.push_back(std::move(task));
+    } else {
+      schedule.conservative.push_back(std::move(task));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace cacheportal::invalidator

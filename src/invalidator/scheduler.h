@@ -1,0 +1,51 @@
+#ifndef CACHEPORTAL_INVALIDATOR_SCHEDULER_H_
+#define CACHEPORTAL_INVALIDATOR_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "sql/ast.h"
+
+namespace cacheportal::invalidator {
+
+/// A pending polling decision for one query instance: issue `query` to
+/// find out whether the instance was affected by this cycle's updates.
+struct PollingTask {
+  std::string instance_sql;  // The query instance being decided.
+  std::unique_ptr<sql::SelectStatement> query;  // The polling query.
+  Micros deadline = 0;       // Invalidation must land by this time.
+  size_t affected_pages = 0; // Cached pages riding on the verdict.
+};
+
+/// The schedule-generation component (Section 4.2.2). Polling improves
+/// invalidation precision but costs DBMS work, and the invalidator runs
+/// under real-time constraints — so each cycle gets a polling budget.
+/// Tasks are ordered by (deadline, pages at stake); tasks beyond the
+/// budget are not polled and their instances are invalidated
+/// conservatively (trading over-invalidation for timeliness, the exact
+/// tradeoff the paper describes).
+class InvalidationScheduler {
+ public:
+  /// `max_polls_per_cycle` of 0 means unlimited.
+  explicit InvalidationScheduler(size_t max_polls_per_cycle)
+      : max_polls_(max_polls_per_cycle) {}
+
+  struct Schedule {
+    std::vector<PollingTask> to_poll;
+    std::vector<PollingTask> conservative;  // Invalidate without polling.
+  };
+
+  Schedule Build(std::vector<PollingTask> tasks) const;
+
+  size_t max_polls_per_cycle() const { return max_polls_; }
+
+ private:
+  size_t max_polls_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_SCHEDULER_H_

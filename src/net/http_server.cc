@@ -1,0 +1,158 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace cacheportal::net {
+
+namespace {
+
+/// Reads one HTTP request from `fd`: headers terminated by CRLFCRLF plus
+/// a Content-Length body if declared. Returns empty on EOF/error.
+std::string ReadRequest(int fd) {
+  std::string data;
+  char buf[4096];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return "";
+    data.append(buf, static_cast<size_t>(n));
+    header_end = data.find("\r\n\r\n");
+    if (data.size() > (1u << 20)) return "";  // 1 MiB header cap.
+  }
+  // Parse Content-Length (case-insensitive scan of the header block).
+  size_t body_needed = 0;
+  std::string headers = data.substr(0, header_end);
+  std::string lower = AsciiToLower(headers);
+  size_t pos = lower.find("content-length:");
+  if (pos != std::string::npos) {
+    body_needed = static_cast<size_t>(
+        std::strtoull(headers.c_str() + pos + 15, nullptr, 10));
+  }
+  size_t have = data.size() - (header_end + 4);
+  while (have < body_needed) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+    have += static_cast<size_t>(n);
+  }
+  return data;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(WireHandler handler,
+                                                      Options options) {
+  if (!handler) {
+    return Status::InvalidArgument("HttpServer requires a handler");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(StrCat("bind(): ", std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::listen(fd, options.backlog) != 0) {
+    ::close(fd);
+    return Status::Internal(StrCat("listen(): ", std::strerror(errno)));
+  }
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(std::move(handler), fd, ntohs(addr.sin_port)));
+}
+
+HttpServer::HttpServer(WireHandler handler, int listen_fd, uint16_t port)
+    : handler_(std::move(handler)), listen_fd_(listen_fd), port_(port) {
+  thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  bool was_running = running_.exchange(false);
+  if (was_running) {
+    // Unblock accept() by shutting the listener down.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (!running_.load(std::memory_order_relaxed)) break;
+      continue;  // Transient accept failure.
+    }
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string request = ReadRequest(fd);
+  if (request.empty()) return;
+  std::string response = handler_(request);
+  requests_handled_.fetch_add(1, std::memory_order_relaxed);
+  WriteAll(fd, response);
+}
+
+Result<std::string> FetchWire(uint16_t port,
+                              const std::string& request_bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(StrCat("connect(): ", std::strerror(errno)));
+  }
+  if (!WriteAll(fd, request_bytes)) {
+    ::close(fd);
+    return Status::Internal("short write");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (response.empty()) return Status::Internal("empty response");
+  return response;
+}
+
+}  // namespace cacheportal::net

@@ -1,0 +1,79 @@
+#ifndef CACHEPORTAL_NET_HTTP_SERVER_H_
+#define CACHEPORTAL_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace cacheportal::net {
+
+/// HttpServer bind options.
+struct HttpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+  uint16_t port = 0;
+  int backlog = 16;
+};
+
+/// A minimal blocking HTTP/1.1 server over TCP: one accept loop, one
+/// connection at a time, `Connection: close` semantics. It is the
+/// network face the paper's components actually have — NetCache-style
+/// caches and the invalidator exchange real HTTP — and is deliberately
+/// simple: the interesting machinery lives behind the handler.
+///
+/// The handler receives the raw request bytes and returns raw response
+/// bytes (core::RemoteCacheEndpoint::HandleWire plugs in directly). It
+/// runs on the server thread; wrap shared state in a mutex if the rest
+/// of the process touches it concurrently.
+class HttpServer {
+ public:
+  using WireHandler = std::function<std::string(const std::string&)>;
+  using Options = HttpServerOptions;
+
+  /// Binds, listens, and starts the accept loop on a background thread.
+  static Result<std::unique_ptr<HttpServer>> Start(WireHandler handler,
+                                                   Options options = {});
+
+  /// Stops the accept loop and joins the thread.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (useful with ephemeral binding).
+  uint16_t port() const { return port_; }
+
+  /// Requests served so far.
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting; idempotent. Called by the destructor.
+  void Stop();
+
+ private:
+  HttpServer(WireHandler handler, int listen_fd, uint16_t port);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  WireHandler handler_;
+  int listen_fd_;
+  uint16_t port_;
+  std::atomic<bool> running_{true};
+  std::atomic<uint64_t> requests_handled_{0};
+  std::thread thread_;
+};
+
+/// Blocking HTTP client for tests and examples: connects to
+/// 127.0.0.1:`port`, sends `request_bytes`, reads until the peer closes,
+/// and returns the raw response bytes.
+Result<std::string> FetchWire(uint16_t port, const std::string& request_bytes);
+
+}  // namespace cacheportal::net
+
+#endif  // CACHEPORTAL_NET_HTTP_SERVER_H_

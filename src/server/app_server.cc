@@ -1,0 +1,57 @@
+#include "server/app_server.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::server {
+
+Status ApplicationServer::RegisterServlet(const std::string& path,
+                                          std::unique_ptr<Servlet> servlet,
+                                          ServletConfig config) {
+  if (servlets_.contains(path)) {
+    return Status::AlreadyExists(StrCat("servlet at ", path));
+  }
+  if (config.name.empty()) config.name = path;
+  servlets_.emplace(path,
+                    Registration{std::move(servlet), std::move(config)});
+  return Status::OK();
+}
+
+const ServletConfig* ApplicationServer::FindConfig(
+    const std::string& path) const {
+  auto it = servlets_.find(path);
+  return it == servlets_.end() ? nullptr : &it->second.config;
+}
+
+std::vector<std::string> ApplicationServer::Paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(servlets_.size());
+  for (const auto& [path, reg] : servlets_) paths.push_back(path);
+  return paths;
+}
+
+http::HttpResponse ApplicationServer::Handle(
+    const http::HttpRequest& request) {
+  ++requests_served_;
+  auto it = servlets_.find(request.path);
+  if (it == servlets_.end()) {
+    return http::HttpResponse::NotFound(
+        StrCat("no servlet registered at ", request.path));
+  }
+  Registration& reg = it->second;
+
+  uint64_t token = 0;
+  if (interceptor_ != nullptr) {
+    token = interceptor_->BeforeService(reg.config.name, request);
+  }
+
+  ServletContext context;
+  context.connection = pool_ != nullptr ? pool_->Acquire() : nullptr;
+  http::HttpResponse response = reg.servlet->Service(request, &context);
+
+  if (interceptor_ != nullptr) {
+    interceptor_->AfterService(token, reg.config.name, request, &response);
+  }
+  return response;
+}
+
+}  // namespace cacheportal::server

@@ -1,0 +1,78 @@
+#ifndef CACHEPORTAL_SERVER_APP_SERVER_H_
+#define CACHEPORTAL_SERVER_APP_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/handler.h"
+#include "server/jdbc.h"
+#include "server/servlet.h"
+
+namespace cacheportal::server {
+
+/// Hooks around servlet execution. The CachePortal sniffer installs one
+/// of these (the request logger of Section 3.1): it observes request and
+/// response, may rewrite cache directives, but cannot change application
+/// logic — this is the "wrapper around the servlet" of the paper.
+class ServletInterceptor {
+ public:
+  virtual ~ServletInterceptor() = default;
+
+  /// Called before the servlet runs. Returns an opaque token passed to
+  /// AfterService (e.g. a request-log ID).
+  virtual uint64_t BeforeService(const std::string& servlet_name,
+                                 const http::HttpRequest& request) = 0;
+
+  /// Called after the servlet produced `response`; may mutate it (the
+  /// cache-directive rewrite happens here).
+  virtual void AfterService(uint64_t token, const std::string& servlet_name,
+                            const http::HttpRequest& request,
+                            http::HttpResponse* response) = 0;
+};
+
+/// The application server: routes request paths to servlets and supplies
+/// each invocation with a pooled connection. Stands in for BEA WebLogic.
+class ApplicationServer : public RequestHandler {
+ public:
+  /// `pool` supplies servlet connections (not owned).
+  explicit ApplicationServer(ConnectionPool* pool) : pool_(pool) {}
+
+  /// Registers `servlet` under `path` (exact match).
+  Status RegisterServlet(const std::string& path,
+                         std::unique_ptr<Servlet> servlet,
+                         ServletConfig config);
+
+  /// Installs the (single) interceptor; pass nullptr to detach.
+  void SetInterceptor(ServletInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+
+  /// Configuration of the servlet at `path`, or nullptr.
+  const ServletConfig* FindConfig(const std::string& path) const;
+
+  /// All registered servlet paths.
+  std::vector<std::string> Paths() const;
+
+  http::HttpResponse Handle(const http::HttpRequest& request) override;
+
+  /// Requests served so far.
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Registration {
+    std::unique_ptr<Servlet> servlet;
+    ServletConfig config;
+  };
+
+  ConnectionPool* pool_;
+  ServletInterceptor* interceptor_ = nullptr;
+  std::map<std::string, Registration> servlets_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_APP_SERVER_H_

@@ -1,0 +1,21 @@
+#ifndef CACHEPORTAL_SERVER_HANDLER_H_
+#define CACHEPORTAL_SERVER_HANDLER_H_
+
+#include "http/message.h"
+
+namespace cacheportal::server {
+
+/// Anything that can answer an HTTP request: web servers, application
+/// servers, load balancers, and caching proxies all implement this, which
+/// lets the three site configurations of the paper be assembled by
+/// composing handlers.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  virtual http::HttpResponse Handle(const http::HttpRequest& request) = 0;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_HANDLER_H_

@@ -1,0 +1,111 @@
+#include "server/jdbc.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::server {
+
+namespace {
+
+/// Connection executing directly against an in-process Database.
+class MemoryDbConnection : public Connection {
+ public:
+  explicit MemoryDbConnection(db::Database* database) : database_(database) {}
+
+  Result<db::QueryResult> ExecuteQuery(const std::string& sql) override {
+    return database_->ExecuteSql(sql);
+  }
+
+  Result<int64_t> ExecuteUpdate(const std::string& sql) override {
+    CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
+                                 database_->ExecuteSql(sql));
+    if (result.columns.size() == 1 && result.columns[0] == "affected" &&
+        result.rows.size() == 1 && result.rows[0][0].is_int()) {
+      return result.rows[0][0].AsInt();
+    }
+    return Status::InvalidArgument("ExecuteUpdate used with a SELECT");
+  }
+
+ private:
+  db::Database* database_;
+};
+
+}  // namespace
+
+void DriverManager::RegisterDriver(std::unique_ptr<Driver> driver) {
+  drivers_.push_back(std::move(driver));
+}
+
+Result<std::unique_ptr<Connection>> DriverManager::GetConnection(
+    const std::string& url) {
+  for (const auto& driver : drivers_) {
+    if (driver->AcceptsUrl(url)) return driver->Connect(url);
+  }
+  return Status::NotFound(StrCat("no driver accepts URL ", url));
+}
+
+void MemoryDbDriver::BindDatabase(const std::string& name,
+                                  db::Database* database) {
+  databases_[name] = database;
+}
+
+bool MemoryDbDriver::AcceptsUrl(const std::string& url) const {
+  return StartsWith(url, kUrlPrefix);
+}
+
+Result<std::unique_ptr<Connection>> MemoryDbDriver::Connect(
+    const std::string& url) {
+  if (!AcceptsUrl(url)) {
+    return Status::InvalidArgument(StrCat("unsupported URL ", url));
+  }
+  std::string name = url.substr(sizeof(kUrlPrefix) - 1);
+  auto it = databases_.find(name);
+  if (it == databases_.end()) {
+    return Status::NotFound(StrCat("database ", name, " is not bound"));
+  }
+  return std::unique_ptr<Connection>(
+      std::make_unique<MemoryDbConnection>(it->second));
+}
+
+Result<std::unique_ptr<ConnectionPool>> ConnectionPool::Create(
+    std::string name, const std::string& url, size_t size,
+    DriverManager* manager) {
+  if (size == 0) {
+    return Status::InvalidArgument("connection pool size must be > 0");
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  connections.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(std::unique_ptr<Connection> conn,
+                                 manager->GetConnection(url));
+    connections.push_back(std::move(conn));
+  }
+  return std::unique_ptr<ConnectionPool>(
+      new ConnectionPool(std::move(name), std::move(connections)));
+}
+
+Connection* ConnectionPool::Acquire() {
+  ++acquisitions_;
+  Connection* conn = connections_[next_].get();
+  next_ = (next_ + 1) % connections_.size();
+  return conn;
+}
+
+Status DataSourceRegistry::Bind(const std::string& jndi_name,
+                                ConnectionPool* pool) {
+  if (pools_.contains(jndi_name)) {
+    return Status::AlreadyExists(StrCat("data source ", jndi_name));
+  }
+  pools_[jndi_name] = pool;
+  return Status::OK();
+}
+
+Result<ConnectionPool*> DataSourceRegistry::Lookup(
+    const std::string& jndi_name) const {
+  auto it = pools_.find(jndi_name);
+  if (it == pools_.end()) {
+    return Status::NotFound(StrCat("data source ", jndi_name));
+  }
+  return it->second;
+}
+
+}  // namespace cacheportal::server

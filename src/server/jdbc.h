@@ -1,0 +1,128 @@
+#ifndef CACHEPORTAL_SERVER_JDBC_H_
+#define CACHEPORTAL_SERVER_JDBC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+
+namespace cacheportal::server {
+
+/// A JDBC-style connection: executes SQL against some database. The
+/// sniffer's query logger wraps this interface (Section 3.2 of the paper),
+/// which is what makes query capture independent of how the application
+/// obtained the connection (explicit driver, pool, or data source).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Executes a SELECT, returning its result set.
+  virtual Result<db::QueryResult> ExecuteQuery(const std::string& sql) = 0;
+
+  /// Executes DML, returning the affected-row count.
+  virtual Result<int64_t> ExecuteUpdate(const std::string& sql) = 0;
+};
+
+/// A JDBC-style driver: accepts database URLs and opens connections.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+
+  /// True if this driver understands `url`.
+  virtual bool AcceptsUrl(const std::string& url) const = 0;
+
+  virtual Result<std::unique_ptr<Connection>> Connect(
+      const std::string& url) = 0;
+};
+
+/// Driver registry, analogous to java.sql.DriverManager.
+class DriverManager {
+ public:
+  DriverManager() = default;
+
+  DriverManager(const DriverManager&) = delete;
+  DriverManager& operator=(const DriverManager&) = delete;
+
+  void RegisterDriver(std::unique_ptr<Driver> driver);
+
+  /// Opens a connection via the first driver accepting `url`.
+  Result<std::unique_ptr<Connection>> GetConnection(const std::string& url);
+
+  size_t num_drivers() const { return drivers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Driver>> drivers_;
+};
+
+/// Driver for in-process cacheportal databases. URLs look like
+/// "jdbc:cacheportal:<name>"; names are bound with BindDatabase. Stands in
+/// for the BEA WebLogic jDriver of the paper's deployment.
+class MemoryDbDriver : public Driver {
+ public:
+  MemoryDbDriver() = default;
+
+  /// Binds `name` to `database` (not owned; must outlive the driver).
+  void BindDatabase(const std::string& name, db::Database* database);
+
+  bool AcceptsUrl(const std::string& url) const override;
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& url) override;
+
+  static constexpr char kUrlPrefix[] = "jdbc:cacheportal:";
+
+ private:
+  std::map<std::string, db::Database*> databases_;
+};
+
+/// A named group of identical connections to one database URL, analogous
+/// to a WebLogic connection pool. Connections are created eagerly at
+/// registration (like the paper describes) and handed out round-robin.
+class ConnectionPool {
+ public:
+  /// Creates `size` connections through `manager`.
+  static Result<std::unique_ptr<ConnectionPool>> Create(
+      std::string name, const std::string& url, size_t size,
+      DriverManager* manager);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return connections_.size(); }
+
+  /// Borrows a connection (round-robin; connections stay pool-owned).
+  Connection* Acquire();
+
+  /// Total Acquire() calls, for load accounting.
+  uint64_t acquisitions() const { return acquisitions_; }
+
+ private:
+  ConnectionPool(std::string name,
+                 std::vector<std::unique_ptr<Connection>> connections)
+      : name_(std::move(name)), connections_(std::move(connections)) {}
+
+  std::string name_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  size_t next_ = 0;
+  uint64_t acquisitions_ = 0;
+};
+
+/// A JNDI-style registry binding data-source names to connection pools —
+/// the recommended WebLogic access path in Section 3.2.
+class DataSourceRegistry {
+ public:
+  DataSourceRegistry() = default;
+
+  /// Binds `jndi_name` to `pool` (not owned).
+  Status Bind(const std::string& jndi_name, ConnectionPool* pool);
+
+  /// Looks up a data source; NotFound when unbound.
+  Result<ConnectionPool*> Lookup(const std::string& jndi_name) const;
+
+ private:
+  std::map<std::string, ConnectionPool*> pools_;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_JDBC_H_

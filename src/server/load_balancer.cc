@@ -1,0 +1,36 @@
+#include "server/load_balancer.h"
+
+#include <algorithm>
+
+namespace cacheportal::server {
+
+void LoadBalancer::AddBackend(RequestHandler* backend) {
+  backends_.push_back(backend);
+  counts_.push_back(0);
+}
+
+size_t LoadBalancer::PickBackend() {
+  switch (policy_) {
+    case BalancePolicy::kRoundRobin: {
+      size_t pick = next_;
+      next_ = (next_ + 1) % backends_.size();
+      return pick;
+    }
+    case BalancePolicy::kLeastRequests: {
+      return static_cast<size_t>(
+          std::min_element(counts_.begin(), counts_.end()) - counts_.begin());
+    }
+  }
+  return 0;
+}
+
+http::HttpResponse LoadBalancer::Handle(const http::HttpRequest& request) {
+  if (backends_.empty()) {
+    return http::HttpResponse(503, "no backends");
+  }
+  size_t pick = PickBackend();
+  ++counts_[pick];
+  return backends_[pick]->Handle(request);
+}
+
+}  // namespace cacheportal::server

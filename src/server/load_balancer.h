@@ -1,0 +1,46 @@
+#ifndef CACHEPORTAL_SERVER_LOAD_BALANCER_H_
+#define CACHEPORTAL_SERVER_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "server/handler.h"
+
+namespace cacheportal::server {
+
+/// Backend-selection policies.
+enum class BalancePolicy {
+  kRoundRobin,
+  kLeastRequests,  // Fewest requests dispatched so far.
+};
+
+/// The traffic balancer in front of the web-server farm (Cisco
+/// LocalDirector in the paper's testbed).
+class LoadBalancer : public RequestHandler {
+ public:
+  explicit LoadBalancer(BalancePolicy policy = BalancePolicy::kRoundRobin)
+      : policy_(policy) {}
+
+  /// Adds a backend (not owned).
+  void AddBackend(RequestHandler* backend);
+
+  size_t num_backends() const { return backends_.size(); }
+
+  /// Requests dispatched to backend `i`.
+  uint64_t RequestsTo(size_t i) const { return counts_.at(i); }
+
+  http::HttpResponse Handle(const http::HttpRequest& request) override;
+
+ private:
+  size_t PickBackend();
+
+  BalancePolicy policy_;
+  std::vector<RequestHandler*> backends_;
+  std::vector<uint64_t> counts_;
+  size_t next_ = 0;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_LOAD_BALANCER_H_

@@ -1,0 +1,71 @@
+#ifndef CACHEPORTAL_SERVER_SERVLET_H_
+#define CACHEPORTAL_SERVER_SERVLET_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "http/message.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::server {
+
+/// Per-request context handed to a servlet: the connection it should use
+/// for database access (already pool-managed, and — when CachePortal is
+/// attached — already wrapped by the query logger).
+struct ServletContext {
+  Connection* connection = nullptr;
+};
+
+/// The application-programming surface: servlets turn a request plus
+/// query results into a page. Applications never talk to CachePortal —
+/// the sniffer observes around them (non-invasiveness, Section 2.1).
+class Servlet {
+ public:
+  virtual ~Servlet() = default;
+
+  virtual http::HttpResponse Service(const http::HttpRequest& request,
+                                     ServletContext* context) = 0;
+};
+
+/// A servlet defined by a function (most examples and tests use this).
+class FunctionServlet : public Servlet {
+ public:
+  using Fn = std::function<http::HttpResponse(const http::HttpRequest&,
+                                              ServletContext*)>;
+
+  explicit FunctionServlet(Fn fn) : fn_(std::move(fn)) {}
+
+  http::HttpResponse Service(const http::HttpRequest& request,
+                             ServletContext* context) override {
+    return fn_(request, context);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Deployment metadata the sniffer keeps per servlet (Section 3.1):
+/// which request parameters act as cache keys, how temporally sensitive
+/// the servlet's pages are, and its error sensitivity.
+struct ServletConfig {
+  std::string name;
+  /// GET/POST/cookie parameter names that form the page identity. A page
+  /// request differing only in non-key parameters maps to the same cache
+  /// entry.
+  std::vector<std::string> key_get_params;
+  std::vector<std::string> key_post_params;
+  std::vector<std::string> key_cookie_params;
+  /// How quickly (in microseconds) pages must reflect data changes. Pages
+  /// more sensitive than the invalidation cycle are never cached; 0 means
+  /// no constraint.
+  Micros temporal_sensitivity = 0;
+  /// Tolerance for serving slightly stale data (statistical use only).
+  double error_sensitivity = 0.0;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_SERVLET_H_

@@ -1,0 +1,27 @@
+#include "server/web_server.h"
+
+namespace cacheportal::server {
+
+void WebServer::AddStaticPage(const std::string& path, std::string body) {
+  static_pages_[path] = std::move(body);
+}
+
+http::HttpResponse WebServer::Handle(const http::HttpRequest& request) {
+  ++requests_served_;
+  auto it = static_pages_.find(request.path);
+  if (it != static_pages_.end()) {
+    ++static_served_;
+    http::HttpResponse response = http::HttpResponse::Ok(it->second);
+    http::CacheControl cc;
+    cc.is_public = true;
+    response.SetCacheControl(cc);
+    return response;
+  }
+  if (app_server_ == nullptr) {
+    return http::HttpResponse::NotFound();
+  }
+  ++dynamic_forwarded_;
+  return app_server_->Handle(request);
+}
+
+}  // namespace cacheportal::server

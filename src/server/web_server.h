@@ -1,0 +1,40 @@
+#ifndef CACHEPORTAL_SERVER_WEB_SERVER_H_
+#define CACHEPORTAL_SERVER_WEB_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "server/handler.h"
+
+namespace cacheportal::server {
+
+/// The web server in front of an application server (Apache in the
+/// paper's testbed): serves registered static pages directly and forwards
+/// everything else to the application tier.
+class WebServer : public RequestHandler {
+ public:
+  /// `app_server` handles dynamic requests (not owned; may be null, in
+  /// which case unknown paths 404).
+  explicit WebServer(RequestHandler* app_server) : app_server_(app_server) {}
+
+  /// Registers static content at `path`.
+  void AddStaticPage(const std::string& path, std::string body);
+
+  http::HttpResponse Handle(const http::HttpRequest& request) override;
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t static_served() const { return static_served_; }
+  uint64_t dynamic_forwarded() const { return dynamic_forwarded_; }
+
+ private:
+  RequestHandler* app_server_;
+  std::map<std::string, std::string> static_pages_;
+  uint64_t requests_served_ = 0;
+  uint64_t static_served_ = 0;
+  uint64_t dynamic_forwarded_ = 0;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_WEB_SERVER_H_

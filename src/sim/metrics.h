@@ -1,0 +1,65 @@
+#ifndef CACHEPORTAL_SIM_METRICS_H_
+#define CACHEPORTAL_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "sim/params.h"
+
+namespace cacheportal::sim {
+
+/// Simple mean accumulator.
+struct MeanAccumulator {
+  uint64_t count = 0;
+  double total = 0;
+
+  void Add(double x) {
+    ++count;
+    total += x;
+  }
+  double Mean() const { return count == 0 ? 0.0 : total / count; }
+};
+
+/// Response-time metrics in the layout of Tables 2 and 3: misses split
+/// into DB time and total response, hits, and the overall expectation.
+struct SimMetrics {
+  MeanAccumulator miss_db;        // DB component of cache misses (ms).
+  MeanAccumulator miss_response;  // Total response of misses (ms).
+  MeanAccumulator hit_response;   // Total response of hits (ms).
+  MeanAccumulator response;       // All requests (the "Exp." column, ms).
+  MeanAccumulator per_class[kNumRequestClasses];
+  uint64_t completed = 0;
+  uint64_t generated = 0;
+  /// All response samples (ms), for percentile reporting.
+  std::vector<double> samples;
+
+  /// p in [0, 1]; e.g. Percentile(0.95). 0 when no samples.
+  double Percentile(double p) const;
+
+  void RecordMiss(RequestClass cls, double response_ms, double db_ms) {
+    miss_db.Add(db_ms);
+    miss_response.Add(response_ms);
+    Record(cls, response_ms);
+  }
+  void RecordHit(RequestClass cls, double response_ms) {
+    hit_response.Add(response_ms);
+    Record(cls, response_ms);
+  }
+
+  /// One row of the paper's tables: "missDB missResp hitResp expResp".
+  std::string ToRowString() const;
+
+ private:
+  void Record(RequestClass cls, double response_ms) {
+    response.Add(response_ms);
+    per_class[static_cast<int>(cls)].Add(response_ms);
+    samples.push_back(response_ms);
+    ++completed;
+  }
+};
+
+}  // namespace cacheportal::sim
+
+#endif  // CACHEPORTAL_SIM_METRICS_H_

@@ -1,0 +1,104 @@
+#ifndef CACHEPORTAL_SIM_PARAMS_H_
+#define CACHEPORTAL_SIM_PARAMS_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace cacheportal::sim {
+
+/// Request classes from Section 5.2.1: a light page selects on the small
+/// table, a medium page on the large table, a heavy page joins both.
+enum class RequestClass { kLight = 0, kMedium = 1, kHeavy = 2 };
+inline constexpr int kNumRequestClasses = 3;
+
+const char* RequestClassName(RequestClass c);
+
+/// The three site architectures compared in Section 5.
+enum class SiteConfig {
+  kReplicated = 1,      // Configuration I.
+  kMiddleTierCache = 2, // Configuration II.
+  kWebCache = 3,        // Configuration III (CachePortal).
+};
+
+const char* SiteConfigName(SiteConfig c);
+
+/// Update load in the paper's notation <ins1, del1, ins2, del2>: inserts
+/// and deletes per second on the small (1) and large (2) tables.
+struct UpdateLoad {
+  double ins1 = 0, del1 = 0, ins2 = 0, del2 = 0;
+
+  double Total() const { return ins1 + del1 + ins2 + del2; }
+};
+
+/// All experiment parameters (Table 1) plus the calibrated service-time
+/// constants of the simulated testbed (4×200 MHz PCs, Section 5).
+/// Defaults reproduce the Table 2 / Table 3 setup.
+struct SimParams {
+  // ---- Workload (Section 5.2.2) ----
+  /// Requests per second per class (10 light + 10 medium + 10 heavy).
+  double req_per_class_per_sec = 10.0;
+  UpdateLoad updates;
+
+  // ---- Topology ----
+  int num_web_servers = 4;       // Web/app machines behind the balancer.
+  int processes_per_server = 120; // Server process pool per machine.
+
+  // ---- Caching (Sections 5.2.4 / 5.2.5) ----
+  double hit_ratio = 0.7;   // Constant 70% in the paper's runs.
+  /// Conf II only: whether data-cache access carries a connection cost
+  /// (Table 3) or is negligible (Table 2).
+  bool data_cache_connection_cost = false;
+  /// When true, Conf III's hit ratio is no longer the constant above but
+  /// degrades with the update rate — Table 1's "hit_ratio (function of
+  /// cache size)" / "inval_rate (function of the number of polling
+  /// queries)" coupling: over-invalidation ejects pages faster than
+  /// requests repopulate them. The decay constant below was fitted to
+  /// the measured end-to-end curve of bench_end_to_end.
+  bool model_invalidation = false;
+  /// Effective hit ratio = hit_ratio / (1 + inval_sensitivity * total
+  /// updates per second).
+  double inval_sensitivity = 0.035;
+
+  // ---- Calibrated service times (microseconds) ----
+  // Database work per query class on a dedicated database machine.
+  Micros db_light = 30 * kMicrosPerMilli;
+  Micros db_medium = 70 * kMicrosPerMilli;
+  Micros db_heavy = 160 * kMicrosPerMilli;
+  /// Conf I co-locates the DBMS with the web/app server on one 200 MHz
+  /// box; queries cost this factor more there (cache pollution, context
+  /// switches).
+  double colocated_db_factor = 2.0;
+  Micros web_app_cpu = 16 * kMicrosPerMilli;  // Servlet + page assembly.
+  Micros update_cost = 3 * kMicrosPerMilli;   // DB work per update stmt.
+  /// Client <-> site latency applied to every request (both ways total).
+  Micros client_network = 90 * kMicrosPerMilli;
+  /// Per-message service time on the shared site network (it carries
+  /// request traffic, update traffic, and synchronization traffic).
+  Micros site_network = 3 * kMicrosPerMilli;
+  /// Web cache service time (Conf III front cache; a lightweight box).
+  Micros web_cache_service = 9 * kMicrosPerMilli;
+  /// Data-cache in-memory access (Conf II, Table 2 variant).
+  Micros data_cache_access = 1 * kMicrosPerMilli;
+  /// Data-cache connection establishment (Conf II, Table 3 variant) —
+  /// a local DBMS connection per access, on the app-server CPU.
+  Micros data_cache_connect = 350 * kMicrosPerMilli;
+  /// Per-update work applied at each replica (Conf I synchronization).
+  Micros replica_sync_cost = 1 * kMicrosPerMilli;
+  /// Per-cache per-second synchronization query (Conf II): base cost plus
+  /// per-update transfer cost.
+  Micros data_cache_sync_base = 5 * kMicrosPerMilli;
+  Micros data_cache_sync_per_update = 500;  // 0.5 ms
+  /// Invalidator polling (Conf III): one query per second to the DBMS
+  /// fetching the recent updates (Section 5.2.4).
+  Micros invalidator_poll_cost = 6 * kMicrosPerMilli;
+
+  // ---- Run control ----
+  Micros duration = 120 * kMicrosPerSecond;
+  Micros warmup = 15 * kMicrosPerSecond;
+  uint64_t seed = 42;
+};
+
+}  // namespace cacheportal::sim
+
+#endif  // CACHEPORTAL_SIM_PARAMS_H_

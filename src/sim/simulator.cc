@@ -1,0 +1,32 @@
+#include "sim/simulator.h"
+
+namespace cacheportal::sim {
+
+void Simulator::At(Micros t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::RunUntil(Micros until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Copy out; the callback may schedule more events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunAll() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+}
+
+}  // namespace cacheportal::sim

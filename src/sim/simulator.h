@@ -1,0 +1,64 @@
+#ifndef CACHEPORTAL_SIM_SIMULATOR_H_
+#define CACHEPORTAL_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace cacheportal::sim {
+
+/// A discrete-event simulator: a virtual clock plus a time-ordered event
+/// queue. All site models in this library run on top of it, which is what
+/// lets a two-minute testbed experiment execute in milliseconds while
+/// preserving queueing behavior.
+class Simulator : public Clock {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Micros NowMicros() const override { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  void At(Micros t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` microseconds.
+  void After(Micros delay, std::function<void()> fn) {
+    At(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Runs events until the queue empties or virtual time passes `until`.
+  void RunUntil(Micros until);
+
+  /// Runs until the queue is empty.
+  void RunAll();
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Micros time;
+    uint64_t seq;  // FIFO tie-break.
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Micros now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cacheportal::sim
+
+#endif  // CACHEPORTAL_SIM_SIMULATOR_H_

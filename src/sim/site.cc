@@ -1,0 +1,397 @@
+#include "sim/site.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/simulator.h"
+#include "sim/station.h"
+
+namespace cacheportal::sim {
+
+const char* RequestClassName(RequestClass c) {
+  switch (c) {
+    case RequestClass::kLight:
+      return "light";
+    case RequestClass::kMedium:
+      return "medium";
+    case RequestClass::kHeavy:
+      return "heavy";
+  }
+  return "?";
+}
+
+const char* SiteConfigName(SiteConfig c) {
+  switch (c) {
+    case SiteConfig::kReplicated:
+      return "Conf I (replication)";
+    case SiteConfig::kMiddleTierCache:
+      return "Conf II (middle-tier data cache)";
+    case SiteConfig::kWebCache:
+      return "Conf III (dynamic web cache)";
+  }
+  return "?";
+}
+
+double SimMetrics::Percentile(double p) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  double idx = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string SimMetrics::ToRowString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "missDB=%8.0fms missResp=%8.0fms hit=%6.0fms exp=%8.0fms",
+                miss_db.Mean(), miss_response.Mean(), hit_response.Mean(),
+                response.Mean());
+  return buf;
+}
+
+namespace {
+
+/// Per-request bookkeeping threaded through the event chains.
+struct RequestState {
+  Micros start = 0;
+  RequestClass cls = RequestClass::kLight;
+  Micros db_start = 0;
+  double db_ms = 0;
+  bool hit = false;
+};
+
+/// Shared simulation world.
+struct World {
+  explicit World(const SimParams& p)
+      : params(p),
+        rng(p.seed),
+        site_net(&sim, "site-network", 1),
+        db(&sim, "dbms", 1),
+        web_cache(&sim, "web-cache", 1) {
+    for (int i = 0; i < p.num_web_servers; ++i) {
+      machines.push_back(std::make_unique<Station>(
+          &sim, "machine-" + std::to_string(i), 1));
+      pools.push_back(std::make_unique<ProcessPool>(
+          &sim, "pool-" + std::to_string(i), p.processes_per_server));
+    }
+  }
+
+  Micros QueryCost(RequestClass cls) const {
+    switch (cls) {
+      case RequestClass::kLight:
+        return params.db_light;
+      case RequestClass::kMedium:
+        return params.db_medium;
+      case RequestClass::kHeavy:
+        return params.db_heavy;
+    }
+    return params.db_light;
+  }
+
+  bool AfterWarmup() const { return sim.NowMicros() >= params.warmup; }
+
+  void Finish(const std::shared_ptr<RequestState>& req) {
+    if (!AfterWarmup() || req->start < params.warmup) return;
+    double response_ms =
+        static_cast<double>(sim.NowMicros() - req->start +
+                            params.client_network) /
+        kMicrosPerMilli;
+    if (req->hit) {
+      metrics.RecordHit(req->cls, response_ms);
+    } else {
+      metrics.RecordMiss(req->cls, response_ms, req->db_ms);
+    }
+  }
+
+  const SimParams& params;
+  Simulator sim;
+  Random rng;
+  Station site_net;
+  Station db;
+  Station web_cache;
+  std::vector<std::unique_ptr<Station>> machines;
+  std::vector<std::unique_ptr<ProcessPool>> pools;
+  size_t next_machine = 0;
+  SimMetrics metrics;
+  // Updates seen since the last data-cache synchronization (Conf II).
+  uint64_t updates_since_sync = 0;
+  // Arrival-generator closures; owned here so their self-references are
+  // raw pointers (a self-capturing shared_ptr would leak).
+  std::vector<std::unique_ptr<std::function<void(Micros)>>> generators;
+};
+
+// ---------------------------------------------------------------------
+// Configuration I: full replication, no caches.
+// ---------------------------------------------------------------------
+void ConfIRequest(World* w, std::shared_ptr<RequestState> req) {
+  w->site_net.Submit(w->params.site_network, [w, req]() {
+    size_t m = w->next_machine;
+    w->next_machine = (w->next_machine + 1) % w->machines.size();
+    w->pools[m]->Acquire([w, req, m]() {
+      w->machines[m]->Submit(w->params.web_app_cpu, [w, req, m]() {
+        req->db_start = w->sim.NowMicros();
+        Micros query = static_cast<Micros>(
+            static_cast<double>(w->QueryCost(req->cls)) *
+            w->params.colocated_db_factor);
+        w->machines[m]->Submit(query, [w, req, m]() {
+          req->db_ms = static_cast<double>(w->sim.NowMicros() -
+                                           req->db_start) /
+                       kMicrosPerMilli;
+          w->pools[m]->Release();
+          w->site_net.Submit(w->params.site_network,
+                             [w, req]() { w->Finish(req); });
+        });
+      });
+    });
+  });
+}
+
+void ConfIUpdate(World* w) {
+  // The update travels the network once, then every replica applies it.
+  w->site_net.Submit(w->params.site_network, [w]() {
+    for (auto& machine : w->machines) {
+      // Replicas apply the propagated update (cheap redo, no parsing).
+      machine->Submit(w->params.replica_sync_cost, nullptr);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------
+// Configuration II: one DBMS + middle-tier data caches.
+// ---------------------------------------------------------------------
+void ConfIIRequest(World* w, std::shared_ptr<RequestState> req) {
+  w->site_net.Submit(w->params.site_network, [w, req]() {
+    size_t m = w->next_machine;
+    w->next_machine = (w->next_machine + 1) % w->machines.size();
+    w->pools[m]->Acquire([w, req, m]() {
+      w->machines[m]->Submit(w->params.web_app_cpu, [w, req, m]() {
+        req->hit = w->rng.OneIn(w->params.hit_ratio);
+        if (req->hit) {
+          // Data-cache access runs on the same machine's CPU (the cache
+          // competes with the web/app server for resources).
+          Micros access = w->params.data_cache_access;
+          if (w->params.data_cache_connection_cost) {
+            access += w->params.data_cache_connect;
+          }
+          w->machines[m]->Submit(access, [w, req, m]() {
+            w->pools[m]->Release();
+            w->site_net.Submit(w->params.site_network,
+                               [w, req]() { w->Finish(req); });
+          });
+          return;
+        }
+        // Miss: the query crosses the shared network to the DBMS.
+        w->site_net.Submit(w->params.site_network, [w, req, m]() {
+          req->db_start = w->sim.NowMicros();
+          w->db.Submit(w->QueryCost(req->cls), [w, req, m]() {
+            req->db_ms = static_cast<double>(w->sim.NowMicros() -
+                                             req->db_start) /
+                         kMicrosPerMilli;
+            w->site_net.Submit(w->params.site_network, [w, req, m]() {
+              w->pools[m]->Release();
+              w->site_net.Submit(w->params.site_network,
+                                 [w, req]() { w->Finish(req); });
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void ConfIIUpdate(World* w) {
+  ++w->updates_since_sync;
+  w->site_net.Submit(w->params.site_network, [w]() {
+    w->db.Submit(w->params.update_cost, nullptr);
+  });
+}
+
+void ConfIISyncTick(World* w) {
+  // Each cache pulls the recent updates from the DBMS once per second:
+  // a query on the DBMS, traffic on the shared network, and apply work
+  // on the cache's machine.
+  uint64_t pending = w->updates_since_sync;
+  w->updates_since_sync = 0;
+  Micros db_cost = w->params.data_cache_sync_base +
+                   static_cast<Micros>(pending) *
+                       w->params.data_cache_sync_per_update;
+  for (size_t m = 0; m < w->machines.size(); ++m) {
+    w->site_net.Submit(w->params.site_network, [w, m, db_cost, pending]() {
+      w->db.Submit(db_cost, [w, m, pending]() {
+        w->site_net.Submit(w->params.site_network, [w, m, pending]() {
+          Micros apply = static_cast<Micros>(pending) *
+                         w->params.data_cache_sync_per_update;
+          w->machines[m]->Submit(apply, nullptr);
+        });
+      });
+    });
+  }
+}
+
+// ---------------------------------------------------------------------
+// Configuration III: dynamic web cache in front of the load balancer.
+// ---------------------------------------------------------------------
+void ConfIIIRequest(World* w, std::shared_ptr<RequestState> req) {
+  double hit_ratio = w->params.hit_ratio;
+  if (w->params.model_invalidation) {
+    // Invalidation pressure lowers the realized hit ratio (Section 5.1.1:
+    // over-invalidation causes the hit ratio to decrease).
+    hit_ratio /=
+        1.0 + w->params.inval_sensitivity * w->params.updates.Total();
+  }
+  // The cache sits outside the site network: hits never enter it.
+  w->web_cache.Submit(w->params.web_cache_service, [w, req, hit_ratio]() {
+    req->hit = w->rng.OneIn(hit_ratio);
+    if (req->hit) {
+      w->Finish(req);
+      return;
+    }
+    w->site_net.Submit(w->params.site_network, [w, req]() {
+      size_t m = w->next_machine;
+      w->next_machine = (w->next_machine + 1) % w->machines.size();
+      w->pools[m]->Acquire([w, req, m]() {
+        w->machines[m]->Submit(w->params.web_app_cpu, [w, req, m]() {
+          w->site_net.Submit(w->params.site_network, [w, req, m]() {
+            req->db_start = w->sim.NowMicros();
+            w->db.Submit(w->QueryCost(req->cls), [w, req, m]() {
+              req->db_ms = static_cast<double>(w->sim.NowMicros() -
+                                               req->db_start) /
+                           kMicrosPerMilli;
+              w->site_net.Submit(w->params.site_network, [w, req, m]() {
+                w->pools[m]->Release();
+                w->site_net.Submit(w->params.site_network, [w, req]() {
+                  // Store the fresh page in the web cache on the way out.
+                  w->web_cache.Submit(w->params.web_cache_service,
+                                      [w, req]() { w->Finish(req); });
+                });
+              });
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void ConfIIIUpdate(World* w) {
+  w->site_net.Submit(w->params.site_network, [w]() {
+    w->db.Submit(w->params.update_cost, nullptr);
+  });
+}
+
+void ConfIIIInvalidatorTick(World* w) {
+  // One polling query per second fetching the recent updates
+  // (Section 5.2.4); invalidation messages themselves are off the site
+  // network (cache side) and negligible.
+  w->site_net.Submit(w->params.site_network, [w]() {
+    w->db.Submit(w->params.invalidator_poll_cost, nullptr);
+  });
+}
+
+/// Schedules a Poisson arrival process for `rate` events/second, calling
+/// `fire` at each arrival until the horizon. The recursive closure is
+/// owned by the World (self-ownership through a shared_ptr would cycle).
+void SchedulePoisson(World* w, double rate, Micros horizon,
+                     std::function<void()> fire) {
+  if (rate <= 0) return;
+  double mean_gap = kMicrosPerSecond / rate;
+  w->generators.push_back(std::make_unique<std::function<void(Micros)>>());
+  std::function<void(Micros)>* arrive = w->generators.back().get();
+  auto fire_shared =
+      std::make_shared<std::function<void()>>(std::move(fire));
+  *arrive = [w, mean_gap, horizon, arrive, fire_shared](Micros t) {
+    if (t > horizon) return;
+    w->sim.At(t, [w, t, mean_gap, horizon, arrive, fire_shared]() {
+      (*fire_shared)();
+      Micros next =
+          t + static_cast<Micros>(w->rng.Exponential(mean_gap));
+      (*arrive)(next);
+    });
+  };
+  (*arrive)(static_cast<Micros>(w->rng.Exponential(mean_gap)));
+}
+
+}  // namespace
+
+RunReport RunSiteSimulation(SiteConfig config, const SimParams& params) {
+  World world(params);
+  World* w = &world;
+  Micros horizon = params.duration;
+
+  auto launch_request = [w, config](RequestClass cls) {
+    auto req = std::make_shared<RequestState>();
+    req->start = w->sim.NowMicros();
+    req->cls = cls;
+    ++w->metrics.generated;
+    switch (config) {
+      case SiteConfig::kReplicated:
+        ConfIRequest(w, std::move(req));
+        break;
+      case SiteConfig::kMiddleTierCache:
+        ConfIIRequest(w, std::move(req));
+        break;
+      case SiteConfig::kWebCache:
+        ConfIIIRequest(w, std::move(req));
+        break;
+    }
+  };
+
+  // Request generators: one Poisson stream per class (Section 5.2.2).
+  for (int c = 0; c < kNumRequestClasses; ++c) {
+    RequestClass cls = static_cast<RequestClass>(c);
+    SchedulePoisson(w, params.req_per_class_per_sec, horizon,
+                    [launch_request, cls]() { launch_request(cls); });
+  }
+
+  // Update generators (Section 5.2.3): four independent streams.
+  auto launch_update = [w, config]() {
+    switch (config) {
+      case SiteConfig::kReplicated:
+        ConfIUpdate(w);
+        break;
+      case SiteConfig::kMiddleTierCache:
+        ConfIIUpdate(w);
+        break;
+      case SiteConfig::kWebCache:
+        ConfIIIUpdate(w);
+        break;
+    }
+  };
+  for (double rate : {params.updates.ins1, params.updates.del1,
+                      params.updates.ins2, params.updates.del2}) {
+    SchedulePoisson(w, rate, horizon, launch_update);
+  }
+
+  // Per-second ticks: Conf II cache synchronization, Conf III invalidator
+  // polling.
+  for (Micros t = kMicrosPerSecond; t <= horizon; t += kMicrosPerSecond) {
+    w->sim.At(t, [w, config]() {
+      if (config == SiteConfig::kMiddleTierCache) ConfIISyncTick(w);
+      if (config == SiteConfig::kWebCache) ConfIIIInvalidatorTick(w);
+    });
+  }
+
+  // Generators stop at the horizon; drain every in-flight request so the
+  // averages reflect the full response-time distribution even under
+  // overload (Conf I builds multi-minute backlogs).
+  w->sim.RunAll();
+
+  RunReport report;
+  report.metrics = w->metrics;
+  Micros elapsed = horizon;
+  report.db_utilization = w->db.Utilization(elapsed);
+  report.network_utilization = w->site_net.Utilization(elapsed);
+  double util_sum = 0;
+  for (auto& m : w->machines) util_sum += m->Utilization(elapsed);
+  report.machine_utilization =
+      w->machines.empty() ? 0 : util_sum / static_cast<double>(w->machines.size());
+  report.cache_utilization = w->web_cache.Utilization(elapsed);
+  report.events = w->sim.events_processed();
+  return report;
+}
+
+}  // namespace cacheportal::sim

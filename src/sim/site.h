@@ -1,0 +1,44 @@
+#ifndef CACHEPORTAL_SIM_SITE_H_
+#define CACHEPORTAL_SIM_SITE_H_
+
+#include <string>
+
+#include "sim/metrics.h"
+#include "sim/params.h"
+
+namespace cacheportal::sim {
+
+/// Everything a run reports: the Table 2/3 response-time metrics plus
+/// per-module utilizations (the paper's "how the bottleneck moves").
+struct RunReport {
+  SimMetrics metrics;
+  double db_utilization = 0;        // Dedicated DB machine (Conf II/III).
+  double network_utilization = 0;   // Shared site network.
+  double machine_utilization = 0;   // Mean over web/app machines.
+  double cache_utilization = 0;     // Web cache box (Conf III).
+  uint64_t events = 0;
+};
+
+/// Runs one experiment: the given site configuration under the given
+/// parameters, returning averaged response times after warmup.
+///
+/// The model follows Section 5's testbed:
+///  - Configuration I: four machines, each hosting web server +
+///    application server + DBMS (queries pay the co-location factor);
+///    updates are applied at every replica.
+///  - Configuration II: four web/app machines with middle-tier data
+///    caches (in-memory, or local-DBMS with connection cost for the
+///    Table 3 variant) + one dedicated DBMS; caches synchronize against
+///    the DBMS once per second over the shared network.
+///  - Configuration III: a dynamic-web-content cache in front of the
+///    load balancer (hits never enter the site network) + four web/app
+///    machines + one dedicated DBMS; the invalidator sends one polling
+///    query per second to the DBMS.
+///
+/// Requests hold a server process for their full stay on a machine, which
+/// reproduces the resource starvation Conf. I exhibits in the paper.
+RunReport RunSiteSimulation(SiteConfig config, const SimParams& params);
+
+}  // namespace cacheportal::sim
+
+#endif  // CACHEPORTAL_SIM_SITE_H_

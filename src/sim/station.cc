@@ -1,0 +1,61 @@
+#include "sim/station.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace cacheportal::sim {
+
+Station::Station(Simulator* sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(std::max(1, servers)) {}
+
+void Station::Submit(Micros service, std::function<void()> done) {
+  queue_.push_back(Job{service, sim_->NowMicros(), std::move(done)});
+  max_queue_ = std::max(max_queue_, queue_.size());
+  StartNext();
+}
+
+void Station::StartNext() {
+  while (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    total_wait_ += sim_->NowMicros() - job.submitted;
+    total_busy_ += job.service;
+    Micros service = job.service;
+    // Move the callback into the completion event.
+    auto done = std::make_shared<std::function<void()>>(std::move(job.done));
+    sim_->After(service, [this, done]() {
+      --busy_;
+      ++jobs_completed_;
+      if (*done) (*done)();
+      StartNext();
+    });
+  }
+}
+
+ProcessPool::ProcessPool(Simulator* sim, std::string name, int capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(std::max(1, capacity)) {}
+
+void ProcessPool::Acquire(std::function<void()> granted) {
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    // Run asynchronously for uniform semantics.
+    sim_->After(0, std::move(granted));
+    return;
+  }
+  waiters_.push_back(std::move(granted));
+  max_waiting_ = std::max(max_waiting_, waiters_.size());
+}
+
+void ProcessPool::Release() {
+  if (!waiters_.empty()) {
+    std::function<void()> next = std::move(waiters_.front());
+    waiters_.pop_front();
+    sim_->After(0, std::move(next));
+    return;  // Unit transfers directly to the waiter.
+  }
+  --in_use_;
+}
+
+}  // namespace cacheportal::sim

@@ -1,0 +1,101 @@
+#ifndef CACHEPORTAL_SIM_STATION_H_
+#define CACHEPORTAL_SIM_STATION_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace cacheportal::sim {
+
+/// A FIFO queueing station with `servers` identical servers — models a
+/// CPU, a database engine, or a network link. Jobs submitted while all
+/// servers are busy wait in queue; completion callbacks fire when service
+/// finishes. Utilization and waiting statistics are tracked for the
+/// "where does the bottleneck move" analysis of Section 5.1.2.
+class Station {
+ public:
+  Station(Simulator* sim, std::string name, int servers = 1);
+
+  Station(const Station&) = delete;
+  Station& operator=(const Station&) = delete;
+
+  /// Submits a job needing `service` microseconds; `done` fires at
+  /// completion. Returns immediately.
+  void Submit(Micros service, std::function<void()> done);
+
+  const std::string& name() const { return name_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  Micros total_busy() const { return total_busy_; }
+  Micros total_wait() const { return total_wait_; }
+  size_t queue_length() const { return queue_.size(); }
+  size_t max_queue_length() const { return max_queue_; }
+
+  /// Server utilization in [0, servers], measured against `elapsed`.
+  double Utilization(Micros elapsed) const {
+    return elapsed <= 0 ? 0.0
+                        : static_cast<double>(total_busy_) /
+                              static_cast<double>(elapsed);
+  }
+
+  /// Mean in-queue waiting time per completed job.
+  double AvgWaitMicros() const {
+    return jobs_completed_ == 0 ? 0.0
+                                : static_cast<double>(total_wait_) /
+                                      static_cast<double>(jobs_completed_);
+  }
+
+ private:
+  struct Job {
+    Micros service;
+    Micros submitted;
+    std::function<void()> done;
+  };
+
+  void StartNext();
+
+  Simulator* sim_;
+  std::string name_;
+  int servers_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  uint64_t jobs_completed_ = 0;
+  Micros total_busy_ = 0;
+  Micros total_wait_ = 0;
+  size_t max_queue_ = 0;
+};
+
+/// A counting semaphore over the simulator — models a bounded pool of
+/// server processes/threads. A request holds one unit for its entire stay
+/// on a machine, which reproduces the paper's resource starvation:
+/// processes holding memory and connections while waiting on the DBMS.
+class ProcessPool {
+ public:
+  ProcessPool(Simulator* sim, std::string name, int capacity);
+
+  ProcessPool(const ProcessPool&) = delete;
+  ProcessPool& operator=(const ProcessPool&) = delete;
+
+  /// Calls `granted` once a unit is available (immediately if one is).
+  void Acquire(std::function<void()> granted);
+
+  /// Returns a unit, waking the next waiter.
+  void Release();
+
+  int in_use() const { return in_use_; }
+  size_t waiting() const { return waiters_.size(); }
+  size_t max_waiting() const { return max_waiting_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  int capacity_;
+  int in_use_ = 0;
+  std::deque<std::function<void()>> waiters_;
+  size_t max_waiting_ = 0;
+};
+
+}  // namespace cacheportal::sim
+
+#endif  // CACHEPORTAL_SIM_STATION_H_

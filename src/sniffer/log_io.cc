@@ -1,0 +1,121 @@
+#include "sniffer/log_io.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace cacheportal::sniffer {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string EscapeLogField(const std::string& field) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    if (c == '\t' || c == '\n' || c == '\r' || c == '%') {
+      unsigned char u = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLogField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '%' && i + 2 < field.size() &&
+        HexDigit(field[i + 1]) >= 0 && HexDigit(field[i + 2]) >= 0) {
+      out += static_cast<char>(HexDigit(field[i + 1]) * 16 +
+                               HexDigit(field[i + 2]));
+      i += 2;
+    } else {
+      out += field[i];
+    }
+  }
+  return out;
+}
+
+std::string SerializeRequestLog(
+    const std::vector<RequestLogEntry>& entries) {
+  std::string out;
+  for (const RequestLogEntry& e : entries) {
+    out += StrCat("R\t", e.id, "\t", EscapeLogField(e.servlet_name), "\t",
+                  EscapeLogField(e.request_string), "\t",
+                  EscapeLogField(e.cookie_string), "\t",
+                  EscapeLogField(e.post_string), "\t",
+                  EscapeLogField(e.page_key), "\t", e.receive_time, "\t",
+                  e.delivery_time, "\n");
+  }
+  return out;
+}
+
+Result<std::vector<RequestLogEntry>> ParseRequestLog(
+    const std::string& text) {
+  std::vector<RequestLogEntry> entries;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 9 || fields[0] != "R") {
+      return Status::ParseError(StrCat("malformed request log line: ",
+                                       line));
+    }
+    RequestLogEntry e;
+    e.id = std::strtoull(fields[1].c_str(), nullptr, 10);
+    e.servlet_name = UnescapeLogField(fields[2]);
+    e.request_string = UnescapeLogField(fields[3]);
+    e.cookie_string = UnescapeLogField(fields[4]);
+    e.post_string = UnescapeLogField(fields[5]);
+    e.page_key = UnescapeLogField(fields[6]);
+    e.receive_time = std::strtoll(fields[7].c_str(), nullptr, 10);
+    e.delivery_time = std::strtoll(fields[8].c_str(), nullptr, 10);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string SerializeQueryLog(const std::vector<QueryLogEntry>& entries) {
+  std::string out;
+  for (const QueryLogEntry& e : entries) {
+    out += StrCat("Q\t", e.id, "\t", e.is_select ? "S" : "U", "\t",
+                  e.receive_time, "\t", e.delivery_time, "\t",
+                  EscapeLogField(e.sql), "\n");
+  }
+  return out;
+}
+
+Result<std::vector<QueryLogEntry>> ParseQueryLog(const std::string& text) {
+  std::vector<QueryLogEntry> entries;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 6 || fields[0] != "Q" ||
+        (fields[2] != "S" && fields[2] != "U")) {
+      return Status::ParseError(StrCat("malformed query log line: ", line));
+    }
+    QueryLogEntry e;
+    e.id = std::strtoull(fields[1].c_str(), nullptr, 10);
+    e.is_select = fields[2] == "S";
+    e.receive_time = std::strtoll(fields[3].c_str(), nullptr, 10);
+    e.delivery_time = std::strtoll(fields[4].c_str(), nullptr, 10);
+    e.sql = UnescapeLogField(fields[5]);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace cacheportal::sniffer

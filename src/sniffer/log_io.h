@@ -1,0 +1,45 @@
+#ifndef CACHEPORTAL_SNIFFER_LOG_IO_H_
+#define CACHEPORTAL_SNIFFER_LOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sniffer/query_log.h"
+#include "sniffer/request_log.h"
+
+namespace cacheportal::sniffer {
+
+/// Serialization of the sniffer's logs. The invalidator runs on a
+/// separate machine and pulls the request and query logs at regular
+/// intervals (Section 2.2, Figure 7); these functions define the shipped
+/// format: one record per line, tab-separated, with fields
+/// percent-escaped so embedded tabs/newlines round-trip.
+///
+/// Request log line:
+///   R <id> <servlet> <request-string> <cookie> <post> <page-key>
+///     <receive-us> <delivery-us>
+/// Query log line:
+///   Q <id> <S|U> <receive-us> <delivery-us> <sql>
+
+/// Serializes request-log entries (one line each, trailing newline).
+std::string SerializeRequestLog(const std::vector<RequestLogEntry>& entries);
+
+/// Parses lines produced by SerializeRequestLog.
+Result<std::vector<RequestLogEntry>> ParseRequestLog(const std::string& text);
+
+/// Serializes query-log entries.
+std::string SerializeQueryLog(const std::vector<QueryLogEntry>& entries);
+
+/// Parses lines produced by SerializeQueryLog.
+Result<std::vector<QueryLogEntry>> ParseQueryLog(const std::string& text);
+
+/// Escapes tabs, newlines, '%', and CR as %XX (field-level escaping).
+std::string EscapeLogField(const std::string& field);
+
+/// Inverse of EscapeLogField.
+std::string UnescapeLogField(const std::string& field);
+
+}  // namespace cacheportal::sniffer
+
+#endif  // CACHEPORTAL_SNIFFER_LOG_IO_H_

@@ -1,0 +1,33 @@
+#include "sniffer/mapper.h"
+
+#include <algorithm>
+
+namespace cacheportal::sniffer {
+
+size_t RequestToQueryMapper::Run() {
+  size_t added = 0;
+  const auto& queries = query_log_->entries();
+  for (const RequestLogEntry& request : request_log_->entries()) {
+    if (!request.completed()) continue;
+    if (processed_.contains(request.id)) continue;
+    processed_.insert(request.id);
+
+    // Query log entries are appended in receive-time order; binary-search
+    // the first candidate.
+    auto begin = std::lower_bound(
+        queries.begin(), queries.end(), request.receive_time,
+        [](const QueryLogEntry& q, Micros t) { return q.receive_time < t; });
+    for (auto it = begin; it != queries.end(); ++it) {
+      if (it->receive_time > request.delivery_time) break;
+      if (!it->is_select) continue;
+      if (it->delivery_time > request.delivery_time) continue;
+      uint64_t before = map_->size();
+      map_->Add(it->sql, request.page_key, request.request_string,
+                request.delivery_time);
+      if (map_->size() > before) ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace cacheportal::sniffer

@@ -1,0 +1,102 @@
+#include "sniffer/qiurl_map.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "sniffer/log_io.h"
+
+namespace cacheportal::sniffer {
+
+uint64_t QiUrlMap::Add(const std::string& query_sql,
+                       const std::string& page_key,
+                       const std::string& request_string, Micros timestamp) {
+  auto key = std::make_pair(query_sql, page_key);
+  auto it = pair_index_.find(key);
+  if (it != pair_index_.end()) {
+    entries_[it->second].timestamp = timestamp;
+    return it->second;
+  }
+  uint64_t id = next_id_++;
+  QiUrlEntry entry;
+  entry.id = id;
+  entry.query_sql = query_sql;
+  entry.page_key = page_key;
+  entry.request_string = request_string;
+  entry.timestamp = timestamp;
+  entries_.emplace(id, std::move(entry));
+  pair_index_.emplace(std::move(key), id);
+  by_query_[query_sql].insert(page_key);
+  by_page_[page_key].insert(query_sql);
+  return id;
+}
+
+std::vector<QiUrlEntry> QiUrlMap::ReadSince(uint64_t after_id) const {
+  std::vector<QiUrlEntry> out;
+  for (auto it = entries_.upper_bound(after_id); it != entries_.end(); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> QiUrlMap::PagesForQuery(
+    const std::string& query_sql) const {
+  auto it = by_query_.find(query_sql);
+  if (it == by_query_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> QiUrlMap::QueriesForPage(
+    const std::string& page_key) const {
+  auto it = by_page_.find(page_key);
+  if (it == by_page_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+size_t QiUrlMap::RemovePage(const std::string& page_key) {
+  auto it = by_page_.find(page_key);
+  if (it == by_page_.end()) return 0;
+  size_t removed = 0;
+  for (const std::string& query : it->second) {
+    auto pair_it = pair_index_.find(std::make_pair(query, page_key));
+    if (pair_it != pair_index_.end()) {
+      entries_.erase(pair_it->second);
+      pair_index_.erase(pair_it);
+      ++removed;
+    }
+    auto q_it = by_query_.find(query);
+    if (q_it != by_query_.end()) {
+      q_it->second.erase(page_key);
+      if (q_it->second.empty()) by_query_.erase(q_it);
+    }
+  }
+  by_page_.erase(it);
+  return removed;
+}
+
+std::string QiUrlMap::Serialize() const {
+  std::string out;
+  for (const auto& [id, entry] : entries_) {
+    out += StrCat("M\t", entry.id, "\t", EscapeLogField(entry.query_sql),
+                  "\t", EscapeLogField(entry.page_key), "\t",
+                  EscapeLogField(entry.request_string), "\t",
+                  entry.timestamp, "\n");
+  }
+  return out;
+}
+
+Result<QiUrlMap> QiUrlMap::Deserialize(const std::string& text) {
+  QiUrlMap map;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 6 || fields[0] != "M") {
+      return Status::ParseError(StrCat("malformed QI/URL map line: ", line));
+    }
+    map.Add(UnescapeLogField(fields[2]), UnescapeLogField(fields[3]),
+            UnescapeLogField(fields[4]),
+            std::strtoll(fields[5].c_str(), nullptr, 10));
+  }
+  return map;
+}
+
+}  // namespace cacheportal::sniffer

@@ -1,0 +1,82 @@
+#ifndef CACHEPORTAL_SNIFFER_QIURL_MAP_H_
+#define CACHEPORTAL_SNIFFER_QIURL_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace cacheportal::sniffer {
+
+/// One row of the QI/URL map (Section 2.4): a unique ID, the query
+/// instance's SQL text, and the URL (cache key) of the page it produced.
+struct QiUrlEntry {
+  uint64_t id = 0;
+  std::string query_sql;
+  std::string page_key;
+  std::string request_string;  // For diagnostics / policy discovery.
+  Micros timestamp = 0;
+};
+
+/// The query-instance-to-URL map, produced by the sniffer and consumed by
+/// the invalidator. (query, page) pairs are deduplicated; re-adding an
+/// existing pair refreshes its timestamp only.
+class QiUrlMap {
+ public:
+  QiUrlMap() = default;
+
+  QiUrlMap(const QiUrlMap&) = delete;
+  QiUrlMap& operator=(const QiUrlMap&) = delete;
+  QiUrlMap(QiUrlMap&&) = default;
+  QiUrlMap& operator=(QiUrlMap&&) = default;
+
+  /// Adds a mapping; returns the row ID (existing ID if deduplicated).
+  uint64_t Add(const std::string& query_sql, const std::string& page_key,
+               const std::string& request_string, Micros timestamp);
+
+  /// Rows with id > `after_id`, for the invalidator's incremental scan.
+  std::vector<QiUrlEntry> ReadSince(uint64_t after_id) const;
+
+  /// Cache keys of all pages built from `query_sql`.
+  std::vector<std::string> PagesForQuery(const std::string& query_sql) const;
+
+  /// Query instances used to build page `page_key`.
+  std::vector<std::string> QueriesForPage(const std::string& page_key) const;
+
+  /// Drops all rows for `page_key` (the page left the cache). Returns the
+  /// number of rows removed.
+  size_t RemovePage(const std::string& page_key);
+
+  /// Distinct query instances present.
+  size_t NumQueries() const { return by_query_.size(); }
+  /// Distinct pages present.
+  size_t NumPages() const { return by_page_.size(); }
+  size_t size() const { return entries_.size(); }
+
+  uint64_t LastId() const { return next_id_ - 1; }
+
+  /// Serializes all rows to the sniffer's line format (see log_io.h); the
+  /// invalidator machine can persist its view of the map across restarts.
+  std::string Serialize() const;
+
+  /// Rebuilds a map from Serialize() output. Row IDs are reassigned
+  /// densely (consumers must reset their read cursors after a restore).
+  static Result<QiUrlMap> Deserialize(const std::string& text);
+
+ private:
+  // id -> entry, ordered for ReadSince.
+  std::map<uint64_t, QiUrlEntry> entries_;
+  // (query, page) -> id for dedup.
+  std::map<std::pair<std::string, std::string>, uint64_t> pair_index_;
+  std::map<std::string, std::set<std::string>> by_query_;  // query -> pages.
+  std::map<std::string, std::set<std::string>> by_page_;   // page -> queries.
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace cacheportal::sniffer
+
+#endif  // CACHEPORTAL_SNIFFER_QIURL_MAP_H_

@@ -1,0 +1,27 @@
+#include "sniffer/query_log.h"
+
+#include <cstddef>
+
+namespace cacheportal::sniffer {
+
+uint64_t QueryLog::Append(const std::string& sql, bool is_select,
+                          Micros receive_time, Micros delivery_time) {
+  QueryLogEntry entry;
+  entry.id = next_id_++;
+  entry.sql = sql;
+  entry.is_select = is_select;
+  entry.receive_time = receive_time;
+  entry.delivery_time = delivery_time;
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+std::vector<QueryLogEntry> QueryLog::ReadSince(uint64_t after_id) const {
+  std::vector<QueryLogEntry> out;
+  if (after_id >= entries_.size()) return out;
+  out.assign(entries_.begin() + static_cast<ptrdiff_t>(after_id),
+             entries_.end());
+  return out;
+}
+
+}  // namespace cacheportal::sniffer

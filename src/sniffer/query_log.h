@@ -1,0 +1,48 @@
+#ifndef CACHEPORTAL_SNIFFER_QUERY_LOG_H_
+#define CACHEPORTAL_SNIFFER_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace cacheportal::sniffer {
+
+/// One record of the query instance request/delivery log (Section 3.2):
+/// the query string plus receive and result-delivery timestamps, captured
+/// by the JDBC wrapper.
+struct QueryLogEntry {
+  uint64_t id = 0;
+  std::string sql;
+  bool is_select = true;
+  Micros receive_time = 0;
+  Micros delivery_time = 0;
+};
+
+/// Append-only query log.
+class QueryLog {
+ public:
+  QueryLog() = default;
+
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Appends a completed query record; returns its ID.
+  uint64_t Append(const std::string& sql, bool is_select, Micros receive_time,
+                  Micros delivery_time);
+
+  const std::vector<QueryLogEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Entries with id > `after_id`.
+  std::vector<QueryLogEntry> ReadSince(uint64_t after_id) const;
+
+ private:
+  std::vector<QueryLogEntry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace cacheportal::sniffer
+
+#endif  // CACHEPORTAL_SNIFFER_QUERY_LOG_H_

@@ -1,0 +1,63 @@
+#include "sniffer/query_logger.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::sniffer {
+
+namespace {
+
+/// Connection decorator that timestamps and records each statement.
+class LoggingConnection : public server::Connection {
+ public:
+  LoggingConnection(server::Connection* inner,
+                    std::unique_ptr<server::Connection> owned, QueryLog* log,
+                    const Clock* clock)
+      : inner_(inner), owned_(std::move(owned)), log_(log), clock_(clock) {}
+
+  Result<db::QueryResult> ExecuteQuery(const std::string& sql) override {
+    Micros receive = clock_->NowMicros();
+    Result<db::QueryResult> result = inner_->ExecuteQuery(sql);
+    log_->Append(sql, /*is_select=*/true, receive, clock_->NowMicros());
+    return result;
+  }
+
+  Result<int64_t> ExecuteUpdate(const std::string& sql) override {
+    Micros receive = clock_->NowMicros();
+    Result<int64_t> result = inner_->ExecuteUpdate(sql);
+    log_->Append(sql, /*is_select=*/false, receive, clock_->NowMicros());
+    return result;
+  }
+
+ private:
+  server::Connection* inner_;
+  std::unique_ptr<server::Connection> owned_;  // Set when we own inner.
+  QueryLog* log_;
+  const Clock* clock_;
+};
+
+}  // namespace
+
+bool QueryLoggingDriver::AcceptsUrl(const std::string& url) const {
+  if (!StartsWith(url, kUrlPrefix)) return false;
+  return inner_->AcceptsUrl(url.substr(sizeof(kUrlPrefix) - 1));
+}
+
+Result<std::unique_ptr<server::Connection>> QueryLoggingDriver::Connect(
+    const std::string& url) {
+  if (!StartsWith(url, kUrlPrefix)) {
+    return Status::InvalidArgument(StrCat("unsupported URL ", url));
+  }
+  std::string inner_url = url.substr(sizeof(kUrlPrefix) - 1);
+  CACHEPORTAL_ASSIGN_OR_RETURN(std::unique_ptr<server::Connection> inner,
+                               inner_->Connect(inner_url));
+  server::Connection* raw = inner.get();
+  return std::unique_ptr<server::Connection>(std::make_unique<LoggingConnection>(
+      raw, std::move(inner), log_, clock_));
+}
+
+std::unique_ptr<server::Connection> QueryLoggingDriver::WrapConnection(
+    server::Connection* inner) const {
+  return std::make_unique<LoggingConnection>(inner, nullptr, log_, clock_);
+}
+
+}  // namespace cacheportal::sniffer

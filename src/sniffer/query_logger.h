@@ -1,0 +1,48 @@
+#ifndef CACHEPORTAL_SNIFFER_QUERY_LOGGER_H_
+#define CACHEPORTAL_SNIFFER_QUERY_LOGGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "server/jdbc.h"
+#include "sniffer/query_log.h"
+
+namespace cacheportal::sniffer {
+
+/// The paper's JDBC wrapper (Section 3.2): a Driver that delegates to the
+/// actual driver while recording every query string with receive and
+/// result-delivery timestamps. Because all database access paths (explicit
+/// drivers, connection pools, data sources) bottom out in a Driver, this
+/// single wrapper captures everything, independent of how queries are
+/// generated — the non-invasive property the paper needs.
+///
+/// The inner driver's URL is carried inside the wrapper URL:
+///   "jdbc:cacheportal-log:<inner-url>"
+class QueryLoggingDriver : public server::Driver {
+ public:
+  /// Wraps `inner` (not owned). Records into `log` using `clock`.
+  QueryLoggingDriver(server::Driver* inner, QueryLog* log,
+                     const Clock* clock)
+      : inner_(inner), log_(log), clock_(clock) {}
+
+  bool AcceptsUrl(const std::string& url) const override;
+  Result<std::unique_ptr<server::Connection>> Connect(
+      const std::string& url) override;
+
+  /// Wraps an already-open connection (used when the pool was created
+  /// before CachePortal attached). `inner` is not owned.
+  std::unique_ptr<server::Connection> WrapConnection(
+      server::Connection* inner) const;
+
+  static constexpr char kUrlPrefix[] = "jdbc:cacheportal-log:";
+
+ private:
+  server::Driver* inner_;
+  QueryLog* log_;
+  const Clock* clock_;
+};
+
+}  // namespace cacheportal::sniffer
+
+#endif  // CACHEPORTAL_SNIFFER_QUERY_LOGGER_H_

@@ -1,0 +1,38 @@
+#include "sniffer/request_log.h"
+
+#include <cstddef>
+
+namespace cacheportal::sniffer {
+
+uint64_t RequestLog::Open(const std::string& servlet_name,
+                          const std::string& request_string,
+                          const std::string& cookie_string,
+                          const std::string& post_string,
+                          const std::string& page_key, Micros receive_time) {
+  RequestLogEntry entry;
+  entry.id = next_id_++;
+  entry.servlet_name = servlet_name;
+  entry.request_string = request_string;
+  entry.cookie_string = cookie_string;
+  entry.post_string = post_string;
+  entry.page_key = page_key;
+  entry.receive_time = receive_time;
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+void RequestLog::Close(uint64_t id, Micros delivery_time) {
+  // IDs are dense and 1-based.
+  if (id == 0 || id > entries_.size()) return;
+  entries_[id - 1].delivery_time = delivery_time;
+}
+
+std::vector<RequestLogEntry> RequestLog::ReadSince(uint64_t after_id) const {
+  std::vector<RequestLogEntry> out;
+  if (after_id >= entries_.size()) return out;
+  out.assign(entries_.begin() + static_cast<ptrdiff_t>(after_id),
+             entries_.end());
+  return out;
+}
+
+}  // namespace cacheportal::sniffer

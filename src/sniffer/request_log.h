@@ -1,0 +1,62 @@
+#ifndef CACHEPORTAL_SNIFFER_REQUEST_LOG_H_
+#define CACHEPORTAL_SNIFFER_REQUEST_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "http/url.h"
+
+namespace cacheportal::sniffer {
+
+/// One record of the HTTP request/delivery log (Section 3.1): a unique
+/// ID, the request string (page name + GET parameters), the cookie and
+/// POST strings, and receive/delivery timestamps. `page_key` is the
+/// page's cache identity after narrowing to the servlet's key parameters.
+struct RequestLogEntry {
+  uint64_t id = 0;
+  std::string servlet_name;
+  std::string request_string;  // "/path?get_params"
+  std::string cookie_string;
+  std::string post_string;
+  std::string page_key;  // Canonical cache key (http::PageId::CacheKey()).
+  Micros receive_time = 0;
+  Micros delivery_time = -1;  // -1 while in flight.
+
+  bool completed() const { return delivery_time >= 0; }
+};
+
+/// Append-only request log written by the request logger and consumed by
+/// the request-to-query mapper.
+class RequestLog {
+ public:
+  RequestLog() = default;
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  /// Opens an entry at receive time; returns its ID.
+  uint64_t Open(const std::string& servlet_name,
+                const std::string& request_string,
+                const std::string& cookie_string,
+                const std::string& post_string, const std::string& page_key,
+                Micros receive_time);
+
+  /// Completes the entry with its delivery timestamp.
+  void Close(uint64_t id, Micros delivery_time);
+
+  const std::vector<RequestLogEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Entries with id > `after_id` (for incremental consumption).
+  std::vector<RequestLogEntry> ReadSince(uint64_t after_id) const;
+
+ private:
+  std::vector<RequestLogEntry> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace cacheportal::sniffer
+
+#endif  // CACHEPORTAL_SNIFFER_REQUEST_LOG_H_

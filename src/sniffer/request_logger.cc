@@ -1,0 +1,124 @@
+#include "sniffer/request_logger.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cacheportal::sniffer {
+
+namespace {
+
+/// Copies the entries of `from` named in `keys` into `to`; with no keys
+/// configured, copies everything (conservative identity).
+void CopyKeyParams(const http::ParamMap& from,
+                   const std::vector<std::string>& keys, bool have_config,
+                   http::ParamMap* to) {
+  if (!have_config) {
+    *to = from;
+    return;
+  }
+  for (const std::string& key : keys) {
+    auto it = from.find(key);
+    if (it != from.end()) (*to)[key] = it->second;
+  }
+}
+
+}  // namespace
+
+void RequestLogger::RegisterServlet(const server::ServletConfig& config) {
+  configs_[config.name] = config;
+}
+
+const server::ServletConfig* RequestLogger::FindConfig(
+    const std::string& servlet_name) const {
+  auto it = configs_.find(servlet_name);
+  return it == configs_.end() ? nullptr : &it->second;
+}
+
+RequestLogger::ServletStats RequestLogger::StatsFor(
+    const std::string& servlet_name) const {
+  auto it = stats_.find(servlet_name);
+  return it == stats_.end() ? ServletStats{} : it->second;
+}
+
+http::PageId RequestLogger::NarrowToKeys(
+    const http::HttpRequest& request, const server::ServletConfig* config) {
+  http::PageId id(request.host, request.path);
+  bool have = config != nullptr;
+  CopyKeyParams(request.get_params,
+                have ? config->key_get_params : std::vector<std::string>{},
+                have, &id.get_params());
+  CopyKeyParams(request.post_params,
+                have ? config->key_post_params : std::vector<std::string>{},
+                have, &id.post_params());
+  CopyKeyParams(request.cookies,
+                have ? config->key_cookie_params : std::vector<std::string>{},
+                have, &id.cookie_params());
+  return id;
+}
+
+uint64_t RequestLogger::BeforeService(const std::string& servlet_name,
+                                      const http::HttpRequest& request) {
+  const server::ServletConfig* config = FindConfig(servlet_name);
+  http::PageId page = NarrowToKeys(request, config);
+
+  std::string request_string = request.path;
+  std::string query = http::BuildQueryString(request.get_params);
+  if (!query.empty()) request_string += "?" + query;
+
+  return log_->Open(servlet_name, request_string,
+                    http::BuildCookieString(request.cookies),
+                    http::BuildQueryString(request.post_params),
+                    page.CacheKey(), clock_->NowMicros());
+}
+
+void RequestLogger::AfterService(uint64_t token,
+                                 const std::string& servlet_name,
+                                 const http::HttpRequest& /*request*/,
+                                 http::HttpResponse* response) {
+  log_->Close(token, clock_->NowMicros());
+  ServletStats& stats = stats_[servlet_name];
+  ++stats.requests;
+
+  // Decide cacheability of this servlet's pages.
+  const server::ServletConfig* config = FindConfig(servlet_name);
+  bool eligible = true;
+  if (config != nullptr && config->temporal_sensitivity > 0 &&
+      config->temporal_sensitivity < invalidation_cycle_) {
+    eligible = false;  // More sensitive than CachePortal can accommodate.
+  }
+  if (eligible && oracle_ && !oracle_(servlet_name)) {
+    eligible = false;
+  }
+
+  http::CacheControl cc = response->GetCacheControl();
+  if (cc.no_store) {
+    ++stats.kept_non_cacheable;
+    return;  // Never override an explicit no-store.
+  }
+  bool marked_non_cacheable =
+      cc.no_cache || (!cc.is_private && !cc.is_public &&
+                      !cc.max_age_seconds.has_value());
+  if (!marked_non_cacheable) {
+    ++stats.already_cacheable;
+    return;
+  }
+
+  if (!eligible) {
+    ++stats.kept_non_cacheable;
+    // Make the non-cacheable marking explicit.
+    http::CacheControl out;
+    out.no_cache = true;
+    response->SetCacheControl(out);
+    return;
+  }
+  ++stats.rewritten_cacheable;
+  // The translation from Section 3.1: private, owner="cacheportal".
+  http::CacheControl out;
+  out.is_private = true;
+  out.owner = http::kCachePortalOwner;
+  out.max_age_seconds = cc.max_age_seconds;
+  response->SetCacheControl(out);
+}
+
+}  // namespace cacheportal::sniffer

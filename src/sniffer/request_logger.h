@@ -1,0 +1,86 @@
+#ifndef CACHEPORTAL_SNIFFER_REQUEST_LOGGER_H_
+#define CACHEPORTAL_SNIFFER_REQUEST_LOGGER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "server/app_server.h"
+#include "server/servlet.h"
+#include "sniffer/request_log.h"
+
+namespace cacheportal::sniffer {
+
+/// The sniffer's servlet wrapper (Section 3.1). It is installed as the
+/// application server's interceptor and, per request:
+///  - derives the page's cache identity by narrowing the request's GET,
+///    POST, and cookie parameters to the servlet's registered key
+///    parameters;
+///  - writes the request log entry (receive/delivery timestamps);
+///  - rewrites `Cache-Control: no-cache` (or a missing cache directive)
+///    into `Cache-Control: private, owner="cacheportal"` so CachePortal-
+///    compliant caches may cache the page — unless the servlet is more
+///    temporally sensitive than the invalidation cycle or the invalidator
+///    has flagged it non-cacheable.
+class RequestLogger : public server::ServletInterceptor {
+ public:
+  /// Records into `log` with timestamps from `clock` (neither owned).
+  RequestLogger(RequestLog* log, const Clock* clock)
+      : log_(log), clock_(clock) {}
+
+  /// Registers servlet metadata (key parameters, temporal sensitivity).
+  /// Unregistered servlets fall back to using all parameters as keys.
+  void RegisterServlet(const server::ServletConfig& config);
+
+  /// Feedback hook from the invalidator: returns false when pages of this
+  /// servlet must not be cached (Section 3.1 discusses this feedback; the
+  /// default accepts everything).
+  void SetCacheabilityOracle(std::function<bool(const std::string&)> oracle) {
+    oracle_ = std::move(oracle);
+  }
+
+  /// The invalidation cycle CachePortal can sustain; servlets whose
+  /// temporal sensitivity is tighter than this stay non-cacheable.
+  void SetInvalidationCycle(Micros cycle) { invalidation_cycle_ = cycle; }
+
+  /// Computes the cache identity of `request` under `config` (exposed for
+  /// the caching proxy, which must use the same narrowing).
+  static http::PageId NarrowToKeys(const http::HttpRequest& request,
+                                   const server::ServletConfig* config);
+
+  /// Config registered for `servlet_name`, or nullptr.
+  const server::ServletConfig* FindConfig(
+      const std::string& servlet_name) const;
+
+  /// Per-servlet counters (Section 3.1's "associated statistics ... used
+  /// in fine tuning the invalidation process").
+  struct ServletStats {
+    uint64_t requests = 0;
+    uint64_t rewritten_cacheable = 0;   // no-cache -> private owner=....
+    uint64_t kept_non_cacheable = 0;    // Sensitivity or policy veto.
+    uint64_t already_cacheable = 0;     // Left untouched.
+  };
+
+  /// Statistics for `servlet_name` (zeros when never seen).
+  ServletStats StatsFor(const std::string& servlet_name) const;
+
+  // server::ServletInterceptor:
+  uint64_t BeforeService(const std::string& servlet_name,
+                         const http::HttpRequest& request) override;
+  void AfterService(uint64_t token, const std::string& servlet_name,
+                    const http::HttpRequest& request,
+                    http::HttpResponse* response) override;
+
+ private:
+  RequestLog* log_;
+  const Clock* clock_;
+  std::map<std::string, server::ServletConfig> configs_;
+  std::map<std::string, ServletStats> stats_;
+  std::function<bool(const std::string&)> oracle_;
+  Micros invalidation_cycle_ = kMicrosPerSecond;  // 1 s default.
+};
+
+}  // namespace cacheportal::sniffer
+
+#endif  // CACHEPORTAL_SNIFFER_REQUEST_LOGGER_H_

@@ -1,0 +1,213 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::sql {
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNotEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLtEq:
+    case BinaryOp::kGt:
+    case BinaryOp::kGtEq:
+    case BinaryOp::kLike:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogicalOp(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+bool IsArithmeticOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLtEq:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGtEq:
+      return ">=";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+bool LiteralExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kLiteral) return false;
+  return value_ == static_cast<const LiteralExpr&>(other).value();
+}
+
+bool ColumnRefExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kColumnRef) return false;
+  const auto& o = static_cast<const ColumnRefExpr&>(other);
+  return table_ == o.table_ && column_ == o.column_;
+}
+
+bool ParameterExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kParameter) return false;
+  const auto& o = static_cast<const ParameterExpr&>(other);
+  return ordinal_ == o.ordinal_ && name_ == o.name_;
+}
+
+bool UnaryExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kUnary) return false;
+  const auto& o = static_cast<const UnaryExpr&>(other);
+  return op_ == o.op_ && operand_->Equals(*o.operand_);
+}
+
+bool BinaryExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kBinary) return false;
+  const auto& o = static_cast<const BinaryExpr&>(other);
+  return op_ == o.op_ && left_->Equals(*o.left_) && right_->Equals(*o.right_);
+}
+
+bool FunctionCallExpr::IsAggregate() const {
+  return name_ == "COUNT" || name_ == "SUM" || name_ == "MIN" ||
+         name_ == "MAX" || name_ == "AVG";
+}
+
+ExpressionPtr FunctionCallExpr::Clone() const {
+  std::vector<ExpressionPtr> args;
+  args.reserve(args_.size());
+  for (const auto& a : args_) args.push_back(a->Clone());
+  return std::make_unique<FunctionCallExpr>(name_, std::move(args), star_);
+}
+
+bool FunctionCallExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kFunctionCall) return false;
+  const auto& o = static_cast<const FunctionCallExpr&>(other);
+  if (name_ != o.name_ || star_ != o.star_ || args_.size() != o.args_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (!args_[i]->Equals(*o.args_[i])) return false;
+  }
+  return true;
+}
+
+ExpressionPtr InListExpr::Clone() const {
+  std::vector<ExpressionPtr> items;
+  items.reserve(items_.size());
+  for (const auto& item : items_) items.push_back(item->Clone());
+  return std::make_unique<InListExpr>(operand_->Clone(), std::move(items),
+                                      negated_);
+}
+
+bool InListExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kInList) return false;
+  const auto& o = static_cast<const InListExpr&>(other);
+  if (negated_ != o.negated_ || items_.size() != o.items_.size() ||
+      !operand_->Equals(*o.operand_)) {
+    return false;
+  }
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (!items_[i]->Equals(*o.items_[i])) return false;
+  }
+  return true;
+}
+
+bool BetweenExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kBetween) return false;
+  const auto& o = static_cast<const BetweenExpr&>(other);
+  return negated_ == o.negated_ && operand_->Equals(*o.operand_) &&
+         low_->Equals(*o.low_) && high_->Equals(*o.high_);
+}
+
+bool IsNullExpr::Equals(const Expression& other) const {
+  if (other.kind() != ExprKind::kIsNull) return false;
+  const auto& o = static_cast<const IsNullExpr&>(other);
+  return negated_ == o.negated_ && operand_->Equals(*o.operand_);
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto out = std::make_unique<SelectStatement>();
+  out->distinct = distinct;
+  out->items.reserve(items.size());
+  for (const auto& item : items) out->items.push_back(item.Clone());
+  out->from = from;
+  out->where = where ? where->Clone() : nullptr;
+  out->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  out->having = having ? having->Clone() : nullptr;
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+std::unique_ptr<InsertStatement> InsertStatement::Clone() const {
+  auto out = std::make_unique<InsertStatement>();
+  out->table = table;
+  out->columns = columns;
+  out->values.reserve(values.size());
+  for (const auto& v : values) out->values.push_back(v->Clone());
+  return out;
+}
+
+std::unique_ptr<DeleteStatement> DeleteStatement::Clone() const {
+  auto out = std::make_unique<DeleteStatement>();
+  out->table = table;
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+std::unique_ptr<UpdateStatement> UpdateStatement::Clone() const {
+  auto out = std::make_unique<UpdateStatement>();
+  out->table = table;
+  out->assignments.reserve(assignments.size());
+  for (const auto& [col, expr] : assignments) {
+    out->assignments.emplace_back(col, expr->Clone());
+  }
+  out->where = where ? where->Clone() : nullptr;
+  return out;
+}
+
+bool ExprEquals(const Expression* a, const Expression* b) {
+  if (a == nullptr && b == nullptr) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->Equals(*b);
+}
+
+ExpressionPtr ConjoinExprs(ExpressionPtr left, ExpressionPtr right) {
+  if (left == nullptr) return right;
+  if (right == nullptr) return left;
+  return std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                      std::move(right));
+}
+
+}  // namespace cacheportal::sql

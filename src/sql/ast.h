@@ -1,0 +1,479 @@
+#ifndef CACHEPORTAL_SQL_AST_H_
+#define CACHEPORTAL_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace cacheportal::sql {
+
+class Expression;
+using ExpressionPtr = std::unique_ptr<Expression>;
+
+/// Expression node discriminator.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kParameter,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kInList,
+  kBetween,
+  kIsNull,
+};
+
+/// Binary operators, in precedence-relevant groups.
+enum class BinaryOp {
+  // Logical.
+  kAnd,
+  kOr,
+  // Comparison.
+  kEq,
+  kNotEq,
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kLike,
+  // Arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+/// Unary operators.
+enum class UnaryOp { kNot, kNeg };
+
+/// Returns true for comparison operators (=, <>, <, <=, >, >=, LIKE).
+bool IsComparisonOp(BinaryOp op);
+/// Returns true for AND/OR.
+bool IsLogicalOp(BinaryOp op);
+/// Returns true for +,-,*,/.
+bool IsArithmeticOp(BinaryOp op);
+/// SQL spelling of an operator ("=", "AND", ...).
+const char* BinaryOpName(BinaryOp op);
+
+/// Base class for all expression AST nodes. Nodes are immutable after
+/// construction; tree rewrites (template extraction, substitution) build
+/// new trees via Clone().
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Deep copy.
+  virtual ExpressionPtr Clone() const = 0;
+
+  /// Structural equality (literal values compare with Value::operator==).
+  virtual bool Equals(const Expression& other) const = 0;
+
+ protected:
+  explicit Expression(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+/// A constant value, e.g. 42 or 'Toyota'.
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Value value)
+      : Expression(ExprKind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<LiteralExpr>(value_);
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  Value value_;
+};
+
+/// A (possibly table-qualified) column reference, e.g. Car.price or price.
+class ColumnRefExpr : public Expression {
+ public:
+  ColumnRefExpr(std::string table, std::string column)
+      : Expression(ExprKind::kColumnRef),
+        table_(std::move(table)),
+        column_(std::move(column)) {}
+
+  /// Table (or alias) qualifier; empty when unqualified.
+  const std::string& table() const { return table_; }
+  const std::string& column() const { return column_; }
+
+  /// "table.column" or "column".
+  std::string FullName() const {
+    return table_.empty() ? column_ : table_ + "." + column_;
+  }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<ColumnRefExpr>(table_, column_);
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  std::string table_;
+  std::string column_;
+};
+
+/// A positional parameter ($1, $2, ... or ?). `ordinal` is 1-based; 0 means
+/// an anonymous `?` placeholder. `name` preserves `$V1`-style names.
+class ParameterExpr : public Expression {
+ public:
+  explicit ParameterExpr(int ordinal, std::string name = "")
+      : Expression(ExprKind::kParameter),
+        ordinal_(ordinal),
+        name_(std::move(name)) {}
+
+  int ordinal() const { return ordinal_; }
+  const std::string& name() const { return name_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<ParameterExpr>(ordinal_, name_);
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  int ordinal_;
+  std::string name_;
+};
+
+/// NOT expr, or -expr.
+class UnaryExpr : public Expression {
+ public:
+  UnaryExpr(UnaryOp op, ExpressionPtr operand)
+      : Expression(ExprKind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const Expression& operand() const { return *operand_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  UnaryOp op_;
+  ExpressionPtr operand_;
+};
+
+/// left OP right for all binary operators.
+class BinaryExpr : public Expression {
+ public:
+  BinaryExpr(BinaryOp op, ExpressionPtr left, ExpressionPtr right)
+      : Expression(ExprKind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const Expression& left() const { return *left_; }
+  const Expression& right() const { return *right_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op_, left_->Clone(), right_->Clone());
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  BinaryOp op_;
+  ExpressionPtr left_;
+  ExpressionPtr right_;
+};
+
+/// Aggregate / scalar function call: COUNT(*), SUM(x), MIN(x), MAX(x),
+/// AVG(x). `star` is true for COUNT(*).
+class FunctionCallExpr : public Expression {
+ public:
+  FunctionCallExpr(std::string name, std::vector<ExpressionPtr> args,
+                   bool star = false)
+      : Expression(ExprKind::kFunctionCall),
+        name_(std::move(name)),
+        args_(std::move(args)),
+        star_(star) {}
+
+  /// Upper-cased function name.
+  const std::string& name() const { return name_; }
+  const std::vector<ExpressionPtr>& args() const { return args_; }
+  bool star() const { return star_; }
+
+  /// True if this is one of the recognized aggregate functions.
+  bool IsAggregate() const;
+
+  ExpressionPtr Clone() const override;
+  bool Equals(const Expression& other) const override;
+
+ private:
+  std::string name_;
+  std::vector<ExpressionPtr> args_;
+  bool star_;
+};
+
+/// expr [NOT] IN (v1, v2, ...).
+class InListExpr : public Expression {
+ public:
+  InListExpr(ExpressionPtr operand, std::vector<ExpressionPtr> items,
+             bool negated)
+      : Expression(ExprKind::kInList),
+        operand_(std::move(operand)),
+        items_(std::move(items)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  const std::vector<ExpressionPtr>& items() const { return items_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override;
+  bool Equals(const Expression& other) const override;
+
+ private:
+  ExpressionPtr operand_;
+  std::vector<ExpressionPtr> items_;
+  bool negated_;
+};
+
+/// expr [NOT] BETWEEN low AND high.
+class BetweenExpr : public Expression {
+ public:
+  BetweenExpr(ExpressionPtr operand, ExpressionPtr low, ExpressionPtr high,
+              bool negated)
+      : Expression(ExprKind::kBetween),
+        operand_(std::move(operand)),
+        low_(std::move(low)),
+        high_(std::move(high)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  const Expression& low() const { return *low_; }
+  const Expression& high() const { return *high_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<BetweenExpr>(operand_->Clone(), low_->Clone(),
+                                         high_->Clone(), negated_);
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  ExpressionPtr operand_;
+  ExpressionPtr low_;
+  ExpressionPtr high_;
+  bool negated_;
+};
+
+/// expr IS [NOT] NULL.
+class IsNullExpr : public Expression {
+ public:
+  IsNullExpr(ExpressionPtr operand, bool negated)
+      : Expression(ExprKind::kIsNull),
+        operand_(std::move(operand)),
+        negated_(negated) {}
+
+  const Expression& operand() const { return *operand_; }
+  bool negated() const { return negated_; }
+
+  ExpressionPtr Clone() const override {
+    return std::make_unique<IsNullExpr>(operand_->Clone(), negated_);
+  }
+  bool Equals(const Expression& other) const override;
+
+ private:
+  ExpressionPtr operand_;
+  bool negated_;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// Statement discriminator.
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kCreateTable,
+  kCreateIndex,
+};
+
+/// Base class for parsed SQL statements.
+class Statement {
+ public:
+  virtual ~Statement() = default;
+
+  StatementKind kind() const { return kind_; }
+
+  virtual std::unique_ptr<Statement> CloneStatement() const = 0;
+
+ protected:
+  explicit Statement(StatementKind kind) : kind_(kind) {}
+
+ private:
+  StatementKind kind_;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// One item of a SELECT list: either `*` (optionally table-qualified) or an
+/// expression with an optional alias.
+struct SelectItem {
+  bool star = false;
+  std::string star_table;  // For "t.*"; empty for plain "*".
+  ExpressionPtr expr;      // Null when star.
+  std::string alias;       // Optional AS alias.
+
+  SelectItem Clone() const {
+    SelectItem item;
+    item.star = star;
+    item.star_table = star_table;
+    item.expr = expr ? expr->Clone() : nullptr;
+    item.alias = alias;
+    return item;
+  }
+};
+
+/// A table in a FROM clause with an optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // Empty when none.
+
+  /// Name by which columns reference this table (alias if present).
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+
+  bool operator==(const TableRef& other) const = default;
+};
+
+/// ORDER BY item.
+struct OrderByItem {
+  ExpressionPtr expr;
+  bool ascending = true;
+
+  OrderByItem Clone() const {
+    OrderByItem item;
+    item.expr = expr->Clone();
+    item.ascending = ascending;
+    return item;
+  }
+};
+
+/// SELECT [DISTINCT] items FROM tables [WHERE cond] [GROUP BY cols]
+/// [ORDER BY items] [LIMIT n]. JOIN ... ON is normalized by the parser into
+/// the FROM list plus WHERE conjuncts.
+class SelectStatement : public Statement {
+ public:
+  SelectStatement() : Statement(StatementKind::kSelect) {}
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExpressionPtr where;  // May be null.
+  std::vector<ExpressionPtr> group_by;
+  ExpressionPtr having;  // May be null; only with GROUP BY/aggregates.
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::unique_ptr<SelectStatement> Clone() const;
+  StatementPtr CloneStatement() const override { return Clone(); }
+};
+
+/// INSERT INTO table [(cols)] VALUES (exprs).
+class InsertStatement : public Statement {
+ public:
+  InsertStatement() : Statement(StatementKind::kInsert) {}
+
+  std::string table;
+  std::vector<std::string> columns;  // Empty = schema order.
+  std::vector<ExpressionPtr> values;
+
+  std::unique_ptr<InsertStatement> Clone() const;
+  StatementPtr CloneStatement() const override { return Clone(); }
+};
+
+/// DELETE FROM table [WHERE cond].
+class DeleteStatement : public Statement {
+ public:
+  DeleteStatement() : Statement(StatementKind::kDelete) {}
+
+  std::string table;
+  ExpressionPtr where;  // May be null (delete all).
+
+  std::unique_ptr<DeleteStatement> Clone() const;
+  StatementPtr CloneStatement() const override { return Clone(); }
+};
+
+/// UPDATE table SET col = expr, ... [WHERE cond].
+class UpdateStatement : public Statement {
+ public:
+  UpdateStatement() : Statement(StatementKind::kUpdate) {}
+
+  std::string table;
+  std::vector<std::pair<std::string, ExpressionPtr>> assignments;
+  ExpressionPtr where;  // May be null (update all).
+
+  std::unique_ptr<UpdateStatement> Clone() const;
+  StatementPtr CloneStatement() const override { return Clone(); }
+};
+
+/// Column type names accepted by CREATE TABLE: INT, DOUBLE, TEXT.
+struct ColumnSpec {
+  std::string name;
+  std::string type;  // Upper-cased type keyword.
+
+  bool operator==(const ColumnSpec&) const = default;
+};
+
+/// CREATE TABLE name (col type, ...).
+class CreateTableStatement : public Statement {
+ public:
+  CreateTableStatement() : Statement(StatementKind::kCreateTable) {}
+
+  std::string table;
+  std::vector<ColumnSpec> columns;
+
+  std::unique_ptr<CreateTableStatement> Clone() const {
+    auto out = std::make_unique<CreateTableStatement>();
+    out->table = table;
+    out->columns = columns;
+    return out;
+  }
+  StatementPtr CloneStatement() const override { return Clone(); }
+};
+
+/// CREATE INDEX ON table (column).
+class CreateIndexStatement : public Statement {
+ public:
+  CreateIndexStatement() : Statement(StatementKind::kCreateIndex) {}
+
+  std::string table;
+  std::string column;
+
+  std::unique_ptr<CreateIndexStatement> Clone() const {
+    auto out = std::make_unique<CreateIndexStatement>();
+    out->table = table;
+    out->column = column;
+    return out;
+  }
+  StatementPtr CloneStatement() const override { return Clone(); }
+};
+
+/// Structural equality helper tolerating null pointers (both null = equal).
+bool ExprEquals(const Expression* a, const Expression* b);
+
+/// Builds `left AND right`; if either side is null returns the other.
+ExpressionPtr ConjoinExprs(ExpressionPtr left, ExpressionPtr right);
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_AST_H_

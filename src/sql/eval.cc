@@ -1,0 +1,242 @@
+#include "sql/eval.h"
+
+#include "common/strings.h"
+#include "sql/printer.h"
+
+namespace cacheportal::sql {
+
+namespace {
+
+/// Truth value of a Value used in a boolean context: NULL -> nullopt,
+/// bool -> itself, nonzero numerics -> true. Strings are an error.
+Result<std::optional<bool>> Truthiness(const Value& v) {
+  if (v.is_null()) return std::optional<bool>(std::nullopt);
+  if (v.is_bool()) return std::optional<bool>(v.AsBool());
+  if (v.is_numeric()) return std::optional<bool>(v.NumericAsDouble() != 0.0);
+  return Status::InvalidArgument("string value used in boolean context");
+}
+
+Value FromTruth(std::optional<bool> t) {
+  if (!t.has_value()) return Value::Null();
+  return Value::Bool(*t);
+}
+
+Result<Value> EvalComparison(BinaryOp op, const Value& left,
+                             const Value& right) {
+  if (op == BinaryOp::kLike) {
+    if (left.is_null() || right.is_null()) return Value::Null();
+    if (!left.is_string() || !right.is_string()) {
+      return Status::InvalidArgument("LIKE requires string operands");
+    }
+    return Value::Bool(SqlLikeMatch(left.AsString(), right.AsString()));
+  }
+  std::optional<int> cmp = left.Compare(right);
+  if (!cmp.has_value()) {
+    // NULL involved, or incomparable types. SQL says comparisons with NULL
+    // are NULL; we extend that to type-mismatched comparisons, which keeps
+    // the invalidator conservative.
+    return Value::Null();
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(*cmp == 0);
+    case BinaryOp::kNotEq:
+      return Value::Bool(*cmp != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(*cmp < 0);
+    case BinaryOp::kLtEq:
+      return Value::Bool(*cmp <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(*cmp > 0);
+    case BinaryOp::kGtEq:
+      return Value::Bool(*cmp >= 0);
+    default:
+      return Status::Internal("non-comparison op in EvalComparison");
+  }
+}
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& left,
+                             const Value& right) {
+  if (left.is_null() || right.is_null()) return Value::Null();
+  if (!left.is_numeric() || !right.is_numeric()) {
+    return Status::InvalidArgument("arithmetic requires numeric operands");
+  }
+  if (left.is_int() && right.is_int() && op != BinaryOp::kDiv) {
+    int64_t a = left.AsInt(), b = right.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(a + b);
+      case BinaryOp::kSub:
+        return Value::Int(a - b);
+      case BinaryOp::kMul:
+        return Value::Int(a * b);
+      default:
+        break;
+    }
+  }
+  double a = left.NumericAsDouble(), b = right.NumericAsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case BinaryOp::kSub:
+      return Value::Double(a - b);
+    case BinaryOp::kMul:
+      return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) return Value::Null();  // SQL: division by zero -> NULL here.
+      return Value::Double(a / b);
+    default:
+      return Status::Internal("non-arithmetic op in EvalArithmetic");
+  }
+}
+
+}  // namespace
+
+bool SqlLikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard matching with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> EvalExpr(const Expression& expr,
+                       const ColumnResolver& resolver) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      std::optional<Value> v = resolver.Resolve(ref.table(), ref.column());
+      if (!v.has_value()) {
+        return Status::InvalidArgument(
+            StrCat("unresolved column reference: ", ref.FullName()));
+      }
+      return *v;
+    }
+    case ExprKind::kParameter: {
+      const auto& p = static_cast<const ParameterExpr&>(expr);
+      return Status::InvalidArgument(
+          StrCat("unbound parameter $", p.ordinal()));
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value v, EvalExpr(u.operand(), resolver));
+      if (u.op() == UnaryOp::kNeg) {
+        if (v.is_null()) return Value::Null();
+        if (v.is_int()) return Value::Int(-v.AsInt());
+        if (v.is_double()) return Value::Double(-v.AsDouble());
+        return Status::InvalidArgument("unary minus on non-numeric value");
+      }
+      // NOT, Kleene.
+      CACHEPORTAL_ASSIGN_OR_RETURN(std::optional<bool> t, Truthiness(v));
+      if (!t.has_value()) return Value::Null();
+      return Value::Bool(!*t);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      if (IsLogicalOp(b.op())) {
+        CACHEPORTAL_ASSIGN_OR_RETURN(Value lv, EvalExpr(b.left(), resolver));
+        CACHEPORTAL_ASSIGN_OR_RETURN(std::optional<bool> lt, Truthiness(lv));
+        // Short-circuit where three-valued logic allows it.
+        if (b.op() == BinaryOp::kAnd && lt.has_value() && !*lt) {
+          return Value::Bool(false);
+        }
+        if (b.op() == BinaryOp::kOr && lt.has_value() && *lt) {
+          return Value::Bool(true);
+        }
+        CACHEPORTAL_ASSIGN_OR_RETURN(Value rv, EvalExpr(b.right(), resolver));
+        CACHEPORTAL_ASSIGN_OR_RETURN(std::optional<bool> rt, Truthiness(rv));
+        if (b.op() == BinaryOp::kAnd) {
+          if (rt.has_value() && !*rt) return Value::Bool(false);
+          if (!lt.has_value() || !rt.has_value()) return Value::Null();
+          return Value::Bool(true);
+        }
+        if (rt.has_value() && *rt) return Value::Bool(true);
+        if (!lt.has_value() || !rt.has_value()) return Value::Null();
+        return Value::Bool(false);
+      }
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value lv, EvalExpr(b.left(), resolver));
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value rv, EvalExpr(b.right(), resolver));
+      if (IsComparisonOp(b.op())) return EvalComparison(b.op(), lv, rv);
+      return EvalArithmetic(b.op(), lv, rv);
+    }
+    case ExprKind::kFunctionCall:
+      // Aggregates are evaluated by the executor over row groups, never by
+      // scalar evaluation.
+      return Status::NotSupported(
+          "aggregate function in scalar expression context");
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value v, EvalExpr(in.operand(), resolver));
+      bool saw_null = v.is_null();
+      bool found = false;
+      for (const auto& item : in.items()) {
+        CACHEPORTAL_ASSIGN_OR_RETURN(Value iv, EvalExpr(*item, resolver));
+        std::optional<int> cmp = v.Compare(iv);
+        if (!cmp.has_value()) {
+          if (iv.is_null() || v.is_null()) saw_null = true;
+          continue;
+        }
+        if (*cmp == 0) {
+          found = true;
+          break;
+        }
+      }
+      std::optional<bool> result;
+      if (found) {
+        result = true;
+      } else if (saw_null) {
+        result = std::nullopt;
+      } else {
+        result = false;
+      }
+      if (in.negated()) {
+        if (!result.has_value()) return Value::Null();
+        return Value::Bool(!*result);
+      }
+      return FromTruth(result);
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(expr);
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value v, EvalExpr(bt.operand(), resolver));
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value lo, EvalExpr(bt.low(), resolver));
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value hi, EvalExpr(bt.high(), resolver));
+      std::optional<int> c1 = v.Compare(lo);
+      std::optional<int> c2 = v.Compare(hi);
+      if (!c1.has_value() || !c2.has_value()) return Value::Null();
+      bool in_range = *c1 >= 0 && *c2 <= 0;
+      return Value::Bool(bt.negated() ? !in_range : in_range);
+    }
+    case ExprKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExpr&>(expr);
+      CACHEPORTAL_ASSIGN_OR_RETURN(Value v, EvalExpr(n.operand(), resolver));
+      bool is_null = v.is_null();
+      return Value::Bool(n.negated() ? !is_null : is_null);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<std::optional<bool>> EvalPredicate(const Expression& expr,
+                                          const ColumnResolver& resolver) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, resolver));
+  return Truthiness(v);
+}
+
+}  // namespace cacheportal::sql

@@ -1,0 +1,55 @@
+#ifndef CACHEPORTAL_SQL_EVAL_H_
+#define CACHEPORTAL_SQL_EVAL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/value.h"
+
+namespace cacheportal::sql {
+
+/// Resolves column references to values during expression evaluation.
+/// Implementations are provided by the executor (row bindings) and by the
+/// invalidator (tuple substitution).
+class ColumnResolver {
+ public:
+  virtual ~ColumnResolver() = default;
+
+  /// Returns the value bound to `table`.`column` (table may be empty for
+  /// unqualified references), or std::nullopt if the reference cannot be
+  /// resolved by this resolver.
+  virtual std::optional<Value> Resolve(const std::string& table,
+                                       const std::string& column) const = 0;
+};
+
+/// A resolver that resolves nothing; evaluating any column reference
+/// against it is an error. Useful for constant expressions.
+class EmptyResolver : public ColumnResolver {
+ public:
+  std::optional<Value> Resolve(const std::string&,
+                               const std::string&) const override {
+    return std::nullopt;
+  }
+};
+
+/// Evaluates `expr` with columns resolved through `resolver`.
+/// SQL three-valued logic: comparisons involving NULL yield NULL;
+/// AND/OR follow Kleene logic. Unresolvable columns and unbound parameters
+/// are errors (the caller must substitute/bind them first).
+Result<Value> EvalExpr(const Expression& expr, const ColumnResolver& resolver);
+
+/// Evaluates a predicate to a three-valued outcome: true, false, or
+/// std::nullopt for SQL NULL/unknown.
+Result<std::optional<bool>> EvalPredicate(const Expression& expr,
+                                          const ColumnResolver& resolver);
+
+/// SQL LIKE matching. '%' matches any run (including empty), '_' matches
+/// exactly one character. Matching is case-sensitive.
+bool SqlLikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_EVAL_H_

@@ -1,0 +1,24 @@
+#ifndef CACHEPORTAL_SQL_LEXER_H_
+#define CACHEPORTAL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace cacheportal::sql {
+
+/// Tokenizes a SQL string into a token vector (terminated by a kEof token).
+/// The lexer recognizes the dialect subset described in DESIGN.md:
+/// identifiers, keywords, integer/double/string literals, positional
+/// parameters ($1 / ?), and the usual punctuation and comparison operators.
+class Lexer {
+ public:
+  /// Tokenizes `input`. On success the result always ends with kEof.
+  static Result<std::vector<Token>> Tokenize(const std::string& input);
+};
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_LEXER_H_

@@ -1,0 +1,588 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace cacheportal::sql {
+
+namespace {
+
+/// Recognized function names (normalized upper-case).
+bool IsKnownFunction(const std::string& upper) {
+  return upper == "COUNT" || upper == "SUM" || upper == "MIN" ||
+         upper == "MAX" || upper == "AVG";
+}
+
+}  // namespace
+
+bool Parser::Match(TokenType type) {
+  if (Check(type)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType type, const char* what) {
+  if (Check(type)) {
+    Advance();
+    return Status::OK();
+  }
+  return ErrorHere(StrCat("expected ", what));
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return Status::OK();
+  }
+  return ErrorHere(StrCat("expected keyword ", kw));
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  std::string got = t.type == TokenType::kEof ? "<end of input>" : t.text;
+  return Status::ParseError(
+      StrCat(message, ", got '", got, "' at offset ", t.offset));
+}
+
+Result<StatementPtr> Parser::Parse(const std::string& input) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(auto tokens, Lexer::Tokenize(input));
+  Parser parser(std::move(tokens));
+  CACHEPORTAL_ASSIGN_OR_RETURN(StatementPtr stmt, parser.ParseStatement());
+  parser.Match(TokenType::kSemicolon);
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect(
+    const std::string& input) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(StatementPtr stmt, Parse(input));
+  if (stmt->kind() != StatementKind::kSelect) {
+    return Status::InvalidArgument("statement is not a SELECT");
+  }
+  return std::unique_ptr<SelectStatement>(
+      static_cast<SelectStatement*>(stmt.release()));
+}
+
+Result<std::vector<StatementPtr>> Parser::ParseScript(
+    const std::string& input) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(auto tokens, Lexer::Tokenize(input));
+  Parser parser(std::move(tokens));
+  std::vector<StatementPtr> statements;
+  while (!parser.Check(TokenType::kEof)) {
+    if (parser.Match(TokenType::kSemicolon)) continue;
+    CACHEPORTAL_ASSIGN_OR_RETURN(StatementPtr stmt, parser.ParseStatement());
+    statements.push_back(std::move(stmt));
+  }
+  return statements;
+}
+
+Result<StatementPtr> Parser::ParseStatement() {
+  if (CheckKeyword("SELECT")) return ParseSelectStatement();
+  if (CheckKeyword("INSERT")) return ParseInsertStatement();
+  if (CheckKeyword("DELETE")) return ParseDeleteStatement();
+  if (CheckKeyword("UPDATE")) return ParseUpdateStatement();
+  if (CheckKeyword("CREATE")) return ParseCreateStatement();
+  return ErrorHere("expected SELECT, INSERT, DELETE, UPDATE, or CREATE");
+}
+
+Result<StatementPtr> Parser::ParseCreateStatement() {
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+  if (MatchKeyword("TABLE")) {
+    auto create = std::make_unique<CreateTableStatement>();
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected table name");
+    }
+    create->table = Advance().text;
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    do {
+      ColumnSpec spec;
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected column name");
+      }
+      spec.name = Advance().text;
+      // Type names are plain identifiers (INT, DOUBLE, TEXT).
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected column type (INT, DOUBLE, or TEXT)");
+      }
+      spec.type = AsciiToUpper(Advance().text);
+      if (spec.type != "INT" && spec.type != "DOUBLE" &&
+          spec.type != "TEXT") {
+        return Status::ParseError(
+            StrCat("unknown column type ", spec.type,
+                   " (expected INT, DOUBLE, or TEXT)"));
+      }
+      create->columns.push_back(std::move(spec));
+    } while (Match(TokenType::kComma));
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    if (create->columns.empty()) {
+      return Status::ParseError("CREATE TABLE requires at least one column");
+    }
+    return StatementPtr(std::move(create));
+  }
+  if (MatchKeyword("INDEX")) {
+    auto create = std::make_unique<CreateIndexStatement>();
+    CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("ON"));
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected table name");
+    }
+    create->table = Advance().text;
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column name");
+    }
+    create->column = Advance().text;
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return StatementPtr(std::move(create));
+  }
+  return ErrorHere("expected TABLE or INDEX after CREATE");
+}
+
+Result<StatementPtr> Parser::ParseSelectStatement() {
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto select = std::make_unique<SelectStatement>();
+  select->distinct = MatchKeyword("DISTINCT");
+
+  // Select list.
+  do {
+    CACHEPORTAL_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    select->items.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+
+  // FROM list with optional INNER JOIN ... ON, normalized to the table
+  // list plus WHERE conjuncts.
+  ExpressionPtr join_conditions;
+  CACHEPORTAL_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+  select->from.push_back(std::move(first));
+  while (true) {
+    if (Match(TokenType::kComma)) {
+      CACHEPORTAL_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+      select->from.push_back(std::move(t));
+      continue;
+    }
+    if (CheckKeyword("JOIN") || CheckKeyword("INNER")) {
+      MatchKeyword("INNER");
+      CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      CACHEPORTAL_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+      select->from.push_back(std::move(t));
+      CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("ON"));
+      CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr cond, ParseExpression());
+      join_conditions =
+          ConjoinExprs(std::move(join_conditions), std::move(cond));
+      continue;
+    }
+    break;
+  }
+
+  if (MatchKeyword("WHERE")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr where, ParseExpression());
+    select->where = std::move(where);
+  }
+  select->where =
+      ConjoinExprs(std::move(join_conditions), std::move(select->where));
+
+  if (MatchKeyword("GROUP")) {
+    CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr g, ParseExpression());
+      select->group_by.push_back(std::move(g));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (MatchKeyword("HAVING")) {
+    if (select->group_by.empty()) {
+      return ErrorHere("HAVING requires a GROUP BY clause");
+    }
+    CACHEPORTAL_ASSIGN_OR_RETURN(select->having, ParseExpression());
+  }
+
+  if (MatchKeyword("ORDER")) {
+    CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      CACHEPORTAL_ASSIGN_OR_RETURN(item.expr, ParseExpression());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      select->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (MatchKeyword("LIMIT")) {
+    if (!Check(TokenType::kIntLiteral)) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    select->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+
+  return StatementPtr(std::move(select));
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // "*" or "t.*".
+  if (Check(TokenType::kStar)) {
+    Advance();
+    item.star = true;
+    return item;
+  }
+  if (Check(TokenType::kIdentifier) && PeekAt(1).type == TokenType::kDot &&
+      PeekAt(2).type == TokenType::kStar) {
+    item.star = true;
+    item.star_table = Advance().text;
+    Advance();  // '.'
+    Advance();  // '*'
+    return item;
+  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(item.expr, ParseExpression());
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected alias after AS");
+    }
+    item.alias = Advance().text;
+  } else if (Check(TokenType::kIdentifier)) {
+    // Bare alias: SELECT price p ...
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name");
+  }
+  TableRef ref;
+  ref.table = Advance().text;
+  if (MatchKeyword("AS")) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected alias after AS");
+    }
+    ref.alias = Advance().text;
+  } else if (Check(TokenType::kIdentifier)) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<StatementPtr> Parser::ParseInsertStatement() {
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto insert = std::make_unique<InsertStatement>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name");
+  }
+  insert->table = Advance().text;
+  if (Match(TokenType::kLParen)) {
+    do {
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected column name");
+      }
+      insert->columns.push_back(Advance().text);
+    } while (Match(TokenType::kComma));
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  }
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+  do {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr v, ParseExpression());
+    insert->values.push_back(std::move(v));
+  } while (Match(TokenType::kComma));
+  CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  return StatementPtr(std::move(insert));
+}
+
+Result<StatementPtr> Parser::ParseDeleteStatement() {
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto del = std::make_unique<DeleteStatement>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name");
+  }
+  del->table = Advance().text;
+  if (MatchKeyword("WHERE")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(del->where, ParseExpression());
+  }
+  return StatementPtr(std::move(del));
+}
+
+Result<StatementPtr> Parser::ParseUpdateStatement() {
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  auto update = std::make_unique<UpdateStatement>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name");
+  }
+  update->table = Advance().text;
+  CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("SET"));
+  do {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column name");
+    }
+    std::string column = Advance().text;
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kEq, "'='"));
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr value, ParseExpression());
+    update->assignments.emplace_back(std::move(column), std::move(value));
+  } while (Match(TokenType::kComma));
+  if (MatchKeyword("WHERE")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(update->where, ParseExpression());
+  }
+  return StatementPtr(std::move(update));
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// RAII depth guard for the recursive-descent expression grammar.
+class DepthGuard {
+ public:
+  explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+
+ private:
+  int* depth_;
+};
+
+}  // namespace
+
+Result<ExpressionPtr> Parser::ParseExpression() {
+  DepthGuard guard(&expression_depth_);
+  if (expression_depth_ > kMaxExpressionDepth) {
+    return Status::ParseError("expression nesting too deep");
+  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExpressionPtr> Parser::ParseAnd() {
+  CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExpressionPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr operand, ParseNot());
+    return ExpressionPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+  }
+  return ParsePredicate();
+}
+
+Result<ExpressionPtr> Parser::ParsePredicate() {
+  CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr left, ParseAdditive());
+
+  // IS [NOT] NULL.
+  if (MatchKeyword("IS")) {
+    bool negated = MatchKeyword("NOT");
+    CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    return ExpressionPtr(
+        std::make_unique<IsNullExpr>(std::move(left), negated));
+  }
+
+  // [NOT] IN / BETWEEN / LIKE.
+  bool negated = false;
+  if (CheckKeyword("NOT") &&
+      (PeekAt(1).IsKeyword("IN") || PeekAt(1).IsKeyword("BETWEEN") ||
+       PeekAt(1).IsKeyword("LIKE"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("IN")) {
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    std::vector<ExpressionPtr> items;
+    do {
+      CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr item, ParseAdditive());
+      items.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+    CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return ExpressionPtr(std::make_unique<InListExpr>(
+        std::move(left), std::move(items), negated));
+  }
+  if (MatchKeyword("BETWEEN")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr low, ParseAdditive());
+    CACHEPORTAL_RETURN_NOT_OK(ExpectKeyword("AND"));
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr high, ParseAdditive());
+    return ExpressionPtr(std::make_unique<BetweenExpr>(
+        std::move(left), std::move(low), std::move(high), negated));
+  }
+  if (MatchKeyword("LIKE")) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr pattern, ParseAdditive());
+    ExpressionPtr like = std::make_unique<BinaryExpr>(
+        BinaryOp::kLike, std::move(left), std::move(pattern));
+    if (negated) {
+      like = std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(like));
+    }
+    return like;
+  }
+  if (negated) return ErrorHere("expected IN, BETWEEN, or LIKE after NOT");
+
+  // Plain comparison.
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNotEq:
+      op = BinaryOp::kNotEq;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLtEq:
+      op = BinaryOp::kLtEq;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGtEq:
+      op = BinaryOp::kGtEq;
+      break;
+    default:
+      return left;  // Not a comparison.
+  }
+  Advance();
+  CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr right, ParseAdditive());
+  return ExpressionPtr(std::make_unique<BinaryExpr>(op, std::move(left),
+                                                    std::move(right)));
+}
+
+Result<ExpressionPtr> Parser::ParseAdditive() {
+  CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr left, ParseMultiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinaryOp op =
+        Advance().type == TokenType::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExpressionPtr> Parser::ParseMultiplicative() {
+  CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr left, ParsePrimary());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+    BinaryOp op =
+        Advance().type == TokenType::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
+    CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr right, ParsePrimary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExpressionPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral: {
+      int64_t v = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      return ExpressionPtr(std::make_unique<LiteralExpr>(Value::Int(v)));
+    }
+    case TokenType::kDoubleLiteral: {
+      double v = std::strtod(Advance().text.c_str(), nullptr);
+      return ExpressionPtr(std::make_unique<LiteralExpr>(Value::Double(v)));
+    }
+    case TokenType::kStringLiteral: {
+      return ExpressionPtr(
+          std::make_unique<LiteralExpr>(Value::String(Advance().text)));
+    }
+    case TokenType::kParameter: {
+      std::string text = Advance().text;
+      int ordinal = 0;
+      std::string name;
+      if (!text.empty() &&
+          std::isdigit(static_cast<unsigned char>(text[0]))) {
+        ordinal = static_cast<int>(std::strtol(text.c_str(), nullptr, 10));
+      } else if (!text.empty()) {
+        name = text;
+        ordinal = next_anon_param_++;
+      } else {
+        ordinal = next_anon_param_++;
+      }
+      return ExpressionPtr(std::make_unique<ParameterExpr>(ordinal, name));
+    }
+    case TokenType::kMinus: {
+      Advance();
+      CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr operand, ParsePrimary());
+      return ExpressionPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr inner, ParseExpression());
+      CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    case TokenType::kKeyword: {
+      if (t.text == "NULL") {
+        Advance();
+        return ExpressionPtr(std::make_unique<LiteralExpr>(Value::Null()));
+      }
+      if (t.text == "TRUE" || t.text == "FALSE") {
+        bool v = Advance().text == "TRUE";
+        return ExpressionPtr(std::make_unique<LiteralExpr>(Value::Bool(v)));
+      }
+      if (IsKnownFunction(t.text)) {
+        std::string name = Advance().text;
+        CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+        if (Match(TokenType::kStar)) {
+          CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+          return ExpressionPtr(std::make_unique<FunctionCallExpr>(
+              name, std::vector<ExpressionPtr>{}, /*star=*/true));
+        }
+        std::vector<ExpressionPtr> args;
+        if (!Check(TokenType::kRParen)) {
+          do {
+            CACHEPORTAL_ASSIGN_OR_RETURN(ExpressionPtr arg, ParseExpression());
+            args.push_back(std::move(arg));
+          } while (Match(TokenType::kComma));
+        }
+        CACHEPORTAL_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return ExpressionPtr(
+            std::make_unique<FunctionCallExpr>(name, std::move(args)));
+      }
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      std::string first = Advance().text;
+      if (Match(TokenType::kDot)) {
+        if (!Check(TokenType::kIdentifier)) {
+          return ErrorHere("expected column name after '.'");
+        }
+        std::string column = Advance().text;
+        return ExpressionPtr(
+            std::make_unique<ColumnRefExpr>(first, std::move(column)));
+      }
+      return ExpressionPtr(std::make_unique<ColumnRefExpr>("", first));
+    }
+    default:
+      return ErrorHere("expected expression");
+  }
+}
+
+}  // namespace cacheportal::sql

@@ -1,0 +1,79 @@
+#ifndef CACHEPORTAL_SQL_PARSER_H_
+#define CACHEPORTAL_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace cacheportal::sql {
+
+/// Recursive-descent parser for the SQL dialect subset described in
+/// DESIGN.md: SELECT (with joins, DISTINCT, GROUP BY, ORDER BY, LIMIT,
+/// aggregates), INSERT ... VALUES, DELETE, and UPDATE. Expressions support
+/// AND/OR/NOT, the six comparisons, LIKE, IN, BETWEEN, IS [NOT] NULL,
+/// arithmetic, literals, column references, and positional parameters.
+class Parser {
+ public:
+  /// Parses a single statement (a trailing ';' is allowed).
+  static Result<StatementPtr> Parse(const std::string& input);
+
+  /// Parses and requires a SELECT statement.
+  static Result<std::unique_ptr<SelectStatement>> ParseSelect(
+      const std::string& input);
+
+  /// Parses a semicolon-separated script into individual statements.
+  static Result<std::vector<StatementPtr>> ParseScript(
+      const std::string& input);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementPtr> ParseStatement();
+  Result<StatementPtr> ParseSelectStatement();
+  Result<StatementPtr> ParseCreateStatement();
+  Result<StatementPtr> ParseInsertStatement();
+  Result<StatementPtr> ParseDeleteStatement();
+  Result<StatementPtr> ParseUpdateStatement();
+
+  Result<ExpressionPtr> ParseExpression();   // OR level.
+  Result<ExpressionPtr> ParseAnd();
+  Result<ExpressionPtr> ParseNot();
+  Result<ExpressionPtr> ParsePredicate();    // Comparisons, IN, BETWEEN, ...
+  Result<ExpressionPtr> ParseAdditive();
+  Result<ExpressionPtr> ParseMultiplicative();
+  Result<ExpressionPtr> ParsePrimary();
+
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t ahead) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool Match(TokenType type);
+  bool MatchKeyword(const char* kw);
+  Status Expect(TokenType type, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status ErrorHere(const std::string& message) const;
+
+  /// Guards against stack exhaustion on adversarial nesting; generous
+  /// for any real application query.
+  static constexpr int kMaxExpressionDepth = 200;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_anon_param_ = 1;
+  int expression_depth_ = 0;
+};
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_PARSER_H_

@@ -1,0 +1,278 @@
+#include "sql/printer.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::sql {
+
+namespace {
+
+/// Operator precedence for minimal parenthesization. Higher binds tighter.
+int Precedence(const Expression& expr) {
+  if (expr.kind() != ExprKind::kBinary) return 100;
+  switch (static_cast<const BinaryExpr&>(expr).op()) {
+    case BinaryOp::kOr:
+      return 1;
+    case BinaryOp::kAnd:
+      return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNotEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLtEq:
+    case BinaryOp::kGt:
+    case BinaryOp::kGtEq:
+    case BinaryOp::kLike:
+      return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 5;
+  }
+  return 100;
+}
+
+void AppendExpr(const Expression& expr, int parent_prec, std::string* out);
+
+void AppendChild(const Expression& child, int parent_prec, std::string* out) {
+  bool parens = Precedence(child) < parent_prec;
+  if (parens) out->push_back('(');
+  AppendExpr(child, Precedence(child), out);
+  if (parens) out->push_back(')');
+}
+
+void AppendExpr(const Expression& expr, int /*parent_prec*/,
+                std::string* out) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      out->append(static_cast<const LiteralExpr&>(expr).value().ToSqlLiteral());
+      return;
+    case ExprKind::kColumnRef:
+      out->append(static_cast<const ColumnRefExpr&>(expr).FullName());
+      return;
+    case ExprKind::kParameter: {
+      const auto& p = static_cast<const ParameterExpr&>(expr);
+      out->push_back('$');
+      out->append(std::to_string(p.ordinal()));
+      return;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      if (u.op() == UnaryOp::kNot) {
+        out->append("NOT ");
+        // NOT binds loosely; always parenthesize non-trivial operands.
+        bool parens = u.operand().kind() == ExprKind::kBinary;
+        if (parens) out->push_back('(');
+        AppendExpr(u.operand(), 0, out);
+        if (parens) out->push_back(')');
+      } else {
+        out->push_back('-');
+        AppendChild(u.operand(), 6, out);
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      int prec = Precedence(expr);
+      AppendChild(b.left(), prec, out);
+      out->push_back(' ');
+      out->append(BinaryOpName(b.op()));
+      out->push_back(' ');
+      // Right side at prec+1 so non-associative chains stay parenthesized.
+      AppendChild(b.right(), IsLogicalOp(b.op()) ? prec : prec + 1, out);
+      return;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& f = static_cast<const FunctionCallExpr&>(expr);
+      out->append(f.name());
+      out->push_back('(');
+      if (f.star()) {
+        out->push_back('*');
+      } else {
+        for (size_t i = 0; i < f.args().size(); ++i) {
+          if (i > 0) out->append(", ");
+          AppendExpr(*f.args()[i], 0, out);
+        }
+      }
+      out->push_back(')');
+      return;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      AppendChild(in.operand(), 4, out);
+      out->append(in.negated() ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < in.items().size(); ++i) {
+        if (i > 0) out->append(", ");
+        AppendExpr(*in.items()[i], 0, out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(expr);
+      AppendChild(bt.operand(), 4, out);
+      out->append(bt.negated() ? " NOT BETWEEN " : " BETWEEN ");
+      AppendChild(bt.low(), 4, out);
+      out->append(" AND ");
+      AppendChild(bt.high(), 4, out);
+      return;
+    }
+    case ExprKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExpr&>(expr);
+      AppendChild(n.operand(), 4, out);
+      out->append(n.negated() ? " IS NOT NULL" : " IS NULL");
+      return;
+    }
+  }
+}
+
+std::string SelectToSql(const SelectStatement& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = s.items[i];
+    if (item.star) {
+      if (!item.star_table.empty()) {
+        out += item.star_table;
+        out += ".";
+      }
+      out += "*";
+    } else {
+      out += ExprToSql(*item.expr);
+      if (!item.alias.empty()) {
+        out += " AS ";
+        out += item.alias;
+      }
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < s.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.from[i].table;
+    if (!s.from[i].alias.empty()) {
+      out += " ";
+      out += s.from[i].alias;
+    }
+  }
+  if (s.where != nullptr) {
+    out += " WHERE ";
+    out += ExprToSql(*s.where);
+  }
+  if (!s.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(*s.group_by[i]);
+    }
+  }
+  if (s.having != nullptr) {
+    out += " HAVING ";
+    out += ExprToSql(*s.having);
+  }
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(*s.order_by[i].expr);
+      if (!s.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (s.limit.has_value()) {
+    out += " LIMIT ";
+    out += std::to_string(*s.limit);
+  }
+  return out;
+}
+
+std::string CreateTableToSql(const CreateTableStatement& s) {
+  std::string out = "CREATE TABLE ";
+  out += s.table;
+  out += " (";
+  for (size_t i = 0; i < s.columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.columns[i].name;
+    out += " ";
+    out += s.columns[i].type;
+  }
+  out += ")";
+  return out;
+}
+
+std::string CreateIndexToSql(const CreateIndexStatement& s) {
+  return StrCat("CREATE INDEX ON ", s.table, " (", s.column, ")");
+}
+
+std::string InsertToSql(const InsertStatement& s) {
+  std::string out = "INSERT INTO ";
+  out += s.table;
+  if (!s.columns.empty()) {
+    out += " (";
+    out += StrJoin(s.columns, ", ");
+    out += ")";
+  }
+  out += " VALUES (";
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ExprToSql(*s.values[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string DeleteToSql(const DeleteStatement& s) {
+  std::string out = "DELETE FROM ";
+  out += s.table;
+  if (s.where != nullptr) {
+    out += " WHERE ";
+    out += ExprToSql(*s.where);
+  }
+  return out;
+}
+
+std::string UpdateToSql(const UpdateStatement& s) {
+  std::string out = "UPDATE ";
+  out += s.table;
+  out += " SET ";
+  for (size_t i = 0; i < s.assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.assignments[i].first;
+    out += " = ";
+    out += ExprToSql(*s.assignments[i].second);
+  }
+  if (s.where != nullptr) {
+    out += " WHERE ";
+    out += ExprToSql(*s.where);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExprToSql(const Expression& expr) {
+  std::string out;
+  AppendExpr(expr, 0, &out);
+  return out;
+}
+
+std::string StatementToSql(const Statement& stmt) {
+  switch (stmt.kind()) {
+    case StatementKind::kSelect:
+      return SelectToSql(static_cast<const SelectStatement&>(stmt));
+    case StatementKind::kInsert:
+      return InsertToSql(static_cast<const InsertStatement&>(stmt));
+    case StatementKind::kDelete:
+      return DeleteToSql(static_cast<const DeleteStatement&>(stmt));
+    case StatementKind::kUpdate:
+      return UpdateToSql(static_cast<const UpdateStatement&>(stmt));
+    case StatementKind::kCreateTable:
+      return CreateTableToSql(
+          static_cast<const CreateTableStatement&>(stmt));
+    case StatementKind::kCreateIndex:
+      return CreateIndexToSql(
+          static_cast<const CreateIndexStatement&>(stmt));
+  }
+  return "";
+}
+
+}  // namespace cacheportal::sql

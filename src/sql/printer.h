@@ -1,0 +1,20 @@
+#ifndef CACHEPORTAL_SQL_PRINTER_H_
+#define CACHEPORTAL_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace cacheportal::sql {
+
+/// Renders an expression back to SQL text. The output is canonical:
+/// keywords upper-case, single spaces, parentheses around nested logical
+/// operators, `<>` for inequality. Round-trips through the Parser.
+std::string ExprToSql(const Expression& expr);
+
+/// Renders a statement back to canonical SQL text (no trailing ';').
+std::string StatementToSql(const Statement& stmt);
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_PRINTER_H_

@@ -1,0 +1,60 @@
+#ifndef CACHEPORTAL_SQL_TEMPLATE_H_
+#define CACHEPORTAL_SQL_TEMPLATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/value.h"
+
+namespace cacheportal::sql {
+
+/// A query type in the paper's sense: a SQL statement whose literal
+/// constants have been replaced by positional parameters $1..$n. All query
+/// instances issued by the same application code map to one QueryTemplate
+/// regardless of the bound values, which is what allows the invalidator to
+/// manage instances in groups (Section 4.1.2 of the paper).
+struct QueryTemplate {
+  /// The parameterized SELECT (literals in WHERE replaced by $i).
+  std::unique_ptr<SelectStatement> statement;
+
+  /// Canonical SQL text of `statement`; used as the type's identity.
+  std::string canonical_text;
+
+  /// FNV-1a hash of canonical_text; stable across runs.
+  uint64_t type_id = 0;
+
+  /// The literal values extracted from the instance this template was
+  /// derived from, in $1..$n order.
+  std::vector<Value> bindings;
+
+  QueryTemplate() = default;
+  QueryTemplate(QueryTemplate&&) = default;
+  QueryTemplate& operator=(QueryTemplate&&) = default;
+
+  QueryTemplate Clone() const;
+};
+
+/// Derives the query type of a SELECT instance: every literal constant in
+/// the WHERE clause (except NULL and booleans, whose identity is
+/// structural) becomes a positional parameter in left-to-right order.
+/// Already-present parameters are renumbered into the same sequence.
+Result<QueryTemplate> ExtractTemplate(const SelectStatement& instance);
+
+/// Convenience overload: parses `sql` first.
+Result<QueryTemplate> ExtractTemplateFromSql(const std::string& sql);
+
+/// Rebinds a template with new values, producing a concrete query
+/// instance (the inverse of ExtractTemplate).
+Result<std::unique_ptr<SelectStatement>> InstantiateTemplate(
+    const QueryTemplate& tmpl, const std::vector<Value>& bindings);
+
+/// Stable FNV-1a 64-bit hash used for query-type identity.
+uint64_t HashQueryText(const std::string& text);
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_TEMPLATE_H_

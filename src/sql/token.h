@@ -1,0 +1,49 @@
+#ifndef CACHEPORTAL_SQL_TOKEN_H_
+#define CACHEPORTAL_SQL_TOKEN_H_
+
+#include <string>
+
+namespace cacheportal::sql {
+
+/// Lexical token categories produced by the Lexer.
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,     // table, column, alias names (case preserved)
+  kKeyword,        // SELECT, FROM, ... (normalized to upper case in text)
+  kIntLiteral,     // 42
+  kDoubleLiteral,  // 3.14
+  kStringLiteral,  // 'abc' (text holds the unescaped content)
+  kParameter,      // $1, $2, ... or ? (text holds "1", "2", or "" for ?)
+  kComma,          // ,
+  kDot,            // .
+  kLParen,         // (
+  kRParen,         // )
+  kStar,           // *
+  kPlus,           // +
+  kMinus,          // -
+  kSlash,          // /
+  kEq,             // =
+  kNotEq,          // <> or !=
+  kLt,             // <
+  kLtEq,           // <=
+  kGt,             // >
+  kGtEq,           // >=
+  kSemicolon,      // ;
+};
+
+/// A single lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // Normalized text (keywords uppercased).
+  size_t offset = 0;  // Byte offset in the input.
+
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Returns true if `word` (any case) is a reserved SQL keyword recognized
+/// by this dialect.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_TOKEN_H_

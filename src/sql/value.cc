@@ -1,0 +1,85 @@
+#include "sql/value.h"
+
+#include <functional>
+
+#include "common/strings.h"
+
+namespace cacheportal::sql {
+
+ValueType Value::type() const {
+  if (is_null()) return ValueType::kNull;
+  if (is_int()) return ValueType::kInt;
+  if (is_double()) return ValueType::kDouble;
+  if (is_string()) return ValueType::kString;
+  return ValueType::kBool;
+}
+
+std::optional<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) return std::nullopt;
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = NumericAsDouble(), b = other.NumericAsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    int a = AsBool() ? 1 : 0, b = other.AsBool() ? 1 : 0;
+    return a - b;
+  }
+  return std::nullopt;  // Incomparable types.
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = StrCat(AsDouble());
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+  }
+  return "NULL";
+}
+
+std::string Value::ToString() const {
+  if (is_string()) return AsString();
+  return ToSqlLiteral();
+}
+
+size_t Value::Hash() const {
+  size_t type_salt = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      return type_salt;
+    case ValueType::kInt:
+      return type_salt ^ std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble:
+      return type_salt ^ std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return type_salt ^ std::hash<std::string>{}(AsString());
+    case ValueType::kBool:
+      return type_salt ^ std::hash<bool>{}(AsBool());
+  }
+  return type_salt;
+}
+
+}  // namespace cacheportal::sql

@@ -1,0 +1,92 @@
+#ifndef CACHEPORTAL_SQL_VALUE_H_
+#define CACHEPORTAL_SQL_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace cacheportal::sql {
+
+/// Runtime type of a Value.
+enum class ValueType { kNull = 0, kInt, kDouble, kString, kBool };
+
+/// A SQL scalar value: NULL, 64-bit integer, double, string, or boolean.
+/// Values are small, copyable, and ordered; they are used both as table
+/// cell contents (src/db) and as literals bound into query instances.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(NullRep{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Bool(bool v) { return Value(Rep(BoolRep{v})); }
+
+  ValueType type() const;
+
+  bool is_null() const { return std::holds_alternative<NullRep>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_bool() const { return std::holds_alternative<BoolRep>(rep_); }
+
+  /// True for int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Accessors; behavior is undefined if the type does not match (callers
+  /// check type() / is_*() first).
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<BoolRep>(rep_).value; }
+
+  /// Numeric value widened to double (valid for int and double).
+  double NumericAsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// SQL three-valued comparison. Returns std::nullopt when either side is
+  /// NULL or the types are incomparable (e.g. string vs int). Numeric types
+  /// compare after widening to double. Returns <0, 0, >0 otherwise.
+  std::optional<int> Compare(const Value& other) const;
+
+  /// Strict equality of representation (NULL == NULL here, unlike SQL `=`;
+  /// used for container keys and tests).
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// SQL literal syntax: NULL, 42, 3.5, 'text' (quotes doubled), TRUE.
+  std::string ToSqlLiteral() const;
+
+  /// Debug form (strings unquoted).
+  std::string ToString() const;
+
+  /// Hash usable for unordered containers keyed on Value.
+  size_t Hash() const;
+
+ private:
+  struct NullRep {
+    bool operator==(const NullRep&) const = default;
+  };
+  struct BoolRep {
+    bool value;
+    bool operator==(const BoolRep&) const = default;
+  };
+  using Rep = std::variant<NullRep, int64_t, double, std::string, BoolRep>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Hash functor for unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace cacheportal::sql
+
+#endif  // CACHEPORTAL_SQL_VALUE_H_

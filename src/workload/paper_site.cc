@@ -1,0 +1,165 @@
+#include "workload/paper_site.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::workload {
+
+const char* PageClassName(PageClass cls) {
+  switch (cls) {
+    case PageClass::kLight:
+      return "light";
+    case PageClass::kMedium:
+      return "medium";
+    case PageClass::kHeavy:
+      return "heavy";
+  }
+  return "?";
+}
+
+std::string PaperSite::PageSql(PageClass cls, int grp) {
+  switch (cls) {
+    case PageClass::kLight:
+      return StrCat("SELECT id, val FROM SmallT WHERE grp = ", grp,
+                    " ORDER BY id");
+    case PageClass::kMedium:
+      return StrCat("SELECT id, val FROM LargeT WHERE grp = ", grp,
+                    " ORDER BY id");
+    case PageClass::kHeavy:
+      return StrCat(
+          "SELECT COUNT(*) AS pairs, MAX(LargeT.val) AS best FROM SmallT, "
+          "LargeT WHERE SmallT.grp = LargeT.grp AND SmallT.grp = ",
+          grp);
+  }
+  return "";
+}
+
+std::string PaperSite::RenderBody(PageClass cls, int grp,
+                                  const db::QueryResult& result) {
+  return StrCat("<html><h1>", PageClassName(cls), " page, group ", grp,
+                "</h1><pre>", result.ToString(), "</pre></html>");
+}
+
+PaperSite::PaperSite(PaperSiteOptions options)
+    : options_(options), db_(&clock_), rng_(options.seed) {
+  // ---- Schema and data (Section 5.2.1). ----
+  db_.CreateTable(db::TableSchema("SmallT",
+                                  {{"id", db::ColumnType::kInt},
+                                   {"grp", db::ColumnType::kInt},
+                                   {"val", db::ColumnType::kInt}}))
+      .ok();
+  db_.CreateTable(db::TableSchema("LargeT",
+                                  {{"id", db::ColumnType::kInt},
+                                   {"grp", db::ColumnType::kInt},
+                                   {"val", db::ColumnType::kInt}}))
+      .ok();
+  db_.CreateIndex("SmallT", "grp").ok();
+  db_.CreateIndex("LargeT", "grp").ok();
+  for (int i = 0; i < options_.small_rows; ++i) {
+    db_.ExecuteSql(StrCat("INSERT INTO SmallT VALUES (", next_small_id_++,
+                          ", ", rng_.Uniform(options_.join_values), ", ",
+                          rng_.Uniform(10000), ")"))
+        .value();
+  }
+  for (int i = 0; i < options_.large_rows; ++i) {
+    db_.ExecuteSql(StrCat("INSERT INTO LargeT VALUES (", next_large_id_++,
+                          ", ", rng_.Uniform(options_.join_values), ", ",
+                          rng_.Uniform(10000), ")"))
+        .value();
+  }
+
+  // ---- CachePortal attaches to the populated site. ----
+  core::CachePortalOptions portal_options = options_.portal;
+  portal_options.page_cache_capacity = options_.cache_capacity;
+  portal_ = std::make_unique<core::CachePortal>(&db_, &clock_,
+                                                portal_options);
+
+  // ---- JDBC wiring with the sniffer's query logger. ----
+  auto raw = std::make_unique<server::MemoryDbDriver>();
+  raw->BindDatabase("papersite", &db_);
+  drivers_.RegisterDriver(portal_->WrapDriver(raw.get()));
+  raw_driver_ = std::move(raw);
+  pool_ = std::move(
+      server::ConnectionPool::Create(
+          "pool", "jdbc:cacheportal-log:jdbc:cacheportal:papersite", 4,
+          &drivers_)
+          .value());
+
+  // ---- Servlets. ----
+  app_ = std::make_unique<server::ApplicationServer>(pool_.get());
+  auto register_page = [this](const std::string& path, PageClass cls) {
+    app_->RegisterServlet(
+            path,
+            std::make_unique<server::FunctionServlet>(
+                [this, cls](const http::HttpRequest& req,
+                            server::ServletContext* ctx) {
+                  int grp = 0;
+                  if (auto it = req.get_params.find("grp");
+                      it != req.get_params.end()) {
+                    grp = static_cast<int>(
+                        std::strtol(it->second.c_str(), nullptr, 10));
+                  }
+                  clock_.Advance(500);  // Servlet compute time.
+                  auto result =
+                      ctx->connection->ExecuteQuery(PageSql(cls, grp));
+                  if (!result.ok()) {
+                    return http::HttpResponse::ServerError(
+                        result.status().ToString());
+                  }
+                  return http::HttpResponse::Ok(
+                      RenderBody(cls, grp, *result));
+                }),
+            server::ServletConfig{})
+        .ok();
+    server::ServletConfig config;
+    config.name = path;
+    config.key_get_params = {"grp"};
+    portal_->RegisterServlet(config);
+  };
+  register_page("/light", PageClass::kLight);
+  register_page("/medium", PageClass::kMedium);
+  register_page("/heavy", PageClass::kHeavy);
+
+  portal_->AttachTo(app_.get());
+  proxy_ = portal_->CreateProxy(app_.get());
+}
+
+http::HttpResponse PaperSite::Request(PageClass cls, int grp) {
+  const char* path = cls == PageClass::kLight    ? "/light"
+                     : cls == PageClass::kMedium ? "/medium"
+                                                 : "/heavy";
+  auto req = http::HttpRequest::Get(
+      StrCat("http://papersite", path, "?grp=", grp));
+  clock_.Advance(200);
+  return proxy_->Handle(*req);
+}
+
+void PaperSite::RandomUpdate() {
+  bool small = rng_.OneIn(0.5);
+  const char* table = small ? "SmallT" : "LargeT";
+  int* next_id = small ? &next_small_id_ : &next_large_id_;
+  clock_.Advance(100);
+  if (rng_.OneIn(0.5) || *next_id == 0) {
+    db_.ExecuteSql(StrCat("INSERT INTO ", table, " VALUES (", (*next_id)++,
+                          ", ", rng_.Uniform(options_.join_values), ", ",
+                          rng_.Uniform(10000), ")"))
+        .value();
+  } else {
+    // Delete a random id; may be a no-op if already deleted.
+    db_.ExecuteSql(StrCat("DELETE FROM ", table, " WHERE id = ",
+                          rng_.Uniform(static_cast<uint64_t>(*next_id))))
+        .value();
+  }
+}
+
+Result<invalidator::CycleReport> PaperSite::RunCycle() {
+  clock_.Advance(kMicrosPerSecond);  // One synchronization interval.
+  return portal_->RunCycle();
+}
+
+Result<std::string> PaperSite::FreshBody(PageClass cls, int grp) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
+                               db_.ExecuteSql(PageSql(cls, grp)));
+  return RenderBody(cls, grp, result);
+}
+
+}  // namespace cacheportal::workload

@@ -1,0 +1,105 @@
+#ifndef CACHEPORTAL_WORKLOAD_PAPER_SITE_H_
+#define CACHEPORTAL_WORKLOAD_PAPER_SITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/cache_portal.h"
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::workload {
+
+/// The paper's page classes (Section 5.2.1): a light page selects on the
+/// small table, a medium page on the large table, a heavy page runs a
+/// select-join over both.
+enum class PageClass { kLight = 0, kMedium = 1, kHeavy = 2 };
+
+const char* PageClassName(PageClass cls);
+
+/// Construction parameters mirroring Section 5.2.1's application: one
+/// small and one large table sharing a join attribute with
+/// `join_values` uniformly distributed values (selectivity
+/// 1/join_values).
+struct PaperSiteOptions {
+  int small_rows = 500;
+  int large_rows = 2500;
+  int join_values = 10;
+  size_t cache_capacity = 10000;
+  uint64_t seed = 42;
+  core::CachePortalOptions portal;
+};
+
+/// A complete database-driven site with CachePortal attached — the
+/// "simple database driven e-commerce application" the paper evaluates,
+/// built on the real library (not the simulator). Used by the stress
+/// tests, the end-to-end benchmark, and as a template for deployments.
+///
+/// Pages:
+///   /light?grp=G   rows of the small table in group G
+///   /medium?grp=G  rows of the large table in group G
+///   /heavy?grp=G   COUNT of the join restricted to group G
+///
+/// `grp` is the only key parameter of each servlet.
+class PaperSite {
+ public:
+  explicit PaperSite(PaperSiteOptions options = {});
+
+  PaperSite(const PaperSite&) = delete;
+  PaperSite& operator=(const PaperSite&) = delete;
+
+  /// Serves one request through the front cache. `grp` must be in
+  /// [0, join_values).
+  http::HttpResponse Request(PageClass cls, int grp);
+
+  /// Applies one random update (insert or delete, small or large table).
+  void RandomUpdate();
+
+  /// Applies `n` random updates.
+  void RandomUpdates(int n) {
+    for (int i = 0; i < n; ++i) RandomUpdate();
+  }
+
+  /// One CachePortal synchronization point (mapper + invalidation cycle).
+  Result<invalidator::CycleReport> RunCycle();
+
+  /// Ground truth: the body the servlet would produce right now,
+  /// computed directly against the database. A cached HIT whose body
+  /// differs from this is stale.
+  Result<std::string> FreshBody(PageClass cls, int grp);
+
+  core::CachePortal* portal() { return portal_.get(); }
+  core::CachingProxy* proxy() { return proxy_; }
+  db::Database* database() { return &db_; }
+  ManualClock* clock() { return &clock_; }
+  const PaperSiteOptions& options() const { return options_; }
+  int join_values() const { return options_.join_values; }
+
+ private:
+  static std::string PageSql(PageClass cls, int grp);
+  static std::string RenderBody(PageClass cls, int grp,
+                                const db::QueryResult& result);
+
+  PaperSiteOptions options_;
+  ManualClock clock_;
+  db::Database db_;
+  // Created after the tables are seeded, so the invalidator attaches at
+  // the post-seeding log position.
+  std::unique_ptr<core::CachePortal> portal_;
+  std::unique_ptr<server::Driver> raw_driver_;
+  server::DriverManager drivers_;
+  std::unique_ptr<server::ConnectionPool> pool_;
+  std::unique_ptr<server::ApplicationServer> app_;
+  core::CachingProxy* proxy_ = nullptr;
+  Random rng_;
+  int next_small_id_ = 0;
+  int next_large_id_ = 0;
+};
+
+}  // namespace cacheportal::workload
+
+#endif  // CACHEPORTAL_WORKLOAD_PAPER_SITE_H_

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "cache/data_cache_connection.h"
+#include "common/clock.h"
+#include "db/database.h"
+
+namespace cacheportal::cache {
+namespace {
+
+using sql::Value;
+
+class DataCacheConnectionTest : public ::testing::Test {
+ protected:
+  DataCacheConnectionTest() : db_(&clock_) {}
+
+  void SetUp() override {
+    db_.ExecuteSql("CREATE TABLE Item (name TEXT, price INT)").value();
+    db_.ExecuteSql("INSERT INTO Item VALUES ('pen', 2)").value();
+    driver_.BindDatabase("shop", &db_);
+    inner_ = std::move(driver_.Connect("jdbc:cacheportal:shop").value());
+    conn_ = std::make_unique<DataCacheConnection>(inner_.get(), 100);
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+  server::MemoryDbDriver driver_;
+  std::unique_ptr<server::Connection> inner_;
+  std::unique_ptr<DataCacheConnection> conn_;
+};
+
+TEST_F(DataCacheConnectionTest, RepeatedSelectsServedFromCache) {
+  uint64_t before = db_.queries_executed();
+  conn_->ExecuteQuery("SELECT * FROM Item").value();
+  conn_->ExecuteQuery("SELECT * FROM Item").value();
+  conn_->ExecuteQuery("SELECT * FROM Item").value();
+  EXPECT_EQ(db_.queries_executed(), before + 1);
+  EXPECT_EQ(conn_->stats().hits, 2u);
+}
+
+TEST_F(DataCacheConnectionTest, OwnWritesInvalidateImmediately) {
+  conn_->ExecuteQuery("SELECT * FROM Item").value();
+  EXPECT_EQ(conn_->ExecuteUpdate("INSERT INTO Item VALUES ('ink', 5)")
+                .value(),
+            1);
+  // The next read sees the new row without any synchronization step.
+  auto rows = conn_->ExecuteQuery("SELECT * FROM Item");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+}
+
+TEST_F(DataCacheConnectionTest, ForeignWritesNeedSynchronization) {
+  conn_->ExecuteQuery("SELECT * FROM Item").value();
+  uint64_t seq = db_.update_log().LastSeq();
+  // An update through ANOTHER path (backend process).
+  db_.ExecuteSql("INSERT INTO Item VALUES ('ink', 5)").value();
+
+  // Without synchronization the cache is stale (by design — this is the
+  // consistency cost the paper charges Configuration II for).
+  EXPECT_EQ(conn_->ExecuteQuery("SELECT * FROM Item")->rows.size(), 1u);
+
+  db::DeltaSet deltas =
+      db::DeltaSet::FromRecords(db_.update_log().ReadSince(seq));
+  EXPECT_EQ(conn_->Synchronize(deltas), 1u);
+  EXPECT_EQ(conn_->ExecuteQuery("SELECT * FROM Item")->rows.size(), 2u);
+}
+
+TEST_F(DataCacheConnectionTest, DistinctQueriesCachedSeparately) {
+  conn_->ExecuteQuery("SELECT * FROM Item WHERE price < 10").value();
+  conn_->ExecuteQuery("SELECT * FROM Item WHERE price < 99").value();
+  EXPECT_EQ(conn_->size(), 2u);
+}
+
+TEST_F(DataCacheConnectionTest, ErrorsPassThroughUncached) {
+  EXPECT_FALSE(conn_->ExecuteQuery("SELECT * FROM Nope").ok());
+  EXPECT_FALSE(conn_->ExecuteQuery("garbage").ok());
+  EXPECT_EQ(conn_->size(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::cache

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cache/data_cache.h"
+
+namespace cacheportal::cache {
+namespace {
+
+using sql::Value;
+
+db::QueryResult OneCell(int64_t v) {
+  db::QueryResult r;
+  r.columns = {"x"};
+  r.rows = {{Value::Int(v)}};
+  return r;
+}
+
+db::UpdateRecord Update(const std::string& table) {
+  db::UpdateRecord rec;
+  rec.seq = 1;
+  rec.table = table;
+  rec.op = db::UpdateOp::kInsert;
+  rec.row = {Value::Int(0)};
+  return rec;
+}
+
+TEST(DataCacheTest, MissThenHit) {
+  DataCache cache(10);
+  EXPECT_FALSE(cache.Lookup("SELECT 1").has_value());
+  cache.Store("SELECT 1", OneCell(1), {"Car"});
+  auto hit = cache.Lookup("SELECT 1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rows[0][0], Value::Int(1));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DataCacheTest, SynchronizeInvalidatesTouchedTables) {
+  DataCache cache(10);
+  cache.Store("q1", OneCell(1), {"Car"});
+  cache.Store("q2", OneCell(2), {"Mileage"});
+  cache.Store("q3", OneCell(3), {"Car", "Mileage"});
+
+  db::DeltaSet deltas;
+  deltas.Add(Update("Car"));
+  EXPECT_EQ(cache.Synchronize(deltas), 2u);  // q1 and q3.
+  EXPECT_FALSE(cache.Lookup("q1").has_value());
+  EXPECT_TRUE(cache.Lookup("q2").has_value());
+  EXPECT_FALSE(cache.Lookup("q3").has_value());
+  EXPECT_EQ(cache.stats().synchronizations, 1u);
+  EXPECT_EQ(cache.stats().entries_invalidated, 2u);
+}
+
+TEST(DataCacheTest, SynchronizeTableNamesCaseInsensitive) {
+  DataCache cache(10);
+  cache.Store("q", OneCell(1), {"CAR"});
+  db::DeltaSet deltas;
+  deltas.Add(Update("car"));
+  EXPECT_EQ(cache.Synchronize(deltas), 1u);
+}
+
+TEST(DataCacheTest, EmptySynchronizeIsNoOp) {
+  DataCache cache(10);
+  cache.Store("q", OneCell(1), {"Car"});
+  db::DeltaSet deltas;
+  EXPECT_EQ(cache.Synchronize(deltas), 0u);
+  EXPECT_TRUE(cache.Lookup("q").has_value());
+}
+
+TEST(DataCacheTest, InvalidateTable) {
+  DataCache cache(10);
+  cache.Store("q1", OneCell(1), {"Car"});
+  cache.Store("q2", OneCell(2), {"Other"});
+  EXPECT_EQ(cache.InvalidateTable("Car"), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DataCacheTest, LruEviction) {
+  DataCache cache(2);
+  cache.Store("q1", OneCell(1), {"T"});
+  cache.Store("q2", OneCell(2), {"T"});
+  cache.Lookup("q1");  // q2 becomes the victim.
+  cache.Store("q3", OneCell(3), {"T"});
+  EXPECT_TRUE(cache.Lookup("q1").has_value());
+  EXPECT_FALSE(cache.Lookup("q2").has_value());
+  EXPECT_TRUE(cache.Lookup("q3").has_value());
+}
+
+TEST(DataCacheTest, StoreReplaces) {
+  DataCache cache(10);
+  cache.Store("q", OneCell(1), {"A"});
+  cache.Store("q", OneCell(2), {"B"});
+  EXPECT_EQ(cache.Lookup("q")->rows[0][0], Value::Int(2));
+  // The replacement's table set wins: sync on A must not invalidate.
+  db::DeltaSet deltas;
+  deltas.Add(Update("A"));
+  EXPECT_EQ(cache.Synchronize(deltas), 0u);
+}
+
+TEST(DataCacheTest, Clear) {
+  DataCache cache(10);
+  cache.Store("q", OneCell(1), {"T"});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::cache

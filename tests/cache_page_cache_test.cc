@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "cache/page_cache.h"
+#include "common/clock.h"
+
+namespace cacheportal::cache {
+namespace {
+
+http::PageId Page(const std::string& path, const std::string& model = "") {
+  http::PageId id("shop", path);
+  if (!model.empty()) id.get_params()["model"] = model;
+  return id;
+}
+
+http::HttpResponse CacheableResponse(const std::string& body) {
+  http::HttpResponse resp = http::HttpResponse::Ok(body);
+  http::CacheControl cc;
+  cc.is_private = true;
+  cc.owner = http::kCachePortalOwner;
+  resp.SetCacheControl(cc);
+  return resp;
+}
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  ManualClock clock_;
+};
+
+TEST_F(PageCacheTest, MissThenHit) {
+  PageCache cache(10, &clock_);
+  http::PageId page = Page("/cars", "Avalon");
+  EXPECT_FALSE(cache.Lookup(page).has_value());
+  EXPECT_TRUE(cache.Store(page, CacheableResponse("body")));
+  auto hit = cache.Lookup(page);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->body, "body");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NEAR(cache.stats().HitRatio(), 0.5, 1e-9);
+}
+
+TEST_F(PageCacheTest, DifferentKeyParamsDifferentEntries) {
+  PageCache cache(10, &clock_);
+  cache.Store(Page("/cars", "Avalon"), CacheableResponse("a"));
+  cache.Store(Page("/cars", "Civic"), CacheableResponse("c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(Page("/cars", "Avalon"))->body, "a");
+  EXPECT_EQ(cache.Lookup(Page("/cars", "Civic"))->body, "c");
+}
+
+TEST_F(PageCacheTest, NonCacheableResponsesRejected) {
+  PageCache cache(10, &clock_);
+  http::HttpResponse no_cache = http::HttpResponse::Ok("x");
+  http::CacheControl cc;
+  cc.no_cache = true;
+  no_cache.SetCacheControl(cc);
+  EXPECT_FALSE(cache.Store(Page("/a"), no_cache));
+
+  http::HttpResponse foreign = http::HttpResponse::Ok("x");
+  http::CacheControl cc2;
+  cc2.is_private = true;
+  cc2.owner = "someone-else";
+  foreign.SetCacheControl(cc2);
+  EXPECT_FALSE(cache.Store(Page("/b"), foreign));
+  EXPECT_EQ(cache.stats().rejected_stores, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PageCacheTest, PublicResponsesCacheable) {
+  PageCache cache(10, &clock_);
+  http::HttpResponse resp = http::HttpResponse::Ok("x");
+  http::CacheControl cc;
+  cc.is_public = true;
+  resp.SetCacheControl(cc);
+  EXPECT_TRUE(cache.Store(Page("/a"), resp));
+}
+
+TEST_F(PageCacheTest, MaxAgeExpiry) {
+  PageCache cache(10, &clock_);
+  http::HttpResponse resp = CacheableResponse("x");
+  http::CacheControl cc = resp.GetCacheControl();
+  cc.max_age_seconds = 5;
+  resp.SetCacheControl(cc);
+  cache.Store(Page("/a"), resp);
+  clock_.Advance(4 * kMicrosPerSecond);
+  EXPECT_TRUE(cache.Lookup(Page("/a")).has_value());
+  clock_.Advance(2 * kMicrosPerSecond);
+  EXPECT_FALSE(cache.Lookup(Page("/a")).has_value());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST_F(PageCacheTest, LruEviction) {
+  PageCache cache(2, &clock_);
+  cache.Store(Page("/a"), CacheableResponse("a"));
+  cache.Store(Page("/b"), CacheableResponse("b"));
+  // Touch /a so /b is the LRU victim.
+  cache.Lookup(Page("/a"));
+  cache.Store(Page("/c"), CacheableResponse("c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(Page("/a")));
+  EXPECT_FALSE(cache.Contains(Page("/b")));
+  EXPECT_TRUE(cache.Contains(Page("/c")));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(PageCacheTest, InvalidateRemovesEntry) {
+  PageCache cache(10, &clock_);
+  cache.Store(Page("/a"), CacheableResponse("a"));
+  EXPECT_TRUE(cache.Invalidate(Page("/a")));
+  EXPECT_FALSE(cache.Invalidate(Page("/a")));
+  EXPECT_FALSE(cache.Lookup(Page("/a")).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST_F(PageCacheTest, EjectMessageProtocol) {
+  PageCache cache(10, &clock_);
+  http::PageId page = Page("/cars", "Avalon");
+  cache.Store(page, CacheableResponse("stale soon"));
+
+  // Build the invalidation message the paper describes: a normal request
+  // carrying Cache-Control: eject.
+  http::HttpRequest eject;
+  eject.host = page.host();
+  eject.path = page.path();
+  eject.get_params = page.get_params();
+  eject.headers.Set("Cache-Control", "eject");
+  EXPECT_EQ(cache.HandleInvalidationRequest(eject).status_code, 204);
+  EXPECT_FALSE(cache.Contains(page));
+  // Second eject: page no longer cached.
+  EXPECT_EQ(cache.HandleInvalidationRequest(eject).status_code, 404);
+
+  // Without the directive the message is rejected.
+  http::HttpRequest plain;
+  plain.host = page.host();
+  plain.path = page.path();
+  EXPECT_EQ(cache.HandleInvalidationRequest(plain).status_code, 400);
+}
+
+TEST_F(PageCacheTest, InvalidateMatchingBulk) {
+  PageCache cache(10, &clock_);
+  cache.Store(Page("/cars", "Avalon"), CacheableResponse("a"));
+  cache.Store(Page("/cars", "Civic"), CacheableResponse("c"));
+  cache.Store(Page("/other"), CacheableResponse("o"));
+  size_t removed = cache.InvalidateMatching([](const std::string& key) {
+    return key.find("/cars") != std::string::npos;
+  });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(PageCacheTest, StoreReplacesExisting) {
+  PageCache cache(10, &clock_);
+  cache.Store(Page("/a"), CacheableResponse("v1"));
+  cache.Store(Page("/a"), CacheableResponse("v2"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(Page("/a"))->body, "v2");
+}
+
+TEST_F(PageCacheTest, ClearAndKeys) {
+  PageCache cache(10, &clock_);
+  cache.Store(Page("/a"), CacheableResponse("a"));
+  cache.Store(Page("/b"), CacheableResponse("b"));
+  EXPECT_EQ(cache.Keys().size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PageCacheTest, CapacityZeroBecomesOne) {
+  PageCache cache(0, &clock_);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Store(Page("/a"), CacheableResponse("a"));
+  cache.Store(Page("/b"), CacheableResponse("b"));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cacheportal::cache

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace cacheportal {
+namespace {
+
+// ---------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("table Car");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsParseError());
+  EXPECT_EQ(s.message(), "table Car");
+  EXPECT_EQ(s.ToString(), "NotFound: table Car");
+}
+
+TEST(StatusTest, EachCodePredicateMatchesOnlyItself) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::Internal("x").IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Result<int> Doubled(Result<int> in) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_TRUE(Doubled(Status::Internal("boom")).status().IsInternal());
+}
+
+// ---------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------
+
+TEST(StringsTest, StrSplitBasic) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,c,", ','),
+            (std::vector<std::string>{"a", "", "c", ""}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper("SeLeCt"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCase("Cache-Control", "cache-control"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("jdbc:cacheportal:x", "jdbc:"));
+  EXPECT_FALSE(StartsWith("jd", "jdbc:"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "file.cc"));
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+// ---------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SetTime(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+}
+
+TEST(ClockTest, SystemClockMonotone) {
+  SystemClock clock;
+  Micros a = clock.NowMicros();
+  Micros b = clock.NowMicros();
+  EXPECT_GE(b, a);
+}
+
+// ---------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(10), 10u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ExponentialMeanRoughlyCorrect) {
+  Random rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(100.0);
+  double mean = sum / kN;
+  EXPECT_NEAR(mean, 100.0, 5.0);
+}
+
+TEST(RandomTest, OneInProbability) {
+  Random rng(13);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.OneIn(0.7) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.7, 0.02);
+}
+
+}  // namespace
+}  // namespace cacheportal

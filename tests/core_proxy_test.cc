@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/caching_proxy.h"
+
+namespace cacheportal::core {
+namespace {
+
+/// Scripted upstream.
+class ScriptedOrigin : public server::RequestHandler {
+ public:
+  http::HttpResponse Handle(const http::HttpRequest&) override {
+    ++calls;
+    http::HttpResponse resp = next;
+    return resp;
+  }
+  http::HttpResponse next = http::HttpResponse::Ok("body");
+  int calls = 0;
+};
+
+http::HttpResponse CacheablePage(const std::string& body) {
+  http::HttpResponse resp = http::HttpResponse::Ok(body);
+  http::CacheControl cc;
+  cc.is_private = true;
+  cc.owner = http::kCachePortalOwner;
+  resp.SetCacheControl(cc);
+  return resp;
+}
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : cache_(16, &clock_), proxy_(&cache_, &origin_, nullptr) {}
+
+  http::HttpResponse Get(const std::string& url) {
+    return proxy_.Handle(*http::HttpRequest::Get(url));
+  }
+
+  ManualClock clock_;
+  cache::PageCache cache_;
+  ScriptedOrigin origin_;
+  CachingProxy proxy_;
+};
+
+TEST_F(ProxyTest, MissStoresAndTagsHeaders) {
+  origin_.next = CacheablePage("v1");
+  http::HttpResponse first = Get("http://s/p");
+  EXPECT_EQ(first.headers.Get("X-Cache"), "MISS");
+  EXPECT_EQ(origin_.calls, 1);
+  http::HttpResponse second = Get("http://s/p");
+  EXPECT_EQ(second.headers.Get("X-Cache"), "HIT");
+  EXPECT_EQ(origin_.calls, 1);
+  EXPECT_EQ(second.body, "v1");
+}
+
+TEST_F(ProxyTest, NonOkResponsesNotCached) {
+  origin_.next = http::HttpResponse::NotFound();
+  EXPECT_EQ(Get("http://s/missing").status_code, 404);
+  EXPECT_EQ(cache_.size(), 0u);
+  EXPECT_EQ(Get("http://s/missing").status_code, 404);
+  EXPECT_EQ(origin_.calls, 2);  // Both reached the origin.
+}
+
+TEST_F(ProxyTest, NonCacheableResponsesPassThroughUnstored) {
+  http::HttpResponse resp = http::HttpResponse::Ok("private");
+  http::CacheControl cc;
+  cc.no_store = true;
+  resp.SetCacheControl(cc);
+  origin_.next = resp;
+  Get("http://s/p");
+  EXPECT_EQ(cache_.size(), 0u);
+  Get("http://s/p");
+  EXPECT_EQ(origin_.calls, 2);
+}
+
+TEST_F(ProxyTest, EjectRequestServicedWithoutTouchingOrigin) {
+  origin_.next = CacheablePage("v1");
+  Get("http://s/p");
+  ASSERT_EQ(cache_.size(), 1u);
+  auto eject = http::HttpRequest::Get("http://s/p");
+  eject->headers.Set("Cache-Control", "eject");
+  http::HttpResponse resp = proxy_.Handle(*eject);
+  EXPECT_EQ(resp.status_code, 204);
+  EXPECT_EQ(cache_.size(), 0u);
+  EXPECT_EQ(origin_.calls, 1);  // Eject never goes upstream.
+}
+
+TEST_F(ProxyTest, ConfigLookupNarrowsKeys) {
+  server::ServletConfig config;
+  config.name = "/p";
+  config.key_get_params = {"id"};
+  CachingProxy narrowing(
+      &cache_, &origin_,
+      [&config](const std::string& path) -> const server::ServletConfig* {
+        return path == "/p" ? &config : nullptr;
+      });
+  origin_.next = CacheablePage("v1");
+  narrowing.Handle(*http::HttpRequest::Get("http://s/p?id=1&tracking=a"));
+  http::HttpResponse second = narrowing.Handle(
+      *http::HttpRequest::Get("http://s/p?id=1&tracking=zzz"));
+  EXPECT_EQ(second.headers.Get("X-Cache"), "HIT");
+  // A different key parameter misses.
+  http::HttpResponse third =
+      narrowing.Handle(*http::HttpRequest::Get("http://s/p?id=2"));
+  EXPECT_EQ(third.headers.Get("X-Cache"), "MISS");
+}
+
+TEST_F(ProxyTest, PostParametersParticipateInIdentity) {
+  origin_.next = CacheablePage("form-a");
+  auto post_a = http::HttpRequest::Post("http://s/form", {{"q", "a"}});
+  auto post_b = http::HttpRequest::Post("http://s/form", {{"q", "b"}});
+  proxy_.Handle(*post_a);
+  origin_.next = CacheablePage("form-b");
+  http::HttpResponse b = proxy_.Handle(*post_b);
+  EXPECT_EQ(b.headers.Get("X-Cache"), "MISS");
+  EXPECT_EQ(b.body, "form-b");
+  http::HttpResponse a_again = proxy_.Handle(*post_a);
+  EXPECT_EQ(a_again.headers.Get("X-Cache"), "HIT");
+  EXPECT_EQ(a_again.body, "form-a");
+}
+
+}  // namespace
+}  // namespace cacheportal::core

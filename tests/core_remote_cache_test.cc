@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/remote_cache.h"
+#include "db/database.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal::core {
+namespace {
+
+/// Origin that renders a counter so regenerated pages are observable.
+class CountingOrigin : public server::RequestHandler {
+ public:
+  http::HttpResponse Handle(const http::HttpRequest& req) override {
+    ++generations;
+    http::HttpResponse resp =
+        http::HttpResponse::Ok("gen" + std::to_string(generations) + ":" +
+                               req.path);
+    http::CacheControl cc;
+    cc.is_private = true;
+    cc.owner = http::kCachePortalOwner;
+    resp.SetCacheControl(cc);
+    return resp;
+  }
+  int generations = 0;
+};
+
+std::string WireGet(const std::string& url) {
+  return http::HttpRequest::Get(url)->Serialize();
+}
+
+TEST(RemoteCacheTest, WireMissThenHit) {
+  ManualClock clock;
+  cache::PageCache cache(10, &clock);
+  CountingOrigin origin;
+  RemoteCacheEndpoint endpoint(&cache, &origin);
+
+  auto first =
+      http::HttpResponse::Parse(endpoint.HandleWire(WireGet("http://s/p")));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->headers.Get("X-Cache"), "MISS");
+
+  auto second =
+      http::HttpResponse::Parse(endpoint.HandleWire(WireGet("http://s/p")));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->headers.Get("X-Cache"), "HIT");
+  EXPECT_EQ(second->body, first->body);
+  EXPECT_EQ(origin.generations, 1);
+  EXPECT_EQ(endpoint.wire_requests(), 2u);
+}
+
+TEST(RemoteCacheTest, MalformedWireIs400) {
+  ManualClock clock;
+  cache::PageCache cache(10, &clock);
+  RemoteCacheEndpoint endpoint(&cache, nullptr);
+  auto resp = http::HttpResponse::Parse(endpoint.HandleWire("garbage"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 400);
+  EXPECT_EQ(endpoint.parse_errors(), 1u);
+}
+
+TEST(RemoteCacheTest, NoUpstreamIs503) {
+  ManualClock clock;
+  cache::PageCache cache(10, &clock);
+  RemoteCacheEndpoint endpoint(&cache, nullptr);
+  auto resp =
+      http::HttpResponse::Parse(endpoint.HandleWire(WireGet("http://s/p")));
+  EXPECT_EQ(resp->status_code, 503);
+}
+
+TEST(RemoteCacheTest, EjectOverTheWire) {
+  ManualClock clock;
+  cache::PageCache cache(10, &clock);
+  CountingOrigin origin;
+  RemoteCacheEndpoint endpoint(&cache, &origin);
+  endpoint.HandleWire(WireGet("http://s/p?grp=1"));
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto eject = http::HttpRequest::Get("http://s/p?grp=1");
+  eject->headers.Set("Cache-Control", "eject");
+  auto resp = http::HttpResponse::Parse(endpoint.HandleWire(
+      eject->Serialize()));
+  EXPECT_EQ(resp->status_code, 204);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RemoteCacheTest, InvalidatorDrivesEdgeCachesOverWire) {
+  // Full vertical-invalidation path: DB update -> invalidator -> HTTP
+  // eject message over serialized bytes -> two edge caches.
+  ManualClock clock;
+  db::Database db(&clock);
+  db.CreateTable(db::TableSchema("T", {{"grp", db::ColumnType::kInt}})).ok();
+
+  CountingOrigin origin;
+  cache::PageCache edge_a(10, &clock), edge_b(10, &clock);
+  RemoteCacheEndpoint endpoint_a(&edge_a, &origin);
+  RemoteCacheEndpoint endpoint_b(&edge_b, &origin);
+  WireCacheSink sink_a(&endpoint_a), sink_b(&endpoint_b);
+
+  sniffer::QiUrlMap map;
+  invalidator::Invalidator inv(&db, &map, &clock, {});
+  inv.AddSink(&sink_a);
+  inv.AddSink(&sink_b);
+
+  // Both edges cache the page (its identity matches the QI/URL map key).
+  endpoint_a.HandleWire(WireGet("http://s/p?grp=1"));
+  endpoint_b.HandleWire(WireGet("http://s/p?grp=1"));
+  std::string key =
+      http::HttpRequest::Get("http://s/p?grp=1")->ToPageId().CacheKey();
+  map.Add("SELECT * FROM T WHERE grp = 1", key, "/p", 0);
+
+  db.ExecuteSql("INSERT INTO T VALUES (1)").value();
+  auto report = inv.RunCycle();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->pages_invalidated, 1u);
+  EXPECT_EQ(sink_a.messages_sent(), 1u);
+  EXPECT_EQ(sink_a.ejections_confirmed(), 1u);
+  EXPECT_EQ(sink_b.ejections_confirmed(), 1u);
+  EXPECT_EQ(edge_a.size(), 0u);
+  EXPECT_EQ(edge_b.size(), 0u);
+}
+
+TEST(RemoteCacheTest, KeyNarrowingWithConfigLookup) {
+  ManualClock clock;
+  cache::PageCache cache(10, &clock);
+  CountingOrigin origin;
+  server::ServletConfig config;
+  config.name = "/p";
+  config.key_get_params = {"grp"};
+  RemoteCacheEndpoint endpoint(
+      &cache, &origin,
+      [&config](const std::string& path) -> const server::ServletConfig* {
+        return path == "/p" ? &config : nullptr;
+      });
+
+  endpoint.HandleWire(WireGet("http://s/p?grp=1&session=abc"));
+  auto second = http::HttpResponse::Parse(
+      endpoint.HandleWire(WireGet("http://s/p?grp=1&session=zzz")));
+  // Same key parameter -> same cache entry despite different session.
+  EXPECT_EQ(second->headers.Get("X-Cache"), "HIT");
+}
+
+}  // namespace
+}  // namespace cacheportal::core

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "db/database.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace cacheportal::db {
+namespace {
+
+using sql::Value;
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("T",
+                                            {{"a", ColumnType::kInt},
+                                             {"b", ColumnType::kInt},
+                                             {"s", ColumnType::kString}}))
+                    .ok());
+    for (int i = 0; i < 10; ++i) {
+      Exec(StrCat("INSERT INTO T VALUES (", i, ", ", i % 3, ", 'row", i,
+                  "')"));
+    }
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = db_.ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorEdgeTest, SelfJoinWithAliases) {
+  // Pairs (x, y) with x.a + 1 = y.a.
+  QueryResult r = Exec(
+      "SELECT x.a, y.a FROM T x, T y WHERE x.a + 1 = y.a AND x.a < 3");
+  EXPECT_EQ(r.rows.size(), 3u);  // (0,1), (1,2), (2,3).
+}
+
+TEST_F(ExecutorEdgeTest, GroupByMultipleKeys) {
+  ASSERT_TRUE(db_.CreateTable(TableSchema("U", {{"g1", ColumnType::kInt},
+                                                {"g2", ColumnType::kInt},
+                                                {"v", ColumnType::kInt}}))
+                  .ok());
+  Exec("INSERT INTO U VALUES (1, 1, 10)");
+  Exec("INSERT INTO U VALUES (1, 1, 20)");
+  Exec("INSERT INTO U VALUES (1, 2, 30)");
+  Exec("INSERT INTO U VALUES (2, 1, 40)");
+  QueryResult r =
+      Exec("SELECT g1, g2, SUM(v) AS total FROM U GROUP BY g1, g2");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorEdgeTest, DistinctWithOrderByOutputColumn) {
+  QueryResult r = Exec("SELECT DISTINCT b FROM T ORDER BY b DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(2));
+  EXPECT_EQ(r.rows[2][0], Value::Int(0));
+}
+
+TEST_F(ExecutorEdgeTest, OrderByBaseColumnWithDistinctRejected) {
+  // ORDER BY must reference an output column when DISTINCT reorders rows.
+  auto result =
+      db_.ExecuteSql("SELECT DISTINCT b FROM T ORDER BY a");
+  EXPECT_TRUE(result.status().IsNotSupported());
+}
+
+TEST_F(ExecutorEdgeTest, OrderByAggregateAlias) {
+  QueryResult r = Exec(
+      "SELECT b, COUNT(*) AS n FROM T GROUP BY b ORDER BY n DESC, b");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // b=0 has 4 rows (0,3,6,9); b=1 and b=2 have 3 each.
+  EXPECT_EQ(r.rows[0][0], Value::Int(0));
+  EXPECT_EQ(r.rows[0][1], Value::Int(4));
+}
+
+TEST_F(ExecutorEdgeTest, LikeAndInFilters) {
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE s LIKE 'row%'").rows.size(), 10u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE s LIKE '%9'").rows.size(), 1u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE a IN (1, 3, 5, 99)").rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE a NOT IN (0, 1)").rows.size(), 8u);
+}
+
+TEST_F(ExecutorEdgeTest, BetweenAndArithmeticInWhere) {
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE a BETWEEN 2 AND 4").rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE a * 2 = 6").rows.size(), 1u);
+}
+
+TEST_F(ExecutorEdgeTest, ExpressionsInSelectList) {
+  QueryResult r = Exec("SELECT a + 100 AS shifted FROM T WHERE a = 5");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(105));
+  EXPECT_EQ(r.columns[0], "shifted");
+}
+
+TEST_F(ExecutorEdgeTest, NullsInData) {
+  Exec("INSERT INTO T (a) VALUES (100)");  // b, s are NULL.
+  // NULL never satisfies comparisons.
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE b = 0").rows.size(), 4u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE b IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE s IS NOT NULL").rows.size(), 10u);
+  // Aggregates skip NULLs.
+  QueryResult agg = Exec("SELECT COUNT(*), COUNT(b) FROM T");
+  EXPECT_EQ(agg.rows[0][0], Value::Int(11));
+  EXPECT_EQ(agg.rows[0][1], Value::Int(10));
+}
+
+TEST_F(ExecutorEdgeTest, ParameterizedQueryViaBind) {
+  auto select = sql::Parser::ParseSelect("SELECT * FROM T WHERE a > $1");
+  ASSERT_TRUE(select.ok());
+  auto bound = sql::BindParameters(*(*select)->where, {Value::Int(7)});
+  ASSERT_TRUE(bound.ok());
+  (*select)->where = std::move(*bound);
+  auto result = db_.ExecuteQuery(**select);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);  // 8, 9.
+}
+
+TEST_F(ExecutorEdgeTest, UnboundParameterInWhereFails) {
+  EXPECT_FALSE(db_.ExecuteSql("SELECT * FROM T WHERE a > $1").ok());
+}
+
+TEST_F(ExecutorEdgeTest, InsertColumnSubsetLeavesNulls) {
+  Exec("INSERT INTO T (s, a) VALUES ('partial', 50)");
+  QueryResult r = Exec("SELECT a, b, s FROM T WHERE a = 50");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_EQ(r.rows[0][2], Value::String("partial"));
+}
+
+TEST_F(ExecutorEdgeTest, InsertArityAndTypeErrors) {
+  EXPECT_FALSE(db_.ExecuteSql("INSERT INTO T VALUES (1)").ok());
+  EXPECT_FALSE(db_.ExecuteSql("INSERT INTO T VALUES ('x', 1, 'y')").ok());
+  EXPECT_FALSE(
+      db_.ExecuteSql("INSERT INTO T (a, nope) VALUES (1, 2)").ok());
+  EXPECT_FALSE(
+      db_.ExecuteSql("INSERT INTO T (a) VALUES (1, 2)").ok());
+}
+
+TEST_F(ExecutorEdgeTest, DeleteAndUpdateWithoutWhereTouchEverything) {
+  QueryResult upd = Exec("UPDATE T SET b = 7");
+  EXPECT_EQ(upd.rows[0][0], Value::Int(10));
+  EXPECT_EQ(Exec("SELECT * FROM T WHERE b = 7").rows.size(), 10u);
+  QueryResult del = Exec("DELETE FROM T");
+  EXPECT_EQ(del.rows[0][0], Value::Int(10));
+  EXPECT_EQ(Exec("SELECT * FROM T").rows.size(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, JoinThroughIndexedColumn) {
+  ASSERT_TRUE(db_.CreateIndex("T", "b").ok());
+  QueryResult r = Exec("SELECT * FROM T WHERE b = 1");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorEdgeTest, MinMaxOnStrings) {
+  QueryResult r = Exec("SELECT MIN(s), MAX(s) FROM T");
+  EXPECT_EQ(r.rows[0][0], Value::String("row0"));
+  EXPECT_EQ(r.rows[0][1], Value::String("row9"));
+}
+
+TEST_F(ExecutorEdgeTest, CountDistinctViaSubsetGroupBy) {
+  QueryResult r = Exec("SELECT b FROM T GROUP BY b");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorEdgeTest, HeavyCrossProductBounded) {
+  // 10 x 10 self cross product with LIMIT.
+  QueryResult r = Exec("SELECT x.a FROM T x, T y LIMIT 7");
+  EXPECT_EQ(r.rows.size(), 7u);
+}
+
+}  // namespace
+}  // namespace cacheportal::db

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace cacheportal::db {
+namespace {
+
+using sql::Value;
+
+/// Builds the paper's two-table example database (Example 4.1).
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Car",
+                                            {{"maker", ColumnType::kString},
+                                             {"model", ColumnType::kString},
+                                             {"price", ColumnType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Mileage",
+                                            {{"model", ColumnType::kString},
+                                             {"EPA", ColumnType::kInt}}))
+                    .ok());
+    Exec("INSERT INTO Car VALUES ('Toyota', 'Avalon', 25000)");
+    Exec("INSERT INTO Car VALUES ('Mitsubishi', 'Eclipse', 20000)");
+    Exec("INSERT INTO Car VALUES ('Honda', 'Civic', 18000)");
+    Exec("INSERT INTO Car VALUES ('Toyota', 'Corolla', 16000)");
+    Exec("INSERT INTO Mileage VALUES ('Avalon', 28)");
+    Exec("INSERT INTO Mileage VALUES ('Civic', 36)");
+    Exec("INSERT INTO Mileage VALUES ('Corolla', 34)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = db_.ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectStarReturnsAllColumnsAndRows) {
+  QueryResult r = Exec("SELECT * FROM Car");
+  EXPECT_EQ(r.columns,
+            (std::vector<std::string>{"maker", "model", "price"}));
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, ProjectionAndAlias) {
+  QueryResult r = Exec("SELECT maker AS brand, price FROM Car LIMIT 1");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"brand", "price"}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].size(), 2u);
+}
+
+TEST_F(ExecutorTest, WhereFilters) {
+  QueryResult r = Exec("SELECT model FROM Car WHERE price < 20000");
+  EXPECT_EQ(r.rows.size(), 2u);  // Civic, Corolla.
+}
+
+TEST_F(ExecutorTest, WhereWithAndOrNot) {
+  EXPECT_EQ(Exec("SELECT * FROM Car WHERE maker = 'Toyota' AND price > "
+                 "20000")
+                .rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT * FROM Car WHERE maker = 'Honda' OR maker = "
+                 "'Toyota'")
+                .rows.size(),
+            3u);
+  EXPECT_EQ(Exec("SELECT * FROM Car WHERE NOT (price < 20000)").rows.size(),
+            2u);
+}
+
+TEST_F(ExecutorTest, JoinWithCommaSyntax) {
+  QueryResult r = Exec(
+      "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, "
+      "Mileage WHERE Car.model = Mileage.model AND Car.price < 20000");
+  // Civic (18000, EPA 36) and Corolla (16000, EPA 34).
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.columns.size(), 4u);
+}
+
+TEST_F(ExecutorTest, JoinWithJoinOnSyntax) {
+  QueryResult r = Exec(
+      "SELECT Car.model FROM Car JOIN Mileage ON Car.model = Mileage.model");
+  EXPECT_EQ(r.rows.size(), 3u);  // Eclipse has no mileage row.
+}
+
+TEST_F(ExecutorTest, TableAliases) {
+  QueryResult r = Exec(
+      "SELECT c.model, m.EPA FROM Car c, Mileage m WHERE c.model = m.model "
+      "AND m.EPA > 30");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, CrossProductWithoutCondition) {
+  QueryResult r = Exec("SELECT * FROM Car, Mileage");
+  EXPECT_EQ(r.rows.size(), 12u);  // 4 x 3.
+  EXPECT_EQ(r.columns.size(), 5u);
+}
+
+TEST_F(ExecutorTest, UnqualifiedColumnsResolvedUniquely) {
+  QueryResult r = Exec("SELECT maker FROM Car WHERE price = 25000");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::String("Toyota"));
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnIsError) {
+  // `model` exists in both tables.
+  EXPECT_FALSE(db_.ExecuteSql("SELECT * FROM Car, Mileage WHERE model = 'x'")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, OrderByAscDesc) {
+  QueryResult r = Exec("SELECT model, price FROM Car ORDER BY price");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0], Value::String("Corolla"));
+  EXPECT_EQ(r.rows[3][0], Value::String("Avalon"));
+
+  r = Exec("SELECT model, price FROM Car ORDER BY price DESC");
+  EXPECT_EQ(r.rows[0][0], Value::String("Avalon"));
+}
+
+TEST_F(ExecutorTest, Limit) {
+  EXPECT_EQ(Exec("SELECT * FROM Car LIMIT 2").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT * FROM Car LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Exec("SELECT * FROM Car LIMIT 99").rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  QueryResult r = Exec("SELECT DISTINCT maker FROM Car");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, Aggregates) {
+  QueryResult r = Exec(
+      "SELECT COUNT(*), SUM(price), MIN(price), MAX(price), AVG(price) FROM "
+      "Car");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(4));
+  EXPECT_EQ(r.rows[0][1], Value::Int(25000 + 20000 + 18000 + 16000));
+  EXPECT_EQ(r.rows[0][2], Value::Int(16000));
+  EXPECT_EQ(r.rows[0][3], Value::Int(25000));
+  EXPECT_EQ(r.rows[0][4], Value::Double(79000.0 / 4));
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  QueryResult r =
+      Exec("SELECT COUNT(*), SUM(price) FROM Car WHERE price > 999999");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  QueryResult r = Exec(
+      "SELECT maker, COUNT(*) AS n FROM Car GROUP BY maker ORDER BY n DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0], Value::String("Toyota"));
+  EXPECT_EQ(r.rows[0][1], Value::Int(2));
+}
+
+TEST_F(ExecutorTest, IndexedEqualityLookupUsed) {
+  ASSERT_TRUE(db_.CreateIndex("Car", "model").ok());
+  const Table* car = db_.FindTable("Car");
+  uint64_t before = car->rows_scanned();
+  QueryResult r = Exec("SELECT * FROM Car WHERE model = 'Civic'");
+  EXPECT_EQ(r.rows.size(), 1u);
+  // Index lookup touches far fewer rows than a full scan would.
+  EXPECT_LE(car->rows_scanned() - before, 2u);
+}
+
+TEST_F(ExecutorTest, InsertReportsAffectedAndDeleteRemoves) {
+  QueryResult r = Exec("DELETE FROM Car WHERE maker = 'Toyota'");
+  EXPECT_EQ(r.rows[0][0], Value::Int(2));
+  EXPECT_EQ(Exec("SELECT * FROM Car").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, UpdateChangesMatchingRows) {
+  QueryResult r =
+      Exec("UPDATE Car SET price = price - 1000 WHERE maker = 'Toyota'");
+  EXPECT_EQ(r.rows[0][0], Value::Int(2));
+  QueryResult check =
+      Exec("SELECT price FROM Car WHERE model = 'Avalon'");
+  EXPECT_EQ(check.rows[0][0], Value::Int(24000));
+}
+
+TEST_F(ExecutorTest, SelectUnknownTableFails) {
+  EXPECT_TRUE(db_.ExecuteSql("SELECT * FROM Nope").status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, UnknownColumnFails) {
+  EXPECT_FALSE(db_.ExecuteSql("SELECT * FROM Car WHERE nope = 1").ok());
+}
+
+TEST_F(ExecutorTest, TableNamesCaseInsensitive) {
+  EXPECT_EQ(Exec("SELECT * FROM car").rows.size(), 4u);
+  EXPECT_EQ(Exec("SELECT * FROM CAR").rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, ConstantFalseWhereShortCircuits) {
+  EXPECT_EQ(Exec("SELECT * FROM Car WHERE 1 = 2").rows.size(), 0u);
+  EXPECT_EQ(Exec("SELECT * FROM Car WHERE 1 = 1").rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, ResultToStringRendersTable) {
+  QueryResult r = Exec("SELECT maker FROM Car WHERE price = 25000");
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("maker"), std::string::npos);
+  EXPECT_NE(s.find("Toyota"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  ASSERT_TRUE(
+      db_.CreateTable(TableSchema("Dealer", {{"model", ColumnType::kString},
+                                             {"city", ColumnType::kString}}))
+          .ok());
+  Exec("INSERT INTO Dealer VALUES ('Civic', 'San Jose')");
+  Exec("INSERT INTO Dealer VALUES ('Avalon', 'Palo Alto')");
+  QueryResult r = Exec(
+      "SELECT Car.model, Mileage.EPA, Dealer.city FROM Car, Mileage, Dealer "
+      "WHERE Car.model = Mileage.model AND Car.model = Dealer.model");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, UpdateLogRecordsDml) {
+  size_t before = db_.update_log().size();
+  Exec("INSERT INTO Car VALUES ('Ford', 'Focus', 15000)");
+  Exec("UPDATE Car SET price = 14000 WHERE model = 'Focus'");
+  Exec("DELETE FROM Car WHERE model = 'Focus'");
+  // insert=1, update=2 (delete+insert), delete=1.
+  EXPECT_EQ(db_.update_log().size(), before + 4);
+}
+
+}  // namespace
+}  // namespace cacheportal::db

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "db/delta.h"
+#include "db/update_log.h"
+
+namespace cacheportal::db {
+namespace {
+
+using sql::Value;
+
+Row R(int64_t x) { return {Value::Int(x)}; }
+
+TEST(UpdateLogTest, AppendAssignsDenseSequence) {
+  UpdateLog log;
+  EXPECT_EQ(log.LastSeq(), 0u);
+  EXPECT_EQ(log.Append(10, "T", UpdateOp::kInsert, R(1)), 1u);
+  EXPECT_EQ(log.Append(20, "T", UpdateOp::kDelete, R(1)), 2u);
+  EXPECT_EQ(log.LastSeq(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(UpdateLogTest, ReadSinceReturnsTail) {
+  UpdateLog log;
+  for (int i = 0; i < 5; ++i) log.Append(i, "T", UpdateOp::kInsert, R(i));
+  EXPECT_EQ(log.ReadSince(0).size(), 5u);
+  EXPECT_EQ(log.ReadSince(3).size(), 2u);
+  EXPECT_EQ(log.ReadSince(5).size(), 0u);
+  EXPECT_EQ(log.ReadSince(99).size(), 0u);
+  auto tail = log.ReadSince(2);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].seq, 3u);
+}
+
+TEST(UpdateLogTest, TruncateDropsPrefixButKeepsSeqs) {
+  UpdateLog log;
+  for (int i = 0; i < 5; ++i) log.Append(i, "T", UpdateOp::kInsert, R(i));
+  log.Truncate(3);
+  EXPECT_EQ(log.size(), 2u);
+  auto tail = log.ReadSince(3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 4u);
+  // ReadSince before the truncation point returns what's left.
+  EXPECT_EQ(log.ReadSince(0).size(), 2u);
+  // New appends continue the sequence.
+  EXPECT_EQ(log.Append(9, "T", UpdateOp::kInsert, R(9)), 6u);
+}
+
+TEST(UpdateLogTest, TruncateBeyondEndEmptiesLog) {
+  UpdateLog log;
+  log.Append(0, "T", UpdateOp::kInsert, R(1));
+  log.Truncate(10);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(UpdateLogTest, RecordsCarryPayload) {
+  UpdateLog log;
+  log.Append(42, "Car", UpdateOp::kDelete,
+             {Value::String("Toyota"), Value::Int(1)});
+  auto records = log.ReadSince(0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].timestamp, 42);
+  EXPECT_EQ(records[0].table, "Car");
+  EXPECT_EQ(records[0].op, UpdateOp::kDelete);
+  EXPECT_EQ(records[0].row[0], Value::String("Toyota"));
+}
+
+// ---------------------------------------------------------------------
+// DeltaSet
+// ---------------------------------------------------------------------
+
+TEST(DeltaSetTest, GroupsByTableAndOp) {
+  UpdateLog log;
+  log.Append(0, "Car", UpdateOp::kInsert, R(1));
+  log.Append(0, "Car", UpdateOp::kInsert, R(2));
+  log.Append(0, "Car", UpdateOp::kDelete, R(3));
+  log.Append(0, "Mileage", UpdateOp::kDelete, R(4));
+
+  DeltaSet deltas = DeltaSet::FromRecords(log.ReadSince(0));
+  EXPECT_FALSE(deltas.empty());
+  // Table names are normalized to lower case for matching.
+  EXPECT_EQ(deltas.Tables(), (std::vector<std::string>{"car", "mileage"}));
+  EXPECT_EQ(deltas.ForTable("Car").inserts.size(), 2u);
+  EXPECT_EQ(deltas.ForTable("Car").deletes.size(), 1u);
+  EXPECT_EQ(deltas.ForTable("Mileage").inserts.size(), 0u);
+  EXPECT_EQ(deltas.ForTable("Mileage").deletes.size(), 1u);
+  EXPECT_EQ(deltas.TotalRows(), 4u);
+}
+
+TEST(DeltaSetTest, UnknownTableYieldsEmptyDelta) {
+  DeltaSet deltas;
+  EXPECT_TRUE(deltas.ForTable("Nope").empty());
+  EXPECT_TRUE(deltas.empty());
+  EXPECT_EQ(deltas.TotalRows(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::db

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "http/cache_control.h"
+#include "http/message.h"
+#include "http/url.h"
+
+namespace cacheportal::http {
+namespace {
+
+// ---------------------------------------------------------------------
+// URL encoding and parameters
+// ---------------------------------------------------------------------
+
+TEST(UrlTest, EncodeDecodeRoundTrip) {
+  std::string original = "a b&c=d/e?f#g'100%";
+  EXPECT_EQ(UrlDecode(UrlEncode(original)), original);
+}
+
+TEST(UrlTest, EncodeKeepsUnreserved) {
+  EXPECT_EQ(UrlEncode("AZaz09-_.~"), "AZaz09-_.~");
+  EXPECT_EQ(UrlEncode("a b"), "a%20b");
+}
+
+TEST(UrlTest, DecodePlusAsSpaceAndBadEscapes) {
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("100%"), "100%");    // Trailing % passes through.
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");      // Invalid escape preserved.
+  EXPECT_EQ(UrlDecode("%41"), "A");
+}
+
+TEST(UrlTest, ParseQueryString) {
+  ParamMap params = ParseQueryString("model=Avalon&price=25000&flag=");
+  EXPECT_EQ(params.size(), 3u);
+  EXPECT_EQ(params["model"], "Avalon");
+  EXPECT_EQ(params["flag"], "");
+}
+
+TEST(UrlTest, BuildQueryStringSortedAndEncoded) {
+  ParamMap params{{"b", "2"}, {"a", "1 x"}};
+  EXPECT_EQ(BuildQueryString(params), "a=1%20x&b=2");
+}
+
+TEST(UrlTest, CookieRoundTrip) {
+  ParamMap cookies = ParseCookieString("session=abc123; user=selcuk");
+  EXPECT_EQ(cookies["session"], "abc123");
+  EXPECT_EQ(cookies["user"], "selcuk");
+  EXPECT_EQ(BuildCookieString(cookies), "session=abc123; user=selcuk");
+}
+
+// ---------------------------------------------------------------------
+// PageId
+// ---------------------------------------------------------------------
+
+TEST(PageIdTest, FromUrl) {
+  auto id = PageId::FromUrl("http://shop.example.com/cars?model=Avalon");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->host(), "shop.example.com");
+  EXPECT_EQ(id->path(), "/cars");
+  EXPECT_EQ(id->get_params().at("model"), "Avalon");
+}
+
+TEST(PageIdTest, FromUrlWithoutScheme) {
+  auto id = PageId::FromUrl("example.com/x");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->host(), "example.com");
+  EXPECT_EQ(id->path(), "/x");
+}
+
+TEST(PageIdTest, HostOnlyGetsRootPath) {
+  auto id = PageId::FromUrl("http://example.com");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->path(), "/");
+}
+
+TEST(PageIdTest, CacheKeyDistinguishesParamKinds) {
+  PageId a("h", "/p");
+  a.get_params()["x"] = "1";
+  PageId b("h", "/p");
+  b.post_params()["x"] = "1";
+  PageId c("h", "/p");
+  c.cookie_params()["x"] = "1";
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  EXPECT_NE(b.CacheKey(), c.CacheKey());
+  EXPECT_NE(a.CacheKey(), c.CacheKey());
+}
+
+TEST(PageIdTest, CacheKeyRoundTrip) {
+  PageId id("shop.example.com", "/cars");
+  id.get_params()["model"] = "Avalon Deluxe";
+  id.post_params()["qty"] = "2";
+  id.cookie_params()["session"] = "s1";
+  auto back = PageId::FromCacheKey(id.CacheKey());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, id);
+  EXPECT_EQ(back->CacheKey(), id.CacheKey());
+}
+
+TEST(PageIdTest, FromCacheKeyErrors) {
+  EXPECT_FALSE(PageId::FromCacheKey("nohostpath").ok());
+  EXPECT_FALSE(PageId::FromCacheKey("h/p").ok());
+  EXPECT_FALSE(PageId::FromCacheKey("h/p?x=1").ok());
+}
+
+// ---------------------------------------------------------------------
+// Cache-Control
+// ---------------------------------------------------------------------
+
+TEST(CacheControlTest, ParseStandardDirectives) {
+  CacheControl cc = CacheControl::Parse("no-cache, max-age=60, public");
+  EXPECT_TRUE(cc.no_cache);
+  EXPECT_TRUE(cc.is_public);
+  EXPECT_EQ(cc.max_age_seconds, 60);
+  EXPECT_FALSE(cc.eject);
+}
+
+TEST(CacheControlTest, ParsePaperExtensions) {
+  CacheControl cc = CacheControl::Parse("private, owner=\"cacheportal\"");
+  EXPECT_TRUE(cc.is_private);
+  EXPECT_EQ(cc.owner, "cacheportal");
+  EXPECT_TRUE(cc.CacheableByCachePortal());
+  EXPECT_FALSE(cc.CacheableByGenericCache());
+
+  CacheControl eject = CacheControl::Parse("eject");
+  EXPECT_TRUE(eject.eject);
+}
+
+TEST(CacheControlTest, PrivateWithForeignOwnerNotCacheable) {
+  CacheControl cc = CacheControl::Parse("private, owner=\"other\"");
+  EXPECT_FALSE(cc.CacheableByCachePortal());
+}
+
+TEST(CacheControlTest, NoStoreBeatsEverything) {
+  CacheControl cc = CacheControl::Parse("no-store, owner=\"cacheportal\"");
+  EXPECT_FALSE(cc.CacheableByCachePortal());
+}
+
+TEST(CacheControlTest, RoundTripThroughHeaderValue) {
+  CacheControl cc;
+  cc.is_private = true;
+  cc.owner = "cacheportal";
+  cc.max_age_seconds = 30;
+  CacheControl back = CacheControl::Parse(cc.ToHeaderValue());
+  EXPECT_EQ(back, cc);
+}
+
+TEST(CacheControlTest, UnknownDirectivesIgnored) {
+  CacheControl cc = CacheControl::Parse("s-maxage=10, weird, no-cache");
+  EXPECT_TRUE(cc.no_cache);
+}
+
+// ---------------------------------------------------------------------
+// HTTP messages
+// ---------------------------------------------------------------------
+
+TEST(HttpRequestTest, GetFactoryAndPageId) {
+  auto req = HttpRequest::Get("http://shop/cars?model=Avalon");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, Method::kGet);
+  EXPECT_EQ(req->host, "shop");
+  PageId id = req->ToPageId();
+  EXPECT_EQ(id.get_params().at("model"), "Avalon");
+}
+
+TEST(HttpRequestTest, SerializeParseRoundTrip) {
+  auto req = HttpRequest::Get("http://shop/cars?model=Avalon&x=a b");
+  ASSERT_TRUE(req.ok());
+  req->cookies["session"] = "s1";
+  req->headers.Add("X-Test", "yes");
+  auto parsed = HttpRequest::Parse(req->Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->host, "shop");
+  EXPECT_EQ(parsed->path, "/cars");
+  EXPECT_EQ(parsed->get_params.at("x"), "a b");
+  EXPECT_EQ(parsed->cookies.at("session"), "s1");
+  EXPECT_EQ(parsed->headers.Get("X-Test"), "yes");
+}
+
+TEST(HttpRequestTest, PostFormRoundTrip) {
+  auto req = HttpRequest::Post("http://shop/buy", {{"qty", "2"},
+                                                   {"model", "Civic"}});
+  ASSERT_TRUE(req.ok());
+  auto parsed = HttpRequest::Parse(req->Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method, Method::kPost);
+  EXPECT_EQ(parsed->post_params.at("qty"), "2");
+}
+
+TEST(HttpRequestTest, ParseErrors) {
+  EXPECT_FALSE(HttpRequest::Parse("garbage").ok());
+  EXPECT_FALSE(HttpRequest::Parse("PUT / HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(HttpRequest::Parse("GET /\r\n\r\n").ok());  // Bad line.
+}
+
+TEST(HttpResponseTest, SerializeParseRoundTrip) {
+  HttpResponse resp = HttpResponse::Ok("<html>page</html>");
+  resp.headers.Set("Content-Type", "text/html");
+  CacheControl cc;
+  cc.is_private = true;
+  cc.owner = kCachePortalOwner;
+  resp.SetCacheControl(cc);
+
+  auto parsed = HttpResponse::Parse(resp.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status_code, 200);
+  EXPECT_EQ(parsed->body, "<html>page</html>");
+  EXPECT_EQ(parsed->GetCacheControl(), cc);
+}
+
+TEST(HttpResponseTest, MissingCacheControlDefaults) {
+  HttpResponse resp = HttpResponse::Ok("x");
+  CacheControl cc = resp.GetCacheControl();
+  EXPECT_FALSE(cc.no_cache);
+  EXPECT_FALSE(cc.is_private);
+}
+
+TEST(HeaderMapTest, CaseInsensitiveAndMultiValue) {
+  HeaderMap headers;
+  headers.Add("X-Tag", "a");
+  headers.Add("x-tag", "b");
+  EXPECT_EQ(headers.Get("X-TAG"), "a");
+  EXPECT_EQ(headers.GetAll("x-Tag").size(), 2u);
+  headers.Set("x-tag", "c");
+  EXPECT_EQ(headers.GetAll("X-Tag").size(), 1u);
+  EXPECT_EQ(headers.Remove("X-TAG"), 1u);
+  EXPECT_FALSE(headers.Has("x-tag"));
+}
+
+TEST(ReasonPhraseTest, KnownCodes) {
+  EXPECT_STREQ(ReasonPhrase(200), "OK");
+  EXPECT_STREQ(ReasonPhrase(404), "Not Found");
+  EXPECT_STREQ(ReasonPhrase(204), "No Content");
+  EXPECT_STREQ(ReasonPhrase(777), "Unknown");
+}
+
+}  // namespace
+}  // namespace cacheportal::http

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "invalidator/baseline.h"
+#include "invalidator/invalidator.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal::invalidator {
+namespace {
+
+using sql::Value;
+
+class RecordingSink : public InvalidationSink {
+ public:
+  void SendInvalidation(const http::HttpRequest&,
+                        const std::string& cache_key) override {
+    invalidated.insert(cache_key);
+  }
+  std::set<std::string> invalidated;
+};
+
+/// Differential test: CachePortal's condition-analysis invalidator versus
+/// the exact re-execution baseline, on random workloads. Soundness
+/// requires CachePortal's invalidation set to be a SUPERSET of the
+/// baseline's on every cycle (it may over-invalidate; it must never
+/// under-invalidate). Precision is reported as a property.
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, CachePortalInvalidationsCoverGroundTruth) {
+  Random rng(GetParam());
+  ManualClock clock;
+  db::Database db(&clock);
+  ASSERT_TRUE(db.CreateTable(db::TableSchema(
+                                 "Car", {{"maker", db::ColumnType::kString},
+                                         {"model", db::ColumnType::kString},
+                                         {"price", db::ColumnType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(
+      db.CreateTable(db::TableSchema(
+                         "Mileage", {{"model", db::ColumnType::kString},
+                                     {"EPA", db::ColumnType::kInt}}))
+          .ok());
+  const char* models[] = {"Avalon", "Civic", "Eclipse", "Corolla", "Focus"};
+  const char* makers[] = {"Toyota", "Honda", "Mitsubishi", "Ford"};
+  for (int i = 0; i < 25; ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('",
+                         makers[rng.Uniform(4)], "', '",
+                         models[rng.Uniform(5)], "', ",
+                         rng.Uniform(30000), ")"))
+        .value();
+  }
+  for (const char* model : models) {
+    if (rng.OneIn(0.6)) {
+      db.ExecuteSql(StrCat("INSERT INTO Mileage VALUES ('", model, "', ",
+                           10 + rng.Uniform(40), ")"))
+          .value();
+    }
+  }
+
+  sniffer::QiUrlMap map;
+  RecordingSink sink;
+  Invalidator cacheportal(&db, &map, &clock, {});
+  cacheportal.AddSink(&sink);
+  BaselineInvalidator baseline(&db, &map);
+
+  // Register instances (pages) once.
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 10; ++i) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        sqls.push_back(StrCat("SELECT * FROM Car WHERE price < ",
+                              3000 + rng.Uniform(27000)));
+        break;
+      case 1:
+        sqls.push_back(StrCat("SELECT * FROM Car WHERE maker = '",
+                              makers[rng.Uniform(4)], "'"));
+        break;
+      default:
+        sqls.push_back(StrCat(
+            "SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+            "Mileage.model AND Car.price < ",
+            3000 + rng.Uniform(27000)));
+        break;
+    }
+  }
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    map.Add(sqls[i], StrCat("shop/p", i, "?##"), "/r", 0);
+  }
+  // Both consume the map and the baseline snapshots current results.
+  baseline.RunCycle().value();
+  cacheportal.RunCycle().value();
+
+  uint64_t over_invalidations = 0, exact = 0;
+  for (int round = 0; round < 8; ++round) {
+    // Random update burst.
+    for (int u = 0; u < 1 + static_cast<int>(rng.Uniform(4)); ++u) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('",
+                               makers[rng.Uniform(4)], "', '",
+                               models[rng.Uniform(5)], "', ",
+                               rng.Uniform(30000), ")"))
+              .value();
+          break;
+        case 1:
+          db.ExecuteSql(StrCat("DELETE FROM Car WHERE price > ",
+                               15000 + rng.Uniform(15000)))
+              .value();
+          break;
+        default:
+          db.ExecuteSql(StrCat("INSERT INTO Mileage VALUES ('",
+                               models[rng.Uniform(5)], "', ",
+                               10 + rng.Uniform(40), ")"))
+              .value();
+          break;
+      }
+    }
+
+    // Ground truth BEFORE CachePortal mutates the map.
+    auto truth = baseline.RunCycle();
+    ASSERT_TRUE(truth.ok());
+
+    sink.invalidated.clear();
+    auto report = cacheportal.RunCycle();
+    ASSERT_TRUE(report.ok());
+
+    // SOUNDNESS: every truly stale page was invalidated.
+    for (const std::string& page : truth->stale_pages) {
+      EXPECT_TRUE(sink.invalidated.contains(page))
+          << "round " << round << ": baseline says stale, CachePortal "
+          << "kept: " << page;
+    }
+    over_invalidations +=
+        sink.invalidated.size() - std::min(sink.invalidated.size(),
+                                           truth->stale_pages.size());
+    exact += truth->stale_pages.size();
+
+    // Keep the two views consistent: pages CachePortal ejected are gone
+    // from the map; the baseline must forget their instances too.
+    for (const std::string& sql_text : truth->changed_instances) {
+      if (map.PagesForQuery(sql_text).empty()) baseline.Forget(sql_text);
+    }
+    // Re-cache every page so later rounds keep exercising all instances.
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      map.Add(sqls[i], StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+    baseline.RunCycle().value();      // Re-snapshot after re-caching.
+    cacheportal.RunCycle().value();   // Consume map additions.
+  }
+  RecordProperty("exact_invalidations", static_cast<int>(exact));
+  RecordProperty("over_invalidations", static_cast<int>(over_invalidations));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(BaselineInvalidatorTest, DetectsChangeAndSettles) {
+  ManualClock clock;
+  db::Database db(&clock);
+  db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}})).ok();
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM T WHERE x < 10", "p1", "/r", 0);
+  BaselineInvalidator baseline(&db, &map);
+  auto first = baseline.RunCycle().value();
+  EXPECT_TRUE(first.changed_instances.empty());
+
+  db.ExecuteSql("INSERT INTO T VALUES (5)").value();
+  auto second = baseline.RunCycle().value();
+  EXPECT_EQ(second.changed_instances.size(), 1u);
+  EXPECT_EQ(second.stale_pages, std::set<std::string>{"p1"});
+
+  // No further change: settles.
+  auto third = baseline.RunCycle().value();
+  EXPECT_TRUE(third.changed_instances.empty());
+}
+
+TEST(BaselineInvalidatorTest, OrderInsensitiveFingerprint) {
+  ManualClock clock;
+  db::Database db(&clock);
+  db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}})).ok();
+  db.ExecuteSql("INSERT INTO T VALUES (1)").value();
+  db.ExecuteSql("INSERT INTO T VALUES (2)").value();
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM T", "p1", "/r", 0);
+  BaselineInvalidator baseline(&db, &map);
+  baseline.RunCycle().value();
+
+  // Delete and re-insert the same logical content (different row ids /
+  // physical order): the result multiset is unchanged.
+  db.ExecuteSql("DELETE FROM T WHERE x = 1").value();
+  db.ExecuteSql("INSERT INTO T VALUES (1)").value();
+  auto cycle = baseline.RunCycle().value();
+  EXPECT_TRUE(cycle.changed_instances.empty());
+}
+
+TEST(BaselineInvalidatorTest, ForgetStopsTracking) {
+  ManualClock clock;
+  db::Database db(&clock);
+  db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}})).ok();
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM T", "p1", "/r", 0);
+  BaselineInvalidator baseline(&db, &map);
+  baseline.RunCycle().value();
+  EXPECT_EQ(baseline.tracked_instances(), 1u);
+  baseline.Forget("SELECT * FROM T");
+  EXPECT_EQ(baseline.tracked_instances(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::invalidator

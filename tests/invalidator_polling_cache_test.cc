@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "invalidator/invalidator.h"
+#include "invalidator/polling_cache.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal::invalidator {
+namespace {
+
+using sql::Value;
+
+class PollingCacheTest : public ::testing::Test {
+ protected:
+  PollingCacheTest() : db_(&clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable(db::TableSchema(
+                            "Mileage", {{"model", db::ColumnType::kString},
+                                        {"EPA", db::ColumnType::kInt}}))
+            .ok());
+    db_.ExecuteSql("INSERT INTO Mileage VALUES ('Avalon', 28)").value();
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+};
+
+TEST_F(PollingCacheTest, CachesRepeatedPolls) {
+  PollingDataCache cache(&db_, 100);
+  const std::string poll =
+      "SELECT 1 AS hit FROM Mileage WHERE 'Avalon' = Mileage.model LIMIT 1";
+  uint64_t before = db_.queries_executed();
+  auto first = cache.ExecuteQuery(poll);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->rows.empty());
+  auto second = cache.ExecuteQuery(poll);
+  ASSERT_TRUE(second.ok());
+  // Only the first poll reached the database.
+  EXPECT_EQ(db_.queries_executed(), before + 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(PollingCacheTest, SynchronizeDropsAffectedResults) {
+  PollingDataCache cache(&db_, 100);
+  const std::string poll =
+      "SELECT 1 AS hit FROM Mileage WHERE 'Eclipse' = Mileage.model LIMIT 1";
+  EXPECT_TRUE(cache.ExecuteQuery(poll)->rows.empty());
+
+  // The Eclipse appears; without synchronization the cached empty result
+  // would hide it.
+  db_.ExecuteSql("INSERT INTO Mileage VALUES ('Eclipse', 30)").value();
+  db::DeltaSet deltas = db::DeltaSet::FromRecords(
+      db_.update_log().ReadSince(0));
+  EXPECT_EQ(cache.Synchronize(deltas), 1u);
+  EXPECT_FALSE(cache.ExecuteQuery(poll)->rows.empty());
+}
+
+TEST_F(PollingCacheTest, RejectsUpdatesAndBadSql) {
+  PollingDataCache cache(&db_, 100);
+  EXPECT_TRUE(cache.ExecuteUpdate("DELETE FROM Mileage").status()
+                  .IsNotSupported());
+  EXPECT_FALSE(cache.ExecuteQuery("not sql").ok());
+}
+
+TEST_F(PollingCacheTest, InvalidatorUsesInternalCache) {
+  ASSERT_TRUE(db_.CreateTable(db::TableSchema(
+                                  "Car", {{"maker", db::ColumnType::kString},
+                                          {"model", db::ColumnType::kString},
+                                          {"price", db::ColumnType::kInt}}))
+                  .ok());
+  sniffer::QiUrlMap map;
+  InvalidatorOptions options;
+  options.polling_cache_capacity = 100;
+  Invalidator inv(&db_, &map, &clock_, options);
+  ASSERT_NE(inv.polling_cache(), nullptr);
+
+  map.Add(
+      "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model "
+      "AND Car.price < 20000",
+      "shop/p?##", "/r", 0);
+
+  // Two cycles with the same non-matching insert pattern: the second
+  // cycle's poll is answered by the internal cache (Car deltas do not
+  // invalidate a poll over Mileage).
+  db_.ExecuteSql("INSERT INTO Car VALUES ('F', 'Focus', 100)").value();
+  inv.RunCycle().value();
+  db_.ExecuteSql("INSERT INTO Car VALUES ('F2', 'Focus', 200)").value();
+  inv.RunCycle().value();
+  EXPECT_EQ(inv.stats().polls_issued, 2u);
+  EXPECT_GE(inv.polling_cache()->stats().hits, 1u);
+
+  // A Mileage update invalidates the cached poll result; correctness is
+  // preserved: the page is ejected once Focus gains a join partner.
+  db_.ExecuteSql("INSERT INTO Mileage VALUES ('Focus', 33)").value();
+  auto report = inv.RunCycle().value();
+  EXPECT_EQ(report.pages_invalidated, 1u);
+}
+
+TEST_F(PollingCacheTest, ExternalConnectionTakesPrecedence) {
+  ASSERT_TRUE(db_.CreateTable(db::TableSchema(
+                                  "Car", {{"maker", db::ColumnType::kString},
+                                          {"model", db::ColumnType::kString},
+                                          {"price", db::ColumnType::kInt}}))
+                  .ok());
+  sniffer::QiUrlMap map;
+  InvalidatorOptions options;
+  options.polling_cache_capacity = 100;
+  Invalidator inv(&db_, &map, &clock_, options);
+
+  PollingDataCache external(&db_, 10);
+  inv.SetPollingConnection(&external);
+  map.Add(
+      "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model "
+      "AND Car.price < 20000",
+      "shop/p?##", "/r", 0);
+  db_.ExecuteSql("INSERT INTO Car VALUES ('F', 'Focus', 100)").value();
+  inv.RunCycle().value();
+  // The external connection served the poll, not the internal cache.
+  EXPECT_EQ(external.stats().lookups, 1u);
+  EXPECT_EQ(inv.polling_cache()->stats().lookups, 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/cache_portal.h"
+#include "db/database.h"
+#include "invalidator/scheduler.h"
+#include "server/jdbc.h"
+
+namespace cacheportal {
+namespace {
+
+// ---------------------------------------------------------------------
+// CachePortal::WrapConnection — the single-connection attachment path
+// (sites that hand CachePortal an already-open connection instead of a
+// driver).
+// ---------------------------------------------------------------------
+
+TEST(WrapConnectionTest, LogsQueriesThroughWrappedConnection) {
+  ManualClock clock;
+  db::Database db(&clock);
+  db.ExecuteSql("CREATE TABLE T (x INT)").value();
+  db.ExecuteSql("INSERT INTO T VALUES (1)").value();
+
+  core::CachePortal portal(&db, &clock);
+  server::MemoryDbDriver driver;
+  driver.BindDatabase("d", &db);
+  auto raw = driver.Connect("jdbc:cacheportal:d").value();
+  std::unique_ptr<server::Connection> wrapped =
+      portal.WrapConnection(raw.get());
+
+  ASSERT_TRUE(wrapped->ExecuteQuery("SELECT * FROM T").ok());
+  ASSERT_TRUE(wrapped->ExecuteUpdate("INSERT INTO T VALUES (2)").ok());
+  ASSERT_EQ(portal.query_log().size(), 2u);
+  EXPECT_TRUE(portal.query_log().entries()[0].is_select);
+  EXPECT_FALSE(portal.query_log().entries()[1].is_select);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler edge cases.
+// ---------------------------------------------------------------------
+
+TEST(SchedulerEdgeTest, EmptyTaskList) {
+  invalidator::InvalidationScheduler scheduler(4);
+  auto schedule = scheduler.Build({});
+  EXPECT_TRUE(schedule.to_poll.empty());
+  EXPECT_TRUE(schedule.conservative.empty());
+}
+
+TEST(SchedulerEdgeTest, BudgetExactlyMatchesTasks) {
+  invalidator::InvalidationScheduler scheduler(2);
+  std::vector<invalidator::PollingTask> tasks(2);
+  tasks[0].instance_sql = "a";
+  tasks[1].instance_sql = "b";
+  auto schedule = scheduler.Build(std::move(tasks));
+  EXPECT_EQ(schedule.to_poll.size(), 2u);
+  EXPECT_TRUE(schedule.conservative.empty());
+}
+
+// ---------------------------------------------------------------------
+// HeaderMap ordering (serialization stability).
+// ---------------------------------------------------------------------
+
+TEST(HeaderOrderTest, InsertionOrderPreserved) {
+  http::HeaderMap headers;
+  headers.Add("B", "2");
+  headers.Add("A", "1");
+  headers.Add("C", "3");
+  ASSERT_EQ(headers.entries().size(), 3u);
+  EXPECT_EQ(headers.entries()[0].first, "B");
+  EXPECT_EQ(headers.entries()[1].first, "A");
+  EXPECT_EQ(headers.entries()[2].first, "C");
+  // Set replaces in place at the end.
+  headers.Set("A", "9");
+  EXPECT_EQ(headers.entries().back().first, "A");
+  EXPECT_EQ(headers.Get("A"), "9");
+}
+
+// ---------------------------------------------------------------------
+// Database odds and ends.
+// ---------------------------------------------------------------------
+
+TEST(DatabaseMiscTest, TableNamesInCreationOrder) {
+  db::Database db;
+  db.ExecuteSql("CREATE TABLE Zebra (x INT)").value();
+  db.ExecuteSql("CREATE TABLE Apple (x INT)").value();
+  EXPECT_EQ(db.TableNames(),
+            (std::vector<std::string>{"Zebra", "Apple"}));
+}
+
+TEST(DatabaseMiscTest, EmptyTableQueriesBehave) {
+  db::Database db;
+  db.ExecuteSql("CREATE TABLE T (x INT)").value();
+  EXPECT_TRUE(db.ExecuteSql("SELECT * FROM T ORDER BY x")->rows.empty());
+  EXPECT_TRUE(db.ExecuteSql("SELECT * FROM T WHERE x = 1")->rows.empty());
+  EXPECT_EQ(db.ExecuteSql("DELETE FROM T")->rows[0][0], sql::Value::Int(0));
+  EXPECT_EQ(db.ExecuteSql("UPDATE T SET x = 1")->rows[0][0],
+            sql::Value::Int(0));
+  auto agg = db.ExecuteSql("SELECT COUNT(*) FROM T");
+  EXPECT_EQ(agg->rows[0][0], sql::Value::Int(0));
+}
+
+TEST(DatabaseMiscTest, DistinctCountsLoadStats) {
+  db::Database db;
+  db.ExecuteSql("CREATE TABLE T (x INT)").value();
+  uint64_t q0 = db.queries_executed(), d0 = db.dml_executed();
+  db.ExecuteSql("INSERT INTO T VALUES (1)").value();
+  db.ExecuteSql("SELECT * FROM T").value();
+  db.ExecuteSql("SELECT * FROM T").value();
+  EXPECT_EQ(db.queries_executed() - q0, 2u);
+  EXPECT_EQ(db.dml_executed() - d0, 1u);
+}
+
+// ---------------------------------------------------------------------
+// ConnectionPool wrap-around with the logging driver stacked on top.
+// ---------------------------------------------------------------------
+
+TEST(PoolStackTest, LoggingPoolServesAllConnections) {
+  ManualClock clock;
+  db::Database db(&clock);
+  db.ExecuteSql("CREATE TABLE T (x INT)").value();
+  core::CachePortal portal(&db, &clock);
+  auto raw = std::make_unique<server::MemoryDbDriver>();
+  raw->BindDatabase("d", &db);
+  server::DriverManager manager;
+  manager.RegisterDriver(portal.WrapDriver(raw.get()));
+  auto pool = std::move(server::ConnectionPool::Create(
+                            "p", "jdbc:cacheportal-log:jdbc:cacheportal:d",
+                            3, &manager)
+                            .value());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(pool->Acquire()->ExecuteQuery("SELECT * FROM T").ok());
+  }
+  EXPECT_EQ(pool->acquisitions(), 6u);
+  EXPECT_EQ(portal.query_log().size(), 6u);
+}
+
+}  // namespace
+}  // namespace cacheportal

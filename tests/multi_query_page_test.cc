@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/cache_portal.h"
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::core {
+namespace {
+
+/// Pages built from MULTIPLE queries (Table 1's query_per_request > 1):
+/// the time-interval mapper must associate every query executed inside
+/// the request window with the page, and an update affecting ANY of them
+/// must invalidate it.
+class MultiQueryPageTest : public ::testing::Test {
+ protected:
+  MultiQueryPageTest() : db_(&clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(db::TableSchema(
+                                    "Product", {{"name", db::ColumnType::kString},
+                                                {"price", db::ColumnType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(db::TableSchema(
+                                    "Promo", {{"name", db::ColumnType::kString},
+                                              {"pct", db::ColumnType::kInt}}))
+                    .ok());
+    db_.ExecuteSql("INSERT INTO Product VALUES ('pen', 10)").value();
+    db_.ExecuteSql("INSERT INTO Promo VALUES ('pen', 15)").value();
+
+    portal_ = std::make_unique<CachePortal>(&db_, &clock_);
+    auto raw = std::make_unique<server::MemoryDbDriver>();
+    raw->BindDatabase("shop", &db_);
+    drivers_.RegisterDriver(portal_->WrapDriver(raw.get()));
+    raw_ = std::move(raw);
+    pool_ = std::move(server::ConnectionPool::Create(
+                          "p", "jdbc:cacheportal-log:jdbc:cacheportal:shop",
+                          1, &drivers_)
+                          .value());
+    app_ = std::make_unique<server::ApplicationServer>(pool_.get());
+    // The storefront page runs TWO queries: the catalog and the promos.
+    ASSERT_TRUE(
+        app_->RegisterServlet(
+                "/store",
+                std::make_unique<server::FunctionServlet>(
+                    [this](const http::HttpRequest&,
+                           server::ServletContext* ctx) {
+                      clock_.Advance(100);
+                      auto products = ctx->connection->ExecuteQuery(
+                          "SELECT name, price FROM Product WHERE price < "
+                          "100");
+                      clock_.Advance(100);
+                      auto promos = ctx->connection->ExecuteQuery(
+                          "SELECT name, pct FROM Promo WHERE pct > 10");
+                      return http::HttpResponse::Ok(
+                          products->ToString() + promos->ToString());
+                    }),
+                server::ServletConfig{})
+            .ok());
+    portal_->AttachTo(app_.get());
+    proxy_ = portal_->CreateProxy(app_.get());
+  }
+
+  http::HttpResponse Get() {
+    clock_.Advance(50);
+    return proxy_->Handle(*http::HttpRequest::Get("http://shop/store"));
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+  std::unique_ptr<CachePortal> portal_;
+  server::DriverManager drivers_;
+  std::unique_ptr<server::Driver> raw_;
+  std::unique_ptr<server::ConnectionPool> pool_;
+  std::unique_ptr<server::ApplicationServer> app_;
+  CachingProxy* proxy_ = nullptr;
+};
+
+TEST_F(MultiQueryPageTest, MapperAssociatesBothQueries) {
+  Get();
+  portal_->RunCycle().value();
+  EXPECT_EQ(portal_->query_log().size(), 2u);
+  EXPECT_EQ(portal_->qiurl_map().size(), 2u);  // Two (query, page) rows.
+  EXPECT_EQ(portal_->qiurl_map().NumPages(), 1u);
+  EXPECT_EQ(portal_->qiurl_map().NumQueries(), 2u);
+}
+
+TEST_F(MultiQueryPageTest, FirstQueryUpdateInvalidates) {
+  Get();
+  portal_->RunCycle().value();
+  db_.ExecuteSql("INSERT INTO Product VALUES ('book', 20)").value();
+  auto report = portal_->RunCycle().value();
+  EXPECT_EQ(report.pages_invalidated, 1u);
+  http::HttpResponse fresh = Get();
+  EXPECT_EQ(fresh.headers.Get("X-Cache"), "MISS");
+  EXPECT_NE(fresh.body.find("book"), std::string::npos);
+}
+
+TEST_F(MultiQueryPageTest, SecondQueryUpdateAlsoInvalidates) {
+  Get();
+  portal_->RunCycle().value();
+  db_.ExecuteSql("INSERT INTO Promo VALUES ('book', 25)").value();
+  auto report = portal_->RunCycle().value();
+  EXPECT_EQ(report.pages_invalidated, 1u);
+  EXPECT_NE(Get().body.find("25"), std::string::npos);
+}
+
+TEST_F(MultiQueryPageTest, UnrelatedUpdateLeavesPageCached) {
+  Get();
+  portal_->RunCycle().value();
+  // Fails both conditions: price >= 100 and pct <= 10.
+  db_.ExecuteSql("INSERT INTO Product VALUES ('yacht', 500000)").value();
+  db_.ExecuteSql("INSERT INTO Promo VALUES ('yacht', 3)").value();
+  auto report = portal_->RunCycle().value();
+  EXPECT_EQ(report.pages_invalidated, 0u);
+  EXPECT_EQ(Get().headers.Get("X-Cache"), "HIT");
+}
+
+TEST_F(MultiQueryPageTest, PageEjectionRetiresBothInstances) {
+  Get();
+  portal_->RunCycle().value();
+  EXPECT_EQ(portal_->invalidator().registry().NumInstances(), 2u);
+  db_.ExecuteSql("INSERT INTO Product VALUES ('book', 20)").value();
+  portal_->RunCycle().value();
+  // The page is gone, so both instances leave the map; the Product one
+  // is retired immediately, the Promo one on its next idle check.
+  portal_->RunCycle().value();
+  db_.ExecuteSql("INSERT INTO Promo VALUES ('x', 99)").value();
+  portal_->RunCycle().value();
+  EXPECT_EQ(portal_->invalidator().registry().NumInstances(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::core

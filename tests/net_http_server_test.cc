@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "common/clock.h"
+#include "core/remote_cache.h"
+#include "net/http_server.h"
+
+namespace cacheportal::net {
+namespace {
+
+TEST(HttpServerTest, EchoHandlerRoundTrip) {
+  auto server = HttpServer::Start([](const std::string& request) {
+    auto parsed = http::HttpRequest::Parse(request);
+    if (!parsed.ok()) {
+      return http::HttpResponse(400, "bad").Serialize();
+    }
+    return http::HttpResponse::Ok("path=" + parsed->path).Serialize();
+  });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_GT((*server)->port(), 0);
+
+  auto wire = FetchWire((*server)->port(),
+                        http::HttpRequest::Get("http://h/ping")->Serialize());
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  auto response = http::HttpResponse::Parse(*wire);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "path=/ping");
+  EXPECT_EQ((*server)->requests_handled(), 1u);
+}
+
+TEST(HttpServerTest, SequentialRequests) {
+  int counter = 0;
+  auto server = HttpServer::Start([&counter](const std::string&) {
+    return http::HttpResponse::Ok(std::to_string(++counter)).Serialize();
+  });
+  ASSERT_TRUE(server.ok());
+  for (int i = 1; i <= 5; ++i) {
+    auto wire = FetchWire(
+        (*server)->port(), http::HttpRequest::Get("http://h/")->Serialize());
+    ASSERT_TRUE(wire.ok());
+    EXPECT_EQ(http::HttpResponse::Parse(*wire)->body, std::to_string(i));
+  }
+}
+
+TEST(HttpServerTest, PostBodyDeliveredWhole) {
+  auto server = HttpServer::Start([](const std::string& request) {
+    auto parsed = http::HttpRequest::Parse(request);
+    if (!parsed.ok()) return http::HttpResponse(400, "bad").Serialize();
+    return http::HttpResponse::Ok("qty=" + parsed->post_params["qty"])
+        .Serialize();
+  });
+  ASSERT_TRUE(server.ok());
+  auto post = http::HttpRequest::Post("http://h/buy", {{"qty", "17"}});
+  auto wire = FetchWire((*server)->port(), post->Serialize());
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(http::HttpResponse::Parse(*wire)->body, "qty=17");
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndJoins) {
+  auto server = HttpServer::Start(
+      [](const std::string&) { return http::HttpResponse::Ok("x").Serialize(); });
+  ASSERT_TRUE(server.ok());
+  (*server)->Stop();
+  (*server)->Stop();  // No crash.
+  // Fetch after stop fails cleanly.
+  auto wire = FetchWire((*server)->port(), "GET / HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(wire.ok());
+}
+
+TEST(HttpServerTest, RejectsNullHandler) {
+  EXPECT_FALSE(HttpServer::Start(nullptr).ok());
+}
+
+TEST(HttpServerTest, CacheEndpointOverRealTcp) {
+  // An edge cache served over an actual socket: the full NetCache-style
+  // deployment, including a real eject message on the wire.
+  ManualClock clock;
+  cache::PageCache page_cache(16, &clock);
+  class Origin : public server::RequestHandler {
+   public:
+    http::HttpResponse Handle(const http::HttpRequest&) override {
+      http::HttpResponse resp = http::HttpResponse::Ok("content");
+      http::CacheControl cc;
+      cc.is_private = true;
+      cc.owner = http::kCachePortalOwner;
+      resp.SetCacheControl(cc);
+      return resp;
+    }
+  } origin;
+  core::RemoteCacheEndpoint endpoint(&page_cache, &origin);
+  std::mutex mu;  // Endpoint state is single-threaded.
+  auto server = HttpServer::Start([&](const std::string& request) {
+    std::lock_guard<std::mutex> lock(mu);
+    return endpoint.HandleWire(request);
+  });
+  ASSERT_TRUE(server.ok());
+  uint16_t port = (*server)->port();
+
+  auto get = http::HttpRequest::Get("http://edge/p?id=1");
+  auto first = http::HttpResponse::Parse(*FetchWire(port, get->Serialize()));
+  EXPECT_EQ(first->headers.Get("X-Cache"), "MISS");
+  auto second = http::HttpResponse::Parse(*FetchWire(port, get->Serialize()));
+  EXPECT_EQ(second->headers.Get("X-Cache"), "HIT");
+
+  // Eject over the wire.
+  auto eject = http::HttpRequest::Get("http://edge/p?id=1");
+  eject->headers.Set("Cache-Control", "eject");
+  auto ejected =
+      http::HttpResponse::Parse(*FetchWire(port, eject->Serialize()));
+  EXPECT_EQ(ejected->status_code, 204);
+
+  auto third = http::HttpResponse::Parse(*FetchWire(port, get->Serialize()));
+  EXPECT_EQ(third->headers.Get("X-Cache"), "MISS");
+}
+
+}  // namespace
+}  // namespace cacheportal::net

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "db/database.h"
+#include "invalidator/invalidator.h"
+#include "sim/metrics.h"
+#include "sniffer/qiurl_map.h"
+#include "sniffer/request_logger.h"
+
+namespace cacheportal {
+namespace {
+
+// ---------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------
+
+TEST(LoggingTest, LevelThresholdRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages are dropped silently (no crash).
+  LogMessage(LogLevel::kDebug, "dropped");
+  LogMessage(LogLevel::kError, "emitted to stderr");
+  SetLogLevel(original);
+}
+
+// ---------------------------------------------------------------------
+// Invalidator stats report
+// ---------------------------------------------------------------------
+
+TEST(StatsReportTest, ContainsCountersAndTypes) {
+  ManualClock clock;
+  db::Database db(&clock);
+  db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}})).ok();
+  sniffer::QiUrlMap map;
+  invalidator::Invalidator inv(&db, &map, &clock, {});
+  inv.RegisterQueryType("by-x", "SELECT * FROM T WHERE x = $1").ok();
+  map.Add("SELECT * FROM T WHERE x = 5", "shop/p?##", "/r", 0);
+  db.ExecuteSql("INSERT INTO T VALUES (5)").value();
+  inv.RunCycle().value();
+
+  std::string report = inv.StatsReport();
+  EXPECT_NE(report.find("cycles=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("pages-invalidated=1"), std::string::npos);
+  EXPECT_NE(report.find("type 'by-x'"), std::string::npos);
+  EXPECT_NE(report.find("inval-ratio=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Per-servlet request-logger stats
+// ---------------------------------------------------------------------
+
+TEST(ServletStatsTest, CountsRewriteOutcomes) {
+  ManualClock clock;
+  sniffer::RequestLog log;
+  sniffer::RequestLogger logger(&log, &clock);
+  server::ServletConfig sensitive;
+  sensitive.name = "ticker";
+  sensitive.temporal_sensitivity = 1;  // Tighter than any cycle.
+  logger.RegisterServlet(sensitive);
+
+  auto req = http::HttpRequest::Get("http://s/x");
+
+  // Dynamic page (no directive): rewritten to cacheable.
+  uint64_t t1 = logger.BeforeService("pages", *req);
+  http::HttpResponse r1 = http::HttpResponse::Ok("x");
+  logger.AfterService(t1, "pages", *req, &r1);
+
+  // Explicitly cacheable: untouched.
+  uint64_t t2 = logger.BeforeService("pages", *req);
+  http::HttpResponse r2 = http::HttpResponse::Ok("x");
+  http::CacheControl cc;
+  cc.is_public = true;
+  r2.SetCacheControl(cc);
+  logger.AfterService(t2, "pages", *req, &r2);
+
+  // Temporally sensitive servlet: kept non-cacheable.
+  uint64_t t3 = logger.BeforeService("ticker", *req);
+  http::HttpResponse r3 = http::HttpResponse::Ok("x");
+  logger.AfterService(t3, "ticker", *req, &r3);
+
+  sniffer::RequestLogger::ServletStats pages = logger.StatsFor("pages");
+  EXPECT_EQ(pages.requests, 2u);
+  EXPECT_EQ(pages.rewritten_cacheable, 1u);
+  EXPECT_EQ(pages.already_cacheable, 1u);
+  EXPECT_EQ(pages.kept_non_cacheable, 0u);
+
+  sniffer::RequestLogger::ServletStats ticker = logger.StatsFor("ticker");
+  EXPECT_EQ(ticker.requests, 1u);
+  EXPECT_EQ(ticker.kept_non_cacheable, 1u);
+
+  // Unknown servlet: zeros.
+  EXPECT_EQ(logger.StatsFor("nope").requests, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Sim metrics helpers
+// ---------------------------------------------------------------------
+
+TEST(SimMetricsTest, MeanAccumulator) {
+  sim::MeanAccumulator acc;
+  EXPECT_EQ(acc.Mean(), 0.0);
+  acc.Add(10);
+  acc.Add(20);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 15.0);
+  EXPECT_EQ(acc.count, 2u);
+}
+
+TEST(SimMetricsTest, RecordsSplitHitAndMiss) {
+  sim::SimMetrics metrics;
+  metrics.RecordMiss(sim::RequestClass::kLight, 100.0, 40.0);
+  metrics.RecordHit(sim::RequestClass::kHeavy, 10.0);
+  EXPECT_EQ(metrics.completed, 2u);
+  EXPECT_DOUBLE_EQ(metrics.miss_db.Mean(), 40.0);
+  EXPECT_DOUBLE_EQ(metrics.miss_response.Mean(), 100.0);
+  EXPECT_DOUBLE_EQ(metrics.hit_response.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.response.Mean(), 55.0);
+  EXPECT_EQ(metrics.per_class[0].count, 1u);
+  EXPECT_EQ(metrics.per_class[2].count, 1u);
+  std::string row = metrics.ToRowString();
+  EXPECT_NE(row.find("missDB"), std::string::npos);
+}
+
+TEST(SimMetricsTest, Percentiles) {
+  sim::SimMetrics metrics;
+  EXPECT_EQ(metrics.Percentile(0.5), 0.0);  // No samples.
+  for (int i = 1; i <= 100; ++i) {
+    metrics.RecordHit(sim::RequestClass::kLight, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(metrics.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Percentile(1.0), 100.0);
+  EXPECT_NEAR(metrics.Percentile(0.5), 50.5, 0.6);
+  EXPECT_NEAR(metrics.Percentile(0.95), 95.0, 1.2);
+}
+
+TEST(SimNamesTest, EnumNames) {
+  EXPECT_STREQ(sim::RequestClassName(sim::RequestClass::kLight), "light");
+  EXPECT_STREQ(sim::RequestClassName(sim::RequestClass::kHeavy), "heavy");
+  EXPECT_NE(std::string(sim::SiteConfigName(sim::SiteConfig::kWebCache))
+                .find("III"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cacheportal

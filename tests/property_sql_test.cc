@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/analyzer.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/template.h"
+
+namespace cacheportal::sql {
+namespace {
+
+/// Generates random (but valid) SELECT statements over a fixed schema and
+/// checks library-wide invariants: print->parse round trips, template
+/// extraction is idempotent and type-stable, folding never changes
+/// satisfiability under full substitution.
+class SqlGenerator {
+ public:
+  explicit SqlGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Query() {
+    int tables = 1 + static_cast<int>(rng_.Uniform(2));
+    std::string sql = "SELECT ";
+    sql += rng_.OneIn(0.3) ? "*" : Column(tables);
+    sql += " FROM Car";
+    if (tables == 2) sql += ", Mileage";
+    sql += " WHERE ";
+    sql += Condition(tables, 2);
+    if (rng_.OneIn(0.2)) sql += " LIMIT " + std::to_string(rng_.Uniform(10));
+    return sql;
+  }
+
+  std::string Condition(int tables, int depth) {
+    if (depth == 0 || rng_.OneIn(0.4)) return Predicate(tables);
+    std::string op = rng_.OneIn(0.5) ? " AND " : " OR ";
+    std::string left = Condition(tables, depth - 1);
+    std::string right = Condition(tables, depth - 1);
+    if (rng_.OneIn(0.3)) return "NOT (" + left + ")";
+    return "(" + left + op + right + ")";
+  }
+
+  std::string Predicate(int tables) {
+    switch (rng_.Uniform(5)) {
+      case 0:
+        return NumColumn(tables) + " " + CmpOp() + " " +
+               std::to_string(rng_.Uniform(30000));
+      case 1:
+        return StrColumn(tables) + " = '" + ModelName() + "'";
+      case 2:
+        return NumColumn(tables) + " BETWEEN " +
+               std::to_string(rng_.Uniform(100)) + " AND " +
+               std::to_string(100 + rng_.Uniform(30000));
+      case 3:
+        return StrColumn(tables) + " IN ('" + ModelName() + "', '" +
+               ModelName() + "')";
+      default:
+        if (tables == 2) return "Car.model = Mileage.model";
+        return NumColumn(tables) + " " + CmpOp() + " " +
+               std::to_string(rng_.Uniform(30000));
+    }
+  }
+
+  std::string CmpOp() {
+    const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+    return ops[rng_.Uniform(6)];
+  }
+  std::string Column(int tables) {
+    return rng_.OneIn(0.5) ? NumColumn(tables) : StrColumn(tables);
+  }
+  std::string NumColumn(int tables) {
+    if (tables == 2 && rng_.OneIn(0.3)) return "Mileage.EPA";
+    return "Car.price";
+  }
+  std::string StrColumn(int tables) {
+    if (tables == 2 && rng_.OneIn(0.3)) return "Mileage.model";
+    return rng_.OneIn(0.5) ? "Car.model" : "Car.maker";
+  }
+  std::string ModelName() {
+    const char* names[] = {"Avalon", "Civic", "Eclipse", "Corolla", "LS"};
+    return names[rng_.Uniform(5)];
+  }
+
+ private:
+  Random rng_;
+};
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlPropertyTest, PrintParseRoundTripIsFixedPoint) {
+  SqlGenerator gen(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    std::string sql = gen.Query();
+    auto first = Parser::ParseSelect(sql);
+    ASSERT_TRUE(first.ok()) << sql << ": " << first.status().ToString();
+    std::string canonical = StatementToSql(**first);
+    auto second = Parser::ParseSelect(canonical);
+    ASSERT_TRUE(second.ok()) << canonical;
+    EXPECT_EQ(StatementToSql(**second), canonical) << sql;
+  }
+}
+
+TEST_P(SqlPropertyTest, TemplateExtractionIsTypeStable) {
+  SqlGenerator gen(GetParam() * 31 + 7);
+  for (int i = 0; i < 50; ++i) {
+    std::string sql = gen.Query();
+    auto t1 = ExtractTemplateFromSql(sql);
+    ASSERT_TRUE(t1.ok()) << sql;
+    // Re-instantiating with the original bindings and re-extracting must
+    // give the same type.
+    auto inst = InstantiateTemplate(*t1, t1->bindings);
+    ASSERT_TRUE(inst.ok()) << sql;
+    auto t2 = ExtractTemplate(**inst);
+    ASSERT_TRUE(t2.ok());
+    EXPECT_EQ(t1->type_id, t2->type_id) << sql;
+    EXPECT_EQ(t1->canonical_text, t2->canonical_text);
+  }
+}
+
+TEST_P(SqlPropertyTest, TemplateParameterCountMatchesBindings) {
+  SqlGenerator gen(GetParam() * 131 + 17);
+  for (int i = 0; i < 50; ++i) {
+    std::string sql = gen.Query();
+    auto t = ExtractTemplateFromSql(sql);
+    ASSERT_TRUE(t.ok()) << sql;
+    if (t->statement->where == nullptr) continue;
+    // Count parameters in the template.
+    size_t params = 0;
+    std::function<void(const Expression&)> count = [&](const Expression& e) {
+      if (e.kind() == ExprKind::kParameter) ++params;
+      switch (e.kind()) {
+        case ExprKind::kUnary:
+          count(static_cast<const UnaryExpr&>(e).operand());
+          break;
+        case ExprKind::kBinary: {
+          const auto& b = static_cast<const BinaryExpr&>(e);
+          count(b.left());
+          count(b.right());
+          break;
+        }
+        case ExprKind::kInList: {
+          const auto& in = static_cast<const InListExpr&>(e);
+          count(in.operand());
+          for (const auto& item : in.items()) count(*item);
+          break;
+        }
+        case ExprKind::kBetween: {
+          const auto& bt = static_cast<const BetweenExpr&>(e);
+          count(bt.operand());
+          count(bt.low());
+          count(bt.high());
+          break;
+        }
+        case ExprKind::kIsNull:
+          count(static_cast<const IsNullExpr&>(e).operand());
+          break;
+        default:
+          break;
+      }
+    };
+    count(*t->statement->where);
+    EXPECT_EQ(params, t->bindings.size()) << sql;
+  }
+}
+
+TEST_P(SqlPropertyTest, FoldingAgreesWithEvaluation) {
+  // For WHERE clauses whose columns are fully substituted with concrete
+  // values, FoldConstants must agree with direct evaluation.
+  SqlGenerator gen(GetParam() * 733 + 3);
+  Random value_rng(GetParam() + 5);
+  for (int i = 0; i < 50; ++i) {
+    std::string sql = gen.Query();
+    auto select = Parser::ParseSelect(sql);
+    ASSERT_TRUE(select.ok());
+    if ((*select)->where == nullptr) continue;
+
+    // Substitute every column with a random concrete value.
+    Value price = Value::Int(static_cast<int64_t>(value_rng.Uniform(30000)));
+    Value epa = Value::Int(static_cast<int64_t>(value_rng.Uniform(50)));
+    const char* names[] = {"Avalon", "Civic", "Eclipse"};
+    Value model = Value::String(names[value_rng.Uniform(3)]);
+    Value maker = Value::String("Toyota");
+    auto sub = [&](const std::string&,
+                   const std::string& column) -> std::optional<Value> {
+      if (column == "price") return price;
+      if (column == "EPA") return epa;
+      if (column == "model") return model;
+      if (column == "maker") return maker;
+      return std::nullopt;
+    };
+    ExpressionPtr substituted = SubstituteColumns(*(*select)->where, sub);
+    FoldResult folded = FoldConstants(*substituted);
+    ASSERT_NE(folded.outcome, FoldOutcome::kResidual) << sql;
+
+    EmptyResolver no_columns;
+    auto direct = EvalPredicate(*substituted, no_columns);
+    ASSERT_TRUE(direct.ok()) << sql;
+    if (folded.outcome == FoldOutcome::kTrue) {
+      EXPECT_EQ(*direct, std::optional<bool>(true)) << sql;
+    } else if (folded.outcome == FoldOutcome::kFalse) {
+      EXPECT_EQ(*direct, std::optional<bool>(false)) << sql;
+    } else {
+      EXPECT_EQ(*direct, std::nullopt) << sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cacheportal::sql

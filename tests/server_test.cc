@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+#include "server/load_balancer.h"
+#include "server/web_server.h"
+
+namespace cacheportal::server {
+namespace {
+
+using sql::Value;
+
+db::Database* MakeShopDb() {
+  auto* db = new db::Database();
+  db->CreateTable(db::TableSchema("Item", {{"name", db::ColumnType::kString},
+                                           {"price", db::ColumnType::kInt}}));
+  db->ExecuteSql("INSERT INTO Item VALUES ('pen', 2)").value();
+  db->ExecuteSql("INSERT INTO Item VALUES ('book', 12)").value();
+  return db;
+}
+
+// ---------------------------------------------------------------------
+// JDBC layer
+// ---------------------------------------------------------------------
+
+TEST(JdbcTest, DriverManagerRoutesByUrl) {
+  db::Database* db = MakeShopDb();
+  auto driver = std::make_unique<MemoryDbDriver>();
+  driver->BindDatabase("shop", db);
+  DriverManager manager;
+  manager.RegisterDriver(std::move(driver));
+
+  auto conn = manager.GetConnection("jdbc:cacheportal:shop");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto result = (*conn)->ExecuteQuery("SELECT * FROM Item");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+
+  EXPECT_TRUE(
+      manager.GetConnection("jdbc:other:shop").status().IsNotFound());
+  EXPECT_TRUE(
+      manager.GetConnection("jdbc:cacheportal:unbound").status().IsNotFound());
+  delete db;
+}
+
+TEST(JdbcTest, ExecuteUpdateReturnsAffected) {
+  db::Database* db = MakeShopDb();
+  MemoryDbDriver driver;
+  driver.BindDatabase("shop", db);
+  auto conn = driver.Connect("jdbc:cacheportal:shop");
+  ASSERT_TRUE(conn.ok());
+  auto n = (*conn)->ExecuteUpdate("UPDATE Item SET price = 3 WHERE name = 'pen'");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_FALSE((*conn)->ExecuteUpdate("SELECT * FROM Item").ok());
+  delete db;
+}
+
+TEST(JdbcTest, ConnectionPoolRoundRobinsAndCounts) {
+  db::Database* db = MakeShopDb();
+  auto driver = std::make_unique<MemoryDbDriver>();
+  driver->BindDatabase("shop", db);
+  DriverManager manager;
+  manager.RegisterDriver(std::move(driver));
+
+  auto pool = ConnectionPool::Create("p", "jdbc:cacheportal:shop", 3,
+                                     &manager);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_EQ((*pool)->size(), 3u);
+  Connection* first = (*pool)->Acquire();
+  (*pool)->Acquire();
+  (*pool)->Acquire();
+  EXPECT_EQ((*pool)->Acquire(), first);  // Wrapped around.
+  EXPECT_EQ((*pool)->acquisitions(), 4u);
+  delete db;
+}
+
+TEST(JdbcTest, ConnectionPoolSizeZeroRejected) {
+  DriverManager manager;
+  EXPECT_FALSE(ConnectionPool::Create("p", "x", 0, &manager).ok());
+}
+
+TEST(JdbcTest, DataSourceRegistry) {
+  db::Database* db = MakeShopDb();
+  auto driver = std::make_unique<MemoryDbDriver>();
+  driver->BindDatabase("shop", db);
+  DriverManager manager;
+  manager.RegisterDriver(std::move(driver));
+  auto pool =
+      ConnectionPool::Create("p", "jdbc:cacheportal:shop", 1, &manager);
+  ASSERT_TRUE(pool.ok());
+
+  DataSourceRegistry registry;
+  ASSERT_TRUE(registry.Bind("jdbc/shop", pool->get()).ok());
+  EXPECT_TRUE(registry.Bind("jdbc/shop", pool->get()).IsAlreadyExists());
+  auto found = registry.Lookup("jdbc/shop");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, pool->get());
+  EXPECT_TRUE(registry.Lookup("jdbc/missing").status().IsNotFound());
+  delete db;
+}
+
+// ---------------------------------------------------------------------
+// Application server + servlets
+// ---------------------------------------------------------------------
+
+class AppServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.reset(MakeShopDb());
+    auto driver = std::make_unique<MemoryDbDriver>();
+    driver->BindDatabase("shop", db_.get());
+    manager_.RegisterDriver(std::move(driver));
+    pool_ = std::move(
+        ConnectionPool::Create("p", "jdbc:cacheportal:shop", 2, &manager_)
+            .value());
+    app_ = std::make_unique<ApplicationServer>(pool_.get());
+  }
+
+  std::unique_ptr<db::Database> db_;
+  DriverManager manager_;
+  std::unique_ptr<ConnectionPool> pool_;
+  std::unique_ptr<ApplicationServer> app_;
+};
+
+TEST_F(AppServerTest, RoutesToServletWithConnection) {
+  ASSERT_TRUE(
+      app_->RegisterServlet(
+              "/items",
+              std::make_unique<FunctionServlet>(
+                  [](const http::HttpRequest&, ServletContext* ctx) {
+                    auto result =
+                        ctx->connection->ExecuteQuery("SELECT * FROM Item");
+                    return http::HttpResponse::Ok(
+                        result.ok() ? result->ToString() : "error");
+                  }),
+              ServletConfig{})
+          .ok());
+
+  auto req = http::HttpRequest::Get("http://shop/items");
+  http::HttpResponse resp = app_->Handle(*req);
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_NE(resp.body.find("pen"), std::string::npos);
+  EXPECT_EQ(app_->requests_served(), 1u);
+}
+
+TEST_F(AppServerTest, UnknownPathIs404) {
+  auto req = http::HttpRequest::Get("http://shop/missing");
+  EXPECT_EQ(app_->Handle(*req).status_code, 404);
+}
+
+TEST_F(AppServerTest, DuplicateRegistrationRejected) {
+  auto make = [] {
+    return std::make_unique<FunctionServlet>(
+        [](const http::HttpRequest&, ServletContext*) {
+          return http::HttpResponse::Ok("x");
+        });
+  };
+  ASSERT_TRUE(app_->RegisterServlet("/a", make(), ServletConfig{}).ok());
+  EXPECT_TRUE(
+      app_->RegisterServlet("/a", make(), ServletConfig{}).IsAlreadyExists());
+}
+
+TEST_F(AppServerTest, InterceptorSeesRequestAndMutatesResponse) {
+  class Recorder : public ServletInterceptor {
+   public:
+    uint64_t BeforeService(const std::string& name,
+                           const http::HttpRequest&) override {
+      names.push_back(name);
+      return 7;
+    }
+    void AfterService(uint64_t token, const std::string&,
+                      const http::HttpRequest&,
+                      http::HttpResponse* response) override {
+      tokens.push_back(token);
+      response->headers.Set("X-Wrapped", "yes");
+    }
+    std::vector<std::string> names;
+    std::vector<uint64_t> tokens;
+  };
+
+  Recorder recorder;
+  app_->SetInterceptor(&recorder);
+  ServletConfig config;
+  config.name = "items-servlet";
+  ASSERT_TRUE(app_->RegisterServlet(
+                      "/items",
+                      std::make_unique<FunctionServlet>(
+                          [](const http::HttpRequest&, ServletContext*) {
+                            return http::HttpResponse::Ok("x");
+                          }),
+                      config)
+                  .ok());
+  auto req = http::HttpRequest::Get("http://shop/items");
+  http::HttpResponse resp = app_->Handle(*req);
+  EXPECT_EQ(resp.headers.Get("X-Wrapped"), "yes");
+  ASSERT_EQ(recorder.names.size(), 1u);
+  EXPECT_EQ(recorder.names[0], "items-servlet");
+  EXPECT_EQ(recorder.tokens[0], 7u);
+}
+
+TEST_F(AppServerTest, FindConfigAndPaths) {
+  ServletConfig config;
+  config.key_get_params = {"model"};
+  ASSERT_TRUE(app_->RegisterServlet(
+                      "/cars",
+                      std::make_unique<FunctionServlet>(
+                          [](const http::HttpRequest&, ServletContext*) {
+                            return http::HttpResponse::Ok("x");
+                          }),
+                      config)
+                  .ok());
+  const ServletConfig* found = app_->FindConfig("/cars");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "/cars");  // Defaults to path.
+  EXPECT_EQ(found->key_get_params, std::vector<std::string>{"model"});
+  EXPECT_EQ(app_->FindConfig("/other"), nullptr);
+  EXPECT_EQ(app_->Paths(), std::vector<std::string>{"/cars"});
+}
+
+// ---------------------------------------------------------------------
+// Web server
+// ---------------------------------------------------------------------
+
+TEST(WebServerTest, ServesStaticAndForwardsDynamic) {
+  class Echo : public RequestHandler {
+   public:
+    http::HttpResponse Handle(const http::HttpRequest& req) override {
+      return http::HttpResponse::Ok("dynamic:" + req.path);
+    }
+  };
+  Echo app;
+  WebServer web(&app);
+  web.AddStaticPage("/index.html", "<html>home</html>");
+
+  auto static_req = http::HttpRequest::Get("http://shop/index.html");
+  http::HttpResponse r1 = web.Handle(*static_req);
+  EXPECT_EQ(r1.body, "<html>home</html>");
+  EXPECT_TRUE(r1.GetCacheControl().is_public);
+
+  auto dyn_req = http::HttpRequest::Get("http://shop/app");
+  EXPECT_EQ(web.Handle(*dyn_req).body, "dynamic:/app");
+  EXPECT_EQ(web.requests_served(), 2u);
+  EXPECT_EQ(web.static_served(), 1u);
+  EXPECT_EQ(web.dynamic_forwarded(), 1u);
+}
+
+TEST(WebServerTest, NoAppServerMeans404) {
+  WebServer web(nullptr);
+  auto req = http::HttpRequest::Get("http://shop/x");
+  EXPECT_EQ(web.Handle(*req).status_code, 404);
+}
+
+// ---------------------------------------------------------------------
+// Load balancer
+// ---------------------------------------------------------------------
+
+class CountingHandler : public RequestHandler {
+ public:
+  http::HttpResponse Handle(const http::HttpRequest&) override {
+    ++count;
+    return http::HttpResponse::Ok("ok");
+  }
+  int count = 0;
+};
+
+TEST(LoadBalancerTest, RoundRobinSpreadsEvenly) {
+  CountingHandler a, b;
+  LoadBalancer lb(BalancePolicy::kRoundRobin);
+  lb.AddBackend(&a);
+  lb.AddBackend(&b);
+  auto req = http::HttpRequest::Get("http://shop/x");
+  for (int i = 0; i < 10; ++i) lb.Handle(*req);
+  EXPECT_EQ(a.count, 5);
+  EXPECT_EQ(b.count, 5);
+  EXPECT_EQ(lb.RequestsTo(0), 5u);
+}
+
+TEST(LoadBalancerTest, LeastRequestsPolicy) {
+  CountingHandler a, b;
+  LoadBalancer lb(BalancePolicy::kLeastRequests);
+  lb.AddBackend(&a);
+  lb.AddBackend(&b);
+  auto req = http::HttpRequest::Get("http://shop/x");
+  for (int i = 0; i < 9; ++i) lb.Handle(*req);
+  EXPECT_LE(std::abs(a.count - b.count), 1);
+}
+
+TEST(LoadBalancerTest, NoBackendsIs503) {
+  LoadBalancer lb;
+  auto req = http::HttpRequest::Get("http://shop/x");
+  EXPECT_EQ(lb.Handle(*req).status_code, 503);
+}
+
+}  // namespace
+}  // namespace cacheportal::server

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/site.h"
+#include "sim/station.h"
+
+namespace cacheportal::sim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.NowMicros(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(10, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&] { ++fired; });
+  sim.At(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.NowMicros(), 50);
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    if (++count < 5) sim.After(10, tick);
+  };
+  sim.After(10, tick);
+  sim.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.NowMicros(), 50);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.RunAll();
+  bool fired = false;
+  sim.At(10, [&] { fired = true; });  // In the "past".
+  sim.RunAll();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.NowMicros(), 100);
+}
+
+// ---------------------------------------------------------------------
+// Station
+// ---------------------------------------------------------------------
+
+TEST(StationTest, SequentialServiceOnSingleServer) {
+  Simulator sim;
+  Station station(&sim, "s", 1);
+  std::vector<Micros> completions;
+  station.Submit(10, [&] { completions.push_back(sim.NowMicros()); });
+  station.Submit(10, [&] { completions.push_back(sim.NowMicros()); });
+  sim.RunAll();
+  EXPECT_EQ(completions, (std::vector<Micros>{10, 20}));
+  EXPECT_EQ(station.jobs_completed(), 2u);
+  EXPECT_EQ(station.total_busy(), 20);
+  EXPECT_EQ(station.total_wait(), 10);  // Second job waited 10.
+}
+
+TEST(StationTest, MultiServerParallelism) {
+  Simulator sim;
+  Station station(&sim, "s", 2);
+  std::vector<Micros> completions;
+  for (int i = 0; i < 2; ++i) {
+    station.Submit(10, [&] { completions.push_back(sim.NowMicros()); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(completions, (std::vector<Micros>{10, 10}));
+  EXPECT_EQ(station.total_wait(), 0);
+}
+
+TEST(StationTest, UtilizationMeasured) {
+  Simulator sim;
+  Station station(&sim, "s", 1);
+  station.Submit(50, nullptr);
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(station.Utilization(100), 0.5);
+  EXPECT_DOUBLE_EQ(station.Utilization(0), 0.0);
+}
+
+TEST(ProcessPoolTest, BlocksAtCapacity) {
+  Simulator sim;
+  ProcessPool pool(&sim, "p", 1);
+  std::vector<int> order;
+  pool.Acquire([&] {
+    order.push_back(1);
+    // Hold the unit until t=100.
+    sim.At(100, [&] { pool.Release(); });
+  });
+  pool.Acquire([&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.NowMicros(), 100);
+}
+
+TEST(ProcessPoolTest, TracksWaiters) {
+  Simulator sim;
+  ProcessPool pool(&sim, "p", 1);
+  pool.Acquire([] {});
+  sim.RunAll();
+  pool.Acquire([] {});
+  pool.Acquire([] {});
+  EXPECT_EQ(pool.waiting(), 2u);
+  EXPECT_EQ(pool.in_use(), 1);
+  pool.Release();
+  sim.RunAll();
+  EXPECT_EQ(pool.waiting(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Site simulation — qualitative checks of the paper's claims
+// ---------------------------------------------------------------------
+
+SimParams FastParams() {
+  SimParams params;
+  params.duration = 60 * kMicrosPerSecond;
+  params.warmup = 10 * kMicrosPerSecond;
+  return params;
+}
+
+TEST(SiteSimTest, AllConfigsCompleteRequests) {
+  for (SiteConfig config : {SiteConfig::kReplicated,
+                            SiteConfig::kMiddleTierCache,
+                            SiteConfig::kWebCache}) {
+    RunReport report = RunSiteSimulation(config, FastParams());
+    EXPECT_GT(report.metrics.completed, 100u) << SiteConfigName(config);
+    EXPECT_GT(report.metrics.response.Mean(), 0.0);
+  }
+}
+
+TEST(SiteSimTest, ConfigurationIIsWorstByFar) {
+  // Table 2's headline: Conf I is an order of magnitude slower even with
+  // no updates (resource starvation at the replicas).
+  SimParams params = FastParams();
+  RunReport conf1 = RunSiteSimulation(SiteConfig::kReplicated, params);
+  RunReport conf3 = RunSiteSimulation(SiteConfig::kWebCache, params);
+  EXPECT_GT(conf1.metrics.response.Mean(),
+            5.0 * conf3.metrics.response.Mean());
+}
+
+TEST(SiteSimTest, ConfIHasNoCacheHits) {
+  RunReport report =
+      RunSiteSimulation(SiteConfig::kReplicated, FastParams());
+  EXPECT_EQ(report.metrics.hit_response.count, 0u);
+  EXPECT_EQ(report.metrics.miss_response.count, report.metrics.completed);
+}
+
+TEST(SiteSimTest, CachedConfigsHitAtConfiguredRatio) {
+  RunReport report = RunSiteSimulation(SiteConfig::kWebCache, FastParams());
+  double ratio = static_cast<double>(report.metrics.hit_response.count) /
+                 report.metrics.completed;
+  EXPECT_NEAR(ratio, 0.7, 0.05);
+}
+
+TEST(SiteSimTest, UpdatesHurtConfIIMoreThanConfIII) {
+  // The paper: the II-III gap widens as updates increase, because II's
+  // hits share the network with update traffic and sync queries.
+  SimParams quiet = FastParams();
+  SimParams busy = FastParams();
+  busy.updates = UpdateLoad{12, 12, 12, 12};
+
+  RunReport ii_quiet =
+      RunSiteSimulation(SiteConfig::kMiddleTierCache, quiet);
+  RunReport ii_busy = RunSiteSimulation(SiteConfig::kMiddleTierCache, busy);
+  RunReport iii_quiet = RunSiteSimulation(SiteConfig::kWebCache, quiet);
+  RunReport iii_busy = RunSiteSimulation(SiteConfig::kWebCache, busy);
+
+  double ii_growth =
+      ii_busy.metrics.response.Mean() - ii_quiet.metrics.response.Mean();
+  double iii_growth =
+      iii_busy.metrics.response.Mean() - iii_quiet.metrics.response.Mean();
+  EXPECT_GT(ii_growth, iii_growth);
+
+  // Conf III hit responses stay flat (the cache is outside the network).
+  EXPECT_NEAR(iii_busy.metrics.hit_response.Mean(),
+              iii_quiet.metrics.hit_response.Mean(), 5.0);
+}
+
+TEST(SiteSimTest, Table3ConnectionCostCollapsesConfII) {
+  SimParams cheap = FastParams();
+  SimParams costly = FastParams();
+  costly.data_cache_connection_cost = true;
+
+  RunReport fast = RunSiteSimulation(SiteConfig::kMiddleTierCache, cheap);
+  RunReport slow = RunSiteSimulation(SiteConfig::kMiddleTierCache, costly);
+  // With per-access connection establishment on the shared app-server
+  // CPU, Conf II degrades dramatically (Table 3's 52s vs 471ms story).
+  EXPECT_GT(slow.metrics.response.Mean(),
+            10.0 * fast.metrics.response.Mean());
+}
+
+TEST(SiteSimTest, DeterministicForFixedSeed) {
+  RunReport a = RunSiteSimulation(SiteConfig::kWebCache, FastParams());
+  RunReport b = RunSiteSimulation(SiteConfig::kWebCache, FastParams());
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_DOUBLE_EQ(a.metrics.response.Mean(), b.metrics.response.Mean());
+}
+
+TEST(SiteSimTest, SeedChangesOutcomeSlightly) {
+  SimParams params = FastParams();
+  RunReport a = RunSiteSimulation(SiteConfig::kWebCache, params);
+  params.seed = 99;
+  RunReport b = RunSiteSimulation(SiteConfig::kWebCache, params);
+  EXPECT_NE(a.metrics.completed, b.metrics.completed);
+}
+
+TEST(SiteSimTest, UtilizationsReported) {
+  RunReport report = RunSiteSimulation(SiteConfig::kWebCache, FastParams());
+  EXPECT_GT(report.db_utilization, 0.1);
+  EXPECT_LT(report.network_utilization, 1.0);
+  EXPECT_GT(report.cache_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace cacheportal::sim

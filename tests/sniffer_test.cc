@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "server/jdbc.h"
+#include "sniffer/mapper.h"
+#include "sniffer/qiurl_map.h"
+#include "sniffer/query_log.h"
+#include "sniffer/query_logger.h"
+#include "sniffer/request_log.h"
+#include "sniffer/request_logger.h"
+
+namespace cacheportal::sniffer {
+namespace {
+
+// ---------------------------------------------------------------------
+// Logs
+// ---------------------------------------------------------------------
+
+TEST(RequestLogTest, OpenCloseLifecycle) {
+  RequestLog log;
+  uint64_t id = log.Open("servlet", "/cars?m=1", "c=1", "p=1", "key", 100);
+  EXPECT_EQ(id, 1u);
+  EXPECT_FALSE(log.entries()[0].completed());
+  log.Close(id, 250);
+  EXPECT_TRUE(log.entries()[0].completed());
+  EXPECT_EQ(log.entries()[0].receive_time, 100);
+  EXPECT_EQ(log.entries()[0].delivery_time, 250);
+}
+
+TEST(RequestLogTest, CloseUnknownIdIgnored) {
+  RequestLog log;
+  log.Close(42, 100);  // No crash, no effect.
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(RequestLogTest, ReadSince) {
+  RequestLog log;
+  for (int i = 0; i < 4; ++i) log.Open("s", "r", "", "", "k", i);
+  EXPECT_EQ(log.ReadSince(0).size(), 4u);
+  EXPECT_EQ(log.ReadSince(2).size(), 2u);
+  EXPECT_EQ(log.ReadSince(9).size(), 0u);
+}
+
+TEST(QueryLogTest, AppendAndRead) {
+  QueryLog log;
+  log.Append("SELECT 1", true, 10, 20);
+  log.Append("DELETE FROM t", false, 30, 35);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log.entries()[0].is_select);
+  EXPECT_FALSE(log.entries()[1].is_select);
+  EXPECT_EQ(log.ReadSince(1).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Query logger (JDBC wrapper)
+// ---------------------------------------------------------------------
+
+TEST(QueryLoggerTest, WrapsDriverAndRecordsTimestamps) {
+  db::Database db;
+  db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}}));
+
+  auto inner = std::make_unique<server::MemoryDbDriver>();
+  inner->BindDatabase("d", &db);
+
+  ManualClock clock(1000);
+  QueryLog log;
+  QueryLoggingDriver wrapper(inner.get(), &log, &clock);
+
+  EXPECT_TRUE(wrapper.AcceptsUrl("jdbc:cacheportal-log:jdbc:cacheportal:d"));
+  EXPECT_FALSE(wrapper.AcceptsUrl("jdbc:cacheportal:d"));
+  EXPECT_FALSE(wrapper.AcceptsUrl("jdbc:cacheportal-log:jdbc:unknown:d"));
+
+  auto conn = wrapper.Connect("jdbc:cacheportal-log:jdbc:cacheportal:d");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  ASSERT_TRUE((*conn)->ExecuteUpdate("INSERT INTO T VALUES (7)").ok());
+  clock.Advance(5);
+  auto rows = (*conn)->ExecuteQuery("SELECT * FROM T");
+  ASSERT_TRUE(rows.ok());
+
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log.entries()[0].is_select);
+  EXPECT_TRUE(log.entries()[1].is_select);
+  EXPECT_EQ(log.entries()[1].sql, "SELECT * FROM T");
+  EXPECT_EQ(log.entries()[1].receive_time, 1005);
+}
+
+TEST(QueryLoggerTest, WrapConnectionDirectly) {
+  db::Database db;
+  db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}}));
+  server::MemoryDbDriver inner;
+  inner.BindDatabase("d", &db);
+  auto raw = inner.Connect("jdbc:cacheportal:d");
+  ASSERT_TRUE(raw.ok());
+
+  ManualClock clock;
+  QueryLog log;
+  QueryLoggingDriver wrapper(&inner, &log, &clock);
+  auto wrapped = wrapper.WrapConnection(raw->get());
+  ASSERT_TRUE(wrapped->ExecuteQuery("SELECT * FROM T").ok());
+  EXPECT_EQ(log.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Request logger (servlet wrapper)
+// ---------------------------------------------------------------------
+
+TEST(RequestLoggerTest, NarrowToKeysUsesConfiguredParams) {
+  server::ServletConfig config;
+  config.name = "/cars";
+  config.key_get_params = {"model"};
+  config.key_cookie_params = {"lang"};
+
+  auto req = http::HttpRequest::Get("http://shop/cars?model=Avalon&uid=7");
+  req->cookies["lang"] = "en";
+  req->cookies["session"] = "s";
+
+  http::PageId id = RequestLogger::NarrowToKeys(*req, &config);
+  EXPECT_EQ(id.get_params().size(), 1u);
+  EXPECT_EQ(id.get_params().at("model"), "Avalon");
+  EXPECT_EQ(id.cookie_params().size(), 1u);
+  EXPECT_TRUE(id.post_params().empty());
+}
+
+TEST(RequestLoggerTest, WithoutConfigAllParamsAreKeys) {
+  auto req = http::HttpRequest::Get("http://shop/cars?a=1&b=2");
+  http::PageId id = RequestLogger::NarrowToKeys(*req, nullptr);
+  EXPECT_EQ(id.get_params().size(), 2u);
+}
+
+TEST(RequestLoggerTest, LogsAndRewritesNoCacheDirective) {
+  ManualClock clock(100);
+  RequestLog log;
+  RequestLogger logger(&log, &clock);
+  server::ServletConfig config;
+  config.name = "cars";
+  config.key_get_params = {"model"};
+  logger.RegisterServlet(config);
+
+  auto req = http::HttpRequest::Get("http://shop/cars?model=Avalon&junk=1");
+  uint64_t token = logger.BeforeService("cars", *req);
+  clock.Advance(50);
+
+  http::HttpResponse resp = http::HttpResponse::Ok("page");
+  http::CacheControl no_cache;
+  no_cache.no_cache = true;
+  resp.SetCacheControl(no_cache);
+  logger.AfterService(token, "cars", *req, &resp);
+
+  // Log entry completed with the narrowed page key.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries()[0].receive_time, 100);
+  EXPECT_EQ(log.entries()[0].delivery_time, 150);
+  EXPECT_NE(log.entries()[0].page_key.find("model=Avalon"),
+            std::string::npos);
+  EXPECT_EQ(log.entries()[0].page_key.find("junk"), std::string::npos);
+
+  // no-cache became private owner="cacheportal" (Section 3.1).
+  http::CacheControl cc = resp.GetCacheControl();
+  EXPECT_FALSE(cc.no_cache);
+  EXPECT_TRUE(cc.is_private);
+  EXPECT_EQ(cc.owner, http::kCachePortalOwner);
+  EXPECT_TRUE(cc.CacheableByCachePortal());
+}
+
+TEST(RequestLoggerTest, MissingDirectiveTreatedAsDynamic) {
+  ManualClock clock;
+  RequestLog log;
+  RequestLogger logger(&log, &clock);
+  auto req = http::HttpRequest::Get("http://shop/x");
+  uint64_t token = logger.BeforeService("x", *req);
+  http::HttpResponse resp = http::HttpResponse::Ok("page");
+  logger.AfterService(token, "x", *req, &resp);
+  EXPECT_TRUE(resp.GetCacheControl().CacheableByCachePortal());
+}
+
+TEST(RequestLoggerTest, TemporallySensitiveServletStaysNonCacheable) {
+  ManualClock clock;
+  RequestLog log;
+  RequestLogger logger(&log, &clock);
+  logger.SetInvalidationCycle(kMicrosPerSecond);  // 1 s cycle.
+  server::ServletConfig config;
+  config.name = "ticker";
+  config.temporal_sensitivity = 100 * kMicrosPerMilli;  // Needs 100 ms.
+  logger.RegisterServlet(config);
+
+  auto req = http::HttpRequest::Get("http://shop/ticker");
+  uint64_t token = logger.BeforeService("ticker", *req);
+  http::HttpResponse resp = http::HttpResponse::Ok("quote");
+  logger.AfterService(token, "ticker", *req, &resp);
+  EXPECT_FALSE(resp.GetCacheControl().CacheableByCachePortal());
+  EXPECT_TRUE(resp.GetCacheControl().no_cache);
+}
+
+TEST(RequestLoggerTest, OracleVetoKeepsNonCacheable) {
+  ManualClock clock;
+  RequestLog log;
+  RequestLogger logger(&log, &clock);
+  logger.SetCacheabilityOracle(
+      [](const std::string& name) { return name != "blocked"; });
+
+  auto req = http::HttpRequest::Get("http://shop/b");
+  uint64_t token = logger.BeforeService("blocked", *req);
+  http::HttpResponse resp = http::HttpResponse::Ok("x");
+  logger.AfterService(token, "blocked", *req, &resp);
+  EXPECT_FALSE(resp.GetCacheControl().CacheableByCachePortal());
+}
+
+TEST(RequestLoggerTest, ExplicitNoStoreNeverOverridden) {
+  ManualClock clock;
+  RequestLog log;
+  RequestLogger logger(&log, &clock);
+  auto req = http::HttpRequest::Get("http://shop/x");
+  uint64_t token = logger.BeforeService("x", *req);
+  http::HttpResponse resp = http::HttpResponse::Ok("x");
+  http::CacheControl cc;
+  cc.no_store = true;
+  resp.SetCacheControl(cc);
+  logger.AfterService(token, "x", *req, &resp);
+  EXPECT_TRUE(resp.GetCacheControl().no_store);
+  EXPECT_FALSE(resp.GetCacheControl().CacheableByCachePortal());
+}
+
+TEST(RequestLoggerTest, ExplicitlyCacheableResponseUntouched) {
+  ManualClock clock;
+  RequestLog log;
+  RequestLogger logger(&log, &clock);
+  auto req = http::HttpRequest::Get("http://shop/x");
+  uint64_t token = logger.BeforeService("x", *req);
+  http::HttpResponse resp = http::HttpResponse::Ok("x");
+  http::CacheControl cc;
+  cc.is_public = true;
+  cc.max_age_seconds = 300;
+  resp.SetCacheControl(cc);
+  logger.AfterService(token, "x", *req, &resp);
+  EXPECT_EQ(resp.GetCacheControl(), cc);
+}
+
+// ---------------------------------------------------------------------
+// QI/URL map
+// ---------------------------------------------------------------------
+
+TEST(QiUrlMapTest, AddAndLookups) {
+  QiUrlMap map;
+  map.Add("q1", "page1", "/cars?m=1", 100);
+  map.Add("q1", "page2", "/cars?m=2", 100);
+  map.Add("q2", "page1", "/cars?m=1", 100);
+
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.NumQueries(), 2u);
+  EXPECT_EQ(map.NumPages(), 2u);
+  EXPECT_EQ(map.PagesForQuery("q1"),
+            (std::vector<std::string>{"page1", "page2"}));
+  EXPECT_EQ(map.QueriesForPage("page1"),
+            (std::vector<std::string>{"q1", "q2"}));
+  EXPECT_TRUE(map.PagesForQuery("q9").empty());
+}
+
+TEST(QiUrlMapTest, DeduplicatesPairs) {
+  QiUrlMap map;
+  uint64_t a = map.Add("q", "p", "/r", 1);
+  uint64_t b = map.Add("q", "p", "/r", 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(QiUrlMapTest, ReadSinceIncremental) {
+  QiUrlMap map;
+  map.Add("q1", "p1", "/r", 1);
+  map.Add("q2", "p2", "/r", 1);
+  auto all = map.ReadSince(0);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(map.ReadSince(all[0].id).size(), 1u);
+  EXPECT_EQ(map.ReadSince(map.LastId()).size(), 0u);
+}
+
+TEST(QiUrlMapTest, RemovePageCleansBothDirections) {
+  QiUrlMap map;
+  map.Add("q1", "p1", "/r", 1);
+  map.Add("q1", "p2", "/r", 1);
+  map.Add("q2", "p1", "/r", 1);
+  EXPECT_EQ(map.RemovePage("p1"), 2u);
+  EXPECT_TRUE(map.QueriesForPage("p1").empty());
+  EXPECT_EQ(map.PagesForQuery("q1"), std::vector<std::string>{"p2"});
+  EXPECT_TRUE(map.PagesForQuery("q2").empty());
+  EXPECT_EQ(map.RemovePage("p1"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Request-to-query mapper
+// ---------------------------------------------------------------------
+
+TEST(MapperTest, JoinsOnTimeIntervals) {
+  RequestLog requests;
+  QueryLog queries;
+  QiUrlMap map;
+  RequestToQueryMapper mapper(&requests, &queries, &map);
+
+  // Request A [100, 200] issues q1 [120, 140].
+  uint64_t a = requests.Open("s", "/a", "", "", "pageA", 100);
+  queries.Append("q1", true, 120, 140);
+  requests.Close(a, 200);
+
+  // Request B [300, 400] issues q2 [310, 390].
+  uint64_t b = requests.Open("s", "/b", "", "", "pageB", 300);
+  queries.Append("q2", true, 310, 390);
+  requests.Close(b, 400);
+
+  EXPECT_EQ(mapper.Run(), 2u);
+  EXPECT_EQ(map.PagesForQuery("q1"), std::vector<std::string>{"pageA"});
+  EXPECT_EQ(map.PagesForQuery("q2"), std::vector<std::string>{"pageB"});
+}
+
+TEST(MapperTest, OverlappingRequestsShareQueries) {
+  RequestLog requests;
+  QueryLog queries;
+  QiUrlMap map;
+  RequestToQueryMapper mapper(&requests, &queries, &map);
+
+  uint64_t a = requests.Open("s", "/a", "", "", "pageA", 100);
+  uint64_t b = requests.Open("s", "/b", "", "", "pageB", 110);
+  queries.Append("q", true, 120, 130);
+  requests.Close(a, 200);
+  requests.Close(b, 210);
+
+  // The time-interval join attributes q to both (conservative).
+  EXPECT_EQ(mapper.Run(), 2u);
+  EXPECT_EQ(map.PagesForQuery("q").size(), 2u);
+}
+
+TEST(MapperTest, QueriesOutsideIntervalExcluded) {
+  RequestLog requests;
+  QueryLog queries;
+  QiUrlMap map;
+  RequestToQueryMapper mapper(&requests, &queries, &map);
+
+  uint64_t a = requests.Open("s", "/a", "", "", "pageA", 100);
+  queries.Append("before", true, 50, 90);
+  queries.Append("late_delivery", true, 150, 250);  // Ends after request.
+  requests.Close(a, 200);
+
+  EXPECT_EQ(mapper.Run(), 0u);
+}
+
+TEST(MapperTest, NonSelectsIgnored) {
+  RequestLog requests;
+  QueryLog queries;
+  QiUrlMap map;
+  RequestToQueryMapper mapper(&requests, &queries, &map);
+  uint64_t a = requests.Open("s", "/a", "", "", "pageA", 100);
+  queries.Append("INSERT ...", false, 120, 130);
+  requests.Close(a, 200);
+  EXPECT_EQ(mapper.Run(), 0u);
+}
+
+TEST(MapperTest, IncompleteRequestsDeferred) {
+  RequestLog requests;
+  QueryLog queries;
+  QiUrlMap map;
+  RequestToQueryMapper mapper(&requests, &queries, &map);
+
+  uint64_t a = requests.Open("s", "/a", "", "", "pageA", 100);
+  queries.Append("q", true, 120, 130);
+  EXPECT_EQ(mapper.Run(), 0u);  // Still in flight.
+  requests.Close(a, 200);
+  EXPECT_EQ(mapper.Run(), 1u);  // Picked up on the next run.
+  EXPECT_EQ(mapper.Run(), 0u);  // Idempotent.
+  EXPECT_EQ(mapper.requests_processed(), 1u);
+}
+
+}  // namespace
+}  // namespace cacheportal::sniffer

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace cacheportal::sql {
+namespace {
+
+ExpressionPtr ParseExpr(const std::string& expr) {
+  auto result = Parser::ParseSelect("SELECT * FROM t WHERE " + expr);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  return std::move((*result)->where);
+}
+
+// ---------------------------------------------------------------------
+// SubstituteColumns
+// ---------------------------------------------------------------------
+
+TEST(SubstituteTest, ReplacesMatchingColumns) {
+  ExpressionPtr e = ParseExpr("Car.price < 20000 AND Car.model = m.model");
+  ExpressionPtr out = SubstituteColumns(
+      *e, [](const std::string& table,
+             const std::string& column) -> std::optional<Value> {
+        if (table == "Car" && column == "price") return Value::Int(25000);
+        if (table == "Car" && column == "model") {
+          return Value::String("Avalon");
+        }
+        return std::nullopt;
+      });
+  EXPECT_EQ(ExprToSql(*out), "25000 < 20000 AND 'Avalon' = m.model");
+}
+
+TEST(SubstituteTest, LeavesUnmatchedIntact) {
+  ExpressionPtr e = ParseExpr("a = 1");
+  ExpressionPtr out = SubstituteColumns(
+      *e, [](const std::string&, const std::string&) { return std::nullopt; });
+  EXPECT_TRUE(out->Equals(*e));
+}
+
+// ---------------------------------------------------------------------
+// BindParameters
+// ---------------------------------------------------------------------
+
+TEST(BindTest, ReplacesOrdinals) {
+  ExpressionPtr e = ParseExpr("a > $1 AND b < $2");
+  auto bound = BindParameters(*e, {Value::Int(10), Value::Int(20)});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(ExprToSql(**bound), "a > 10 AND b < 20");
+}
+
+TEST(BindTest, OutOfRangeOrdinalFails) {
+  ExpressionPtr e = ParseExpr("a > $3");
+  EXPECT_FALSE(BindParameters(*e, {Value::Int(1)}).ok());
+}
+
+// ---------------------------------------------------------------------
+// FoldConstants
+// ---------------------------------------------------------------------
+
+FoldOutcome Fold(const std::string& expr, std::string* residual = nullptr) {
+  ExpressionPtr e = ParseExpr(expr);
+  FoldResult result = FoldConstants(*e);
+  if (residual != nullptr && result.residual != nullptr) {
+    *residual = ExprToSql(*result.residual);
+  }
+  return result.outcome;
+}
+
+TEST(FoldTest, ConstantTrueFalse) {
+  EXPECT_EQ(Fold("1 < 2"), FoldOutcome::kTrue);
+  EXPECT_EQ(Fold("2 < 1"), FoldOutcome::kFalse);
+  EXPECT_EQ(Fold("NULL = 1"), FoldOutcome::kNull);
+}
+
+TEST(FoldTest, AndOrIdentities) {
+  std::string residual;
+  // TRUE AND x -> x.
+  EXPECT_EQ(Fold("1 = 1 AND a > 5", &residual), FoldOutcome::kResidual);
+  EXPECT_EQ(residual, "a > 5");
+  // FALSE AND x -> FALSE without evaluating x.
+  EXPECT_EQ(Fold("1 = 2 AND a > 5"), FoldOutcome::kFalse);
+  // TRUE OR x -> TRUE.
+  EXPECT_EQ(Fold("1 = 1 OR a > 5"), FoldOutcome::kTrue);
+  // FALSE OR x -> x.
+  residual.clear();
+  EXPECT_EQ(Fold("1 = 2 OR a > 5", &residual), FoldOutcome::kResidual);
+  EXPECT_EQ(residual, "a > 5");
+}
+
+TEST(FoldTest, MixedTypeComparisonFoldsToNull) {
+  // The paper's Example 4.1: inserting (Mitsubishi, Eclipse, 20000) into
+  // Car with condition price < 20000 -> 20000 < 20000 is FALSE; no
+  // invalidation check needed.
+  EXPECT_EQ(Fold("20000 < 20000"), FoldOutcome::kFalse);
+}
+
+TEST(FoldTest, ResidualKeepsJoinCondition) {
+  std::string residual;
+  EXPECT_EQ(Fold("'Avalon' = Mileage.model AND 25000 < 30000", &residual),
+            FoldOutcome::kResidual);
+  EXPECT_EQ(residual, "'Avalon' = Mileage.model");
+}
+
+TEST(FoldTest, NotPushedThroughConstants) {
+  EXPECT_EQ(Fold("NOT (1 = 1)"), FoldOutcome::kFalse);
+  EXPECT_EQ(Fold("NOT (1 = 2)"), FoldOutcome::kTrue);
+  EXPECT_EQ(Fold("NOT (NULL = 1)"), FoldOutcome::kNull);
+}
+
+TEST(FoldTest, ArithmeticFolded) {
+  std::string residual;
+  EXPECT_EQ(Fold("a > 2 * 3 + 1", &residual), FoldOutcome::kResidual);
+  EXPECT_EQ(residual, "a > 7");
+}
+
+TEST(FoldTest, InListAndBetweenFold) {
+  EXPECT_EQ(Fold("2 IN (1, 2)"), FoldOutcome::kTrue);
+  EXPECT_EQ(Fold("5 IN (1, 2)"), FoldOutcome::kFalse);
+  EXPECT_EQ(Fold("2 BETWEEN 1 AND 3"), FoldOutcome::kTrue);
+  EXPECT_EQ(Fold("0 BETWEEN 1 AND 3"), FoldOutcome::kFalse);
+}
+
+TEST(FoldTest, NullAndNullIsNull) {
+  EXPECT_EQ(Fold("NULL = 1 AND NULL = 2"), FoldOutcome::kNull);
+  EXPECT_EQ(Fold("NULL = 1 OR NULL = 2"), FoldOutcome::kNull);
+}
+
+// ---------------------------------------------------------------------
+// Collectors
+// ---------------------------------------------------------------------
+
+TEST(CollectTest, TablesInFirstAppearanceOrder) {
+  ExpressionPtr e =
+      ParseExpr("Car.model = Mileage.model AND Car.price < 100 AND x = 1");
+  std::vector<std::string> tables = CollectTables(*e);
+  ASSERT_EQ(tables.size(), 3u);
+  EXPECT_EQ(tables[0], "Car");
+  EXPECT_EQ(tables[1], "Mileage");
+  EXPECT_EQ(tables[2], "");  // Unqualified.
+}
+
+TEST(CollectTest, ColumnRefsPreOrder) {
+  ExpressionPtr e = ParseExpr("a = 1 AND b IN (c, 2) AND d BETWEEN e AND 9");
+  auto refs = CollectColumnRefs(*e);
+  ASSERT_EQ(refs.size(), 5u);
+  EXPECT_EQ(refs[0]->column(), "a");
+  EXPECT_EQ(refs[4]->column(), "e");
+}
+
+TEST(CollectTest, ContainsParameters) {
+  EXPECT_TRUE(ContainsParameters(*ParseExpr("a > $1")));
+  EXPECT_FALSE(ContainsParameters(*ParseExpr("a > 1")));
+  EXPECT_TRUE(ContainsParameters(*ParseExpr("a IN (1, $2)")));
+}
+
+TEST(CollectTest, SplitConjuncts) {
+  ExpressionPtr e = ParseExpr("a = 1 AND (b = 2 OR c = 3) AND d = 4");
+  auto conjuncts = SplitConjuncts(*e);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(ExprToSql(*conjuncts[1]), "b = 2 OR c = 3");
+}
+
+TEST(CollectTest, SplitConjunctsSingle) {
+  ExpressionPtr e = ParseExpr("a = 1 OR b = 2");
+  EXPECT_EQ(SplitConjuncts(*e).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// QualifyColumns
+// ---------------------------------------------------------------------
+
+TEST(QualifyTest, AddsOwnersToUnqualifiedRefs) {
+  ExpressionPtr e = ParseExpr("price < 100 AND Car.model = model2");
+  ExpressionPtr out = QualifyColumns(
+      *e, [](const std::string& column) -> std::optional<std::string> {
+        if (column == "price") return "Car";
+        return std::nullopt;  // model2 unknown -> untouched.
+      });
+  EXPECT_EQ(ExprToSql(*out), "Car.price < 100 AND Car.model = model2");
+}
+
+}  // namespace
+}  // namespace cacheportal::sql

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace cacheportal::db {
+namespace {
+
+using sql::Value;
+
+TEST(DdlParseTest, CreateTableParsed) {
+  auto result = sql::Parser::Parse(
+      "CREATE TABLE Car (maker TEXT, model TEXT, price INT, rating DOUBLE)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)->kind(), sql::StatementKind::kCreateTable);
+  const auto& create =
+      static_cast<const sql::CreateTableStatement&>(**result);
+  EXPECT_EQ(create.table, "Car");
+  ASSERT_EQ(create.columns.size(), 4u);
+  EXPECT_EQ(create.columns[0].name, "maker");
+  EXPECT_EQ(create.columns[0].type, "TEXT");
+  EXPECT_EQ(create.columns[2].type, "INT");
+  EXPECT_EQ(create.columns[3].type, "DOUBLE");
+}
+
+TEST(DdlParseTest, CreateIndexParsed) {
+  auto result = sql::Parser::Parse("CREATE INDEX ON Car (model)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->kind(), sql::StatementKind::kCreateIndex);
+  const auto& create =
+      static_cast<const sql::CreateIndexStatement&>(**result);
+  EXPECT_EQ(create.table, "Car");
+  EXPECT_EQ(create.column, "model");
+}
+
+TEST(DdlParseTest, TypeNamesCaseInsensitiveAndValidated) {
+  EXPECT_TRUE(sql::Parser::Parse("CREATE TABLE t (a int, b text)").ok());
+  EXPECT_FALSE(sql::Parser::Parse("CREATE TABLE t (a VARCHAR)").ok());
+  EXPECT_FALSE(sql::Parser::Parse("CREATE TABLE t ()").ok());
+  EXPECT_FALSE(sql::Parser::Parse("CREATE VIEW v (a INT)").ok());
+  EXPECT_FALSE(sql::Parser::Parse("CREATE INDEX Car (model)").ok());
+}
+
+TEST(DdlParseTest, PrintAndCloneRoundTrip) {
+  const char* sqls[] = {"CREATE TABLE Car (maker TEXT, price INT)",
+                        "CREATE INDEX ON Car (model)"};
+  for (const char* text : sqls) {
+    auto first = sql::Parser::Parse(text);
+    ASSERT_TRUE(first.ok());
+    std::string canonical = sql::StatementToSql(**first);
+    EXPECT_EQ(canonical, text);
+    auto clone = (*first)->CloneStatement();
+    EXPECT_EQ(sql::StatementToSql(*clone), canonical);
+  }
+}
+
+TEST(DdlExecuteTest, CreateTableThenUse) {
+  Database db;
+  auto created =
+      db.ExecuteSql("CREATE TABLE Pet (name TEXT, age INT, w DOUBLE)");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->rows[0][0], Value::String("Pet"));
+
+  db.ExecuteSql("INSERT INTO Pet VALUES ('rex', 4, 12.5)").value();
+  auto rows = db.ExecuteSql("SELECT name FROM Pet WHERE age > 2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0], Value::String("rex"));
+
+  // Duplicate creation fails.
+  EXPECT_TRUE(db.ExecuteSql("CREATE TABLE Pet (x INT)")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(DdlExecuteTest, CreateIndexThenLookup) {
+  Database db;
+  db.ExecuteSql("CREATE TABLE Pet (name TEXT, age INT)").value();
+  db.ExecuteSql("INSERT INTO Pet VALUES ('rex', 4)").value();
+  auto indexed = db.ExecuteSql("CREATE INDEX ON Pet (name)");
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  EXPECT_TRUE(db.FindTable("Pet")->HasIndex("name"));
+  EXPECT_TRUE(db.ExecuteSql("CREATE INDEX ON Pet (nope)").status()
+                  .IsNotFound());
+  EXPECT_TRUE(db.ExecuteSql("CREATE INDEX ON Nope (x)").status()
+                  .IsNotFound());
+}
+
+TEST(DdlExecuteTest, WholeSchemaAsScript) {
+  Database db;
+  auto script = sql::Parser::ParseScript(
+      "CREATE TABLE Car (maker TEXT, model TEXT, price INT);"
+      "CREATE TABLE Mileage (model TEXT, EPA INT);"
+      "CREATE INDEX ON Mileage (model);"
+      "INSERT INTO Car VALUES ('Honda', 'Civic', 18000);"
+      "INSERT INTO Mileage VALUES ('Civic', 36);");
+  ASSERT_TRUE(script.ok());
+  for (const auto& stmt : *script) {
+    auto result = db.ExecuteSql(sql::StatementToSql(*stmt));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  auto join = db.ExecuteSql(
+      "SELECT Car.model, Mileage.EPA FROM Car, Mileage WHERE Car.model = "
+      "Mileage.model");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->rows.size(), 1u);
+}
+
+TEST(DdlExecuteTest, DdlDoesNotTouchUpdateLog) {
+  Database db;
+  db.ExecuteSql("CREATE TABLE T (x INT)").value();
+  db.ExecuteSql("CREATE INDEX ON T (x)").value();
+  EXPECT_EQ(db.update_log().size(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::db

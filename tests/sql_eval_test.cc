@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace cacheportal::sql {
+namespace {
+
+/// Resolver backed by a simple map from "table.column" / "column".
+class MapResolver : public ColumnResolver {
+ public:
+  explicit MapResolver(std::map<std::string, Value> values)
+      : values_(std::move(values)) {}
+
+  std::optional<Value> Resolve(const std::string& table,
+                               const std::string& column) const override {
+    std::string key = table.empty() ? column : table + "." + column;
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      // Fall back to the bare column name.
+      it = values_.find(column);
+      if (it == values_.end()) return std::nullopt;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+/// Parses the expression by wrapping it in a WHERE clause.
+ExpressionPtr ParseExpr(const std::string& expr) {
+  auto result = Parser::ParseSelect("SELECT * FROM t WHERE " + expr);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  return std::move((*result)->where);
+}
+
+std::optional<bool> EvalBool(const std::string& expr,
+                             std::map<std::string, Value> vars = {}) {
+  ExpressionPtr e = ParseExpr(expr);
+  MapResolver resolver(std::move(vars));
+  auto result = EvalPredicate(*e, resolver);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  return result.ok() ? *result : std::nullopt;
+}
+
+Value Eval(const std::string& expr, std::map<std::string, Value> vars = {}) {
+  ExpressionPtr e = ParseExpr(expr);
+  MapResolver resolver(std::move(vars));
+  auto result = EvalExpr(*e, resolver);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Value::Null();
+}
+
+// ---------------------------------------------------------------------
+// Value semantics
+// ---------------------------------------------------------------------
+
+TEST(ValueTest, CompareNumericWidening) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.5)), -1);
+  EXPECT_EQ(Value::Double(3.0).Compare(Value::Int(2)), 1);
+}
+
+TEST(ValueTest, CompareNullIsUnknown) {
+  EXPECT_FALSE(Value::Null().Compare(Value::Int(1)).has_value());
+  EXPECT_FALSE(Value::Int(1).Compare(Value::Null()).has_value());
+}
+
+TEST(ValueTest, CompareMixedTypesIsUnknown) {
+  EXPECT_FALSE(Value::String("1").Compare(Value::Int(1)).has_value());
+}
+
+TEST(ValueTest, SqlLiteralForms) {
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToSqlLiteral(), "-3");
+  EXPECT_EQ(Value::String("a'b").ToSqlLiteral(), "'a''b'");
+  EXPECT_EQ(Value::Bool(true).ToSqlLiteral(), "TRUE");
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  // Different types with "equal" content should not collide by design.
+  EXPECT_NE(Value::Int(0).Hash(), Value::Null().Hash());
+}
+
+// ---------------------------------------------------------------------
+// LIKE
+// ---------------------------------------------------------------------
+
+TEST(LikeTest, Basics) {
+  EXPECT_TRUE(SqlLikeMatch("hello", "hello"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "h%"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "%o"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "h_loo"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "hello!"));
+  EXPECT_TRUE(SqlLikeMatch("", "%"));
+  EXPECT_FALSE(SqlLikeMatch("", "_"));
+  EXPECT_TRUE(SqlLikeMatch("abc", "%%%"));
+  EXPECT_TRUE(SqlLikeMatch("aXbXc", "a%b%c"));
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(EvalBool("1 < 2"), true);
+  EXPECT_EQ(EvalBool("2 <= 2"), true);
+  EXPECT_EQ(EvalBool("3 > 4"), false);
+  EXPECT_EQ(EvalBool("'a' = 'a'"), true);
+  EXPECT_EQ(EvalBool("'a' <> 'b'"), true);
+}
+
+TEST(EvalTest, NullComparisonsAreUnknown) {
+  EXPECT_EQ(EvalBool("NULL = 1"), std::nullopt);
+  EXPECT_EQ(EvalBool("NULL <> NULL"), std::nullopt);
+}
+
+TEST(EvalTest, KleeneLogic) {
+  EXPECT_EQ(EvalBool("NULL = 1 AND 1 = 2"), false);   // unknown AND false.
+  EXPECT_EQ(EvalBool("NULL = 1 AND 1 = 1"), std::nullopt);
+  EXPECT_EQ(EvalBool("NULL = 1 OR 1 = 1"), true);     // unknown OR true.
+  EXPECT_EQ(EvalBool("NULL = 1 OR 1 = 2"), std::nullopt);
+  EXPECT_EQ(EvalBool("NOT (NULL = 1)"), std::nullopt);
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("1 + 2 * 3"), Value::Int(7));
+  EXPECT_EQ(Eval("10 - 4 - 3"), Value::Int(3));  // Left-assoc.
+  EXPECT_EQ(Eval("7 / 2"), Value::Double(3.5));
+  EXPECT_EQ(Eval("2.5 + 1"), Value::Double(3.5));
+  EXPECT_EQ(Eval("-3 + 1"), Value::Int(-2));
+}
+
+TEST(EvalTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(Eval("1 / 0").is_null());
+}
+
+TEST(EvalTest, ColumnsFromResolver) {
+  EXPECT_EQ(EvalBool("price < 20000", {{"price", Value::Int(15000)}}), true);
+  EXPECT_EQ(EvalBool("t.price < 20000", {{"t.price", Value::Int(25000)}}),
+            false);
+}
+
+TEST(EvalTest, UnresolvedColumnIsError) {
+  ExpressionPtr e = ParseExpr("missing = 1");
+  MapResolver resolver({});
+  EXPECT_FALSE(EvalPredicate(*e, resolver).ok());
+}
+
+TEST(EvalTest, UnboundParameterIsError) {
+  ExpressionPtr e = ParseExpr("a = $1");
+  MapResolver resolver({{"a", Value::Int(1)}});
+  EXPECT_FALSE(EvalPredicate(*e, resolver).ok());
+}
+
+TEST(EvalTest, InList) {
+  EXPECT_EQ(EvalBool("2 IN (1, 2, 3)"), true);
+  EXPECT_EQ(EvalBool("5 IN (1, 2, 3)"), false);
+  EXPECT_EQ(EvalBool("5 NOT IN (1, 2, 3)"), true);
+  // NULL poisoning: 5 IN (1, NULL) is unknown, NOT IN likewise.
+  EXPECT_EQ(EvalBool("5 IN (1, NULL)"), std::nullopt);
+  EXPECT_EQ(EvalBool("5 NOT IN (1, NULL)"), std::nullopt);
+  EXPECT_EQ(EvalBool("1 IN (1, NULL)"), true);  // Found despite NULL.
+}
+
+TEST(EvalTest, Between) {
+  EXPECT_EQ(EvalBool("2 BETWEEN 1 AND 3"), true);
+  EXPECT_EQ(EvalBool("1 BETWEEN 1 AND 3"), true);  // Inclusive.
+  EXPECT_EQ(EvalBool("4 BETWEEN 1 AND 3"), false);
+  EXPECT_EQ(EvalBool("4 NOT BETWEEN 1 AND 3"), true);
+  EXPECT_EQ(EvalBool("NULL BETWEEN 1 AND 3"), std::nullopt);
+}
+
+TEST(EvalTest, IsNull) {
+  EXPECT_EQ(EvalBool("NULL IS NULL"), true);
+  EXPECT_EQ(EvalBool("1 IS NULL"), false);
+  EXPECT_EQ(EvalBool("1 IS NOT NULL"), true);
+}
+
+TEST(EvalTest, LikeOperator) {
+  EXPECT_EQ(EvalBool("'Toyota' LIKE 'Toy%'"), true);
+  EXPECT_EQ(EvalBool("'Toyota' NOT LIKE '%x%'"), true);
+  EXPECT_EQ(EvalBool("NULL LIKE 'a%'"), std::nullopt);
+}
+
+TEST(EvalTest, LikeOnNonStringIsError) {
+  ExpressionPtr e = ParseExpr("1 LIKE 'a'");
+  MapResolver resolver({});
+  EXPECT_FALSE(EvalPredicate(*e, resolver).ok());
+}
+
+TEST(EvalTest, StringInBooleanContextIsError) {
+  ExpressionPtr e = ParseExpr("'x' AND 1 = 1");
+  MapResolver resolver({});
+  EXPECT_FALSE(EvalPredicate(*e, resolver).ok());
+}
+
+}  // namespace
+}  // namespace cacheportal::sql

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "db/database.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace cacheportal::db {
+namespace {
+
+using sql::Value;
+
+class HavingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Sales",
+                                            {{"region", ColumnType::kString},
+                                             {"amount", ColumnType::kInt}}))
+                    .ok());
+    // west: 3 sales totaling 60; east: 2 totaling 110; north: 1 of 5.
+    Exec("INSERT INTO Sales VALUES ('west', 10)");
+    Exec("INSERT INTO Sales VALUES ('west', 20)");
+    Exec("INSERT INTO Sales VALUES ('west', 30)");
+    Exec("INSERT INTO Sales VALUES ('east', 50)");
+    Exec("INSERT INTO Sales VALUES ('east', 60)");
+    Exec("INSERT INTO Sales VALUES ('north', 5)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = db_.ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(HavingTest, ParsesAndPrints) {
+  auto select = sql::Parser::ParseSelect(
+      "select region from Sales group by region having count(*) > 1");
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  ASSERT_NE((*select)->having, nullptr);
+  EXPECT_EQ(sql::StatementToSql(**select),
+            "SELECT region FROM Sales GROUP BY region HAVING COUNT(*) > 1");
+}
+
+TEST_F(HavingTest, HavingWithoutGroupByRejected) {
+  EXPECT_FALSE(
+      sql::Parser::Parse("SELECT region FROM Sales HAVING COUNT(*) > 1")
+          .ok());
+}
+
+TEST_F(HavingTest, FiltersGroupsByCount) {
+  QueryResult r = Exec(
+      "SELECT region, COUNT(*) AS n FROM Sales GROUP BY region "
+      "HAVING COUNT(*) > 1 ORDER BY n DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value::String("west"));
+  EXPECT_EQ(r.rows[1][0], Value::String("east"));
+}
+
+TEST_F(HavingTest, HavingAggregateNotInSelectList) {
+  QueryResult r = Exec(
+      "SELECT region FROM Sales GROUP BY region HAVING SUM(amount) >= 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::String("east"));
+}
+
+TEST_F(HavingTest, HavingCombinesAggregatesAndGroupKeys) {
+  QueryResult r = Exec(
+      "SELECT region, SUM(amount) AS total FROM Sales GROUP BY region "
+      "HAVING SUM(amount) > 10 AND region <> 'east'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::String("west"));
+  EXPECT_EQ(r.rows[0][1], Value::Int(60));
+}
+
+TEST_F(HavingTest, HavingArithmeticOnAggregates) {
+  QueryResult r = Exec(
+      "SELECT region FROM Sales GROUP BY region "
+      "HAVING SUM(amount) / COUNT(*) >= 20");
+  // west avg 20, east avg 55, north avg 5.
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(HavingTest, HavingThatRejectsEverything) {
+  QueryResult r = Exec(
+      "SELECT region FROM Sales GROUP BY region HAVING COUNT(*) > 99");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(HavingTest, RoundTripThroughCanonicalForm) {
+  const char* sql =
+      "SELECT region, COUNT(*) AS n FROM Sales GROUP BY region HAVING "
+      "SUM(amount) > 10 ORDER BY n DESC LIMIT 2";
+  auto first = sql::Parser::ParseSelect(sql);
+  ASSERT_TRUE(first.ok());
+  std::string canonical = sql::StatementToSql(**first);
+  auto second = sql::Parser::ParseSelect(canonical);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(sql::StatementToSql(**second), canonical);
+  // And it still executes identically.
+  QueryResult r = Exec(canonical);
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(HavingTest, CloneCopiesHaving) {
+  auto select = sql::Parser::ParseSelect(
+      "SELECT region FROM Sales GROUP BY region HAVING COUNT(*) > 1");
+  ASSERT_TRUE(select.ok());
+  auto clone = (*select)->Clone();
+  ASSERT_NE(clone->having, nullptr);
+  EXPECT_TRUE(clone->having->Equals(*(*select)->having));
+}
+
+}  // namespace
+}  // namespace cacheportal::db

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace cacheportal::sql {
+namespace {
+
+std::vector<Token> Lex(const std::string& input) {
+  auto result = Lexer::Tokenize(input);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreUppercased) {
+  auto tokens = Lex("select From WHERE");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "FROM");
+  EXPECT_EQ(tokens[2].text, "WHERE");
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  auto tokens = Lex("Car maker_id _x1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Car");
+  EXPECT_EQ(tokens[1].text, "maker_id");
+  EXPECT_EQ(tokens[2].text, "_x1");
+}
+
+TEST(LexerTest, NumberLiterals) {
+  auto tokens = Lex("42 3.14 0");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, IntFollowedByDotWithoutDigitIsNotDouble) {
+  // "1." would need a trailing digit to be a double.
+  auto tokens = Lex("1 . 2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  auto tokens = Lex("'Toyota' 'O''Brien'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "Toyota");
+  EXPECT_EQ(tokens[1].text, "O'Brien");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto result = Lexer::Tokenize("'oops");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError());
+}
+
+TEST(LexerTest, NumberedParameters) {
+  auto tokens = Lex("$1 $23");
+  EXPECT_EQ(tokens[0].type, TokenType::kParameter);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "23");
+}
+
+TEST(LexerTest, NamedParameterLikePaperNotation) {
+  // The paper writes $V1 for query parameters.
+  auto tokens = Lex("$V1");
+  EXPECT_EQ(tokens[0].type, TokenType::kParameter);
+  EXPECT_EQ(tokens[0].text, "V1");
+}
+
+TEST(LexerTest, QuestionMarkParameter) {
+  auto tokens = Lex("?");
+  EXPECT_EQ(tokens[0].type, TokenType::kParameter);
+  EXPECT_EQ(tokens[0].text, "");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= != <> < <= > >= + - * / ( ) , ; .");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,     TokenType::kNotEq, TokenType::kNotEq,
+      TokenType::kLt,     TokenType::kLtEq,  TokenType::kGt,
+      TokenType::kGtEq,   TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kStar,   TokenType::kSlash, TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma, TokenType::kSemicolon,
+      TokenType::kDot,    TokenType::kEof};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  auto tokens = Lex("SELECT x");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto result = Lexer::Tokenize("SELECT @");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LexerTest, BangWithoutEqualsFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, FullQueryFromPaper) {
+  // Query1 from Example 4.1.
+  auto tokens = Lex(
+      "select * from Car, Mileage where Car.mileage = Mileage.mileage and "
+      "Car.price < 20000");
+  EXPECT_GT(tokens.size(), 15u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_TRUE(Lexer::Tokenize("select Mileage.model, Mileage.EPA from "
+                              "Mileage where 'Avalon' = Mileage.model;")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace cacheportal::sql

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace cacheportal::sql {
+namespace {
+
+/// Parses, prints, and returns the canonical text.
+std::string Canon(const std::string& sql) {
+  auto result = Parser::Parse(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  if (!result.ok()) return "";
+  return StatementToSql(**result);
+}
+
+TEST(PrinterTest, SimpleSelect) {
+  EXPECT_EQ(Canon("select * from Car"), "SELECT * FROM Car");
+}
+
+TEST(PrinterTest, WhereConditionsCanonicalized) {
+  EXPECT_EQ(Canon("select * from R where R.A > 10 and R.B != 5"),
+            "SELECT * FROM R WHERE R.A > 10 AND R.B <> 5");
+}
+
+TEST(PrinterTest, StringLiteralQuoted) {
+  EXPECT_EQ(Canon("select * from Car where maker = 'O''Brien'"),
+            "SELECT * FROM Car WHERE maker = 'O''Brien'");
+}
+
+TEST(PrinterTest, OrParenthesizedUnderAnd) {
+  EXPECT_EQ(Canon("select * from R where (a = 1 or b = 2) and c = 3"),
+            "SELECT * FROM R WHERE (a = 1 OR b = 2) AND c = 3");
+}
+
+TEST(PrinterTest, SelectListAliasesAndTables) {
+  EXPECT_EQ(Canon("select maker as m, c.* from Car c"),
+            "SELECT maker AS m, c.* FROM Car c");
+}
+
+TEST(PrinterTest, GroupOrderLimit) {
+  EXPECT_EQ(
+      Canon("select maker, count(*) as n from Car group by maker order by n "
+            "desc limit 3"),
+      "SELECT maker, COUNT(*) AS n FROM Car GROUP BY maker ORDER BY n DESC "
+      "LIMIT 3");
+}
+
+TEST(PrinterTest, InsertDeleteUpdate) {
+  EXPECT_EQ(Canon("insert into Car (maker, price) values ('T', 1)"),
+            "INSERT INTO Car (maker, price) VALUES ('T', 1)");
+  EXPECT_EQ(Canon("delete from Car where price > 100"),
+            "DELETE FROM Car WHERE price > 100");
+  EXPECT_EQ(Canon("update Car set price = price + 1 where maker = 'T'"),
+            "UPDATE Car SET price = price + 1 WHERE maker = 'T'");
+}
+
+TEST(PrinterTest, Parameters) {
+  EXPECT_EQ(Canon("select * from R where R.A > $1"),
+            "SELECT * FROM R WHERE R.A > $1");
+}
+
+TEST(PrinterTest, BetweenInIsNull) {
+  EXPECT_EQ(
+      Canon("select * from R where a between 1 and 2 and b in (1, 2) and c "
+            "is not null"),
+      "SELECT * FROM R WHERE a BETWEEN 1 AND 2 AND b IN (1, 2) AND c IS NOT "
+      "NULL");
+}
+
+TEST(PrinterTest, NotWrapsBinaryOperand) {
+  EXPECT_EQ(Canon("select * from R where not (a = 1)"),
+            "SELECT * FROM R WHERE NOT (a = 1)");
+}
+
+TEST(PrinterTest, JoinNormalizesToCommaList) {
+  EXPECT_EQ(Canon("select * from A join B on A.x = B.x where A.y = 1"),
+            "SELECT * FROM A, B WHERE A.x = B.x AND A.y = 1");
+}
+
+/// The canonical form must be a fixed point: parse(print(parse(s)))
+/// prints identically.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, CanonicalFormIsFixedPoint) {
+  std::string once = Canon(GetParam());
+  ASSERT_FALSE(once.empty());
+  std::string twice = Canon(once);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "select * from Car",
+        "select Car.maker, Car.model, Car.price, Mileage.EPA from Car, "
+        "Mileage where Car.model = Mileage.model and Car.price < 20000",
+        "select Mileage.model, Mileage.EPA from Mileage where 'Avalon' = "
+        "Mileage.model",
+        "select distinct maker from Car where price between 1000 and 2000",
+        "select count(*) from Car group by maker",
+        "select * from R where a in (1, 2, 3) or not (b like 'x%')",
+        "select * from R where -a < 5 and b * 2 + 1 >= 7",
+        "select * from R where R.A > $1 and R.B < $2",
+        "insert into Car values (1, 2.5, 'x')",
+        "update Car set price = 1 where model is null",
+        "delete from Car where maker = 'T' and price > 100",
+        "select m.model from Car c, Mileage m where c.model = m.model "
+        "order by m.model desc limit 10"));
+
+}  // namespace
+}  // namespace cacheportal::sql

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/cache_portal.h"
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+#include "server/load_balancer.h"
+#include "server/web_server.h"
+
+namespace cacheportal::core {
+namespace {
+
+/// Assembles the paper's Configuration III (Figure 4) with the real
+/// library, all tiers present: dynamic web cache -> load balancer ->
+/// web-server farm -> application servers -> one DBMS, with CachePortal's
+/// sniffer attached to every application server.
+class TopologyTest : public ::testing::Test {
+ protected:
+  static constexpr int kFarmSize = 4;
+
+  void SetUp() override {
+    db_ = std::make_unique<db::Database>(&clock_);
+    ASSERT_TRUE(db_->CreateTable(db::TableSchema(
+                                     "Stock", {{"sym", db::ColumnType::kString},
+                                               {"qty", db::ColumnType::kInt}}))
+                    .ok());
+    db_->ExecuteSql("INSERT INTO Stock VALUES ('pen', 100)").value();
+    db_->ExecuteSql("INSERT INTO Stock VALUES ('ink', 5)").value();
+
+    portal_ = std::make_unique<CachePortal>(db_.get(), &clock_);
+
+    auto raw = std::make_unique<server::MemoryDbDriver>();
+    raw->BindDatabase("stock", db_.get());
+    drivers_.RegisterDriver(portal_->WrapDriver(raw.get()));
+    raw_driver_ = std::move(raw);
+    pool_ = std::move(server::ConnectionPool::Create(
+                          "pool",
+                          "jdbc:cacheportal-log:jdbc:cacheportal:stock",
+                          kFarmSize, &drivers_)
+                          .value());
+
+    // A farm of web servers, each fronting its own application server
+    // (all sharing the one DBMS through the pool), as in Figure 4.
+    for (int i = 0; i < kFarmSize; ++i) {
+      auto app = std::make_unique<server::ApplicationServer>(pool_.get());
+      ASSERT_TRUE(
+          app->RegisterServlet(
+                 "/stock",
+                 std::make_unique<server::FunctionServlet>(
+                     [this](const http::HttpRequest& req,
+                            server::ServletContext* ctx) {
+                       std::string sym = req.get_params.count("sym")
+                                             ? req.get_params.at("sym")
+                                             : "pen";
+                       clock_.Advance(100);
+                       auto rows = ctx->connection->ExecuteQuery(
+                           "SELECT qty FROM Stock WHERE sym = '" + sym +
+                           "'");
+                       return http::HttpResponse::Ok(
+                           rows.ok() ? rows->ToString()
+                                     : rows.status().ToString());
+                     }),
+                 server::ServletConfig{})
+              .ok());
+      portal_->AttachTo(app.get());  // Sniffer wraps every app server.
+      auto web = std::make_unique<server::WebServer>(app.get());
+      web->AddStaticPage("/index.html", "<html>welcome</html>");
+      balancer_.AddBackend(web.get());
+      apps_.push_back(std::move(app));
+      webs_.push_back(std::move(web));
+    }
+
+    server::ServletConfig config;
+    config.name = "/stock";
+    config.key_get_params = {"sym"};
+    portal_->RegisterServlet(config);
+    proxy_ = portal_->CreateProxy(&balancer_);
+  }
+
+  http::HttpResponse Get(const std::string& url) {
+    clock_.Advance(50);
+    return proxy_->Handle(*http::HttpRequest::Get(url));
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<CachePortal> portal_;
+  server::DriverManager drivers_;
+  std::unique_ptr<server::Driver> raw_driver_;
+  std::unique_ptr<server::ConnectionPool> pool_;
+  std::vector<std::unique_ptr<server::ApplicationServer>> apps_;
+  std::vector<std::unique_ptr<server::WebServer>> webs_;
+  server::LoadBalancer balancer_;
+  CachingProxy* proxy_ = nullptr;
+};
+
+TEST_F(TopologyTest, MissesSpreadAcrossTheFarm) {
+  // 8 distinct pages (distinct key parameter) = 8 misses, round-robined
+  // over 4 web servers.
+  for (int i = 0; i < 8; ++i) {
+    Get("http://stock/stock?sym=s" + std::to_string(i));
+  }
+  for (int i = 0; i < kFarmSize; ++i) {
+    EXPECT_EQ(balancer_.RequestsTo(static_cast<size_t>(i)), 2u);
+    EXPECT_EQ(webs_[static_cast<size_t>(i)]->dynamic_forwarded(), 2u);
+  }
+}
+
+TEST_F(TopologyTest, HitsNeverReachTheFarm) {
+  Get("http://stock/stock?sym=pen");
+  uint64_t farm_before = 0;
+  for (int i = 0; i < kFarmSize; ++i) {
+    farm_before += balancer_.RequestsTo(static_cast<size_t>(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Get("http://stock/stock?sym=pen").headers.Get("X-Cache"),
+              "HIT");
+  }
+  uint64_t farm_after = 0;
+  for (int i = 0; i < kFarmSize; ++i) {
+    farm_after += balancer_.RequestsTo(static_cast<size_t>(i));
+  }
+  EXPECT_EQ(farm_after, farm_before);
+}
+
+TEST_F(TopologyTest, StaticPagesServedByWebServerNotAppServer) {
+  http::HttpResponse resp = Get("http://stock/index.html");
+  EXPECT_EQ(resp.body, "<html>welcome</html>");
+  uint64_t app_total = 0;
+  for (const auto& app : apps_) app_total += app->requests_served();
+  EXPECT_EQ(app_total, 0u);
+}
+
+TEST_F(TopologyTest, InvalidationWorksThroughTheWholeStack) {
+  // Pages generated by different app servers in the farm still land in
+  // the one QI/URL map (every app server shares the sniffer).
+  Get("http://stock/stock?sym=pen");
+  Get("http://stock/stock?sym=ink");
+  portal_->RunCycle().value();
+  EXPECT_EQ(portal_->qiurl_map().NumPages(), 2u);
+
+  db_->ExecuteSql("UPDATE Stock SET qty = 4 WHERE sym = 'ink'").value();
+  auto report = portal_->RunCycle().value();
+  EXPECT_EQ(report.pages_invalidated, 1u);
+
+  http::HttpResponse ink = Get("http://stock/stock?sym=ink");
+  EXPECT_EQ(ink.headers.Get("X-Cache"), "MISS");
+  EXPECT_NE(ink.body.find("4"), std::string::npos);
+  EXPECT_EQ(Get("http://stock/stock?sym=pen").headers.Get("X-Cache"),
+            "HIT");
+}
+
+TEST_F(TopologyTest, QueriesFromAllAppServersAreLogged) {
+  for (int i = 0; i < 6; ++i) {
+    Get("http://stock/stock?sym=s" + std::to_string(i));
+  }
+  // 6 misses -> 6 servlet executions -> 6 logged queries, regardless of
+  // which pooled connection / app server served them.
+  EXPECT_EQ(portal_->query_log().size(), 6u);
+  EXPECT_EQ(portal_->request_log().size(), 6u);
+}
+
+}  // namespace
+}  // namespace cacheportal::core

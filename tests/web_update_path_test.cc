@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "core/cache_portal.h"
+#include "db/database.h"
+#include "server/app_server.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::core {
+namespace {
+
+/// The paper's Figure 5 shows updates arriving "through web or backend
+/// processes". This suite exercises the WEB path: a POST servlet performs
+/// DML through the same (query-logged) connection pool, the DML lands in
+/// the database update log, and the next cycle invalidates exactly the
+/// affected pages — no special casing anywhere.
+class WebUpdatePathTest : public ::testing::Test {
+ protected:
+  WebUpdatePathTest() : db_(&clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(db::TableSchema(
+                                    "Cart", {{"user_id", db::ColumnType::kInt},
+                                             {"item", db::ColumnType::kString}}))
+                    .ok());
+    portal_ = std::make_unique<CachePortal>(&db_, &clock_);
+    auto raw = std::make_unique<server::MemoryDbDriver>();
+    raw->BindDatabase("shop", &db_);
+    drivers_.RegisterDriver(portal_->WrapDriver(raw.get()));
+    raw_ = std::move(raw);
+    pool_ = std::move(server::ConnectionPool::Create(
+                          "p", "jdbc:cacheportal-log:jdbc:cacheportal:shop",
+                          1, &drivers_)
+                          .value());
+    app_ = std::make_unique<server::ApplicationServer>(pool_.get());
+
+    // Read servlet: a user's cart page.
+    ASSERT_TRUE(app_->RegisterServlet(
+                        "/cart",
+                        std::make_unique<server::FunctionServlet>(
+                            [this](const http::HttpRequest& req,
+                                   server::ServletContext* ctx) {
+                              clock_.Advance(100);
+                              auto rows = ctx->connection->ExecuteQuery(
+                                  "SELECT item FROM Cart WHERE user_id = " +
+                                  req.get_params.at("uid"));
+                              return http::HttpResponse::Ok(rows->ToString());
+                            }),
+                        server::ServletConfig{})
+                    .ok());
+    // Write servlet: add an item (the web update path).
+    ASSERT_TRUE(app_->RegisterServlet(
+                        "/add",
+                        std::make_unique<server::FunctionServlet>(
+                            [this](const http::HttpRequest& req,
+                                   server::ServletContext* ctx) {
+                              clock_.Advance(100);
+                              auto n = ctx->connection->ExecuteUpdate(
+                                  "INSERT INTO Cart VALUES (" +
+                                  req.post_params.at("uid") + ", '" +
+                                  req.post_params.at("item") + "')");
+                              http::HttpResponse resp =
+                                  http::HttpResponse::Ok(
+                                      n.ok() ? "added" : "failed");
+                              // Mutating pages must never be cached.
+                              http::CacheControl cc;
+                              cc.no_store = true;
+                              resp.SetCacheControl(cc);
+                              return resp;
+                            }),
+                        server::ServletConfig{})
+                    .ok());
+    portal_->AttachTo(app_.get());
+    server::ServletConfig cart;
+    cart.name = "/cart";
+    cart.key_get_params = {"uid"};
+    portal_->RegisterServlet(cart);
+    proxy_ = portal_->CreateProxy(app_.get());
+  }
+
+  http::HttpResponse GetCart(int uid) {
+    clock_.Advance(50);
+    return proxy_->Handle(*http::HttpRequest::Get(
+        "http://shop/cart?uid=" + std::to_string(uid)));
+  }
+
+  http::HttpResponse PostAdd(int uid, const std::string& item) {
+    clock_.Advance(50);
+    return proxy_->Handle(*http::HttpRequest::Post(
+        "http://shop/add",
+        {{"uid", std::to_string(uid)}, {"item", item}}));
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+  std::unique_ptr<CachePortal> portal_;
+  server::DriverManager drivers_;
+  std::unique_ptr<server::Driver> raw_;
+  std::unique_ptr<server::ConnectionPool> pool_;
+  std::unique_ptr<server::ApplicationServer> app_;
+  CachingProxy* proxy_ = nullptr;
+};
+
+TEST_F(WebUpdatePathTest, PostServletIsNeverCached) {
+  EXPECT_EQ(PostAdd(1, "pen").body, "added");
+  EXPECT_EQ(PostAdd(1, "ink").body, "added");
+  // Both POSTs reached the servlet (identical parameters would have hit
+  // the cache if the no-store marking were ignored).
+  EXPECT_EQ(PostAdd(1, "pen").body, "added");
+  EXPECT_EQ(app_->requests_served(), 3u);
+}
+
+TEST_F(WebUpdatePathTest, WebUpdateInvalidatesAffectedCartOnly) {
+  PostAdd(1, "pen");
+  PostAdd(2, "book");
+  // Consume the POSTs' updates before caching: updates already in the
+  // unconsumed log invalidate pages cached after them (the invalidator
+  // cannot order page creation against log entries — over-invalidation,
+  // never staleness).
+  portal_->RunCycle().value();
+  GetCart(1);  // Cached.
+  GetCart(2);  // Cached.
+  portal_->RunCycle().value();
+  EXPECT_EQ(portal_->page_cache()->size(), 2u);
+
+  // User 1 adds an item THROUGH THE WEB.
+  PostAdd(1, "ink");
+  auto report = portal_->RunCycle().value();
+  EXPECT_EQ(report.pages_invalidated, 1u);
+
+  http::HttpResponse cart1 = GetCart(1);
+  EXPECT_EQ(cart1.headers.Get("X-Cache"), "MISS");
+  EXPECT_NE(cart1.body.find("ink"), std::string::npos);
+  EXPECT_EQ(GetCart(2).headers.Get("X-Cache"), "HIT");
+}
+
+TEST_F(WebUpdatePathTest, DmlIsLoggedAsNonSelect) {
+  PostAdd(1, "pen");
+  portal_->RunCycle().value();  // Consume the INSERT.
+  GetCart(1);
+  ASSERT_EQ(portal_->query_log().size(), 2u);
+  EXPECT_FALSE(portal_->query_log().entries()[0].is_select);
+  EXPECT_TRUE(portal_->query_log().entries()[1].is_select);
+  // The mapper must not associate the INSERT with any page.
+  portal_->RunCycle().value();
+  EXPECT_EQ(portal_->qiurl_map().NumQueries(), 1u);
+}
+
+}  // namespace
+}  // namespace cacheportal::core
