@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_configs_real.dir/bench_configs_real.cc.o"
+  "CMakeFiles/bench_configs_real.dir/bench_configs_real.cc.o.d"
+  "bench_configs_real"
+  "bench_configs_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_configs_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

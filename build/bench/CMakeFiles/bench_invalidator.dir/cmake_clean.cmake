@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invalidator.dir/bench_invalidator.cc.o"
+  "CMakeFiles/bench_invalidator.dir/bench_invalidator.cc.o.d"
+  "bench_invalidator"
+  "bench_invalidator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invalidator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sniffer.dir/bench_sniffer.cc.o"
+  "CMakeFiles/bench_sniffer.dir/bench_sniffer.cc.o.d"
+  "bench_sniffer"
+  "bench_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

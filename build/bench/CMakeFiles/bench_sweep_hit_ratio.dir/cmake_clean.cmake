@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_hit_ratio.dir/bench_sweep_hit_ratio.cc.o"
+  "CMakeFiles/bench_sweep_hit_ratio.dir/bench_sweep_hit_ratio.cc.o.d"
+  "bench_sweep_hit_ratio"
+  "bench_sweep_hit_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_hit_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_invalidation.dir/bench_sweep_invalidation.cc.o"
+  "CMakeFiles/bench_sweep_invalidation.dir/bench_sweep_invalidation.cc.o.d"
+  "bench_sweep_invalidation"
+  "bench_sweep_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_updates.dir/bench_sweep_updates.cc.o"
+  "CMakeFiles/bench_sweep_updates.dir/bench_sweep_updates.cc.o.d"
+  "bench_sweep_updates"
+  "bench_sweep_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_comparison.dir/config_comparison.cpp.o"
+  "CMakeFiles/config_comparison.dir/config_comparison.cpp.o.d"
+  "config_comparison"
+  "config_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

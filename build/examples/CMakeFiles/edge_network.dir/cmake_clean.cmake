@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_network.dir/edge_network.cpp.o"
+  "CMakeFiles/edge_network.dir/edge_network.cpp.o.d"
+  "edge_network"
+  "edge_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/data_cache.cc" "src/CMakeFiles/cacheportal.dir/cache/data_cache.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/cache/data_cache.cc.o.d"
+  "/root/repo/src/cache/data_cache_connection.cc" "src/CMakeFiles/cacheportal.dir/cache/data_cache_connection.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/cache/data_cache_connection.cc.o.d"
+  "/root/repo/src/cache/page_cache.cc" "src/CMakeFiles/cacheportal.dir/cache/page_cache.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/cache/page_cache.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/cacheportal.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cacheportal.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cacheportal.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/cacheportal.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/cache_portal.cc" "src/CMakeFiles/cacheportal.dir/core/cache_portal.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/cache_portal.cc.o.d"
+  "/root/repo/src/core/caching_proxy.cc" "src/CMakeFiles/cacheportal.dir/core/caching_proxy.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/caching_proxy.cc.o.d"
+  "/root/repo/src/core/remote_cache.cc" "src/CMakeFiles/cacheportal.dir/core/remote_cache.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/remote_cache.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/cacheportal.dir/db/database.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/database.cc.o.d"
+  "/root/repo/src/db/delta.cc" "src/CMakeFiles/cacheportal.dir/db/delta.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/delta.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/CMakeFiles/cacheportal.dir/db/executor.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/executor.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/CMakeFiles/cacheportal.dir/db/schema.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/schema.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/cacheportal.dir/db/table.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/table.cc.o.d"
+  "/root/repo/src/db/update_log.cc" "src/CMakeFiles/cacheportal.dir/db/update_log.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/update_log.cc.o.d"
+  "/root/repo/src/http/cache_control.cc" "src/CMakeFiles/cacheportal.dir/http/cache_control.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/http/cache_control.cc.o.d"
+  "/root/repo/src/http/headers.cc" "src/CMakeFiles/cacheportal.dir/http/headers.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/http/headers.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/CMakeFiles/cacheportal.dir/http/message.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/http/message.cc.o.d"
+  "/root/repo/src/http/url.cc" "src/CMakeFiles/cacheportal.dir/http/url.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/http/url.cc.o.d"
+  "/root/repo/src/invalidator/baseline.cc" "src/CMakeFiles/cacheportal.dir/invalidator/baseline.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/baseline.cc.o.d"
+  "/root/repo/src/invalidator/impact.cc" "src/CMakeFiles/cacheportal.dir/invalidator/impact.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/impact.cc.o.d"
+  "/root/repo/src/invalidator/info_manager.cc" "src/CMakeFiles/cacheportal.dir/invalidator/info_manager.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/info_manager.cc.o.d"
+  "/root/repo/src/invalidator/invalidator.cc" "src/CMakeFiles/cacheportal.dir/invalidator/invalidator.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/invalidator.cc.o.d"
+  "/root/repo/src/invalidator/policy.cc" "src/CMakeFiles/cacheportal.dir/invalidator/policy.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/policy.cc.o.d"
+  "/root/repo/src/invalidator/polling_cache.cc" "src/CMakeFiles/cacheportal.dir/invalidator/polling_cache.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/polling_cache.cc.o.d"
+  "/root/repo/src/invalidator/registry.cc" "src/CMakeFiles/cacheportal.dir/invalidator/registry.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/registry.cc.o.d"
+  "/root/repo/src/invalidator/scheduler.cc" "src/CMakeFiles/cacheportal.dir/invalidator/scheduler.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/invalidator/scheduler.cc.o.d"
+  "/root/repo/src/net/http_server.cc" "src/CMakeFiles/cacheportal.dir/net/http_server.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/net/http_server.cc.o.d"
+  "/root/repo/src/server/app_server.cc" "src/CMakeFiles/cacheportal.dir/server/app_server.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/server/app_server.cc.o.d"
+  "/root/repo/src/server/jdbc.cc" "src/CMakeFiles/cacheportal.dir/server/jdbc.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/server/jdbc.cc.o.d"
+  "/root/repo/src/server/load_balancer.cc" "src/CMakeFiles/cacheportal.dir/server/load_balancer.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/server/load_balancer.cc.o.d"
+  "/root/repo/src/server/web_server.cc" "src/CMakeFiles/cacheportal.dir/server/web_server.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/server/web_server.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/cacheportal.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/site.cc" "src/CMakeFiles/cacheportal.dir/sim/site.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sim/site.cc.o.d"
+  "/root/repo/src/sim/station.cc" "src/CMakeFiles/cacheportal.dir/sim/station.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sim/station.cc.o.d"
+  "/root/repo/src/sniffer/log_io.cc" "src/CMakeFiles/cacheportal.dir/sniffer/log_io.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/log_io.cc.o.d"
+  "/root/repo/src/sniffer/mapper.cc" "src/CMakeFiles/cacheportal.dir/sniffer/mapper.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/mapper.cc.o.d"
+  "/root/repo/src/sniffer/qiurl_map.cc" "src/CMakeFiles/cacheportal.dir/sniffer/qiurl_map.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/qiurl_map.cc.o.d"
+  "/root/repo/src/sniffer/query_log.cc" "src/CMakeFiles/cacheportal.dir/sniffer/query_log.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/query_log.cc.o.d"
+  "/root/repo/src/sniffer/query_logger.cc" "src/CMakeFiles/cacheportal.dir/sniffer/query_logger.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/query_logger.cc.o.d"
+  "/root/repo/src/sniffer/request_log.cc" "src/CMakeFiles/cacheportal.dir/sniffer/request_log.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/request_log.cc.o.d"
+  "/root/repo/src/sniffer/request_logger.cc" "src/CMakeFiles/cacheportal.dir/sniffer/request_logger.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sniffer/request_logger.cc.o.d"
+  "/root/repo/src/sql/analyzer.cc" "src/CMakeFiles/cacheportal.dir/sql/analyzer.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/analyzer.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/cacheportal.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/eval.cc" "src/CMakeFiles/cacheportal.dir/sql/eval.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/eval.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/cacheportal.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/cacheportal.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/CMakeFiles/cacheportal.dir/sql/printer.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/printer.cc.o.d"
+  "/root/repo/src/sql/template.cc" "src/CMakeFiles/cacheportal.dir/sql/template.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/template.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/CMakeFiles/cacheportal.dir/sql/value.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/sql/value.cc.o.d"
+  "/root/repo/src/workload/paper_site.cc" "src/CMakeFiles/cacheportal.dir/workload/paper_site.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/workload/paper_site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

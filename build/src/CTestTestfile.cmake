@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sql")
+subdirs("db")
+subdirs("http")
+subdirs("net")
+subdirs("cache")
+subdirs("server")
+subdirs("sniffer")
+subdirs("invalidator")
+subdirs("core")
+subdirs("sim")
+subdirs("workload")

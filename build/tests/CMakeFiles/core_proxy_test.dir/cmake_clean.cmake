@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_proxy_test.dir/core_proxy_test.cc.o"
+  "CMakeFiles/core_proxy_test.dir/core_proxy_test.cc.o.d"
+  "core_proxy_test"
+  "core_proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_update_log_test.dir/db_update_log_test.cc.o"
+  "CMakeFiles/db_update_log_test.dir/db_update_log_test.cc.o.d"
+  "db_update_log_test"
+  "db_update_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_update_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidator_differential_test.dir/invalidator_differential_test.cc.o"
+  "CMakeFiles/invalidator_differential_test.dir/invalidator_differential_test.cc.o.d"
+  "invalidator_differential_test"
+  "invalidator_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidator_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidator_impact_test.dir/invalidator_impact_test.cc.o"
+  "CMakeFiles/invalidator_impact_test.dir/invalidator_impact_test.cc.o.d"
+  "invalidator_impact_test"
+  "invalidator_impact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidator_impact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidator_polling_cache_test.dir/invalidator_polling_cache_test.cc.o"
+  "CMakeFiles/invalidator_polling_cache_test.dir/invalidator_polling_cache_test.cc.o.d"
+  "invalidator_polling_cache_test"
+  "invalidator_polling_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidator_polling_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

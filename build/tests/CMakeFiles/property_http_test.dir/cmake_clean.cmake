@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_http_test.dir/property_http_test.cc.o"
+  "CMakeFiles/property_http_test.dir/property_http_test.cc.o.d"
+  "property_http_test"
+  "property_http_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_invalidation_test.dir/property_invalidation_test.cc.o"
+  "CMakeFiles/property_invalidation_test.dir/property_invalidation_test.cc.o.d"
+  "property_invalidation_test"
+  "property_invalidation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_invalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

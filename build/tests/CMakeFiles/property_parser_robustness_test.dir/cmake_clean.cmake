@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_parser_robustness_test.dir/property_parser_robustness_test.cc.o"
+  "CMakeFiles/property_parser_robustness_test.dir/property_parser_robustness_test.cc.o.d"
+  "property_parser_robustness_test"
+  "property_parser_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_parser_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

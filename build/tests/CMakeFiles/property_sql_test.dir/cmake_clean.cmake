@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sql_test.dir/property_sql_test.cc.o"
+  "CMakeFiles/property_sql_test.dir/property_sql_test.cc.o.d"
+  "property_sql_test"
+  "property_sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

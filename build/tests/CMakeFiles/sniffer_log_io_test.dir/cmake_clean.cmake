@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sniffer_log_io_test.dir/sniffer_log_io_test.cc.o"
+  "CMakeFiles/sniffer_log_io_test.dir/sniffer_log_io_test.cc.o.d"
+  "sniffer_log_io_test"
+  "sniffer_log_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sniffer_log_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sniffer_test.dir/sniffer_test.cc.o"
+  "CMakeFiles/sniffer_test.dir/sniffer_test.cc.o.d"
+  "sniffer_test"
+  "sniffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sniffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_eval_test.dir/sql_eval_test.cc.o"
+  "CMakeFiles/sql_eval_test.dir/sql_eval_test.cc.o.d"
+  "sql_eval_test"
+  "sql_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_having_test.dir/sql_having_test.cc.o"
+  "CMakeFiles/sql_having_test.dir/sql_having_test.cc.o.d"
+  "sql_having_test"
+  "sql_having_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_having_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_template_test.dir/sql_template_test.cc.o"
+  "CMakeFiles/sql_template_test.dir/sql_template_test.cc.o.d"
+  "sql_template_test"
+  "sql_template_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

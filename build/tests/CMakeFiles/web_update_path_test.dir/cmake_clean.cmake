@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_update_path_test.dir/web_update_path_test.cc.o"
+  "CMakeFiles/web_update_path_test.dir/web_update_path_test.cc.o.d"
+  "web_update_path_test"
+  "web_update_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_update_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
