@@ -1,0 +1,118 @@
+// Microbenchmarks of the reliable delivery layer: queue overhead on the
+// healthy path (which every invalidation pays), retry grinding under
+// injected drop rates, and checkpoint/restore round trips — the costs of
+// at-least-once delivery that must stay negligible next to invalidation
+// analysis itself.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "core/reliable_delivery.h"
+#include "http/message.h"
+#include "invalidator/fault_sink.h"
+#include "invalidator/invalidator.h"
+
+namespace {
+
+using namespace cacheportal;
+
+class NullSink : public invalidator::InvalidationSink {
+ public:
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string&) override {
+    return Status::OK();
+  }
+};
+
+http::HttpRequest EjectMessage(int i) {
+  http::HttpRequest message =
+      *http::HttpRequest::Get("http://shop/p?i=" + std::to_string(i));
+  message.headers.Set("Cache-Control", "eject");
+  return message;
+}
+
+// The healthy fast path: a queue in front of an always-up sink. This is
+// the per-message tax of reliability when nothing goes wrong.
+void BM_DeliveryHealthyPath(benchmark::State& state) {
+  ManualClock clock;
+  NullSink sink;
+  core::ReliableDeliveryQueue queue(&clock, {});
+  queue.AddSink(&sink, "edge");
+  http::HttpRequest message = EjectMessage(0);
+  for (auto _ : state) {
+    queue.SendInvalidation(message, "shop/p?i=0##");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeliveryHealthyPath);
+
+// Retry grinding: deliver a batch through a sink dropping arg0% of
+// messages, then drain the backlog on a manual clock. items/s counts
+// messages fully delivered, so the slowdown versus 0% IS the retry cost.
+void BM_DeliveryUnderDrops(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  constexpr int kBatch = 64;
+  ManualClock clock;
+  NullSink sink;
+  FaultConfig config;
+  config.drop_probability = drop;
+  FaultInjector faults(7, config);
+  invalidator::FaultInjectingSink flaky(&sink, &faults);
+  core::DeliveryOptions options;
+  options.initial_backoff = kMicrosPerMilli;
+  options.max_attempts = 64;
+  // Attempt-bounded: the wall-clock deadline would dead-letter messages
+  // aging behind a grinding head and quarantine the sink mid-benchmark.
+  options.delivery_deadline = 0;
+  core::ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&flaky, "edge");
+  http::HttpRequest message = EjectMessage(0);
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      queue.SendInvalidation(message, "shop/p?i=0##");
+    }
+    size_t drained = queue.DrainWith(&clock);
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["retries"] = static_cast<double>(queue.stats().retries);
+}
+BENCHMARK(BM_DeliveryUnderDrops)->Arg(0)->Arg(30)->Arg(60);
+
+// Checkpointing a backlog of arg0 pending messages and restoring it into
+// a fresh queue — the crash-recovery round trip.
+void BM_DeliveryCheckpointRestore(benchmark::State& state) {
+  const int backlog = static_cast<int>(state.range(0));
+  ManualClock clock;
+  class DownSink : public invalidator::InvalidationSink {
+   public:
+    Status SendInvalidation(const http::HttpRequest&,
+                            const std::string&) override {
+      return Status::Internal("down");
+    }
+  } down;
+  core::DeliveryOptions options;
+  options.max_attempts = 1 << 20;
+  core::ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&down, "edge");
+  for (int i = 0; i < backlog; ++i) {
+    queue.SendInvalidation(EjectMessage(i), "k" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    std::string checkpoint = queue.CheckpointState();
+    core::ReliableDeliveryQueue restored(&clock, options);
+    NullSink sink;
+    restored.AddSink(&sink, "edge");
+    Status status = restored.RestoreState(checkpoint);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * backlog);
+}
+BENCHMARK(BM_DeliveryCheckpointRestore)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

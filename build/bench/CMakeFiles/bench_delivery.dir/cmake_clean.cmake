@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delivery.dir/bench_delivery.cc.o"
+  "CMakeFiles/bench_delivery.dir/bench_delivery.cc.o.d"
+  "bench_delivery"
+  "bench_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,11 +12,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cache/data_cache_connection.cc" "src/CMakeFiles/cacheportal.dir/cache/data_cache_connection.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/cache/data_cache_connection.cc.o.d"
   "/root/repo/src/cache/page_cache.cc" "src/CMakeFiles/cacheportal.dir/cache/page_cache.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/cache/page_cache.cc.o.d"
   "/root/repo/src/common/clock.cc" "src/CMakeFiles/cacheportal.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/fault_injector.cc" "src/CMakeFiles/cacheportal.dir/common/fault_injector.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/fault_injector.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/cacheportal.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/logging.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/cacheportal.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/status.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/CMakeFiles/cacheportal.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/common/strings.cc.o.d"
   "/root/repo/src/core/cache_portal.cc" "src/CMakeFiles/cacheportal.dir/core/cache_portal.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/cache_portal.cc.o.d"
   "/root/repo/src/core/caching_proxy.cc" "src/CMakeFiles/cacheportal.dir/core/caching_proxy.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/caching_proxy.cc.o.d"
+  "/root/repo/src/core/reliable_delivery.cc" "src/CMakeFiles/cacheportal.dir/core/reliable_delivery.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/reliable_delivery.cc.o.d"
   "/root/repo/src/core/remote_cache.cc" "src/CMakeFiles/cacheportal.dir/core/remote_cache.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/core/remote_cache.cc.o.d"
   "/root/repo/src/db/database.cc" "src/CMakeFiles/cacheportal.dir/db/database.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/database.cc.o.d"
   "/root/repo/src/db/delta.cc" "src/CMakeFiles/cacheportal.dir/db/delta.cc.o" "gcc" "src/CMakeFiles/cacheportal.dir/db/delta.cc.o.d"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidator_checkpoint_test.dir/invalidator_checkpoint_test.cc.o"
+  "CMakeFiles/invalidator_checkpoint_test.dir/invalidator_checkpoint_test.cc.o.d"
+  "invalidator_checkpoint_test"
+  "invalidator_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidator_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -292,20 +292,31 @@ tests/CMakeFiles/net_http_server_test.dir/net_http_server_test.cc.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/clock.h /root/repo/src/core/remote_cache.h \
- /root/repo/src/cache/page_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/http/message.h /root/repo/src/common/status.h \
- /root/repo/src/http/cache_control.h /root/repo/src/http/headers.h \
- /root/repo/src/http/url.h /root/repo/src/core/caching_proxy.h \
- /root/repo/src/server/handler.h /root/repo/src/server/servlet.h \
- /root/repo/src/server/jdbc.h /root/repo/src/db/database.h \
- /root/repo/src/db/table.h /root/repo/src/db/schema.h \
- /root/repo/src/sql/value.h /root/repo/src/db/update_log.h \
- /root/repo/src/sql/ast.h /root/repo/src/invalidator/invalidator.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h /usr/include/arpa/inet.h \
+ /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
+ /usr/include/x86_64-linux-gnu/bits/socket.h \
+ /usr/include/x86_64-linux-gnu/bits/socket_type.h \
+ /usr/include/x86_64-linux-gnu/bits/sockaddr.h \
+ /usr/include/x86_64-linux-gnu/asm/socket.h \
+ /usr/include/asm-generic/socket.h \
+ /usr/include/x86_64-linux-gnu/asm/sockios.h \
+ /usr/include/asm-generic/sockios.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
+ /usr/include/x86_64-linux-gnu/bits/in.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/clock.h \
+ /root/repo/src/core/remote_cache.h /root/repo/src/cache/page_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/http/message.h \
+ /root/repo/src/common/status.h /root/repo/src/http/cache_control.h \
+ /root/repo/src/http/headers.h /root/repo/src/http/url.h \
+ /root/repo/src/core/caching_proxy.h /root/repo/src/server/handler.h \
+ /root/repo/src/server/servlet.h /root/repo/src/server/jdbc.h \
+ /root/repo/src/db/database.h /root/repo/src/db/table.h \
+ /root/repo/src/db/schema.h /root/repo/src/sql/value.h \
+ /root/repo/src/db/update_log.h /root/repo/src/sql/ast.h \
+ /root/repo/src/invalidator/invalidator.h \
  /root/repo/src/invalidator/impact.h \
  /root/repo/src/invalidator/info_manager.h /root/repo/src/db/delta.h \
  /root/repo/src/invalidator/policy.h \
@@ -319,4 +330,27 @@ tests/CMakeFiles/net_http_server_test.dir/net_http_server_test.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/fault_injector.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

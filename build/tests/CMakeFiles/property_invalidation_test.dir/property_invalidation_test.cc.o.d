@@ -294,7 +294,12 @@ tests/CMakeFiles/property_invalidation_test.dir/property_invalidation_test.cc.o:
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/clock.h /root/repo/src/common/random.h \
+ /root/repo/src/cache/page_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/common/clock.h /root/repo/src/http/message.h \
+ /root/repo/src/common/status.h /root/repo/src/http/cache_control.h \
+ /root/repo/src/http/headers.h /root/repo/src/http/url.h \
+ /root/repo/src/common/fault_injector.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -317,19 +322,21 @@ tests/CMakeFiles/property_invalidation_test.dir/property_invalidation_test.cc.o:
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/strings.h \
- /root/repo/src/db/database.h /root/repo/src/common/status.h \
+ /root/repo/src/core/page_cache_sink.h \
+ /root/repo/src/invalidator/invalidator.h /root/repo/src/db/database.h \
  /root/repo/src/db/table.h /root/repo/src/db/schema.h \
  /root/repo/src/sql/value.h /root/repo/src/db/update_log.h \
- /root/repo/src/sql/ast.h /root/repo/src/invalidator/invalidator.h \
- /root/repo/src/http/message.h /root/repo/src/http/cache_control.h \
- /root/repo/src/http/headers.h /root/repo/src/http/url.h \
- /root/repo/src/invalidator/impact.h \
+ /root/repo/src/sql/ast.h /root/repo/src/invalidator/impact.h \
  /root/repo/src/invalidator/info_manager.h /root/repo/src/db/delta.h \
  /root/repo/src/invalidator/policy.h \
  /root/repo/src/invalidator/registry.h /root/repo/src/sql/template.h \
  /root/repo/src/invalidator/polling_cache.h \
- /root/repo/src/cache/data_cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/server/jdbc.h /root/repo/src/invalidator/scheduler.h \
- /root/repo/src/sniffer/qiurl_map.h /root/repo/src/sql/parser.h \
+ /root/repo/src/cache/data_cache.h /root/repo/src/server/jdbc.h \
+ /root/repo/src/invalidator/scheduler.h \
+ /root/repo/src/sniffer/qiurl_map.h \
+ /root/repo/src/core/reliable_delivery.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/core/remote_cache.h /root/repo/src/core/caching_proxy.h \
+ /root/repo/src/server/handler.h /root/repo/src/server/servlet.h \
+ /root/repo/src/invalidator/fault_sink.h /root/repo/src/sql/parser.h \
  /root/repo/src/sql/token.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_delivery_test.dir/reliable_delivery_test.cc.o"
+  "CMakeFiles/reliable_delivery_test.dir/reliable_delivery_test.cc.o.d"
+  "reliable_delivery_test"
+  "reliable_delivery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+
+namespace cacheportal {
+
+std::string FaultInjector::Malform(std::string bytes) {
+  if (bytes.empty()) return "\x01";
+  switch (rng_.Uniform(3)) {
+    case 0:  // Truncate somewhere inside the payload.
+      bytes.resize(rng_.Uniform(bytes.size()));
+      if (bytes.empty()) bytes = "\x01";
+      break;
+    case 1: {  // Flip bytes in the framing (status/request line).
+      size_t window = std::min<size_t>(bytes.size(), 32);
+      size_t flips = 1 + rng_.Uniform(4);
+      for (size_t i = 0; i < flips; ++i) {
+        size_t pos = rng_.Uniform(window);
+        bytes[pos] = static_cast<char>(bytes[pos] ^ 0x5a);
+      }
+      break;
+    }
+    default:  // Destroy the framing: no status line, no CRLFCRLF.
+      bytes = "\x7f garbled " + bytes.substr(bytes.size() / 2);
+      for (char& c : bytes) {
+        if (c == '\r' || c == '\n') c = ' ';
+      }
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace cacheportal

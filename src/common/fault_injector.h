@@ -1,0 +1,115 @@
+#ifndef CACHEPORTAL_COMMON_FAULT_INJECTOR_H_
+#define CACHEPORTAL_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace cacheportal {
+
+/// Probabilities and magnitudes of the faults an injector produces. All
+/// probabilities are independent per decision point; a config of all
+/// zeros injects nothing.
+struct FaultConfig {
+  /// The message or response vanishes entirely (lost datagram, closed
+  /// connection): the operation fails and nothing reaches the peer.
+  double drop_probability = 0.0;
+  /// The operation fails visibly (connection reset, 5xx) without any
+  /// side effect — retrying may succeed.
+  double transient_error_probability = 0.0;
+  /// The operation's bytes are corrupted in transit; the peer receives
+  /// something unparseable.
+  double malform_probability = 0.0;
+  /// The operation is slowed (or its acknowledgement lost) by `delay`.
+  double delay_probability = 0.0;
+  /// Injected latency when a delay fires.
+  Micros delay = 50 * kMicrosPerMilli;
+};
+
+/// Deterministic, seeded fault-decision engine for robustness tests and
+/// chaos benches. The injector itself only answers "should this
+/// operation fail, and how?"; layer-specific wrappers consult it:
+///
+///   - invalidator::FaultInjectingSink wraps an InvalidationSink,
+///   - server::FaultInjectingConnection wraps a server::Connection,
+///   - net::WrapWireHandlerWithFaults wraps an HttpServer::WireHandler.
+///
+/// Decisions consume the internal RNG in a fixed order (drop, error,
+/// malform, delay), so two injectors with the same seed and config make
+/// identical decisions — tests replay exactly.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed, FaultConfig config = {})
+      : rng_(seed), config_(config) {}
+
+  /// Replaces the active fault mix (e.g. to stage a fault window).
+  void SetConfig(const FaultConfig& config) { config_ = config; }
+
+  /// Stops injecting: all probabilities to zero. Counters are kept.
+  void Heal() { config_ = FaultConfig{}; }
+
+  const FaultConfig& config() const { return config_; }
+
+  /// True if the current operation's payload should be lost.
+  bool ShouldDrop() {
+    if (!Fires(config_.drop_probability)) return false;
+    ++drops_injected_;
+    return true;
+  }
+
+  /// True if the current operation should fail with a transient error.
+  bool ShouldError() {
+    if (!Fires(config_.transient_error_probability)) return false;
+    ++errors_injected_;
+    return true;
+  }
+
+  /// True if the current operation's bytes should be corrupted.
+  bool ShouldMalform() {
+    if (!Fires(config_.malform_probability)) return false;
+    ++malforms_injected_;
+    return true;
+  }
+
+  /// The latency to inject into the current operation, if any.
+  std::optional<Micros> ShouldDelay() {
+    if (!Fires(config_.delay_probability)) return std::nullopt;
+    ++delays_injected_;
+    return config_.delay;
+  }
+
+  /// Deterministically corrupts `bytes`: truncation, framing byte flips,
+  /// or wholesale garbling, chosen from the injector's RNG. The result
+  /// differs from the input and does not parse as an HTTP message.
+  std::string Malform(std::string bytes);
+
+  // Lifetime counters (survive Heal()).
+  uint64_t drops_injected() const { return drops_injected_; }
+  uint64_t errors_injected() const { return errors_injected_; }
+  uint64_t malforms_injected() const { return malforms_injected_; }
+  uint64_t delays_injected() const { return delays_injected_; }
+  uint64_t faults_injected() const {
+    return drops_injected_ + errors_injected_ + malforms_injected_ +
+           delays_injected_;
+  }
+
+ private:
+  bool Fires(double probability) {
+    if (probability <= 0.0) return false;
+    return rng_.NextDouble() < probability;
+  }
+
+  Random rng_;
+  FaultConfig config_;
+  uint64_t drops_injected_ = 0;
+  uint64_t errors_injected_ = 0;
+  uint64_t malforms_injected_ = 0;
+  uint64_t delays_injected_ = 0;
+};
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_FAULT_INJECTOR_H_

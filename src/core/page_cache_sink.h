@@ -14,8 +14,8 @@ class PageCacheSink : public invalidator::InvalidationSink {
   /// `cache` is not owned.
   explicit PageCacheSink(cache::PageCache* cache) : cache_(cache) {}
 
-  void SendInvalidation(const http::HttpRequest& eject_message,
-                        const std::string& cache_key) override {
+  Status SendInvalidation(const http::HttpRequest& eject_message,
+                          const std::string& cache_key) override {
     http::HttpResponse response =
         cache_->HandleInvalidationRequest(eject_message);
     if (response.status_code == 400) {
@@ -23,6 +23,7 @@ class PageCacheSink : public invalidator::InvalidationSink {
       // so staleness cannot leak.
       cache_->InvalidateKey(cache_key);
     }
+    return Status::OK();
   }
 
  private:

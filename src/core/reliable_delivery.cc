@@ -1,0 +1,302 @@
+#include "core/reliable_delivery.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cacheportal::core {
+
+namespace {
+
+constexpr char kQueueCheckpointMagic[] = "delivery-queue 1";
+
+}  // namespace
+
+ReliableDeliveryQueue::ReliableDeliveryQueue(const Clock* clock,
+                                             DeliveryOptions options)
+    : clock_(clock), options_(options), jitter_(options.jitter_seed) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+}
+
+void ReliableDeliveryQueue::AddSink(invalidator::InvalidationSink* sink,
+                                    std::string name, FlushFn flush) {
+  SinkState state;
+  state.sink = sink;
+  state.name = std::move(name);
+  state.flush = std::move(flush);
+  sinks_.push_back(std::move(state));
+}
+
+Status ReliableDeliveryQueue::SendInvalidation(
+    const http::HttpRequest& eject_message, const std::string& cache_key) {
+  Micros now = clock_->NowMicros();
+  for (SinkState& state : sinks_) {
+    if (state.quarantined) {
+      // The serving path bypasses this cache; delivering is pointless
+      // until it is reinstated (flushed or repopulated fresh).
+      ++stats_.dead_lettered;
+      continue;
+    }
+    ++stats_.enqueued;
+    PendingMessage message;
+    message.request = eject_message;
+    message.cache_key = cache_key;
+    message.first_attempt = now;
+    if (!state.queue.empty()) {
+      // The sink is already backlogged: keep per-sink FIFO order rather
+      // than letting a fresh message overtake queued ones. It becomes
+      // eligible on the next Pump() after the head clears.
+      message.next_retry = now;
+      state.queue.push_back(std::move(message));
+      continue;
+    }
+    Attempt(state, std::move(message), /*is_retry=*/false);
+  }
+  return Status::OK();
+}
+
+Micros ReliableDeliveryQueue::BackoffAfter(int attempts) {
+  double backoff = static_cast<double>(options_.initial_backoff);
+  for (int i = 1; i < attempts; ++i) backoff *= options_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff));
+  if (options_.jitter_fraction > 0.0) {
+    double jitter =
+        (jitter_.NextDouble() * 2.0 - 1.0) * options_.jitter_fraction;
+    backoff *= 1.0 + jitter;
+  }
+  return std::max<Micros>(1, static_cast<Micros>(backoff));
+}
+
+bool ReliableDeliveryQueue::Attempt(SinkState& state, PendingMessage message,
+                                    bool is_retry) {
+  ++stats_.attempts;
+  if (is_retry) ++stats_.retries;
+  ++message.attempts;
+  Status sent = state.sink->SendInvalidation(message.request,
+                                             message.cache_key);
+  if (sent.ok()) {
+    ++stats_.delivered;
+    if (message.attempts == 1) ++stats_.delivered_first_try;
+    return true;
+  }
+  Micros now = clock_->NowMicros();
+  bool deadline_passed =
+      options_.delivery_deadline > 0 &&
+      now - message.first_attempt >= options_.delivery_deadline;
+  if (message.attempts >= options_.max_attempts || deadline_passed) {
+    LogMessage(LogLevel::kWarning,
+               StrCat("delivery to sink '", state.name, "' gave up on '",
+                      message.cache_key, "' after ", message.attempts,
+                      " attempts (", sent.ToString(), ")"));
+    ++stats_.dead_lettered;
+    Escalate(state);
+    return false;
+  }
+  message.next_retry = now + BackoffAfter(message.attempts);
+  // Back to the head: this message stays first in the sink's FIFO.
+  state.queue.push_front(std::move(message));
+  return false;
+}
+
+void ReliableDeliveryQueue::Escalate(SinkState& state) {
+  ++stats_.escalations;
+  stats_.dead_lettered += state.queue.size();
+  state.queue.clear();
+  if (options_.escalation == DeliveryOptions::Escalation::kFlush &&
+      state.flush != nullptr) {
+    // Freshness over hit ratio: emptying the unreachable cache costs
+    // misses but cannot serve a stale page. The callback must not use
+    // the failing transport.
+    LogMessage(LogLevel::kWarning,
+               StrCat("sink '", state.name,
+                      "' unreachable; flushing its cache wholesale"));
+    state.flush();
+    return;
+  }
+  state.quarantined = true;
+  LogMessage(LogLevel::kWarning,
+             StrCat("sink '", state.name,
+                    "' unreachable; quarantined (serving path should "
+                    "bypass it until reinstated)"));
+}
+
+size_t ReliableDeliveryQueue::Pump() {
+  size_t delivered = 0;
+  Micros now = clock_->NowMicros();
+  for (SinkState& state : sinks_) {
+    if (state.quarantined) continue;
+    while (!state.queue.empty() && state.queue.front().next_retry <= now) {
+      PendingMessage message = std::move(state.queue.front());
+      state.queue.pop_front();
+      bool is_retry = message.attempts > 0;
+      if (!Attempt(state, std::move(message), is_retry)) break;
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+size_t ReliableDeliveryQueue::DrainWith(ManualClock* clock) {
+  size_t delivered = Pump();
+  while (std::optional<Micros> next = NextRetryAt()) {
+    if (*next > clock->NowMicros()) clock->SetTime(*next);
+    delivered += Pump();
+    // Terminates: every due attempt either delivers (queue shrinks) or
+    // raises the message's attempt count toward escalation, which clears
+    // the sink's queue.
+  }
+  return delivered;
+}
+
+std::optional<Micros> ReliableDeliveryQueue::NextRetryAt() const {
+  std::optional<Micros> next;
+  for (const SinkState& state : sinks_) {
+    if (state.quarantined || state.queue.empty()) continue;
+    Micros head = state.queue.front().next_retry;
+    if (!next.has_value() || head < *next) next = head;
+  }
+  return next;
+}
+
+size_t ReliableDeliveryQueue::pending() const {
+  size_t total = 0;
+  for (const SinkState& state : sinks_) total += state.queue.size();
+  return total;
+}
+
+size_t ReliableDeliveryQueue::pending_for(const std::string& name) const {
+  const SinkState* state = FindSink(name);
+  return state == nullptr ? 0 : state->queue.size();
+}
+
+bool ReliableDeliveryQueue::IsQuarantined(const std::string& name) const {
+  const SinkState* state = FindSink(name);
+  return state != nullptr && state->quarantined;
+}
+
+void ReliableDeliveryQueue::Reinstate(const std::string& name) {
+  SinkState* state = FindSink(name);
+  if (state != nullptr) state->quarantined = false;
+}
+
+ReliableDeliveryQueue::SinkState* ReliableDeliveryQueue::FindSink(
+    const std::string& name) {
+  for (SinkState& state : sinks_) {
+    if (state.name == name) return &state;
+  }
+  return nullptr;
+}
+
+const ReliableDeliveryQueue::SinkState* ReliableDeliveryQueue::FindSink(
+    const std::string& name) const {
+  for (const SinkState& state : sinks_) {
+    if (state.name == name) return &state;
+  }
+  return nullptr;
+}
+
+std::string ReliableDeliveryQueue::CheckpointState() const {
+  // Message payloads are serialized HTTP (they contain CRLFs), so key
+  // and wire travel as length-prefixed raw blocks after each msg line.
+  std::string out = StrCat(kQueueCheckpointMagic, "\n");
+  for (const SinkState& state : sinks_) {
+    out += StrCat("sink ", state.quarantined ? 1 : 0, " ",
+                  state.queue.size(), " ", state.name.size(), " ",
+                  state.name, "\n");
+    for (const PendingMessage& message : state.queue) {
+      std::string wire = message.request.Serialize();
+      out += StrCat("msg ", message.cache_key.size(), " ", wire.size(),
+                    "\n");
+      out += message.cache_key;
+      out += wire;
+      out += "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Status ReliableDeliveryQueue::RestoreState(const std::string& state_bytes) {
+  size_t pos = 0;
+  auto next_line = [&state_bytes, &pos]() -> std::optional<std::string> {
+    if (pos >= state_bytes.size()) return std::nullopt;
+    size_t nl = state_bytes.find('\n', pos);
+    if (nl == std::string::npos) nl = state_bytes.size();
+    std::string line = state_bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  std::optional<std::string> magic = next_line();
+  if (!magic.has_value() || *magic != kQueueCheckpointMagic) {
+    return Status::ParseError("not a delivery-queue checkpoint");
+  }
+  Micros now = clock_->NowMicros();
+  SinkState* current = nullptr;
+  bool saw_end = false;
+  while (std::optional<std::string> line = next_line()) {
+    std::vector<std::string> fields = StrSplit(*line, ' ');
+    if (fields.empty() || fields[0].empty()) continue;
+    if (fields[0] == "end") {
+      saw_end = true;
+      break;
+    }
+    if (fields[0] == "sink" && fields.size() >= 5) {
+      size_t name_length = std::strtoull(fields[3].c_str(), nullptr, 10);
+      // The name is everything after the fourth space (it may itself
+      // contain spaces); the persisted length validates the slice.
+      size_t name_offset = fields[0].size() + fields[1].size() +
+                           fields[2].size() + fields[3].size() + 4;
+      if (name_offset + name_length != line->size()) {
+        return Status::ParseError(
+            StrCat("corrupt sink record in delivery checkpoint: ", *line));
+      }
+      std::string name = line->substr(name_offset);
+      current = FindSink(name);
+      if (current == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("delivery checkpoint references unknown sink '", name,
+                   "'; re-add sinks with their original names before "
+                   "restoring"));
+      }
+      current->quarantined = fields[1] == "1";
+      current->queue.clear();
+    } else if (fields[0] == "msg" && fields.size() == 3) {
+      if (current == nullptr) {
+        return Status::ParseError("msg record before any sink record");
+      }
+      size_t key_length = std::strtoull(fields[1].c_str(), nullptr, 10);
+      size_t wire_length = std::strtoull(fields[2].c_str(), nullptr, 10);
+      if (pos + key_length + wire_length > state_bytes.size()) {
+        return Status::ParseError("truncated delivery checkpoint");
+      }
+      PendingMessage message;
+      message.cache_key = state_bytes.substr(pos, key_length);
+      std::string wire = state_bytes.substr(pos + key_length, wire_length);
+      pos += key_length + wire_length + 1;  // Skip the trailing '\n'.
+      Result<http::HttpRequest> request = http::HttpRequest::Parse(wire);
+      if (!request.ok()) {
+        return Status::ParseError(
+            StrCat("unparseable eject message in delivery checkpoint: ",
+                   request.status().ToString()));
+      }
+      message.request = std::move(request).value();
+      // Rebase timing into the new process's clock and grant a full
+      // attempt budget: the outage that queued the message has usually
+      // passed, and redelivery is idempotent either way.
+      message.attempts = 0;
+      message.first_attempt = now;
+      message.next_retry = now;
+      current->queue.push_back(std::move(message));
+    } else {
+      return Status::ParseError(
+          StrCat("unknown delivery checkpoint record: ", *line));
+    }
+  }
+  if (!saw_end) return Status::ParseError("truncated delivery checkpoint");
+  return Status::OK();
+}
+
+}  // namespace cacheportal::core

@@ -1,0 +1,183 @@
+#ifndef CACHEPORTAL_CORE_RELIABLE_DELIVERY_H_
+#define CACHEPORTAL_CORE_RELIABLE_DELIVERY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "invalidator/invalidator.h"
+
+namespace cacheportal::core {
+
+/// Tunables of the at-least-once delivery queue.
+struct DeliveryOptions {
+  /// Delivery attempts per message per sink (including the first) before
+  /// the sink is escalated. Must be >= 1.
+  int max_attempts = 8;
+  /// Backoff before the first retry; doubles (times backoff_multiplier)
+  /// per subsequent retry up to max_backoff.
+  Micros initial_backoff = 50 * kMicrosPerMilli;
+  double backoff_multiplier = 2.0;
+  Micros max_backoff = 10 * kMicrosPerSecond;
+  /// Uniform jitter applied to each backoff, as a fraction of it
+  /// (0.2 = +/-20%). Keeps retry storms from synchronizing across sinks.
+  double jitter_fraction = 0.2;
+  /// Seed of the deterministic jitter source, so tests replay exactly.
+  uint64_t jitter_seed = 0x9e3779b9;
+  /// A message still undelivered this long after its first attempt is
+  /// dead-lettered even if attempts remain. 0 disables the deadline.
+  Micros delivery_deadline = 60 * kMicrosPerSecond;
+
+  /// What dead-lettering does to the affected sink.
+  enum class Escalation {
+    /// Invoke the sink's flush callback (wholesale-drop the unreachable
+    /// cache's entries so it cannot serve stale pages), drop its pending
+    /// messages, and keep delivering future messages. Falls back to
+    /// kQuarantine when the sink has no flush callback.
+    kFlush,
+    /// Mark the sink quarantined: pending and future messages are
+    /// dropped (counted dead-lettered) until Reinstate(). The serving
+    /// path should bypass a quarantined cache (IsQuarantined()).
+    kQuarantine,
+  };
+  Escalation escalation = Escalation::kFlush;
+};
+
+/// Lifetime counters of a ReliableDeliveryQueue.
+struct DeliveryStats {
+  uint64_t enqueued = 0;              // (message, sink) pairs accepted.
+  uint64_t delivered = 0;             // Acked by the sink, ever.
+  uint64_t delivered_first_try = 0;   // Subset of delivered.
+  uint64_t attempts = 0;              // SendInvalidation calls made.
+  uint64_t retries = 0;               // Attempts after the first.
+  uint64_t dead_lettered = 0;         // Given up (escalation/quarantine).
+  uint64_t escalations = 0;           // Sink flush/quarantine events.
+};
+
+/// At-least-once delivery in front of fire-and-forget invalidation sinks
+/// (the reliability layer the paper's Section 4.2.4 HTTP eject transport
+/// lacks). The queue is itself an InvalidationSink: the invalidator
+/// sends to it once, and it owns redelivery to every registered
+/// downstream sink — per-sink FIFO pending queues, exponential backoff
+/// with deterministic jitter, a per-message delivery deadline, and
+/// dead-letter escalation that degrades safely (flush the unreachable
+/// cache wholesale, or quarantine it) instead of risking staleness.
+///
+/// Time is read from the injected Clock only; nothing sleeps. Call
+/// Pump() whenever time has advanced (e.g. once per invalidation cycle)
+/// to perform due retries. Redelivery is safe because ejects are
+/// idempotent; a message may therefore be delivered more than once but
+/// is never silently lost while its sink is healthy.
+///
+/// The queue implements CheckpointableSink: un-acked messages survive a
+/// crash through Invalidator::Checkpoint()/Restore().
+class ReliableDeliveryQueue : public invalidator::InvalidationSink,
+                              public invalidator::CheckpointableSink {
+ public:
+  /// Invoked on kFlush escalation; must drop every entry of the sink's
+  /// cache through a channel that does not depend on the failing
+  /// transport (e.g. cache::PageCache::Clear on a management interface).
+  using FlushFn = std::function<void()>;
+
+  /// `clock` drives backoff and deadlines; not owned.
+  explicit ReliableDeliveryQueue(const Clock* clock,
+                                 DeliveryOptions options = {});
+
+  ReliableDeliveryQueue(const ReliableDeliveryQueue&) = delete;
+  ReliableDeliveryQueue& operator=(const ReliableDeliveryQueue&) = delete;
+
+  /// Registers a downstream sink (not owned). `name` identifies the sink
+  /// in diagnostics, quarantine queries, and checkpoints — it must be
+  /// unique and stable across restarts. `flush` backs kFlush escalation;
+  /// may be null.
+  void AddSink(invalidator::InvalidationSink* sink, std::string name,
+               FlushFn flush = nullptr);
+
+  /// Attempts immediate delivery to every non-quarantined sink; failures
+  /// are queued for retry. Always returns OK — once accepted, a message
+  /// is the queue's responsibility until delivered or dead-lettered.
+  Status SendInvalidation(const http::HttpRequest& eject_message,
+                          const std::string& cache_key) override;
+
+  /// Retries every message whose backoff has elapsed (per the clock) and
+  /// applies deadline/attempt escalation. Returns messages delivered.
+  size_t Pump();
+
+  /// Pumps, advancing `clock` (must be the queue's clock) to each next
+  /// retry time, until no messages are pending or only quarantined sinks
+  /// hold any. For tests and drain-on-shutdown.
+  size_t DrainWith(ManualClock* clock);
+
+  /// Earliest scheduled retry time, or nullopt when nothing is pending.
+  std::optional<Micros> NextRetryAt() const;
+
+  /// Un-acked (message, sink) pairs currently queued.
+  size_t pending() const;
+  /// Un-acked messages queued for `name` (0 for unknown names).
+  size_t pending_for(const std::string& name) const;
+
+  /// True while `name` is quarantined; the serving path should bypass
+  /// that cache (it may hold pages whose ejects were dropped).
+  bool IsQuarantined(const std::string& name) const;
+
+  /// Clears `name`'s quarantine once the operator knows the cache is
+  /// reachable again and has been flushed or repopulated fresh.
+  void Reinstate(const std::string& name);
+
+  const DeliveryStats& stats() const { return stats_; }
+  const DeliveryOptions& options() const { return options_; }
+
+  // CheckpointableSink: un-acked messages (and quarantine flags) as
+  // opaque bytes. RestoreState requires the same sinks to have been
+  // re-added (matched by name); restored messages retry immediately,
+  // with attempt counts rebased so a recovering sink gets a full budget.
+  std::string CheckpointState() const override;
+  Status RestoreState(const std::string& state) override;
+
+ private:
+  struct PendingMessage {
+    http::HttpRequest request;
+    std::string cache_key;
+    int attempts = 0;       // Delivery attempts made so far.
+    Micros first_attempt = 0;
+    Micros next_retry = 0;
+  };
+
+  struct SinkState {
+    invalidator::InvalidationSink* sink = nullptr;
+    std::string name;
+    FlushFn flush;
+    bool quarantined = false;
+    std::deque<PendingMessage> queue;
+  };
+
+  /// Backoff delay after `attempts` deliveries have failed.
+  Micros BackoffAfter(int attempts);
+
+  /// One delivery attempt; queues/escalates on failure. Returns true if
+  /// the sink acked.
+  bool Attempt(SinkState& state, PendingMessage message, bool is_retry);
+
+  /// Dead-letters `state`'s entire queue and applies the configured
+  /// escalation.
+  void Escalate(SinkState& state);
+
+  SinkState* FindSink(const std::string& name);
+  const SinkState* FindSink(const std::string& name) const;
+
+  const Clock* clock_;
+  DeliveryOptions options_;
+  Random jitter_;
+  std::vector<SinkState> sinks_;
+  DeliveryStats stats_;
+};
+
+}  // namespace cacheportal::core
+
+#endif  // CACHEPORTAL_CORE_RELIABLE_DELIVERY_H_

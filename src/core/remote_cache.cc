@@ -1,5 +1,7 @@
 #include "core/remote_cache.h"
 
+#include "common/logging.h"
+#include "common/strings.h"
 #include "sniffer/request_logger.h"
 
 namespace cacheportal::core {
@@ -38,16 +40,43 @@ std::string RemoteCacheEndpoint::HandleWire(
   return response.Serialize();
 }
 
-void WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
-                                     const std::string& /*cache_key*/) {
+Status WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
+                                       const std::string& cache_key) {
   ++messages_sent_;
-  std::string response_bytes =
-      endpoint_->HandleWire(eject_message.Serialize());
+  std::string response_bytes = transport_(eject_message.Serialize());
+  if (response_bytes.empty()) {
+    ++ejections_failed_;
+    LogMessage(LogLevel::kWarning,
+               StrCat("eject for '", cache_key,
+                      "' got no response (message lost?)"));
+    return Status::Internal("eject message got no response");
+  }
   Result<http::HttpResponse> response =
       http::HttpResponse::Parse(response_bytes);
-  if (response.ok() && response->status_code == 204) {
-    ++ejections_confirmed_;
+  if (!response.ok()) {
+    ++ejections_failed_;
+    LogMessage(LogLevel::kWarning,
+               StrCat("unparseable eject response for '", cache_key,
+                      "': ", response.status().ToString()));
+    return Status::Internal(
+        StrCat("unparseable eject response: ", response.status().ToString()));
   }
+  if (response->status_code == 204) {
+    ++ejections_confirmed_;
+    return Status::OK();
+  }
+  if (response->status_code == 404) {
+    // The page is not in the cache — either never stored or already
+    // ejected by an earlier delivery of this message. Both mean "not
+    // stale": success, but not a confirmed ejection.
+    return Status::OK();
+  }
+  ++ejections_failed_;
+  LogMessage(LogLevel::kWarning,
+             StrCat("eject for '", cache_key, "' answered ",
+                    response->status_code, " (expected 204/404)"));
+  return Status::Internal(
+      StrCat("eject answered status ", response->status_code));
 }
 
 }  // namespace cacheportal::core

@@ -2,6 +2,7 @@
 #define CACHEPORTAL_CORE_REMOTE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "cache/page_cache.h"
@@ -50,22 +51,43 @@ class RemoteCacheEndpoint {
 /// serialized HTTP — the paper's actual invalidation transport
 /// (Section 4.2.4: "an HTTP message which contains the invalidation
 /// requests").
+///
+/// SendInvalidation returns non-OK when the eject was not confirmed
+/// (empty/unparseable response, or a status other than 204/404), so a
+/// core::ReliableDeliveryQueue in front of this sink can retry it; 404
+/// counts as success (the page is not cached — the idempotent-redelivery
+/// case).
 class WireCacheSink : public invalidator::InvalidationSink {
  public:
-  /// `endpoint` is not owned.
-  explicit WireCacheSink(RemoteCacheEndpoint* endpoint)
-      : endpoint_(endpoint) {}
+  /// Raw request bytes in, raw response bytes out. An empty response
+  /// means the message was lost (dropped connection).
+  using Transport = std::function<std::string(const std::string&)>;
 
-  void SendInvalidation(const http::HttpRequest& eject_message,
-                        const std::string& cache_key) override;
+  /// Delivers through an in-process endpoint (not owned).
+  explicit WireCacheSink(RemoteCacheEndpoint* endpoint)
+      : transport_([endpoint](const std::string& bytes) {
+          return endpoint->HandleWire(bytes);
+        }) {}
+
+  /// Delivers through an arbitrary transport — a net::FetchWire closure
+  /// for a cache across a real socket, or a fault-injecting wrapper.
+  explicit WireCacheSink(Transport transport)
+      : transport_(std::move(transport)) {}
+
+  Status SendInvalidation(const http::HttpRequest& eject_message,
+                          const std::string& cache_key) override;
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t ejections_confirmed() const { return ejections_confirmed_; }
+  /// Ejects whose response was missing, unparseable, or an unexpected
+  /// status — deliveries that must be retried or escalated.
+  uint64_t ejections_failed() const { return ejections_failed_; }
 
  private:
-  RemoteCacheEndpoint* endpoint_;
+  Transport transport_;
   uint64_t messages_sent_ = 0;
   uint64_t ejections_confirmed_ = 0;
+  uint64_t ejections_failed_ = 0;
 };
 
 }  // namespace cacheportal::core

@@ -1,0 +1,53 @@
+#ifndef CACHEPORTAL_INVALIDATOR_FAULT_SINK_H_
+#define CACHEPORTAL_INVALIDATOR_FAULT_SINK_H_
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "invalidator/invalidator.h"
+
+namespace cacheportal::invalidator {
+
+/// Wraps an InvalidationSink with a FaultInjector: the chaos layer the
+/// reliability tests slide between a ReliableDeliveryQueue and a real
+/// sink. Fault semantics per decision:
+///
+///   - drop:  the message is lost before reaching the sink; the caller
+///            sees a failure and nothing was delivered.
+///   - error: transient transport error; likewise nothing delivered.
+///   - delay: the message reaches the sink but its acknowledgement is
+///            lost — the classic at-least-once ambiguity. The caller
+///            sees a failure and will redeliver; idempotent ejects make
+///            that safe.
+///   - malform is not meaningful at this layer (the sink API carries
+///            parsed messages); use net::WrapWireHandlerWithFaults to
+///            corrupt wire bytes.
+class FaultInjectingSink : public InvalidationSink {
+ public:
+  /// Neither pointer is owned.
+  FaultInjectingSink(InvalidationSink* wrapped, FaultInjector* faults)
+      : wrapped_(wrapped), faults_(faults) {}
+
+  Status SendInvalidation(const http::HttpRequest& eject_message,
+                          const std::string& cache_key) override {
+    if (faults_->ShouldDrop()) {
+      return Status::Internal("fault injected: message dropped");
+    }
+    if (faults_->ShouldError()) {
+      return Status::Internal("fault injected: transient transport error");
+    }
+    if (faults_->ShouldDelay().has_value()) {
+      // Delivered, but the ack never comes back.
+      (void)wrapped_->SendInvalidation(eject_message, cache_key);
+      return Status::Internal("fault injected: acknowledgement lost");
+    }
+    return wrapped_->SendInvalidation(eject_message, cache_key);
+  }
+
+ private:
+  InvalidationSink* wrapped_;
+  FaultInjector* faults_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_FAULT_SINK_H_

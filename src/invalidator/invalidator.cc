@@ -1,6 +1,8 @@
 #include "invalidator/invalidator.h"
 
+#include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/logging.h"
@@ -71,7 +73,8 @@ std::string Invalidator::StatsReport() const {
       " idx-answered=", stats_.polls_answered_by_index,
       " poll-hits=", stats_.poll_hits,
       " conservative=", stats_.conservative_invalidations,
-      " pages-invalidated=", stats_.pages_invalidated, "\n");
+      " pages-invalidated=", stats_.pages_invalidated,
+      " send-failures=", stats_.send_failures, "\n");
   for (const QueryType* type : registry_.Types()) {
     const QueryTypeStats& ts = type->stats;
     out += StrCat("  type '", type->name, "'",
@@ -83,6 +86,97 @@ std::string Invalidator::StatsReport() const {
                   " max-time-us=", ts.max_invalidation_time, "\n");
   }
   return out;
+}
+
+namespace {
+
+/// Checkpoint framing. Sink states are opaque bytes (they may contain
+/// newlines and serialized HTTP), so they travel as length-prefixed
+/// blocks rather than lines.
+constexpr char kCheckpointMagic[] = "cacheportal-invalidator-checkpoint 1";
+
+}  // namespace
+
+std::string Invalidator::Checkpoint() const {
+  std::string out = StrCat(kCheckpointMagic, "\n",
+                           "update_seq ", last_update_seq_, "\n",
+                           "map_id ", last_map_id_, "\n");
+  for (size_t i = 0; i < sinks_.size(); ++i) {
+    const auto* durable = dynamic_cast<const CheckpointableSink*>(sinks_[i]);
+    if (durable == nullptr) continue;
+    std::string state = durable->CheckpointState();
+    out += StrCat("sink ", i, " ", state.size(), "\n");
+    out += state;
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Status Invalidator::Restore(const std::string& checkpoint) {
+  size_t pos = 0;
+  auto next_line = [&checkpoint, &pos]() -> std::optional<std::string> {
+    if (pos >= checkpoint.size()) return std::nullopt;
+    size_t nl = checkpoint.find('\n', pos);
+    if (nl == std::string::npos) nl = checkpoint.size();
+    std::string line = checkpoint.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  std::optional<std::string> magic = next_line();
+  if (!magic.has_value() || *magic != kCheckpointMagic) {
+    return Status::ParseError("not an invalidator checkpoint");
+  }
+  uint64_t update_seq = 0;
+  bool saw_update_seq = false;
+  bool saw_end = false;
+  std::map<size_t, std::string> sink_states;
+  while (std::optional<std::string> line = next_line()) {
+    std::vector<std::string> fields = StrSplit(*line, ' ');
+    if (fields.empty() || fields[0].empty()) continue;
+    if (fields[0] == "end") {
+      saw_end = true;
+      break;
+    }
+    if (fields[0] == "update_seq" && fields.size() == 2) {
+      update_seq = std::strtoull(fields[1].c_str(), nullptr, 10);
+      saw_update_seq = true;
+    } else if (fields[0] == "map_id" && fields.size() == 2) {
+      // Parsed for format completeness; restore rescans the map from
+      // zero (see header comment).
+    } else if (fields[0] == "sink" && fields.size() == 3) {
+      size_t index = std::strtoull(fields[1].c_str(), nullptr, 10);
+      size_t length = std::strtoull(fields[2].c_str(), nullptr, 10);
+      if (pos + length > checkpoint.size()) {
+        return Status::ParseError("truncated sink state in checkpoint");
+      }
+      sink_states[index] = checkpoint.substr(pos, length);
+      pos += length + 1;  // The block is followed by a separator '\n'.
+    } else {
+      return Status::ParseError(StrCat("unknown checkpoint record: ", *line));
+    }
+  }
+  if (!saw_end || !saw_update_seq) {
+    return Status::ParseError("truncated invalidator checkpoint");
+  }
+  for (const auto& [index, state] : sink_states) {
+    if (index >= sinks_.size()) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint references sink ", index, " but only ",
+                 sinks_.size(), " sinks are attached"));
+    }
+    auto* durable = dynamic_cast<CheckpointableSink*>(sinks_[index]);
+    if (durable == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("checkpoint has durable state for sink ", index,
+                 " but the attached sink is not checkpointable"));
+    }
+    CACHEPORTAL_RETURN_NOT_OK(durable->RestoreState(state));
+  }
+  last_update_seq_ = update_seq;
+  last_map_id_ = 0;
+  return Status::OK();
 }
 
 Status Invalidator::InvalidateInstancePages(const std::string& instance_sql,
@@ -112,8 +206,17 @@ Status Invalidator::InvalidateInstancePages(const std::string& instance_sql,
     message.headers.Set("Cache-Control", cc.ToHeaderValue());
 
     for (InvalidationSink* sink : sinks_) {
-      sink->SendInvalidation(message, page_key);
+      Status sent = sink->SendInvalidation(message, page_key);
       ++stats_.messages_sent;
+      if (!sent.ok()) {
+        // A sink that rejects a message owns no retry state — without a
+        // ReliableDeliveryQueue in front, this page may stay stale in
+        // that cache. Surface it loudly.
+        ++stats_.send_failures;
+        LogMessage(LogLevel::kWarning,
+                   StrCat("invalidation delivery failed for '", page_key,
+                          "': ", sent.ToString()));
+      }
     }
     ++*pages_invalidated;
     ++stats_.pages_invalidated;

@@ -25,12 +25,33 @@ namespace cacheportal::invalidator {
 /// (Section 4.2.4). The message is a normal HTTP request carrying
 /// `Cache-Control: eject`; `cache_key` is the addressed page's canonical
 /// identity. core::PageCacheSink adapts a cache::PageCache.
+///
+/// Delivery contract: ejects are idempotent (re-ejecting an absent page
+/// is a no-op), so a failed SendInvalidation may be retried safely —
+/// core::ReliableDeliveryQueue builds at-least-once delivery on exactly
+/// this property. A non-OK return means the message may not have reached
+/// the cache; the caller must retry or escalate, never ignore it.
 class InvalidationSink {
  public:
   virtual ~InvalidationSink() = default;
 
-  virtual void SendInvalidation(const http::HttpRequest& eject_message,
-                                const std::string& cache_key) = 0;
+  virtual Status SendInvalidation(const http::HttpRequest& eject_message,
+                                  const std::string& cache_key) = 0;
+};
+
+/// Optional capability of an InvalidationSink: state that must survive a
+/// process restart (e.g. a delivery queue's un-acked messages).
+/// Invalidator::Checkpoint embeds each capable sink's state and
+/// Invalidator::Restore hands it back, matched by AddSink order.
+class CheckpointableSink {
+ public:
+  virtual ~CheckpointableSink() = default;
+
+  /// Serializes the sink's durable state (opaque bytes).
+  virtual std::string CheckpointState() const = 0;
+
+  /// Rebuilds state from CheckpointState() output.
+  virtual Status RestoreState(const std::string& state) = 0;
 };
 
 /// Tunables of the invalidation process.
@@ -68,6 +89,7 @@ struct InvalidatorStats {
   uint64_t conservative_invalidations = 0;  // Budget exceeded.
   uint64_t pages_invalidated = 0;
   uint64_t messages_sent = 0;
+  uint64_t send_failures = 0;           // Sinks that rejected a message.
 };
 
 /// Per-cycle summary returned by RunCycle.
@@ -133,6 +155,22 @@ class Invalidator {
   /// owner may Truncate() everything at or below it once all other
   /// consumers are past it too.
   uint64_t consumed_update_seq() const { return last_update_seq_; }
+
+  /// Serializes the invalidator's resumption state: the consumed
+  /// update-log and QI/URL-map positions, plus each CheckpointableSink's
+  /// durable state (un-acked delivery-queue messages). Persist the
+  /// returned bytes at every synchronization point; after a crash, build
+  /// a fresh Invalidator (same database/map, sinks re-added in the same
+  /// order) and Restore() to resume without missing an update.
+  std::string Checkpoint() const;
+
+  /// Rebuilds resumption state from Checkpoint() output. The update-log
+  /// cursor rewinds to the persisted position, so updates that committed
+  /// after the checkpoint (including during the outage) are replayed —
+  /// at-least-once, made safe by idempotent ejects. The QI/URL-map
+  /// cursor rewinds to zero: the in-memory registry died with the old
+  /// process, and re-registering live map entries is idempotent.
+  Status Restore(const std::string& checkpoint);
 
   const QueryTypeRegistry& registry() const { return registry_; }
   const PolicyEngine& policy() const { return policy_; }

@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/strings.h"
 
@@ -15,13 +18,22 @@ namespace cacheportal::net {
 namespace {
 
 /// Reads one HTTP request from `fd`: headers terminated by CRLFCRLF plus
-/// a Content-Length body if declared. Returns empty on EOF/error.
-std::string ReadRequest(int fd) {
+/// a Content-Length body if declared. Returns empty on EOF/error; when
+/// the failure was an SO_RCVTIMEO expiry, also sets *timed_out.
+std::string ReadRequest(int fd, bool* timed_out) {
+  *timed_out = false;
   std::string data;
   char buf[4096];
+  auto read_some = [fd, timed_out, &buf]() -> ssize_t {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *timed_out = true;
+    }
+    return n;
+  };
   size_t header_end = std::string::npos;
   while (header_end == std::string::npos) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    ssize_t n = read_some();
     if (n <= 0) return "";
     data.append(buf, static_cast<size_t>(n));
     header_end = data.find("\r\n\r\n");
@@ -38,8 +50,12 @@ std::string ReadRequest(int fd) {
   }
   size_t have = data.size() - (header_end + 4);
   while (have < body_needed) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
+    ssize_t n = read_some();
+    if (n <= 0) {
+      // A declared body that never arrives is the slow-loris body
+      // variant: treat the request as unusable.
+      return "";
+    }
     data.append(buf, static_cast<size_t>(n));
     have += static_cast<size_t>(n);
   }
@@ -84,11 +100,16 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(WireHandler handler,
     return Status::Internal(StrCat("listen(): ", std::strerror(errno)));
   }
   return std::unique_ptr<HttpServer>(
-      new HttpServer(std::move(handler), fd, ntohs(addr.sin_port)));
+      new HttpServer(std::move(handler), fd, ntohs(addr.sin_port),
+                     options.io_timeout));
 }
 
-HttpServer::HttpServer(WireHandler handler, int listen_fd, uint16_t port)
-    : handler_(std::move(handler)), listen_fd_(listen_fd), port_(port) {
+HttpServer::HttpServer(WireHandler handler, int listen_fd, uint16_t port,
+                       Micros io_timeout)
+    : handler_(std::move(handler)),
+      listen_fd_(listen_fd),
+      port_(port),
+      io_timeout_(io_timeout) {
   thread_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -111,17 +132,35 @@ void HttpServer::AcceptLoop() {
       if (!running_.load(std::memory_order_relaxed)) break;
       continue;  // Transient accept failure.
     }
+    if (io_timeout_ > 0) {
+      // Bound every read/write so one hung or slow-loris peer cannot
+      // stall the single-threaded accept loop forever.
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(io_timeout_ / kMicrosPerSecond);
+      tv.tv_usec = static_cast<suseconds_t>(io_timeout_ % kMicrosPerSecond);
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     ServeConnection(conn);
     ::close(conn);
   }
 }
 
 void HttpServer::ServeConnection(int fd) {
-  std::string request = ReadRequest(fd);
-  if (request.empty()) return;
+  bool timed_out = false;
+  std::string request = ReadRequest(fd, &timed_out);
+  if (request.empty()) {
+    if (timed_out) {
+      connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
   std::string response = handler_(request);
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
-  WriteAll(fd, response);
+  if (!WriteAll(fd, response) &&
+      (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Result<std::string> FetchWire(uint16_t port,
@@ -153,6 +192,31 @@ Result<std::string> FetchWire(uint16_t port,
   ::close(fd);
   if (response.empty()) return Status::Internal("empty response");
   return response;
+}
+
+HttpServer::WireHandler WrapWireHandlerWithFaults(
+    FaultInjector* faults, HttpServer::WireHandler handler) {
+  return [faults, handler = std::move(handler)](
+             const std::string& request_bytes) -> std::string {
+    if (std::optional<Micros> delay = faults->ShouldDelay()) {
+      // Real sleep: this models a slow origin on a real socket, paired
+      // with the client's/peer's io_timeout.
+      std::this_thread::sleep_for(std::chrono::microseconds(*delay));
+    }
+    if (faults->ShouldDrop()) {
+      return "";  // No bytes: the peer sees the connection close.
+    }
+    if (faults->ShouldError()) {
+      static constexpr char kBody[] = "fault injected";
+      return StrCat("HTTP/1.1 503 Service Unavailable\r\nContent-Length: ",
+                    sizeof(kBody) - 1, "\r\n\r\n", kBody);
+    }
+    std::string response = handler(request_bytes);
+    if (faults->ShouldMalform()) {
+      response = faults->Malform(std::move(response));
+    }
+    return response;
+  };
 }
 
 }  // namespace cacheportal::net

@@ -8,6 +8,8 @@
 #include <string>
 #include <thread>
 
+#include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/status.h"
 
 namespace cacheportal::net {
@@ -17,6 +19,12 @@ struct HttpServerOptions {
   /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
   uint16_t port = 0;
   int backlog = 16;
+  /// Read/write timeout applied to every accepted socket (SO_RCVTIMEO /
+  /// SO_SNDTIMEO), so a hung or slow-loris peer cannot stall the
+  /// single-threaded accept loop indefinitely: a stalled read or write
+  /// fails and the connection is dropped. 0 disables the timeouts
+  /// (pre-existing behavior; not recommended).
+  Micros io_timeout = 5 * kMicrosPerSecond;
 };
 
 /// A minimal blocking HTTP/1.1 server over TCP: one accept loop, one
@@ -52,11 +60,18 @@ class HttpServer {
     return requests_handled_.load(std::memory_order_relaxed);
   }
 
+  /// Connections dropped because a read or write exceeded io_timeout
+  /// (or otherwise failed before a full request arrived).
+  uint64_t connections_timed_out() const {
+    return connections_timed_out_.load(std::memory_order_relaxed);
+  }
+
   /// Stops accepting; idempotent. Called by the destructor.
   void Stop();
 
  private:
-  HttpServer(WireHandler handler, int listen_fd, uint16_t port);
+  HttpServer(WireHandler handler, int listen_fd, uint16_t port,
+             Micros io_timeout);
 
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -64,10 +79,23 @@ class HttpServer {
   WireHandler handler_;
   int listen_fd_;
   uint16_t port_;
+  Micros io_timeout_;
   std::atomic<bool> running_{true};
   std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> connections_timed_out_{0};
   std::thread thread_;
 };
+
+/// Wraps a wire handler with a FaultInjector, corrupting the server's
+/// side of the exchange: dropped responses send no bytes (the peer sees
+/// the connection close), transient errors answer 503, malformed
+/// responses are corrupted with FaultInjector::Malform, and delays
+/// stall the handler for real wall-clock time (this runs on the server
+/// thread — pair with io_timeout-bounded clients). `faults` is not
+/// owned and must outlive the returned handler; decisions and counters
+/// are the injector's.
+HttpServer::WireHandler WrapWireHandlerWithFaults(
+    FaultInjector* faults, HttpServer::WireHandler handler);
 
 /// Blocking HTTP client for tests and examples: connects to
 /// 127.0.0.1:`port`, sends `request_bytes`, reads until the peer closes,

@@ -1,0 +1,60 @@
+#ifndef CACHEPORTAL_SERVER_FAULT_CONNECTION_H_
+#define CACHEPORTAL_SERVER_FAULT_CONNECTION_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "server/jdbc.h"
+
+namespace cacheportal::server {
+
+/// Wraps a JDBC-style Connection with a FaultInjector, modeling a flaky
+/// database link (the invalidator's polling connection, a data-cache
+/// backend). Drops and transient errors fail the call with
+/// Status::Internal and no side effect; delays execute the statement but
+/// account the injected latency in injected_delay() — callers pacing by
+/// a simulated clock can advance it by that much. Malformed responses
+/// are not meaningful at this layer.
+///
+/// The invalidator's contract under these faults: a failed polling query
+/// invalidates conservatively, so injected connection errors cost
+/// precision, never freshness.
+class FaultInjectingConnection : public Connection {
+ public:
+  /// Neither pointer is owned.
+  FaultInjectingConnection(Connection* wrapped, FaultInjector* faults)
+      : wrapped_(wrapped), faults_(faults) {}
+
+  Result<db::QueryResult> ExecuteQuery(const std::string& sql) override {
+    if (faults_->ShouldDrop() || faults_->ShouldError()) {
+      return Status::Internal("fault injected: connection error");
+    }
+    if (std::optional<Micros> delay = faults_->ShouldDelay()) {
+      injected_delay_ += *delay;
+    }
+    return wrapped_->ExecuteQuery(sql);
+  }
+
+  Result<int64_t> ExecuteUpdate(const std::string& sql) override {
+    if (faults_->ShouldDrop() || faults_->ShouldError()) {
+      return Status::Internal("fault injected: connection error");
+    }
+    if (std::optional<Micros> delay = faults_->ShouldDelay()) {
+      injected_delay_ += *delay;
+    }
+    return wrapped_->ExecuteUpdate(sql);
+  }
+
+  /// Total latency injected into executed statements.
+  Micros injected_delay() const { return injected_delay_; }
+
+ private:
+  Connection* wrapped_;
+  FaultInjector* faults_;
+  Micros injected_delay_ = 0;
+};
+
+}  // namespace cacheportal::server
+
+#endif  // CACHEPORTAL_SERVER_FAULT_CONNECTION_H_

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "core/remote_cache.h"
+#include "db/database.h"
+#include "http/message.h"
+#include "invalidator/fault_sink.h"
+#include "invalidator/invalidator.h"
+#include "net/http_server.h"
+#include "server/fault_connection.h"
+#include "server/jdbc.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal {
+namespace {
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalDecisions) {
+  FaultConfig config;
+  config.drop_probability = 0.3;
+  config.transient_error_probability = 0.2;
+  FaultInjector a(42, config), b(42, config);
+
+  std::vector<bool> decisions_a, decisions_b;
+  for (int i = 0; i < 200; ++i) {
+    decisions_a.push_back(a.ShouldDrop());
+    decisions_a.push_back(a.ShouldError());
+    decisions_b.push_back(b.ShouldDrop());
+    decisions_b.push_back(b.ShouldError());
+  }
+  EXPECT_EQ(decisions_a, decisions_b);
+  EXPECT_EQ(a.drops_injected(), b.drops_injected());
+  // The mix actually fires both ways at these probabilities.
+  EXPECT_GT(a.drops_injected(), 0u);
+  EXPECT_LT(a.drops_injected(), 200u);
+  EXPECT_GT(a.errors_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, HealStopsInjectionButKeepsCounters) {
+  FaultConfig config;
+  config.drop_probability = 1.0;
+  FaultInjector faults(7, config);
+  EXPECT_TRUE(faults.ShouldDrop());
+  EXPECT_TRUE(faults.ShouldDrop());
+  faults.Heal();
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(faults.ShouldDrop());
+  EXPECT_EQ(faults.drops_injected(), 2u);
+}
+
+TEST(FaultInjectorTest, MalformAltersBytesDeterministically) {
+  std::string wire = http::HttpResponse::Ok("hello world").Serialize();
+  FaultInjector a(99), b(99);
+  for (int i = 0; i < 30; ++i) {
+    std::string ma = a.Malform(wire);
+    EXPECT_NE(ma, wire);
+    EXPECT_EQ(ma, b.Malform(wire));  // Same seed: same corruption.
+  }
+}
+
+class CountingSink : public invalidator::InvalidationSink {
+ public:
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string&) override {
+    ++deliveries;
+    return Status::OK();
+  }
+  int deliveries = 0;
+};
+
+http::HttpRequest Eject(const std::string& url) {
+  http::HttpRequest message = *http::HttpRequest::Get(url);
+  message.headers.Set("Cache-Control", "eject");
+  return message;
+}
+
+TEST(FaultInjectingSinkTest, DropAndErrorLoseTheMessage) {
+  CountingSink inner;
+  FaultConfig config;
+  config.drop_probability = 1.0;
+  FaultInjector faults(1, config);
+  invalidator::FaultInjectingSink sink(&inner, &faults);
+
+  EXPECT_FALSE(sink.SendInvalidation(Eject("http://c/p"), "k").ok());
+  EXPECT_EQ(inner.deliveries, 0);  // Nothing reached the real sink.
+
+  config.drop_probability = 0.0;
+  config.transient_error_probability = 1.0;
+  faults.SetConfig(config);
+  EXPECT_FALSE(sink.SendInvalidation(Eject("http://c/p"), "k").ok());
+  EXPECT_EQ(inner.deliveries, 0);
+
+  faults.Heal();
+  EXPECT_TRUE(sink.SendInvalidation(Eject("http://c/p"), "k").ok());
+  EXPECT_EQ(inner.deliveries, 1);
+}
+
+TEST(FaultInjectingSinkTest, DelayDeliversButLosesTheAck) {
+  // The at-least-once ambiguity: the message arrived, the ack did not.
+  // The caller must treat this as failure and redeliver; the test also
+  // shows why ejects being idempotent matters.
+  CountingSink inner;
+  FaultConfig config;
+  config.delay_probability = 1.0;
+  FaultInjector faults(1, config);
+  invalidator::FaultInjectingSink sink(&inner, &faults);
+
+  EXPECT_FALSE(sink.SendInvalidation(Eject("http://c/p"), "k").ok());
+  EXPECT_EQ(inner.deliveries, 1);  // Delivered despite the failure report.
+}
+
+class FaultConnectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}}))
+            .ok());
+    db_.ExecuteSql("INSERT INTO T VALUES (1)").value();
+    driver_.BindDatabase("main", &db_);
+    auto conn = driver_.Connect("jdbc:cacheportal:main");
+    ASSERT_TRUE(conn.ok());
+    conn_ = std::move(*conn);
+  }
+
+  ManualClock clock_;
+  db::Database db_{&clock_};
+  server::MemoryDbDriver driver_;
+  std::unique_ptr<server::Connection> conn_;
+};
+
+TEST_F(FaultConnectionTest, ErrorsFailWithoutSideEffectsThenHeal) {
+  FaultConfig config;
+  config.transient_error_probability = 1.0;
+  FaultInjector faults(3, config);
+  server::FaultInjectingConnection flaky(conn_.get(), &faults);
+
+  EXPECT_FALSE(flaky.ExecuteQuery("SELECT * FROM T").ok());
+  EXPECT_FALSE(flaky.ExecuteUpdate("INSERT INTO T VALUES (2)").ok());
+  // The failed update really was suppressed, not half-applied.
+  EXPECT_EQ(conn_->ExecuteQuery("SELECT * FROM T")->rows.size(), 1u);
+
+  faults.Heal();
+  EXPECT_EQ(flaky.ExecuteQuery("SELECT * FROM T")->rows.size(), 1u);
+  EXPECT_EQ(flaky.ExecuteUpdate("INSERT INTO T VALUES (2)").value(), 1);
+}
+
+TEST_F(FaultConnectionTest, DelaysExecuteButAccountLatency) {
+  FaultConfig config;
+  config.delay_probability = 1.0;
+  config.delay = 10 * kMicrosPerMilli;
+  FaultInjector faults(3, config);
+  server::FaultInjectingConnection slow(conn_.get(), &faults);
+
+  EXPECT_TRUE(slow.ExecuteQuery("SELECT * FROM T").ok());
+  EXPECT_TRUE(slow.ExecuteQuery("SELECT * FROM T").ok());
+  EXPECT_EQ(slow.injected_delay(), 20 * kMicrosPerMilli);
+}
+
+/// The invalidator's contract under a flaky polling connection: a failed
+/// polling query costs precision (conservative invalidation), never
+/// freshness — the page is ejected even though the poll could not run.
+TEST(FlakyPollingTest, FailedPollsInvalidateConservatively) {
+  ManualClock clock;
+  db::Database db(&clock);
+  ASSERT_TRUE(db.CreateTable(db::TableSchema(
+                                 "Car", {{"maker", db::ColumnType::kString},
+                                         {"model", db::ColumnType::kString},
+                                         {"price", db::ColumnType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(
+      db.CreateTable(db::TableSchema(
+                         "Mileage", {{"model", db::ColumnType::kString},
+                                     {"EPA", db::ColumnType::kInt}}))
+          .ok());
+
+  server::MemoryDbDriver driver;
+  driver.BindDatabase("main", &db);
+  auto conn = driver.Connect("jdbc:cacheportal:main").value();
+  FaultConfig config;
+  config.drop_probability = 1.0;  // Every poll fails.
+  FaultInjector faults(11, config);
+  server::FaultInjectingConnection flaky(conn.get(), &faults);
+
+  sniffer::QiUrlMap map;
+  CountingSink sink;
+  invalidator::Invalidator inv(&db, &map, &clock);
+  inv.AddSink(&sink);
+  inv.SetPollingConnection(&flaky);
+
+  map.Add(
+      "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model "
+      "AND Car.price < 20000",
+      "shop/join?##", "/r", 0);
+  // 'Focus' has no Mileage row: a successful poll would come back empty
+  // and KEEP the page. With the poll failing, the invalidator cannot
+  // prove the page unaffected and must eject it.
+  db.ExecuteSql("INSERT INTO Car VALUES ('Ford', 'Focus', 15000)").value();
+  auto report = inv.RunCycle().value();
+  EXPECT_EQ(report.polls_issued, 1u);
+  EXPECT_EQ(report.conservative_invalidations, 1u);
+  EXPECT_EQ(report.pages_invalidated, 1u);
+  EXPECT_EQ(sink.deliveries, 1);
+  EXPECT_GT(faults.drops_injected(), 0u);
+}
+
+/// End-to-end wire faults: a WireCacheSink delivering over a real socket
+/// to an HttpServer whose responses are corrupted by a FaultInjector.
+TEST(WireFaultsTest, ServerFaultsSurfaceAsRetryableSinkFailures) {
+  ManualClock clock;
+  cache::PageCache page_cache(16, &clock);
+  class Origin : public server::RequestHandler {
+   public:
+    http::HttpResponse Handle(const http::HttpRequest&) override {
+      http::HttpResponse resp = http::HttpResponse::Ok("content");
+      http::CacheControl cc;
+      cc.is_private = true;
+      cc.owner = http::kCachePortalOwner;
+      resp.SetCacheControl(cc);
+      return resp;
+    }
+  } origin;
+  core::RemoteCacheEndpoint endpoint(&page_cache, &origin);
+  FaultInjector faults(5);  // Healthy until configured otherwise.
+  auto server = net::HttpServer::Start(net::WrapWireHandlerWithFaults(
+      &faults, [&endpoint](const std::string& request) {
+        return endpoint.HandleWire(request);
+      }));
+  ASSERT_TRUE(server.ok());
+  uint16_t port = (*server)->port();
+
+  core::WireCacheSink sink([port](const std::string& bytes) {
+    auto response = net::FetchWire(port, bytes);
+    return response.ok() ? *response : std::string();
+  });
+
+  // Populate the remote cache over the healthy wire.
+  auto get = http::HttpRequest::Get("http://edge/p?id=1");
+  ASSERT_TRUE(net::FetchWire(port, get->Serialize()).ok());
+  auto hit = http::HttpResponse::Parse(
+      *net::FetchWire(port, get->Serialize()));
+  ASSERT_EQ(hit->headers.Get("X-Cache"), "HIT");
+
+  // A 503 from the faulted server is a failed, retryable delivery.
+  FaultConfig config;
+  config.transient_error_probability = 1.0;
+  faults.SetConfig(config);
+  http::HttpRequest eject = Eject("http://edge/p?id=1");
+  EXPECT_FALSE(sink.SendInvalidation(eject, "k").ok());
+  EXPECT_EQ(sink.ejections_failed(), 1u);
+
+  // A dropped response likewise.
+  config.transient_error_probability = 0.0;
+  config.drop_probability = 1.0;
+  faults.SetConfig(config);
+  EXPECT_FALSE(sink.SendInvalidation(eject, "k").ok());
+  EXPECT_EQ(sink.ejections_failed(), 2u);
+
+  // Malform is the nasty one: the server EXECUTED the eject but the
+  // acknowledgement is garbage, so the sink must report failure...
+  config.drop_probability = 0.0;
+  config.malform_probability = 1.0;
+  faults.SetConfig(config);
+  EXPECT_FALSE(sink.SendInvalidation(eject, "k").ok());
+  EXPECT_EQ(sink.ejections_failed(), 3u);
+
+  // ...and the redelivery after healing succeeds via the idempotent 404
+  // path (the page is already gone).
+  faults.Heal();
+  EXPECT_TRUE(sink.SendInvalidation(eject, "k").ok());
+  auto miss = http::HttpResponse::Parse(
+      *net::FetchWire(port, get->Serialize()));
+  EXPECT_EQ(miss->headers.Get("X-Cache"), "MISS");
+}
+
+}  // namespace
+}  // namespace cacheportal

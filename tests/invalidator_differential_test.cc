@@ -17,9 +17,10 @@ using sql::Value;
 
 class RecordingSink : public InvalidationSink {
  public:
-  void SendInvalidation(const http::HttpRequest&,
-                        const std::string& cache_key) override {
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string& cache_key) override {
     invalidated.insert(cache_key);
+    return Status::OK();
   }
   std::set<std::string> invalidated;
 };

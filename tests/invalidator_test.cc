@@ -13,10 +13,11 @@ using sql::Value;
 /// Records invalidation messages instead of delivering them.
 class RecordingSink : public InvalidationSink {
  public:
-  void SendInvalidation(const http::HttpRequest& message,
-                        const std::string& cache_key) override {
+  Status SendInvalidation(const http::HttpRequest& message,
+                          const std::string& cache_key) override {
     keys.push_back(cache_key);
     messages.push_back(message);
+    return Status::OK();
   }
 
   std::vector<std::string> keys;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <mutex>
 
 #include "common/clock.h"
@@ -113,6 +118,67 @@ TEST(HttpServerTest, CacheEndpointOverRealTcp) {
 
   auto third = http::HttpResponse::Parse(*FetchWire(port, get->Serialize()));
   EXPECT_EQ(third->headers.Get("X-Cache"), "MISS");
+}
+
+TEST(HttpServerTest, SlowLorisConnectionIsDroppedAfterIoTimeout) {
+  HttpServerOptions options;
+  options.io_timeout = 100 * kMicrosPerMilli;
+  auto server = HttpServer::Start(
+      [](const std::string&) { return http::HttpResponse::Ok("x").Serialize(); },
+      options);
+  ASSERT_TRUE(server.ok());
+  uint16_t port = (*server)->port();
+
+  // A slow-loris peer: connects, sends a partial request line, and then
+  // goes silent. Without SO_RCVTIMEO this would wedge the
+  // single-threaded accept loop forever.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_GT(::send(fd, "GET / HTT", 9, 0), 0);
+
+  // A well-behaved request issued behind the stalled one: the server must
+  // time out the loris and still answer. FetchWire blocks until then.
+  auto wire = FetchWire(port,
+                        http::HttpRequest::Get("http://h/after")->Serialize());
+  ::close(fd);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(http::HttpResponse::Parse(*wire)->status_code, 200);
+  EXPECT_EQ((*server)->connections_timed_out(), 1u);
+  EXPECT_EQ((*server)->requests_handled(), 1u);
+}
+
+TEST(HttpServerTest, PartialBodyTimesOutWithoutWedgingTheServer) {
+  HttpServerOptions options;
+  options.io_timeout = 100 * kMicrosPerMilli;
+  auto server = HttpServer::Start(
+      [](const std::string&) { return http::HttpResponse::Ok("x").Serialize(); },
+      options);
+  ASSERT_TRUE(server.ok());
+  uint16_t port = (*server)->port();
+
+  // Headers promise a body that never arrives — the body-stage loris.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char kHeaders[] = "POST /buy HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+  ASSERT_GT(::send(fd, kHeaders, sizeof(kHeaders) - 1, 0), 0);
+
+  auto wire = FetchWire(port,
+                        http::HttpRequest::Get("http://h/after")->Serialize());
+  ::close(fd);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ((*server)->connections_timed_out(), 1u);
 }
 
 }  // namespace

@@ -3,11 +3,18 @@
 #include <map>
 #include <set>
 
+#include "cache/page_cache.h"
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/random.h"
 #include "common/strings.h"
+#include "core/page_cache_sink.h"
+#include "core/reliable_delivery.h"
+#include "core/remote_cache.h"
 #include "db/database.h"
+#include "invalidator/fault_sink.h"
 #include "invalidator/invalidator.h"
+#include "server/handler.h"
 #include "sniffer/qiurl_map.h"
 #include "sql/parser.h"
 
@@ -40,9 +47,10 @@ class InvalidationPropertyTest : public ::testing::TestWithParam<uint64_t> {
 
 class RecordingSink : public InvalidationSink {
  public:
-  void SendInvalidation(const http::HttpRequest&,
-                        const std::string& cache_key) override {
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string& cache_key) override {
     invalidated.insert(cache_key);
+    return Status::OK();
   }
   std::set<std::string> invalidated;
 };
@@ -203,6 +211,210 @@ TEST_P(InvalidationPropertyTest, CyclesAreIdempotentWithoutNewUpdates) {
   invalidator.RunCycle().value();
   invalidator.RunCycle().value();
   EXPECT_EQ(sink.invalidated.size(), after_first);
+}
+
+/// Origin serving cacheable content for the edge caches below.
+class CacheableOrigin : public server::RequestHandler {
+ public:
+  http::HttpResponse Handle(const http::HttpRequest&) override {
+    http::HttpResponse resp = http::HttpResponse::Ok("content");
+    http::CacheControl cc;
+    cc.is_private = true;
+    cc.owner = http::kCachePortalOwner;
+    resp.SetCacheControl(cc);
+    return resp;
+  }
+};
+
+/// The headline robustness property: with a seeded FaultInjector dropping
+/// a large fraction of eject messages (plus transient errors and lost
+/// acks), the ReliableDeliveryQueue's retries still leave NO stale page
+/// in ANY remote cache once the backlog drains — eventual freshness
+/// under an unreliable invalidation channel.
+TEST_P(InvalidationPropertyTest, EventualFreshnessUnderInjectedFaults) {
+  Random rng(GetParam() * 131 + 5);
+  ManualClock clock;
+  db::Database db(&clock);
+  ASSERT_TRUE(db.CreateTable(db::TableSchema(
+                                 "Car", {{"maker", db::ColumnType::kString},
+                                         {"model", db::ColumnType::kString},
+                                         {"price", db::ColumnType::kInt}}))
+                  .ok());
+  const char* models[] = {"Avalon", "Civic", "Eclipse", "Corolla", "Focus"};
+  const char* makers[] = {"Toyota", "Honda", "Mitsubishi", "Ford"};
+  for (int i = 0; i < 20; ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('",
+                         makers[rng.Uniform(4)], "', '",
+                         models[rng.Uniform(5)], "', ",
+                         rng.Uniform(30000), ")"))
+        .value();
+  }
+
+  // Two edge caches fed through the full wire path, each behind its own
+  // independently-seeded fault injector dropping >= 30% of ejects.
+  CacheableOrigin origin;
+  cache::PageCache edge_a(64, &clock), edge_b(64, &clock);
+  core::RemoteCacheEndpoint endpoint_a(&edge_a, &origin);
+  core::RemoteCacheEndpoint endpoint_b(&edge_b, &origin);
+  core::WireCacheSink wire_a(&endpoint_a), wire_b(&endpoint_b);
+  FaultConfig chaos;
+  chaos.drop_probability = 0.40;
+  chaos.transient_error_probability = 0.10;
+  chaos.delay_probability = 0.05;  // Delivered-but-ack-lost.
+  FaultInjector faults_a(GetParam() * 3 + 1, chaos);
+  FaultInjector faults_b(GetParam() * 7 + 2, chaos);
+  FaultInjectingSink flaky_a(&wire_a, &faults_a);
+  FaultInjectingSink flaky_b(&wire_b, &faults_b);
+
+  core::DeliveryOptions dopts;
+  dopts.initial_backoff = 10 * kMicrosPerMilli;
+  dopts.max_attempts = 50;
+  dopts.delivery_deadline = 0;  // Attempt-bounded.
+  dopts.jitter_seed = GetParam();
+  core::ReliableDeliveryQueue queue(&clock, dopts);
+  queue.AddSink(&flaky_a, "edge-a", [&edge_a] { edge_a.Clear(); });
+  queue.AddSink(&flaky_b, "edge-b", [&edge_b] { edge_b.Clear(); });
+
+  sniffer::QiUrlMap map;
+  Invalidator invalidator(&db, &map, &clock, {});
+  invalidator.AddSink(&queue);
+  invalidator.RunCycle().value();  // Drain the seeding inserts.
+
+  // Cache pages at both edges and register their query instances.
+  struct Page {
+    http::PageId id;
+    std::string sql;
+    std::string snapshot;
+  };
+  std::vector<Page> pages;
+  for (int i = 0; i < 10; ++i) {
+    Page page;
+    page.sql = i % 2 == 0
+                   ? StrCat("SELECT * FROM Car WHERE price < ",
+                            5000 + rng.Uniform(25000))
+                   : StrCat("SELECT * FROM Car WHERE maker = '",
+                            makers[rng.Uniform(4)], "'");
+    std::string url = StrCat("http://shop/p", i, "?q=", i);
+    endpoint_a.HandleWire(http::HttpRequest::Get(url)->Serialize());
+    endpoint_b.HandleWire(http::HttpRequest::Get(url)->Serialize());
+    page.id = http::HttpRequest::Get(url)->ToPageId();
+    page.snapshot = Snapshot(&db, page.sql);
+    map.Add(page.sql, page.id.CacheKey(), "/p", 0);
+    pages.push_back(std::move(page));
+  }
+  ASSERT_EQ(edge_a.size(), pages.size());
+  invalidator.RunCycle().value();  // Register the instances.
+
+  // Random update burst, then one invalidation cycle feeding the queue.
+  for (int i = 0; i < 3 + static_cast<int>(rng.Uniform(8)); ++i) {
+    if (rng.OneIn(0.5)) {
+      db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('",
+                           makers[rng.Uniform(4)], "', '",
+                           models[rng.Uniform(5)], "', ",
+                           rng.Uniform(30000), ")"))
+          .value();
+    } else {
+      db.ExecuteSql(StrCat("DELETE FROM Car WHERE price > ",
+                           15000 + rng.Uniform(15000)))
+          .value();
+    }
+  }
+  clock.Advance(kMicrosPerSecond);
+  invalidator.RunCycle().value();
+
+  // Let the retry machinery grind the backlog down to zero.
+  queue.DrainWith(&clock);
+  ASSERT_EQ(queue.pending(), 0u);
+
+  // THE INVARIANT: no changed page survives in either edge cache.
+  for (const Page& page : pages) {
+    if (Snapshot(&db, page.sql) == page.snapshot) continue;
+    EXPECT_FALSE(edge_a.Contains(page.id))
+        << "stale page at edge-a: " << page.sql;
+    EXPECT_FALSE(edge_b.Contains(page.id))
+        << "stale page at edge-b: " << page.sql;
+  }
+  RecordProperty("faults_injected", static_cast<int>(faults_a.faults_injected() +
+                                                     faults_b.faults_injected()));
+  RecordProperty("retries", static_cast<int>(queue.stats().retries));
+  RecordProperty("escalations", static_cast<int>(queue.stats().escalations));
+}
+
+/// Permanent sink failure: retries exhaust and the dead-letter policy
+/// fires. Under kFlush the unreachable cache is cleared wholesale — stale
+/// content cannot be served even though no eject ever got through.
+TEST(DeadLetterTest, PermanentFailureFlushesInsteadOfServingStale) {
+  ManualClock clock;
+  db::Database db(&clock);
+  ASSERT_TRUE(db.CreateTable(db::TableSchema(
+                                 "Car", {{"maker", db::ColumnType::kString},
+                                         {"model", db::ColumnType::kString},
+                                         {"price", db::ColumnType::kInt}}))
+                  .ok());
+  CacheableOrigin origin;
+  cache::PageCache edge(16, &clock);
+  core::RemoteCacheEndpoint endpoint(&edge, &origin);
+  core::WireCacheSink wire(&endpoint);
+  FaultConfig dead;
+  dead.drop_probability = 1.0;  // The cache is unreachable, forever.
+  FaultInjector faults(1, dead);
+  FaultInjectingSink unreachable(&wire, &faults);
+
+  core::DeliveryOptions dopts;
+  dopts.max_attempts = 4;
+  core::ReliableDeliveryQueue queue(&clock, dopts);
+  queue.AddSink(&unreachable, "edge", [&edge] { edge.Clear(); });
+
+  sniffer::QiUrlMap map;
+  Invalidator invalidator(&db, &map, &clock, {});
+  invalidator.AddSink(&queue);
+
+  endpoint.HandleWire(
+      http::HttpRequest::Get("http://shop/p?q=1")->Serialize());
+  ASSERT_EQ(edge.size(), 1u);
+  std::string key =
+      http::HttpRequest::Get("http://shop/p?q=1")->ToPageId().CacheKey();
+  map.Add("SELECT * FROM Car WHERE price < 20000", key, "/p", 0);
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
+  invalidator.RunCycle().value();
+
+  queue.DrainWith(&clock);
+  EXPECT_EQ(queue.stats().escalations, 1u);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(edge.size(), 0u);  // Flushed: freshness preserved wholesale.
+  EXPECT_FALSE(queue.IsQuarantined("edge"));
+}
+
+/// Same scenario under kQuarantine: the cache keeps its (stale) content
+/// but the queue marks it unservable until an operator reinstates it.
+TEST(DeadLetterTest, QuarantinePolicyMarksTheSinkUnservable) {
+  ManualClock clock;
+  cache::PageCache edge(16, &clock);
+  core::PageCacheSink real_sink(&edge);
+  FaultConfig dead;
+  dead.drop_probability = 1.0;
+  FaultInjector faults(1, dead);
+  FaultInjectingSink unreachable(&real_sink, &faults);
+
+  core::DeliveryOptions dopts;
+  dopts.max_attempts = 3;
+  dopts.escalation = core::DeliveryOptions::Escalation::kQuarantine;
+  core::ReliableDeliveryQueue queue(&clock, dopts);
+  queue.AddSink(&unreachable, "edge");
+
+  http::HttpRequest eject = *http::HttpRequest::Get("http://shop/p?q=1");
+  eject.headers.Set("Cache-Control", "eject");
+  queue.SendInvalidation(eject, "shop/p?q=1##");
+  queue.DrainWith(&clock);
+  EXPECT_TRUE(queue.IsQuarantined("edge"));
+  EXPECT_EQ(queue.stats().escalations, 1u);
+
+  // Once the network heals, an operator reinstates the sink and the
+  // normal delivery path resumes.
+  faults.Heal();
+  queue.Reinstate("edge");
+  EXPECT_TRUE(queue.SendInvalidation(eject, "shop/p?q=1##").ok());
+  EXPECT_EQ(queue.pending(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InvalidationPropertyTest,

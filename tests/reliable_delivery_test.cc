@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/reliable_delivery.h"
+#include "http/message.h"
+
+namespace cacheportal::core {
+namespace {
+
+/// Sink whose failures are scripted by the test.
+class ScriptedSink : public invalidator::InvalidationSink {
+ public:
+  Status SendInvalidation(const http::HttpRequest& message,
+                          const std::string& cache_key) override {
+    ++attempts;
+    if (always_fail || fail_next > 0) {
+      if (fail_next > 0) --fail_next;
+      return Status::Internal("scripted failure");
+    }
+    delivered.push_back(cache_key);
+    last_message = message;
+    return Status::OK();
+  }
+
+  int fail_next = 0;
+  bool always_fail = false;
+  int attempts = 0;
+  std::vector<std::string> delivered;
+  http::HttpRequest last_message;
+};
+
+http::HttpRequest Eject(const std::string& path) {
+  http::HttpRequest message = *http::HttpRequest::Get("http://cache" + path);
+  message.headers.Set("Cache-Control", "eject");
+  return message;
+}
+
+DeliveryOptions NoJitterOptions() {
+  DeliveryOptions options;
+  options.initial_backoff = 100 * kMicrosPerMilli;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = 10 * kMicrosPerSecond;
+  options.jitter_fraction = 0.0;  // Exact schedules for assertions.
+  options.delivery_deadline = 0;  // Attempt-bounded unless a test opts in.
+  return options;
+}
+
+TEST(ReliableDeliveryTest, DeliversImmediatelyWhenHealthy) {
+  ManualClock clock;
+  ScriptedSink sink;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&sink, "edge");
+
+  EXPECT_TRUE(queue.SendInvalidation(Eject("/p1"), "k1").ok());
+  EXPECT_EQ(sink.delivered, std::vector<std::string>{"k1"});
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().delivered_first_try, 1u);
+  EXPECT_EQ(queue.stats().retries, 0u);
+  EXPECT_FALSE(queue.NextRetryAt().has_value());
+}
+
+TEST(ReliableDeliveryTest, RetriesWithExponentialBackoff) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.fail_next = 3;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&sink, "edge");
+
+  queue.SendInvalidation(Eject("/p1"), "k1");  // Attempt 1 fails at t=0.
+  EXPECT_EQ(sink.attempts, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  ASSERT_TRUE(queue.NextRetryAt().has_value());
+  EXPECT_EQ(*queue.NextRetryAt(), 100 * kMicrosPerMilli);
+
+  // Before the backoff elapses, pumping must not retry.
+  clock.Advance(50 * kMicrosPerMilli);
+  EXPECT_EQ(queue.Pump(), 0u);
+  EXPECT_EQ(sink.attempts, 1);
+
+  clock.SetTime(100 * kMicrosPerMilli);  // Attempt 2 fails.
+  EXPECT_EQ(queue.Pump(), 0u);
+  EXPECT_EQ(sink.attempts, 2);
+  EXPECT_EQ(*queue.NextRetryAt(), 300 * kMicrosPerMilli);  // +200ms.
+
+  clock.SetTime(300 * kMicrosPerMilli);  // Attempt 3 fails.
+  EXPECT_EQ(queue.Pump(), 0u);
+  EXPECT_EQ(*queue.NextRetryAt(), 700 * kMicrosPerMilli);  // +400ms.
+
+  clock.SetTime(700 * kMicrosPerMilli);  // Attempt 4 succeeds.
+  EXPECT_EQ(queue.Pump(), 1u);
+  EXPECT_EQ(sink.delivered, std::vector<std::string>{"k1"});
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().retries, 3u);
+  EXPECT_EQ(queue.stats().delivered, 1u);
+  EXPECT_EQ(queue.stats().delivered_first_try, 0u);
+}
+
+TEST(ReliableDeliveryTest, BackoffIsCappedAtMaxBackoff) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_backoff = 300 * kMicrosPerMilli;
+  options.max_attempts = 100;
+  ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&sink, "edge");
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  // Walk a few retries; after the cap the gap stays at max_backoff.
+  Micros prev = 0;
+  for (int i = 0; i < 6; ++i) {
+    Micros next = *queue.NextRetryAt();
+    EXPECT_LE(next - prev, 300 * kMicrosPerMilli + 1);
+    prev = clock.NowMicros();
+    clock.SetTime(next);
+    queue.Pump();
+    prev = next;
+  }
+  EXPECT_EQ(*queue.NextRetryAt() - prev, 300 * kMicrosPerMilli);
+}
+
+TEST(ReliableDeliveryTest, JitterIsDeterministicPerSeed) {
+  DeliveryOptions options = NoJitterOptions();
+  options.jitter_fraction = 0.3;
+  options.jitter_seed = 1234;
+
+  auto schedule = [&options]() {
+    ManualClock clock;
+    ScriptedSink sink;
+    sink.always_fail = true;
+    ReliableDeliveryQueue queue(&clock, options);
+    queue.AddSink(&sink, "edge");
+    queue.SendInvalidation(Eject("/p1"), "k1");
+    std::vector<Micros> retries;
+    for (int i = 0; i < 5; ++i) {
+      retries.push_back(*queue.NextRetryAt());
+      clock.SetTime(retries.back());
+      queue.Pump();
+    }
+    return retries;
+  };
+
+  std::vector<Micros> first = schedule();
+  std::vector<Micros> second = schedule();
+  EXPECT_EQ(first, second);  // Same seed: identical schedule.
+  // And the jitter actually perturbs the deterministic base schedule.
+  EXPECT_NE(first[0], 100 * kMicrosPerMilli);
+}
+
+TEST(ReliableDeliveryTest, PerSinkFifoOrderSurvivesRetries) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.fail_next = 5;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&sink, "edge");
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  queue.SendInvalidation(Eject("/p2"), "k2");
+  queue.SendInvalidation(Eject("/p3"), "k3");
+  EXPECT_EQ(queue.pending(), 3u);
+
+  EXPECT_EQ(queue.DrainWith(&clock), 3u);
+  EXPECT_EQ(sink.delivered, (std::vector<std::string>{"k1", "k2", "k3"}));
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(ReliableDeliveryTest, IndependentSinksDoNotShareFate) {
+  ManualClock clock;
+  ScriptedSink healthy, flaky;
+  flaky.fail_next = 2;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&healthy, "healthy");
+  queue.AddSink(&flaky, "flaky");
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  // The healthy sink is done immediately; only the flaky one queues.
+  EXPECT_EQ(healthy.delivered, std::vector<std::string>{"k1"});
+  EXPECT_EQ(queue.pending_for("healthy"), 0u);
+  EXPECT_EQ(queue.pending_for("flaky"), 1u);
+
+  queue.DrainWith(&clock);
+  EXPECT_EQ(flaky.delivered, std::vector<std::string>{"k1"});
+  EXPECT_EQ(healthy.attempts, 1);  // Never retried against the healthy sink.
+}
+
+TEST(ReliableDeliveryTest, ExhaustedAttemptsFlushTheSink) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 3;
+  ReliableDeliveryQueue queue(&clock, options);
+  int flushes = 0;
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  queue.SendInvalidation(Eject("/p2"), "k2");
+  EXPECT_EQ(queue.DrainWith(&clock), 0u);
+
+  // The head message burned its 3 attempts; escalation flushed the cache
+  // wholesale and dead-lettered the rest of the backlog.
+  EXPECT_EQ(flushes, 1);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().escalations, 1u);
+  EXPECT_EQ(queue.stats().dead_lettered, 2u);
+  EXPECT_FALSE(queue.IsQuarantined("edge"));
+
+  // A flushed sink keeps receiving future messages once it heals.
+  sink.always_fail = false;
+  queue.SendInvalidation(Eject("/p3"), "k3");
+  EXPECT_EQ(sink.delivered, std::vector<std::string>{"k3"});
+}
+
+TEST(ReliableDeliveryTest, EscalationQuarantinesWithoutFlushFn) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 2;
+  ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&sink, "edge");  // kFlush but no flush callback.
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  queue.DrainWith(&clock);
+  EXPECT_TRUE(queue.IsQuarantined("edge"));
+
+  // Messages to a quarantined sink are dead-lettered, not attempted.
+  int attempts_before = sink.attempts;
+  queue.SendInvalidation(Eject("/p2"), "k2");
+  EXPECT_EQ(sink.attempts, attempts_before);
+  EXPECT_EQ(queue.pending(), 0u);
+
+  // Reinstating resumes delivery.
+  sink.always_fail = false;
+  queue.Reinstate("edge");
+  queue.SendInvalidation(Eject("/p3"), "k3");
+  EXPECT_EQ(sink.delivered, std::vector<std::string>{"k3"});
+}
+
+TEST(ReliableDeliveryTest, QuarantinePolicyNeverCallsFlush) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 2;
+  options.escalation = DeliveryOptions::Escalation::kQuarantine;
+  ReliableDeliveryQueue queue(&clock, options);
+  int flushes = 0;
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  queue.DrainWith(&clock);
+  EXPECT_EQ(flushes, 0);
+  EXPECT_TRUE(queue.IsQuarantined("edge"));
+}
+
+TEST(ReliableDeliveryTest, DeadlineDeadLettersWithAttemptsRemaining) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 100;
+  options.initial_backoff = 400 * kMicrosPerMilli;
+  options.delivery_deadline = kMicrosPerSecond;
+  ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&sink, "edge");
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  queue.DrainWith(&clock);
+  // Attempts at t=0, 400ms, 1200ms; the third fails past the 1s deadline
+  // and escalates long before the 100-attempt budget.
+  EXPECT_EQ(sink.attempts, 3);
+  EXPECT_EQ(queue.stats().escalations, 1u);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(ReliableDeliveryTest, CheckpointRestoresPendingMessages) {
+  ManualClock clock_a;
+  ScriptedSink sink_a;
+  sink_a.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 10;
+  ReliableDeliveryQueue queue_a(&clock_a, options);
+  queue_a.AddSink(&sink_a, "edge");
+
+  http::HttpRequest eject = Eject("/p1?id=7");
+  queue_a.SendInvalidation(eject, "k1");
+  queue_a.SendInvalidation(Eject("/p2"), "k2");
+  ASSERT_EQ(queue_a.pending(), 2u);
+  std::string state = queue_a.CheckpointState();
+
+  // "Restart": a fresh queue over a fresh clock and a healthy sink
+  // registered under the same name.
+  ManualClock clock_b;
+  clock_b.SetTime(5 * kMicrosPerSecond);
+  ScriptedSink sink_b;
+  ReliableDeliveryQueue queue_b(&clock_b, options);
+  queue_b.AddSink(&sink_b, "edge");
+  ASSERT_TRUE(queue_b.RestoreState(state).ok());
+  EXPECT_EQ(queue_b.pending_for("edge"), 2u);
+
+  EXPECT_EQ(queue_b.Pump(), 2u);
+  EXPECT_EQ(sink_b.delivered, (std::vector<std::string>{"k1", "k2"}));
+  // The restored message is the original eject, not a husk: headers and
+  // parameters survived the round trip.
+  EXPECT_EQ(sink_b.last_message.headers.Get("Cache-Control"), "eject");
+}
+
+TEST(ReliableDeliveryTest, CheckpointPreservesQuarantine) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 1;
+  options.escalation = DeliveryOptions::Escalation::kQuarantine;
+  ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&sink, "edge");
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  ASSERT_TRUE(queue.IsQuarantined("edge"));
+
+  ReliableDeliveryQueue restored(&clock, options);
+  ScriptedSink sink2;
+  restored.AddSink(&sink2, "edge");
+  ASSERT_TRUE(restored.RestoreState(queue.CheckpointState()).ok());
+  EXPECT_TRUE(restored.IsQuarantined("edge"));
+}
+
+TEST(ReliableDeliveryTest, RestoreRejectsUnknownSinkAndGarbage) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&sink, "edge");
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  std::string state = queue.CheckpointState();
+
+  ReliableDeliveryQueue other(&clock, NoJitterOptions());
+  other.AddSink(&sink, "differently-named");
+  EXPECT_FALSE(other.RestoreState(state).ok());
+  EXPECT_FALSE(other.RestoreState("garbage").ok());
+  EXPECT_FALSE(other.RestoreState("").ok());
+  // Truncation is detected, not mis-parsed.
+  EXPECT_FALSE(other.RestoreState(state.substr(0, state.size() / 2)).ok());
+}
+
+}  // namespace
+}  // namespace cacheportal::core
