@@ -20,7 +20,9 @@ using namespace cacheportal;
 /// A self-contained world: the Example 4.1 schema, `instances` cached
 /// query instances (half single-table, half joins), ready for cycles.
 struct World {
-  World(int instances, bool with_join_index) : db(&clock) {
+  World(int instances, bool with_join_index,
+        invalidator::InvalidatorOptions options = {}, int mileage_rows = 100)
+      : db(&clock) {
     db.CreateTable(db::TableSchema("Car",
                                    {{"maker", db::ColumnType::kString},
                                     {"model", db::ColumnType::kString},
@@ -30,14 +32,14 @@ struct World {
                                    {{"model", db::ColumnType::kString},
                                     {"EPA", db::ColumnType::kInt}}))
         .ok();
-    for (int i = 0; i < 100; ++i) {
+    for (int i = 0; i < mileage_rows; ++i) {
       db.ExecuteSql(
             StrCat("INSERT INTO Mileage VALUES ('m", i, "', ", i % 50, ")"))
           .value();
     }
     invalidator =
         std::make_unique<invalidator::Invalidator>(&db, &map, &clock,
-                                                   invalidator::InvalidatorOptions{});
+                                                   options);
     if (with_join_index) {
       invalidator->CreateJoinIndex("Mileage", "model").ok();
     }
@@ -122,6 +124,28 @@ void BM_CycleVsBatchSize(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_CycleVsBatchSize)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+/// Parallel-pipeline scaling: a poll-heavy cycle (no join index, so every
+/// join instance's poll goes to the DBMS and scans a 2000-row Mileage)
+/// swept across worker counts. UseRealTime is required: pooled work runs
+/// off the benchmark thread, so its CPU-time clock would miss it.
+void BM_CycleVsWorkers(benchmark::State& state) {
+  invalidator::InvalidatorOptions options;
+  options.worker_threads = static_cast<size_t>(state.range(0));
+  World world(200, false, options, /*mileage_rows=*/2000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.AddUpdates(10);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+  state.counters["polls/cycle"] = static_cast<double>(
+      world.invalidator->stats().polls_issued /
+      std::max<uint64_t>(1, world.invalidator->stats().cycles));
+}
+BENCHMARK(BM_CycleVsWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 namespace cacheportal {
 
 std::string FaultInjector::Malform(std::string bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (bytes.empty()) return "\x01";
   switch (rng_.Uniform(3)) {
     case 0:  // Truncate somewhere inside the payload.

@@ -2,6 +2,7 @@
 #define CACHEPORTAL_COMMON_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -40,21 +41,35 @@ struct FaultConfig {
 /// Decisions consume the internal RNG in a fixed order (drop, error,
 /// malform, delay), so two injectors with the same seed and config make
 /// identical decisions — tests replay exactly.
+///
+/// Thread-safe: wire-level wrappers consult the injector from server
+/// threads while the test thread stages fault windows via SetConfig /
+/// Heal, so every member serializes on an internal mutex.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed, FaultConfig config = {})
       : rng_(seed), config_(config) {}
 
   /// Replaces the active fault mix (e.g. to stage a fault window).
-  void SetConfig(const FaultConfig& config) { config_ = config; }
+  void SetConfig(const FaultConfig& config) {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+  }
 
   /// Stops injecting: all probabilities to zero. Counters are kept.
-  void Heal() { config_ = FaultConfig{}; }
+  void Heal() {
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = FaultConfig{};
+  }
 
-  const FaultConfig& config() const { return config_; }
+  FaultConfig config() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return config_;
+  }
 
   /// True if the current operation's payload should be lost.
   bool ShouldDrop() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!Fires(config_.drop_probability)) return false;
     ++drops_injected_;
     return true;
@@ -62,6 +77,7 @@ class FaultInjector {
 
   /// True if the current operation should fail with a transient error.
   bool ShouldError() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!Fires(config_.transient_error_probability)) return false;
     ++errors_injected_;
     return true;
@@ -69,6 +85,7 @@ class FaultInjector {
 
   /// True if the current operation's bytes should be corrupted.
   bool ShouldMalform() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!Fires(config_.malform_probability)) return false;
     ++malforms_injected_;
     return true;
@@ -76,6 +93,7 @@ class FaultInjector {
 
   /// The latency to inject into the current operation, if any.
   std::optional<Micros> ShouldDelay() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!Fires(config_.delay_probability)) return std::nullopt;
     ++delays_injected_;
     return config_.delay;
@@ -87,21 +105,36 @@ class FaultInjector {
   std::string Malform(std::string bytes);
 
   // Lifetime counters (survive Heal()).
-  uint64_t drops_injected() const { return drops_injected_; }
-  uint64_t errors_injected() const { return errors_injected_; }
-  uint64_t malforms_injected() const { return malforms_injected_; }
-  uint64_t delays_injected() const { return delays_injected_; }
+  uint64_t drops_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return drops_injected_;
+  }
+  uint64_t errors_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return errors_injected_;
+  }
+  uint64_t malforms_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return malforms_injected_;
+  }
+  uint64_t delays_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return delays_injected_;
+  }
   uint64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return drops_injected_ + errors_injected_ + malforms_injected_ +
            delays_injected_;
   }
 
  private:
+  /// Caller holds mu_.
   bool Fires(double probability) {
     if (probability <= 0.0) return false;
     return rng_.NextDouble() < probability;
   }
 
+  mutable std::mutex mu_;
   Random rng_;
   FaultConfig config_;
   uint64_t drops_injected_ = 0;

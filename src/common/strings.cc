@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace cacheportal {
 
@@ -74,6 +75,23 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
 bool EndsWith(std::string_view text, std::string_view suffix) {
   return text.size() >= suffix.size() &&
          text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  if (text.empty()) return Status::ParseError("empty integer");
+  uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError(
+        StrCat("integer out of uint64 range: '", std::string(text), "'"));
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError(
+        StrCat("not an unsigned integer: '", std::string(text), "'"));
+  }
+  return value;
 }
 
 }  // namespace cacheportal

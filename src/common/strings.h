@@ -1,10 +1,13 @@
 #ifndef CACHEPORTAL_COMMON_STRINGS_H_
 #define CACHEPORTAL_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace cacheportal {
 
@@ -31,6 +34,13 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
 bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict decimal parse of an unsigned 64-bit integer: the whole of
+/// `text` must be digits and the value must fit, else ParseError. Unlike
+/// strtoull, never coerces garbage (or a leading '-') to a number —
+/// checkpoint/restore paths depend on corrupt input being rejected
+/// rather than silently parsed as 0.
+Result<uint64_t> ParseUint64(std::string_view text);
 
 /// Streams all arguments into a single string. Lightweight stand-in for
 /// absl::StrCat (std::format is unavailable on the toolchain we target).

@@ -1,0 +1,68 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace cacheportal {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t blocks = std::min(n, threads_.size());
+  if (blocks <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = n * b / blocks;
+    const size_t end = n * (b + 1) / blocks;
+    futures.push_back(Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace cacheportal

@@ -1,0 +1,58 @@
+#ifndef CACHEPORTAL_COMMON_THREAD_POOL_H_
+#define CACHEPORTAL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cacheportal {
+
+/// A fixed-size worker pool for fanning independent work out across
+/// threads. Built for the invalidator's parallel pipeline but generic:
+/// Submit() enqueues one task and returns a future; ParallelFor() shards
+/// an index range across the workers and blocks until every shard ran.
+///
+/// The pool never grows or shrinks; the destructor drains outstanding
+/// tasks and joins. Tasks must not Submit() back into the pool they run
+/// on (a task waiting on a sibling's future could deadlock once all
+/// workers wait).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. `workers` must be >= 1.
+  explicit ThreadPool(size_t workers);
+
+  /// Drains queued tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return threads_.size(); }
+
+  /// Enqueues `fn`; the returned future resolves when it has run (and
+  /// rethrows anything it threw).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [0, n), sharded into contiguous blocks
+  /// across the workers, and blocks until all calls returned. `fn` must
+  /// be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_THREAD_POOL_H_

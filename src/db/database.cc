@@ -175,7 +175,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql_text) {
 
 Result<QueryResult> Database::ExecuteQuery(
     const sql::SelectStatement& stmt) const {
-  ++queries_executed_;
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
   Executor executor(this);
   return executor.Execute(stmt);
 }

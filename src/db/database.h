@@ -1,6 +1,7 @@
 #ifndef CACHEPORTAL_DB_DATABASE_H_
 #define CACHEPORTAL_DB_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,8 +29,12 @@ struct QueryResult {
 /// executor, and an update log that external observers (the CachePortal
 /// invalidator) can poll. Stands in for the paper's Oracle 8i instance.
 ///
-/// Thread-compatibility: a Database confines itself to one thread; the
-/// simulation and server layers serialize access.
+/// Thread-compatibility: mutations (DML, DDL) confine themselves to one
+/// thread; the simulation and server layers serialize access. Read-only
+/// queries (ExecuteQuery / SELECT through ExecuteSql) may run
+/// concurrently with each other — the invalidator's parallel polling
+/// phase relies on this — as long as no mutation is in flight; the only
+/// state they touch are atomic accounting counters.
 class Database {
  public:
   /// `clock` supplies update-log timestamps; pass nullptr to use an
@@ -71,7 +76,9 @@ class Database {
   UpdateLog& update_log() { return update_log_; }
 
   /// Total queries executed (SELECTs), for load accounting.
-  uint64_t queries_executed() const { return queries_executed_; }
+  uint64_t queries_executed() const {
+    return queries_executed_.load(std::memory_order_relaxed);
+  }
   /// Total DML statements executed.
   uint64_t dml_executed() const { return dml_executed_; }
 
@@ -82,7 +89,8 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> order_;
   UpdateLog update_log_;
-  mutable uint64_t queries_executed_ = 0;
+  // Atomic so concurrent read-only queries stay race-free.
+  mutable std::atomic<uint64_t> queries_executed_{0};
   uint64_t dml_executed_ = 0;
 };
 

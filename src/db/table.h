@@ -1,6 +1,7 @@
 #ifndef CACHEPORTAL_DB_TABLE_H_
 #define CACHEPORTAL_DB_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -57,9 +58,13 @@ class Table {
   const std::map<RowId, Row>& rows() const { return rows_; }
 
   /// Cumulative count of rows touched by scans/lookups (cost accounting
-  /// for the benchmarks).
-  uint64_t rows_scanned() const { return rows_scanned_; }
-  void BumpScanned(uint64_t n) const { rows_scanned_ += n; }
+  /// for the benchmarks). Atomic: concurrent read-only queries bump it.
+  uint64_t rows_scanned() const {
+    return rows_scanned_.load(std::memory_order_relaxed);
+  }
+  void BumpScanned(uint64_t n) const {
+    rows_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   using IndexMap =
@@ -73,7 +78,7 @@ class Table {
   RowId next_id_ = 1;
   // column index in schema -> value -> row ids.
   std::map<size_t, IndexMap> indexes_;
-  mutable uint64_t rows_scanned_ = 0;
+  mutable std::atomic<uint64_t> rows_scanned_{0};
 };
 
 }  // namespace cacheportal::db

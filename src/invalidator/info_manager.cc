@@ -1,6 +1,7 @@
 #include "invalidator/info_manager.h"
 
 #include <functional>
+#include <mutex>
 
 #include "common/strings.h"
 
@@ -32,6 +33,7 @@ Status InformationManager::CreateJoinIndex(const std::string& table,
   }
   auto key = std::make_pair(AsciiToLower(t->schema().name()),
                             AsciiToLower(column));
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (indexes_.contains(key)) {
     return Status::AlreadyExists(StrCat("join index on ", table, ".", column));
   }
@@ -43,11 +45,13 @@ Status InformationManager::CreateJoinIndex(const std::string& table,
 
 bool InformationManager::HasIndex(const std::string& table,
                                   const std::string& column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return indexes_.contains(
       std::make_pair(AsciiToLower(table), AsciiToLower(column)));
 }
 
 void InformationManager::ApplyDeltas(const db::DeltaSet& deltas) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [key, index] : indexes_) {
     const db::TableDelta& delta = deltas.ForTable(index.table());
     for (const db::Row& row : delta.inserts) index.AddRow(row);
@@ -109,6 +113,7 @@ std::optional<bool> InformationManager::AnswerPoll(
   if (poll.from.size() != 1 || poll.where == nullptr) return std::nullopt;
   const sql::TableRef& ref = poll.from[0];
   std::string table_key = AsciiToLower(ref.table);
+  std::shared_lock<std::shared_mutex> lock(mu_);
 
   std::vector<const sql::Expression*> disjuncts;
   FlattenDisjuncts(*poll.where, &disjuncts);

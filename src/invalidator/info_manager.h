@@ -3,6 +3,7 @@
 
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -47,6 +48,11 @@ class JoinIndex {
 /// data structures — here, join indexes — that the invalidation module
 /// consults before generating DBMS polling traffic, and keeps them in
 /// sync with the update stream.
+///
+/// Thread-safety: the read paths (AnswerPoll, HasIndex) take a shared
+/// lock and may run concurrently from the invalidator's analysis workers;
+/// the mutating paths (CreateJoinIndex, ApplyDeltas) take the lock
+/// exclusively and belong to the cycle's serial phases.
 class InformationManager {
  public:
   /// `database` is used to bootstrap indexes from current table contents
@@ -59,7 +65,10 @@ class InformationManager {
   Status CreateJoinIndex(const std::string& table, const std::string& column);
 
   bool HasIndex(const std::string& table, const std::string& column) const;
-  size_t num_indexes() const { return indexes_.size(); }
+  size_t num_indexes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return indexes_.size();
+  }
 
   /// Folds one synchronization interval's deltas into the indexes (the
   /// daemon process of Section 4.3).
@@ -74,6 +83,8 @@ class InformationManager {
 
  private:
   const db::Database* database_;
+  // Shared for AnswerPoll/HasIndex, exclusive for mutations.
+  mutable std::shared_mutex mu_;
   // (lower table, lower column) -> index.
   std::map<std::pair<std::string, std::string>, JoinIndex> indexes_;
 };

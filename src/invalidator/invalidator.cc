@@ -1,6 +1,6 @@
 #include "invalidator/invalidator.h"
 
-#include <cstdlib>
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
@@ -24,6 +24,9 @@ Invalidator::Invalidator(db::Database* database, sniffer::QiUrlMap* map,
   if (options_.polling_cache_capacity > 0) {
     polling_cache_ = std::make_unique<PollingDataCache>(
         database_, options_.polling_cache_capacity);
+  }
+  if (options_.worker_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
   // Attach at the database's current position: updates that committed
   // before CachePortal was deployed predate every cached page.
@@ -74,6 +77,7 @@ std::string Invalidator::StatsReport() const {
       " poll-hits=", stats_.poll_hits,
       " conservative=", stats_.conservative_invalidations,
       " pages-invalidated=", stats_.pages_invalidated,
+      " messages-sent=", stats_.messages_sent,
       " send-failures=", stats_.send_failures, "\n");
   for (const QueryType* type : registry_.Types()) {
     const QueryTypeStats& ts = type->stats;
@@ -139,20 +143,40 @@ Status Invalidator::Restore(const std::string& checkpoint) {
       saw_end = true;
       break;
     }
+    // All numeric fields parse strictly: a corrupt `update_seq` that
+    // strtoull would coerce to 0 must fail loudly, not silently rewind
+    // the cursor to the log's beginning (replaying every update), and a
+    // garbled sink index must not misassign durable sink state.
     if (fields[0] == "update_seq" && fields.size() == 2) {
-      update_seq = std::strtoull(fields[1].c_str(), nullptr, 10);
+      Result<uint64_t> seq = ParseUint64(fields[1]);
+      if (!seq.ok()) {
+        return Status::ParseError(StrCat("bad update_seq in checkpoint: ",
+                                         seq.status().message()));
+      }
+      update_seq = *seq;
       saw_update_seq = true;
     } else if (fields[0] == "map_id" && fields.size() == 2) {
-      // Parsed for format completeness; restore rescans the map from
-      // zero (see header comment).
+      // The value is unused (restore rescans the map from zero, see the
+      // header comment) but still validated: a garbled cursor means a
+      // garbled checkpoint.
+      Result<uint64_t> map_id = ParseUint64(fields[1]);
+      if (!map_id.ok()) {
+        return Status::ParseError(StrCat("bad map_id in checkpoint: ",
+                                         map_id.status().message()));
+      }
     } else if (fields[0] == "sink" && fields.size() == 3) {
-      size_t index = std::strtoull(fields[1].c_str(), nullptr, 10);
-      size_t length = std::strtoull(fields[2].c_str(), nullptr, 10);
-      if (pos + length > checkpoint.size()) {
+      Result<uint64_t> index = ParseUint64(fields[1]);
+      Result<uint64_t> length = ParseUint64(fields[2]);
+      if (!index.ok() || !length.ok()) {
+        return Status::ParseError(
+            StrCat("bad sink record in checkpoint: ", *line));
+      }
+      if (pos + *length > checkpoint.size()) {
         return Status::ParseError("truncated sink state in checkpoint");
       }
-      sink_states[index] = checkpoint.substr(pos, length);
-      pos += length + 1;  // The block is followed by a separator '\n'.
+      sink_states[static_cast<size_t>(*index)] =
+          checkpoint.substr(pos, *length);
+      pos += *length + 1;  // The block is followed by a separator '\n'.
     } else {
       return Status::ParseError(StrCat("unknown checkpoint record: ", *line));
     }
@@ -179,58 +203,79 @@ Status Invalidator::Restore(const std::string& checkpoint) {
   return Status::OK();
 }
 
-Status Invalidator::InvalidateInstancePages(const std::string& instance_sql,
-                                            std::set<std::string>* pages_done,
-                                            uint64_t* pages_invalidated) {
-  for (const std::string& page_key : map_->PagesForQuery(instance_sql)) {
-    if (!pages_done->insert(page_key).second) continue;
-
-    // Build the eject message: a normal HTTP request addressed at the
-    // page, carrying the Cache-Control: eject extension (Section 4.2.4).
-    Result<http::PageId> id = http::PageId::FromCacheKey(page_key);
-    http::HttpRequest message;
-    if (id.ok()) {
-      message.method = http::Method::kGet;
-      message.host = id->host();
-      message.path = id->path();
-      message.get_params = id->get_params();
-      message.post_params = id->post_params();
-      message.cookies = id->cookie_params();
-    } else {
-      LogMessage(LogLevel::kWarning,
-                 StrCat("unparseable cache key '", page_key,
-                        "': ", id.status().ToString()));
-    }
-    http::CacheControl cc;
-    cc.eject = true;
-    message.headers.Set("Cache-Control", cc.ToHeaderValue());
-
-    for (InvalidationSink* sink : sinks_) {
-      Status sent = sink->SendInvalidation(message, page_key);
-      ++stats_.messages_sent;
-      if (!sent.ok()) {
-        // A sink that rejects a message owns no retry state — without a
-        // ReliableDeliveryQueue in front, this page may stay stale in
-        // that cache. Surface it loudly.
-        ++stats_.send_failures;
-        LogMessage(LogLevel::kWarning,
-                   StrCat("invalidation delivery failed for '", page_key,
-                          "': ", sent.ToString()));
-      }
-    }
-    ++*pages_invalidated;
-    ++stats_.pages_invalidated;
-
-    // Retire every other instance that fed this page: its rows leave the
-    // map with the page. (Instances left without pages are unregistered
-    // below.)
-    map_->RemovePage(page_key);
+void Invalidator::RunParallel(size_t n,
+                              const std::function<void(size_t)>& fn) {
+  if (pool_ == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  if (map_->PagesForQuery(instance_sql).empty()) {
-    registry_.UnregisterInstance(instance_sql);
-  }
-  return Status::OK();
+  pool_->ParallelFor(n, fn);
 }
+
+Result<db::QueryResult> Invalidator::ExecutePoll(const std::string& poll_sql) {
+  if (polling_connection_ != nullptr) {
+    std::lock_guard<std::mutex> lock(polling_connection_mu_);
+    return polling_connection_->ExecuteQuery(poll_sql);
+  }
+  if (polling_cache_ != nullptr) {
+    return polling_cache_->ExecuteQuery(poll_sql);
+  }
+  return database_->ExecuteSql(poll_sql);
+}
+
+namespace {
+
+/// One instance's slot in the parallel analysis fan-out: read-only inputs
+/// set up serially, verdict written by exactly one worker, stats merged
+/// serially afterwards — in instance order, so cycle results are
+/// identical at every worker count.
+struct InstanceAnalysis {
+  // Inputs.
+  uint64_t type_id = 0;
+  const QueryInstance* instance = nullptr;
+
+  // Verdict.
+  Status status;                   // Analysis error, reported at merge.
+  bool multi_table_guard = false;  // >= 2 FROM tables updated together.
+  bool checked = false;
+  bool affected = false;           // Decided by condition analysis.
+  bool index_affected = false;     // Decided by a join-index answer.
+  uint64_t index_answers = 0;      // Polls answered without the DBMS.
+  std::vector<std::unique_ptr<sql::SelectStatement>> remaining_polls;
+  size_t affected_pages = 0;       // Cached pages riding on the verdict.
+  Micros check_time = 0;
+};
+
+/// One instance's polling work in the parallel polling fan-out. The
+/// scheduler emits an instance's polls contiguously, so grouping is a
+/// single pass; polls within a group run in order and short-circuit on
+/// the first hit or failure, exactly like the serial loop.
+struct PollGroup {
+  std::string instance_sql;
+  std::vector<std::unique_ptr<sql::SelectStatement>> queries;
+
+  // Outcome.
+  uint64_t polls_issued = 0;
+  bool poll_hit = false;
+  bool conservative = false;  // A poll failed; invalidate conservatively.
+  std::string failure;        // The failed poll's status, for the log.
+};
+
+/// A fully built eject message, ready for per-sink delivery.
+struct Eject {
+  std::string page_key;
+  http::HttpRequest request;
+};
+
+/// Per-sink delivery counters, accumulated on the worker that owns the
+/// sink and merged serially.
+struct SinkTally {
+  uint64_t sent = 0;
+  uint64_t failures = 0;
+  std::vector<std::string> warnings;
+};
+
+}  // namespace
 
 Result<CycleReport> Invalidator::RunCycle() {
   CycleReport report;
@@ -279,174 +324,185 @@ Result<CycleReport> Invalidator::RunCycle() {
   // would see.
   info_.ApplyDeltas(deltas);
 
-  ImpactAnalyzer analyzer(database_);
-  std::set<std::string> affected_instances;
-  std::vector<PollingTask> tasks;
-
-  // Analyze instances grouped by query type (Section 4.1.2's grouping).
+  // ---- Impact analysis (Section 4.1.2's grouping), parallel phase. ----
+  // Serial pre-pass: snapshot the per-instance work list and retire
+  // instances whose pages already left the cache (evicted or invalidated
+  // through another instance). Registry mutation stays on this thread;
+  // the snapshot's QueryInstance pointers stay valid because nothing
+  // mutates the registry until the merge.
+  std::vector<InstanceAnalysis> work;
   for (const QueryType* type : registry_.Types()) {
     for (const QueryInstance* instance :
          registry_.InstancesOfType(type->type_id)) {
-      if (affected_instances.contains(instance->sql)) continue;
       if (map_->PagesForQuery(instance->sql).empty()) {
-        // All pages built from this instance already left the cache
-        // (evicted or invalidated through another instance): retire it.
         std::string sql_copy = instance->sql;
         registry_.UnregisterInstance(sql_copy);
         continue;
       }
-      Micros check_start = clock_->NowMicros();
-      bool checked = false;
-      bool affected = false;
-      std::vector<std::unique_ptr<sql::SelectStatement>> polls;
+      InstanceAnalysis analysis;
+      analysis.type_id = type->type_id;
+      analysis.instance = instance;
+      work.push_back(std::move(analysis));
+    }
+  }
 
-      // Soundness guard: polling queries run against the post-update
-      // database. If one batch touched two or more of this query's FROM
-      // relations, a poll can miss impacts (e.g. both join partners
-      // deleted together), so invalidate conservatively instead.
-      int from_tables_with_deltas = 0;
-      for (const sql::TableRef& ref : instance->statement->from) {
-        if (!deltas.ForTable(ref.table).empty()) ++from_tables_with_deltas;
-      }
-      if (from_tables_with_deltas >= 2) {
-        ++report.checks;
-        ++stats_.instance_checks;
-        ++stats_.affected_immediately;
-        if (QueryType* mt = registry_.FindType(type->type_id);
-            mt != nullptr) {
-          ++mt->stats.checks;
-          ++mt->stats.affected;
+  // Fan out: instances are independent given the batch's deltas. Workers
+  // touch only const reads (deltas, schemas, the QI/URL map, join-index
+  // answers behind a shared lock) and their own work slot.
+  RunParallel(work.size(), [&](size_t i) {
+    InstanceAnalysis& a = work[i];
+    const QueryInstance& instance = *a.instance;
+    const ImpactAnalyzer analyzer(database_);
+
+    // Soundness guard: polling queries run against the post-update
+    // database. If one batch touched two or more of this query's FROM
+    // relations, a poll can miss impacts (e.g. both join partners
+    // deleted together), so invalidate conservatively instead.
+    int from_tables_with_deltas = 0;
+    for (const sql::TableRef& ref : instance.statement->from) {
+      if (!deltas.ForTable(ref.table).empty()) ++from_tables_with_deltas;
+    }
+    if (from_tables_with_deltas >= 2) {
+      a.multi_table_guard = true;
+      return;
+    }
+
+    Micros check_start = clock_->NowMicros();
+    bool affected = false;
+    std::vector<std::unique_ptr<sql::SelectStatement>> polls;
+    for (const std::string& table : deltas.Tables()) {
+      const db::TableDelta& delta = deltas.ForTable(table);
+      std::vector<db::Row> tuples = delta.inserts;
+      tuples.insert(tuples.end(), delta.deletes.begin(),
+                    delta.deletes.end());
+      if (tuples.empty()) continue;
+      a.checked = true;
+
+      if (options_.batch_deltas) {
+        Result<ImpactResult> impact =
+            analyzer.AnalyzeDelta(*instance.statement, table, tuples);
+        if (!impact.ok()) {
+          a.status = impact.status();
+          return;
         }
-        affected_instances.insert(instance->sql);
-        continue;
-      }
-
-      for (const std::string& table : deltas.Tables()) {
-        const db::TableDelta& delta = deltas.ForTable(table);
-        std::vector<db::Row> tuples = delta.inserts;
-        tuples.insert(tuples.end(), delta.deletes.begin(),
-                      delta.deletes.end());
-        if (tuples.empty()) continue;
-        checked = true;
-
-        if (options_.batch_deltas) {
-          CACHEPORTAL_ASSIGN_OR_RETURN(
-              ImpactResult impact,
-              analyzer.AnalyzeDelta(*instance->statement, table, tuples));
-          if (impact.kind == ImpactKind::kAffected) {
+        if (impact->kind == ImpactKind::kAffected) {
+          affected = true;
+          break;
+        }
+        if (impact->kind == ImpactKind::kNeedsPolling) {
+          polls.push_back(std::move(impact->polling_query));
+        }
+      } else {
+        for (const db::Row& tuple : tuples) {
+          Result<ImpactResult> impact =
+              analyzer.AnalyzeTuple(*instance.statement, table, tuple);
+          if (!impact.ok()) {
+            a.status = impact.status();
+            return;
+          }
+          if (impact->kind == ImpactKind::kAffected) {
             affected = true;
             break;
           }
-          if (impact.kind == ImpactKind::kNeedsPolling) {
-            polls.push_back(std::move(impact.polling_query));
+          if (impact->kind == ImpactKind::kNeedsPolling) {
+            polls.push_back(std::move(impact->polling_query));
           }
-        } else {
-          for (const db::Row& tuple : tuples) {
-            CACHEPORTAL_ASSIGN_OR_RETURN(
-                ImpactResult impact,
-                analyzer.AnalyzeTuple(*instance->statement, table, tuple));
-            if (impact.kind == ImpactKind::kAffected) {
-              affected = true;
-              break;
-            }
-            if (impact.kind == ImpactKind::kNeedsPolling) {
-              polls.push_back(std::move(impact.polling_query));
-            }
-          }
-          if (affected) break;
         }
+        if (affected) break;
       }
+    }
+    a.check_time = clock_->NowMicros() - check_start;
+    if (!a.checked) return;
+    if (affected) {
+      a.affected = true;
+      return;
+    }
+    if (polls.empty()) return;
 
-      if (!checked) continue;
+    // Try the information manager's indexes before scheduling DBMS
+    // polls.
+    for (auto& poll : polls) {
+      std::optional<bool> answer = info_.AnswerPoll(*poll);
+      if (answer.has_value()) {
+        ++a.index_answers;
+        if (*answer) {
+          a.index_affected = true;
+          return;
+        }
+      } else {
+        a.remaining_polls.push_back(std::move(poll));
+      }
+    }
+    a.affected_pages = map_->PagesForQuery(instance.sql).size();
+  });
+
+  // Serial merge, in snapshot order: fold verdicts into the lifetime and
+  // per-type stats and collect the polling tasks. Identical to what the
+  // serial loop would have produced.
+  std::set<std::string> affected_instances;
+  std::vector<PollingTask> tasks;
+  for (InstanceAnalysis& a : work) {
+    if (!a.status.ok()) return a.status;
+    QueryType* mutable_type = registry_.FindType(a.type_id);
+    const std::string& instance_sql = a.instance->sql;
+
+    if (a.multi_table_guard) {
       ++report.checks;
       ++stats_.instance_checks;
-      QueryType* mutable_type = registry_.FindType(type->type_id);
-      Micros check_time = clock_->NowMicros() - check_start;
+      ++stats_.affected_immediately;
       if (mutable_type != nullptr) {
-        QueryTypeStats& ts = mutable_type->stats;
-        ++ts.checks;
-        ts.total_invalidation_time += check_time;
-        ts.max_invalidation_time =
-            std::max(ts.max_invalidation_time, check_time);
+        ++mutable_type->stats.checks;
+        ++mutable_type->stats.affected;
       }
-
-      if (affected) {
-        affected_instances.insert(instance->sql);
-        ++stats_.affected_immediately;
-        if (mutable_type != nullptr) ++mutable_type->stats.affected;
-        continue;
-      }
-      if (polls.empty()) {
-        ++stats_.unaffected;
-        continue;
-      }
-      // Try the information manager's indexes before scheduling DBMS
-      // polls.
-      bool decided = false;
-      bool any_hit = false;
-      std::vector<std::unique_ptr<sql::SelectStatement>> remaining;
-      for (auto& poll : polls) {
-        std::optional<bool> answer = info_.AnswerPoll(*poll);
-        if (answer.has_value()) {
-          ++stats_.polls_answered_by_index;
-          ++report.polls_answered_by_index;
-          if (*answer) {
-            any_hit = true;
-            decided = true;
-            break;
-          }
-        } else {
-          remaining.push_back(std::move(poll));
-        }
-      }
-      if (decided && any_hit) {
-        affected_instances.insert(instance->sql);
-        if (mutable_type != nullptr) ++mutable_type->stats.affected;
-        continue;
-      }
-      if (remaining.empty()) {
-        ++stats_.unaffected;
-        continue;
-      }
-      for (auto& poll : remaining) {
-        PollingTask task;
-        task.instance_sql = instance->sql;
-        task.query = std::move(poll);
-        task.deadline = start + options_.cycle_deadline;
-        task.affected_pages = map_->PagesForQuery(instance->sql).size();
-        tasks.push_back(std::move(task));
-        if (mutable_type != nullptr) ++mutable_type->stats.polling_queries;
-      }
-    }
-  }
-
-  // ---- Schedule and execute polling queries. ----
-  InvalidationScheduler::Schedule schedule = scheduler_.Build(std::move(tasks));
-  for (PollingTask& task : schedule.to_poll) {
-    if (affected_instances.contains(task.instance_sql)) continue;
-    std::string poll_sql = sql::StatementToSql(*task.query);
-    ++stats_.polls_issued;
-    ++report.polls_issued;
-    server::Connection* poll_target = polling_connection_;
-    if (poll_target == nullptr) poll_target = polling_cache_.get();
-    Result<db::QueryResult> result =
-        poll_target != nullptr ? poll_target->ExecuteQuery(poll_sql)
-                               : database_->ExecuteSql(poll_sql);
-    if (!result.ok()) {
-      // A failed poll must not leak staleness: invalidate conservatively.
-      LogMessage(LogLevel::kWarning,
-                 StrCat("polling query failed (", result.status().ToString(),
-                        "); invalidating conservatively"));
-      affected_instances.insert(task.instance_sql);
-      ++stats_.conservative_invalidations;
-      ++report.conservative_invalidations;
+      affected_instances.insert(instance_sql);
       continue;
     }
-    if (!result->rows.empty()) {
-      ++stats_.poll_hits;
-      affected_instances.insert(task.instance_sql);
+    if (!a.checked) continue;
+
+    ++report.checks;
+    ++stats_.instance_checks;
+    if (mutable_type != nullptr) {
+      QueryTypeStats& ts = mutable_type->stats;
+      ++ts.checks;
+      ts.total_invalidation_time += a.check_time;
+      ts.max_invalidation_time =
+          std::max(ts.max_invalidation_time, a.check_time);
+    }
+
+    if (a.affected) {
+      affected_instances.insert(instance_sql);
+      ++stats_.affected_immediately;
+      if (mutable_type != nullptr) ++mutable_type->stats.affected;
+      continue;
+    }
+    stats_.polls_answered_by_index += a.index_answers;
+    report.polls_answered_by_index += a.index_answers;
+    if (a.index_affected) {
+      affected_instances.insert(instance_sql);
+      if (mutable_type != nullptr) ++mutable_type->stats.affected;
+      continue;
+    }
+    if (a.remaining_polls.empty()) {
+      ++stats_.unaffected;
+      continue;
+    }
+    for (auto& poll : a.remaining_polls) {
+      PollingTask task;
+      task.instance_sql = instance_sql;
+      task.query = std::move(poll);
+      task.deadline = start + options_.cycle_deadline;
+      task.affected_pages = a.affected_pages;
+      tasks.push_back(std::move(task));
+      if (mutable_type != nullptr) ++mutable_type->stats.polling_queries;
     }
   }
+
+  // ---- Schedule and execute polling queries, parallel phase. ----
+  InvalidationScheduler::Schedule schedule = scheduler_.Build(std::move(tasks));
+
+  // Condemn budget-overflow instances BEFORE any poll is issued: a
+  // condemned instance is invalidated regardless, so polling any of its
+  // queries would be pure DBMS waste.
   for (PollingTask& task : schedule.conservative) {
     if (affected_instances.insert(task.instance_sql).second) {
       ++stats_.conservative_invalidations;
@@ -454,12 +510,134 @@ Result<CycleReport> Invalidator::RunCycle() {
     }
   }
 
-  // ---- Generate invalidation messages. ----
+  // Group the admitted polls per instance (the scheduler emits them
+  // contiguously); instances the analysis already decided need no polls.
+  std::vector<PollGroup> poll_groups;
+  for (PollingTask& task : schedule.to_poll) {
+    if (affected_instances.contains(task.instance_sql)) continue;
+    if (poll_groups.empty() ||
+        poll_groups.back().instance_sql != task.instance_sql) {
+      poll_groups.emplace_back();
+      poll_groups.back().instance_sql = task.instance_sql;
+    }
+    poll_groups.back().queries.push_back(std::move(task.query));
+  }
+
+  // Fan out: one worker task per instance; its polls run in order and
+  // stop at the first hit (affected) or failure (conservative) — sibling
+  // polls cannot change the verdict after either.
+  RunParallel(poll_groups.size(), [&](size_t i) {
+    PollGroup& group = poll_groups[i];
+    for (const auto& query : group.queries) {
+      std::string poll_sql = sql::StatementToSql(*query);
+      ++group.polls_issued;
+      Result<db::QueryResult> result = ExecutePoll(poll_sql);
+      if (!result.ok()) {
+        group.conservative = true;
+        group.failure = result.status().ToString();
+        return;
+      }
+      if (!result->rows.empty()) {
+        group.poll_hit = true;
+        return;
+      }
+    }
+  });
+
+  for (PollGroup& group : poll_groups) {
+    stats_.polls_issued += group.polls_issued;
+    report.polls_issued += group.polls_issued;
+    if (group.conservative) {
+      // A failed poll must not leak staleness: invalidate conservatively.
+      LogMessage(LogLevel::kWarning,
+                 StrCat("polling query failed (", group.failure,
+                        "); invalidating conservatively"));
+      affected_instances.insert(group.instance_sql);
+      ++stats_.conservative_invalidations;
+      ++report.conservative_invalidations;
+      continue;
+    }
+    if (group.poll_hit) {
+      ++stats_.poll_hits;
+      affected_instances.insert(group.instance_sql);
+    }
+  }
+
+  // ---- Generate invalidation messages, parallel phase. ----
   report.affected_instances = affected_instances.size();
+
+  // Serial: collect the deduplicated page list (affected_instances is an
+  // ordered set, so the order is deterministic) and build each eject
+  // message — a normal HTTP request addressed at the page, carrying the
+  // Cache-Control: eject extension (Section 4.2.4).
+  std::vector<Eject> ejects;
   std::set<std::string> pages_done;
   for (const std::string& instance_sql : affected_instances) {
-    CACHEPORTAL_RETURN_NOT_OK(InvalidateInstancePages(
-        instance_sql, &pages_done, &report.pages_invalidated));
+    for (const std::string& page_key : map_->PagesForQuery(instance_sql)) {
+      if (!pages_done.insert(page_key).second) continue;
+      Eject eject;
+      eject.page_key = page_key;
+      Result<http::PageId> id = http::PageId::FromCacheKey(page_key);
+      if (id.ok()) {
+        eject.request.method = http::Method::kGet;
+        eject.request.host = id->host();
+        eject.request.path = id->path();
+        eject.request.get_params = id->get_params();
+        eject.request.post_params = id->post_params();
+        eject.request.cookies = id->cookie_params();
+      } else {
+        LogMessage(LogLevel::kWarning,
+                   StrCat("unparseable cache key '", page_key,
+                          "': ", id.status().ToString()));
+      }
+      http::CacheControl cc;
+      cc.eject = true;
+      eject.request.headers.Set("Cache-Control", cc.ToHeaderValue());
+      ejects.push_back(std::move(eject));
+    }
+  }
+
+  // Fan out across sinks: each sink is owned by one worker task, which
+  // delivers every message in order (preserving the per-sink FIFO a
+  // ReliableDeliveryQueue depends on) — sinks never see concurrent calls.
+  std::vector<SinkTally> tallies(sinks_.size());
+  RunParallel(sinks_.size(), [&](size_t s) {
+    InvalidationSink* sink = sinks_[s];
+    SinkTally& tally = tallies[s];
+    for (const Eject& eject : ejects) {
+      Status sent = sink->SendInvalidation(eject.request, eject.page_key);
+      ++tally.sent;
+      if (!sent.ok()) {
+        // A sink that rejects a message owns no retry state — without a
+        // ReliableDeliveryQueue in front, this page may stay stale in
+        // that cache. Surface it loudly (at the merge).
+        ++tally.failures;
+        tally.warnings.push_back(
+            StrCat("invalidation delivery failed for '", eject.page_key,
+                   "': ", sent.ToString()));
+      }
+    }
+  });
+  for (const SinkTally& tally : tallies) {
+    stats_.messages_sent += tally.sent;
+    stats_.send_failures += tally.failures;
+    for (const std::string& warning : tally.warnings) {
+      LogMessage(LogLevel::kWarning, warning);
+    }
+  }
+
+  // Serial post-pass: ejected pages leave the map (retiring their rows
+  // for every instance that fed them), and instances left without pages
+  // are unregistered.
+  for (const Eject& eject : ejects) {
+    map_->RemovePage(eject.page_key);
+    ++report.pages_invalidated;
+    ++stats_.pages_invalidated;
+  }
+  for (const std::string& instance_sql : affected_instances) {
+    if (map_->PagesForQuery(instance_sql).empty()) {
+      registry_.UnregisterInstance(instance_sql);
+    }
   }
 
   // ---- Policy discovery: refresh cacheability verdicts. ----

@@ -2,12 +2,15 @@
 #define CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "db/database.h"
 #include "http/message.h"
 #include "invalidator/impact.h"
@@ -31,6 +34,12 @@ namespace cacheportal::invalidator {
 /// core::ReliableDeliveryQueue builds at-least-once delivery on exactly
 /// this property. A non-OK return means the message may not have reached
 /// the cache; the caller must retry or escalate, never ignore it.
+///
+/// Threading contract: with InvalidatorOptions::worker_threads > 1 the
+/// invalidator calls each sink from a pool thread, but never calls the
+/// SAME sink from two threads at once, and messages reach each sink in
+/// the same order as the serial pipeline would send them. Sinks need no
+/// internal locking unless they share mutable state with one another.
 class InvalidationSink {
  public:
   virtual ~InvalidationSink() = default;
@@ -71,6 +80,14 @@ struct InvalidatorOptions {
   /// the DBMS for every poll. Ignored while SetPollingConnection() has
   /// installed an external connection.
   size_t polling_cache_capacity = 0;
+  /// Worker threads for the parallel invalidation pipeline: per-instance
+  /// impact analysis, polling-query execution, and per-sink message
+  /// delivery fan out across this many threads. 1 (the default) runs the
+  /// cycle serially on the calling thread. Invalidation decisions are
+  /// identical at any worker count (per-instance work is independent
+  /// given the batch's deltas, and results merge in deterministic
+  /// instance order); only wall-clock time changes.
+  size_t worker_threads = 1;
   /// Thresholds for discovered (self-tuning) cacheability policies.
   PolicyThresholds thresholds;
 };
@@ -188,11 +205,15 @@ class Invalidator {
   std::string StatsReport() const;
 
  private:
-  /// Sends eject messages for every page of `instance_sql` and retires
-  /// the instance. `pages_done` dedupes pages across instances.
-  Status InvalidateInstancePages(const std::string& instance_sql,
-                                 std::set<std::string>* pages_done,
-                                 uint64_t* pages_invalidated);
+  /// Runs fn(i) for i in [0, n): inline when serial, sharded across the
+  /// pool when worker_threads > 1.
+  void RunParallel(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Executes one polling query against the configured target (external
+  /// connection > internal polling cache > the DBMS directly). Safe to
+  /// call from pool workers: the external connection is serialized by a
+  /// mutex, the other targets are internally thread-safe for reads.
+  Result<db::QueryResult> ExecutePoll(const std::string& poll_sql);
 
   db::Database* database_;
   sniffer::QiUrlMap* map_;
@@ -205,7 +226,13 @@ class Invalidator {
   InvalidationScheduler scheduler_;
   std::vector<InvalidationSink*> sinks_;
   server::Connection* polling_connection_ = nullptr;
+  // Serializes polls through the external connection (its thread-safety
+  // is unknown); the internal cache and the DBMS read path are not
+  // funneled through this.
+  std::mutex polling_connection_mu_;
   std::unique_ptr<PollingDataCache> polling_cache_;
+  // Non-null iff options_.worker_threads > 1.
+  std::unique_ptr<ThreadPool> pool_;
 
   uint64_t last_update_seq_ = 0;
   uint64_t last_map_id_ = 0;

@@ -6,17 +6,25 @@ namespace cacheportal::invalidator {
 
 Result<db::QueryResult> PollingDataCache::ExecuteQuery(
     const std::string& sql) {
-  if (std::optional<db::QueryResult> hit = cache_.Lookup(sql);
-      hit.has_value()) {
-    return *hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::optional<db::QueryResult> hit = cache_.Lookup(sql);
+        hit.has_value()) {
+      return *hit;
+    }
   }
+  // Miss: execute outside the lock so concurrent polls overlap on the
+  // DBMS (its read-only query path is thread-safe).
   CACHEPORTAL_ASSIGN_OR_RETURN(auto select, sql::Parser::ParseSelect(sql));
   CACHEPORTAL_ASSIGN_OR_RETURN(db::QueryResult result,
                                database_->ExecuteQuery(*select));
   std::vector<std::string> tables;
   tables.reserve(select->from.size());
   for (const sql::TableRef& ref : select->from) tables.push_back(ref.table);
-  cache_.Store(sql, result, tables);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.Store(sql, result, tables);
+  }
   return result;
 }
 

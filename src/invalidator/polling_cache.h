@@ -2,6 +2,7 @@
 #define CACHEPORTAL_INVALIDATOR_POLLING_CACHE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cache/data_cache.h"
@@ -23,6 +24,13 @@ namespace cacheportal::invalidator {
 /// must be called with each interval's deltas to drop results reading
 /// updated tables (otherwise polls would see stale data and the
 /// invalidator could leak staleness).
+///
+/// Thread-safety: ExecuteQuery may be called concurrently (the parallel
+/// polling phase does); the cache is guarded by an internal mutex that is
+/// released while a miss executes against the DBMS, so misses overlap.
+/// Two concurrent misses on the same SQL may both execute it — benign,
+/// they store the same post-batch result. Synchronize() and the accessors
+/// belong to the cycle's serial phases.
 class PollingDataCache : public server::Connection {
  public:
   /// Polls fall through to `database` on cache misses (not owned).
@@ -37,14 +45,19 @@ class PollingDataCache : public server::Connection {
   /// Applies one synchronization interval's deltas: every cached result
   /// reading an updated table is dropped. Returns results dropped.
   size_t Synchronize(const db::DeltaSet& deltas) {
+    std::lock_guard<std::mutex> lock(mu_);
     return cache_.Synchronize(deltas);
   }
 
   const cache::DataCacheStats& stats() const { return cache_.stats(); }
-  size_t size() const { return cache_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
  private:
   db::Database* database_;
+  mutable std::mutex mu_;  // Guards cache_ (lookup/store/synchronize).
   cache::DataCache cache_;
 };
 

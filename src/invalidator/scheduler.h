@@ -27,6 +27,14 @@ struct PollingTask {
 /// budget are not polled and their instances are invalidated
 /// conservatively (trading over-invalidation for timeliness, the exact
 /// tradeoff the paper describes).
+///
+/// The unit of scheduling is the query INSTANCE, not the individual
+/// polling query: an instance is only "provably unaffected" when every
+/// one of its polls came back empty, so admitting some of its polls and
+/// condemning a sibling wastes the admitted polls (the instance is
+/// invalidated conservatively regardless). Build therefore admits or
+/// condemns all of an instance's polls together, and an instance appears
+/// at most once in `conservative`.
 class InvalidationScheduler {
  public:
   /// `max_polls_per_cycle` of 0 means unlimited.
@@ -34,8 +42,12 @@ class InvalidationScheduler {
       : max_polls_(max_polls_per_cycle) {}
 
   struct Schedule {
+    /// Polls of admitted instances, grouped contiguously per instance in
+    /// priority order. to_poll.size() never exceeds the budget.
     std::vector<PollingTask> to_poll;
-    std::vector<PollingTask> conservative;  // Invalidate without polling.
+    /// One representative task per condemned instance (deduplicated):
+    /// invalidate without polling.
+    std::vector<PollingTask> conservative;
   };
 
   Schedule Build(std::vector<PollingTask> tasks) const;

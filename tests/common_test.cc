@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <vector>
+
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace cacheportal {
 namespace {
@@ -173,6 +178,93 @@ TEST(RandomTest, OneInProbability) {
   constexpr int kN = 20000;
   for (int i = 0; i < kN; ++i) hits += rng.OneIn(0.7) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(hits) / kN, 0.7, 0.02);
+}
+
+// ---------------------------------------------------------------------
+// ParseUint64
+// ---------------------------------------------------------------------
+
+TEST(ParseUint64Test, ParsesValidValues) {
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("42").value(), 42u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbageThatStrtoullWouldAccept) {
+  // strtoull("xyz") "succeeds" with 0 — the silent-corruption mode this
+  // helper exists to kill. Every one of these must be a ParseError.
+  EXPECT_TRUE(ParseUint64("").status().IsParseError());
+  EXPECT_TRUE(ParseUint64("xyz").status().IsParseError());
+  EXPECT_TRUE(ParseUint64("12a").status().IsParseError());
+  EXPECT_TRUE(ParseUint64(" 12").status().IsParseError());
+  EXPECT_TRUE(ParseUint64("12 ").status().IsParseError());
+  EXPECT_TRUE(ParseUint64("-3").status().IsParseError());
+  EXPECT_TRUE(ParseUint64("+3").status().IsParseError());
+  EXPECT_TRUE(ParseUint64("0x10").status().IsParseError());
+  // 2^64 overflows; strtoull would clamp to ULLONG_MAX.
+  EXPECT_TRUE(
+      ParseUint64("18446744073709551616").status().IsParseError());
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5}}) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(n, [&count](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), n);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No .get(): destruction must still run everything already queued.
+  }
+  EXPECT_EQ(done.load(), 50);
 }
 
 }  // namespace

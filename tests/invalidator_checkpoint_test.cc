@@ -87,6 +87,53 @@ TEST(InvalidatorCheckpointTest, RestoreRejectsGarbage) {
   EXPECT_TRUE(inv.Restore(good).ok());
 }
 
+/// Regression for a silent-corruption bug: numeric checkpoint fields
+/// were parsed with bare strtoull, so a corrupt `update_seq xyz` line
+/// "restored" sequence 0 — rewinding the cursor to the log's beginning
+/// and replaying every update ever committed. Corruption must be a loud
+/// ParseError, and a failed Restore must leave the invalidator's state
+/// untouched.
+TEST(InvalidatorCheckpointTest, RestoreRejectsCorruptNumericFields) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
+  sniffer::QiUrlMap map;
+  Invalidator inv(&db, &map, &clock);
+  inv.RunCycle().value();
+  const uint64_t seq_before = inv.consumed_update_seq();
+  ASSERT_GT(seq_before, 0u);
+  const std::string good = inv.Checkpoint();
+  ASSERT_NE(good.find(StrCat("update_seq ", seq_before)), std::string::npos);
+
+  auto corrupt = [&good](const std::string& from, const std::string& to) {
+    std::string bad = good;
+    size_t at = bad.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    bad.replace(at, from.size(), to);
+    return bad;
+  };
+  const std::string seq_line = StrCat("update_seq ", seq_before);
+  const std::vector<std::string> corrupted = {
+      corrupt(seq_line, "update_seq xyz"),
+      corrupt(seq_line, "update_seq 18446744073709551616"),  // 2^64.
+      corrupt(seq_line, "update_seq -3"),
+      corrupt(seq_line, StrCat("update_seq ", seq_before, "junk")),
+      corrupt("map_id 0", "map_id foo"),
+      corrupt(seq_line, StrCat(seq_line, "\nsink x 5")),
+      corrupt(seq_line, StrCat(seq_line, "\nsink 0 abc")),
+  };
+  for (const std::string& bad : corrupted) {
+    Status status = inv.Restore(bad);
+    EXPECT_TRUE(status.IsParseError()) << status.ToString() << "\n" << bad;
+    // The failed restore must not have moved the cursor (in particular
+    // not to 0, which would replay the whole log).
+    EXPECT_EQ(inv.consumed_update_seq(), seq_before);
+  }
+  EXPECT_TRUE(inv.Restore(good).ok());
+  EXPECT_EQ(inv.consumed_update_seq(), seq_before);
+}
+
 /// Checkpoints embed CheckpointableSink state: messages stuck in a
 /// ReliableDeliveryQueue at crash time are redelivered after restart.
 TEST(InvalidatorCheckpointTest, PendingQueueMessagesSurviveRestart) {

@@ -35,6 +35,14 @@ TEST(StatsReportTest, ContainsCountersAndTypes) {
   db.CreateTable(db::TableSchema("T", {{"x", db::ColumnType::kInt}})).ok();
   sniffer::QiUrlMap map;
   invalidator::Invalidator inv(&db, &map, &clock, {});
+  class CountingSink : public invalidator::InvalidationSink {
+   public:
+    Status SendInvalidation(const http::HttpRequest&,
+                            const std::string&) override {
+      return Status::OK();
+    }
+  } sink;
+  inv.AddSink(&sink);
   inv.RegisterQueryType("by-x", "SELECT * FROM T WHERE x = $1").ok();
   map.Add("SELECT * FROM T WHERE x = 5", "shop/p?##", "/r", 0);
   db.ExecuteSql("INSERT INTO T VALUES (5)").value();
@@ -43,6 +51,10 @@ TEST(StatsReportTest, ContainsCountersAndTypes) {
   std::string report = inv.StatsReport();
   EXPECT_NE(report.find("cycles=1"), std::string::npos) << report;
   EXPECT_NE(report.find("pages-invalidated=1"), std::string::npos);
+  // Regression: messages-sent was silently missing from the report even
+  // while the counter ticked.
+  EXPECT_EQ(inv.stats().messages_sent, 1u);
+  EXPECT_NE(report.find("messages-sent=1"), std::string::npos) << report;
   EXPECT_NE(report.find("type 'by-x'"), std::string::npos);
   EXPECT_NE(report.find("inval-ratio=1"), std::string::npos);
 }
