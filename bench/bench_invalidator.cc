@@ -47,11 +47,21 @@ struct World {
     // All join instances with thresholds far above the inserted prices:
     // every cycle, every instance needs its join side checked (polling or
     // join index), and the empty poll keeps instances registered.
-    for (int i = 0; i < instances; ++i) {
-      map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model "
-                     "= Mileage.model AND Car.price < ",
-                     10000000 + i),
-              StrCat("shop/p", i, "?##"), "/r", 0);
+    num_instances = instances;
+    RecacheMissing();
+  }
+
+  /// (Re-)caches every instance whose pages left the map — steady-state
+  /// refill for modes that invalidate instances each cycle (conservative
+  /// and emergency rungs).
+  void RecacheMissing() {
+    for (int i = 0; i < num_instances; ++i) {
+      std::string sql =
+          StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model "
+                 "= Mileage.model AND Car.price < ",
+                 10000000 + i);
+      if (!map.PagesForQuery(sql).empty()) continue;
+      map.Add(sql, StrCat("shop/p", i, "?##"), "/r", 0);
     }
   }
 
@@ -69,6 +79,7 @@ struct World {
   db::Database db;
   sniffer::QiUrlMap map;
   std::unique_ptr<invalidator::Invalidator> invalidator;
+  int num_instances = 0;
 };
 
 /// Full cycle cost: `range(0)` instances, 10-update batches. Updates are
@@ -146,6 +157,57 @@ void BM_CycleVsWorkers(benchmark::State& state) {
       std::max<uint64_t>(1, world.invalidator->stats().cycles));
 }
 BENCHMARK(BM_CycleVsWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Overload sweep: cycle cost across (update rate × degradation mode).
+/// range(0) is the update-batch size per cycle; range(1) pins the ladder
+/// to one rung by watermark choice (0 = controller off, 1 = economy,
+/// 2 = conservative, 3 = emergency). Counters report what each rung
+/// trades: backlog age observed at the cycle (staleness pressure) and
+/// the over-invalidation rate (conservative + emergency decisions per
+/// consumed update).
+void BM_CycleVsOverloadMode(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  invalidator::InvalidatorOptions options;
+  if (mode > 0) {
+    auto& ov = options.overload;
+    ov.enabled = true;
+    ov.min_dwell = 0;
+    ov.staleness_bound = 3600 * kMicrosPerSecond;  // Depth drives mode.
+    // Pin the requested rung: the thresholds at or below it are 1 (any
+    // backlog qualifies), the ones above it unreachable.
+    ov.economy_backlog = 1;
+    ov.conservative_backlog = mode >= 2 ? 1 : uint64_t{1} << 40;
+    ov.emergency_backlog = mode >= 3 ? 1 : uint64_t{1} << 40;
+    ov.economy_poll_budget = 4;
+  }
+  World world(200, false, options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.RecacheMissing();  // Refill what the degraded rungs flushed.
+    world.AddUpdates(batch);
+    world.clock.Advance(kMicrosPerSecond);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  const auto& stats = world.invalidator->stats();
+  const uint64_t cycles = std::max<uint64_t>(1, stats.cycles);
+  const uint64_t updates = std::max<uint64_t>(1, stats.updates_processed);
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["polls/cycle"] =
+      static_cast<double>(stats.polls_issued / cycles);
+  state.counters["over-inval-rate"] =
+      static_cast<double>(stats.conservative_invalidations) /
+      static_cast<double>(updates);
+  if (world.invalidator->overload_controller() != nullptr) {
+    state.counters["max-backlog-age-us"] = static_cast<double>(
+        world.invalidator->overload_controller()->stats().max_backlog_age);
+  }
+}
+BENCHMARK(BM_CycleVsOverloadMode)
+    ->ArgsProduct({{16, 64, 256}, {0, 1, 2, 3}})
+    ->ArgNames({"updates", "mode"});
 
 }  // namespace
 

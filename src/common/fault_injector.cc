@@ -31,4 +31,38 @@ std::string FaultInjector::Malform(std::string bytes) {
   return bytes;
 }
 
+std::vector<FaultWindow> FaultInjector::MakeBurstSchedule(
+    uint64_t seed, size_t bursts, Micros horizon, Micros burst_length,
+    Micros added_delay) {
+  std::vector<FaultWindow> windows;
+  if (bursts == 0 || horizon == 0) return windows;
+  // Stratified placement: one burst lands uniformly inside each
+  // horizon/bursts stratum, so bursts never overlap and the whole
+  // horizon sees comparable stress. A dedicated RNG keeps the schedule
+  // a function of the seed alone.
+  Random rng(seed);
+  Micros stratum = horizon / static_cast<Micros>(bursts);
+  if (stratum == 0) stratum = 1;
+  Micros length = std::min(burst_length, stratum);
+  if (length == 0) length = 1;
+  for (size_t i = 0; i < bursts; ++i) {
+    Micros stratum_start = static_cast<Micros>(i) * stratum;
+    Micros slack = stratum - length;
+    Micros offset =
+        slack > 0 ? static_cast<Micros>(rng.Uniform(
+                        static_cast<uint64_t>(slack) + 1))
+                  : 0;
+    FaultWindow window;
+    window.start = stratum_start + offset;
+    window.end = window.start + length;
+    window.config.drop_probability = 1.0;  // Total sink failure.
+    if (added_delay > 0) {
+      window.config.delay_probability = 1.0;
+      window.config.delay = added_delay;
+    }
+    windows.push_back(window);
+  }
+  return windows;
+}
+
 }  // namespace cacheportal

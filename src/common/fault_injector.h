@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/random.h"
@@ -28,6 +29,16 @@ struct FaultConfig {
   double delay_probability = 0.0;
   /// Injected latency when a delay fires.
   Micros delay = 50 * kMicrosPerMilli;
+};
+
+/// A scheduled fault burst: while the injector's clock reads a time in
+/// [start, end) the window's config replaces the base config. Windows
+/// model overload storms — a sink going fully dark for a stretch — as
+/// opposed to the base config's steady background noise.
+struct FaultWindow {
+  Micros start = 0;  // Inclusive.
+  Micros end = 0;    // Exclusive.
+  FaultConfig config;
 };
 
 /// Deterministic, seeded fault-decision engine for robustness tests and
@@ -56,7 +67,8 @@ class FaultInjector {
     config_ = config;
   }
 
-  /// Stops injecting: all probabilities to zero. Counters are kept.
+  /// Stops injecting: all probabilities to zero. Counters are kept; a
+  /// schedule, if any, stays armed (ClearSchedule() removes it).
   void Heal() {
     std::lock_guard<std::mutex> lock(mu_);
     config_ = FaultConfig{};
@@ -67,10 +79,45 @@ class FaultInjector {
     return config_;
   }
 
+  /// Arms a time-based fault schedule: whenever `clock` (not owned)
+  /// reads a time inside one of `windows`, that window's config replaces
+  /// the base config for every decision. Windows are checked in order;
+  /// the first match wins. With the same seed, schedule, and decision
+  /// sequence on a ManualClock, runs replay exactly.
+  void SetSchedule(const Clock* clock, std::vector<FaultWindow> windows) {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule_clock_ = clock;
+    windows_ = std::move(windows);
+  }
+
+  /// Disarms the schedule; the base config applies again everywhere.
+  void ClearSchedule() {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule_clock_ = nullptr;
+    windows_.clear();
+  }
+
+  /// The config in force right now (base, or the active window's).
+  FaultConfig effective_config() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Effective();
+  }
+
+  /// Builds a reproducible overload profile: `bursts` non-overlapping
+  /// windows of total sink failure (100% drop) plus `added_delay` of
+  /// latency, stratified across [0, horizon) — one burst placed
+  /// uniformly at random inside each horizon/bursts stratum. The same
+  /// seed always yields the same schedule.
+  static std::vector<FaultWindow> MakeBurstSchedule(uint64_t seed,
+                                                    size_t bursts,
+                                                    Micros horizon,
+                                                    Micros burst_length,
+                                                    Micros added_delay = 0);
+
   /// True if the current operation's payload should be lost.
   bool ShouldDrop() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!Fires(config_.drop_probability)) return false;
+    if (!Fires(Effective().drop_probability)) return false;
     ++drops_injected_;
     return true;
   }
@@ -78,7 +125,7 @@ class FaultInjector {
   /// True if the current operation should fail with a transient error.
   bool ShouldError() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!Fires(config_.transient_error_probability)) return false;
+    if (!Fires(Effective().transient_error_probability)) return false;
     ++errors_injected_;
     return true;
   }
@@ -86,7 +133,7 @@ class FaultInjector {
   /// True if the current operation's bytes should be corrupted.
   bool ShouldMalform() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!Fires(config_.malform_probability)) return false;
+    if (!Fires(Effective().malform_probability)) return false;
     ++malforms_injected_;
     return true;
   }
@@ -94,9 +141,10 @@ class FaultInjector {
   /// The latency to inject into the current operation, if any.
   std::optional<Micros> ShouldDelay() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!Fires(config_.delay_probability)) return std::nullopt;
+    FaultConfig effective = Effective();
+    if (!Fires(effective.delay_probability)) return std::nullopt;
     ++delays_injected_;
-    return config_.delay;
+    return effective.delay;
   }
 
   /// Deterministically corrupts `bytes`: truncation, framing byte flips,
@@ -134,9 +182,22 @@ class FaultInjector {
     return rng_.NextDouble() < probability;
   }
 
+  /// Caller holds mu_. The active window's config, else the base one.
+  FaultConfig Effective() const {
+    if (schedule_clock_ != nullptr) {
+      Micros now = schedule_clock_->NowMicros();
+      for (const FaultWindow& window : windows_) {
+        if (now >= window.start && now < window.end) return window.config;
+      }
+    }
+    return config_;
+  }
+
   mutable std::mutex mu_;
   Random rng_;
   FaultConfig config_;
+  const Clock* schedule_clock_ = nullptr;
+  std::vector<FaultWindow> windows_;
   uint64_t drops_injected_ = 0;
   uint64_t errors_injected_ = 0;
   uint64_t malforms_injected_ = 0;

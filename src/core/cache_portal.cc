@@ -43,7 +43,8 @@ void CachePortal::RegisterServlet(const server::ServletConfig& config) {
   request_logger_.RegisterServlet(config);
 }
 
-CachingProxy* CachePortal::CreateProxy(server::RequestHandler* upstream) {
+CachingProxy* CachePortal::CreateProxy(server::RequestHandler* upstream,
+                                       ProxyShedOptions shed) {
   auto lookup = [this](const std::string& path)
       -> const server::ServletConfig* {
     // Prefer the request logger's registry (keyed by servlet name, which
@@ -55,9 +56,18 @@ CachingProxy* CachePortal::CreateProxy(server::RequestHandler* upstream) {
     }
     return nullptr;
   };
-  proxies_.push_back(
-      std::make_unique<CachingProxy>(&page_cache_, upstream, lookup));
+  proxies_.push_back(std::make_unique<CachingProxy>(
+      &page_cache_, upstream, lookup, std::move(shed)));
   return proxies_.back().get();
+}
+
+std::string CachePortal::Checkpoint() {
+  std::string state = invalidator_.Checkpoint();
+  // The cursor (and un-acked delivery state) is captured in `state`;
+  // everything at or below it is now unreachable by any consumer path,
+  // including crash+Restore, so the log may drop it.
+  database_->update_log().TrimThrough(invalidator_.consumed_update_seq());
+  return state;
 }
 
 Result<invalidator::CycleReport> CachePortal::RunCycle() {

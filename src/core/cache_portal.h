@@ -82,8 +82,10 @@ class CachePortal {
 
   /// Creates the Configuration III caching proxy in front of `upstream`.
   /// Key-parameter narrowing uses the attached application server's
-  /// servlet configs. The proxy is owned by the portal.
-  CachingProxy* CreateProxy(server::RequestHandler* upstream);
+  /// servlet configs. The proxy is owned by the portal. `shed` configures
+  /// the proxy's miss-only load shedding (off by default).
+  CachingProxy* CreateProxy(server::RequestHandler* upstream,
+                            ProxyShedOptions shed = {});
 
   /// Declares a query type offline (Section 4.1.1).
   Status RegisterQueryType(const std::string& name,
@@ -105,6 +107,18 @@ class CachePortal {
   /// One synchronization point: run the request-to-query mapper, then an
   /// invalidation cycle.
   Result<invalidator::CycleReport> RunCycle();
+
+  /// Serializes the invalidator's resumption state (see
+  /// Invalidator::Checkpoint) and, having durably captured the cursor,
+  /// trims the update log through the consumed position — the log's
+  /// bounded-memory story: records at or below the checkpointed cursor
+  /// can never be needed again, even across a crash+Restore.
+  std::string Checkpoint();
+
+  /// Rebuilds resumption state from Checkpoint() output.
+  Status Restore(const std::string& checkpoint) {
+    return invalidator_.Restore(checkpoint);
+  }
 
   // Component access (primarily for tests, benches, and diagnostics).
   cache::PageCache* page_cache() { return &page_cache_; }

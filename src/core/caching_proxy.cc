@@ -1,11 +1,24 @@
 #include "core/caching_proxy.h"
 
+#include "common/strings.h"
 #include "sniffer/request_logger.h"
 
 namespace cacheportal::core {
 
+namespace {
+
+http::HttpResponse ShedResponse(int retry_after_seconds) {
+  http::HttpResponse response(503, "overloaded");
+  response.headers.Set("Retry-After", StrCat(retry_after_seconds));
+  response.headers.Set("X-Cache", "SHED");
+  return response;
+}
+
+}  // namespace
+
 http::HttpResponse CachingProxy::Handle(const http::HttpRequest& request) {
   // Invalidation messages are ordinary requests with an eject directive.
+  // Never shed: a dropped eject is a stale page.
   std::optional<std::string> cc_header = request.headers.Get("Cache-Control");
   if (cc_header.has_value() && http::CacheControl::Parse(*cc_header).eject) {
     return cache_->HandleInvalidationRequest(request);
@@ -15,12 +28,32 @@ http::HttpResponse CachingProxy::Handle(const http::HttpRequest& request) {
       config_lookup_ ? config_lookup_(request.path) : nullptr;
   http::PageId page = sniffer::RequestLogger::NarrowToKeys(request, config);
 
+  // Hits are served even under overload: they cost no upstream work.
   if (std::optional<http::HttpResponse> hit = cache_->Lookup(page);
       hit.has_value()) {
     hit->headers.Set("X-Cache", "HIT");
     return *hit;
   }
+
+  if (shed_.shed_check && shed_.shed_check()) {
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    return ShedResponse(shed_.retry_after_seconds);
+  }
+  if (shed_.max_concurrent_upstream > 0) {
+    // Reserve an upstream slot; concurrent misses beyond the bound are
+    // refused rather than queued behind a saturated origin.
+    size_t now_in_flight =
+        in_flight_upstream_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (now_in_flight > shed_.max_concurrent_upstream) {
+      in_flight_upstream_.fetch_sub(1, std::memory_order_acq_rel);
+      requests_shed_.fetch_add(1, std::memory_order_relaxed);
+      return ShedResponse(shed_.retry_after_seconds);
+    }
+  }
   http::HttpResponse response = upstream_->Handle(request);
+  if (shed_.max_concurrent_upstream > 0) {
+    in_flight_upstream_.fetch_sub(1, std::memory_order_acq_rel);
+  }
   if (response.status_code == 200) {
     cache_->Store(page, response);
   }

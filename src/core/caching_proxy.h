@@ -1,6 +1,8 @@
 #ifndef CACHEPORTAL_CORE_CACHING_PROXY_H_
 #define CACHEPORTAL_CORE_CACHING_PROXY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -10,10 +12,30 @@
 
 namespace cacheportal::core {
 
+/// Load-shedding knobs of the CachingProxy. Shedding applies ONLY to
+/// cache misses — the requests that cost upstream work. Cache hits and
+/// eject messages are never shed: hits are cheap (shedding them would
+/// convert capacity into refusals), and dropping an eject would trade
+/// overload for staleness, the one failure mode CachePortal exists to
+/// prevent.
+struct ProxyShedOptions {
+  /// Upper bound on concurrently in-flight upstream (miss) requests;
+  /// misses beyond it are answered 503 + Retry-After. 0 = unlimited.
+  size_t max_concurrent_upstream = 0;
+  /// Extra shed predicate (e.g. the invalidator's overload controller
+  /// reporting kEmergency); checked for misses only. May be null. Must
+  /// be cheap and thread-safe.
+  std::function<bool()> shed_check;
+  /// Retry-After value (seconds) attached to shed responses.
+  int retry_after_seconds = 1;
+};
+
 /// The dynamic-web-content cache of Configuration III, deployed in front
 /// of the load balancer: answers repeat requests from the PageCache,
 /// forwards misses upstream, stores cacheable responses, and services the
-/// invalidator's `Cache-Control: eject` messages.
+/// invalidator's `Cache-Control: eject` messages. Under overload it
+/// sheds misses (503 + Retry-After) while continuing to serve hits and
+/// ejects — see ProxyShedOptions.
 class CachingProxy : public server::RequestHandler {
  public:
   /// Maps a request path to the servlet's config (for key-parameter
@@ -23,19 +45,28 @@ class CachingProxy : public server::RequestHandler {
 
   /// `cache` and `upstream` are not owned.
   CachingProxy(cache::PageCache* cache, server::RequestHandler* upstream,
-               ConfigLookup config_lookup)
+               ConfigLookup config_lookup, ProxyShedOptions shed = {})
       : cache_(cache),
         upstream_(upstream),
-        config_lookup_(std::move(config_lookup)) {}
+        config_lookup_(std::move(config_lookup)),
+        shed_(std::move(shed)) {}
 
   http::HttpResponse Handle(const http::HttpRequest& request) override;
 
   cache::PageCache* cache() { return cache_; }
 
+  /// Misses answered 503 instead of forwarded upstream.
+  uint64_t requests_shed() const {
+    return requests_shed_.load(std::memory_order_relaxed);
+  }
+
  private:
   cache::PageCache* cache_;
   server::RequestHandler* upstream_;
   ConfigLookup config_lookup_;
+  ProxyShedOptions shed_;
+  std::atomic<size_t> in_flight_upstream_{0};
+  std::atomic<uint64_t> requests_shed_{0};
 };
 
 }  // namespace cacheportal::core

@@ -10,7 +10,21 @@ namespace cacheportal::core {
 
 namespace {
 
-constexpr char kQueueCheckpointMagic[] = "delivery-queue 1";
+// v1 checkpoints predate circuit breakers; RestoreState accepts both.
+constexpr char kQueueCheckpointMagicV1[] = "delivery-queue 1";
+constexpr char kQueueCheckpointMagicV2[] = "delivery-queue 2";
+
+const char* BreakerName(ReliableDeliveryQueue::BreakerState state) {
+  switch (state) {
+    case ReliableDeliveryQueue::BreakerState::kClosed:
+      return "closed";
+    case ReliableDeliveryQueue::BreakerState::kOpen:
+      return "open";
+    case ReliableDeliveryQueue::BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "closed";
+}
 
 }  // namespace
 
@@ -36,6 +50,14 @@ Status ReliableDeliveryQueue::SendInvalidation(
     if (state.quarantined) {
       // The serving path bypasses this cache; delivering is pointless
       // until it is reinstated (flushed or repopulated fresh).
+      ++stats_.dead_lettered;
+      continue;
+    }
+    MaybeHalfOpen(state, now);
+    if (state.breaker == BreakerState::kOpen) {
+      // The sink is plainly down: refuse without an attempt. The drop is
+      // compensated by the recovery flush when the breaker closes.
+      ++stats_.breaker_rejections;
       ++stats_.dead_lettered;
       continue;
     }
@@ -73,15 +95,43 @@ bool ReliableDeliveryQueue::Attempt(SinkState& state, PendingMessage message,
                                     bool is_retry) {
   ++stats_.attempts;
   if (is_retry) ++stats_.retries;
+  bool is_probe = state.breaker == BreakerState::kHalfOpen;
+  if (is_probe) ++stats_.breaker_probes;
   ++message.attempts;
   Status sent = state.sink->SendInvalidation(message.request,
                                              message.cache_key);
   if (sent.ok()) {
     ++stats_.delivered;
     if (message.attempts == 1) ++stats_.delivered_first_try;
+    if (is_probe) {
+      CloseBreakerAfterProbe(state);
+    } else {
+      state.consecutive_failures = 0;
+    }
     return true;
   }
   Micros now = clock_->NowMicros();
+  if (is_probe) {
+    // Failed probe: the sink is still down. Reopen for another full
+    // cooldown; the probe message is dead-lettered like any message
+    // arriving while open (the pending recovery flush covers it).
+    ++stats_.breaker_opens;
+    ++stats_.dead_lettered;
+    state.breaker = BreakerState::kOpen;
+    state.breaker_opened_at = now;
+    LogMessage(LogLevel::kWarning,
+               StrCat("sink '", state.name,
+                      "' failed its half-open probe; breaker reopened"));
+    return false;
+  }
+  if (options_.breaker_failure_threshold > 0) {
+    ++state.consecutive_failures;
+    if (state.consecutive_failures >= options_.breaker_failure_threshold) {
+      ++stats_.dead_lettered;  // The message that tripped the breaker.
+      OpenBreaker(state);
+      return false;
+    }
+  }
   bool deadline_passed =
       options_.delivery_deadline > 0 &&
       now - message.first_attempt >= options_.delivery_deadline;
@@ -122,11 +172,74 @@ void ReliableDeliveryQueue::Escalate(SinkState& state) {
                     "bypass it until reinstated)"));
 }
 
+void ReliableDeliveryQueue::OpenBreaker(SinkState& state) {
+  ++stats_.breaker_opens;
+  stats_.dead_lettered += state.queue.size();
+  state.queue.clear();
+  state.breaker = BreakerState::kOpen;
+  state.breaker_opened_at = clock_->NowMicros();
+  state.recovery_flush_pending = true;
+  if (state.flush == nullptr) {
+    // Without an out-of-band flush channel the ejects dropped while open
+    // can never be compensated; quarantine so the serving path bypasses
+    // the cache until an operator reinstates it.
+    ++stats_.escalations;
+    state.quarantined = true;
+    LogMessage(LogLevel::kWarning,
+               StrCat("sink '", state.name, "' breaker opened after ",
+                      state.consecutive_failures,
+                      " consecutive failures; no flush channel, "
+                      "quarantined"));
+    return;
+  }
+  LogMessage(LogLevel::kWarning,
+             StrCat("sink '", state.name, "' breaker opened after ",
+                    state.consecutive_failures,
+                    " consecutive failures; cooling down"));
+}
+
+void ReliableDeliveryQueue::MaybeHalfOpen(SinkState& state, Micros now) {
+  if (state.breaker != BreakerState::kOpen) return;
+  if (now - state.breaker_opened_at < options_.breaker_cooldown) return;
+  state.breaker = BreakerState::kHalfOpen;
+  LogMessage(LogLevel::kInfo,
+             StrCat("sink '", state.name,
+                    "' breaker half-open; next message probes"));
+}
+
+void ReliableDeliveryQueue::CloseBreakerAfterProbe(SinkState& state) {
+  ++stats_.breaker_recoveries;
+  state.breaker = BreakerState::kClosed;
+  state.consecutive_failures = 0;
+  if (!state.recovery_flush_pending) return;
+  state.recovery_flush_pending = false;
+  // Ejects were dropped while the breaker was open, so the recovered
+  // cache may hold pages whose invalidations it never saw: start clean.
+  ++stats_.escalations;
+  if (state.flush != nullptr) {
+    LogMessage(LogLevel::kWarning,
+               StrCat("sink '", state.name,
+                      "' breaker closed; recovery flush covers ejects "
+                      "dropped while open"));
+    state.flush();
+    return;
+  }
+  state.quarantined = true;
+  LogMessage(LogLevel::kWarning,
+             StrCat("sink '", state.name,
+                    "' breaker closed but no flush channel; quarantined "
+                    "until reinstated"));
+}
+
 size_t ReliableDeliveryQueue::Pump() {
   size_t delivered = 0;
   Micros now = clock_->NowMicros();
   for (SinkState& state : sinks_) {
     if (state.quarantined) continue;
+    // An open breaker holds no queue (it was dead-lettered on trip), but
+    // Pump still advances it toward half-open as time passes.
+    MaybeHalfOpen(state, now);
+    if (state.breaker == BreakerState::kOpen) continue;
     while (!state.queue.empty() && state.queue.front().next_retry <= now) {
       PendingMessage message = std::move(state.queue.front());
       state.queue.pop_front();
@@ -181,6 +294,36 @@ void ReliableDeliveryQueue::Reinstate(const std::string& name) {
   if (state != nullptr) state->quarantined = false;
 }
 
+ReliableDeliveryQueue::BreakerState ReliableDeliveryQueue::breaker_state(
+    const std::string& name) const {
+  const SinkState* state = FindSink(name);
+  if (state == nullptr) return BreakerState::kClosed;
+  // Report the effective state: an open breaker whose cooldown has
+  // elapsed probes on the next message, so observers see half-open even
+  // before that message arrives.
+  if (state->breaker == BreakerState::kOpen &&
+      clock_->NowMicros() - state->breaker_opened_at >=
+          options_.breaker_cooldown) {
+    return BreakerState::kHalfOpen;
+  }
+  return state->breaker;
+}
+
+std::string ReliableDeliveryQueue::HealthReport() const {
+  std::string report = StrCat(
+      "delivery: pending=", pending(), " delivered=", stats_.delivered,
+      " dead-letters=", stats_.dead_lettered,
+      " escalations=", stats_.escalations,
+      " breaker-opens=", stats_.breaker_opens,
+      " breaker-rejections=", stats_.breaker_rejections);
+  for (const SinkState& state : sinks_) {
+    report += StrCat(" ", state.name, "=",
+                     state.quarantined ? "quarantined"
+                                       : BreakerName(breaker_state(state.name)));
+  }
+  return report;
+}
+
 ReliableDeliveryQueue::SinkState* ReliableDeliveryQueue::FindSink(
     const std::string& name) {
   for (SinkState& state : sinks_) {
@@ -200,9 +343,13 @@ const ReliableDeliveryQueue::SinkState* ReliableDeliveryQueue::FindSink(
 std::string ReliableDeliveryQueue::CheckpointState() const {
   // Message payloads are serialized HTTP (they contain CRLFs), so key
   // and wire travel as length-prefixed raw blocks after each msg line.
-  std::string out = StrCat(kQueueCheckpointMagic, "\n");
+  // v2 adds the breaker fields to the sink line; v1 checkpoints (without
+  // them) still restore.
+  std::string out = StrCat(kQueueCheckpointMagicV2, "\n");
   for (const SinkState& state : sinks_) {
     out += StrCat("sink ", state.quarantined ? 1 : 0, " ",
+                  static_cast<int>(state.breaker), " ",
+                  state.recovery_flush_pending ? 1 : 0, " ",
                   state.queue.size(), " ", state.name.size(), " ",
                   state.name, "\n");
     for (const PendingMessage& message : state.queue) {
@@ -230,9 +377,15 @@ Status ReliableDeliveryQueue::RestoreState(const std::string& state_bytes) {
   };
 
   std::optional<std::string> magic = next_line();
-  if (!magic.has_value() || *magic != kQueueCheckpointMagic) {
+  if (!magic.has_value() || (*magic != kQueueCheckpointMagicV1 &&
+                             *magic != kQueueCheckpointMagicV2)) {
     return Status::ParseError("not a delivery-queue checkpoint");
   }
+  const bool v2 = *magic == kQueueCheckpointMagicV2;
+  // v1 sink line:  sink <quarantined> <qsize> <namelen> <name>
+  // v2 sink line:  sink <quarantined> <breaker> <flush_pending> <qsize>
+  //                <namelen> <name>
+  const size_t sink_fields = v2 ? 6 : 4;
   Micros now = clock_->NowMicros();
   SinkState* current = nullptr;
   bool saw_end = false;
@@ -243,12 +396,15 @@ Status ReliableDeliveryQueue::RestoreState(const std::string& state_bytes) {
       saw_end = true;
       break;
     }
-    if (fields[0] == "sink" && fields.size() >= 5) {
-      size_t name_length = std::strtoull(fields[3].c_str(), nullptr, 10);
-      // The name is everything after the fourth space (it may itself
-      // contain spaces); the persisted length validates the slice.
-      size_t name_offset = fields[0].size() + fields[1].size() +
-                           fields[2].size() + fields[3].size() + 4;
+    if (fields[0] == "sink" && fields.size() >= sink_fields + 1) {
+      size_t name_length =
+          std::strtoull(fields[sink_fields - 1].c_str(), nullptr, 10);
+      // The name is everything after the last counted space (it may
+      // itself contain spaces); the persisted length validates the slice.
+      size_t name_offset = 0;
+      for (size_t i = 0; i < sink_fields; ++i) {
+        name_offset += fields[i].size() + 1;
+      }
       if (name_offset + name_length != line->size()) {
         return Status::ParseError(
             StrCat("corrupt sink record in delivery checkpoint: ", *line));
@@ -263,6 +419,22 @@ Status ReliableDeliveryQueue::RestoreState(const std::string& state_bytes) {
       }
       current->quarantined = fields[1] == "1";
       current->queue.clear();
+      // Breaker state rebases into the new process's clock: a breaker
+      // that was open (or mid-probe) restarts a full cooldown now, and
+      // the failure streak resets — but a pending recovery flush is
+      // durable, since the dropped ejects are gone either way.
+      current->consecutive_failures = 0;
+      if (v2) {
+        int breaker = std::atoi(fields[2].c_str());
+        current->breaker = breaker == 0 ? BreakerState::kClosed
+                                        : BreakerState::kOpen;
+        current->breaker_opened_at = now;
+        current->recovery_flush_pending = fields[3] == "1";
+      } else {
+        current->breaker = BreakerState::kClosed;
+        current->breaker_opened_at = 0;
+        current->recovery_flush_pending = false;
+      }
     } else if (fields[0] == "msg" && fields.size() == 3) {
       if (current == nullptr) {
         return Status::ParseError("msg record before any sink record");

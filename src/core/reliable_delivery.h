@@ -34,6 +34,19 @@ struct DeliveryOptions {
   /// dead-lettered even if attempts remain. 0 disables the deadline.
   Micros delivery_deadline = 60 * kMicrosPerSecond;
 
+  /// Consecutive failed attempts (across messages) that trip the sink's
+  /// circuit breaker. While the breaker is open no attempts are made at
+  /// all — no retry/backoff churn against a sink that is plainly down —
+  /// and arriving messages are dead-lettered immediately. 0 disables
+  /// breakers.
+  int breaker_failure_threshold = 0;
+  /// Open-state cooldown; after it elapses the breaker goes half-open
+  /// and the next message is attempted as a probe. A successful probe
+  /// closes the breaker and escalates to a recovery flush (ejects were
+  /// dropped while open, so the cache must start clean); a failed probe
+  /// reopens for another full cooldown.
+  Micros breaker_cooldown = 5 * kMicrosPerSecond;
+
   /// What dead-lettering does to the affected sink.
   enum class Escalation {
     /// Invoke the sink's flush callback (wholesale-drop the unreachable
@@ -58,6 +71,10 @@ struct DeliveryStats {
   uint64_t retries = 0;               // Attempts after the first.
   uint64_t dead_lettered = 0;         // Given up (escalation/quarantine).
   uint64_t escalations = 0;           // Sink flush/quarantine events.
+  uint64_t breaker_opens = 0;         // Closed/half-open -> open.
+  uint64_t breaker_probes = 0;        // Half-open delivery attempts.
+  uint64_t breaker_recoveries = 0;    // Successful probes (-> closed).
+  uint64_t breaker_rejections = 0;    // Messages refused while open.
 };
 
 /// At-least-once delivery in front of fire-and-forget invalidation sinks
@@ -75,10 +92,22 @@ struct DeliveryStats {
 /// idempotent; a message may therefore be delivered more than once but
 /// is never silently lost while its sink is healthy.
 ///
-/// The queue implements CheckpointableSink: un-acked messages survive a
-/// crash through Invalidator::Checkpoint()/Restore().
+/// Per-sink circuit breakers (`breaker_failure_threshold` > 0) sit on
+/// top of the retry queue: a sink that fails N attempts in a row trips
+/// its breaker open — its backlog is dead-lettered, arriving messages
+/// are refused without an attempt, and after `breaker_cooldown` the next
+/// message probes half-open. Because ejects were dropped while open, a
+/// successful probe escalates to a recovery flush (or quarantine when no
+/// flush callback exists) before the breaker closes, so the recovered
+/// cache can never serve a page whose eject was swallowed.
+///
+/// The queue implements CheckpointableSink: un-acked messages (and
+/// breaker/quarantine state) survive a crash through
+/// Invalidator::Checkpoint()/Restore(). It also implements
+/// ObservableSink, so Invalidator::StatsReport() shows delivery health.
 class ReliableDeliveryQueue : public invalidator::InvalidationSink,
-                              public invalidator::CheckpointableSink {
+                              public invalidator::CheckpointableSink,
+                              public invalidator::ObservableSink {
  public:
   /// Invoked on kFlush escalation; must drop every entry of the sink's
   /// cache through a channel that does not depend on the failing
@@ -130,8 +159,18 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
   /// reachable again and has been flushed or repopulated fresh.
   void Reinstate(const std::string& name);
 
+  /// Circuit-breaker state of one sink.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  /// `name`'s breaker state (kClosed for unknown names).
+  BreakerState breaker_state(const std::string& name) const;
+
   const DeliveryStats& stats() const { return stats_; }
   const DeliveryOptions& options() const { return options_; }
+
+  // ObservableSink: un-acked backlog and a one-line health summary
+  // (pending, dead-letters, escalations, per-sink breaker/quarantine).
+  size_t PendingBacklog() const override { return pending(); }
+  std::string HealthReport() const override;
 
   // CheckpointableSink: un-acked messages (and quarantine flags) as
   // opaque bytes. RestoreState requires the same sinks to have been
@@ -155,6 +194,13 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
     FlushFn flush;
     bool quarantined = false;
     std::deque<PendingMessage> queue;
+    // Circuit breaker.
+    BreakerState breaker = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    Micros breaker_opened_at = 0;
+    // Ejects were dropped while the breaker was open: the sink must be
+    // flushed (or quarantined) before it can serve again.
+    bool recovery_flush_pending = false;
   };
 
   /// Backoff delay after `attempts` deliveries have failed.
@@ -167,6 +213,17 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
   /// Dead-letters `state`'s entire queue and applies the configured
   /// escalation.
   void Escalate(SinkState& state);
+
+  /// Trips `state`'s breaker open: dead-letters its backlog and stops
+  /// attempting until the cooldown elapses.
+  void OpenBreaker(SinkState& state);
+
+  /// Moves an open breaker to half-open once the cooldown has elapsed.
+  void MaybeHalfOpen(SinkState& state, Micros now);
+
+  /// Closes the breaker after a successful probe; applies the recovery
+  /// flush (or quarantine) covering the ejects dropped while open.
+  void CloseBreakerAfterProbe(SinkState& state);
 
   SinkState* FindSink(const std::string& name);
   const SinkState* FindSink(const std::string& name) const;

@@ -27,13 +27,26 @@ std::vector<UpdateRecord> UpdateLog::ReadSince(uint64_t after_seq) const {
   return out;
 }
 
-void UpdateLog::Truncate(uint64_t up_to_seq) {
-  if (records_.empty() || up_to_seq < first_seq_) return;
+std::optional<Micros> UpdateLog::OldestTimestampSince(
+    uint64_t after_seq) const {
+  if (records_.empty() || after_seq >= records_.back().seq) {
+    return std::nullopt;
+  }
+  size_t begin = 0;
+  if (after_seq >= first_seq_) begin = after_seq - first_seq_ + 1;
+  return records_[begin].timestamp;
+}
+
+size_t UpdateLog::TrimThrough(uint64_t up_to_seq) {
+  if (records_.empty() || up_to_seq < first_seq_) return 0;
   size_t drop = std::min(records_.size(),
                          static_cast<size_t>(up_to_seq - first_seq_ + 1));
   records_.erase(records_.begin(),
                  records_.begin() + static_cast<ptrdiff_t>(drop));
   first_seq_ += drop;
+  return drop;
 }
+
+void UpdateLog::Truncate(uint64_t up_to_seq) { TrimThrough(up_to_seq); }
 
 }  // namespace cacheportal::db

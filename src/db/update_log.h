@@ -2,6 +2,7 @@
 #define CACHEPORTAL_DB_UPDATE_LOG_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,8 +46,23 @@ class UpdateLog {
 
   size_t size() const { return records_.size(); }
 
+  /// Commit timestamp of the oldest record with seq > `after_seq`, or
+  /// nullopt when no such record exists. The invalidator's overload
+  /// controller reads its backlog age from this.
+  std::optional<Micros> OldestTimestampSince(uint64_t after_seq) const;
+
+  /// Drops records with seq <= `up_to_seq` and returns how many were
+  /// dropped. Records above `up_to_seq` are always retained, so trimming
+  /// through a consumer's consumed watermark can never drop a record
+  /// that consumer has not yet read. Call after a successful
+  /// Invalidator::Checkpoint (the checkpoint makes everything at or
+  /// below the consumed position recoverable without replaying the log),
+  /// so the log no longer grows without bound.
+  size_t TrimThrough(uint64_t up_to_seq);
+
   /// Drops records with seq <= `up_to_seq` (log truncation after all
-  /// consumers have synchronized).
+  /// consumers have synchronized). Same operation as TrimThrough, kept
+  /// for callers that do not need the count.
   void Truncate(uint64_t up_to_seq);
 
  private:

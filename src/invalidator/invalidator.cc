@@ -28,6 +28,10 @@ Invalidator::Invalidator(db::Database* database, sniffer::QiUrlMap* map,
   if (options_.worker_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  if (options_.overload.enabled) {
+    overload_ = std::make_unique<OverloadController>(clock_,
+                                                     options_.overload);
+  }
   // Attach at the database's current position: updates that committed
   // before CachePortal was deployed predate every cached page.
   last_update_seq_ = database_->update_log().LastSeq();
@@ -76,9 +80,20 @@ std::string Invalidator::StatsReport() const {
       " idx-answered=", stats_.polls_answered_by_index,
       " poll-hits=", stats_.poll_hits,
       " conservative=", stats_.conservative_invalidations,
+      " emergency-flushes=", stats_.emergency_flushes,
       " pages-invalidated=", stats_.pages_invalidated,
       " messages-sent=", stats_.messages_sent,
       " send-failures=", stats_.send_failures, "\n");
+  if (overload_ != nullptr) {
+    out += StrCat("  ", overload_->Report(), "\n");
+  }
+  // Delivery health was invisible here while the queue quietly retried;
+  // every observable sink now reports in line.
+  for (size_t i = 0; i < sinks_.size(); ++i) {
+    const auto* observable = dynamic_cast<const ObservableSink*>(sinks_[i]);
+    if (observable == nullptr) continue;
+    out += StrCat("  sink ", i, " ", observable->HealthReport(), "\n");
+  }
   for (const QueryType* type : registry_.Types()) {
     const QueryTypeStats& ts = type->stats;
     out += StrCat("  type '", type->name, "'",
@@ -223,6 +238,27 @@ Result<db::QueryResult> Invalidator::ExecutePoll(const std::string& poll_sql) {
   return database_->ExecuteSql(poll_sql);
 }
 
+OverloadSignals Invalidator::ObserveOverloadSignals() const {
+  OverloadSignals signals;
+  const db::UpdateLog& log =
+      static_cast<const db::Database*>(database_)->update_log();
+  uint64_t last = log.LastSeq();
+  signals.backlog_depth =
+      last > last_update_seq_ ? last - last_update_seq_ : 0;
+  if (std::optional<Micros> oldest =
+          log.OldestTimestampSince(last_update_seq_)) {
+    Micros now = clock_->NowMicros();
+    signals.backlog_age = now > *oldest ? now - *oldest : 0;
+  }
+  for (const InvalidationSink* sink : sinks_) {
+    if (const auto* observable = dynamic_cast<const ObservableSink*>(sink)) {
+      signals.delivery_backlog += observable->PendingBacklog();
+    }
+  }
+  signals.last_cycle_latency = last_cycle_duration_;
+  return signals;
+}
+
 namespace {
 
 /// One instance's slot in the parallel analysis fan-out: read-only inputs
@@ -282,6 +318,16 @@ Result<CycleReport> Invalidator::RunCycle() {
   Micros start = clock_->NowMicros();
   ++stats_.cycles;
 
+  // ---- Overload planning: pick this cycle's degradation rung. ----
+  // Signals are observed BEFORE the log is consumed (the backlog is the
+  // evidence) and are deterministic functions of the clock and pipeline
+  // state, so the mode sequence is identical at every worker count.
+  DegradationMode mode = DegradationMode::kNormal;
+  if (overload_ != nullptr) {
+    mode = overload_->Plan(ObserveOverloadSignals());
+  }
+  report.mode = mode;
+
   // ---- Registration module, online mode: scan the QI/URL map. ----
   for (const sniffer::QiUrlEntry& entry : map_->ReadSince(last_map_id_)) {
     last_map_id_ = std::max(last_map_id_, entry.id);
@@ -309,6 +355,7 @@ Result<CycleReport> Invalidator::RunCycle() {
 
   if (records.empty()) {
     report.duration = clock_->NowMicros() - start;
+    last_cycle_duration_ = report.duration;
     return report;
   }
 
@@ -324,25 +371,58 @@ Result<CycleReport> Invalidator::RunCycle() {
   // would see.
   info_.ApplyDeltas(deltas);
 
+  std::set<std::string> affected_instances;
+
+  // ---- Emergency rung: table-scoped flush, no analysis, no polling. ----
+  // Precision is abandoned for this cycle: every registered instance
+  // reading a table with backlogged updates is invalidated outright, and
+  // the cursor has already fast-forwarded past the whole backlog above —
+  // unbounded staleness becomes bounded over-invalidation. Instances
+  // reading only untouched tables are provably unaffected and skipped.
+  if (mode == DegradationMode::kEmergency) {
+    for (const QueryType* type : registry_.Types()) {
+      for (const QueryInstance* instance :
+           registry_.InstancesOfType(type->type_id)) {
+        if (map_->PagesForQuery(instance->sql).empty()) continue;
+        bool reads_updated_table = false;
+        for (const sql::TableRef& ref : instance->statement->from) {
+          if (!deltas.ForTable(ref.table).empty()) {
+            reads_updated_table = true;
+            break;
+          }
+        }
+        if (!reads_updated_table) continue;
+        if (affected_instances.insert(instance->sql).second) {
+          ++stats_.emergency_flushes;
+          ++stats_.conservative_invalidations;
+          ++report.conservative_invalidations;
+        }
+      }
+    }
+  }
+
   // ---- Impact analysis (Section 4.1.2's grouping), parallel phase. ----
   // Serial pre-pass: snapshot the per-instance work list and retire
   // instances whose pages already left the cache (evicted or invalidated
   // through another instance). Registry mutation stays on this thread;
   // the snapshot's QueryInstance pointers stay valid because nothing
-  // mutates the registry until the merge.
+  // mutates the registry until the merge. An emergency cycle decided
+  // everything above, so its work list stays empty.
   std::vector<InstanceAnalysis> work;
-  for (const QueryType* type : registry_.Types()) {
-    for (const QueryInstance* instance :
-         registry_.InstancesOfType(type->type_id)) {
-      if (map_->PagesForQuery(instance->sql).empty()) {
-        std::string sql_copy = instance->sql;
-        registry_.UnregisterInstance(sql_copy);
-        continue;
+  if (mode != DegradationMode::kEmergency) {
+    for (const QueryType* type : registry_.Types()) {
+      for (const QueryInstance* instance :
+           registry_.InstancesOfType(type->type_id)) {
+        if (map_->PagesForQuery(instance->sql).empty()) {
+          std::string sql_copy = instance->sql;
+          registry_.UnregisterInstance(sql_copy);
+          continue;
+        }
+        InstanceAnalysis analysis;
+        analysis.type_id = type->type_id;
+        analysis.instance = instance;
+        work.push_back(std::move(analysis));
       }
-      InstanceAnalysis analysis;
-      analysis.type_id = type->type_id;
-      analysis.instance = instance;
-      work.push_back(std::move(analysis));
     }
   }
 
@@ -439,7 +519,6 @@ Result<CycleReport> Invalidator::RunCycle() {
   // Serial merge, in snapshot order: fold verdicts into the lifetime and
   // per-type stats and collect the polling tasks. Identical to what the
   // serial loop would have produced.
-  std::set<std::string> affected_instances;
   std::vector<PollingTask> tasks;
   for (InstanceAnalysis& a : work) {
     if (!a.status.ok()) return a.status;
@@ -498,7 +577,35 @@ Result<CycleReport> Invalidator::RunCycle() {
   }
 
   // ---- Schedule and execute polling queries, parallel phase. ----
-  InvalidationScheduler::Schedule schedule = scheduler_.Build(std::move(tasks));
+  // The degradation rung sets this cycle's effective polling budget:
+  // kEconomy shrinks it, kConservative (or an economy budget of 0)
+  // skips polling entirely — every undecided instance is condemned.
+  size_t effective_budget = options_.max_polls_per_cycle;
+  bool skip_polls = mode == DegradationMode::kConservative;
+  if (mode == DegradationMode::kEconomy) {
+    size_t economy = options_.overload.economy_poll_budget;
+    if (economy == 0) {
+      skip_polls = true;
+    } else {
+      effective_budget = effective_budget == 0
+                             ? economy
+                             : std::min(effective_budget, economy);
+    }
+  }
+  InvalidationScheduler::Schedule schedule;
+  if (skip_polls) {
+    // Condemn whole instances exactly like the scheduler would: one
+    // representative task per instance, in task order.
+    std::set<std::string> condemned;
+    for (PollingTask& task : tasks) {
+      if (condemned.insert(task.instance_sql).second) {
+        schedule.conservative.push_back(std::move(task));
+      }
+    }
+  } else {
+    schedule = scheduler_.BuildWithBudget(std::move(tasks),
+                                          effective_budget);
+  }
 
   // Condemn budget-overflow instances BEFORE any poll is issued: a
   // condemned instance is invalidated regardless, so polling any of its
@@ -647,6 +754,7 @@ Result<CycleReport> Invalidator::RunCycle() {
   }
 
   report.duration = clock_->NowMicros() - start;
+  last_cycle_duration_ = report.duration;
   return report;
 }
 

@@ -15,6 +15,7 @@
 #include "http/message.h"
 #include "invalidator/impact.h"
 #include "invalidator/info_manager.h"
+#include "invalidator/overload.h"
 #include "invalidator/policy.h"
 #include "invalidator/polling_cache.h"
 #include "invalidator/registry.h"
@@ -46,6 +47,21 @@ class InvalidationSink {
 
   virtual Status SendInvalidation(const http::HttpRequest& eject_message,
                                   const std::string& cache_key) = 0;
+};
+
+/// Optional capability of an InvalidationSink: delivery health the
+/// invalidator can observe. The overload controller reads PendingBacklog
+/// as an overload signal, and StatsReport() embeds HealthReport so
+/// delivery health is visible where operators already look.
+class ObservableSink {
+ public:
+  virtual ~ObservableSink() = default;
+
+  /// Un-acked (message, sink) pairs the sink still owes downstream.
+  virtual size_t PendingBacklog() const = 0;
+
+  /// One diagnostic line (no trailing newline).
+  virtual std::string HealthReport() const = 0;
 };
 
 /// Optional capability of an InvalidationSink: state that must survive a
@@ -90,6 +106,9 @@ struct InvalidatorOptions {
   size_t worker_threads = 1;
   /// Thresholds for discovered (self-tuning) cacheability policies.
   PolicyThresholds thresholds;
+  /// Overload control: the adaptive degradation ladder that keeps cache
+  /// staleness bounded under update storms (disabled by default).
+  OverloadOptions overload;
 };
 
 /// Lifetime counters for the whole invalidator.
@@ -104,6 +123,7 @@ struct InvalidatorStats {
   uint64_t polls_answered_by_index = 0; // Avoided via join indexes.
   uint64_t poll_hits = 0;               // Polls that confirmed impact.
   uint64_t conservative_invalidations = 0;  // Budget exceeded.
+  uint64_t emergency_flushes = 0;       // Instances flushed table-scoped.
   uint64_t pages_invalidated = 0;
   uint64_t messages_sent = 0;
   uint64_t send_failures = 0;           // Sinks that rejected a message.
@@ -119,6 +139,9 @@ struct CycleReport {
   uint64_t polls_answered_by_index = 0;
   uint64_t conservative_invalidations = 0;
   uint64_t pages_invalidated = 0;
+  /// Degradation rung this cycle ran under (kNormal unless the overload
+  /// controller is enabled and escalated).
+  DegradationMode mode = DegradationMode::kNormal;
   Micros duration = 0;
 };
 
@@ -198,6 +221,10 @@ class Invalidator {
   }
   const InvalidatorStats& stats() const { return stats_; }
   const InvalidatorOptions& options() const { return options_; }
+  /// The overload controller, or nullptr when not enabled.
+  const OverloadController* overload_controller() const {
+    return overload_.get();
+  }
 
   /// Human-readable dump of the lifetime counters and the per-query-type
   /// statistics the information management module maintains
@@ -214,6 +241,11 @@ class Invalidator {
   /// call from pool workers: the external connection is serialized by a
   /// mutex, the other targets are internally thread-safe for reads.
   Result<db::QueryResult> ExecutePoll(const std::string& poll_sql);
+
+  /// Reads this planning point's overload signals (backlog depth/age
+  /// from the update log, delivery backlog from ObservableSinks, last
+  /// cycle's latency). All deterministic given the clock.
+  OverloadSignals ObserveOverloadSignals() const;
 
   db::Database* database_;
   sniffer::QiUrlMap* map_;
@@ -233,9 +265,12 @@ class Invalidator {
   std::unique_ptr<PollingDataCache> polling_cache_;
   // Non-null iff options_.worker_threads > 1.
   std::unique_ptr<ThreadPool> pool_;
+  // Non-null iff options_.overload.enabled.
+  std::unique_ptr<OverloadController> overload_;
 
   uint64_t last_update_seq_ = 0;
   uint64_t last_map_id_ = 0;
+  Micros last_cycle_duration_ = 0;
   InvalidatorStats stats_;
 };
 

@@ -1,0 +1,145 @@
+#include "invalidator/overload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cacheportal::invalidator {
+
+const char* DegradationModeName(DegradationMode mode) {
+  switch (mode) {
+    case DegradationMode::kNormal:
+      return "normal";
+    case DegradationMode::kEconomy:
+      return "economy";
+    case DegradationMode::kConservative:
+      return "conservative";
+    case DegradationMode::kEmergency:
+      return "emergency";
+  }
+  return "unknown";
+}
+
+OverloadController::OverloadController(const Clock* clock,
+                                       OverloadOptions options)
+    : clock_(clock), options_(options), entered_at_(clock->NowMicros()) {
+  if (options_.exit_fraction <= 0.0 || options_.exit_fraction > 1.0) {
+    options_.exit_fraction = 0.5;
+  }
+}
+
+DegradationMode OverloadController::DesiredMode(
+    const OverloadSignals& signals) const {
+  if (signals.backlog_age >= options_.staleness_bound ||
+      signals.backlog_depth >= options_.emergency_backlog) {
+    return DegradationMode::kEmergency;
+  }
+  if (signals.backlog_depth >= options_.conservative_backlog) {
+    return DegradationMode::kConservative;
+  }
+  bool latency_high = options_.cycle_latency_watermark > 0 &&
+                      signals.last_cycle_latency >=
+                          options_.cycle_latency_watermark;
+  bool delivery_high = options_.delivery_backlog_watermark > 0 &&
+                       signals.delivery_backlog >=
+                           options_.delivery_backlog_watermark;
+  if (signals.backlog_depth >= options_.economy_backlog || latency_high ||
+      delivery_high) {
+    return DegradationMode::kEconomy;
+  }
+  return DegradationMode::kNormal;
+}
+
+bool OverloadController::BelowExitWatermarks(
+    DegradationMode mode, const OverloadSignals& signals) const {
+  const double f = options_.exit_fraction;
+  auto below = [f](double signal, double enter_watermark) {
+    return signal < f * enter_watermark;
+  };
+  switch (mode) {
+    case DegradationMode::kEmergency:
+      return below(static_cast<double>(signals.backlog_depth),
+                   static_cast<double>(options_.emergency_backlog)) &&
+             below(static_cast<double>(signals.backlog_age),
+                   static_cast<double>(options_.staleness_bound));
+    case DegradationMode::kConservative:
+      return below(static_cast<double>(signals.backlog_depth),
+                   static_cast<double>(options_.conservative_backlog));
+    case DegradationMode::kEconomy: {
+      if (!below(static_cast<double>(signals.backlog_depth),
+                 static_cast<double>(options_.economy_backlog))) {
+        return false;
+      }
+      if (options_.cycle_latency_watermark > 0 &&
+          !below(static_cast<double>(signals.last_cycle_latency),
+                 static_cast<double>(options_.cycle_latency_watermark))) {
+        return false;
+      }
+      if (options_.delivery_backlog_watermark > 0 &&
+          !below(static_cast<double>(signals.delivery_backlog),
+                 static_cast<double>(options_.delivery_backlog_watermark))) {
+        return false;
+      }
+      return true;
+    }
+    case DegradationMode::kNormal:
+      return true;
+  }
+  return true;
+}
+
+DegradationMode OverloadController::Plan(const OverloadSignals& signals) {
+  Micros now = clock_->NowMicros();
+  stats_.max_backlog_depth =
+      std::max(stats_.max_backlog_depth, signals.backlog_depth);
+  stats_.max_backlog_age = std::max(stats_.max_backlog_age,
+                                    signals.backlog_age);
+  if (options_.enabled && signals.backlog_age >= options_.staleness_bound) {
+    ++stats_.staleness_breaches;
+  }
+
+  if (options_.enabled) {
+    DegradationMode desired = DesiredMode(signals);
+    if (desired > mode_) {
+      // Escalate immediately — backlog is staleness in the making.
+      LogMessage(LogLevel::kWarning,
+                 StrCat("overload: ", DegradationModeName(mode_), " -> ",
+                        DegradationModeName(desired), " (backlog=",
+                        signals.backlog_depth, " age-us=",
+                        signals.backlog_age, " delivery=",
+                        signals.delivery_backlog, ")"));
+      mode_ = desired;
+      entered_at_ = now;
+      ++stats_.escalations;
+    } else if (desired < mode_ && now - entered_at_ >= options_.min_dwell &&
+               BelowExitWatermarks(mode_, signals)) {
+      // De-escalate one rung: the dwell plus the exit watermarks keep a
+      // load level hovering at an enter watermark from flapping.
+      DegradationMode next =
+          static_cast<DegradationMode>(static_cast<int>(mode_) - 1);
+      LogMessage(LogLevel::kInfo,
+                 StrCat("overload: ", DegradationModeName(mode_), " -> ",
+                        DegradationModeName(next), " (recovering)"));
+      mode_ = next;
+      entered_at_ = now;
+      ++stats_.deescalations;
+    }
+  }
+  ++stats_.cycles_in_mode[static_cast<int>(mode_)];
+  return mode_;
+}
+
+std::string OverloadController::Report() const {
+  return StrCat("overload: mode=", DegradationModeName(mode_),
+                " escalations=", stats_.escalations,
+                " deescalations=", stats_.deescalations,
+                " cycles=", stats_.cycles_in_mode[0], "/",
+                stats_.cycles_in_mode[1], "/", stats_.cycles_in_mode[2],
+                "/", stats_.cycles_in_mode[3],
+                " staleness-breaches=", stats_.staleness_breaches,
+                " max-backlog=", stats_.max_backlog_depth,
+                " max-age-us=", stats_.max_backlog_age);
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,136 @@
+#ifndef CACHEPORTAL_INVALIDATOR_OVERLOAD_H_
+#define CACHEPORTAL_INVALIDATOR_OVERLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace cacheportal::invalidator {
+
+/// The degradation ladder (ordered: each rung trades more precision for
+/// more timeliness than the one before it).
+///
+///   kNormal        full pipeline, configured polling budget.
+///   kEconomy       polling budget shrunk to `economy_poll_budget`.
+///   kConservative  no polling at all: every instance the analysis could
+///                  not clear is invalidated conservatively.
+///   kEmergency     no analysis either: every instance reading a
+///                  backlogged table is invalidated (a table-scoped
+///                  flush) and the update-log cursor fast-forwards —
+///                  unbounded staleness becomes bounded
+///                  over-invalidation.
+enum class DegradationMode {
+  kNormal = 0,
+  kEconomy = 1,
+  kConservative = 2,
+  kEmergency = 3,
+};
+
+const char* DegradationModeName(DegradationMode mode);
+
+/// Watermarks and hysteresis tunables of the OverloadController.
+struct OverloadOptions {
+  /// Master switch; a disabled controller pins the ladder at kNormal.
+  bool enabled = false;
+
+  // ---- Enter watermarks (escalation is immediate). ----
+  /// Unconsumed update-log records that put the ladder at (at least)
+  /// the given rung.
+  uint64_t economy_backlog = 256;
+  uint64_t conservative_backlog = 1024;
+  uint64_t emergency_backlog = 4096;
+  /// The staleness bound: when the oldest unconsumed update is this old,
+  /// the ladder jumps straight to kEmergency regardless of depth — the
+  /// next cycle consumes the whole backlog via table flushes, so no
+  /// cached page can trail the database by much more than this plus one
+  /// cycle period.
+  Micros staleness_bound = 5 * kMicrosPerSecond;
+  /// A previous cycle slower than this is overload evidence worth at
+  /// least kEconomy. 0 disables the signal.
+  Micros cycle_latency_watermark = 0;
+  /// Un-acked invalidation messages (delivery-queue backlog) worth at
+  /// least kEconomy. 0 disables the signal.
+  uint64_t delivery_backlog_watermark = 0;
+
+  // ---- Hysteresis (de-escalation is reluctant). ----
+  /// To step DOWN a rung, every signal must sit below exit_fraction of
+  /// that rung's enter watermark — a signal hovering at the watermark
+  /// cannot flap the mode.
+  double exit_fraction = 0.5;
+  /// Minimum time spent on a rung before stepping down (dwell); the
+  /// ladder descends one rung per planning point at most.
+  Micros min_dwell = 2 * kMicrosPerSecond;
+
+  /// Polling budget while kEconomy. 0 means "no polls", which behaves
+  /// like kConservative for that cycle.
+  size_t economy_poll_budget = 8;
+};
+
+/// The signals one planning point observes. All of them are
+/// deterministic functions of the injected Clock and the pipeline's
+/// (deterministic) state, so mode decisions are byte-identical across
+/// worker_threads counts.
+struct OverloadSignals {
+  uint64_t backlog_depth = 0;     // Unconsumed update-log records.
+  Micros backlog_age = 0;         // now - oldest unconsumed commit time.
+  uint64_t delivery_backlog = 0;  // Un-acked (message, sink) pairs.
+  Micros last_cycle_latency = 0;  // Duration of the previous cycle.
+};
+
+/// Lifetime counters of the controller.
+struct OverloadStats {
+  uint64_t escalations = 0;        // Upward transitions.
+  uint64_t deescalations = 0;      // Downward transitions (one rung each).
+  uint64_t cycles_in_mode[4] = {}; // Planning points spent on each rung.
+  uint64_t staleness_breaches = 0; // Age >= staleness_bound observed.
+  uint64_t max_backlog_depth = 0;
+  Micros max_backlog_age = 0;
+};
+
+/// Drives the degradation ladder from backlog depth/age, cycle latency,
+/// and delivery backlog (Section 4.2.2's precision-for-timeliness
+/// tradeoff, made adaptive). Escalation is immediate — freshness is at
+/// stake; de-escalation is hysteretic — one rung at a time, only after
+/// `min_dwell` on the current rung and only once every signal is below
+/// `exit_fraction` of the rung's enter watermark, so a load level
+/// hovering at a watermark cannot flap the mode.
+///
+/// The controller is deterministic: equal clocks and equal signal
+/// sequences produce equal mode sequences, independent of thread count.
+class OverloadController {
+ public:
+  /// `clock` times dwell; not owned.
+  OverloadController(const Clock* clock, OverloadOptions options);
+
+  /// One planning point (call at cycle start, before consuming the
+  /// log). Returns the mode the coming cycle must run in.
+  DegradationMode Plan(const OverloadSignals& signals);
+
+  DegradationMode mode() const { return mode_; }
+  /// Time the ladder entered the current rung.
+  Micros entered_mode_at() const { return entered_at_; }
+  const OverloadOptions& options() const { return options_; }
+  const OverloadStats& stats() const { return stats_; }
+
+  /// One-line diagnostic ("overload: mode=... ...") for StatsReport().
+  std::string Report() const;
+
+ private:
+  /// Highest rung whose enter condition the signals satisfy.
+  DegradationMode DesiredMode(const OverloadSignals& signals) const;
+  /// True when every signal that can hold the ladder at `mode` is below
+  /// exit_fraction of its enter watermark.
+  bool BelowExitWatermarks(DegradationMode mode,
+                           const OverloadSignals& signals) const;
+
+  const Clock* clock_;
+  OverloadOptions options_;
+  DegradationMode mode_ = DegradationMode::kNormal;
+  Micros entered_at_ = 0;
+  OverloadStats stats_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_OVERLOAD_H_

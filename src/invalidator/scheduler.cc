@@ -5,8 +5,8 @@
 
 namespace cacheportal::invalidator {
 
-InvalidationScheduler::Schedule InvalidationScheduler::Build(
-    std::vector<PollingTask> tasks) const {
+InvalidationScheduler::Schedule InvalidationScheduler::BuildWithBudget(
+    std::vector<PollingTask> tasks, size_t max_polls) const {
   std::sort(tasks.begin(), tasks.end(),
             [](const PollingTask& a, const PollingTask& b) {
               if (a.deadline != b.deadline) return a.deadline < b.deadline;
@@ -33,8 +33,8 @@ InvalidationScheduler::Schedule InvalidationScheduler::Build(
   Schedule schedule;
   for (std::vector<PollingTask>& group : groups) {
     const bool fits =
-        max_polls_ == 0 ||
-        schedule.to_poll.size() + group.size() <= max_polls_;
+        max_polls == 0 ||
+        schedule.to_poll.size() + group.size() <= max_polls;
     if (fits) {
       for (PollingTask& task : group) {
         schedule.to_poll.push_back(std::move(task));

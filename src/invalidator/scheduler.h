@@ -50,7 +50,16 @@ class InvalidationScheduler {
     std::vector<PollingTask> conservative;
   };
 
-  Schedule Build(std::vector<PollingTask> tasks) const;
+  Schedule Build(std::vector<PollingTask> tasks) const {
+    return BuildWithBudget(std::move(tasks), max_polls_);
+  }
+
+  /// Build with an explicit budget for this cycle, overriding the
+  /// configured one — the overload controller's degradation ladder
+  /// shrinks the budget under load. `max_polls` of 0 means unlimited
+  /// (same convention as the constructor).
+  Schedule BuildWithBudget(std::vector<PollingTask> tasks,
+                           size_t max_polls) const;
 
   size_t max_polls_per_cycle() const { return max_polls_; }
 

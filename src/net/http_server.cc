@@ -101,15 +101,17 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(WireHandler handler,
   }
   return std::unique_ptr<HttpServer>(
       new HttpServer(std::move(handler), fd, ntohs(addr.sin_port),
-                     options.io_timeout));
+                     std::move(options)));
 }
 
 HttpServer::HttpServer(WireHandler handler, int listen_fd, uint16_t port,
-                       Micros io_timeout)
+                       Options options)
     : handler_(std::move(handler)),
       listen_fd_(listen_fd),
       port_(port),
-      io_timeout_(io_timeout) {
+      io_timeout_(options.io_timeout),
+      shed_check_(std::move(options.shed_check)),
+      retry_after_seconds_(options.retry_after_seconds) {
   thread_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -153,6 +155,18 @@ void HttpServer::ServeConnection(int fd) {
     if (timed_out) {
       connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
     }
+    return;
+  }
+  if (shed_check_ && shed_check_()) {
+    // Overloaded: refuse explicitly and retryably instead of queueing
+    // work behind a loop that is already behind.
+    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    static constexpr char kShedBody[] = "overloaded";
+    std::string shed = StrCat(
+        "HTTP/1.1 503 Service Unavailable\r\nRetry-After: ",
+        retry_after_seconds_, "\r\nContent-Length: ", sizeof(kShedBody) - 1,
+        "\r\n\r\n", kShedBody);
+    WriteAll(fd, shed);
     return;
   }
   std::string response = handler_(request);

@@ -25,6 +25,15 @@ struct HttpServerOptions {
   /// fails and the connection is dropped. 0 disables the timeouts
   /// (pre-existing behavior; not recommended).
   Micros io_timeout = 5 * kMicrosPerSecond;
+  /// Load shedding: when set, evaluated once per accepted request; true
+  /// answers `503 Service Unavailable` + `Retry-After` WITHOUT invoking
+  /// the handler. Failing fast keeps the accept loop draining (each
+  /// shed costs a header read, not handler work), so overload degrades
+  /// into explicit retryable refusals instead of timeout pile-ups. Runs
+  /// on the server thread; must be cheap and thread-safe.
+  std::function<bool()> shed_check;
+  /// Retry-After value (seconds) attached to shed responses.
+  int retry_after_seconds = 1;
 };
 
 /// A minimal blocking HTTP/1.1 server over TCP: one accept loop, one
@@ -66,12 +75,17 @@ class HttpServer {
     return connections_timed_out_.load(std::memory_order_relaxed);
   }
 
+  /// Requests answered 503 by shed_check instead of the handler.
+  uint64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+
   /// Stops accepting; idempotent. Called by the destructor.
   void Stop();
 
  private:
   HttpServer(WireHandler handler, int listen_fd, uint16_t port,
-             Micros io_timeout);
+             Options options);
 
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -80,9 +94,12 @@ class HttpServer {
   int listen_fd_;
   uint16_t port_;
   Micros io_timeout_;
+  std::function<bool()> shed_check_;
+  int retry_after_seconds_;
   std::atomic<bool> running_{true};
   std::atomic<uint64_t> requests_handled_{0};
   std::atomic<uint64_t> connections_timed_out_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
   std::thread thread_;
 };
 

@@ -59,6 +59,15 @@ struct SimParams {
   /// Effective hit ratio = hit_ratio / (1 + inval_sensitivity * total
   /// updates per second).
   double inval_sensitivity = 0.035;
+  /// Overload degradation (requires model_invalidation): once the update
+  /// rate crosses this threshold the invalidator's degradation ladder is
+  /// assumed active — polling budgets shrink, so more instances are
+  /// invalidated conservatively and the hit ratio takes a further
+  /// multiplicative penalty proportional to the excess. 0 disables.
+  double overload_update_threshold = 0.0;
+  /// Fractional hit-ratio penalty per update/sec above the threshold
+  /// (applied as hit_ratio *= 1 / (1 + penalty * excess)).
+  double degraded_hit_penalty = 0.01;
 
   // ---- Calibrated service times (microseconds) ----
   // Database work per query class on a dedicated database machine.

@@ -240,8 +240,16 @@ void ConfIIIRequest(World* w, std::shared_ptr<RequestState> req) {
   if (w->params.model_invalidation) {
     // Invalidation pressure lowers the realized hit ratio (Section 5.1.1:
     // over-invalidation causes the hit ratio to decrease).
-    hit_ratio /=
-        1.0 + w->params.inval_sensitivity * w->params.updates.Total();
+    double total_updates = w->params.updates.Total();
+    hit_ratio /= 1.0 + w->params.inval_sensitivity * total_updates;
+    if (w->params.overload_update_threshold > 0.0 &&
+        total_updates > w->params.overload_update_threshold) {
+      // Past the overload threshold the degradation ladder trades
+      // precision for timeliness: conservative invalidation ejects more
+      // pages than strictly necessary, further depressing the hit ratio.
+      double excess = total_updates - w->params.overload_update_threshold;
+      hit_ratio /= 1.0 + w->params.degraded_hit_penalty * excess;
+    }
   }
   // The cache sits outside the site network: hits never enter it.
   w->web_cache.Submit(w->params.web_cache_service, [w, req, hit_ratio]() {

@@ -195,6 +195,29 @@ TEST_F(IntegrationTest, TruncateOptionBoundsUpdateLogGrowth) {
   EXPECT_EQ(report.updates, 1u);
 }
 
+TEST_F(IntegrationTest, CheckpointTrimsTheConsumedLogPrefix) {
+  // Checkpoint() captures the invalidator's durable state and then trims
+  // the update log through the consumed cursor: crash recovery and
+  // bounded log growth come from the same sync point.
+  Get("http://shop/cars?max=20000");
+  portal().RunCycle().value();
+  db_.ExecuteSql("INSERT INTO Car VALUES ('Mazda', 'Miata', 18500)").value();
+  portal().RunCycle().value();
+  EXPECT_GT(db_.update_log().size(), 0u);
+
+  std::string state = portal().Checkpoint();
+  EXPECT_FALSE(state.empty());
+  EXPECT_EQ(db_.update_log().size(), 0u);
+
+  // Records appended after the checkpoint survive the trim and are
+  // consumed normally.
+  db_.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 16000)").value();
+  EXPECT_EQ(db_.update_log().size(), 1u);
+  EXPECT_TRUE(portal().Restore(state).ok());
+  auto report = portal().RunCycle().value();
+  EXPECT_EQ(report.updates, 1u);
+}
+
 TEST_F(IntegrationTest, CacheStatsTrackTraffic) {
   Get("http://shop/cars?max=20000");
   Get("http://shop/cars?max=20000");

@@ -104,6 +104,78 @@ TEST_F(ProxyTest, ConfigLookupNarrowsKeys) {
   EXPECT_EQ(third.headers.Get("X-Cache"), "MISS");
 }
 
+TEST_F(ProxyTest, ShedCheckAppliesOnlyToMisses) {
+  bool shedding = false;
+  ProxyShedOptions shed;
+  shed.shed_check = [&shedding] { return shedding; };
+  shed.retry_after_seconds = 3;
+  CachingProxy proxy(&cache_, &origin_, nullptr, std::move(shed));
+
+  origin_.next = CacheablePage("v1");
+  proxy.Handle(*http::HttpRequest::Get("http://s/cached"));
+  ASSERT_EQ(origin_.calls, 1);
+
+  shedding = true;
+  // A hit costs no upstream work — served even under overload.
+  http::HttpResponse hit = proxy.Handle(*http::HttpRequest::Get("http://s/cached"));
+  EXPECT_EQ(hit.headers.Get("X-Cache"), "HIT");
+  // An eject is a correctness message — dropping it would pin a stale
+  // page, so it is never shed either.
+  auto eject = http::HttpRequest::Get("http://s/cached");
+  eject->headers.Set("Cache-Control", "eject");
+  EXPECT_EQ(proxy.Handle(*eject).status_code, 204);
+  // Only the miss, which would hit the origin, is refused.
+  http::HttpResponse miss = proxy.Handle(*http::HttpRequest::Get("http://s/new"));
+  EXPECT_EQ(miss.status_code, 503);
+  EXPECT_EQ(miss.headers.Get("Retry-After"), "3");
+  EXPECT_EQ(miss.headers.Get("X-Cache"), "SHED");
+  EXPECT_EQ(proxy.requests_shed(), 1u);
+  EXPECT_EQ(origin_.calls, 1);  // The origin never saw the shed miss.
+
+  shedding = false;
+  EXPECT_EQ(proxy.Handle(*http::HttpRequest::Get("http://s/new")).status_code,
+            200);
+}
+
+/// An origin that re-enters the proxy while its own request is still in
+/// flight — a deterministic, single-threaded stand-in for a second
+/// concurrent miss.
+class ReentrantOrigin : public server::RequestHandler {
+ public:
+  http::HttpResponse Handle(const http::HttpRequest& request) override {
+    ++calls;
+    if (request.path == "/outer" && proxy != nullptr) {
+      inner_status =
+          proxy->Handle(*http::HttpRequest::Get("http://s/inner")).status_code;
+    }
+    return CacheablePage("body");
+  }
+  CachingProxy* proxy = nullptr;
+  int inner_status = 0;
+  int calls = 0;
+};
+
+TEST_F(ProxyTest, ConcurrentUpstreamBoundShedsTheOverflowMiss) {
+  ReentrantOrigin origin;
+  ProxyShedOptions shed;
+  shed.max_concurrent_upstream = 1;
+  CachingProxy proxy(&cache_, &origin, nullptr, std::move(shed));
+  origin.proxy = &proxy;
+
+  // The outer miss occupies the single upstream slot; the miss that
+  // arrives while it is in flight is shed instead of queued.
+  http::HttpResponse outer = proxy.Handle(*http::HttpRequest::Get("http://s/outer"));
+  EXPECT_EQ(outer.status_code, 200);
+  EXPECT_EQ(origin.inner_status, 503);
+  EXPECT_EQ(proxy.requests_shed(), 1u);
+  EXPECT_EQ(origin.calls, 1);
+
+  // The slot was released on completion: the same miss now goes through.
+  EXPECT_EQ(proxy.Handle(*http::HttpRequest::Get("http://s/inner")).status_code,
+            200);
+  EXPECT_EQ(origin.calls, 2);
+}
+
 TEST_F(ProxyTest, PostParametersParticipateInIdentity) {
   origin_.next = CacheablePage("form-a");
   auto post_a = http::HttpRequest::Post("http://s/form", {{"q", "a"}});

@@ -52,6 +52,73 @@ TEST(UpdateLogTest, TruncateBeyondEndEmptiesLog) {
   EXPECT_EQ(log.size(), 0u);
 }
 
+TEST(UpdateLogTest, TrimThroughReturnsCountAndKeepsUnconsumed) {
+  UpdateLog log;
+  for (int i = 0; i < 6; ++i) log.Append(i * 10, "T", UpdateOp::kInsert, R(i));
+
+  // Trim through a consumer watermark: exactly the consumed prefix goes.
+  EXPECT_EQ(log.TrimThrough(4), 4u);
+  EXPECT_EQ(log.size(), 2u);
+  auto tail = log.ReadSince(4);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 5u);
+
+  // Trimming never drops unconsumed records: a consumer at watermark 4
+  // still sees everything above it, and re-trimming the same watermark
+  // is a no-op.
+  EXPECT_EQ(log.TrimThrough(4), 0u);
+  EXPECT_EQ(log.ReadSince(4).size(), 2u);
+
+  // A later watermark (even past the end) drops only what exists.
+  EXPECT_EQ(log.TrimThrough(100), 2u);
+  EXPECT_EQ(log.size(), 0u);
+  // The sequence keeps counting across trims.
+  EXPECT_EQ(log.Append(99, "T", UpdateOp::kInsert, R(9)), 7u);
+}
+
+TEST(UpdateLogTest, TrimNeverDropsRecordsAboveEveryConsumerWatermark) {
+  // Property-style sweep: for every (log size, watermark) pair, trimming
+  // preserves exactly the records a consumer at that watermark still
+  // needs, with their sequence numbers intact.
+  for (uint64_t n = 0; n <= 8; ++n) {
+    for (uint64_t watermark = 0; watermark <= n + 2; ++watermark) {
+      UpdateLog log;
+      for (uint64_t i = 0; i < n; ++i) {
+        log.Append(static_cast<Micros>(i), "T", UpdateOp::kInsert,
+                   R(static_cast<int64_t>(i)));
+      }
+      std::vector<UpdateRecord> expected = log.ReadSince(watermark);
+      log.TrimThrough(watermark);
+      std::vector<UpdateRecord> got = log.ReadSince(watermark);
+      ASSERT_EQ(got.size(), expected.size())
+          << "n=" << n << " watermark=" << watermark;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].seq, expected[i].seq);
+      }
+    }
+  }
+}
+
+TEST(UpdateLogTest, OldestTimestampSinceTracksBacklogAge) {
+  UpdateLog log;
+  EXPECT_FALSE(log.OldestTimestampSince(0).has_value());
+  log.Append(100, "T", UpdateOp::kInsert, R(1));  // seq 1
+  log.Append(200, "T", UpdateOp::kInsert, R(2));  // seq 2
+  log.Append(300, "T", UpdateOp::kInsert, R(3));  // seq 3
+
+  EXPECT_EQ(log.OldestTimestampSince(0), 100);
+  EXPECT_EQ(log.OldestTimestampSince(1), 200);
+  EXPECT_EQ(log.OldestTimestampSince(2), 300);
+  EXPECT_FALSE(log.OldestTimestampSince(3).has_value());
+  EXPECT_FALSE(log.OldestTimestampSince(99).has_value());
+
+  // Consistent after trimming: ages are a function of seq, not of the
+  // physical prefix.
+  log.TrimThrough(1);
+  EXPECT_EQ(log.OldestTimestampSince(1), 200);
+  EXPECT_EQ(log.OldestTimestampSince(2), 300);
+}
+
 TEST(UpdateLogTest, RecordsCarryPayload) {
   UpdateLog log;
   log.Append(42, "Car", UpdateOp::kDelete,

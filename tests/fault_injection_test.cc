@@ -61,6 +61,69 @@ TEST(FaultInjectorTest, MalformAltersBytesDeterministically) {
   }
 }
 
+TEST(FaultScheduleTest, BurstScheduleIsReproducibleAndWellFormed) {
+  const Micros horizon = 60 * kMicrosPerSecond;
+  const Micros burst = 2 * kMicrosPerSecond;
+  std::vector<FaultWindow> a =
+      FaultInjector::MakeBurstSchedule(1234, 5, horizon, burst);
+  std::vector<FaultWindow> b =
+      FaultInjector::MakeBurstSchedule(1234, 5, horizon, burst);
+  std::vector<FaultWindow> c =
+      FaultInjector::MakeBurstSchedule(4321, 5, horizon, burst);
+
+  ASSERT_EQ(a.size(), 5u);
+  Micros previous_end = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Same seed, same schedule; a different seed places bursts elsewhere.
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+    // Well-formed: inside the horizon, full length, non-overlapping and
+    // ordered (stratified placement guarantees it).
+    EXPECT_GE(a[i].start, previous_end);
+    EXPECT_EQ(a[i].end - a[i].start, burst);
+    EXPECT_LE(a[i].end, horizon);
+    EXPECT_EQ(a[i].config.drop_probability, 1.0);
+    previous_end = a[i].end;
+  }
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start != c[i].start) differs = true;
+  }
+  EXPECT_TRUE(differs);
+
+  EXPECT_TRUE(FaultInjector::MakeBurstSchedule(1, 0, horizon, burst).empty());
+}
+
+TEST(FaultScheduleTest, WindowsOverrideTheBaseConfigByClockTime) {
+  ManualClock clock;
+  FaultInjector faults(7);  // Base config: no faults at all.
+  FaultWindow window;
+  window.start = 10 * kMicrosPerSecond;
+  window.end = 12 * kMicrosPerSecond;
+  window.config.drop_probability = 1.0;
+  faults.SetSchedule(&clock, {window});
+
+  // Before the window: the (empty) base config applies.
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(faults.ShouldDrop());
+
+  // Inside the window: total outage, regardless of the base config.
+  clock.Advance(10 * kMicrosPerSecond);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(faults.ShouldDrop());
+  EXPECT_EQ(faults.effective_config().drop_probability, 1.0);
+
+  // The end is exclusive: at `end` the base config is back.
+  clock.Advance(2 * kMicrosPerSecond);
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(faults.ShouldDrop());
+
+  // Heal() keeps the schedule armed; ClearSchedule() disarms it.
+  clock.SetTime(11 * kMicrosPerSecond);
+  faults.Heal();
+  EXPECT_TRUE(faults.ShouldDrop());
+  faults.ClearSchedule();
+  EXPECT_FALSE(faults.ShouldDrop());
+  EXPECT_EQ(faults.effective_config().drop_probability, 0.0);
+}
+
 class CountingSink : public invalidator::InvalidationSink {
  public:
   Status SendInvalidation(const http::HttpRequest&,

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/reliable_delivery.h"
+#include "db/database.h"
+#include "invalidator/invalidator.h"
+#include "invalidator/overload.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal::invalidator {
+namespace {
+
+OverloadOptions LadderOptions() {
+  OverloadOptions options;
+  options.enabled = true;
+  options.economy_backlog = 10;
+  options.conservative_backlog = 100;
+  options.emergency_backlog = 1000;
+  options.staleness_bound = 5 * kMicrosPerSecond;
+  options.exit_fraction = 0.5;
+  options.min_dwell = 2 * kMicrosPerSecond;
+  return options;
+}
+
+OverloadSignals Backlog(uint64_t depth) {
+  OverloadSignals signals;
+  signals.backlog_depth = depth;
+  return signals;
+}
+
+// ---------------------------------------------------------------------
+// OverloadController: the hysteretic ladder in isolation.
+// ---------------------------------------------------------------------
+
+TEST(OverloadControllerTest, EscalationIsImmediateAndCanSkipRungs) {
+  ManualClock clock;
+  OverloadController controller(&clock, LadderOptions());
+  EXPECT_EQ(controller.mode(), DegradationMode::kNormal);
+
+  // A single planning point jumps as high as the signals demand — no
+  // rung-by-rung climb while staleness accumulates.
+  EXPECT_EQ(controller.Plan(Backlog(1000)), DegradationMode::kEmergency);
+  EXPECT_EQ(controller.stats().escalations, 1u);
+}
+
+TEST(OverloadControllerTest, DeescalationIsOneRungPerPointAfterDwell) {
+  ManualClock clock;
+  OverloadController controller(&clock, LadderOptions());
+  controller.Plan(Backlog(1000));
+  ASSERT_EQ(controller.mode(), DegradationMode::kEmergency);
+
+  // Signals drop to zero instantly, but the ladder is reluctant: no
+  // step before the dwell, then exactly one rung per planning point.
+  EXPECT_EQ(controller.Plan(Backlog(0)), DegradationMode::kEmergency);
+  clock.Advance(2 * kMicrosPerSecond);
+  EXPECT_EQ(controller.Plan(Backlog(0)), DegradationMode::kConservative);
+  // The dwell restarts on the new rung.
+  EXPECT_EQ(controller.Plan(Backlog(0)), DegradationMode::kConservative);
+  clock.Advance(2 * kMicrosPerSecond);
+  EXPECT_EQ(controller.Plan(Backlog(0)), DegradationMode::kEconomy);
+  clock.Advance(2 * kMicrosPerSecond);
+  EXPECT_EQ(controller.Plan(Backlog(0)), DegradationMode::kNormal);
+  EXPECT_EQ(controller.stats().deescalations, 3u);
+}
+
+TEST(OverloadControllerTest, NoFlappingWhenLoadHoversAtAWatermark) {
+  ManualClock clock;
+  OverloadController controller(&clock, LadderOptions());
+
+  // Load oscillating right around the economy watermark (9..11 against
+  // a watermark of 10): one escalation, then the ladder holds — the
+  // exit requires dropping below exit_fraction * watermark = 5.
+  for (int i = 0; i < 50; ++i) {
+    clock.Advance(kMicrosPerSecond);
+    controller.Plan(Backlog(i % 2 == 0 ? 11 : 9));
+  }
+  EXPECT_EQ(controller.mode(), DegradationMode::kEconomy);
+  EXPECT_EQ(controller.stats().escalations, 1u);
+  EXPECT_EQ(controller.stats().deescalations, 0u);
+
+  // Only a genuine drop below the exit watermark releases the rung.
+  clock.Advance(2 * kMicrosPerSecond);
+  EXPECT_EQ(controller.Plan(Backlog(4)), DegradationMode::kNormal);
+  EXPECT_EQ(controller.stats().deescalations, 1u);
+}
+
+TEST(OverloadControllerTest, DwellRateLimitsChurnUnderOnOffLoad) {
+  ManualClock clock;
+  OverloadController controller(&clock, LadderOptions());
+  // A pathological on/off load alternating between empty and far above
+  // the conservative watermark every 500ms. A dwell-free ladder would
+  // flip on every planning point (10 escalations over these 10
+  // seconds); the 2s dwell caps churn at one down/up pair per dwell
+  // window.
+  for (int i = 0; i < 20; ++i) {
+    clock.Advance(kMicrosPerSecond / 2);
+    controller.Plan(Backlog(i % 2 == 0 ? 150 : 0));
+  }
+  EXPECT_EQ(controller.mode(), DegradationMode::kConservative);
+  EXPECT_LE(controller.stats().escalations, 4u);
+  EXPECT_LE(controller.stats().deescalations, 4u);
+  EXPECT_GE(controller.stats().escalations, 1u);
+}
+
+TEST(OverloadControllerTest, StalenessBoundForcesEmergencyRegardlessOfDepth) {
+  ManualClock clock;
+  OverloadController controller(&clock, LadderOptions());
+  OverloadSignals signals;
+  signals.backlog_depth = 1;                   // Tiny backlog...
+  signals.backlog_age = 5 * kMicrosPerSecond;  // ...but an old one.
+  EXPECT_EQ(controller.Plan(signals), DegradationMode::kEmergency);
+  EXPECT_EQ(controller.stats().staleness_breaches, 1u);
+}
+
+TEST(OverloadControllerTest, LatencyAndDeliverySignalsReachEconomy) {
+  ManualClock clock;
+  OverloadOptions options = LadderOptions();
+  options.cycle_latency_watermark = kMicrosPerSecond;
+  options.delivery_backlog_watermark = 50;
+
+  OverloadController slow(&clock, options);
+  OverloadSignals signals;
+  signals.last_cycle_latency = kMicrosPerSecond;
+  EXPECT_EQ(slow.Plan(signals), DegradationMode::kEconomy);
+
+  OverloadController backlogged(&clock, options);
+  signals = OverloadSignals{};
+  signals.delivery_backlog = 50;
+  EXPECT_EQ(backlogged.Plan(signals), DegradationMode::kEconomy);
+}
+
+TEST(OverloadControllerTest, DisabledControllerPinsNormal) {
+  ManualClock clock;
+  OverloadOptions options = LadderOptions();
+  options.enabled = false;
+  OverloadController controller(&clock, options);
+  EXPECT_EQ(controller.Plan(Backlog(100000)), DegradationMode::kNormal);
+  EXPECT_EQ(controller.stats().escalations, 0u);
+  // Observability still works while disabled: the maxima are tracked.
+  EXPECT_EQ(controller.stats().max_backlog_depth, 100000u);
+}
+
+// ---------------------------------------------------------------------
+// Invalidator under degradation: budget shrink, poll skip, table flush.
+// ---------------------------------------------------------------------
+
+class RecordingSink : public InvalidationSink {
+ public:
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string& cache_key) override {
+    invalidated.push_back(cache_key);
+    return Status::OK();
+  }
+  std::vector<std::string> invalidated;
+};
+
+constexpr char kCarsSql[] = "SELECT * FROM Car WHERE price < 30000";
+constexpr char kCheapSql[] = "SELECT * FROM Car WHERE price < 10000";
+constexpr char kEpaSql[] = "SELECT * FROM Mileage WHERE EPA > 25";
+constexpr char kJoinSql[] =
+    "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model AND "
+    "Car.price < 20000";
+constexpr char kCarsPage[] = "shop/cars##";
+constexpr char kCheapPage[] = "shop/cheap##";
+constexpr char kEpaPage[] = "shop/epa##";
+constexpr char kJoinPage[] = "shop/join##";
+
+/// A small shop: three single-table instances plus one join instance
+/// that needs polling. The invalidator is created AFTER the seed rows
+/// so its first cycle sees a clean log and registers under kNormal.
+struct World {
+  explicit World(InvalidatorOptions options) : db(&clock) {
+    EXPECT_TRUE(db.CreateTable(db::TableSchema(
+                                   "Car",
+                                   {{"maker", db::ColumnType::kString},
+                                    {"model", db::ColumnType::kString},
+                                    {"price", db::ColumnType::kInt}}))
+                    .ok());
+    EXPECT_TRUE(db.CreateTable(db::TableSchema(
+                                   "Mileage",
+                                   {{"model", db::ColumnType::kString},
+                                    {"EPA", db::ColumnType::kInt}}))
+                    .ok());
+    db.ExecuteSql("INSERT INTO Car VALUES ('Toyota', 'Camry', 22000)")
+        .value();
+    db.ExecuteSql("INSERT INTO Mileage VALUES ('Avalon', 28)").value();
+    Recache();
+    inv = std::make_unique<Invalidator>(&db, &map, &clock, options);
+    inv->AddSink(&sink);
+    inv->RunCycle().value();  // Registers the four instances, no updates.
+    sink.invalidated.clear();
+  }
+
+  void Recache() {
+    map.Add(kCarsSql, kCarsPage, "/r", clock.NowMicros());
+    map.Add(kCheapSql, kCheapPage, "/r", clock.NowMicros());
+    map.Add(kEpaSql, kEpaPage, "/r", clock.NowMicros());
+    map.Add(kJoinSql, kJoinPage, "/r", clock.NowMicros());
+  }
+
+  bool Invalidated(const std::string& page) const {
+    return std::find(sink.invalidated.begin(), sink.invalidated.end(),
+                     page) != sink.invalidated.end();
+  }
+
+  ManualClock clock;
+  db::Database db;
+  sniffer::QiUrlMap map;
+  RecordingSink sink;
+  std::unique_ptr<Invalidator> inv;
+};
+
+InvalidatorOptions DegradedOptions(uint64_t economy, uint64_t conservative,
+                                   uint64_t emergency) {
+  InvalidatorOptions options;
+  options.overload.enabled = true;
+  options.overload.economy_backlog = economy;
+  options.overload.conservative_backlog = conservative;
+  options.overload.emergency_backlog = emergency;
+  options.overload.economy_poll_budget = 1;
+  options.overload.min_dwell = 0;  // Recovery is immediate in these tests.
+  return options;
+}
+
+TEST(InvalidatorOverloadTest, ConservativeModeSkipsPollingEntirely) {
+  // Two updates put the backlog at the conservative watermark.
+  World w(DegradedOptions(1, 2, 1000));
+  w.db.ExecuteSql("INSERT INTO Car VALUES ('Toyota', 'Avalon', 15000)")
+      .value();
+  w.db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 11000)")
+      .value();
+
+  CycleReport report = w.inv->RunCycle().value();
+  EXPECT_EQ(report.mode, DegradationMode::kConservative);
+  // The join instance normally needs a polling query (see
+  // InvalidatorTest.JoinQueryUsesPollingQuery); under kConservative it
+  // is condemned without one — precision traded for DBMS relief.
+  EXPECT_EQ(report.polls_issued, 0u);
+  EXPECT_EQ(w.inv->stats().polls_issued, 0u);
+  EXPECT_GT(report.conservative_invalidations, 0u);
+  EXPECT_TRUE(w.Invalidated(kJoinPage));
+  // Impact analysis itself still runs: cheap (nothing under 10000)
+  // survives, cars (both inserts under 30000) goes.
+  EXPECT_TRUE(w.Invalidated(kCarsPage));
+  EXPECT_FALSE(w.Invalidated(kCheapPage));
+}
+
+TEST(InvalidatorOverloadTest, EmergencyFlushesOnlyBackloggedTables) {
+  World w(DegradedOptions(1, 2, 3));
+  for (int i = 0; i < 3; ++i) {
+    w.db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'NSX', 90000)")
+        .value();
+  }
+
+  CycleReport report = w.inv->RunCycle().value();
+  EXPECT_EQ(report.mode, DegradationMode::kEmergency);
+  EXPECT_GT(w.inv->stats().emergency_flushes, 0u);
+  // Every Car-reading instance is flushed — even though a 90000 insert
+  // matches none of their predicates, so precise analysis would have
+  // cleared all three. The Mileage instance reads an untouched table
+  // and is provably unaffected, so it survives even an emergency.
+  EXPECT_TRUE(w.Invalidated(kCarsPage));
+  EXPECT_TRUE(w.Invalidated(kCheapPage));
+  EXPECT_TRUE(w.Invalidated(kJoinPage));
+  EXPECT_FALSE(w.Invalidated(kEpaPage));
+
+  // The cursor fast-forwarded past the backlog: the next cycle starts
+  // with a clean log and (dwell = 0) the ladder steps back down.
+  w.Recache();
+  CycleReport next = w.inv->RunCycle().value();
+  EXPECT_EQ(next.updates, 0u);
+  EXPECT_LT(static_cast<int>(next.mode),
+            static_cast<int>(DegradationMode::kEmergency));
+}
+
+TEST(InvalidatorOverloadTest, StatsReportCarriesOverloadAndSinkHealth) {
+  World w(DegradedOptions(1, 100, 1000));
+  core::ReliableDeliveryQueue queue(&w.clock);
+  RecordingSink edge;
+  queue.AddSink(&edge, "edge");
+  w.inv->AddSink(&queue);
+
+  w.db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 13000)")
+      .value();
+  w.inv->RunCycle().value();
+
+  std::string report = w.inv->StatsReport();
+  EXPECT_NE(report.find("overload: mode="), std::string::npos) << report;
+  EXPECT_NE(report.find("emergency-flushes="), std::string::npos) << report;
+  EXPECT_NE(report.find("sink 1 delivery: pending="), std::string::npos)
+      << report;
+}
+
+TEST(InvalidatorOverloadTest, ModeRidesTheCycleReport) {
+  World w(DegradedOptions(1, 1000, 100000));
+  w.db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 13000)")
+      .value();
+  CycleReport report = w.inv->RunCycle().value();
+  EXPECT_EQ(report.mode, DegradationMode::kEconomy);
+}
+
+}  // namespace
+}  // namespace cacheportal::invalidator

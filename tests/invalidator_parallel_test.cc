@@ -62,7 +62,7 @@ std::string ReportKey(const CycleReport& r) {
   return StrCat(r.updates, "/", r.new_instances, "/", r.checks, "/",
                 r.affected_instances, "/", r.polls_issued, "/",
                 r.polls_answered_by_index, "/", r.conservative_invalidations,
-                "/", r.pages_invalidated);
+                "/", r.pages_invalidated, "/", DegradationModeName(r.mode));
 }
 
 /// One deterministic scripted workload that exercises every pipeline
@@ -102,6 +102,16 @@ ScenarioResult RunScenario(size_t workers) {
   options.worker_threads = workers;
   options.max_polls_per_cycle = 2;       // Budget pressure: condemnations.
   options.polling_cache_capacity = 16;   // Exercise the internal cache.
+  // Overload controller on, tuned so the ladder actually moves during
+  // the scenario (the seeding burst and the final mixed burst reach
+  // kEconomy, the quiet recache cycles step back down) while the
+  // economy budget equals the configured one — mode transitions ride
+  // the reports without perturbing the scripted decisions.
+  options.overload.enabled = true;
+  options.overload.economy_backlog = 3;
+  options.overload.conservative_backlog = 1000;
+  options.overload.economy_poll_budget = 2;
+  options.overload.min_dwell = 2 * kMicrosPerSecond;
   Invalidator inv(&db, &map, &clock, options);
   EXPECT_TRUE(inv.CreateJoinIndex("Mileage", "model").ok());
 
@@ -163,6 +173,10 @@ ScenarioResult RunScenario(size_t workers) {
 
   ScenarioResult result;
   for (const std::vector<std::string>& updates : rounds) {
+    // One second per cycle: the dwell clock moves, so the ladder can
+    // step back down between bursts (all on the shared ManualClock, so
+    // identical at every worker count).
+    clock.Advance(kMicrosPerSecond);
     for (const std::string& update : updates) {
       db.ExecuteSql(update).value();
     }
@@ -171,6 +185,7 @@ ScenarioResult RunScenario(size_t workers) {
     result.cycle_invalidated.push_back(sink_a.invalidated);
     result.cycle_reports.push_back(ReportKey(report));
     recache();
+    clock.Advance(kMicrosPerSecond);
     inv.RunCycle().value();  // Consume the re-cached pages.
   }
   result.flaky_failed = flaky.failed;
@@ -204,6 +219,13 @@ TEST(InvalidatorParallelTest, WorkerCountDoesNotChangeDecisions) {
   EXPECT_GT(serial.stats.pages_invalidated, 0u);
   EXPECT_GT(serial.stats.messages_sent, 0u);
   EXPECT_GT(serial.stats.send_failures, 0u);
+  // The overload controller was genuinely engaged, not idling at
+  // kNormal: the report carries its line and the ladder moved.
+  EXPECT_NE(serial.stats_report.find("overload: mode="), std::string::npos)
+      << serial.stats_report;
+  EXPECT_EQ(serial.stats_report.find("overload: mode=normal escalations=0 "),
+            std::string::npos)
+      << serial.stats_report;
 
   for (size_t workers : {2u, 4u, 8u}) {
     SCOPED_TRACE(StrCat("workers=", workers));

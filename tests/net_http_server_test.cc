@@ -153,6 +153,38 @@ TEST(HttpServerTest, SlowLorisConnectionIsDroppedAfterIoTimeout) {
   EXPECT_EQ((*server)->requests_handled(), 1u);
 }
 
+TEST(HttpServerTest, ShedCheckRefusesWith503AndRetryAfter) {
+  bool shedding = false;
+  HttpServerOptions options;
+  options.shed_check = [&shedding] { return shedding; };
+  options.retry_after_seconds = 7;
+  auto server = HttpServer::Start(
+      [](const std::string&) { return http::HttpResponse::Ok("x").Serialize(); },
+      options);
+  ASSERT_TRUE(server.ok());
+  uint16_t port = (*server)->port();
+  auto get = http::HttpRequest::Get("http://h/")->Serialize();
+
+  // Not shedding: normal service.
+  auto ok = http::HttpResponse::Parse(*FetchWire(port, get));
+  EXPECT_EQ(ok->status_code, 200);
+
+  // Shedding: the request is refused up front — the handler never runs —
+  // with the standard back-off contract for well-behaved clients.
+  shedding = true;
+  auto shed = http::HttpResponse::Parse(*FetchWire(port, get));
+  EXPECT_EQ(shed->status_code, 503);
+  EXPECT_EQ(shed->headers.Get("Retry-After"), "7");
+  EXPECT_EQ((*server)->connections_rejected(), 1u);
+  EXPECT_EQ((*server)->requests_handled(), 1u);
+
+  // Load drops: service resumes with no residue.
+  shedding = false;
+  auto again = http::HttpResponse::Parse(*FetchWire(port, get));
+  EXPECT_EQ(again->status_code, 200);
+  EXPECT_EQ((*server)->connections_rejected(), 1u);
+}
+
 TEST(HttpServerTest, PartialBodyTimesOutWithoutWedgingTheServer) {
   HttpServerOptions options;
   options.io_timeout = 100 * kMicrosPerMilli;

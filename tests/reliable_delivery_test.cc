@@ -346,5 +346,206 @@ TEST(ReliableDeliveryTest, RestoreRejectsUnknownSinkAndGarbage) {
   EXPECT_FALSE(other.RestoreState(state.substr(0, state.size() / 2)).ok());
 }
 
+DeliveryOptions BreakerOptions() {
+  DeliveryOptions options = NoJitterOptions();
+  options.max_attempts = 100;  // Breaker trips long before escalation.
+  options.breaker_failure_threshold = 3;
+  options.breaker_cooldown = kMicrosPerSecond;
+  return options;
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndDeadLettersBacklog) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  int flushes = 0;
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+  queue.SendInvalidation(Eject("/p1"), "k1");  // Failure 1.
+  queue.SendInvalidation(Eject("/p2"), "k2");  // Queued behind the head.
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kClosed);
+
+  // Failures 2 and 3 via retries trip the breaker; the backlog is
+  // dead-lettered, but the flush waits for recovery (the sink is down).
+  clock.Advance(kMicrosPerSecond);
+  queue.Pump();  // Failure 2 (k1 retry).
+  clock.Advance(kMicrosPerSecond);
+  queue.Pump();  // Failure 3: trip.
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kOpen);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().breaker_opens, 1u);
+  EXPECT_EQ(queue.stats().dead_lettered, 2u);  // k1 and the queued k2.
+  EXPECT_EQ(flushes, 0);
+
+  // While open: refused without an attempt.
+  int attempts_before = sink.attempts;
+  queue.SendInvalidation(Eject("/p3"), "k3");
+  EXPECT_EQ(sink.attempts, attempts_before);
+  EXPECT_EQ(queue.stats().breaker_rejections, 1u);
+  EXPECT_FALSE(queue.NextRetryAt().has_value());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeRecoversWithFlush) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  int flushes = 0;
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+  // One message, drained: 3 consecutive failed attempts trip the
+  // breaker long before the 100-attempt escalation budget.
+  queue.SendInvalidation(Eject("/p"), "k");
+  queue.DrainWith(&clock);
+  ASSERT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kOpen);
+
+  // Cooldown elapses: observers see half-open before any message.
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kHalfOpen);
+
+  // Successful probe closes the breaker AND flushes: ejects k (and the
+  // rejected arrivals) were dropped while open, so the cache starts
+  // clean rather than risking a stale page.
+  sink.always_fail = false;
+  queue.SendInvalidation(Eject("/p9"), "k9");
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kClosed);
+  EXPECT_EQ(queue.stats().breaker_probes, 1u);
+  EXPECT_EQ(queue.stats().breaker_recoveries, 1u);
+  EXPECT_EQ(flushes, 1);
+  EXPECT_EQ(sink.delivered, std::vector<std::string>{"k9"});
+
+  // Healthy again: no second flush on the next message.
+  queue.SendInvalidation(Eject("/p10"), "k10");
+  EXPECT_EQ(flushes, 1);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  int flushes = 0;
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+  // One message, drained: 3 consecutive failed attempts trip the
+  // breaker long before the 100-attempt escalation budget.
+  queue.SendInvalidation(Eject("/p"), "k");
+  queue.DrainWith(&clock);
+  clock.Advance(kMicrosPerSecond);
+  uint64_t dead_before = queue.stats().dead_lettered;
+  queue.SendInvalidation(Eject("/probe"), "kp");  // Probe fails.
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kOpen);
+  EXPECT_EQ(queue.stats().breaker_probes, 1u);
+  EXPECT_EQ(queue.stats().breaker_recoveries, 0u);
+  EXPECT_EQ(queue.stats().dead_lettered, dead_before + 1);  // The probe.
+  EXPECT_EQ(flushes, 0);
+
+  // Half a cooldown is not enough; a full one re-arms the probe.
+  clock.Advance(kMicrosPerSecond / 2);
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kOpen);
+  clock.Advance(kMicrosPerSecond / 2);
+  sink.always_fail = false;
+  queue.SendInvalidation(Eject("/p2"), "k2");
+  EXPECT_EQ(queue.stats().breaker_recoveries, 1u);
+  EXPECT_EQ(flushes, 1);
+}
+
+TEST(CircuitBreakerTest, NoFlushChannelQuarantinesOnTrip) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  queue.AddSink(&sink, "edge");  // No flush callback.
+
+  // One message, drained: 3 consecutive failed attempts trip the
+  // breaker long before the 100-attempt escalation budget.
+  queue.SendInvalidation(Eject("/p"), "k");
+  queue.DrainWith(&clock);
+  // Dropped ejects can never be compensated: quarantined immediately.
+  EXPECT_TRUE(queue.IsQuarantined("edge"));
+  EXPECT_EQ(queue.stats().escalations, 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  ManualClock clock;
+  ScriptedSink sink;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  queue.AddSink(&sink, "edge", [] {});
+
+  // 2 failures, success, 2 failures: never 3 consecutive, never trips.
+  for (int round = 0; round < 2; ++round) {
+    sink.fail_next = 2;
+    queue.SendInvalidation(Eject("/p"), "k");
+    queue.DrainWith(&clock);
+  }
+  EXPECT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kClosed);
+  EXPECT_EQ(queue.stats().breaker_opens, 0u);
+  EXPECT_EQ(queue.stats().delivered, 2u);
+}
+
+TEST(CircuitBreakerTest, BreakerStateSurvivesCheckpointRestore) {
+  ManualClock clock;
+  ScriptedSink sink;
+  sink.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  int flushes = 0;
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+  // One message, drained: 3 consecutive failed attempts trip the
+  // breaker long before the 100-attempt escalation budget.
+  queue.SendInvalidation(Eject("/p"), "k");
+  queue.DrainWith(&clock);
+  ASSERT_EQ(queue.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kOpen);
+  std::string state = queue.CheckpointState();
+
+  // Restart long after the trip: the restored breaker is still open and
+  // restarts a FULL cooldown on the new clock (the outage's age did not
+  // survive the crash, so assume the worst).
+  ManualClock clock_b;
+  clock_b.SetTime(60 * kMicrosPerSecond);
+  ScriptedSink sink_b;
+  ReliableDeliveryQueue restored(&clock_b, BreakerOptions());
+  int flushes_b = 0;
+  restored.AddSink(&sink_b, "edge", [&flushes_b] { ++flushes_b; });
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kOpen);
+
+  // The pending recovery flush is durable: after cooldown, a successful
+  // probe still flushes, covering ejects dropped before the crash.
+  clock_b.Advance(kMicrosPerSecond);
+  restored.SendInvalidation(Eject("/p9"), "k9");
+  EXPECT_EQ(restored.breaker_state("edge"),
+            ReliableDeliveryQueue::BreakerState::kClosed);
+  EXPECT_EQ(flushes_b, 1);
+  EXPECT_EQ(sink_b.delivered, std::vector<std::string>{"k9"});
+}
+
+TEST(CircuitBreakerTest, HealthReportNamesSinkStates) {
+  ManualClock clock;
+  ScriptedSink healthy, down;
+  down.always_fail = true;
+  ReliableDeliveryQueue queue(&clock, BreakerOptions());
+  queue.AddSink(&healthy, "front", [] {});
+  queue.AddSink(&down, "edge", [] {});
+  // One message, drained: 3 consecutive failed attempts trip the
+  // breaker long before the 100-attempt escalation budget.
+  queue.SendInvalidation(Eject("/p"), "k");
+  queue.DrainWith(&clock);
+  std::string report = queue.HealthReport();
+  EXPECT_NE(report.find("front=closed"), std::string::npos) << report;
+  EXPECT_NE(report.find("edge=open"), std::string::npos) << report;
+  EXPECT_NE(report.find("breaker-opens=1"), std::string::npos) << report;
+}
+
 }  // namespace
 }  // namespace cacheportal::core
