@@ -82,14 +82,82 @@ struct World {
   int num_instances = 0;
 };
 
-/// Full cycle cost: `range(0)` instances, 10-update batches. Updates are
-/// non-matching (price 500k), so instances stay registered across
-/// iterations and the measurement is steady-state.
+/// A point-lookup world for the type-compiled matcher: `instances`
+/// single-table instances of one type (`maker = ...`), each with a
+/// distinct bind value. Every cycle inserts tuples matching none of
+/// them, so the interpreted path substitutes every instance's WHERE AST
+/// per tuple while the bind-value index answers each tuple with one
+/// hash probe — the tentpole's O(instances) vs O(1) contrast.
+struct EqWorld {
+  EqWorld(int instances, bool use_matcher) : db(&clock) {
+    db.CreateTable(db::TableSchema("Car",
+                                   {{"maker", db::ColumnType::kString},
+                                    {"model", db::ColumnType::kString},
+                                    {"price", db::ColumnType::kInt}}))
+        .ok();
+    invalidator::InvalidatorOptions options;
+    options.use_type_matcher = use_matcher;
+    invalidator =
+        std::make_unique<invalidator::Invalidator>(&db, &map, &clock,
+                                                   options);
+    for (int i = 0; i < instances; ++i) {
+      map.Add(StrCat("SELECT model FROM Car WHERE maker = 'maker", i, "'"),
+              StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+    invalidator->RunCycle().value();  // Register instances untimed.
+  }
+
+  void AddUpdates(int n) {
+    for (int i = 0; i < n; ++i) {
+      db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('nobody', 'zz", i,
+                           "', ", 500000 + i, ")"))
+          .value();
+    }
+  }
+
+  ManualClock clock;
+  db::Database db;
+  sniffer::QiUrlMap map;
+  std::unique_ptr<invalidator::Invalidator> invalidator;
+};
+
+/// Full cycle cost as the instance count grows, indexed (range(1)=1, the
+/// compiled matcher probes bind-value indexes) versus interpreted
+/// (range(1)=0, per-instance AST substitution). Updates match no
+/// instance, so instances stay registered and the measurement is
+/// steady-state.
 void BM_CycleVsInstances(benchmark::State& state) {
-  World world(static_cast<int>(state.range(0)), false);
+  EqWorld world(static_cast<int>(state.range(0)), state.range(1) != 0);
   for (auto _ : state) {
     state.PauseTiming();
-    world.AddUpdates(10);
+    world.AddUpdates(4);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle();
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  const auto& ms = world.invalidator->matcher_stats();
+  state.counters["tuples-excluded"] = static_cast<double>(ms.tuples_excluded);
+  state.counters["short-circuits"] =
+      static_cast<double>(ms.instances_short_circuited);
+}
+BENCHMARK(BM_CycleVsInstances)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {0, 1}})
+    ->ArgNames({"instances", "indexed"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Residual-poll consolidation: `range(0)` join instances of one type,
+/// each needing its join side decided every cycle. Consolidation off
+/// (range(1)=0) issues one polling query per instance; on (range(1)=1)
+/// the per-type disjunctions cut DBMS round trips to
+/// ceil(instances/chunk) with identical verdicts.
+void BM_ConsolidatedPolls(benchmark::State& state) {
+  invalidator::InvalidatorOptions options;
+  options.consolidate_polls = state.range(1) != 0;
+  World world(static_cast<int>(state.range(0)), false, options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.AddUpdates(1);
     state.ResumeTiming();
     auto report = world.invalidator->RunCycle();
     benchmark::DoNotOptimize(report);
@@ -99,7 +167,10 @@ void BM_CycleVsInstances(benchmark::State& state) {
       world.invalidator->stats().polls_issued /
       std::max<uint64_t>(1, world.invalidator->stats().cycles));
 }
-BENCHMARK(BM_CycleVsInstances)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ConsolidatedPolls)
+    ->ArgsProduct({{16, 64, 256}, {0, 1}})
+    ->ArgNames({"instances", "consolidated"})
+    ->Unit(benchmark::kMillisecond);
 
 /// Same with join indexes: polls answered inside the invalidator.
 void BM_CycleVsInstancesWithIndex(benchmark::State& state) {

@@ -1,0 +1,334 @@
+#include "invalidator/bind_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cacheportal::invalidator {
+
+namespace {
+
+/// Numeric index key, mirroring Value::Compare's widening (and folding
+/// -0.0 into +0.0, which compares equal but would hash apart).
+double NumKey(const sql::Value& v) {
+  double d = v.NumericAsDouble();
+  return d == 0.0 ? 0.0 : d;
+}
+
+template <typename Map, typename Key>
+void EraseEntry(Map& map, const Key& key, uint64_t id) {
+  auto [begin, end] = map.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == id) {
+      map.erase(it);
+      return;
+    }
+  }
+}
+
+template <typename Map, typename Key>
+void ErasePairEntry(Map& map, const Key& key, uint64_t id) {
+  auto [begin, end] = map.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.second == id) {
+      map.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void BindIndex::AddInstance(const TypeMatcher& matcher,
+                            const QueryInstance& instance) {
+  if (postings_.contains(instance.instance_id)) return;
+  const uint64_t id = instance.instance_id;
+  std::vector<Posting> posts;
+
+  for (const auto& [table_lower, anchor] : matcher.anchors()) {
+    std::pair<uint64_t, std::string> key(instance.type_id, table_lower);
+    AnchorIndex& index = indexes_[key];
+
+    auto post = [&](Posting::Container container, double num_key,
+                    std::string str_key) {
+      Posting posting;
+      posting.index_key = key;
+      posting.container = container;
+      posting.num_key = num_key;
+      posting.str_key = std::move(str_key);
+      posts.push_back(std::move(posting));
+    };
+    auto always_num = [&] {
+      index.always_num.push_back(id);
+      post(Posting::Container::kAlwaysNum, 0, "");
+    };
+    auto always_str = [&] {
+      index.always_str.push_back(id);
+      post(Posting::Container::kAlwaysStr, 0, "");
+    };
+
+    switch (anchor.rel) {
+      case AnchorRel::kEq:
+      case AnchorRel::kLt:
+      case AnchorRel::kLtEq:
+      case AnchorRel::kGt:
+      case AnchorRel::kGtEq: {
+        sql::Value v =
+            TypeMatcher::OperandValue(anchor.operands[0], instance.bindings);
+        bool equality = anchor.rel == AnchorRel::kEq;
+        if (v.is_numeric()) {
+          double k = NumKey(v);
+          if (equality) {
+            index.eq_num.emplace(k, id);
+            post(Posting::Container::kEqNum, k, "");
+          } else {
+            index.range_num.emplace(k, id);
+            post(Posting::Container::kRangeNum, k, "");
+          }
+          always_str();  // String tuple vs numeric bind folds NULL.
+        } else if (v.is_string()) {
+          if (equality) {
+            index.eq_str.emplace(v.AsString(), id);
+            post(Posting::Container::kEqStr, 0, v.AsString());
+          } else {
+            index.range_str.emplace(v.AsString(), id);
+            post(Posting::Container::kRangeStr, 0, v.AsString());
+          }
+          always_num();
+        } else {
+          // NULL / boolean bind: no comparable probe can reach FALSE.
+          always_num();
+          always_str();
+        }
+        break;
+      }
+      case AnchorRel::kIn: {
+        // Any NULL item makes a missed lookup fold NULL, not FALSE —
+        // the instance is a candidate for every tuple, and inserting its
+        // other items too would double-report it.
+        bool has_null = false;
+        for (const AnchorOperand& operand : anchor.operands) {
+          if (TypeMatcher::OperandValue(operand, instance.bindings)
+                  .is_null()) {
+            has_null = true;
+            break;
+          }
+        }
+        if (has_null) {
+          always_num();
+          always_str();
+          break;
+        }
+        // Incomparable non-NULL items evaluate as plain misses, so a
+        // same-class probe that matches no item folds FALSE even in a
+        // mixed-class list: index each item under its own class, nothing
+        // else. Duplicates are skipped so one tuple never yields the same
+        // instance twice. Boolean items could only match boolean tuples,
+        // which return all candidates anyway.
+        std::set<double> nums;
+        std::set<std::string> strs;
+        for (const AnchorOperand& operand : anchor.operands) {
+          sql::Value v = TypeMatcher::OperandValue(operand, instance.bindings);
+          if (v.is_numeric()) {
+            double k = NumKey(v);
+            if (!nums.insert(k).second) continue;
+            index.eq_num.emplace(k, id);
+            post(Posting::Container::kEqNum, k, "");
+          } else if (v.is_string()) {
+            if (!strs.insert(v.AsString()).second) continue;
+            index.eq_str.emplace(v.AsString(), id);
+            post(Posting::Container::kEqStr, 0, v.AsString());
+          }
+        }
+        break;
+      }
+      case AnchorRel::kBetween: {
+        sql::Value low =
+            TypeMatcher::OperandValue(anchor.operands[0], instance.bindings);
+        sql::Value high =
+            TypeMatcher::OperandValue(anchor.operands[1], instance.bindings);
+        // BETWEEN folds NULL when EITHER bound is incomparable with the
+        // operand (even if the other bound is definitively violated), so
+        // only same-class bound pairs may exclude.
+        if (low.is_numeric() && high.is_numeric()) {
+          double lo = NumKey(low);
+          index.between_num.emplace(lo, std::make_pair(NumKey(high), id));
+          post(Posting::Container::kBetweenNum, lo, "");
+          always_str();
+        } else if (low.is_string() && high.is_string()) {
+          index.between_str.emplace(low.AsString(),
+                                    std::make_pair(high.AsString(), id));
+          post(Posting::Container::kBetweenStr, 0, low.AsString());
+          always_num();
+        } else {
+          always_num();
+          always_str();
+        }
+        break;
+      }
+    }
+  }
+
+  postings_.emplace(id, std::move(posts));
+  type_of_instance_.emplace(id, instance.type_id);
+  ++count_by_type_[instance.type_id];
+}
+
+void BindIndex::RemoveInstance(uint64_t instance_id) {
+  auto posting_it = postings_.find(instance_id);
+  if (posting_it == postings_.end()) return;
+  for (const Posting& posting : posting_it->second) {
+    auto index_it = indexes_.find(posting.index_key);
+    if (index_it == indexes_.end()) continue;
+    AnchorIndex& index = index_it->second;
+    switch (posting.container) {
+      case Posting::Container::kEqNum:
+        EraseEntry(index.eq_num, posting.num_key, instance_id);
+        break;
+      case Posting::Container::kEqStr:
+        EraseEntry(index.eq_str, posting.str_key, instance_id);
+        break;
+      case Posting::Container::kRangeNum:
+        EraseEntry(index.range_num, posting.num_key, instance_id);
+        break;
+      case Posting::Container::kRangeStr:
+        EraseEntry(index.range_str, posting.str_key, instance_id);
+        break;
+      case Posting::Container::kBetweenNum:
+        ErasePairEntry(index.between_num, posting.num_key, instance_id);
+        break;
+      case Posting::Container::kBetweenStr:
+        ErasePairEntry(index.between_str, posting.str_key, instance_id);
+        break;
+      case Posting::Container::kAlwaysNum:
+        std::erase(index.always_num, instance_id);
+        break;
+      case Posting::Container::kAlwaysStr:
+        std::erase(index.always_str, instance_id);
+        break;
+    }
+  }
+  postings_.erase(posting_it);
+  auto type_it = type_of_instance_.find(instance_id);
+  if (type_it != type_of_instance_.end()) {
+    auto count_it = count_by_type_.find(type_it->second);
+    if (count_it != count_by_type_.end() && --count_it->second == 0) {
+      count_by_type_.erase(count_it);
+    }
+    type_of_instance_.erase(type_it);
+  }
+}
+
+size_t BindIndex::IndexedCountOfType(uint64_t type_id) const {
+  auto it = count_by_type_.find(type_id);
+  return it == count_by_type_.end() ? 0 : it->second;
+}
+
+BindIndex::Candidates BindIndex::Probe(uint64_t type_id,
+                                       const std::string& table_lower,
+                                       const CompiledAnchor& anchor,
+                                       const sql::Value& tuple_value) const {
+  Candidates candidates;
+  // NULL makes every comparison NULL (candidate); booleans are outside
+  // the indexed classes.
+  if (tuple_value.is_null() || tuple_value.is_bool()) {
+    candidates.all = true;
+    return candidates;
+  }
+  auto index_it = indexes_.find(std::make_pair(type_id, table_lower));
+  if (index_it == indexes_.end()) return candidates;
+  const AnchorIndex& index = index_it->second;
+
+  if (tuple_value.is_numeric()) {
+    double t = NumKey(tuple_value);
+    switch (anchor.rel) {
+      case AnchorRel::kEq:
+      case AnchorRel::kIn: {
+        auto [begin, end] = index.eq_num.equal_range(t);
+        for (auto it = begin; it != end; ++it) {
+          candidates.ids.push_back(it->second);
+        }
+        break;
+      }
+      case AnchorRel::kLt:  // col < c is satisfiable iff c > t.
+        for (auto it = index.range_num.upper_bound(t);
+             it != index.range_num.end(); ++it) {
+          candidates.ids.push_back(it->second);
+        }
+        break;
+      case AnchorRel::kLtEq:  // c >= t.
+        for (auto it = index.range_num.lower_bound(t);
+             it != index.range_num.end(); ++it) {
+          candidates.ids.push_back(it->second);
+        }
+        break;
+      case AnchorRel::kGt:  // c < t.
+        for (auto it = index.range_num.begin();
+             it != index.range_num.lower_bound(t); ++it) {
+          candidates.ids.push_back(it->second);
+        }
+        break;
+      case AnchorRel::kGtEq:  // c <= t.
+        for (auto it = index.range_num.begin();
+             it != index.range_num.upper_bound(t); ++it) {
+          candidates.ids.push_back(it->second);
+        }
+        break;
+      case AnchorRel::kBetween:  // low <= t AND high >= t.
+        for (auto it = index.between_num.begin();
+             it != index.between_num.upper_bound(t); ++it) {
+          if (it->second.first >= t) candidates.ids.push_back(it->second.second);
+        }
+        break;
+    }
+    candidates.ids.insert(candidates.ids.end(), index.always_num.begin(),
+                          index.always_num.end());
+    return candidates;
+  }
+
+  const std::string& t = tuple_value.AsString();
+  switch (anchor.rel) {
+    case AnchorRel::kEq:
+    case AnchorRel::kIn: {
+      auto [begin, end] = index.eq_str.equal_range(t);
+      for (auto it = begin; it != end; ++it) {
+        candidates.ids.push_back(it->second);
+      }
+      break;
+    }
+    case AnchorRel::kLt:
+      for (auto it = index.range_str.upper_bound(t);
+           it != index.range_str.end(); ++it) {
+        candidates.ids.push_back(it->second);
+      }
+      break;
+    case AnchorRel::kLtEq:
+      for (auto it = index.range_str.lower_bound(t);
+           it != index.range_str.end(); ++it) {
+        candidates.ids.push_back(it->second);
+      }
+      break;
+    case AnchorRel::kGt:
+      for (auto it = index.range_str.begin();
+           it != index.range_str.lower_bound(t); ++it) {
+        candidates.ids.push_back(it->second);
+      }
+      break;
+    case AnchorRel::kGtEq:
+      for (auto it = index.range_str.begin();
+           it != index.range_str.upper_bound(t); ++it) {
+        candidates.ids.push_back(it->second);
+      }
+      break;
+    case AnchorRel::kBetween:
+      for (auto it = index.between_str.begin();
+           it != index.between_str.upper_bound(t); ++it) {
+        if (it->second.first >= t) candidates.ids.push_back(it->second.second);
+      }
+      break;
+  }
+  candidates.ids.insert(candidates.ids.end(), index.always_str.begin(),
+                        index.always_str.end());
+  return candidates;
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,113 @@
+#ifndef CACHEPORTAL_INVALIDATOR_BIND_INDEX_H_
+#define CACHEPORTAL_INVALIDATOR_BIND_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "invalidator/registry.h"
+#include "invalidator/type_matcher.h"
+#include "sql/value.h"
+
+namespace cacheportal::invalidator {
+
+/// Per-(type, table) indexes over the bind values of all live instances
+/// of a type: equality hash maps and sorted interval maps, keyed by the
+/// comparand of the type's compiled anchor. A delta tuple's column value
+/// probes the index and gets back exactly the instances whose anchor
+/// conjunct could still be TRUE or NULL for that tuple — every other
+/// instance's WHERE provably folds to FALSE, so it is unaffected with
+/// zero per-instance AST work.
+///
+/// The probe mirrors sql::EvalExpression's three-valued semantics
+/// exactly, because exclusion is only sound on a definite FALSE
+/// (`NULL AND residual` stays residual in the fold):
+///  - Comparisons (=, <, <=, >, >=, BETWEEN) on incomparable classes
+///    (string vs numeric, bool, NULL binds) yield NULL, never FALSE, so
+///    such instances live on per-class always-candidate lists.
+///  - Numeric comparands compare after widening to double, so numeric
+///    keys are NumericAsDouble (with -0.0 normalized) — Int(5) and
+///    Double(5.0) must collide exactly as Value::Compare says they do.
+///  - IN evaluates incomparable non-NULL items as plain misses (FALSE is
+///    reachable across mixed classes), but any NULL item forces the miss
+///    result to NULL — those instances are always candidates.
+///  - BETWEEN yields NULL unless BOTH bounds share the probe's class, so
+///    only same-class (low, high) pairs are interval-indexed.
+///  - NULL or boolean tuple values return everything (bool = bool can
+///    fold FALSE, but template extraction keeps booleans structural, so
+///    they are rare; returning all candidates is always sound).
+class BindIndex {
+ public:
+  struct Candidates {
+    bool all = false;           // Every instance of the type is a candidate.
+    std::vector<uint64_t> ids;  // Otherwise: candidate instance IDs (unique).
+  };
+
+  /// Indexes `instance` under every anchored table of its type's matcher.
+  /// Idempotent per instance_id.
+  void AddInstance(const TypeMatcher& matcher, const QueryInstance& instance);
+
+  /// Removes every posting of `instance_id`. No-op when absent.
+  void RemoveInstance(uint64_t instance_id);
+
+  bool ContainsInstance(uint64_t instance_id) const {
+    return postings_.contains(instance_id);
+  }
+
+  /// Live instances indexed under `type_id`; the cycle cross-checks this
+  /// against the registry before trusting probe exclusions.
+  size_t IndexedCountOfType(uint64_t type_id) const;
+
+  /// Candidate instances of `type_id` for a delta tuple of `table_lower`
+  /// whose anchored column holds `tuple_value`.
+  Candidates Probe(uint64_t type_id, const std::string& table_lower,
+                   const CompiledAnchor& anchor,
+                   const sql::Value& tuple_value) const;
+
+  size_t NumIndexedInstances() const { return postings_.size(); }
+
+ private:
+  struct AnchorIndex {
+    // Equality probes (anchors kEq and kIn).
+    std::unordered_multimap<double, uint64_t> eq_num;
+    std::unordered_multimap<std::string, uint64_t> eq_str;
+    // Interval probes; the key is the anchor's comparand.
+    std::multimap<double, uint64_t> range_num;
+    std::multimap<std::string, uint64_t> range_str;
+    // BETWEEN: low -> (high, id), both bounds same-class.
+    std::multimap<double, std::pair<double, uint64_t>> between_num;
+    std::multimap<std::string, std::pair<std::string, uint64_t>> between_str;
+    // Instances no probe of the given class can exclude.
+    std::vector<uint64_t> always_num;
+    std::vector<uint64_t> always_str;
+  };
+
+  /// Reverse record of one container entry, for O(log + k) removal.
+  struct Posting {
+    std::pair<uint64_t, std::string> index_key;  // (type_id, table_lower)
+    enum class Container {
+      kEqNum,
+      kEqStr,
+      kRangeNum,
+      kRangeStr,
+      kBetweenNum,
+      kBetweenStr,
+      kAlwaysNum,
+      kAlwaysStr,
+    } container = Container::kAlwaysNum;
+    double num_key = 0;
+    std::string str_key;
+  };
+
+  std::map<std::pair<uint64_t, std::string>, AnchorIndex> indexes_;
+  std::map<uint64_t, std::vector<Posting>> postings_;  // By instance_id.
+  std::map<uint64_t, uint64_t> type_of_instance_;
+  std::map<uint64_t, size_t> count_by_type_;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_BIND_INDEX_H_

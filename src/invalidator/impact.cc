@@ -63,6 +63,15 @@ Result<ImpactResult> ImpactAnalyzer::AnalyzeTuple(
 Result<ImpactResult> ImpactAnalyzer::AnalyzeDelta(
     const sql::SelectStatement& query, const std::string& table,
     const std::vector<db::Row>& tuples) const {
+  std::vector<const db::Row*> view;
+  view.reserve(tuples.size());
+  for (const db::Row& tuple : tuples) view.push_back(&tuple);
+  return AnalyzeDelta(query, table, view);
+}
+
+Result<ImpactResult> ImpactAnalyzer::AnalyzeDelta(
+    const sql::SelectStatement& query, const std::string& table,
+    const std::vector<const db::Row*>& tuples) const {
   ImpactResult result;
   if (tuples.empty()) return result;  // kUnaffected.
 
@@ -78,8 +87,8 @@ Result<ImpactResult> ImpactAnalyzer::AnalyzeDelta(
     return Status::NotFound(StrCat("table ", table));
   }
   const db::TableSchema& schema = updated->schema();
-  for (const db::Row& tuple : tuples) {
-    CACHEPORTAL_RETURN_NOT_OK(schema.ValidateRow(tuple));
+  for (const db::Row* tuple : tuples) {
+    CACHEPORTAL_RETURN_NOT_OK(schema.ValidateRow(*tuple));
   }
 
   // A query without a WHERE clause returns every tuple: any insert or
@@ -112,7 +121,7 @@ Result<ImpactResult> ImpactAnalyzer::AnalyzeDelta(
   ExpressionPtr combined_residual;
   std::string residual_alias;
   for (const sql::TableRef* occ : occurrences) {
-    for (const db::Row& tuple : tuples) {
+    for (const db::Row* tuple : tuples) {
       auto substituter =
           [&](const std::string& tbl,
               const std::string& col) -> std::optional<sql::Value> {
@@ -121,7 +130,7 @@ Result<ImpactResult> ImpactAnalyzer::AnalyzeDelta(
         }
         std::optional<size_t> idx = schema.ColumnIndex(col);
         if (!idx.has_value()) return std::nullopt;
-        return tuple[*idx];
+        return (*tuple)[*idx];
       };
       ExpressionPtr substituted =
           sql::SubstituteColumns(*qualified, substituter);

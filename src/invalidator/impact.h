@@ -69,6 +69,16 @@ class ImpactAnalyzer {
                                     const std::string& table,
                                     const std::vector<db::Row>& tuples) const;
 
+  /// Zero-copy form over borrowed rows: the invalidation cycle builds one
+  /// merged view of a table's delta per cycle (and the bind index narrows
+  /// it per instance) instead of copying rows per instance. Analyzing a
+  /// subset of a delta's tuples yields the same verdict and polling query
+  /// as the full delta whenever the dropped tuples fold FALSE/NULL — they
+  /// contribute nothing to the OR-ed residual.
+  Result<ImpactResult> AnalyzeDelta(
+      const sql::SelectStatement& query, const std::string& table,
+      const std::vector<const db::Row*>& tuples) const;
+
  private:
   const db::Database* database_;
 };

@@ -4,10 +4,13 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "db/delta.h"
+#include "sql/analyzer.h"
 #include "sql/printer.h"
 
 namespace cacheportal::invalidator {
@@ -94,16 +97,16 @@ std::string Invalidator::StatsReport() const {
     if (observable == nullptr) continue;
     out += StrCat("  sink ", i, " ", observable->HealthReport(), "\n");
   }
-  for (const QueryType* type : registry_.Types()) {
-    const QueryTypeStats& ts = type->stats;
-    out += StrCat("  type '", type->name, "'",
-                  type->cacheable ? "" : " [non-cacheable]",
+  registry_.ForEachType([&](const QueryType& type) {
+    const QueryTypeStats& ts = type.stats;
+    out += StrCat("  type '", type.name, "'",
+                  type.cacheable ? "" : " [non-cacheable]",
                   ": instances=", ts.instances_seen, " checks=", ts.checks,
                   " affected=", ts.affected, " polls=", ts.polling_queries,
                   " inval-ratio=", ts.InvalidationRatio(),
                   " avg-time-us=", ts.AvgInvalidationTime(),
                   " max-time-us=", ts.max_invalidation_time, "\n");
-  }
+  });
   return out;
 }
 
@@ -227,6 +230,26 @@ void Invalidator::RunParallel(size_t n,
   pool_->ParallelFor(n, fn);
 }
 
+void Invalidator::IndexInstance(const QueryInstance& instance) {
+  if (!options_.use_type_matcher) return;
+  auto it = matchers_.find(instance.type_id);
+  if (it == matchers_.end()) {
+    const QueryType* type = registry_.FindType(instance.type_id);
+    if (type == nullptr) return;
+    TypeMatcher matcher = TypeMatcher::Compile(*type, *database_);
+    ++matcher_stats_.types_compiled;
+    if (matcher.handled()) ++matcher_stats_.types_handled;
+    it = matchers_.emplace(instance.type_id, std::move(matcher)).first;
+  }
+  if (it->second.handled()) bind_index_.AddInstance(it->second, instance);
+}
+
+void Invalidator::RetireInstance(const std::string& instance_sql) {
+  const QueryInstance* instance = registry_.FindInstance(instance_sql);
+  if (instance != nullptr) bind_index_.RemoveInstance(instance->instance_id);
+  registry_.UnregisterInstance(instance_sql);
+}
+
 Result<db::QueryResult> Invalidator::ExecutePoll(const std::string& poll_sql) {
   if (polling_connection_ != nullptr) {
     std::lock_guard<std::mutex> lock(polling_connection_mu_);
@@ -268,6 +291,7 @@ namespace {
 struct InstanceAnalysis {
   // Inputs.
   uint64_t type_id = 0;
+  uint64_t instance_id = 0;
   const QueryInstance* instance = nullptr;
 
   // Verdict.
@@ -280,6 +304,27 @@ struct InstanceAnalysis {
   std::vector<std::unique_ptr<sql::SelectStatement>> remaining_polls;
   size_t affected_pages = 0;       // Cached pages riding on the verdict.
   Micros check_time = 0;
+  // Matcher bookkeeping (merged serially into MatcherStats).
+  uint64_t matcher_excluded = 0;        // Tuples pruned before analysis.
+  uint64_t matcher_short_circuits = 0;  // Tables decided with no AST work.
+};
+
+/// One merged view of a table's delta tuples, built once per cycle and
+/// shared (borrowed) by every instance analysis — inserts first, then
+/// deletes, the order the per-instance copies used to have.
+struct TableTuples {
+  std::string table;  // Lower-cased (DeltaSet::Tables() key).
+  std::vector<const db::Row*> tuples;
+};
+
+/// Index-probe result for one (query type, delta table): per-instance
+/// candidate tuple lists plus the tuples every instance must consider
+/// (NULL/boolean column values). Built serially, read-only in the
+/// fan-out. Both lists are ascending and duplicate-free, so a sorted
+/// merge reconstructs each instance's candidate tuples in delta order.
+struct TableProbe {
+  std::vector<uint32_t> all_tuples;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> per_id;
 };
 
 /// One instance's polling work in the parallel polling fan-out. The
@@ -288,6 +333,7 @@ struct InstanceAnalysis {
 /// the first hit or failure, exactly like the serial loop.
 struct PollGroup {
   std::string instance_sql;
+  uint64_t type_id = 0;
   std::vector<std::unique_ptr<sql::SelectStatement>> queries;
 
   // Outcome.
@@ -296,6 +342,51 @@ struct PollGroup {
   bool conservative = false;  // A poll failed; invalidate conservatively.
   std::string failure;        // The failed poll's status, for the log.
 };
+
+/// One consolidated polling statement: the OR of the residual WHEREs of
+/// several instances' polls against one (type, target table), executed
+/// as a single DBMS round trip and demultiplexed in-process.
+struct MergedPoll {
+  sql::TableRef from;
+  std::vector<size_t> groups;  // Member PollGroup indexes, in group order.
+  struct MemberRef {
+    size_t group = 0;
+    size_t query = 0;  // Index into that group's queries.
+  };
+  std::vector<MemberRef> members;
+  std::unique_ptr<sql::SelectStatement> statement;
+
+  // Outcome (written by the one worker owning this poll).
+  bool failed = false;
+  std::string failure;
+  std::set<size_t> hit_groups;
+};
+
+/// Does `row` (a SELECT * result over `from`) satisfy a member poll's
+/// residual WHERE? Decided with the same substitution + fold the impact
+/// analyzer and the executor use, so the demultiplexed verdict equals
+/// what the member's own `SELECT 1 ... LIMIT 1` poll would have returned.
+bool RowSatisfies(const sql::Expression& where, const sql::TableRef& from,
+                  const std::vector<std::string>& columns,
+                  const db::Row& row) {
+  auto substituter = [&](const std::string& tbl, const std::string& col)
+      -> std::optional<sql::Value> {
+    if (!tbl.empty() && !EqualsIgnoreCase(tbl, from.EffectiveName())) {
+      return std::nullopt;
+    }
+    for (size_t i = 0; i < columns.size() && i < row.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], col)) return row[i];
+    }
+    return std::nullopt;
+  };
+  sql::FoldResult folded =
+      sql::FoldConstants(*sql::SubstituteColumns(where, substituter));
+  // A residual would mean the row lacks a referenced column (cannot
+  // happen: SELECT * carries the whole schema); count it as a hit rather
+  // than risk staleness.
+  return folded.outcome == sql::FoldOutcome::kTrue ||
+         folded.outcome == sql::FoldOutcome::kResidual;
+}
 
 /// A fully built eject message, ready for per-sink delivery.
 struct Eject {
@@ -344,6 +435,7 @@ Result<CycleReport> Invalidator::RunCycle() {
     }
     ++report.new_instances;
     ++stats_.instances_registered;
+    IndexInstance(**instance);
   }
 
   // ---- Invalidation module: pull the update log. ----
@@ -380,25 +472,25 @@ Result<CycleReport> Invalidator::RunCycle() {
   // unbounded staleness becomes bounded over-invalidation. Instances
   // reading only untouched tables are provably unaffected and skipped.
   if (mode == DegradationMode::kEmergency) {
-    for (const QueryType* type : registry_.Types()) {
-      for (const QueryInstance* instance :
-           registry_.InstancesOfType(type->type_id)) {
-        if (map_->PagesForQuery(instance->sql).empty()) continue;
-        bool reads_updated_table = false;
-        for (const sql::TableRef& ref : instance->statement->from) {
-          if (!deltas.ForTable(ref.table).empty()) {
-            reads_updated_table = true;
-            break;
-          }
-        }
-        if (!reads_updated_table) continue;
-        if (affected_instances.insert(instance->sql).second) {
-          ++stats_.emergency_flushes;
-          ++stats_.conservative_invalidations;
-          ++report.conservative_invalidations;
-        }
-      }
-    }
+    registry_.ForEachType([&](const QueryType& type) {
+      registry_.ForEachInstanceOfType(
+          type.type_id, [&](const QueryInstance& instance) {
+            if (map_->NumPagesForQuery(instance.sql) == 0) return;
+            bool reads_updated_table = false;
+            for (const sql::TableRef& ref : instance.statement->from) {
+              if (!deltas.ForTable(ref.table).empty()) {
+                reads_updated_table = true;
+                break;
+              }
+            }
+            if (!reads_updated_table) return;
+            if (affected_instances.insert(instance.sql).second) {
+              ++stats_.emergency_flushes;
+              ++stats_.conservative_invalidations;
+              ++report.conservative_invalidations;
+            }
+          });
+    });
   }
 
   // ---- Impact analysis (Section 4.1.2's grouping), parallel phase. ----
@@ -410,39 +502,121 @@ Result<CycleReport> Invalidator::RunCycle() {
   // everything above, so its work list stays empty.
   std::vector<InstanceAnalysis> work;
   if (mode != DegradationMode::kEmergency) {
-    for (const QueryType* type : registry_.Types()) {
-      for (const QueryInstance* instance :
-           registry_.InstancesOfType(type->type_id)) {
-        if (map_->PagesForQuery(instance->sql).empty()) {
-          std::string sql_copy = instance->sql;
-          registry_.UnregisterInstance(sql_copy);
-          continue;
+    work.reserve(registry_.NumInstances());
+    std::vector<std::string> retired;
+    registry_.ForEachType([&](const QueryType& type) {
+      registry_.ForEachInstanceOfType(
+          type.type_id, [&](const QueryInstance& instance) {
+            if (map_->NumPagesForQuery(instance.sql) == 0) {
+              retired.push_back(instance.sql);
+              return;
+            }
+            InstanceAnalysis analysis;
+            analysis.type_id = type.type_id;
+            analysis.instance_id = instance.instance_id;
+            analysis.instance = &instance;
+            work.push_back(std::move(analysis));
+          });
+    });
+    for (const std::string& instance_sql : retired) {
+      RetireInstance(instance_sql);
+    }
+  }
+
+  // One merged tuple view per updated table (inserts then deletes, the
+  // order the per-instance copies used to have), borrowed by every
+  // analysis this cycle instead of copied per instance.
+  std::vector<TableTuples> merged;
+  for (const std::string& table : deltas.Tables()) {
+    const db::TableDelta& delta = deltas.ForTable(table);
+    TableTuples view;
+    view.table = table;
+    view.tuples.reserve(delta.inserts.size() + delta.deletes.size());
+    for (const db::Row& row : delta.inserts) view.tuples.push_back(&row);
+    for (const db::Row& row : delta.deletes) view.tuples.push_back(&row);
+    if (!view.tuples.empty()) merged.push_back(std::move(view));
+  }
+
+  // ---- Index probe phase (serial): each delta tuple probes the bind
+  // index once per covered (type, table), producing per-instance
+  // candidate tuple lists. Instances absent from every list are provably
+  // unaffected — the fan-out below skips their AST work entirely.
+  std::map<std::pair<uint64_t, size_t>, TableProbe> probes;
+  if (options_.use_type_matcher && !work.empty()) {
+    std::vector<uint64_t> work_types;  // Distinct, in work (type) order.
+    for (const InstanceAnalysis& a : work) {
+      if (work_types.empty() || work_types.back() != a.type_id) {
+        work_types.push_back(a.type_id);
+      }
+    }
+    for (uint64_t type_id : work_types) {
+      auto matcher_it = matchers_.find(type_id);
+      if (matcher_it == matchers_.end() || !matcher_it->second.handled()) {
+        continue;
+      }
+      // Exclusion is only sound if every live instance of the type is
+      // indexed; a mismatch (cannot happen while all registrations and
+      // retirements flow through IndexInstance/RetireInstance) falls
+      // back to the interpreted path for the whole type.
+      if (bind_index_.IndexedCountOfType(type_id) !=
+          registry_.NumInstancesOfType(type_id)) {
+        continue;
+      }
+      for (size_t t = 0; t < merged.size(); ++t) {
+        const CompiledAnchor* anchor =
+            matcher_it->second.AnchorFor(merged[t].table);
+        if (anchor == nullptr) continue;
+        TableProbe probe;
+        for (uint32_t ti = 0; ti < merged[t].tuples.size(); ++ti) {
+          ++matcher_stats_.probes;
+          const db::Row& row = *merged[t].tuples[ti];
+          if (anchor->column_index >= row.size()) {
+            // Malformed row; the analyzer will report it. Everyone looks.
+            probe.all_tuples.push_back(ti);
+            continue;
+          }
+          BindIndex::Candidates candidates = bind_index_.Probe(
+              type_id, merged[t].table, *anchor, row[anchor->column_index]);
+          if (candidates.all) {
+            probe.all_tuples.push_back(ti);
+            continue;
+          }
+          for (uint64_t id : candidates.ids) {
+            probe.per_id[id].push_back(ti);
+          }
         }
-        InstanceAnalysis analysis;
-        analysis.type_id = type->type_id;
-        analysis.instance = instance;
-        work.push_back(std::move(analysis));
+        probes.emplace(std::make_pair(type_id, t), std::move(probe));
       }
     }
   }
 
+  // Soundness guard input, hoisted per type: polling queries run against
+  // the post-update database, so a batch touching two or more of a
+  // query's FROM relations must invalidate conservatively (a poll can
+  // miss impacts, e.g. both join partners deleted together). The count
+  // depends only on the type's FROM list — identical for every instance
+  // of the type — so compute it once per type, not once per instance.
+  std::unordered_map<uint64_t, int> delta_tables_by_type;
+  for (const InstanceAnalysis& a : work) {
+    if (delta_tables_by_type.contains(a.type_id)) continue;
+    int n = 0;
+    for (const sql::TableRef& ref : a.instance->statement->from) {
+      if (!deltas.ForTable(ref.table).empty()) ++n;
+    }
+    delta_tables_by_type.emplace(a.type_id, n);
+  }
+
   // Fan out: instances are independent given the batch's deltas. Workers
-  // touch only const reads (deltas, schemas, the QI/URL map, join-index
-  // answers behind a shared lock) and their own work slot.
+  // touch only const reads (deltas, schemas, the QI/URL map, the probe
+  // results, join-index answers behind a shared lock) and their own work
+  // slot. The analyzer is stateless; one per cycle, shared by all
+  // workers.
+  const ImpactAnalyzer analyzer(database_);
   RunParallel(work.size(), [&](size_t i) {
     InstanceAnalysis& a = work[i];
     const QueryInstance& instance = *a.instance;
-    const ImpactAnalyzer analyzer(database_);
 
-    // Soundness guard: polling queries run against the post-update
-    // database. If one batch touched two or more of this query's FROM
-    // relations, a poll can miss impacts (e.g. both join partners
-    // deleted together), so invalidate conservatively instead.
-    int from_tables_with_deltas = 0;
-    for (const sql::TableRef& ref : instance.statement->from) {
-      if (!deltas.ForTable(ref.table).empty()) ++from_tables_with_deltas;
-    }
-    if (from_tables_with_deltas >= 2) {
+    if (delta_tables_by_type.find(a.type_id)->second >= 2) {
       a.multi_table_guard = true;
       return;
     }
@@ -450,17 +624,48 @@ Result<CycleReport> Invalidator::RunCycle() {
     Micros check_start = clock_->NowMicros();
     bool affected = false;
     std::vector<std::unique_ptr<sql::SelectStatement>> polls;
-    for (const std::string& table : deltas.Tables()) {
-      const db::TableDelta& delta = deltas.ForTable(table);
-      std::vector<db::Row> tuples = delta.inserts;
-      tuples.insert(tuples.end(), delta.deletes.begin(),
-                    delta.deletes.end());
-      if (tuples.empty()) continue;
+    std::vector<const db::Row*> subset;
+    for (const TableTuples& view : merged) {
       a.checked = true;
+      const std::vector<const db::Row*>* tuples = &view.tuples;
+      auto probe_it = probes.find(
+          std::make_pair(a.type_id, static_cast<size_t>(&view - &merged[0])));
+      if (probe_it != probes.end()) {
+        // Sorted-merge the tuples every instance must see with this
+        // instance's candidates: delta order is preserved, so verdicts
+        // and polling SQL match the interpreted path byte for byte.
+        const TableProbe& probe = probe_it->second;
+        auto own_it = probe.per_id.find(a.instance_id);
+        static const std::vector<uint32_t> kNone;
+        const std::vector<uint32_t>& own =
+            own_it == probe.per_id.end() ? kNone : own_it->second;
+        subset.clear();
+        subset.reserve(probe.all_tuples.size() + own.size());
+        size_t x = 0;
+        size_t y = 0;
+        while (x < probe.all_tuples.size() || y < own.size()) {
+          uint32_t next;
+          if (y >= own.size() ||
+              (x < probe.all_tuples.size() && probe.all_tuples[x] < own[y])) {
+            next = probe.all_tuples[x++];
+          } else {
+            next = own[y++];
+          }
+          subset.push_back(view.tuples[next]);
+        }
+        a.matcher_excluded += view.tuples.size() - subset.size();
+        if (subset.empty()) {
+          // Every tuple's probe excluded this instance: provably
+          // unaffected by this table with zero AST work.
+          ++a.matcher_short_circuits;
+          continue;
+        }
+        tuples = &subset;
+      }
 
       if (options_.batch_deltas) {
         Result<ImpactResult> impact =
-            analyzer.AnalyzeDelta(*instance.statement, table, tuples);
+            analyzer.AnalyzeDelta(*instance.statement, view.table, *tuples);
         if (!impact.ok()) {
           a.status = impact.status();
           return;
@@ -473,9 +678,9 @@ Result<CycleReport> Invalidator::RunCycle() {
           polls.push_back(std::move(impact->polling_query));
         }
       } else {
-        for (const db::Row& tuple : tuples) {
+        for (const db::Row* tuple : *tuples) {
           Result<ImpactResult> impact =
-              analyzer.AnalyzeTuple(*instance.statement, table, tuple);
+              analyzer.AnalyzeTuple(*instance.statement, view.table, *tuple);
           if (!impact.ok()) {
             a.status = impact.status();
             return;
@@ -513,16 +718,20 @@ Result<CycleReport> Invalidator::RunCycle() {
         a.remaining_polls.push_back(std::move(poll));
       }
     }
-    a.affected_pages = map_->PagesForQuery(instance.sql).size();
+    a.affected_pages = map_->NumPagesForQuery(instance.sql);
   });
 
   // Serial merge, in snapshot order: fold verdicts into the lifetime and
   // per-type stats and collect the polling tasks. Identical to what the
   // serial loop would have produced.
   std::vector<PollingTask> tasks;
+  QueryType* cached_type = nullptr;  // Work is grouped by type.
   for (InstanceAnalysis& a : work) {
     if (!a.status.ok()) return a.status;
-    QueryType* mutable_type = registry_.FindType(a.type_id);
+    if (cached_type == nullptr || cached_type->type_id != a.type_id) {
+      cached_type = registry_.FindType(a.type_id);
+    }
+    QueryType* mutable_type = cached_type;
     const std::string& instance_sql = a.instance->sql;
 
     if (a.multi_table_guard) {
@@ -538,6 +747,8 @@ Result<CycleReport> Invalidator::RunCycle() {
     }
     if (!a.checked) continue;
 
+    matcher_stats_.tuples_excluded += a.matcher_excluded;
+    matcher_stats_.instances_short_circuited += a.matcher_short_circuits;
     ++report.checks;
     ++stats_.instance_checks;
     if (mutable_type != nullptr) {
@@ -568,6 +779,7 @@ Result<CycleReport> Invalidator::RunCycle() {
     for (auto& poll : a.remaining_polls) {
       PollingTask task;
       task.instance_sql = instance_sql;
+      task.type_id = a.type_id;
       task.query = std::move(poll);
       task.deadline = start + options_.cycle_deadline;
       task.affected_pages = a.affected_pages;
@@ -626,32 +838,137 @@ Result<CycleReport> Invalidator::RunCycle() {
         poll_groups.back().instance_sql != task.instance_sql) {
       poll_groups.emplace_back();
       poll_groups.back().instance_sql = task.instance_sql;
+      poll_groups.back().type_id = task.type_id;
     }
     poll_groups.back().queries.push_back(std::move(task.query));
   }
 
-  // Fan out: one worker task per instance; its polls run in order and
-  // stop at the first hit (affected) or failure (conservative) — sibling
-  // polls cannot change the verdict after either.
-  RunParallel(poll_groups.size(), [&](size_t i) {
-    PollGroup& group = poll_groups[i];
-    for (const auto& query : group.queries) {
-      std::string poll_sql = sql::StatementToSql(*query);
-      ++group.polls_issued;
-      Result<db::QueryResult> result = ExecutePoll(poll_sql);
-      if (!result.ok()) {
-        group.conservative = true;
-        group.failure = result.status().ToString();
-        return;
+  // Consolidation (the paper's type-level grouping applied to polling):
+  // instances of one type polling one single-table target share their
+  // residuals' shape, so their polls merge into chunks of
+  // `SELECT * FROM target WHERE (r1) OR (r2) OR ...` — one DBMS round
+  // trip per chunk — and each returned row is matched back to its member
+  // residuals in-process. Buckets with a single instance keep the exact
+  // per-query path (same polls_issued as ever). Which instances end up
+  // affected is unchanged; only the round-trip count (and, if a merged
+  // statement fails, the blast radius of conservatism) differs.
+  std::vector<MergedPoll> merged_polls;
+  std::vector<size_t> classic_groups;
+  if (options_.consolidate_polls && poll_groups.size() > 1) {
+    std::vector<bool> consolidated(poll_groups.size(), false);
+    std::map<std::tuple<uint64_t, std::string, std::string>,
+             std::vector<size_t>>
+        buckets;
+    for (size_t g = 0; g < poll_groups.size(); ++g) {
+      const PollGroup& group = poll_groups[g];
+      const sql::TableRef* target = nullptr;
+      bool mergeable = !group.queries.empty();
+      for (const auto& query : group.queries) {
+        if (query->from.size() != 1 || query->where == nullptr) {
+          mergeable = false;
+          break;
+        }
+        if (target == nullptr) {
+          target = &query->from[0];
+        } else if (!EqualsIgnoreCase(query->from[0].table, target->table) ||
+                   !EqualsIgnoreCase(query->from[0].alias, target->alias)) {
+          mergeable = false;
+          break;
+        }
       }
-      if (!result->rows.empty()) {
-        group.poll_hit = true;
-        return;
+      if (!mergeable) continue;
+      buckets[{group.type_id, AsciiToLower(target->table),
+               AsciiToLower(target->alias)}]
+          .push_back(g);
+    }
+    for (const auto& [bucket_key, bucket_groups] : buckets) {
+      if (bucket_groups.size() < 2) continue;
+      size_t chunk = options_.consolidated_poll_chunk == 0
+                         ? bucket_groups.size()
+                         : options_.consolidated_poll_chunk;
+      for (size_t base = 0; base < bucket_groups.size(); base += chunk) {
+        size_t end = std::min(base + chunk, bucket_groups.size());
+        MergedPoll poll;
+        poll.from = poll_groups[bucket_groups[base]].queries[0]->from[0];
+        sql::ExpressionPtr disjunction;
+        for (size_t j = base; j < end; ++j) {
+          size_t g = bucket_groups[j];
+          poll.groups.push_back(g);
+          consolidated[g] = true;
+          for (size_t q = 0; q < poll_groups[g].queries.size(); ++q) {
+            poll.members.push_back({g, q});
+            sql::ExpressionPtr clause = poll_groups[g].queries[q]->where->Clone();
+            disjunction = disjunction == nullptr
+                              ? std::move(clause)
+                              : std::make_unique<sql::BinaryExpr>(
+                                    sql::BinaryOp::kOr, std::move(disjunction),
+                                    std::move(clause));
+          }
+        }
+        auto statement = std::make_unique<sql::SelectStatement>();
+        sql::SelectItem star;
+        star.star = true;
+        statement->items.push_back(std::move(star));
+        statement->from.push_back(poll.from);
+        statement->where = std::move(disjunction);
+        poll.statement = std::move(statement);
+        merged_polls.push_back(std::move(poll));
+      }
+    }
+    for (size_t g = 0; g < poll_groups.size(); ++g) {
+      if (!consolidated[g]) classic_groups.push_back(g);
+    }
+  } else {
+    classic_groups.reserve(poll_groups.size());
+    for (size_t g = 0; g < poll_groups.size(); ++g) classic_groups.push_back(g);
+  }
+
+  // Fan out: one worker task per classic instance (its polls run in
+  // order and stop at the first hit or failure, like the serial loop) or
+  // per merged statement (one round trip, then in-process demux).
+  RunParallel(classic_groups.size() + merged_polls.size(), [&](size_t u) {
+    if (u < classic_groups.size()) {
+      PollGroup& group = poll_groups[classic_groups[u]];
+      for (const auto& query : group.queries) {
+        std::string poll_sql = sql::StatementToSql(*query);
+        ++group.polls_issued;
+        Result<db::QueryResult> result = ExecutePoll(poll_sql);
+        if (!result.ok()) {
+          group.conservative = true;
+          group.failure = result.status().ToString();
+          return;
+        }
+        if (!result->rows.empty()) {
+          group.poll_hit = true;
+          return;
+        }
+      }
+      return;
+    }
+    MergedPoll& poll = merged_polls[u - classic_groups.size()];
+    std::string poll_sql = sql::StatementToSql(*poll.statement);
+    Result<db::QueryResult> result = ExecutePoll(poll_sql);
+    if (!result.ok()) {
+      poll.failed = true;
+      poll.failure = result.status().ToString();
+      return;
+    }
+    for (const db::Row& row : result->rows) {
+      if (poll.hit_groups.size() == poll.groups.size()) break;
+      for (const MergedPoll::MemberRef& member : poll.members) {
+        if (poll.hit_groups.contains(member.group)) continue;
+        const auto& query = poll_groups[member.group].queries[member.query];
+        if (RowSatisfies(*query->where, poll.from, result->columns, row)) {
+          poll.hit_groups.insert(member.group);
+        }
       }
     }
   });
 
-  for (PollGroup& group : poll_groups) {
+  // Serial merge in deterministic order: classic groups first (in group
+  // order), then merged polls (in bucket order).
+  for (size_t g : classic_groups) {
+    PollGroup& group = poll_groups[g];
     stats_.polls_issued += group.polls_issued;
     report.polls_issued += group.polls_issued;
     if (group.conservative) {
@@ -667,6 +984,31 @@ Result<CycleReport> Invalidator::RunCycle() {
     if (group.poll_hit) {
       ++stats_.poll_hits;
       affected_instances.insert(group.instance_sql);
+    }
+  }
+  for (MergedPoll& poll : merged_polls) {
+    ++stats_.polls_issued;
+    ++report.polls_issued;
+    ++matcher_stats_.consolidated_polls;
+    matcher_stats_.consolidated_members += poll.members.size();
+    if (poll.failed) {
+      // One failed round trip decides every member conservatively.
+      LogMessage(LogLevel::kWarning,
+                 StrCat("consolidated polling query failed (", poll.failure,
+                        "); invalidating ", poll.groups.size(),
+                        " instances conservatively"));
+      for (size_t g : poll.groups) {
+        affected_instances.insert(poll_groups[g].instance_sql);
+        ++stats_.conservative_invalidations;
+        ++report.conservative_invalidations;
+      }
+      continue;
+    }
+    for (size_t g : poll.groups) {
+      if (poll.hit_groups.contains(g)) {
+        ++stats_.poll_hits;
+        affected_instances.insert(poll_groups[g].instance_sql);
+      }
     }
   }
 
@@ -742,16 +1084,15 @@ Result<CycleReport> Invalidator::RunCycle() {
     ++stats_.pages_invalidated;
   }
   for (const std::string& instance_sql : affected_instances) {
-    if (map_->PagesForQuery(instance_sql).empty()) {
-      registry_.UnregisterInstance(instance_sql);
+    if (map_->NumPagesForQuery(instance_sql) == 0) {
+      RetireInstance(instance_sql);
     }
   }
 
   // ---- Policy discovery: refresh cacheability verdicts. ----
-  for (const QueryType* type : registry_.Types()) {
-    QueryType* mutable_type = registry_.FindType(type->type_id);
-    mutable_type->cacheable = policy_.IsQueryTypeCacheable(*mutable_type);
-  }
+  registry_.ForEachTypeMutable([&](QueryType& type) {
+    type.cacheable = policy_.IsQueryTypeCacheable(type);
+  });
 
   report.duration = clock_->NowMicros() - start;
   last_cycle_duration_ = report.duration;

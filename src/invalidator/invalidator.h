@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "db/database.h"
 #include "http/message.h"
+#include "invalidator/bind_index.h"
 #include "invalidator/impact.h"
 #include "invalidator/info_manager.h"
 #include "invalidator/overload.h"
@@ -20,6 +22,7 @@
 #include "invalidator/polling_cache.h"
 #include "invalidator/registry.h"
 #include "invalidator/scheduler.h"
+#include "invalidator/type_matcher.h"
 #include "server/jdbc.h"
 #include "sniffer/qiurl_map.h"
 
@@ -109,6 +112,40 @@ struct InvalidatorOptions {
   /// Overload control: the adaptive degradation ladder that keeps cache
   /// staleness bounded under update storms (disabled by default).
   OverloadOptions overload;
+  /// Compile each query type's template into per-table predicates and
+  /// index the bind values of its live instances, so a delta tuple probes
+  /// the index for the exact candidate instance set instead of
+  /// substituting every instance's WHERE AST (Section 4.2's type-level
+  /// group processing). Excluded instances are provably unaffected;
+  /// candidates fall through to the regular ImpactAnalyzer, so decisions
+  /// and StatsReport() are byte-identical with this off (the ablation
+  /// baseline / differential-test oracle).
+  bool use_type_matcher = true;
+  /// Merge the residual polls of instances sharing a query type and a
+  /// polling target into one disjunctive polling query per chunk,
+  /// demultiplexing the result rows per instance in-process — O(types)
+  /// DBMS round trips instead of O(polling instances). Which pages get
+  /// invalidated is unchanged; only polls_issued (and, on poll failure,
+  /// the blast radius of conservatism) differs.
+  bool consolidate_polls = true;
+  /// Maximum member polls folded into one consolidated query (0 =
+  /// unlimited). Bounds the disjunction's size.
+  size_t consolidated_poll_chunk = 64;
+};
+
+/// Counters of the compiled matching layer (kept out of StatsReport so
+/// the report stays byte-identical between the indexed and interpreted
+/// paths — the differential test diffs the strings).
+struct MatcherStats {
+  uint64_t types_compiled = 0;   // Templates analyzed.
+  uint64_t types_handled = 0;    // ... that produced >= 1 anchor.
+  uint64_t probes = 0;           // (tuple, type, table) index probes.
+  uint64_t tuples_excluded = 0;  // (instance, tuple) pairs proven
+                                 // unaffected with zero AST work.
+  uint64_t instances_short_circuited = 0;  // (instance, table) analyses
+                                           // skipped entirely.
+  uint64_t consolidated_polls = 0;    // Merged polling statements issued.
+  uint64_t consolidated_members = 0;  // Residual polls folded into them.
 };
 
 /// Lifetime counters for the whole invalidator.
@@ -220,6 +257,8 @@ class Invalidator {
     return polling_cache_.get();
   }
   const InvalidatorStats& stats() const { return stats_; }
+  const MatcherStats& matcher_stats() const { return matcher_stats_; }
+  const BindIndex& bind_index() const { return bind_index_; }
   const InvalidatorOptions& options() const { return options_; }
   /// The overload controller, or nullptr when not enabled.
   const OverloadController* overload_controller() const {
@@ -235,6 +274,17 @@ class Invalidator {
   /// Runs fn(i) for i in [0, n): inline when serial, sharded across the
   /// pool when worker_threads > 1.
   void RunParallel(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Adds a freshly registered instance to the bind index, compiling its
+  /// type's template on first contact (the FROM tables exist by then).
+  /// Idempotent; no-op when the matcher is disabled.
+  void IndexInstance(const QueryInstance& instance);
+
+  /// Unregisters an instance AND drops its index postings. Every
+  /// unregistration must go through here or the index would keep
+  /// shortlisting a dead instance (harmless) — or worse, the live/indexed
+  /// count cross-check would disable probing for the whole type.
+  void RetireInstance(const std::string& instance_sql);
 
   /// Executes one polling query against the configured target (external
   /// connection > internal polling cache > the DBMS directly). Safe to
@@ -267,6 +317,13 @@ class Invalidator {
   std::unique_ptr<ThreadPool> pool_;
   // Non-null iff options_.overload.enabled.
   std::unique_ptr<OverloadController> overload_;
+
+  // The compiled matching layer: per-type compiled templates and the
+  // bind-value indexes over live instances. Mutated only on the cycle
+  // thread (registration/retirement); read-only during parallel phases.
+  std::map<uint64_t, TypeMatcher> matchers_;
+  BindIndex bind_index_;
+  MatcherStats matcher_stats_;
 
   uint64_t last_update_seq_ = 0;
   uint64_t last_map_id_ = 0;

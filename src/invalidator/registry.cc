@@ -30,8 +30,10 @@ Result<uint64_t> QueryTypeRegistry::RegisterType(
 
 Result<const QueryInstance*> QueryTypeRegistry::RegisterInstance(
     const std::string& sql_text) {
-  auto existing = instances_.find(sql_text);
-  if (existing != instances_.end()) return &existing->second;
+  auto existing = instance_id_by_sql_.find(sql_text);
+  if (existing != instance_id_by_sql_.end()) {
+    return &instances_.at(existing->second);
+  }
 
   CACHEPORTAL_ASSIGN_OR_RETURN(auto select,
                                sql::Parser::ParseSelect(sql_text));
@@ -49,16 +51,33 @@ Result<const QueryInstance*> QueryTypeRegistry::RegisterInstance(
   type_it->second.stats.instances_seen++;
 
   QueryInstance instance;
+  instance.instance_id = ++next_instance_id_;
   instance.sql = sql_text;
   instance.type_id = tmpl.type_id;
   instance.statement = std::move(select);
-  auto [it, inserted] = instances_.emplace(sql_text, std::move(instance));
+  instance.bindings = std::move(tmpl.bindings);
+  uint64_t id = instance.instance_id;
+  auto [it, inserted] = instances_.emplace(id, std::move(instance));
   (void)inserted;
+  instance_id_by_sql_.emplace(sql_text, id);
+  instances_by_type_[tmpl.type_id].emplace(sql_text, &it->second);
   return &it->second;
 }
 
 void QueryTypeRegistry::UnregisterInstance(const std::string& sql_text) {
-  instances_.erase(sql_text);
+  auto side = instance_id_by_sql_.find(sql_text);
+  if (side == instance_id_by_sql_.end()) return;
+  uint64_t id = side->second;
+  auto it = instances_.find(id);
+  if (it != instances_.end()) {
+    auto by_type = instances_by_type_.find(it->second.type_id);
+    if (by_type != instances_by_type_.end()) {
+      by_type->second.erase(sql_text);
+      if (by_type->second.empty()) instances_by_type_.erase(by_type);
+    }
+    instances_.erase(it);
+  }
+  instance_id_by_sql_.erase(side);
 }
 
 const QueryType* QueryTypeRegistry::FindType(uint64_t type_id) const {
@@ -73,8 +92,33 @@ QueryType* QueryTypeRegistry::FindType(uint64_t type_id) {
 
 const QueryInstance* QueryTypeRegistry::FindInstance(
     const std::string& sql_text) const {
-  auto it = instances_.find(sql_text);
+  auto side = instance_id_by_sql_.find(sql_text);
+  if (side == instance_id_by_sql_.end()) return nullptr;
+  return FindInstanceById(side->second);
+}
+
+const QueryInstance* QueryTypeRegistry::FindInstanceById(
+    uint64_t instance_id) const {
+  auto it = instances_.find(instance_id);
   return it == instances_.end() ? nullptr : &it->second;
+}
+
+void QueryTypeRegistry::ForEachType(
+    const std::function<void(const QueryType&)>& fn) const {
+  for (const auto& [id, type] : types_) fn(type);
+}
+
+void QueryTypeRegistry::ForEachTypeMutable(
+    const std::function<void(QueryType&)>& fn) {
+  for (auto& [id, type] : types_) fn(type);
+}
+
+void QueryTypeRegistry::ForEachInstanceOfType(
+    uint64_t type_id,
+    const std::function<void(const QueryInstance&)>& fn) const {
+  auto by_type = instances_by_type_.find(type_id);
+  if (by_type == instances_by_type_.end()) return;
+  for (const auto& [sql_text, instance] : by_type->second) fn(*instance);
 }
 
 std::vector<const QueryType*> QueryTypeRegistry::Types() const {
@@ -87,10 +131,15 @@ std::vector<const QueryType*> QueryTypeRegistry::Types() const {
 std::vector<const QueryInstance*> QueryTypeRegistry::InstancesOfType(
     uint64_t type_id) const {
   std::vector<const QueryInstance*> out;
-  for (const auto& [sql_text, instance] : instances_) {
-    if (instance.type_id == type_id) out.push_back(&instance);
-  }
+  ForEachInstanceOfType(type_id, [&out](const QueryInstance& instance) {
+    out.push_back(&instance);
+  });
   return out;
+}
+
+size_t QueryTypeRegistry::NumInstancesOfType(uint64_t type_id) const {
+  auto by_type = instances_by_type_.find(type_id);
+  return by_type == instances_by_type_.end() ? 0 : by_type->second.size();
 }
 
 }  // namespace cacheportal::invalidator

@@ -2,6 +2,7 @@
 #define CACHEPORTAL_INVALIDATOR_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,16 +49,26 @@ struct QueryType {
 };
 
 /// A registered query instance: the concrete SQL of a query that built at
-/// least one cached page, its parsed form, and the type it belongs to.
+/// least one cached page, its parsed form, the type it belongs to, and
+/// the literal values it binds into the type's template ($1..$n order) —
+/// the raw material of the bind-value indexes.
 struct QueryInstance {
+  /// Interned identity, unique across the registry's lifetime (a
+  /// re-registered SQL gets a fresh ID). Stable, cheap container key.
+  uint64_t instance_id = 0;
   std::string sql;
   uint64_t type_id = 0;
   std::unique_ptr<sql::SelectStatement> statement;
+  std::vector<sql::Value> bindings;
 };
 
 /// The registration module's data structures (Section 4.1): query types
 /// declared by domain experts (offline mode) plus types discovered from
 /// the QI/URL map (online mode), and the instances grouped under them.
+///
+/// Instances are interned: keyed by a small integer ID with a side map
+/// from SQL text, and grouped per type so InstancesOfType / the ForEach
+/// iterators cost O(instances of that type), not O(all instances).
 class QueryTypeRegistry {
  public:
   QueryTypeRegistry() = default;
@@ -80,6 +91,17 @@ class QueryTypeRegistry {
   const QueryType* FindType(uint64_t type_id) const;
   QueryType* FindType(uint64_t type_id);
   const QueryInstance* FindInstance(const std::string& sql) const;
+  const QueryInstance* FindInstanceById(uint64_t instance_id) const;
+
+  /// Stable iteration without building pointer vectors. Callbacks must
+  /// not mutate the registry (collect, then mutate after the loop).
+  /// Types iterate in type_id order; instances of a type in SQL-text
+  /// order — the same orders the vector snapshots below expose.
+  void ForEachType(const std::function<void(const QueryType&)>& fn) const;
+  void ForEachTypeMutable(const std::function<void(QueryType&)>& fn);
+  void ForEachInstanceOfType(
+      uint64_t type_id,
+      const std::function<void(const QueryInstance&)>& fn) const;
 
   /// All registered types.
   std::vector<const QueryType*> Types() const;
@@ -88,10 +110,19 @@ class QueryTypeRegistry {
 
   size_t NumTypes() const { return types_.size(); }
   size_t NumInstances() const { return instances_.size(); }
+  size_t NumInstancesOfType(uint64_t type_id) const;
 
  private:
   std::map<uint64_t, QueryType> types_;
-  std::map<std::string, QueryInstance> instances_;  // Keyed by SQL text.
+  std::map<uint64_t, QueryInstance> instances_;  // Keyed by instance_id.
+  std::map<std::string, uint64_t> instance_id_by_sql_;
+  // type_id -> (SQL text -> instance). The inner key keeps per-type
+  // iteration in SQL order, matching the historical scan of the global
+  // SQL-keyed map (scheduler tie-breaks depend on this order). The value
+  // is a direct pointer (stable: instances_ is a node-based map) so the
+  // invalidator's per-cycle sweep does no per-instance id lookup.
+  std::map<uint64_t, std::map<std::string, QueryInstance*>> instances_by_type_;
+  uint64_t next_instance_id_ = 0;
 };
 
 }  // namespace cacheportal::invalidator

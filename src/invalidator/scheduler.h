@@ -15,6 +15,9 @@ namespace cacheportal::invalidator {
 /// find out whether the instance was affected by this cycle's updates.
 struct PollingTask {
   std::string instance_sql;  // The query instance being decided.
+  uint64_t type_id = 0;      // The instance's query type; polls of one
+                             // type share a template, which is what makes
+                             // them consolidatable into one disjunction.
   std::unique_ptr<sql::SelectStatement> query;  // The polling query.
   Micros deadline = 0;       // Invalidation must land by this time.
   size_t affected_pages = 0; // Cached pages riding on the verdict.

@@ -45,6 +45,11 @@ std::vector<std::string> QiUrlMap::PagesForQuery(
   return std::vector<std::string>(it->second.begin(), it->second.end());
 }
 
+size_t QiUrlMap::NumPagesForQuery(const std::string& query_sql) const {
+  auto it = by_query_.find(query_sql);
+  return it == by_query_.end() ? 0 : it->second.size();
+}
+
 std::vector<std::string> QiUrlMap::QueriesForPage(
     const std::string& page_key) const {
   auto it = by_page_.find(page_key);

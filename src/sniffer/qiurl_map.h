@@ -44,6 +44,11 @@ class QiUrlMap {
   /// Cache keys of all pages built from `query_sql`.
   std::vector<std::string> PagesForQuery(const std::string& query_sql) const;
 
+  /// Number of pages built from `query_sql`, without materializing the
+  /// keys — the invalidator asks this once per instance per cycle, so it
+  /// must not copy.
+  size_t NumPagesForQuery(const std::string& query_sql) const;
+
   /// Query instances used to build page `page_key`.
   std::vector<std::string> QueriesForPage(const std::string& page_key) const;
 

@@ -1,5 +1,7 @@
 #include "sql/template.h"
 
+#include <algorithm>
+
 #include "sql/analyzer.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -116,6 +118,63 @@ Result<QueryTemplate> ExtractTemplate(const SelectStatement& instance) {
 Result<QueryTemplate> ExtractTemplateFromSql(const std::string& sql) {
   CACHEPORTAL_ASSIGN_OR_RETURN(auto select, Parser::ParseSelect(sql));
   return ExtractTemplate(*select);
+}
+
+namespace {
+
+int MaxParameterOrdinal(const Expression& expr) {
+  int max_ordinal = 0;
+  switch (expr.kind()) {
+    case ExprKind::kParameter:
+      max_ordinal = static_cast<const ParameterExpr&>(expr).ordinal();
+      break;
+    case ExprKind::kUnary:
+      max_ordinal =
+          MaxParameterOrdinal(static_cast<const UnaryExpr&>(expr).operand());
+      break;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      max_ordinal = std::max(MaxParameterOrdinal(b.left()),
+                             MaxParameterOrdinal(b.right()));
+      break;
+    }
+    case ExprKind::kFunctionCall:
+      for (const auto& a : static_cast<const FunctionCallExpr&>(expr).args()) {
+        max_ordinal = std::max(max_ordinal, MaxParameterOrdinal(*a));
+      }
+      break;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      max_ordinal = MaxParameterOrdinal(in.operand());
+      for (const auto& item : in.items()) {
+        max_ordinal = std::max(max_ordinal, MaxParameterOrdinal(*item));
+      }
+      break;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const BetweenExpr&>(expr);
+      max_ordinal = std::max({MaxParameterOrdinal(bt.operand()),
+                              MaxParameterOrdinal(bt.low()),
+                              MaxParameterOrdinal(bt.high())});
+      break;
+    }
+    case ExprKind::kIsNull:
+      max_ordinal =
+          MaxParameterOrdinal(static_cast<const IsNullExpr&>(expr).operand());
+      break;
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      break;
+  }
+  return max_ordinal;
+}
+
+}  // namespace
+
+size_t ParameterSlotCount(const QueryTemplate& tmpl) {
+  if (tmpl.statement == nullptr || tmpl.statement->where == nullptr) return 0;
+  int max_ordinal = MaxParameterOrdinal(*tmpl.statement->where);
+  return max_ordinal < 0 ? 0 : static_cast<size_t>(max_ordinal);
 }
 
 Result<std::unique_ptr<SelectStatement>> InstantiateTemplate(

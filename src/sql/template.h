@@ -55,6 +55,13 @@ Result<std::unique_ptr<SelectStatement>> InstantiateTemplate(
 /// Stable FNV-1a 64-bit hash used for query-type identity.
 uint64_t HashQueryText(const std::string& text);
 
+/// Number of bind slots a template exposes: the highest parameter ordinal
+/// appearing in its WHERE clause (extraction places parameters nowhere
+/// else). A template's `bindings` vector has exactly this many entries,
+/// which is what lets the invalidator's TypeMatcher resolve a compiled
+/// `col OP $k` predicate against any instance's bind values.
+size_t ParameterSlotCount(const QueryTemplate& tmpl);
+
 }  // namespace cacheportal::sql
 
 #endif  // CACHEPORTAL_SQL_TEMPLATE_H_

@@ -231,7 +231,7 @@ TEST_F(ImpactTest, BatchCombinesResidualsIntoOnePollingQuery) {
 TEST_F(ImpactTest, EmptyBatchIsUnaffected) {
   ImpactAnalyzer analyzer(&db_);
   auto query = Query(kQuery1);
-  auto result = analyzer.AnalyzeDelta(*query, "Car", {});
+  auto result = analyzer.AnalyzeDelta(*query, "Car", std::vector<db::Row>{});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->kind, ImpactKind::kUnaffected);
 }

@@ -1,0 +1,474 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "invalidator/bind_index.h"
+#include "invalidator/invalidator.h"
+#include "invalidator/type_matcher.h"
+#include "sniffer/qiurl_map.h"
+
+namespace cacheportal::invalidator {
+namespace {
+
+class RecordingSink : public InvalidationSink {
+ public:
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string& cache_key) override {
+    invalidated.insert(cache_key);
+    return Status::OK();
+  }
+  std::set<std::string> invalidated;
+};
+
+// ---------------------------------------------------------------------------
+// Differential test: the compiled matcher (bind-value indexes) against the
+// interpreted path, on random workloads. The matcher is a pure pruning
+// layer: with it on or off, every cycle must eject the same pages and the
+// final StatsReport() must be byte-identical, at any worker count. The
+// workload is generated independently of the invalidator's behavior so the
+// runs are comparable.
+// ---------------------------------------------------------------------------
+
+struct WorldResult {
+  std::vector<std::set<std::string>> ejected;   // Per cycle.
+  std::vector<std::string> summaries;           // Per-cycle report fields.
+  std::string final_report;
+  MatcherStats matcher;
+};
+
+WorldResult RunWorld(uint64_t seed, bool use_matcher, size_t workers,
+                     bool consolidate) {
+  Random rng(seed);
+  ManualClock clock;
+  db::Database db(&clock);
+  EXPECT_TRUE(db.CreateTable(db::TableSchema("T1",
+                                             {{"a", db::ColumnType::kInt},
+                                              {"b", db::ColumnType::kString},
+                                              {"c", db::ColumnType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(db::TableSchema("T2",
+                                             {{"k", db::ColumnType::kString},
+                                              {"v", db::ColumnType::kInt}}))
+                  .ok());
+  for (int i = 0; i < 12; ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO T1 VALUES (", rng.Uniform(100), ", 's",
+                         rng.Uniform(6), "', ", rng.Uniform(100), ")"))
+        .value();
+  }
+  for (int i = 0; i < 4; ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO T2 VALUES ('s", rng.Uniform(6), "', ",
+                         rng.Uniform(100), ")"))
+        .value();
+  }
+
+  // Instance pool mixing indexable templates (=, <, <=, >, >=, BETWEEN,
+  // IN, string equality, join anchors) with fallbacks the matcher cannot
+  // anchor (OR at the top level, column-to-column comparison, no WHERE).
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 14; ++i) {
+    switch (rng.Uniform(10)) {
+      case 0:
+        sqls.push_back(StrCat("SELECT * FROM T1 WHERE a = ", rng.Uniform(100)));
+        break;
+      case 1:
+        sqls.push_back(
+            StrCat("SELECT * FROM T1 WHERE b = 's", rng.Uniform(6), "'"));
+        break;
+      case 2:
+        sqls.push_back(StrCat("SELECT * FROM T1 WHERE a < ", rng.Uniform(100)));
+        break;
+      case 3:
+        sqls.push_back(
+            StrCat("SELECT * FROM T1 WHERE a >= ", rng.Uniform(100)));
+        break;
+      case 4: {
+        uint64_t low = rng.Uniform(60);
+        sqls.push_back(StrCat("SELECT * FROM T1 WHERE a BETWEEN ", low,
+                              " AND ", low + rng.Uniform(40)));
+        break;
+      }
+      case 5:
+        sqls.push_back(StrCat("SELECT * FROM T1 WHERE a IN (", rng.Uniform(50),
+                              ", ", 50 + rng.Uniform(50), ")"));
+        break;
+      case 6:
+        sqls.push_back(
+            StrCat("SELECT T1.a FROM T1, T2 WHERE T1.b = T2.k AND T2.v < ",
+                   rng.Uniform(100)));
+        break;
+      case 7:
+        sqls.push_back(StrCat("SELECT * FROM T1 WHERE a = ", rng.Uniform(50),
+                              " OR c = ", rng.Uniform(50)));
+        break;
+      case 8:
+        sqls.push_back("SELECT * FROM T1 WHERE a < c");
+        break;
+      default:
+        sqls.push_back("SELECT * FROM T2");
+        break;
+    }
+  }
+
+  sniffer::QiUrlMap map;
+  RecordingSink sink;
+  InvalidatorOptions options;
+  options.use_type_matcher = use_matcher;
+  options.worker_threads = workers;
+  options.consolidate_polls = consolidate;
+  Invalidator inv(&db, &map, &clock, options);
+  inv.AddSink(&sink);
+
+  WorldResult result;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    // Re-cache every page each cycle (Add is idempotent for live pages),
+    // so instances keep getting exercised after ejection.
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      map.Add(sqls[i], StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+    int burst = 1 + static_cast<int>(rng.Uniform(4));
+    for (int u = 0; u < burst; ++u) {
+      switch (rng.Uniform(4)) {
+        case 0:
+          db.ExecuteSql(StrCat("INSERT INTO T1 VALUES (", rng.Uniform(100),
+                               ", 's", rng.Uniform(6), "', ", rng.Uniform(100),
+                               ")"))
+              .value();
+          break;
+        case 1:
+          db.ExecuteSql(StrCat("INSERT INTO T2 VALUES ('s", rng.Uniform(6),
+                               "', ", rng.Uniform(100), ")"))
+              .value();
+          break;
+        case 2:
+          db.ExecuteSql(StrCat("DELETE FROM T1 WHERE a > ",
+                               40 + rng.Uniform(60)))
+              .value();
+          break;
+        default:
+          db.ExecuteSql(StrCat("DELETE FROM T2 WHERE v < ", rng.Uniform(30)))
+              .value();
+          break;
+      }
+    }
+    sink.invalidated.clear();
+    auto report = inv.RunCycle();
+    EXPECT_TRUE(report.ok());
+    result.ejected.push_back(sink.invalidated);
+    result.summaries.push_back(
+        StrCat(report->updates, "|", report->new_instances, "|",
+               report->checks, "|", report->affected_instances, "|",
+               report->polls_issued, "|", report->conservative_invalidations,
+               "|", report->pages_invalidated));
+  }
+  result.final_report = inv.StatsReport();
+  result.matcher = inv.matcher_stats();
+  return result;
+}
+
+class MatcherDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherDifferentialTest, CompiledMatchesInterpretedAtAnyWorkerCount) {
+  const uint64_t seed = GetParam();
+  WorldResult oracle = RunWorld(seed, /*use_matcher=*/false, /*workers=*/1,
+                                /*consolidate=*/false);
+  uint64_t total_excluded = 0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    WorldResult compiled = RunWorld(seed, /*use_matcher=*/true, workers,
+                                    /*consolidate=*/false);
+    ASSERT_EQ(compiled.ejected.size(), oracle.ejected.size());
+    for (size_t c = 0; c < oracle.ejected.size(); ++c) {
+      EXPECT_EQ(compiled.ejected[c], oracle.ejected[c])
+          << "seed " << seed << " workers " << workers << " cycle " << c;
+      EXPECT_EQ(compiled.summaries[c], oracle.summaries[c])
+          << "seed " << seed << " workers " << workers << " cycle " << c;
+    }
+    EXPECT_EQ(compiled.final_report, oracle.final_report)
+        << "seed " << seed << " workers " << workers;
+    EXPECT_GT(compiled.matcher.types_compiled, 0u);
+    total_excluded += compiled.matcher.tuples_excluded;
+  }
+  // The interpreted oracle never touches the matcher.
+  EXPECT_EQ(oracle.matcher.types_compiled, 0u);
+  EXPECT_EQ(oracle.matcher.tuples_excluded, 0u);
+  // The suite as a whole must exercise real exclusions; individual seeds
+  // may legitimately have none (all-fallback instance pools).
+  RecordProperty("tuples_excluded", static_cast<int>(total_excluded));
+}
+
+TEST_P(MatcherDifferentialTest, ConsolidationPreservesEjectedPages) {
+  const uint64_t seed = GetParam();
+  WorldResult separate = RunWorld(seed, /*use_matcher=*/true, /*workers=*/2,
+                                  /*consolidate=*/false);
+  WorldResult merged = RunWorld(seed, /*use_matcher=*/true, /*workers=*/2,
+                                /*consolidate=*/true);
+  ASSERT_EQ(merged.ejected.size(), separate.ejected.size());
+  for (size_t c = 0; c < separate.ejected.size(); ++c) {
+    EXPECT_EQ(merged.ejected[c], separate.ejected[c])
+        << "seed " << seed << " cycle " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Boundary units: each relational operator's index probe must exclude
+// exactly the tuples whose WHERE folds definite FALSE — never tuples that
+// fold NULL (type-mismatched or NULL-tainted comparisons), which stay
+// candidates for the interpreted analyzer.
+// ---------------------------------------------------------------------------
+
+class MatcherBoundaryTest : public ::testing::Test {
+ protected:
+  /// In a fresh world: registers `sql` as a cached page, applies
+  /// `insert_sql`, runs one cycle, and returns
+  /// (pages_invalidated, tuples_excluded). Everything is local so each
+  /// probe sees exactly one delta tuple.
+  std::pair<uint64_t, uint64_t> Probe(const std::string& sql,
+                                      const std::string& insert_sql) {
+    ManualClock clock;
+    db::Database db(&clock);
+    EXPECT_TRUE(
+        db.CreateTable(db::TableSchema("T1", {{"a", db::ColumnType::kInt},
+                                              {"b", db::ColumnType::kString},
+                                              {"c", db::ColumnType::kInt}}))
+            .ok());
+    sniffer::QiUrlMap map;
+    RecordingSink sink;
+    Invalidator inv(&db, &map, &clock, {});
+    inv.AddSink(&sink);
+    map.Add(sql, "shop/page?##", "/r", 0);
+    db.ExecuteSql(insert_sql).value();
+    auto report = inv.RunCycle();
+    EXPECT_TRUE(report.ok());
+    return {report->pages_invalidated, inv.matcher_stats().tuples_excluded};
+  }
+};
+
+TEST_F(MatcherBoundaryTest, LessThanEdge) {
+  auto edge = Probe("SELECT * FROM T1 WHERE a < 10",
+                    "INSERT INTO T1 VALUES (10, 's', 0)");
+  EXPECT_EQ(edge.first, 0u);
+  EXPECT_EQ(edge.second, 1u);  // 10 < 10 is FALSE: provably unaffected.
+  auto hit = Probe("SELECT * FROM T1 WHERE a < 10",
+                   "INSERT INTO T1 VALUES (9, 's', 0)");
+  EXPECT_EQ(hit.first, 1u);  // 9 < 10: candidate, confirmed affected.
+}
+
+TEST_F(MatcherBoundaryTest, LessOrEqualEdge) {
+  auto above = Probe("SELECT * FROM T1 WHERE a <= 10",
+                     "INSERT INTO T1 VALUES (11, 's', 0)");
+  EXPECT_EQ(above.first, 0u);
+  EXPECT_EQ(above.second, 1u);
+  auto edge = Probe("SELECT * FROM T1 WHERE a <= 10",
+                    "INSERT INTO T1 VALUES (10, 's', 0)");
+  EXPECT_EQ(edge.first, 1u);  // The boundary value itself is a hit.
+}
+
+TEST_F(MatcherBoundaryTest, BetweenEdges) {
+  const char* sql = "SELECT * FROM T1 WHERE a BETWEEN 10 AND 20";
+  auto below = Probe(sql, "INSERT INTO T1 VALUES (9, 's', 0)");
+  EXPECT_EQ(below.first, 0u);
+  EXPECT_EQ(below.second, 1u);
+  EXPECT_EQ(Probe(sql, "INSERT INTO T1 VALUES (10, 's', 0)").first, 1u);
+  EXPECT_EQ(Probe(sql, "INSERT INTO T1 VALUES (20, 's', 0)").first, 1u);
+  auto above = Probe(sql, "INSERT INTO T1 VALUES (21, 's', 0)");
+  EXPECT_EQ(above.first, 0u);
+  EXPECT_GT(above.second, 0u);  // High bound filtered in the probe.
+}
+
+TEST_F(MatcherBoundaryTest, InListMissAndHit) {
+  const char* sql = "SELECT * FROM T1 WHERE a IN (5, 7)";
+  auto miss = Probe(sql, "INSERT INTO T1 VALUES (6, 's', 0)");
+  EXPECT_EQ(miss.first, 0u);
+  EXPECT_EQ(miss.second, 1u);
+  EXPECT_EQ(Probe(sql, "INSERT INTO T1 VALUES (7, 's', 0)").first, 1u);
+}
+
+TEST_F(MatcherBoundaryTest, MixedClassInListStillExcludesNumericMiss) {
+  // 'x' never equals an int (incomparable items are plain misses), so a
+  // tuple matching neither 5 nor any string key folds FALSE — excludable.
+  const char* sql = "SELECT * FROM T1 WHERE a IN ('x', 5)";
+  auto miss = Probe(sql, "INSERT INTO T1 VALUES (7, 's', 0)");
+  EXPECT_EQ(miss.first, 0u);
+  EXPECT_EQ(miss.second, 1u);
+  EXPECT_EQ(Probe(sql, "INSERT INTO T1 VALUES (5, 's', 0)").first, 1u);
+}
+
+TEST_F(MatcherBoundaryTest, NullInListNeverExcludes) {
+  // `a IN (5, NULL)` with a=7 folds NULL, not FALSE: the instance must
+  // stay a candidate (the interpreted analyzer then decides unaffected).
+  const char* sql = "SELECT * FROM T1 WHERE a IN (5, NULL)";
+  auto probe = Probe(sql, "INSERT INTO T1 VALUES (7, 's', 0)");
+  EXPECT_EQ(probe.first, 0u);
+  EXPECT_EQ(probe.second, 0u);
+}
+
+TEST_F(MatcherBoundaryTest, CrossClassEqualityNeverExcludes) {
+  // A string bind against an int column compares NULL for every tuple;
+  // exclusion would be unsound even though the verdict is unaffected.
+  const char* sql = "SELECT * FROM T1 WHERE a = 'hello'";
+  auto probe = Probe(sql, "INSERT INTO T1 VALUES (7, 's', 0)");
+  EXPECT_EQ(probe.first, 0u);
+  EXPECT_EQ(probe.second, 0u);
+}
+
+TEST_F(MatcherBoundaryTest, StringEqualityExcludesAndHits) {
+  const char* sql = "SELECT * FROM T1 WHERE b = 'wanted'";
+  auto miss = Probe(sql, "INSERT INTO T1 VALUES (1, 'other', 0)");
+  EXPECT_EQ(miss.first, 0u);
+  EXPECT_EQ(miss.second, 1u);
+  EXPECT_EQ(Probe(sql, "INSERT INTO T1 VALUES (1, 'wanted', 0)").first, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Consolidated polling: instances of one type polling one target merge
+// into a single disjunctive round trip whose rows are demultiplexed per
+// instance — with no change in which pages are ejected.
+// ---------------------------------------------------------------------------
+
+class ConsolidationTest : public ::testing::Test {
+ protected:
+  ConsolidationTest() : db_(&clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(db::TableSchema(
+                                    "Car", {{"maker", db::ColumnType::kString},
+                                            {"model", db::ColumnType::kString},
+                                            {"price", db::ColumnType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(
+        db_.CreateTable(db::TableSchema(
+                            "Mileage", {{"model", db::ColumnType::kString},
+                                        {"EPA", db::ColumnType::kInt}}))
+            .ok());
+    db_.ExecuteSql("INSERT INTO Mileage VALUES ('Avalon', 25)").value();
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+};
+
+TEST_F(ConsolidationTest, DemuxSelectsExactlyTheSatisfiedMembers) {
+  // Four instances of one join type, with EPA thresholds straddling the
+  // lone Mileage row (EPA=25): only the 30 and 40 thresholds are hits.
+  for (bool consolidate : {false, true}) {
+    sniffer::QiUrlMap map;
+    RecordingSink sink;
+    InvalidatorOptions options;
+    options.consolidate_polls = consolidate;
+    Invalidator inv(&db_, &map, &clock_, options);
+    inv.AddSink(&sink);
+    for (int threshold : {10, 20, 30, 40}) {
+      map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+                     "Mileage.model AND Mileage.EPA < ",
+                     threshold),
+              StrCat("shop/epa", threshold, "?##"), "/r", 0);
+    }
+    db_.ExecuteSql("INSERT INTO Car VALUES ('Toyota', 'Avalon', 15000)")
+        .value();
+    auto report = inv.RunCycle();
+    ASSERT_TRUE(report.ok());
+    std::set<std::string> expect = {"shop/epa30?##", "shop/epa40?##"};
+    EXPECT_EQ(sink.invalidated, expect) << "consolidate=" << consolidate;
+    if (consolidate) {
+      EXPECT_EQ(report->polls_issued, 1u);
+      EXPECT_EQ(inv.matcher_stats().consolidated_polls, 1u);
+      EXPECT_EQ(inv.matcher_stats().consolidated_members, 4u);
+    } else {
+      EXPECT_EQ(report->polls_issued, 4u);
+    }
+    db_.ExecuteSql("DELETE FROM Car WHERE price = 15000").value();
+    // Drain the delete's delta so the next loop iteration starts clean.
+    inv.RunCycle().value();
+  }
+}
+
+TEST_F(ConsolidationTest, ReducesPollRoundTripsAtLeastThreefold) {
+  constexpr int kInstances = 12;
+  uint64_t polls[2];
+  std::set<std::string> ejected[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    bool consolidate = pass == 1;
+    sniffer::QiUrlMap map;
+    RecordingSink sink;
+    InvalidatorOptions options;
+    options.consolidate_polls = consolidate;
+    Invalidator inv(&db_, &map, &clock_, options);
+    inv.AddSink(&sink);
+    for (int i = 0; i < kInstances; ++i) {
+      map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+                     "Mileage.model AND Mileage.EPA < ",
+                     100 + i),
+              StrCat("shop/page", i, "?##"), "/r", 0);
+    }
+    db_.ExecuteSql("INSERT INTO Car VALUES ('Toyota', 'Avalon', 15000)")
+        .value();
+    auto report = inv.RunCycle();
+    ASSERT_TRUE(report.ok());
+    polls[pass] = report->polls_issued;
+    ejected[pass] = sink.invalidated;
+    db_.ExecuteSql("DELETE FROM Car WHERE price = 15000").value();
+    inv.RunCycle().value();
+  }
+  EXPECT_EQ(ejected[0], ejected[1]);
+  EXPECT_EQ(ejected[0].size(), static_cast<size_t>(kInstances));
+  EXPECT_EQ(polls[0], static_cast<uint64_t>(kInstances));
+  EXPECT_GE(polls[0], 3 * polls[1]);  // >= 3x fewer round trips.
+}
+
+TEST_F(ConsolidationTest, ChunkingSplitsLargeBuckets) {
+  sniffer::QiUrlMap map;
+  RecordingSink sink;
+  InvalidatorOptions options;
+  options.consolidated_poll_chunk = 4;
+  Invalidator inv(&db_, &map, &clock_, options);
+  inv.AddSink(&sink);
+  for (int i = 0; i < 10; ++i) {
+    map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+                   "Mileage.model AND Mileage.EPA < ",
+                   100 + i),
+            StrCat("shop/page", i, "?##"), "/r", 0);
+  }
+  db_.ExecuteSql("INSERT INTO Car VALUES ('Toyota', 'Avalon', 15000)").value();
+  auto report = inv.RunCycle();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->polls_issued, 3u);  // ceil(10 / 4) chunks.
+  EXPECT_EQ(sink.invalidated.size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// TypeMatcher compilation units.
+// ---------------------------------------------------------------------------
+
+TEST(TypeMatcherTest, SelfJoinFallsBackToInterpreted) {
+  ManualClock clock;
+  db::Database db(&clock);
+  ASSERT_TRUE(db.CreateTable(db::TableSchema(
+                                 "Car", {{"maker", db::ColumnType::kString},
+                                         {"model", db::ColumnType::kString},
+                                         {"price", db::ColumnType::kInt}}))
+                  .ok());
+  sniffer::QiUrlMap map;
+  RecordingSink sink;
+  Invalidator inv(&db, &map, &clock, {});
+  inv.AddSink(&sink);
+  // Two FROM occurrences of Car: an anchor on either would be unsound.
+  map.Add("SELECT x.model FROM Car x, Car y WHERE x.price < 10000 AND "
+          "y.price > 50000 AND x.maker = y.maker",
+          "shop/selfjoin?##", "/r", 0);
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 60000)").value();
+  auto report = inv.RunCycle();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(inv.matcher_stats().tuples_excluded, 0u);
+  EXPECT_EQ(inv.bind_index().NumIndexedInstances(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::invalidator

@@ -317,5 +317,67 @@ TEST_F(InfoManagerTest, CreateErrors) {
   EXPECT_TRUE(info.CreateJoinIndex("Mileage", "model").IsAlreadyExists());
 }
 
+// ---------------------------------------------------------------------
+// Interned instance ids and stable iteration
+// ---------------------------------------------------------------------
+
+TEST(RegistryTest, InstanceIdsAreInternedAndFindable) {
+  QueryTypeRegistry registry;
+  auto a = registry.RegisterInstance("SELECT * FROM Car WHERE price < 1");
+  auto b = registry.RegisterInstance("SELECT * FROM Car WHERE price < 2");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE((*a)->instance_id, (*b)->instance_id);
+  const QueryInstance* by_id = registry.FindInstanceById((*a)->instance_id);
+  ASSERT_NE(by_id, nullptr);
+  EXPECT_EQ(by_id->sql, "SELECT * FROM Car WHERE price < 1");
+  EXPECT_EQ(registry.FindInstanceById(99999), nullptr);
+  // Re-registering live SQL returns the same interned instance.
+  auto again = registry.RegisterInstance("SELECT * FROM Car WHERE price < 1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->instance_id, (*a)->instance_id);
+}
+
+TEST(RegistryTest, UnregisterFreesIdAndReRegisterMintsFreshOne) {
+  QueryTypeRegistry registry;
+  auto a = registry.RegisterInstance("SELECT * FROM Car WHERE price < 1");
+  ASSERT_TRUE(a.ok());
+  uint64_t old_id = (*a)->instance_id;
+  registry.UnregisterInstance("SELECT * FROM Car WHERE price < 1");
+  EXPECT_EQ(registry.FindInstanceById(old_id), nullptr);
+  auto again = registry.RegisterInstance("SELECT * FROM Car WHERE price < 1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE((*again)->instance_id, old_id);
+}
+
+TEST(RegistryTest, ForEachIterationIsStableAndOrdered) {
+  QueryTypeRegistry registry;
+  // Register in shuffled SQL order; iteration must come back sorted by
+  // SQL text within a type regardless of registration order.
+  ASSERT_TRUE(registry.RegisterInstance("SELECT * FROM Car WHERE price < 3")
+                  .ok());
+  ASSERT_TRUE(registry.RegisterInstance("SELECT * FROM Car WHERE price < 1")
+                  .ok());
+  ASSERT_TRUE(registry.RegisterInstance("SELECT * FROM Car WHERE price < 2")
+                  .ok());
+  uint64_t type_id = 0;
+  size_t types = 0;
+  registry.ForEachType([&](const QueryType& type) {
+    type_id = type.type_id;
+    ++types;
+  });
+  EXPECT_EQ(types, 1u);
+  std::vector<std::string> seen;
+  registry.ForEachInstanceOfType(type_id, [&](const QueryInstance& instance) {
+    seen.push_back(instance.sql);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "SELECT * FROM Car WHERE price < 1");
+  EXPECT_EQ(seen[1], "SELECT * FROM Car WHERE price < 2");
+  EXPECT_EQ(seen[2], "SELECT * FROM Car WHERE price < 3");
+  EXPECT_EQ(registry.NumInstancesOfType(type_id), 3u);
+  EXPECT_EQ(registry.NumInstancesOfType(type_id + 1), 0u);
+}
+
 }  // namespace
 }  // namespace cacheportal::invalidator
