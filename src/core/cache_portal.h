@@ -109,13 +109,16 @@ class CachePortal {
   Result<invalidator::CycleReport> RunCycle();
 
   /// Serializes the invalidator's resumption state (see
-  /// Invalidator::Checkpoint) and, having durably captured the cursor,
-  /// trims the update log through the consumed position — the log's
-  /// bounded-memory story: records at or below the checkpointed cursor
-  /// can never be needed again, even across a crash+Restore.
+  /// Invalidator::Checkpoint; format v3 — update-log cursor, per-shard
+  /// QI/URL-map cursors, sink backlogs) and, having durably captured the
+  /// cursor, trims the update log through the consumed position — the
+  /// log's bounded-memory story: records at or below the checkpointed
+  /// cursor can never be needed again, even across a crash+Restore.
   std::string Checkpoint();
 
-  /// Rebuilds resumption state from Checkpoint() output.
+  /// Rebuilds resumption state from Checkpoint() output. Accepts any
+  /// checkpoint version (v1+), including one written at a different
+  /// metadata-plane shard count.
   Status Restore(const std::string& checkpoint) {
     return invalidator_.Restore(checkpoint);
   }

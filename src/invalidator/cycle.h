@@ -1,0 +1,162 @@
+#ifndef CACHEPORTAL_INVALIDATOR_CYCLE_H_
+#define CACHEPORTAL_INVALIDATOR_CYCLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "db/database.h"
+#include "db/delta.h"
+#include "invalidator/info_manager.h"
+#include "invalidator/metadata_plane.h"
+#include "invalidator/options.h"
+#include "invalidator/overload.h"
+#include "invalidator/polling_cache.h"
+#include "invalidator/scheduler.h"
+#include "invalidator/sinks.h"
+#include "sniffer/qiurl_map.h"
+#include "sql/ast.h"
+
+namespace cacheportal::invalidator {
+
+/// The degradation rung, resolved into the concrete knobs each stage
+/// reads — overload behavior is a policy OBJECT the stages consume, not
+/// inline mode branches scattered through the cycle.
+struct StagePolicy {
+  DegradationMode mode = DegradationMode::kNormal;
+  /// This cycle's polling budget (0 = unlimited). Already shrunk when
+  /// the rung is kEconomy.
+  size_t poll_budget = 0;
+  /// Skip polling entirely; every undecided instance is condemned
+  /// (kConservative, or kEconomy with a zero economy budget).
+  bool skip_polls = false;
+  /// Skip analysis too: table-scoped flush of every instance reading a
+  /// backlogged table (kEmergency).
+  bool flush_only = false;
+};
+
+/// Resolves a rung into the stage knobs, using the configured budgets.
+StagePolicy MakeStagePolicy(DegradationMode mode,
+                            const InvalidatorOptions& options);
+
+/// One instance's slot in the parallel analysis fan-out: read-only inputs
+/// set up serially, verdict written by exactly one worker, stats merged
+/// serially afterwards — in instance order, so cycle results are
+/// identical at every worker count.
+struct InstanceAnalysis {
+  // Inputs.
+  uint64_t type_id = 0;
+  uint64_t instance_id = 0;
+  const QueryInstance* instance = nullptr;
+
+  // Verdict.
+  Status status;                   // Analysis error, reported at merge.
+  bool multi_table_guard = false;  // >= 2 FROM tables updated together.
+  bool checked = false;
+  bool affected = false;           // Decided by condition analysis.
+  bool index_affected = false;     // Decided by a join-index answer.
+  uint64_t index_answers = 0;      // Polls answered without the DBMS.
+  std::vector<std::unique_ptr<sql::SelectStatement>> remaining_polls;
+  size_t affected_pages = 0;       // Cached pages riding on the verdict.
+  Micros check_time = 0;
+  // Matcher bookkeeping (merged serially into MatcherStats).
+  uint64_t matcher_excluded = 0;        // Tuples pruned before analysis.
+  uint64_t matcher_short_circuits = 0;  // Tables decided with no AST work.
+};
+
+/// One merged view of a table's delta tuples, built once per cycle and
+/// shared (borrowed) by every instance analysis — inserts first, then
+/// deletes, the order the per-instance copies used to have.
+struct TableTuples {
+  std::string table;  // Lower-cased (DeltaSet::Tables() key).
+  std::vector<const db::Row*> tuples;
+};
+
+/// The state one synchronization cycle threads through its stages.
+/// IngestStage fills the top, ImpactStage turns deltas into verdicts and
+/// polling tasks, PollStage decides the undecided, DeliverStage turns
+/// `affected` into eject messages. Each stage reads what earlier stages
+/// wrote and nothing else, so any stage is testable in isolation by
+/// hand-building its input context.
+struct CycleContext {
+  /// Cycle start time (orders polling deadlines).
+  Micros start = 0;
+  /// The degradation rung, resolved into stage knobs.
+  StagePolicy policy;
+  /// The summary RunCycle returns; every stage contributes counters.
+  CycleReport report;
+  /// False after IngestStage when the update log had nothing — the
+  /// remaining stages are skipped (registration still happened).
+  bool proceed = false;
+
+  // ---- IngestStage output. ----
+  db::DeltaSet deltas;
+  /// One merged tuple view per updated table, borrowed by every
+  /// analysis.
+  std::vector<TableTuples> merged;
+
+  // ---- ImpactStage output. ----
+  /// The per-instance work snapshot with verdicts merged in.
+  std::vector<InstanceAnalysis> work;
+  /// SQL of every instance decided affected so far (ordered — delivery
+  /// iterates it deterministically).
+  std::set<std::string> affected;
+  /// Undecided instances' polling work, handed to PollStage.
+  std::vector<PollingTask> tasks;
+};
+
+/// Everything the stages borrow from the invalidator that owns them.
+/// All pointers are non-owning; `pool`, `polling_cache`, and `overload`
+/// may be null. A test can hand-build one of these around fixture
+/// objects to run a single stage in isolation.
+struct StageEnv {
+  db::Database* database = nullptr;
+  sniffer::QiUrlMap* map = nullptr;
+  const Clock* clock = nullptr;
+  const InvalidatorOptions* options = nullptr;
+  MetadataPlane* plane = nullptr;
+  InformationManager* info = nullptr;
+  const InvalidationScheduler* scheduler = nullptr;
+  PollingDataCache* polling_cache = nullptr;
+  ThreadPool* pool = nullptr;
+  OverloadController* overload = nullptr;
+  const std::vector<InvalidationSink*>* sinks = nullptr;
+  InvalidatorStats* stats = nullptr;
+  /// Cycle-side matcher counters (probes, exclusions, consolidation);
+  /// the compile-side counters live in the plane's shards.
+  MatcherStats* cycle_matcher_stats = nullptr;
+  uint64_t* last_update_seq = nullptr;
+  /// QiUrlMap epoch snapshot from the last ingest scan; lets the next
+  /// scan skip ReadSince when the row set is untouched. May be null
+  /// (always scan); nullopt forces the next scan (e.g. after Restore).
+  std::optional<uint64_t>* last_map_epoch = nullptr;
+  /// Executes one polling query against the configured target. Must be
+  /// safe to call from pool workers.
+  std::function<Result<db::QueryResult>(const std::string&)> execute_poll;
+  /// Reads this planning point's overload signals (unused when
+  /// `overload` is null).
+  std::function<OverloadSignals()> observe_signals;
+};
+
+/// Runs fn(i) for i in [0, n): inline when `pool` is null or n <= 1,
+/// sharded across the pool otherwise.
+inline void RunStageParallel(ThreadPool* pool, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_CYCLE_H_

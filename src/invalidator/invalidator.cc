@@ -3,15 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <optional>
-#include <set>
-#include <unordered_map>
 #include <utility>
 
-#include "common/logging.h"
 #include "common/strings.h"
-#include "db/delta.h"
-#include "sql/analyzer.h"
-#include "sql/printer.h"
+#include "invalidator/stages.h"
+#include "sql/template.h"
 
 namespace cacheportal::invalidator {
 
@@ -21,6 +17,7 @@ Invalidator::Invalidator(db::Database* database, sniffer::QiUrlMap* map,
       map_(map),
       clock_(clock),
       options_(options),
+      plane_(database, options.metadata_shards, options.use_type_matcher),
       info_(database),
       scheduler_(options.max_polls_per_cycle) {
   policy_.SetThresholds(options_.thresholds);
@@ -44,10 +41,13 @@ void Invalidator::AddSink(InvalidationSink* sink) { sinks_.push_back(sink); }
 
 Status Invalidator::RegisterQueryType(const std::string& name,
                                       const std::string& parameterized_sql) {
-  CACHEPORTAL_ASSIGN_OR_RETURN(uint64_t id,
-                               registry_.RegisterType(name,
-                                                      parameterized_sql));
-  (void)id;
+  return plane_.RegisterType(name, parameterized_sql);
+}
+
+Status Invalidator::RegisterInstance(const std::string& sql) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(const QueryInstance* instance,
+                               plane_.RegisterInstance(sql));
+  (void)instance;
   return Status::OK();
 }
 
@@ -57,7 +57,7 @@ Status Invalidator::CreateJoinIndex(const std::string& table,
 }
 
 bool Invalidator::IsQuerySqlCacheable(const std::string& sql_text) const {
-  const QueryInstance* instance = registry_.FindInstance(sql_text);
+  const QueryInstance* instance = plane_.FindInstance(sql_text);
   uint64_t type_id = 0;
   if (instance != nullptr) {
     type_id = instance->type_id;
@@ -68,9 +68,17 @@ bool Invalidator::IsQuerySqlCacheable(const std::string& sql_text) const {
     if (!tmpl.ok()) return true;  // Unknown queries default to yes.
     type_id = tmpl->type_id;
   }
-  const QueryType* type = registry_.FindType(type_id);
+  const QueryType* type = plane_.FindType(type_id);
   if (type == nullptr) return true;
   return type->cacheable;
+}
+
+MatcherStats Invalidator::matcher_stats() const {
+  MatcherStats merged = cycle_matcher_stats_;
+  MatcherStats compile = plane_.CompileStats();
+  merged.types_compiled = compile.types_compiled;
+  merged.types_handled = compile.types_handled;
+  return merged;
 }
 
 std::string Invalidator::StatsReport() const {
@@ -97,7 +105,9 @@ std::string Invalidator::StatsReport() const {
     if (observable == nullptr) continue;
     out += StrCat("  sink ", i, " ", observable->HealthReport(), "\n");
   }
-  registry_.ForEachType([&](const QueryType& type) {
+  // The plane's merged iteration is ascending type_id across all shards,
+  // so this block is byte-identical at any shard count.
+  plane_.ForEachType([&](const QueryType& type) {
     const QueryTypeStats& ts = type.stats;
     out += StrCat("  type '", type.name, "'",
                   type.cacheable ? "" : " [non-cacheable]",
@@ -115,14 +125,33 @@ namespace {
 /// Checkpoint framing. Sink states are opaque bytes (they may contain
 /// newlines and serialized HTTP), so they travel as length-prefixed
 /// blocks rather than lines.
-constexpr char kCheckpointMagic[] = "cacheportal-invalidator-checkpoint 1";
+///
+/// v3 (current): per-shard QI/URL-map cursors.
+///   cacheportal-invalidator-checkpoint 3
+///   update_seq N
+///   shards K
+///   shard_map_id I CURSOR     (K lines, I in [0, K))
+///   sink I LEN \n <LEN bytes> \n   (per checkpointable sink)
+///   end
+///
+/// v1/v2 (legacy, still restorable): one `map_id N` line instead of the
+/// shards/shard_map_id block — shard count 1 assumed, the single cursor
+/// standing for the merged (minimum) position. Restore treats both the
+/// same way: cursors rewind to zero regardless (the in-memory registry
+/// died with the process), so only validation differs.
+constexpr char kCheckpointMagicV1[] = "cacheportal-invalidator-checkpoint 1";
+constexpr char kCheckpointMagicV3[] = "cacheportal-invalidator-checkpoint 3";
 
 }  // namespace
 
 std::string Invalidator::Checkpoint() const {
-  std::string out = StrCat(kCheckpointMagic, "\n",
+  std::vector<uint64_t> cursors = plane_.MapCursors();
+  std::string out = StrCat(kCheckpointMagicV3, "\n",
                            "update_seq ", last_update_seq_, "\n",
-                           "map_id ", last_map_id_, "\n");
+                           "shards ", cursors.size(), "\n");
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    out += StrCat("shard_map_id ", i, " ", cursors[i], "\n");
+  }
   for (size_t i = 0; i < sinks_.size(); ++i) {
     const auto* durable = dynamic_cast<const CheckpointableSink*>(sinks_[i]);
     if (durable == nullptr) continue;
@@ -147,12 +176,22 @@ Status Invalidator::Restore(const std::string& checkpoint) {
   };
 
   std::optional<std::string> magic = next_line();
-  if (!magic.has_value() || *magic != kCheckpointMagic) {
+  if (!magic.has_value()) {
+    return Status::ParseError("not an invalidator checkpoint");
+  }
+  int version = 0;
+  if (*magic == kCheckpointMagicV1) {
+    version = 1;
+  } else if (*magic == kCheckpointMagicV3) {
+    version = 3;
+  } else {
     return Status::ParseError("not an invalidator checkpoint");
   }
   uint64_t update_seq = 0;
   bool saw_update_seq = false;
   bool saw_end = false;
+  std::optional<uint64_t> shard_count;
+  std::map<uint64_t, uint64_t> shard_cursors;
   std::map<size_t, std::string> sink_states;
   while (std::optional<std::string> line = next_line()) {
     std::vector<std::string> fields = StrSplit(*line, ' ');
@@ -164,7 +203,9 @@ Status Invalidator::Restore(const std::string& checkpoint) {
     // All numeric fields parse strictly: a corrupt `update_seq` that
     // strtoull would coerce to 0 must fail loudly, not silently rewind
     // the cursor to the log's beginning (replaying every update), and a
-    // garbled sink index must not misassign durable sink state.
+    // garbled sink index must not misassign durable sink state. Record
+    // types are version-gated: a v1 blob carrying shard records (or a v3
+    // blob carrying `map_id`) is corrupt, not merely old.
     if (fields[0] == "update_seq" && fields.size() == 2) {
       Result<uint64_t> seq = ParseUint64(fields[1]);
       if (!seq.ok()) {
@@ -173,7 +214,7 @@ Status Invalidator::Restore(const std::string& checkpoint) {
       }
       update_seq = *seq;
       saw_update_seq = true;
-    } else if (fields[0] == "map_id" && fields.size() == 2) {
+    } else if (version == 1 && fields[0] == "map_id" && fields.size() == 2) {
       // The value is unused (restore rescans the map from zero, see the
       // header comment) but still validated: a garbled cursor means a
       // garbled checkpoint.
@@ -181,6 +222,25 @@ Status Invalidator::Restore(const std::string& checkpoint) {
       if (!map_id.ok()) {
         return Status::ParseError(StrCat("bad map_id in checkpoint: ",
                                          map_id.status().message()));
+      }
+    } else if (version == 3 && fields[0] == "shards" && fields.size() == 2) {
+      Result<uint64_t> count = ParseUint64(fields[1]);
+      if (!count.ok() || *count == 0) {
+        return Status::ParseError(StrCat("bad shard count in checkpoint: ",
+                                         fields[1]));
+      }
+      shard_count = *count;
+    } else if (version == 3 && fields[0] == "shard_map_id" &&
+               fields.size() == 3) {
+      Result<uint64_t> index = ParseUint64(fields[1]);
+      Result<uint64_t> cursor = ParseUint64(fields[2]);
+      if (!index.ok() || !cursor.ok()) {
+        return Status::ParseError(
+            StrCat("bad shard_map_id record in checkpoint: ", *line));
+      }
+      if (!shard_cursors.emplace(*index, *cursor).second) {
+        return Status::ParseError(
+            StrCat("duplicate shard_map_id record in checkpoint: ", *line));
       }
     } else if (fields[0] == "sink" && fields.size() == 3) {
       Result<uint64_t> index = ParseUint64(fields[1]);
@@ -202,6 +262,26 @@ Status Invalidator::Restore(const std::string& checkpoint) {
   if (!saw_end || !saw_update_seq) {
     return Status::ParseError("truncated invalidator checkpoint");
   }
+  if (version == 3) {
+    if (!shard_count.has_value()) {
+      return Status::ParseError("checkpoint missing shard count");
+    }
+    if (shard_cursors.size() != *shard_count) {
+      return Status::ParseError(
+          StrCat("checkpoint declares ", *shard_count, " shards but carries ",
+                 shard_cursors.size(), " cursors"));
+    }
+    for (const auto& [index, cursor] : shard_cursors) {
+      if (index >= *shard_count) {
+        return Status::ParseError(
+            StrCat("checkpoint shard cursor index ", index,
+                   " out of range (", *shard_count, " shards)"));
+      }
+    }
+    // A different live shard count is fine: cursors rewind to zero below
+    // either way, so the persisted partitioning never constrains the new
+    // process's configuration.
+  }
   for (const auto& [index, state] : sink_states) {
     if (index >= sinks_.size()) {
       return Status::InvalidArgument(
@@ -217,43 +297,64 @@ Status Invalidator::Restore(const std::string& checkpoint) {
     CACHEPORTAL_RETURN_NOT_OK(durable->RestoreState(state));
   }
   last_update_seq_ = update_seq;
-  last_map_id_ = 0;
+  plane_.ResetMapCursors();
+  last_map_epoch_.reset();  // Force the next cycle's map scan.
   return Status::OK();
 }
 
-void Invalidator::RunParallel(size_t n,
-                              const std::function<void(size_t)>& fn) {
-  if (pool_ == nullptr || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  pool_->ParallelFor(n, fn);
+StageEnv Invalidator::MakeStageEnv() {
+  StageEnv env;
+  env.database = database_;
+  env.map = map_;
+  env.clock = clock_;
+  env.options = &options_;
+  env.plane = &plane_;
+  env.info = &info_;
+  env.scheduler = &scheduler_;
+  env.polling_cache = polling_cache_.get();
+  env.pool = pool_.get();
+  env.overload = overload_.get();
+  env.sinks = &sinks_;
+  env.stats = &stats_;
+  env.cycle_matcher_stats = &cycle_matcher_stats_;
+  env.last_update_seq = &last_update_seq_;
+  env.last_map_epoch = &last_map_epoch_;
+  env.execute_poll = [this](const std::string& poll_sql) {
+    return ExecutePoll(poll_sql);
+  };
+  env.observe_signals = [this] { return ObserveOverloadSignals(); };
+  return env;
 }
 
-void Invalidator::IndexInstance(const QueryInstance& instance) {
-  if (!options_.use_type_matcher) return;
-  auto it = matchers_.find(instance.type_id);
-  if (it == matchers_.end()) {
-    const QueryType* type = registry_.FindType(instance.type_id);
-    if (type == nullptr) return;
-    TypeMatcher matcher = TypeMatcher::Compile(*type, *database_);
-    ++matcher_stats_.types_compiled;
-    if (matcher.handled()) ++matcher_stats_.types_handled;
-    it = matchers_.emplace(instance.type_id, std::move(matcher)).first;
-  }
-  if (it->second.handled()) bind_index_.AddInstance(it->second, instance);
-}
+Result<CycleReport> Invalidator::RunCycle() {
+  CycleContext ctx;
+  ctx.start = clock_->NowMicros();
+  ++stats_.cycles;
 
-void Invalidator::RetireInstance(const std::string& instance_sql) {
-  const QueryInstance* instance = registry_.FindInstance(instance_sql);
-  if (instance != nullptr) bind_index_.RemoveInstance(instance->instance_id);
-  registry_.UnregisterInstance(instance_sql);
+  StageEnv env = MakeStageEnv();
+  CACHEPORTAL_RETURN_NOT_OK(IngestStage(env).Run(ctx));
+  if (ctx.proceed) {
+    CACHEPORTAL_RETURN_NOT_OK(ImpactStage(env).Run(ctx));
+    CACHEPORTAL_RETURN_NOT_OK(PollStage(env).Run(ctx));
+    CACHEPORTAL_RETURN_NOT_OK(DeliverStage(env).Run(ctx));
+
+    // ---- Policy discovery: refresh cacheability verdicts. ----
+    plane_.ForEachTypeMutable([&](QueryType& type) {
+      type.cacheable = policy_.IsQueryTypeCacheable(type);
+    });
+  }
+
+  ctx.report.duration = clock_->NowMicros() - ctx.start;
+  last_cycle_duration_ = ctx.report.duration;
+  return ctx.report;
 }
 
 Result<db::QueryResult> Invalidator::ExecutePoll(const std::string& poll_sql) {
-  if (polling_connection_ != nullptr) {
+  server::Connection* external =
+      polling_connection_.load(std::memory_order_acquire);
+  if (external != nullptr) {
     std::lock_guard<std::mutex> lock(polling_connection_mu_);
-    return polling_connection_->ExecuteQuery(poll_sql);
+    return external->ExecuteQuery(poll_sql);
   }
   if (polling_cache_ != nullptr) {
     return polling_cache_->ExecuteQuery(poll_sql);
@@ -280,823 +381,6 @@ OverloadSignals Invalidator::ObserveOverloadSignals() const {
   }
   signals.last_cycle_latency = last_cycle_duration_;
   return signals;
-}
-
-namespace {
-
-/// One instance's slot in the parallel analysis fan-out: read-only inputs
-/// set up serially, verdict written by exactly one worker, stats merged
-/// serially afterwards — in instance order, so cycle results are
-/// identical at every worker count.
-struct InstanceAnalysis {
-  // Inputs.
-  uint64_t type_id = 0;
-  uint64_t instance_id = 0;
-  const QueryInstance* instance = nullptr;
-
-  // Verdict.
-  Status status;                   // Analysis error, reported at merge.
-  bool multi_table_guard = false;  // >= 2 FROM tables updated together.
-  bool checked = false;
-  bool affected = false;           // Decided by condition analysis.
-  bool index_affected = false;     // Decided by a join-index answer.
-  uint64_t index_answers = 0;      // Polls answered without the DBMS.
-  std::vector<std::unique_ptr<sql::SelectStatement>> remaining_polls;
-  size_t affected_pages = 0;       // Cached pages riding on the verdict.
-  Micros check_time = 0;
-  // Matcher bookkeeping (merged serially into MatcherStats).
-  uint64_t matcher_excluded = 0;        // Tuples pruned before analysis.
-  uint64_t matcher_short_circuits = 0;  // Tables decided with no AST work.
-};
-
-/// One merged view of a table's delta tuples, built once per cycle and
-/// shared (borrowed) by every instance analysis — inserts first, then
-/// deletes, the order the per-instance copies used to have.
-struct TableTuples {
-  std::string table;  // Lower-cased (DeltaSet::Tables() key).
-  std::vector<const db::Row*> tuples;
-};
-
-/// Index-probe result for one (query type, delta table): per-instance
-/// candidate tuple lists plus the tuples every instance must consider
-/// (NULL/boolean column values). Built serially, read-only in the
-/// fan-out. Both lists are ascending and duplicate-free, so a sorted
-/// merge reconstructs each instance's candidate tuples in delta order.
-struct TableProbe {
-  std::vector<uint32_t> all_tuples;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> per_id;
-};
-
-/// One instance's polling work in the parallel polling fan-out. The
-/// scheduler emits an instance's polls contiguously, so grouping is a
-/// single pass; polls within a group run in order and short-circuit on
-/// the first hit or failure, exactly like the serial loop.
-struct PollGroup {
-  std::string instance_sql;
-  uint64_t type_id = 0;
-  std::vector<std::unique_ptr<sql::SelectStatement>> queries;
-
-  // Outcome.
-  uint64_t polls_issued = 0;
-  bool poll_hit = false;
-  bool conservative = false;  // A poll failed; invalidate conservatively.
-  std::string failure;        // The failed poll's status, for the log.
-};
-
-/// One consolidated polling statement: the OR of the residual WHEREs of
-/// several instances' polls against one (type, target table), executed
-/// as a single DBMS round trip and demultiplexed in-process.
-struct MergedPoll {
-  sql::TableRef from;
-  std::vector<size_t> groups;  // Member PollGroup indexes, in group order.
-  struct MemberRef {
-    size_t group = 0;
-    size_t query = 0;  // Index into that group's queries.
-  };
-  std::vector<MemberRef> members;
-  std::unique_ptr<sql::SelectStatement> statement;
-
-  // Outcome (written by the one worker owning this poll).
-  bool failed = false;
-  std::string failure;
-  std::set<size_t> hit_groups;
-};
-
-/// Does `row` (a SELECT * result over `from`) satisfy a member poll's
-/// residual WHERE? Decided with the same substitution + fold the impact
-/// analyzer and the executor use, so the demultiplexed verdict equals
-/// what the member's own `SELECT 1 ... LIMIT 1` poll would have returned.
-bool RowSatisfies(const sql::Expression& where, const sql::TableRef& from,
-                  const std::vector<std::string>& columns,
-                  const db::Row& row) {
-  auto substituter = [&](const std::string& tbl, const std::string& col)
-      -> std::optional<sql::Value> {
-    if (!tbl.empty() && !EqualsIgnoreCase(tbl, from.EffectiveName())) {
-      return std::nullopt;
-    }
-    for (size_t i = 0; i < columns.size() && i < row.size(); ++i) {
-      if (EqualsIgnoreCase(columns[i], col)) return row[i];
-    }
-    return std::nullopt;
-  };
-  sql::FoldResult folded =
-      sql::FoldConstants(*sql::SubstituteColumns(where, substituter));
-  // A residual would mean the row lacks a referenced column (cannot
-  // happen: SELECT * carries the whole schema); count it as a hit rather
-  // than risk staleness.
-  return folded.outcome == sql::FoldOutcome::kTrue ||
-         folded.outcome == sql::FoldOutcome::kResidual;
-}
-
-/// A fully built eject message, ready for per-sink delivery.
-struct Eject {
-  std::string page_key;
-  http::HttpRequest request;
-};
-
-/// Per-sink delivery counters, accumulated on the worker that owns the
-/// sink and merged serially.
-struct SinkTally {
-  uint64_t sent = 0;
-  uint64_t failures = 0;
-  std::vector<std::string> warnings;
-};
-
-}  // namespace
-
-Result<CycleReport> Invalidator::RunCycle() {
-  CycleReport report;
-  Micros start = clock_->NowMicros();
-  ++stats_.cycles;
-
-  // ---- Overload planning: pick this cycle's degradation rung. ----
-  // Signals are observed BEFORE the log is consumed (the backlog is the
-  // evidence) and are deterministic functions of the clock and pipeline
-  // state, so the mode sequence is identical at every worker count.
-  DegradationMode mode = DegradationMode::kNormal;
-  if (overload_ != nullptr) {
-    mode = overload_->Plan(ObserveOverloadSignals());
-  }
-  report.mode = mode;
-
-  // ---- Registration module, online mode: scan the QI/URL map. ----
-  for (const sniffer::QiUrlEntry& entry : map_->ReadSince(last_map_id_)) {
-    last_map_id_ = std::max(last_map_id_, entry.id);
-    Result<const QueryInstance*> instance =
-        registry_.RegisterInstance(entry.query_sql);
-    if (!instance.ok()) {
-      // Unparseable query: nothing we can safely track. Drop its pages
-      // from consideration (they were cached under a query we cannot
-      // invalidate — treat as immediately suspect).
-      LogMessage(LogLevel::kWarning,
-                 StrCat("cannot register query instance: ",
-                        instance.status().ToString()));
-      continue;
-    }
-    ++report.new_instances;
-    ++stats_.instances_registered;
-    IndexInstance(**instance);
-  }
-
-  // ---- Invalidation module: pull the update log. ----
-  std::vector<db::UpdateRecord> records =
-      database_->update_log().ReadSince(last_update_seq_);
-  if (!records.empty()) last_update_seq_ = records.back().seq;
-  report.updates = records.size();
-  stats_.updates_processed += records.size();
-
-  if (records.empty()) {
-    report.duration = clock_->NowMicros() - start;
-    last_cycle_duration_ = report.duration;
-    return report;
-  }
-
-  db::DeltaSet deltas = db::DeltaSet::FromRecords(records);
-  // The internal polling cache must not serve results that predate this
-  // batch: drop everything reading an updated table first.
-  if (polling_cache_ != nullptr) polling_cache_->Synchronize(deltas);
-  // Keep the information manager's auxiliary structures current *after*
-  // analysis would be wrong for deletes (the index must reflect the state
-  // including this batch for inserts when answering polls). The paper's
-  // daemon applies the same update stream it analyzes; we apply before
-  // answering polls so index answers match the database state the polls
-  // would see.
-  info_.ApplyDeltas(deltas);
-
-  std::set<std::string> affected_instances;
-
-  // ---- Emergency rung: table-scoped flush, no analysis, no polling. ----
-  // Precision is abandoned for this cycle: every registered instance
-  // reading a table with backlogged updates is invalidated outright, and
-  // the cursor has already fast-forwarded past the whole backlog above —
-  // unbounded staleness becomes bounded over-invalidation. Instances
-  // reading only untouched tables are provably unaffected and skipped.
-  if (mode == DegradationMode::kEmergency) {
-    registry_.ForEachType([&](const QueryType& type) {
-      registry_.ForEachInstanceOfType(
-          type.type_id, [&](const QueryInstance& instance) {
-            if (map_->NumPagesForQuery(instance.sql) == 0) return;
-            bool reads_updated_table = false;
-            for (const sql::TableRef& ref : instance.statement->from) {
-              if (!deltas.ForTable(ref.table).empty()) {
-                reads_updated_table = true;
-                break;
-              }
-            }
-            if (!reads_updated_table) return;
-            if (affected_instances.insert(instance.sql).second) {
-              ++stats_.emergency_flushes;
-              ++stats_.conservative_invalidations;
-              ++report.conservative_invalidations;
-            }
-          });
-    });
-  }
-
-  // ---- Impact analysis (Section 4.1.2's grouping), parallel phase. ----
-  // Serial pre-pass: snapshot the per-instance work list and retire
-  // instances whose pages already left the cache (evicted or invalidated
-  // through another instance). Registry mutation stays on this thread;
-  // the snapshot's QueryInstance pointers stay valid because nothing
-  // mutates the registry until the merge. An emergency cycle decided
-  // everything above, so its work list stays empty.
-  std::vector<InstanceAnalysis> work;
-  if (mode != DegradationMode::kEmergency) {
-    work.reserve(registry_.NumInstances());
-    std::vector<std::string> retired;
-    registry_.ForEachType([&](const QueryType& type) {
-      registry_.ForEachInstanceOfType(
-          type.type_id, [&](const QueryInstance& instance) {
-            if (map_->NumPagesForQuery(instance.sql) == 0) {
-              retired.push_back(instance.sql);
-              return;
-            }
-            InstanceAnalysis analysis;
-            analysis.type_id = type.type_id;
-            analysis.instance_id = instance.instance_id;
-            analysis.instance = &instance;
-            work.push_back(std::move(analysis));
-          });
-    });
-    for (const std::string& instance_sql : retired) {
-      RetireInstance(instance_sql);
-    }
-  }
-
-  // One merged tuple view per updated table (inserts then deletes, the
-  // order the per-instance copies used to have), borrowed by every
-  // analysis this cycle instead of copied per instance.
-  std::vector<TableTuples> merged;
-  for (const std::string& table : deltas.Tables()) {
-    const db::TableDelta& delta = deltas.ForTable(table);
-    TableTuples view;
-    view.table = table;
-    view.tuples.reserve(delta.inserts.size() + delta.deletes.size());
-    for (const db::Row& row : delta.inserts) view.tuples.push_back(&row);
-    for (const db::Row& row : delta.deletes) view.tuples.push_back(&row);
-    if (!view.tuples.empty()) merged.push_back(std::move(view));
-  }
-
-  // ---- Index probe phase (serial): each delta tuple probes the bind
-  // index once per covered (type, table), producing per-instance
-  // candidate tuple lists. Instances absent from every list are provably
-  // unaffected — the fan-out below skips their AST work entirely.
-  std::map<std::pair<uint64_t, size_t>, TableProbe> probes;
-  if (options_.use_type_matcher && !work.empty()) {
-    std::vector<uint64_t> work_types;  // Distinct, in work (type) order.
-    for (const InstanceAnalysis& a : work) {
-      if (work_types.empty() || work_types.back() != a.type_id) {
-        work_types.push_back(a.type_id);
-      }
-    }
-    for (uint64_t type_id : work_types) {
-      auto matcher_it = matchers_.find(type_id);
-      if (matcher_it == matchers_.end() || !matcher_it->second.handled()) {
-        continue;
-      }
-      // Exclusion is only sound if every live instance of the type is
-      // indexed; a mismatch (cannot happen while all registrations and
-      // retirements flow through IndexInstance/RetireInstance) falls
-      // back to the interpreted path for the whole type.
-      if (bind_index_.IndexedCountOfType(type_id) !=
-          registry_.NumInstancesOfType(type_id)) {
-        continue;
-      }
-      for (size_t t = 0; t < merged.size(); ++t) {
-        const CompiledAnchor* anchor =
-            matcher_it->second.AnchorFor(merged[t].table);
-        if (anchor == nullptr) continue;
-        TableProbe probe;
-        for (uint32_t ti = 0; ti < merged[t].tuples.size(); ++ti) {
-          ++matcher_stats_.probes;
-          const db::Row& row = *merged[t].tuples[ti];
-          if (anchor->column_index >= row.size()) {
-            // Malformed row; the analyzer will report it. Everyone looks.
-            probe.all_tuples.push_back(ti);
-            continue;
-          }
-          BindIndex::Candidates candidates = bind_index_.Probe(
-              type_id, merged[t].table, *anchor, row[anchor->column_index]);
-          if (candidates.all) {
-            probe.all_tuples.push_back(ti);
-            continue;
-          }
-          for (uint64_t id : candidates.ids) {
-            probe.per_id[id].push_back(ti);
-          }
-        }
-        probes.emplace(std::make_pair(type_id, t), std::move(probe));
-      }
-    }
-  }
-
-  // Soundness guard input, hoisted per type: polling queries run against
-  // the post-update database, so a batch touching two or more of a
-  // query's FROM relations must invalidate conservatively (a poll can
-  // miss impacts, e.g. both join partners deleted together). The count
-  // depends only on the type's FROM list — identical for every instance
-  // of the type — so compute it once per type, not once per instance.
-  std::unordered_map<uint64_t, int> delta_tables_by_type;
-  for (const InstanceAnalysis& a : work) {
-    if (delta_tables_by_type.contains(a.type_id)) continue;
-    int n = 0;
-    for (const sql::TableRef& ref : a.instance->statement->from) {
-      if (!deltas.ForTable(ref.table).empty()) ++n;
-    }
-    delta_tables_by_type.emplace(a.type_id, n);
-  }
-
-  // Fan out: instances are independent given the batch's deltas. Workers
-  // touch only const reads (deltas, schemas, the QI/URL map, the probe
-  // results, join-index answers behind a shared lock) and their own work
-  // slot. The analyzer is stateless; one per cycle, shared by all
-  // workers.
-  const ImpactAnalyzer analyzer(database_);
-  RunParallel(work.size(), [&](size_t i) {
-    InstanceAnalysis& a = work[i];
-    const QueryInstance& instance = *a.instance;
-
-    if (delta_tables_by_type.find(a.type_id)->second >= 2) {
-      a.multi_table_guard = true;
-      return;
-    }
-
-    Micros check_start = clock_->NowMicros();
-    bool affected = false;
-    std::vector<std::unique_ptr<sql::SelectStatement>> polls;
-    std::vector<const db::Row*> subset;
-    for (const TableTuples& view : merged) {
-      a.checked = true;
-      const std::vector<const db::Row*>* tuples = &view.tuples;
-      auto probe_it = probes.find(
-          std::make_pair(a.type_id, static_cast<size_t>(&view - &merged[0])));
-      if (probe_it != probes.end()) {
-        // Sorted-merge the tuples every instance must see with this
-        // instance's candidates: delta order is preserved, so verdicts
-        // and polling SQL match the interpreted path byte for byte.
-        const TableProbe& probe = probe_it->second;
-        auto own_it = probe.per_id.find(a.instance_id);
-        static const std::vector<uint32_t> kNone;
-        const std::vector<uint32_t>& own =
-            own_it == probe.per_id.end() ? kNone : own_it->second;
-        subset.clear();
-        subset.reserve(probe.all_tuples.size() + own.size());
-        size_t x = 0;
-        size_t y = 0;
-        while (x < probe.all_tuples.size() || y < own.size()) {
-          uint32_t next;
-          if (y >= own.size() ||
-              (x < probe.all_tuples.size() && probe.all_tuples[x] < own[y])) {
-            next = probe.all_tuples[x++];
-          } else {
-            next = own[y++];
-          }
-          subset.push_back(view.tuples[next]);
-        }
-        a.matcher_excluded += view.tuples.size() - subset.size();
-        if (subset.empty()) {
-          // Every tuple's probe excluded this instance: provably
-          // unaffected by this table with zero AST work.
-          ++a.matcher_short_circuits;
-          continue;
-        }
-        tuples = &subset;
-      }
-
-      if (options_.batch_deltas) {
-        Result<ImpactResult> impact =
-            analyzer.AnalyzeDelta(*instance.statement, view.table, *tuples);
-        if (!impact.ok()) {
-          a.status = impact.status();
-          return;
-        }
-        if (impact->kind == ImpactKind::kAffected) {
-          affected = true;
-          break;
-        }
-        if (impact->kind == ImpactKind::kNeedsPolling) {
-          polls.push_back(std::move(impact->polling_query));
-        }
-      } else {
-        for (const db::Row* tuple : *tuples) {
-          Result<ImpactResult> impact =
-              analyzer.AnalyzeTuple(*instance.statement, view.table, *tuple);
-          if (!impact.ok()) {
-            a.status = impact.status();
-            return;
-          }
-          if (impact->kind == ImpactKind::kAffected) {
-            affected = true;
-            break;
-          }
-          if (impact->kind == ImpactKind::kNeedsPolling) {
-            polls.push_back(std::move(impact->polling_query));
-          }
-        }
-        if (affected) break;
-      }
-    }
-    a.check_time = clock_->NowMicros() - check_start;
-    if (!a.checked) return;
-    if (affected) {
-      a.affected = true;
-      return;
-    }
-    if (polls.empty()) return;
-
-    // Try the information manager's indexes before scheduling DBMS
-    // polls.
-    for (auto& poll : polls) {
-      std::optional<bool> answer = info_.AnswerPoll(*poll);
-      if (answer.has_value()) {
-        ++a.index_answers;
-        if (*answer) {
-          a.index_affected = true;
-          return;
-        }
-      } else {
-        a.remaining_polls.push_back(std::move(poll));
-      }
-    }
-    a.affected_pages = map_->NumPagesForQuery(instance.sql);
-  });
-
-  // Serial merge, in snapshot order: fold verdicts into the lifetime and
-  // per-type stats and collect the polling tasks. Identical to what the
-  // serial loop would have produced.
-  std::vector<PollingTask> tasks;
-  QueryType* cached_type = nullptr;  // Work is grouped by type.
-  for (InstanceAnalysis& a : work) {
-    if (!a.status.ok()) return a.status;
-    if (cached_type == nullptr || cached_type->type_id != a.type_id) {
-      cached_type = registry_.FindType(a.type_id);
-    }
-    QueryType* mutable_type = cached_type;
-    const std::string& instance_sql = a.instance->sql;
-
-    if (a.multi_table_guard) {
-      ++report.checks;
-      ++stats_.instance_checks;
-      ++stats_.affected_immediately;
-      if (mutable_type != nullptr) {
-        ++mutable_type->stats.checks;
-        ++mutable_type->stats.affected;
-      }
-      affected_instances.insert(instance_sql);
-      continue;
-    }
-    if (!a.checked) continue;
-
-    matcher_stats_.tuples_excluded += a.matcher_excluded;
-    matcher_stats_.instances_short_circuited += a.matcher_short_circuits;
-    ++report.checks;
-    ++stats_.instance_checks;
-    if (mutable_type != nullptr) {
-      QueryTypeStats& ts = mutable_type->stats;
-      ++ts.checks;
-      ts.total_invalidation_time += a.check_time;
-      ts.max_invalidation_time =
-          std::max(ts.max_invalidation_time, a.check_time);
-    }
-
-    if (a.affected) {
-      affected_instances.insert(instance_sql);
-      ++stats_.affected_immediately;
-      if (mutable_type != nullptr) ++mutable_type->stats.affected;
-      continue;
-    }
-    stats_.polls_answered_by_index += a.index_answers;
-    report.polls_answered_by_index += a.index_answers;
-    if (a.index_affected) {
-      affected_instances.insert(instance_sql);
-      if (mutable_type != nullptr) ++mutable_type->stats.affected;
-      continue;
-    }
-    if (a.remaining_polls.empty()) {
-      ++stats_.unaffected;
-      continue;
-    }
-    for (auto& poll : a.remaining_polls) {
-      PollingTask task;
-      task.instance_sql = instance_sql;
-      task.type_id = a.type_id;
-      task.query = std::move(poll);
-      task.deadline = start + options_.cycle_deadline;
-      task.affected_pages = a.affected_pages;
-      tasks.push_back(std::move(task));
-      if (mutable_type != nullptr) ++mutable_type->stats.polling_queries;
-    }
-  }
-
-  // ---- Schedule and execute polling queries, parallel phase. ----
-  // The degradation rung sets this cycle's effective polling budget:
-  // kEconomy shrinks it, kConservative (or an economy budget of 0)
-  // skips polling entirely — every undecided instance is condemned.
-  size_t effective_budget = options_.max_polls_per_cycle;
-  bool skip_polls = mode == DegradationMode::kConservative;
-  if (mode == DegradationMode::kEconomy) {
-    size_t economy = options_.overload.economy_poll_budget;
-    if (economy == 0) {
-      skip_polls = true;
-    } else {
-      effective_budget = effective_budget == 0
-                             ? economy
-                             : std::min(effective_budget, economy);
-    }
-  }
-  InvalidationScheduler::Schedule schedule;
-  if (skip_polls) {
-    // Condemn whole instances exactly like the scheduler would: one
-    // representative task per instance, in task order.
-    std::set<std::string> condemned;
-    for (PollingTask& task : tasks) {
-      if (condemned.insert(task.instance_sql).second) {
-        schedule.conservative.push_back(std::move(task));
-      }
-    }
-  } else {
-    schedule = scheduler_.BuildWithBudget(std::move(tasks),
-                                          effective_budget);
-  }
-
-  // Condemn budget-overflow instances BEFORE any poll is issued: a
-  // condemned instance is invalidated regardless, so polling any of its
-  // queries would be pure DBMS waste.
-  for (PollingTask& task : schedule.conservative) {
-    if (affected_instances.insert(task.instance_sql).second) {
-      ++stats_.conservative_invalidations;
-      ++report.conservative_invalidations;
-    }
-  }
-
-  // Group the admitted polls per instance (the scheduler emits them
-  // contiguously); instances the analysis already decided need no polls.
-  std::vector<PollGroup> poll_groups;
-  for (PollingTask& task : schedule.to_poll) {
-    if (affected_instances.contains(task.instance_sql)) continue;
-    if (poll_groups.empty() ||
-        poll_groups.back().instance_sql != task.instance_sql) {
-      poll_groups.emplace_back();
-      poll_groups.back().instance_sql = task.instance_sql;
-      poll_groups.back().type_id = task.type_id;
-    }
-    poll_groups.back().queries.push_back(std::move(task.query));
-  }
-
-  // Consolidation (the paper's type-level grouping applied to polling):
-  // instances of one type polling one single-table target share their
-  // residuals' shape, so their polls merge into chunks of
-  // `SELECT * FROM target WHERE (r1) OR (r2) OR ...` — one DBMS round
-  // trip per chunk — and each returned row is matched back to its member
-  // residuals in-process. Buckets with a single instance keep the exact
-  // per-query path (same polls_issued as ever). Which instances end up
-  // affected is unchanged; only the round-trip count (and, if a merged
-  // statement fails, the blast radius of conservatism) differs.
-  std::vector<MergedPoll> merged_polls;
-  std::vector<size_t> classic_groups;
-  if (options_.consolidate_polls && poll_groups.size() > 1) {
-    std::vector<bool> consolidated(poll_groups.size(), false);
-    std::map<std::tuple<uint64_t, std::string, std::string>,
-             std::vector<size_t>>
-        buckets;
-    for (size_t g = 0; g < poll_groups.size(); ++g) {
-      const PollGroup& group = poll_groups[g];
-      const sql::TableRef* target = nullptr;
-      bool mergeable = !group.queries.empty();
-      for (const auto& query : group.queries) {
-        if (query->from.size() != 1 || query->where == nullptr) {
-          mergeable = false;
-          break;
-        }
-        if (target == nullptr) {
-          target = &query->from[0];
-        } else if (!EqualsIgnoreCase(query->from[0].table, target->table) ||
-                   !EqualsIgnoreCase(query->from[0].alias, target->alias)) {
-          mergeable = false;
-          break;
-        }
-      }
-      if (!mergeable) continue;
-      buckets[{group.type_id, AsciiToLower(target->table),
-               AsciiToLower(target->alias)}]
-          .push_back(g);
-    }
-    for (const auto& [bucket_key, bucket_groups] : buckets) {
-      if (bucket_groups.size() < 2) continue;
-      size_t chunk = options_.consolidated_poll_chunk == 0
-                         ? bucket_groups.size()
-                         : options_.consolidated_poll_chunk;
-      for (size_t base = 0; base < bucket_groups.size(); base += chunk) {
-        size_t end = std::min(base + chunk, bucket_groups.size());
-        MergedPoll poll;
-        poll.from = poll_groups[bucket_groups[base]].queries[0]->from[0];
-        sql::ExpressionPtr disjunction;
-        for (size_t j = base; j < end; ++j) {
-          size_t g = bucket_groups[j];
-          poll.groups.push_back(g);
-          consolidated[g] = true;
-          for (size_t q = 0; q < poll_groups[g].queries.size(); ++q) {
-            poll.members.push_back({g, q});
-            sql::ExpressionPtr clause = poll_groups[g].queries[q]->where->Clone();
-            disjunction = disjunction == nullptr
-                              ? std::move(clause)
-                              : std::make_unique<sql::BinaryExpr>(
-                                    sql::BinaryOp::kOr, std::move(disjunction),
-                                    std::move(clause));
-          }
-        }
-        auto statement = std::make_unique<sql::SelectStatement>();
-        sql::SelectItem star;
-        star.star = true;
-        statement->items.push_back(std::move(star));
-        statement->from.push_back(poll.from);
-        statement->where = std::move(disjunction);
-        poll.statement = std::move(statement);
-        merged_polls.push_back(std::move(poll));
-      }
-    }
-    for (size_t g = 0; g < poll_groups.size(); ++g) {
-      if (!consolidated[g]) classic_groups.push_back(g);
-    }
-  } else {
-    classic_groups.reserve(poll_groups.size());
-    for (size_t g = 0; g < poll_groups.size(); ++g) classic_groups.push_back(g);
-  }
-
-  // Fan out: one worker task per classic instance (its polls run in
-  // order and stop at the first hit or failure, like the serial loop) or
-  // per merged statement (one round trip, then in-process demux).
-  RunParallel(classic_groups.size() + merged_polls.size(), [&](size_t u) {
-    if (u < classic_groups.size()) {
-      PollGroup& group = poll_groups[classic_groups[u]];
-      for (const auto& query : group.queries) {
-        std::string poll_sql = sql::StatementToSql(*query);
-        ++group.polls_issued;
-        Result<db::QueryResult> result = ExecutePoll(poll_sql);
-        if (!result.ok()) {
-          group.conservative = true;
-          group.failure = result.status().ToString();
-          return;
-        }
-        if (!result->rows.empty()) {
-          group.poll_hit = true;
-          return;
-        }
-      }
-      return;
-    }
-    MergedPoll& poll = merged_polls[u - classic_groups.size()];
-    std::string poll_sql = sql::StatementToSql(*poll.statement);
-    Result<db::QueryResult> result = ExecutePoll(poll_sql);
-    if (!result.ok()) {
-      poll.failed = true;
-      poll.failure = result.status().ToString();
-      return;
-    }
-    for (const db::Row& row : result->rows) {
-      if (poll.hit_groups.size() == poll.groups.size()) break;
-      for (const MergedPoll::MemberRef& member : poll.members) {
-        if (poll.hit_groups.contains(member.group)) continue;
-        const auto& query = poll_groups[member.group].queries[member.query];
-        if (RowSatisfies(*query->where, poll.from, result->columns, row)) {
-          poll.hit_groups.insert(member.group);
-        }
-      }
-    }
-  });
-
-  // Serial merge in deterministic order: classic groups first (in group
-  // order), then merged polls (in bucket order).
-  for (size_t g : classic_groups) {
-    PollGroup& group = poll_groups[g];
-    stats_.polls_issued += group.polls_issued;
-    report.polls_issued += group.polls_issued;
-    if (group.conservative) {
-      // A failed poll must not leak staleness: invalidate conservatively.
-      LogMessage(LogLevel::kWarning,
-                 StrCat("polling query failed (", group.failure,
-                        "); invalidating conservatively"));
-      affected_instances.insert(group.instance_sql);
-      ++stats_.conservative_invalidations;
-      ++report.conservative_invalidations;
-      continue;
-    }
-    if (group.poll_hit) {
-      ++stats_.poll_hits;
-      affected_instances.insert(group.instance_sql);
-    }
-  }
-  for (MergedPoll& poll : merged_polls) {
-    ++stats_.polls_issued;
-    ++report.polls_issued;
-    ++matcher_stats_.consolidated_polls;
-    matcher_stats_.consolidated_members += poll.members.size();
-    if (poll.failed) {
-      // One failed round trip decides every member conservatively.
-      LogMessage(LogLevel::kWarning,
-                 StrCat("consolidated polling query failed (", poll.failure,
-                        "); invalidating ", poll.groups.size(),
-                        " instances conservatively"));
-      for (size_t g : poll.groups) {
-        affected_instances.insert(poll_groups[g].instance_sql);
-        ++stats_.conservative_invalidations;
-        ++report.conservative_invalidations;
-      }
-      continue;
-    }
-    for (size_t g : poll.groups) {
-      if (poll.hit_groups.contains(g)) {
-        ++stats_.poll_hits;
-        affected_instances.insert(poll_groups[g].instance_sql);
-      }
-    }
-  }
-
-  // ---- Generate invalidation messages, parallel phase. ----
-  report.affected_instances = affected_instances.size();
-
-  // Serial: collect the deduplicated page list (affected_instances is an
-  // ordered set, so the order is deterministic) and build each eject
-  // message — a normal HTTP request addressed at the page, carrying the
-  // Cache-Control: eject extension (Section 4.2.4).
-  std::vector<Eject> ejects;
-  std::set<std::string> pages_done;
-  for (const std::string& instance_sql : affected_instances) {
-    for (const std::string& page_key : map_->PagesForQuery(instance_sql)) {
-      if (!pages_done.insert(page_key).second) continue;
-      Eject eject;
-      eject.page_key = page_key;
-      Result<http::PageId> id = http::PageId::FromCacheKey(page_key);
-      if (id.ok()) {
-        eject.request.method = http::Method::kGet;
-        eject.request.host = id->host();
-        eject.request.path = id->path();
-        eject.request.get_params = id->get_params();
-        eject.request.post_params = id->post_params();
-        eject.request.cookies = id->cookie_params();
-      } else {
-        LogMessage(LogLevel::kWarning,
-                   StrCat("unparseable cache key '", page_key,
-                          "': ", id.status().ToString()));
-      }
-      http::CacheControl cc;
-      cc.eject = true;
-      eject.request.headers.Set("Cache-Control", cc.ToHeaderValue());
-      ejects.push_back(std::move(eject));
-    }
-  }
-
-  // Fan out across sinks: each sink is owned by one worker task, which
-  // delivers every message in order (preserving the per-sink FIFO a
-  // ReliableDeliveryQueue depends on) — sinks never see concurrent calls.
-  std::vector<SinkTally> tallies(sinks_.size());
-  RunParallel(sinks_.size(), [&](size_t s) {
-    InvalidationSink* sink = sinks_[s];
-    SinkTally& tally = tallies[s];
-    for (const Eject& eject : ejects) {
-      Status sent = sink->SendInvalidation(eject.request, eject.page_key);
-      ++tally.sent;
-      if (!sent.ok()) {
-        // A sink that rejects a message owns no retry state — without a
-        // ReliableDeliveryQueue in front, this page may stay stale in
-        // that cache. Surface it loudly (at the merge).
-        ++tally.failures;
-        tally.warnings.push_back(
-            StrCat("invalidation delivery failed for '", eject.page_key,
-                   "': ", sent.ToString()));
-      }
-    }
-  });
-  for (const SinkTally& tally : tallies) {
-    stats_.messages_sent += tally.sent;
-    stats_.send_failures += tally.failures;
-    for (const std::string& warning : tally.warnings) {
-      LogMessage(LogLevel::kWarning, warning);
-    }
-  }
-
-  // Serial post-pass: ejected pages leave the map (retiring their rows
-  // for every instance that fed them), and instances left without pages
-  // are unregistered.
-  for (const Eject& eject : ejects) {
-    map_->RemovePage(eject.page_key);
-    ++report.pages_invalidated;
-    ++stats_.pages_invalidated;
-  }
-  for (const std::string& instance_sql : affected_instances) {
-    if (map_->NumPagesForQuery(instance_sql) == 0) {
-      RetireInstance(instance_sql);
-    }
-  }
-
-  // ---- Policy discovery: refresh cacheability verdicts. ----
-  registry_.ForEachTypeMutable([&](QueryType& type) {
-    type.cacheable = policy_.IsQueryTypeCacheable(type);
-  });
-
-  report.duration = clock_->NowMicros() - start;
-  last_cycle_duration_ = report.duration;
-  return report;
 }
 
 }  // namespace cacheportal::invalidator

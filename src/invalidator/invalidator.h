@@ -1,11 +1,12 @@
 #ifndef CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_
 #define CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,173 +15,20 @@
 #include "common/thread_pool.h"
 #include "db/database.h"
 #include "http/message.h"
-#include "invalidator/bind_index.h"
-#include "invalidator/impact.h"
+#include "invalidator/cycle.h"
 #include "invalidator/info_manager.h"
+#include "invalidator/metadata_plane.h"
+#include "invalidator/options.h"
 #include "invalidator/overload.h"
 #include "invalidator/policy.h"
 #include "invalidator/polling_cache.h"
 #include "invalidator/registry.h"
 #include "invalidator/scheduler.h"
-#include "invalidator/type_matcher.h"
+#include "invalidator/sinks.h"
 #include "server/jdbc.h"
 #include "sniffer/qiurl_map.h"
 
 namespace cacheportal::invalidator {
-
-/// Receives the invalidation messages the invalidator generates
-/// (Section 4.2.4). The message is a normal HTTP request carrying
-/// `Cache-Control: eject`; `cache_key` is the addressed page's canonical
-/// identity. core::PageCacheSink adapts a cache::PageCache.
-///
-/// Delivery contract: ejects are idempotent (re-ejecting an absent page
-/// is a no-op), so a failed SendInvalidation may be retried safely —
-/// core::ReliableDeliveryQueue builds at-least-once delivery on exactly
-/// this property. A non-OK return means the message may not have reached
-/// the cache; the caller must retry or escalate, never ignore it.
-///
-/// Threading contract: with InvalidatorOptions::worker_threads > 1 the
-/// invalidator calls each sink from a pool thread, but never calls the
-/// SAME sink from two threads at once, and messages reach each sink in
-/// the same order as the serial pipeline would send them. Sinks need no
-/// internal locking unless they share mutable state with one another.
-class InvalidationSink {
- public:
-  virtual ~InvalidationSink() = default;
-
-  virtual Status SendInvalidation(const http::HttpRequest& eject_message,
-                                  const std::string& cache_key) = 0;
-};
-
-/// Optional capability of an InvalidationSink: delivery health the
-/// invalidator can observe. The overload controller reads PendingBacklog
-/// as an overload signal, and StatsReport() embeds HealthReport so
-/// delivery health is visible where operators already look.
-class ObservableSink {
- public:
-  virtual ~ObservableSink() = default;
-
-  /// Un-acked (message, sink) pairs the sink still owes downstream.
-  virtual size_t PendingBacklog() const = 0;
-
-  /// One diagnostic line (no trailing newline).
-  virtual std::string HealthReport() const = 0;
-};
-
-/// Optional capability of an InvalidationSink: state that must survive a
-/// process restart (e.g. a delivery queue's un-acked messages).
-/// Invalidator::Checkpoint embeds each capable sink's state and
-/// Invalidator::Restore hands it back, matched by AddSink order.
-class CheckpointableSink {
- public:
-  virtual ~CheckpointableSink() = default;
-
-  /// Serializes the sink's durable state (opaque bytes).
-  virtual std::string CheckpointState() const = 0;
-
-  /// Rebuilds state from CheckpointState() output.
-  virtual Status RestoreState(const std::string& state) = 0;
-};
-
-/// Tunables of the invalidation process.
-struct InvalidatorOptions {
-  /// Group a delta's tuples into one batched analysis / polling query per
-  /// (instance, table) — the paper's group processing. When false every
-  /// tuple is analyzed and polled separately (the ablation baseline).
-  bool batch_deltas = true;
-  /// Per-cycle polling budget; instances beyond it are invalidated
-  /// conservatively. 0 = unlimited.
-  size_t max_polls_per_cycle = 0;
-  /// Deadline granted to each cycle's invalidations (only orders polling;
-  /// the cycle always completes).
-  Micros cycle_deadline = kMicrosPerSecond;
-  /// When > 0, the invalidator maintains an internal data cache of this
-  /// capacity for its polling queries (Section 2.2) instead of hitting
-  /// the DBMS for every poll. Ignored while SetPollingConnection() has
-  /// installed an external connection.
-  size_t polling_cache_capacity = 0;
-  /// Worker threads for the parallel invalidation pipeline: per-instance
-  /// impact analysis, polling-query execution, and per-sink message
-  /// delivery fan out across this many threads. 1 (the default) runs the
-  /// cycle serially on the calling thread. Invalidation decisions are
-  /// identical at any worker count (per-instance work is independent
-  /// given the batch's deltas, and results merge in deterministic
-  /// instance order); only wall-clock time changes.
-  size_t worker_threads = 1;
-  /// Thresholds for discovered (self-tuning) cacheability policies.
-  PolicyThresholds thresholds;
-  /// Overload control: the adaptive degradation ladder that keeps cache
-  /// staleness bounded under update storms (disabled by default).
-  OverloadOptions overload;
-  /// Compile each query type's template into per-table predicates and
-  /// index the bind values of its live instances, so a delta tuple probes
-  /// the index for the exact candidate instance set instead of
-  /// substituting every instance's WHERE AST (Section 4.2's type-level
-  /// group processing). Excluded instances are provably unaffected;
-  /// candidates fall through to the regular ImpactAnalyzer, so decisions
-  /// and StatsReport() are byte-identical with this off (the ablation
-  /// baseline / differential-test oracle).
-  bool use_type_matcher = true;
-  /// Merge the residual polls of instances sharing a query type and a
-  /// polling target into one disjunctive polling query per chunk,
-  /// demultiplexing the result rows per instance in-process — O(types)
-  /// DBMS round trips instead of O(polling instances). Which pages get
-  /// invalidated is unchanged; only polls_issued (and, on poll failure,
-  /// the blast radius of conservatism) differs.
-  bool consolidate_polls = true;
-  /// Maximum member polls folded into one consolidated query (0 =
-  /// unlimited). Bounds the disjunction's size.
-  size_t consolidated_poll_chunk = 64;
-};
-
-/// Counters of the compiled matching layer (kept out of StatsReport so
-/// the report stays byte-identical between the indexed and interpreted
-/// paths — the differential test diffs the strings).
-struct MatcherStats {
-  uint64_t types_compiled = 0;   // Templates analyzed.
-  uint64_t types_handled = 0;    // ... that produced >= 1 anchor.
-  uint64_t probes = 0;           // (tuple, type, table) index probes.
-  uint64_t tuples_excluded = 0;  // (instance, tuple) pairs proven
-                                 // unaffected with zero AST work.
-  uint64_t instances_short_circuited = 0;  // (instance, table) analyses
-                                           // skipped entirely.
-  uint64_t consolidated_polls = 0;    // Merged polling statements issued.
-  uint64_t consolidated_members = 0;  // Residual polls folded into them.
-};
-
-/// Lifetime counters for the whole invalidator.
-struct InvalidatorStats {
-  uint64_t cycles = 0;
-  uint64_t updates_processed = 0;       // Update-log records consumed.
-  uint64_t instances_registered = 0;    // From QI/URL map scans.
-  uint64_t instance_checks = 0;         // (instance, delta) analyses.
-  uint64_t affected_immediately = 0;    // Decided without polling.
-  uint64_t unaffected = 0;
-  uint64_t polls_issued = 0;            // Polling queries sent to the DBMS.
-  uint64_t polls_answered_by_index = 0; // Avoided via join indexes.
-  uint64_t poll_hits = 0;               // Polls that confirmed impact.
-  uint64_t conservative_invalidations = 0;  // Budget exceeded.
-  uint64_t emergency_flushes = 0;       // Instances flushed table-scoped.
-  uint64_t pages_invalidated = 0;
-  uint64_t messages_sent = 0;
-  uint64_t send_failures = 0;           // Sinks that rejected a message.
-};
-
-/// Per-cycle summary returned by RunCycle.
-struct CycleReport {
-  uint64_t updates = 0;
-  uint64_t new_instances = 0;
-  uint64_t checks = 0;
-  uint64_t affected_instances = 0;
-  uint64_t polls_issued = 0;
-  uint64_t polls_answered_by_index = 0;
-  uint64_t conservative_invalidations = 0;
-  uint64_t pages_invalidated = 0;
-  /// Degradation rung this cycle ran under (kNormal unless the overload
-  /// controller is enabled and escalated).
-  DegradationMode mode = DegradationMode::kNormal;
-  Micros duration = 0;
-};
 
 /// The CachePortal invalidator (Section 4): registration module (query
 /// type registration + discovery from the QI/URL map), information
@@ -189,6 +37,18 @@ struct CycleReport {
 /// polling-query scheduling/generation, and invalidation message
 /// generation). It runs entirely outside the web server, application
 /// server, and DBMS, synchronizing by polling their logs.
+///
+/// Structure: registration metadata lives in a sharded MetadataPlane
+/// (metadata_plane.h), and RunCycle is the fixed composition of four
+/// typed stages (stages.h) — IngestStage → ImpactStage → PollStage →
+/// DeliverStage — threading one CycleContext through them.
+///
+/// Threading contract: RunCycle runs on ONE thread (the cycle thread) at
+/// a time. Concurrently with a running cycle, other threads may safely
+/// call RegisterInstance / IsQuerySqlCacheable / SetPollingConnection,
+/// and the sniffer may Add to the QI/URL map — the plane's shard locks
+/// and the map's internal lock serialize the touch points. Checkpoint /
+/// Restore / StatsReport are cycle-thread-only.
 class Invalidator {
  public:
   /// Observes `database`'s update log and the sniffer-maintained `map`.
@@ -205,13 +65,26 @@ class Invalidator {
   /// Directs polling queries to `connection` instead of the observed
   /// database — e.g. a middle-tier data cache maintained for the
   /// invalidator. Pass nullptr to return to direct execution.
+  ///
+  /// Call-during-cycle contract: safe to call from any thread at any
+  /// time, including while a cycle is polling (the pointer is atomic
+  /// with release/acquire ordering, and polls through the external
+  /// connection are serialized by a mutex). Polls already in flight
+  /// finish against the connection they picked up; `connection` must
+  /// therefore stay alive until the cycle after the one during which it
+  /// was replaced completes.
   void SetPollingConnection(server::Connection* connection) {
-    polling_connection_ = connection;
+    polling_connection_.store(connection, std::memory_order_release);
   }
 
   /// Offline registration mode (Section 4.1.1): declare a query type.
   Status RegisterQueryType(const std::string& name,
                            const std::string& parameterized_sql);
+
+  /// Registers a concrete query instance directly (the same path the
+  /// QI/URL-map scan uses). Safe from any thread, concurrently with a
+  /// running cycle — registration routes to exactly one metadata shard.
+  Status RegisterInstance(const std::string& sql);
 
   /// Registers a hard invalidation policy rule (Section 4.1.3).
   void AddPolicyRule(PolicyRule rule) { policy_.AddRule(std::move(rule)); }
@@ -225,7 +98,7 @@ class Invalidator {
   Result<CycleReport> RunCycle();
 
   /// Cacheability verdict for a query instance's SQL (feedback consumed
-  /// by the sniffer's servlet wrapper).
+  /// by the sniffer's servlet wrapper). Safe from any thread.
   bool IsQuerySqlCacheable(const std::string& sql) const;
 
   /// Update-log position this invalidator has consumed up to; the log
@@ -234,22 +107,27 @@ class Invalidator {
   uint64_t consumed_update_seq() const { return last_update_seq_; }
 
   /// Serializes the invalidator's resumption state: the consumed
-  /// update-log and QI/URL-map positions, plus each CheckpointableSink's
-  /// durable state (un-acked delivery-queue messages). Persist the
-  /// returned bytes at every synchronization point; after a crash, build
-  /// a fresh Invalidator (same database/map, sinks re-added in the same
-  /// order) and Restore() to resume without missing an update.
+  /// update-log position, the per-shard QI/URL-map cursors (checkpoint
+  /// v3), plus each CheckpointableSink's durable state (un-acked
+  /// delivery-queue messages). Persist the returned bytes at every
+  /// synchronization point; after a crash, build a fresh Invalidator
+  /// (same database/map, sinks re-added in the same order) and Restore()
+  /// to resume without missing an update.
   std::string Checkpoint() const;
 
-  /// Rebuilds resumption state from Checkpoint() output. The update-log
-  /// cursor rewinds to the persisted position, so updates that committed
-  /// after the checkpoint (including during the outage) are replayed —
-  /// at-least-once, made safe by idempotent ejects. The QI/URL-map
-  /// cursor rewinds to zero: the in-memory registry died with the old
-  /// process, and re-registering live map entries is idempotent.
+  /// Rebuilds resumption state from Checkpoint() output — the current v3
+  /// format or a legacy v1/v2 blob (single map cursor, shard count 1
+  /// assumed). The update-log cursor rewinds to the persisted position,
+  /// so updates that committed after the checkpoint (including during
+  /// the outage) are replayed — at-least-once, made safe by idempotent
+  /// ejects. The QI/URL-map cursors rewind to zero: the in-memory
+  /// registry died with the old process, and re-registering live map
+  /// entries is idempotent.
   Status Restore(const std::string& checkpoint);
 
-  const QueryTypeRegistry& registry() const { return registry_; }
+  /// The sharded registration metadata (registry partitions, matchers,
+  /// bind indexes).
+  const MetadataPlane& metadata() const { return plane_; }
   const PolicyEngine& policy() const { return policy_; }
   const InformationManager& info() const { return info_; }
   /// The internal polling data cache, or nullptr when not configured.
@@ -257,8 +135,10 @@ class Invalidator {
     return polling_cache_.get();
   }
   const InvalidatorStats& stats() const { return stats_; }
-  const MatcherStats& matcher_stats() const { return matcher_stats_; }
-  const BindIndex& bind_index() const { return bind_index_; }
+  /// Merged matcher counters: compile-side from the plane's shards,
+  /// cycle-side from the pipeline. Returned by value (the parts live in
+  /// different places since the plane was sharded).
+  MatcherStats matcher_stats() const;
   const InvalidatorOptions& options() const { return options_; }
   /// The overload controller, or nullptr when not enabled.
   const OverloadController* overload_controller() const {
@@ -271,20 +151,8 @@ class Invalidator {
   std::string StatsReport() const;
 
  private:
-  /// Runs fn(i) for i in [0, n): inline when serial, sharded across the
-  /// pool when worker_threads > 1.
-  void RunParallel(size_t n, const std::function<void(size_t)>& fn);
-
-  /// Adds a freshly registered instance to the bind index, compiling its
-  /// type's template on first contact (the FROM tables exist by then).
-  /// Idempotent; no-op when the matcher is disabled.
-  void IndexInstance(const QueryInstance& instance);
-
-  /// Unregisters an instance AND drops its index postings. Every
-  /// unregistration must go through here or the index would keep
-  /// shortlisting a dead instance (harmless) — or worse, the live/indexed
-  /// count cross-check would disable probing for the whole type.
-  void RetireInstance(const std::string& instance_sql);
+  /// The borrowed-component bundle the stages run against.
+  StageEnv MakeStageEnv();
 
   /// Executes one polling query against the configured target (external
   /// connection > internal polling cache > the DBMS directly). Safe to
@@ -302,12 +170,16 @@ class Invalidator {
   const Clock* clock_;
   InvalidatorOptions options_;
 
-  QueryTypeRegistry registry_;
+  /// Registration metadata, sharded by query-type hash (its own locks).
+  MetadataPlane plane_;
   PolicyEngine policy_;
   InformationManager info_;
   InvalidationScheduler scheduler_;
   std::vector<InvalidationSink*> sinks_;
-  server::Connection* polling_connection_ = nullptr;
+  // Written by SetPollingConnection (any thread), read by ExecutePoll
+  // (pool workers): release/acquire so a worker that sees the pointer
+  // sees the connection fully constructed.
+  std::atomic<server::Connection*> polling_connection_{nullptr};
   // Serializes polls through the external connection (its thread-safety
   // is unknown); the internal cache and the DBMS read path are not
   // funneled through this.
@@ -318,15 +190,13 @@ class Invalidator {
   // Non-null iff options_.overload.enabled.
   std::unique_ptr<OverloadController> overload_;
 
-  // The compiled matching layer: per-type compiled templates and the
-  // bind-value indexes over live instances. Mutated only on the cycle
-  // thread (registration/retirement); read-only during parallel phases.
-  std::map<uint64_t, TypeMatcher> matchers_;
-  BindIndex bind_index_;
-  MatcherStats matcher_stats_;
+  // Cycle-side matcher counters (probes, exclusions, consolidation);
+  // compile-side counters live in the plane's shards.
+  MatcherStats cycle_matcher_stats_;
 
   uint64_t last_update_seq_ = 0;
-  uint64_t last_map_id_ = 0;
+  // QiUrlMap epoch at the last ingest scan (nullopt = must scan).
+  std::optional<uint64_t> last_map_epoch_;
   Micros last_cycle_duration_ = 0;
   InvalidatorStats stats_;
 };

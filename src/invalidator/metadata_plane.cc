@@ -1,0 +1,294 @@
+#include "invalidator/metadata_plane.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sql/parser.h"
+#include "sql/template.h"
+
+namespace cacheportal::invalidator {
+
+MetadataPlane::MetadataPlane(db::Database* database, size_t num_shards,
+                             bool use_type_matcher)
+    : database_(database), use_type_matcher_(use_type_matcher) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<ShardSlot>());
+    // Discovered-type names number types across the WHOLE plane, not per
+    // shard — StatsReport() must read identically at any shard count.
+    shards_.back()->shard.registry.SetTypeCounter(&type_count_);
+  }
+}
+
+Status MetadataPlane::RegisterType(const std::string& name,
+                                   const std::string& parameterized_sql) {
+  // Parse once here to route; the registry's canonicalizing parse runs
+  // again under the shard lock. Offline registration is rare enough that
+  // the double parse is not worth a second registry entry point.
+  CACHEPORTAL_ASSIGN_OR_RETURN(
+      sql::QueryTemplate tmpl,
+      sql::ExtractTemplateFromSql(parameterized_sql));
+  ShardSlot& slot = SlotOfType(tmpl.type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  CACHEPORTAL_ASSIGN_OR_RETURN(
+      uint64_t id, slot.shard.registry.RegisterType(name, parameterized_sql));
+  (void)id;
+  return Status::OK();
+}
+
+Result<const QueryInstance*> MetadataPlane::RegisterInstance(
+    const std::string& sql) {
+  // Fast path: a live instance's SQL routes via the route map without
+  // parsing (re-registration is the common case — the sniffer re-adds a
+  // row every time a cached page rebuilds).
+  uint64_t known_type = 0;
+  bool known = false;
+  {
+    std::shared_lock<std::shared_mutex> route(route_mu_);
+    auto it = type_by_sql_.find(sql);
+    if (it != type_by_sql_.end()) {
+      known_type = it->second;
+      known = true;
+    }
+  }
+  if (known) {
+    ShardSlot& slot = SlotOfType(known_type);
+    std::lock_guard<std::mutex> lock(slot.mu);
+    const QueryInstance* instance = slot.shard.registry.FindInstance(sql);
+    // A concurrent retirement may have raced the lookup; fall through to
+    // the slow path if so.
+    if (instance != nullptr) return instance;
+  }
+
+  CACHEPORTAL_ASSIGN_OR_RETURN(auto select, sql::Parser::ParseSelect(sql));
+  CACHEPORTAL_ASSIGN_OR_RETURN(sql::QueryTemplate tmpl,
+                               sql::ExtractTemplate(*select));
+  uint64_t type_id = tmpl.type_id;
+  const QueryInstance* instance = nullptr;
+  {
+    ShardSlot& slot = SlotOfType(type_id);
+    std::lock_guard<std::mutex> lock(slot.mu);
+    CACHEPORTAL_ASSIGN_OR_RETURN(
+        instance, slot.shard.registry.RegisterParsedInstance(
+                      sql, std::move(select), std::move(tmpl)));
+    IndexInstanceLocked(slot.shard, *instance);
+  }
+  {
+    std::unique_lock<std::shared_mutex> route(route_mu_);
+    type_by_sql_[sql] = type_id;
+  }
+  return instance;
+}
+
+void MetadataPlane::RetireInstance(const std::string& sql) {
+  uint64_t type_id = 0;
+  {
+    std::shared_lock<std::shared_mutex> route(route_mu_);
+    auto it = type_by_sql_.find(sql);
+    if (it == type_by_sql_.end()) return;
+    type_id = it->second;
+  }
+  {
+    ShardSlot& slot = SlotOfType(type_id);
+    std::lock_guard<std::mutex> lock(slot.mu);
+    const QueryInstance* instance = slot.shard.registry.FindInstance(sql);
+    if (instance != nullptr) {
+      slot.shard.bind_index.RemoveInstance(instance->instance_id);
+    }
+    slot.shard.registry.UnregisterInstance(sql);
+  }
+  {
+    std::unique_lock<std::shared_mutex> route(route_mu_);
+    type_by_sql_.erase(sql);
+  }
+}
+
+const QueryInstance* MetadataPlane::FindInstance(const std::string& sql) const {
+  uint64_t type_id = 0;
+  {
+    std::shared_lock<std::shared_mutex> route(route_mu_);
+    auto it = type_by_sql_.find(sql);
+    if (it == type_by_sql_.end()) return nullptr;
+    type_id = it->second;
+  }
+  ShardSlot& slot = SlotOfType(type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.shard.registry.FindInstance(sql);
+}
+
+const QueryType* MetadataPlane::FindType(uint64_t type_id) const {
+  ShardSlot& slot = SlotOfType(type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.shard.registry.FindType(type_id);
+}
+
+void MetadataPlane::WithShardOfType(uint64_t type_id,
+                                    const std::function<void(Shard&)>& fn) {
+  ShardSlot& slot = SlotOfType(type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  fn(slot.shard);
+}
+
+void MetadataPlane::WithShard(size_t index,
+                              const std::function<void(Shard&)>& fn) {
+  ShardSlot& slot = *shards_[index];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  fn(slot.shard);
+}
+
+// The k-way merge all the deterministic iterators share: with every
+// shard locked (in index order — the one sanctioned all-shards order),
+// repeatedly visit the shard whose next type has the smallest type_id.
+// Type_ids are unique across shards (hash partitioning), so there are no
+// ties, and the scan reproduces the unsharded registry's ascending-
+// type_id order exactly.
+void MetadataPlane::MergedTypeScan(
+    const std::function<void(size_t, const QueryType&)>& fn) const {
+  std::vector<std::unique_lock<std::mutex>> all;
+  all.reserve(shards_.size());
+  for (const auto& slot : shards_) {
+    all.emplace_back(slot->mu);
+  }
+  struct Cursor {
+    std::vector<const QueryType*> types;
+    size_t next = 0;
+  };
+  std::vector<Cursor> cursors(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    cursors[i].types = shards_[i]->shard.registry.Types();
+  }
+  for (;;) {
+    size_t best = shards_.size();
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].next >= cursors[i].types.size()) continue;
+      if (best == shards_.size() ||
+          cursors[i].types[cursors[i].next]->type_id <
+              cursors[best].types[cursors[best].next]->type_id) {
+        best = i;
+      }
+    }
+    if (best == shards_.size()) break;
+    fn(best, *cursors[best].types[cursors[best].next++]);
+  }
+}
+
+void MetadataPlane::ForEachType(
+    const std::function<void(const QueryType&)>& fn) const {
+  MergedTypeScan([&fn](size_t, const QueryType& type) { fn(type); });
+}
+
+void MetadataPlane::ForEachTypeMutable(
+    const std::function<void(QueryType&)>& fn) {
+  MergedTypeScan([&](size_t shard_index, const QueryType& type) {
+    QueryType* mutable_type =
+        shards_[shard_index]->shard.registry.FindType(type.type_id);
+    if (mutable_type != nullptr) fn(*mutable_type);
+  });
+}
+
+void MetadataPlane::ForEachInstance(
+    const std::function<void(const QueryType&, const QueryInstance&)>& fn)
+    const {
+  MergedTypeScan([&](size_t shard_index, const QueryType& type) {
+    shards_[shard_index]->shard.registry.ForEachInstanceOfType(
+        type.type_id, [&](const QueryInstance& instance) {
+          fn(type, instance);
+        });
+  });
+}
+
+size_t MetadataPlane::NumTypes() const {
+  size_t n = 0;
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    n += slot->shard.registry.NumTypes();
+  }
+  return n;
+}
+
+size_t MetadataPlane::NumInstances() const {
+  size_t n = 0;
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    n += slot->shard.registry.NumInstances();
+  }
+  return n;
+}
+
+size_t MetadataPlane::NumInstancesOfType(uint64_t type_id) const {
+  ShardSlot& slot = SlotOfType(type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.shard.registry.NumInstancesOfType(type_id);
+}
+
+size_t MetadataPlane::NumIndexedInstances() const {
+  size_t n = 0;
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    n += slot->shard.bind_index.NumIndexedInstances();
+  }
+  return n;
+}
+
+MatcherStats MetadataPlane::CompileStats() const {
+  MatcherStats out;
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    out.types_compiled += slot->shard.compile_stats.types_compiled;
+    out.types_handled += slot->shard.compile_stats.types_handled;
+  }
+  return out;
+}
+
+uint64_t MetadataPlane::MinMapCursor() const {
+  uint64_t min = 0;
+  bool first = true;
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (first || slot->shard.map_cursor < min) min = slot->shard.map_cursor;
+    first = false;
+  }
+  return min;
+}
+
+void MetadataPlane::AdvanceMapCursors(uint64_t id) {
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->shard.map_cursor = std::max(slot->shard.map_cursor, id);
+  }
+}
+
+std::vector<uint64_t> MetadataPlane::MapCursors() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    out.push_back(slot->shard.map_cursor);
+  }
+  return out;
+}
+
+void MetadataPlane::ResetMapCursors() {
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->shard.map_cursor = 0;
+  }
+}
+
+void MetadataPlane::IndexInstanceLocked(Shard& shard,
+                                        const QueryInstance& instance) {
+  if (!use_type_matcher_) return;
+  auto it = shard.matchers.find(instance.type_id);
+  if (it == shard.matchers.end()) {
+    const QueryType* type = shard.registry.FindType(instance.type_id);
+    if (type == nullptr) return;
+    TypeMatcher matcher = TypeMatcher::Compile(*type, *database_);
+    ++shard.compile_stats.types_compiled;
+    if (matcher.handled()) ++shard.compile_stats.types_handled;
+    it = shard.matchers.emplace(instance.type_id, std::move(matcher)).first;
+  }
+  if (it->second.handled()) shard.bind_index.AddInstance(it->second, instance);
+}
+
+}  // namespace cacheportal::invalidator

@@ -25,6 +25,9 @@ Result<uint64_t> QueryTypeRegistry::RegisterType(
   type.tmpl = std::move(tmpl);
   uint64_t id = type.type_id;
   types_.emplace(id, std::move(type));
+  if (type_counter_ != nullptr) {
+    type_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
   return id;
 }
 
@@ -39,12 +42,29 @@ Result<const QueryInstance*> QueryTypeRegistry::RegisterInstance(
                                sql::Parser::ParseSelect(sql_text));
   CACHEPORTAL_ASSIGN_OR_RETURN(sql::QueryTemplate tmpl,
                                sql::ExtractTemplate(*select));
+  return RegisterParsedInstance(sql_text, std::move(select), std::move(tmpl));
+}
+
+Result<const QueryInstance*> QueryTypeRegistry::RegisterParsedInstance(
+    const std::string& sql_text, std::unique_ptr<sql::SelectStatement> select,
+    sql::QueryTemplate tmpl) {
+  auto existing = instance_id_by_sql_.find(sql_text);
+  if (existing != instance_id_by_sql_.end()) {
+    return &instances_.at(existing->second);
+  }
   auto type_it = types_.find(tmpl.type_id);
   if (type_it == types_.end()) {
-    // Query type discovery (Section 4.1.2).
+    // Query type discovery (Section 4.1.2). The name numbers types in
+    // creation order — against the shared counter when one is installed
+    // (so the numbering spans every shard of a metadata plane), against
+    // this registry's own type count otherwise.
+    uint64_t ordinal =
+        type_counter_ == nullptr
+            ? types_.size() + 1
+            : type_counter_->fetch_add(1, std::memory_order_relaxed) + 1;
     QueryType type;
     type.type_id = tmpl.type_id;
-    type.name = StrCat("discovered-", types_.size() + 1);
+    type.name = StrCat("discovered-", ordinal);
     type.tmpl = tmpl.Clone();
     type_it = types_.emplace(type.type_id, std::move(type)).first;
   }

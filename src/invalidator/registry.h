@@ -1,6 +1,7 @@
 #ifndef CACHEPORTAL_INVALIDATOR_REGISTRY_H_
 #define CACHEPORTAL_INVALIDATOR_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -76,6 +77,16 @@ class QueryTypeRegistry {
   QueryTypeRegistry(const QueryTypeRegistry&) = delete;
   QueryTypeRegistry& operator=(const QueryTypeRegistry&) = delete;
 
+  /// Shares a type-creation counter across registries: every new type
+  /// (declared or discovered) bumps it, and discovered types are named
+  /// "discovered-<count after the bump>". The metadata plane installs
+  /// one plane-global counter so discovered names — and therefore
+  /// StatsReport() — are identical at any shard count. Null (the
+  /// default) keeps the historical registry-local count.
+  void SetTypeCounter(std::atomic<uint64_t>* counter) {
+    type_counter_ = counter;
+  }
+
   /// Offline registration: a domain expert declares a query type by its
   /// parameterized SQL ("SELECT ... WHERE R.A > $1"). Returns the type ID.
   Result<uint64_t> RegisterType(const std::string& name,
@@ -84,6 +95,15 @@ class QueryTypeRegistry {
   /// Online discovery: registers a concrete query instance, deriving (and
   /// registering, if new) its query type. Returns the instance.
   Result<const QueryInstance*> RegisterInstance(const std::string& sql);
+
+  /// As RegisterInstance, but with the parse and template extraction
+  /// already done by the caller — the metadata plane parses outside its
+  /// shard locks so registration holds a lock only for the map inserts.
+  /// `tmpl` must be ExtractTemplate(*statement)'s output for `sql`; both
+  /// are consumed only when `sql` is not already registered.
+  Result<const QueryInstance*> RegisterParsedInstance(
+      const std::string& sql, std::unique_ptr<sql::SelectStatement> statement,
+      sql::QueryTemplate tmpl);
 
   /// Removes an instance (its last cached page disappeared).
   void UnregisterInstance(const std::string& sql);
@@ -123,6 +143,7 @@ class QueryTypeRegistry {
   // invalidator's per-cycle sweep does no per-instance id lookup.
   std::map<uint64_t, std::map<std::string, QueryInstance*>> instances_by_type_;
   uint64_t next_instance_id_ = 0;
+  std::atomic<uint64_t>* type_counter_ = nullptr;  // Not owned; may be null.
 };
 
 }  // namespace cacheportal::invalidator

@@ -1,0 +1,68 @@
+#ifndef CACHEPORTAL_INVALIDATOR_SINKS_H_
+#define CACHEPORTAL_INVALIDATOR_SINKS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "http/message.h"
+
+namespace cacheportal::invalidator {
+
+/// Receives the invalidation messages the invalidator generates
+/// (Section 4.2.4). The message is a normal HTTP request carrying
+/// `Cache-Control: eject`; `cache_key` is the addressed page's canonical
+/// identity. core::PageCacheSink adapts a cache::PageCache.
+///
+/// Delivery contract: ejects are idempotent (re-ejecting an absent page
+/// is a no-op), so a failed SendInvalidation may be retried safely —
+/// core::ReliableDeliveryQueue builds at-least-once delivery on exactly
+/// this property. A non-OK return means the message may not have reached
+/// the cache; the caller must retry or escalate, never ignore it.
+///
+/// Threading contract: with InvalidatorOptions::worker_threads > 1 the
+/// invalidator calls each sink from a pool thread, but never calls the
+/// SAME sink from two threads at once, and messages reach each sink in
+/// the same order as the serial pipeline would send them. Sinks need no
+/// internal locking unless they share mutable state with one another.
+class InvalidationSink {
+ public:
+  virtual ~InvalidationSink() = default;
+
+  virtual Status SendInvalidation(const http::HttpRequest& eject_message,
+                                  const std::string& cache_key) = 0;
+};
+
+/// Optional capability of an InvalidationSink: delivery health the
+/// invalidator can observe. The overload controller reads PendingBacklog
+/// as an overload signal, and StatsReport() embeds HealthReport so
+/// delivery health is visible where operators already look.
+class ObservableSink {
+ public:
+  virtual ~ObservableSink() = default;
+
+  /// Un-acked (message, sink) pairs the sink still owes downstream.
+  virtual size_t PendingBacklog() const = 0;
+
+  /// One diagnostic line (no trailing newline).
+  virtual std::string HealthReport() const = 0;
+};
+
+/// Optional capability of an InvalidationSink: state that must survive a
+/// process restart (e.g. a delivery queue's un-acked messages).
+/// Invalidator::Checkpoint embeds each capable sink's state and
+/// Invalidator::Restore hands it back, matched by AddSink order.
+class CheckpointableSink {
+ public:
+  virtual ~CheckpointableSink() = default;
+
+  /// Serializes the sink's durable state (opaque bytes).
+  virtual std::string CheckpointState() const = 0;
+
+  /// Rebuilds state from CheckpointState() output.
+  virtual Status RestoreState(const std::string& state) = 0;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_SINKS_H_

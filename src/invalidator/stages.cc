@@ -1,0 +1,881 @@
+#include "invalidator/stages.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "invalidator/impact.h"
+#include "sql/analyzer.h"
+#include "sql/printer.h"
+
+namespace cacheportal::invalidator {
+
+StagePolicy MakeStagePolicy(DegradationMode mode,
+                            const InvalidatorOptions& options) {
+  StagePolicy policy;
+  policy.mode = mode;
+  policy.poll_budget = options.max_polls_per_cycle;
+  switch (mode) {
+    case DegradationMode::kNormal:
+      break;
+    case DegradationMode::kEconomy: {
+      size_t economy = options.overload.economy_poll_budget;
+      if (economy == 0) {
+        policy.skip_polls = true;
+      } else {
+        policy.poll_budget = policy.poll_budget == 0
+                                 ? economy
+                                 : std::min(policy.poll_budget, economy);
+      }
+      break;
+    }
+    case DegradationMode::kConservative:
+      policy.skip_polls = true;
+      break;
+    case DegradationMode::kEmergency:
+      policy.skip_polls = true;
+      policy.flush_only = true;
+      break;
+  }
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// IngestStage
+// ---------------------------------------------------------------------------
+
+Status IngestStage::Run(CycleContext& ctx) {
+  // ---- Overload planning: pick this cycle's degradation rung. ----
+  // Signals are observed BEFORE the log is consumed (the backlog is the
+  // evidence) and are deterministic functions of the clock and pipeline
+  // state, so the mode sequence is identical at every worker count.
+  DegradationMode mode = DegradationMode::kNormal;
+  if (env_.overload != nullptr) {
+    mode = env_.overload->Plan(env_.observe_signals());
+  }
+  ctx.policy = MakeStagePolicy(mode, *env_.options);
+  ctx.report.mode = mode;
+
+  // ---- Registration module, online mode: scan the QI/URL map. ----
+  // The map's epoch is a cheap "anything changed?" probe: when it equals
+  // the last scan's snapshot the row set is untouched and the scan would
+  // return nothing. Recorded BEFORE the read, so rows added during the
+  // scan force a (possibly empty) rescan next cycle rather than a skip.
+  uint64_t epoch = env_.map->epoch();
+  bool scan = env_.last_map_epoch == nullptr ||
+              !env_.last_map_epoch->has_value() ||
+              **env_.last_map_epoch != epoch;
+  if (scan) {
+    if (env_.last_map_epoch != nullptr) *env_.last_map_epoch = epoch;
+    uint64_t max_id = 0;
+    for (const sniffer::QiUrlEntry& entry :
+         env_.map->ReadSince(env_.plane->MinMapCursor())) {
+      max_id = std::max(max_id, entry.id);
+      Result<const QueryInstance*> instance =
+          env_.plane->RegisterInstance(entry.query_sql);
+      if (!instance.ok()) {
+        // Unparseable query: nothing we can safely track. Drop its pages
+        // from consideration (they were cached under a query we cannot
+        // invalidate — treat as immediately suspect).
+        LogMessage(LogLevel::kWarning,
+                   StrCat("cannot register query instance: ",
+                          instance.status().ToString()));
+        continue;
+      }
+      ++ctx.report.new_instances;
+      ++env_.stats->instances_registered;
+    }
+    if (max_id > 0) env_.plane->AdvanceMapCursors(max_id);
+  }
+
+  // ---- Invalidation module: pull the update log. ----
+  std::vector<db::UpdateRecord> records =
+      env_.database->update_log().ReadSince(*env_.last_update_seq);
+  if (!records.empty()) *env_.last_update_seq = records.back().seq;
+  ctx.report.updates = records.size();
+  env_.stats->updates_processed += records.size();
+
+  if (records.empty()) {
+    ctx.proceed = false;
+    return Status::OK();
+  }
+
+  ctx.deltas = db::DeltaSet::FromRecords(records);
+  // The internal polling cache must not serve results that predate this
+  // batch: drop everything reading an updated table first.
+  if (env_.polling_cache != nullptr) {
+    env_.polling_cache->Synchronize(ctx.deltas);
+  }
+  // Keep the information manager's auxiliary structures current: the
+  // paper's daemon applies the same update stream it analyzes; we apply
+  // before answering polls so index answers match the database state the
+  // polls would see.
+  env_.info->ApplyDeltas(ctx.deltas);
+
+  // One merged tuple view per updated table (inserts then deletes, the
+  // order the per-instance copies used to have), borrowed by every
+  // analysis this cycle instead of copied per instance.
+  for (const std::string& table : ctx.deltas.Tables()) {
+    const db::TableDelta& delta = ctx.deltas.ForTable(table);
+    TableTuples view;
+    view.table = table;
+    view.tuples.reserve(delta.inserts.size() + delta.deletes.size());
+    for (const db::Row& row : delta.inserts) view.tuples.push_back(&row);
+    for (const db::Row& row : delta.deletes) view.tuples.push_back(&row);
+    if (!view.tuples.empty()) ctx.merged.push_back(std::move(view));
+  }
+
+  ctx.proceed = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ImpactStage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Index-probe result for one (query type, delta table): per-instance
+/// candidate tuple lists plus the tuples every instance must consider
+/// (NULL/boolean column values). Built serially under the type's shard
+/// lock, read-only in the fan-out. Both lists are ascending and
+/// duplicate-free, so a sorted merge reconstructs each instance's
+/// candidate tuples in delta order.
+struct TableProbe {
+  std::vector<uint32_t> all_tuples;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> per_id;
+};
+
+}  // namespace
+
+Status ImpactStage::Run(CycleContext& ctx) {
+  MetadataPlane& plane = *env_.plane;
+
+  // ---- Emergency rung: table-scoped flush, no analysis, no polling. ----
+  // Precision is abandoned for this cycle: every registered instance
+  // reading a table with backlogged updates is invalidated outright, and
+  // the cursor has already fast-forwarded past the whole backlog in
+  // ingest — unbounded staleness becomes bounded over-invalidation.
+  // Instances reading only untouched tables are provably unaffected and
+  // skipped.
+  if (ctx.policy.flush_only) {
+    plane.ForEachInstance([&](const QueryType&, const QueryInstance& instance) {
+      if (env_.map->NumPagesForQuery(instance.sql) == 0) return;
+      bool reads_updated_table = false;
+      for (const sql::TableRef& ref : instance.statement->from) {
+        if (!ctx.deltas.ForTable(ref.table).empty()) {
+          reads_updated_table = true;
+          break;
+        }
+      }
+      if (!reads_updated_table) return;
+      if (ctx.affected.insert(instance.sql).second) {
+        ++env_.stats->emergency_flushes;
+        ++env_.stats->conservative_invalidations;
+        ++ctx.report.conservative_invalidations;
+      }
+    });
+    return Status::OK();
+  }
+
+  // ---- Impact analysis (Section 4.1.2's grouping). ----
+  // Serial pre-pass: snapshot the per-instance work list and retire
+  // instances whose pages already left the cache (evicted or invalidated
+  // through another instance). The snapshot's QueryInstance pointers
+  // stay valid without holding shard locks: instances are node-mapped
+  // and only the cycle thread (below, or DeliverStage) erases them.
+  // Registration may insert concurrently; inserts never move nodes.
+  std::vector<std::string> retired;
+  ctx.work.reserve(plane.NumInstances());
+  plane.ForEachInstance([&](const QueryType& type,
+                            const QueryInstance& instance) {
+    if (env_.map->NumPagesForQuery(instance.sql) == 0) {
+      retired.push_back(instance.sql);
+      return;
+    }
+    InstanceAnalysis analysis;
+    analysis.type_id = type.type_id;
+    analysis.instance_id = instance.instance_id;
+    analysis.instance = &instance;
+    ctx.work.push_back(std::move(analysis));
+  });
+  for (const std::string& instance_sql : retired) {
+    plane.RetireInstance(instance_sql);
+  }
+  std::vector<InstanceAnalysis>& work = ctx.work;
+
+  // ---- Index probe phase: each delta tuple probes the bind index once
+  // per covered (type, table), producing per-instance candidate tuple
+  // lists. Instances absent from every list are provably unaffected —
+  // the fan-out below skips their AST work entirely. Runs type by type
+  // under that type's shard lock, so a concurrent registration of the
+  // same type is serialized (and keeps the live/indexed counts in step —
+  // both change under the same lock).
+  std::map<std::pair<uint64_t, size_t>, TableProbe> probes;
+  if (plane.use_type_matcher() && !work.empty()) {
+    std::vector<uint64_t> work_types;  // Distinct, in work (type) order.
+    for (const InstanceAnalysis& a : work) {
+      if (work_types.empty() || work_types.back() != a.type_id) {
+        work_types.push_back(a.type_id);
+      }
+    }
+    for (uint64_t type_id : work_types) {
+      plane.WithShardOfType(type_id, [&](MetadataPlane::Shard& shard) {
+        auto matcher_it = shard.matchers.find(type_id);
+        if (matcher_it == shard.matchers.end() ||
+            !matcher_it->second.handled()) {
+          return;
+        }
+        // Exclusion is only sound if every live instance of the type is
+        // indexed; a mismatch (cannot happen while all registrations and
+        // retirements flow through the plane) falls back to the
+        // interpreted path for the whole type.
+        if (shard.bind_index.IndexedCountOfType(type_id) !=
+            shard.registry.NumInstancesOfType(type_id)) {
+          return;
+        }
+        for (size_t t = 0; t < ctx.merged.size(); ++t) {
+          const CompiledAnchor* anchor =
+              matcher_it->second.AnchorFor(ctx.merged[t].table);
+          if (anchor == nullptr) continue;
+          TableProbe probe;
+          for (uint32_t ti = 0; ti < ctx.merged[t].tuples.size(); ++ti) {
+            ++env_.cycle_matcher_stats->probes;
+            const db::Row& row = *ctx.merged[t].tuples[ti];
+            if (anchor->column_index >= row.size()) {
+              // Malformed row; the analyzer will report it. Everyone
+              // looks.
+              probe.all_tuples.push_back(ti);
+              continue;
+            }
+            BindIndex::Candidates candidates = shard.bind_index.Probe(
+                type_id, ctx.merged[t].table, *anchor,
+                row[anchor->column_index]);
+            if (candidates.all) {
+              probe.all_tuples.push_back(ti);
+              continue;
+            }
+            for (uint64_t id : candidates.ids) {
+              probe.per_id[id].push_back(ti);
+            }
+          }
+          probes.emplace(std::make_pair(type_id, t), std::move(probe));
+        }
+      });
+    }
+  }
+
+  // Soundness guard input, hoisted per type: polling queries run against
+  // the post-update database, so a batch touching two or more of a
+  // query's FROM relations must invalidate conservatively (a poll can
+  // miss impacts, e.g. both join partners deleted together). The count
+  // depends only on the type's FROM list — identical for every instance
+  // of the type — so compute it once per type, not once per instance.
+  std::unordered_map<uint64_t, int> delta_tables_by_type;
+  for (const InstanceAnalysis& a : work) {
+    if (delta_tables_by_type.contains(a.type_id)) continue;
+    int n = 0;
+    for (const sql::TableRef& ref : a.instance->statement->from) {
+      if (!ctx.deltas.ForTable(ref.table).empty()) ++n;
+    }
+    delta_tables_by_type.emplace(a.type_id, n);
+  }
+
+  // Fan out: instances are independent given the batch's deltas. Workers
+  // touch only const reads (deltas, schemas, the QI/URL map, the probe
+  // results, join-index answers behind a shared lock) and their own work
+  // slot — no shard locks, so registration proceeds concurrently. The
+  // analyzer is stateless; one per cycle, shared by all workers.
+  const std::vector<TableTuples>& merged = ctx.merged;
+  const ImpactAnalyzer analyzer(env_.database);
+  RunStageParallel(env_.pool, work.size(), [&](size_t i) {
+    InstanceAnalysis& a = work[i];
+    const QueryInstance& instance = *a.instance;
+
+    if (delta_tables_by_type.find(a.type_id)->second >= 2) {
+      a.multi_table_guard = true;
+      return;
+    }
+
+    Micros check_start = env_.clock->NowMicros();
+    bool affected = false;
+    std::vector<std::unique_ptr<sql::SelectStatement>> polls;
+    std::vector<const db::Row*> subset;
+    for (const TableTuples& view : merged) {
+      a.checked = true;
+      const std::vector<const db::Row*>* tuples = &view.tuples;
+      auto probe_it = probes.find(
+          std::make_pair(a.type_id, static_cast<size_t>(&view - &merged[0])));
+      if (probe_it != probes.end()) {
+        // Sorted-merge the tuples every instance must see with this
+        // instance's candidates: delta order is preserved, so verdicts
+        // and polling SQL match the interpreted path byte for byte.
+        const TableProbe& probe = probe_it->second;
+        auto own_it = probe.per_id.find(a.instance_id);
+        static const std::vector<uint32_t> kNone;
+        const std::vector<uint32_t>& own =
+            own_it == probe.per_id.end() ? kNone : own_it->second;
+        subset.clear();
+        subset.reserve(probe.all_tuples.size() + own.size());
+        size_t x = 0;
+        size_t y = 0;
+        while (x < probe.all_tuples.size() || y < own.size()) {
+          uint32_t next;
+          if (y >= own.size() ||
+              (x < probe.all_tuples.size() && probe.all_tuples[x] < own[y])) {
+            next = probe.all_tuples[x++];
+          } else {
+            next = own[y++];
+          }
+          subset.push_back(view.tuples[next]);
+        }
+        a.matcher_excluded += view.tuples.size() - subset.size();
+        if (subset.empty()) {
+          // Every tuple's probe excluded this instance: provably
+          // unaffected by this table with zero AST work.
+          ++a.matcher_short_circuits;
+          continue;
+        }
+        tuples = &subset;
+      }
+
+      if (env_.options->batch_deltas) {
+        Result<ImpactResult> impact =
+            analyzer.AnalyzeDelta(*instance.statement, view.table, *tuples);
+        if (!impact.ok()) {
+          a.status = impact.status();
+          return;
+        }
+        if (impact->kind == ImpactKind::kAffected) {
+          affected = true;
+          break;
+        }
+        if (impact->kind == ImpactKind::kNeedsPolling) {
+          polls.push_back(std::move(impact->polling_query));
+        }
+      } else {
+        for (const db::Row* tuple : *tuples) {
+          Result<ImpactResult> impact =
+              analyzer.AnalyzeTuple(*instance.statement, view.table, *tuple);
+          if (!impact.ok()) {
+            a.status = impact.status();
+            return;
+          }
+          if (impact->kind == ImpactKind::kAffected) {
+            affected = true;
+            break;
+          }
+          if (impact->kind == ImpactKind::kNeedsPolling) {
+            polls.push_back(std::move(impact->polling_query));
+          }
+        }
+        if (affected) break;
+      }
+    }
+    a.check_time = env_.clock->NowMicros() - check_start;
+    if (!a.checked) return;
+    if (affected) {
+      a.affected = true;
+      return;
+    }
+    if (polls.empty()) return;
+
+    // Try the information manager's indexes before scheduling DBMS
+    // polls.
+    for (auto& poll : polls) {
+      std::optional<bool> answer = env_.info->AnswerPoll(*poll);
+      if (answer.has_value()) {
+        ++a.index_answers;
+        if (*answer) {
+          a.index_affected = true;
+          return;
+        }
+      } else {
+        a.remaining_polls.push_back(std::move(poll));
+      }
+    }
+    a.affected_pages = env_.map->NumPagesForQuery(instance.sql);
+  });
+
+  // Serial merge, in snapshot order: fold verdicts into the lifetime and
+  // per-type stats and collect the polling tasks. Work is grouped by
+  // type, so each type block merges under one brief shard lock —
+  // identical results to the serial loop, at any shard count.
+  size_t i = 0;
+  while (i < work.size()) {
+    uint64_t type_id = work[i].type_id;
+    size_t j = i;
+    while (j < work.size() && work[j].type_id == type_id) ++j;
+    Status block_status;
+    plane.WithShardOfType(type_id, [&](MetadataPlane::Shard& shard) {
+      QueryType* mutable_type = shard.registry.FindType(type_id);
+      for (size_t k = i; k < j; ++k) {
+        InstanceAnalysis& a = work[k];
+        if (!a.status.ok()) {
+          block_status = a.status;
+          return;
+        }
+        const std::string& instance_sql = a.instance->sql;
+
+        if (a.multi_table_guard) {
+          ++ctx.report.checks;
+          ++env_.stats->instance_checks;
+          ++env_.stats->affected_immediately;
+          if (mutable_type != nullptr) {
+            ++mutable_type->stats.checks;
+            ++mutable_type->stats.affected;
+          }
+          ctx.affected.insert(instance_sql);
+          continue;
+        }
+        if (!a.checked) continue;
+
+        env_.cycle_matcher_stats->tuples_excluded += a.matcher_excluded;
+        env_.cycle_matcher_stats->instances_short_circuited +=
+            a.matcher_short_circuits;
+        ++ctx.report.checks;
+        ++env_.stats->instance_checks;
+        if (mutable_type != nullptr) {
+          QueryTypeStats& ts = mutable_type->stats;
+          ++ts.checks;
+          ts.total_invalidation_time += a.check_time;
+          ts.max_invalidation_time =
+              std::max(ts.max_invalidation_time, a.check_time);
+        }
+
+        if (a.affected) {
+          ctx.affected.insert(instance_sql);
+          ++env_.stats->affected_immediately;
+          if (mutable_type != nullptr) ++mutable_type->stats.affected;
+          continue;
+        }
+        env_.stats->polls_answered_by_index += a.index_answers;
+        ctx.report.polls_answered_by_index += a.index_answers;
+        if (a.index_affected) {
+          ctx.affected.insert(instance_sql);
+          if (mutable_type != nullptr) ++mutable_type->stats.affected;
+          continue;
+        }
+        if (a.remaining_polls.empty()) {
+          ++env_.stats->unaffected;
+          continue;
+        }
+        for (auto& poll : a.remaining_polls) {
+          PollingTask task;
+          task.instance_sql = instance_sql;
+          task.type_id = a.type_id;
+          task.query = std::move(poll);
+          task.deadline = ctx.start + env_.options->cycle_deadline;
+          task.affected_pages = a.affected_pages;
+          ctx.tasks.push_back(std::move(task));
+          if (mutable_type != nullptr) ++mutable_type->stats.polling_queries;
+        }
+      }
+    });
+    CACHEPORTAL_RETURN_NOT_OK(block_status);
+    i = j;
+  }
+
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PollStage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One instance's polling work in the parallel polling fan-out. The
+/// scheduler emits an instance's polls contiguously, so grouping is a
+/// single pass; polls within a group run in order and short-circuit on
+/// the first hit or failure, exactly like the serial loop.
+struct PollGroup {
+  std::string instance_sql;
+  uint64_t type_id = 0;
+  std::vector<std::unique_ptr<sql::SelectStatement>> queries;
+
+  // Outcome.
+  uint64_t polls_issued = 0;
+  bool poll_hit = false;
+  bool conservative = false;  // A poll failed; invalidate conservatively.
+  std::string failure;        // The failed poll's status, for the log.
+};
+
+/// One consolidated polling statement: the OR of the residual WHEREs of
+/// several instances' polls against one (type, target table), executed
+/// as a single DBMS round trip and demultiplexed in-process.
+struct MergedPoll {
+  sql::TableRef from;
+  std::vector<size_t> groups;  // Member PollGroup indexes, in group order.
+  struct MemberRef {
+    size_t group = 0;
+    size_t query = 0;  // Index into that group's queries.
+  };
+  std::vector<MemberRef> members;
+  std::unique_ptr<sql::SelectStatement> statement;
+
+  // Outcome (written by the one worker owning this poll).
+  bool failed = false;
+  std::string failure;
+  std::set<size_t> hit_groups;
+};
+
+/// Does `row` (a SELECT * result over `from`) satisfy a member poll's
+/// residual WHERE? Decided with the same substitution + fold the impact
+/// analyzer and the executor use, so the demultiplexed verdict equals
+/// what the member's own `SELECT 1 ... LIMIT 1` poll would have returned.
+bool RowSatisfies(const sql::Expression& where, const sql::TableRef& from,
+                  const std::vector<std::string>& columns,
+                  const db::Row& row) {
+  auto substituter = [&](const std::string& tbl, const std::string& col)
+      -> std::optional<sql::Value> {
+    if (!tbl.empty() && !EqualsIgnoreCase(tbl, from.EffectiveName())) {
+      return std::nullopt;
+    }
+    for (size_t i = 0; i < columns.size() && i < row.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], col)) return row[i];
+    }
+    return std::nullopt;
+  };
+  sql::FoldResult folded =
+      sql::FoldConstants(*sql::SubstituteColumns(where, substituter));
+  // A residual would mean the row lacks a referenced column (cannot
+  // happen: SELECT * carries the whole schema); count it as a hit rather
+  // than risk staleness.
+  return folded.outcome == sql::FoldOutcome::kTrue ||
+         folded.outcome == sql::FoldOutcome::kResidual;
+}
+
+}  // namespace
+
+Status PollStage::Run(CycleContext& ctx) {
+  // ---- Schedule and execute polling queries, parallel phase. ----
+  // The degradation rung already set this cycle's effective polling
+  // budget in the stage policy: kEconomy shrank it, kConservative (or an
+  // economy budget of 0) skips polling entirely — every undecided
+  // instance is condemned.
+  InvalidationScheduler::Schedule schedule;
+  if (ctx.policy.skip_polls) {
+    // Condemn whole instances exactly like the scheduler would: one
+    // representative task per instance, in task order.
+    std::set<std::string> condemned;
+    for (PollingTask& task : ctx.tasks) {
+      if (condemned.insert(task.instance_sql).second) {
+        schedule.conservative.push_back(std::move(task));
+      }
+    }
+  } else {
+    schedule = env_.scheduler->BuildWithBudget(std::move(ctx.tasks),
+                                               ctx.policy.poll_budget);
+  }
+  ctx.tasks.clear();
+
+  // Condemn budget-overflow instances BEFORE any poll is issued: a
+  // condemned instance is invalidated regardless, so polling any of its
+  // queries would be pure DBMS waste.
+  for (PollingTask& task : schedule.conservative) {
+    if (ctx.affected.insert(task.instance_sql).second) {
+      ++env_.stats->conservative_invalidations;
+      ++ctx.report.conservative_invalidations;
+    }
+  }
+
+  // Group the admitted polls per instance (the scheduler emits them
+  // contiguously); instances the analysis already decided need no polls.
+  std::vector<PollGroup> poll_groups;
+  for (PollingTask& task : schedule.to_poll) {
+    if (ctx.affected.contains(task.instance_sql)) continue;
+    if (poll_groups.empty() ||
+        poll_groups.back().instance_sql != task.instance_sql) {
+      poll_groups.emplace_back();
+      poll_groups.back().instance_sql = task.instance_sql;
+      poll_groups.back().type_id = task.type_id;
+    }
+    poll_groups.back().queries.push_back(std::move(task.query));
+  }
+
+  // Consolidation (the paper's type-level grouping applied to polling):
+  // instances of one type polling one single-table target share their
+  // residuals' shape, so their polls merge into chunks of
+  // `SELECT * FROM target WHERE (r1) OR (r2) OR ...` — one DBMS round
+  // trip per chunk — and each returned row is matched back to its member
+  // residuals in-process. Buckets with a single instance keep the exact
+  // per-query path (same polls_issued as ever). Which instances end up
+  // affected is unchanged; only the round-trip count (and, if a merged
+  // statement fails, the blast radius of conservatism) differs.
+  std::vector<MergedPoll> merged_polls;
+  std::vector<size_t> classic_groups;
+  if (env_.options->consolidate_polls && poll_groups.size() > 1) {
+    std::vector<bool> consolidated(poll_groups.size(), false);
+    std::map<std::tuple<uint64_t, std::string, std::string>,
+             std::vector<size_t>>
+        buckets;
+    for (size_t g = 0; g < poll_groups.size(); ++g) {
+      const PollGroup& group = poll_groups[g];
+      const sql::TableRef* target = nullptr;
+      bool mergeable = !group.queries.empty();
+      for (const auto& query : group.queries) {
+        if (query->from.size() != 1 || query->where == nullptr) {
+          mergeable = false;
+          break;
+        }
+        if (target == nullptr) {
+          target = &query->from[0];
+        } else if (!EqualsIgnoreCase(query->from[0].table, target->table) ||
+                   !EqualsIgnoreCase(query->from[0].alias, target->alias)) {
+          mergeable = false;
+          break;
+        }
+      }
+      if (!mergeable) continue;
+      buckets[{group.type_id, AsciiToLower(target->table),
+               AsciiToLower(target->alias)}]
+          .push_back(g);
+    }
+    for (const auto& [bucket_key, bucket_groups] : buckets) {
+      if (bucket_groups.size() < 2) continue;
+      size_t chunk = env_.options->consolidated_poll_chunk == 0
+                         ? bucket_groups.size()
+                         : env_.options->consolidated_poll_chunk;
+      for (size_t base = 0; base < bucket_groups.size(); base += chunk) {
+        size_t end = std::min(base + chunk, bucket_groups.size());
+        MergedPoll poll;
+        poll.from = poll_groups[bucket_groups[base]].queries[0]->from[0];
+        sql::ExpressionPtr disjunction;
+        for (size_t j = base; j < end; ++j) {
+          size_t g = bucket_groups[j];
+          poll.groups.push_back(g);
+          consolidated[g] = true;
+          for (size_t q = 0; q < poll_groups[g].queries.size(); ++q) {
+            poll.members.push_back({g, q});
+            sql::ExpressionPtr clause =
+                poll_groups[g].queries[q]->where->Clone();
+            disjunction = disjunction == nullptr
+                              ? std::move(clause)
+                              : std::make_unique<sql::BinaryExpr>(
+                                    sql::BinaryOp::kOr, std::move(disjunction),
+                                    std::move(clause));
+          }
+        }
+        auto statement = std::make_unique<sql::SelectStatement>();
+        sql::SelectItem star;
+        star.star = true;
+        statement->items.push_back(std::move(star));
+        statement->from.push_back(poll.from);
+        statement->where = std::move(disjunction);
+        poll.statement = std::move(statement);
+        merged_polls.push_back(std::move(poll));
+      }
+    }
+    for (size_t g = 0; g < poll_groups.size(); ++g) {
+      if (!consolidated[g]) classic_groups.push_back(g);
+    }
+  } else {
+    classic_groups.reserve(poll_groups.size());
+    for (size_t g = 0; g < poll_groups.size(); ++g) classic_groups.push_back(g);
+  }
+
+  // Fan out: one worker task per classic instance (its polls run in
+  // order and stop at the first hit or failure, like the serial loop) or
+  // per merged statement (one round trip, then in-process demux).
+  RunStageParallel(
+      env_.pool, classic_groups.size() + merged_polls.size(), [&](size_t u) {
+        if (u < classic_groups.size()) {
+          PollGroup& group = poll_groups[classic_groups[u]];
+          for (const auto& query : group.queries) {
+            std::string poll_sql = sql::StatementToSql(*query);
+            ++group.polls_issued;
+            Result<db::QueryResult> result = env_.execute_poll(poll_sql);
+            if (!result.ok()) {
+              group.conservative = true;
+              group.failure = result.status().ToString();
+              return;
+            }
+            if (!result->rows.empty()) {
+              group.poll_hit = true;
+              return;
+            }
+          }
+          return;
+        }
+        MergedPoll& poll = merged_polls[u - classic_groups.size()];
+        std::string poll_sql = sql::StatementToSql(*poll.statement);
+        Result<db::QueryResult> result = env_.execute_poll(poll_sql);
+        if (!result.ok()) {
+          poll.failed = true;
+          poll.failure = result.status().ToString();
+          return;
+        }
+        for (const db::Row& row : result->rows) {
+          if (poll.hit_groups.size() == poll.groups.size()) break;
+          for (const MergedPoll::MemberRef& member : poll.members) {
+            if (poll.hit_groups.contains(member.group)) continue;
+            const auto& query = poll_groups[member.group].queries[member.query];
+            if (RowSatisfies(*query->where, poll.from, result->columns, row)) {
+              poll.hit_groups.insert(member.group);
+            }
+          }
+        }
+      });
+
+  // Serial merge in deterministic order: classic groups first (in group
+  // order), then merged polls (in bucket order).
+  for (size_t g : classic_groups) {
+    PollGroup& group = poll_groups[g];
+    env_.stats->polls_issued += group.polls_issued;
+    ctx.report.polls_issued += group.polls_issued;
+    if (group.conservative) {
+      // A failed poll must not leak staleness: invalidate conservatively.
+      LogMessage(LogLevel::kWarning,
+                 StrCat("polling query failed (", group.failure,
+                        "); invalidating conservatively"));
+      ctx.affected.insert(group.instance_sql);
+      ++env_.stats->conservative_invalidations;
+      ++ctx.report.conservative_invalidations;
+      continue;
+    }
+    if (group.poll_hit) {
+      ++env_.stats->poll_hits;
+      ctx.affected.insert(group.instance_sql);
+    }
+  }
+  for (MergedPoll& poll : merged_polls) {
+    ++env_.stats->polls_issued;
+    ++ctx.report.polls_issued;
+    ++env_.cycle_matcher_stats->consolidated_polls;
+    env_.cycle_matcher_stats->consolidated_members += poll.members.size();
+    if (poll.failed) {
+      // One failed round trip decides every member conservatively.
+      LogMessage(LogLevel::kWarning,
+                 StrCat("consolidated polling query failed (", poll.failure,
+                        "); invalidating ", poll.groups.size(),
+                        " instances conservatively"));
+      for (size_t g : poll.groups) {
+        ctx.affected.insert(poll_groups[g].instance_sql);
+        ++env_.stats->conservative_invalidations;
+        ++ctx.report.conservative_invalidations;
+      }
+      continue;
+    }
+    for (size_t g : poll.groups) {
+      if (poll.hit_groups.contains(g)) {
+        ++env_.stats->poll_hits;
+        ctx.affected.insert(poll_groups[g].instance_sql);
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DeliverStage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A fully built eject message, ready for per-sink delivery.
+struct Eject {
+  std::string page_key;
+  http::HttpRequest request;
+};
+
+/// Per-sink delivery counters, accumulated on the worker that owns the
+/// sink and merged serially.
+struct SinkTally {
+  uint64_t sent = 0;
+  uint64_t failures = 0;
+  std::vector<std::string> warnings;
+};
+
+}  // namespace
+
+Status DeliverStage::Run(CycleContext& ctx) {
+  // ---- Generate invalidation messages, parallel phase. ----
+  ctx.report.affected_instances = ctx.affected.size();
+
+  // Serial: collect the deduplicated page list (ctx.affected is an
+  // ordered set, so the order is deterministic) and build each eject
+  // message — a normal HTTP request addressed at the page, carrying the
+  // Cache-Control: eject extension (Section 4.2.4).
+  std::vector<Eject> ejects;
+  std::set<std::string> pages_done;
+  for (const std::string& instance_sql : ctx.affected) {
+    for (const std::string& page_key : env_.map->PagesForQuery(instance_sql)) {
+      if (!pages_done.insert(page_key).second) continue;
+      Eject eject;
+      eject.page_key = page_key;
+      Result<http::PageId> id = http::PageId::FromCacheKey(page_key);
+      if (id.ok()) {
+        eject.request.method = http::Method::kGet;
+        eject.request.host = id->host();
+        eject.request.path = id->path();
+        eject.request.get_params = id->get_params();
+        eject.request.post_params = id->post_params();
+        eject.request.cookies = id->cookie_params();
+      } else {
+        LogMessage(LogLevel::kWarning,
+                   StrCat("unparseable cache key '", page_key,
+                          "': ", id.status().ToString()));
+      }
+      http::CacheControl cc;
+      cc.eject = true;
+      eject.request.headers.Set("Cache-Control", cc.ToHeaderValue());
+      ejects.push_back(std::move(eject));
+    }
+  }
+
+  // Fan out across sinks: each sink is owned by one worker task, which
+  // delivers every message in order (preserving the per-sink FIFO a
+  // ReliableDeliveryQueue depends on) — sinks never see concurrent calls.
+  const std::vector<InvalidationSink*>& sinks = *env_.sinks;
+  std::vector<SinkTally> tallies(sinks.size());
+  RunStageParallel(env_.pool, sinks.size(), [&](size_t s) {
+    InvalidationSink* sink = sinks[s];
+    SinkTally& tally = tallies[s];
+    for (const Eject& eject : ejects) {
+      Status sent = sink->SendInvalidation(eject.request, eject.page_key);
+      ++tally.sent;
+      if (!sent.ok()) {
+        // A sink that rejects a message owns no retry state — without a
+        // ReliableDeliveryQueue in front, this page may stay stale in
+        // that cache. Surface it loudly (at the merge).
+        ++tally.failures;
+        tally.warnings.push_back(
+            StrCat("invalidation delivery failed for '", eject.page_key,
+                   "': ", sent.ToString()));
+      }
+    }
+  });
+  for (const SinkTally& tally : tallies) {
+    env_.stats->messages_sent += tally.sent;
+    env_.stats->send_failures += tally.failures;
+    for (const std::string& warning : tally.warnings) {
+      LogMessage(LogLevel::kWarning, warning);
+    }
+  }
+
+  // Serial post-pass: ejected pages leave the map (retiring their rows
+  // for every instance that fed them), and instances left without pages
+  // are unregistered.
+  for (const Eject& eject : ejects) {
+    env_.map->RemovePage(eject.page_key);
+    ++ctx.report.pages_invalidated;
+    ++env_.stats->pages_invalidated;
+  }
+  for (const std::string& instance_sql : ctx.affected) {
+    if (env_.map->NumPagesForQuery(instance_sql) == 0) {
+      env_.plane->RetireInstance(instance_sql);
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,9 +1,11 @@
 #ifndef CACHEPORTAL_SNIFFER_QIURL_MAP_H_
 #define CACHEPORTAL_SNIFFER_QIURL_MAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,14 +27,23 @@ struct QiUrlEntry {
 /// The query-instance-to-URL map, produced by the sniffer and consumed by
 /// the invalidator. (query, page) pairs are deduplicated; re-adding an
 /// existing pair refreshes its timestamp only.
+///
+/// Thread-safe: an internal shared_mutex lets the sniffer Add while the
+/// invalidator's cycle reads (ReadSince / PagesForQuery / ...) or ejects
+/// (RemovePage) — the decoupling that frees the two from lockstep batch
+/// coupling. `epoch()` counts row-set mutations (new rows and removals;
+/// timestamp refreshes don't count), so a consumer can skip its next
+/// incremental scan when the epoch it last observed is unchanged.
 class QiUrlMap {
  public:
   QiUrlMap() = default;
 
   QiUrlMap(const QiUrlMap&) = delete;
   QiUrlMap& operator=(const QiUrlMap&) = delete;
-  QiUrlMap(QiUrlMap&&) = default;
-  QiUrlMap& operator=(QiUrlMap&&) = default;
+  // Moves exist for Result<QiUrlMap> (Deserialize); they are NOT
+  // concurrency-safe — move only before publishing the map to threads.
+  QiUrlMap(QiUrlMap&& other) noexcept;
+  QiUrlMap& operator=(QiUrlMap&& other) noexcept;
 
   /// Adds a mapping; returns the row ID (existing ID if deduplicated).
   uint64_t Add(const std::string& query_sql, const std::string& page_key,
@@ -57,22 +68,31 @@ class QiUrlMap {
   size_t RemovePage(const std::string& page_key);
 
   /// Distinct query instances present.
-  size_t NumQueries() const { return by_query_.size(); }
+  size_t NumQueries() const;
   /// Distinct pages present.
-  size_t NumPages() const { return by_page_.size(); }
-  size_t size() const { return entries_.size(); }
+  size_t NumPages() const;
+  size_t size() const;
 
-  uint64_t LastId() const { return next_id_ - 1; }
+  uint64_t LastId() const;
+
+  /// Row-set mutation counter: bumped by every Add that creates a row
+  /// and every RemovePage that removes one. Equal epochs across two
+  /// observations mean no rows appeared or disappeared in between.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Serializes all rows to the sniffer's line format (see log_io.h); the
   /// invalidator machine can persist its view of the map across restarts.
   std::string Serialize() const;
 
-  /// Rebuilds a map from Serialize() output. Row IDs are reassigned
-  /// densely (consumers must reset their read cursors after a restore).
+  /// Rebuilds a map from Serialize() output. Row IDs and the ID counter
+  /// are preserved, so a consumer's ReadSince cursor taken against the
+  /// serialized map stays valid against the restored one: rows it had
+  /// consumed stay consumed, rows it hadn't are still above the cursor.
   static Result<QiUrlMap> Deserialize(const std::string& text);
 
  private:
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> epoch_{0};
   // id -> entry, ordered for ReadSince.
   std::map<uint64_t, QiUrlEntry> entries_;
   // (query, page) -> id for dedup.

@@ -119,7 +119,17 @@ TEST(InvalidatorCheckpointTest, RestoreRejectsCorruptNumericFields) {
       corrupt(seq_line, "update_seq 18446744073709551616"),  // 2^64.
       corrupt(seq_line, "update_seq -3"),
       corrupt(seq_line, StrCat("update_seq ", seq_before, "junk")),
-      corrupt("map_id 0", "map_id foo"),
+      // v3 shard records: garbled count, zero shards, non-numeric cursor
+      // index, duplicate cursor (which also breaks the declared count),
+      // and a count that disagrees with the cursor lines present.
+      corrupt("shards 4", "shards foo"),
+      corrupt("shards 4", "shards 0"),
+      corrupt("shard_map_id 0", "shard_map_id x"),
+      corrupt("shard_map_id 1", "shard_map_id 0"),
+      corrupt("shards 4", "shards 5"),
+      // Record types are version-gated: a v1-only `map_id` line inside a
+      // v3 blob is corruption, not nostalgia.
+      corrupt(seq_line, StrCat(seq_line, "\nmap_id 0")),
       corrupt(seq_line, StrCat(seq_line, "\nsink x 5")),
       corrupt(seq_line, StrCat(seq_line, "\nsink 0 abc")),
   };
@@ -132,6 +142,84 @@ TEST(InvalidatorCheckpointTest, RestoreRejectsCorruptNumericFields) {
   }
   EXPECT_TRUE(inv.Restore(good).ok());
   EXPECT_EQ(inv.consumed_update_seq(), seq_before);
+}
+
+/// A v1 checkpoint written before the metadata plane was sharded (single
+/// `map_id` cursor, no shard records) must still restore — deployments
+/// upgrade across the format change with their persisted state intact.
+TEST(InvalidatorCheckpointTest, LegacyV1CheckpointStillRestores) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM Car WHERE price < 20000", "shop/cheap?##", "/r", 0);
+
+  RecordingSink sink;
+  Invalidator inv(&db, &map, &clock);
+  inv.AddSink(&sink);
+  inv.RunCycle().value();
+  const uint64_t seq = inv.consumed_update_seq();
+
+  // The exact bytes the pre-v3 writer produced (no checkpointable sink).
+  const std::string legacy = StrCat("cacheportal-invalidator-checkpoint 1\n",
+                                    "update_seq ", seq, "\n",
+                                    "map_id ", map.LastId(), "\n", "end\n");
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
+
+  Invalidator inv2(&db, &map, &clock);
+  inv2.AddSink(&sink);
+  ASSERT_TRUE(inv2.Restore(legacy).ok());
+  EXPECT_EQ(inv2.consumed_update_seq(), seq);
+  inv2.RunCycle().value();
+  EXPECT_TRUE(sink.invalidated.contains("shop/cheap?##"));
+
+  // And v1 corruption is still loud: shard records don't belong in v1.
+  const std::string hybrid = StrCat("cacheportal-invalidator-checkpoint 1\n",
+                                    "update_seq ", seq, "\n",
+                                    "shards 2\n", "end\n");
+  EXPECT_TRUE(inv2.Restore(hybrid).IsParseError());
+  EXPECT_FALSE(
+      inv2.Restore(StrCat("cacheportal-invalidator-checkpoint 1\n",
+                          "update_seq ", seq, "\nmap_id zzz\nend\n"))
+          .ok());
+}
+
+/// v3 round-trip: the current format carries one QI/URL-map cursor per
+/// metadata shard, and restores into a process with a DIFFERENT live
+/// shard count (the persisted partitioning never constrains the new
+/// configuration — cursors rewind either way).
+TEST(InvalidatorCheckpointTest, V3RoundTripsAcrossShardCounts) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM Car WHERE price < 20000", "shop/cheap?##", "/r", 0);
+
+  InvalidatorOptions three;
+  three.metadata_shards = 3;
+  Invalidator inv(&db, &map, &clock, three);
+  inv.RunCycle().value();
+  std::string checkpoint = inv.Checkpoint();
+  EXPECT_NE(checkpoint.find("cacheportal-invalidator-checkpoint 3\n"),
+            std::string::npos);
+  EXPECT_NE(checkpoint.find("shards 3\n"), std::string::npos);
+  // All three cursors advanced in lockstep to the scanned map row.
+  for (int shard = 0; shard < 3; ++shard) {
+    EXPECT_NE(checkpoint.find(
+                  StrCat("shard_map_id ", shard, " ", map.LastId(), "\n")),
+              std::string::npos)
+        << checkpoint;
+  }
+
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
+  RecordingSink sink;
+  InvalidatorOptions two;
+  two.metadata_shards = 2;
+  Invalidator inv2(&db, &map, &clock, two);
+  inv2.AddSink(&sink);
+  ASSERT_TRUE(inv2.Restore(checkpoint).ok());
+  inv2.RunCycle().value();
+  EXPECT_TRUE(sink.invalidated.contains("shop/cheap?##"));
 }
 
 /// Checkpoints embed CheckpointableSink state: messages stuck in a

@@ -467,7 +467,7 @@ TEST(TypeMatcherTest, SelfJoinFallsBackToInterpreted) {
   auto report = inv.RunCycle();
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(inv.matcher_stats().tuples_excluded, 0u);
-  EXPECT_EQ(inv.bind_index().NumIndexedInstances(), 0u);
+  EXPECT_EQ(inv.metadata().NumIndexedInstances(), 0u);
 }
 
 }  // namespace

@@ -196,7 +196,7 @@ TEST_F(InvalidatorTest, SharedPageInvalidatedOnceAcrossInstances) {
   EXPECT_EQ(report->pages_invalidated, 1u);
   EXPECT_EQ(sink_.keys.size(), 1u);
   // Both instances are retired with the page.
-  EXPECT_EQ(inv->registry().NumInstances(), 0u);
+  EXPECT_EQ(inv->metadata().NumInstances(), 0u);
 }
 
 TEST_F(InvalidatorTest, MultipleCyclesConsumeLogIncrementally) {
@@ -274,9 +274,9 @@ TEST_F(InvalidatorTest, OfflineRegistrationNamesDiscoveredInstances) {
   MapPage(kCheapCars, "p");
   inv->RunCycle().value();
   const QueryInstance* instance =
-      inv->registry().FindInstance(kCheapCars);
+      inv->metadata().FindInstance(kCheapCars);
   ASSERT_NE(instance, nullptr);
-  EXPECT_EQ(inv->registry().FindType(instance->type_id)->name, "cheap-cars");
+  EXPECT_EQ(inv->metadata().FindType(instance->type_id)->name, "cheap-cars");
 }
 
 TEST_F(InvalidatorTest, UnparseableQueryInstancesAreSkippedGracefully) {
@@ -291,7 +291,7 @@ TEST_F(InvalidatorTest, UnparseableQueryInstancesAreSkippedGracefully) {
   // The parseable instance was processed and its page invalidated.
   EXPECT_EQ(report->pages_invalidated, 1u);
   EXPECT_EQ(sink_.keys.size(), 1u);
-  EXPECT_EQ(inv->registry().NumInstances(), 0u);
+  EXPECT_EQ(inv->metadata().NumInstances(), 0u);
 }
 
 TEST_F(InvalidatorTest, InstanceOverUnknownTableIsBenign) {

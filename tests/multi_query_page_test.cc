@@ -120,7 +120,7 @@ TEST_F(MultiQueryPageTest, UnrelatedUpdateLeavesPageCached) {
 TEST_F(MultiQueryPageTest, PageEjectionRetiresBothInstances) {
   Get();
   portal_->RunCycle().value();
-  EXPECT_EQ(portal_->invalidator().registry().NumInstances(), 2u);
+  EXPECT_EQ(portal_->invalidator().metadata().NumInstances(), 2u);
   db_.ExecuteSql("INSERT INTO Product VALUES ('book', 20)").value();
   portal_->RunCycle().value();
   // The page is gone, so both instances leave the map; the Product one
@@ -128,7 +128,7 @@ TEST_F(MultiQueryPageTest, PageEjectionRetiresBothInstances) {
   portal_->RunCycle().value();
   db_.ExecuteSql("INSERT INTO Promo VALUES ('x', 99)").value();
   portal_->RunCycle().value();
-  EXPECT_EQ(portal_->invalidator().registry().NumInstances(), 0u);
+  EXPECT_EQ(portal_->invalidator().metadata().NumInstances(), 0u);
 }
 
 }  // namespace

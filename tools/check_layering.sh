@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Enforces the src/ layer DAG. Each directory below src/ is a layer; a
+# file in layer L may #include "D/..." only when D is L itself or one of
+# L's allowed dependencies. The allowlist is the layering contract from
+# DESIGN.md — adding an edge here is an architecture decision, not a
+# build fix, so think twice (and update DESIGN.md) before extending it.
+#
+# Usage: tools/check_layering.sh   (from anywhere; exits non-zero on any
+# violation, printing one line per offending include).
+
+set -u
+cd "$(dirname "$0")/.."
+
+# layer -> space-separated allowed dependency layers.
+declare -A ALLOW=(
+  [common]=""
+  [sql]="common"
+  [http]="common"
+  [net]="common"
+  [sim]="common"
+  [db]="common sql"
+  [server]="common db http"
+  [sniffer]="common http server"
+  [cache]="common sql db http server"
+  [invalidator]="common sql db http server sniffer cache"
+  [core]="common db server sniffer cache invalidator"
+  [workload]="common db server core"
+)
+
+status=0
+for dir in src/*/; do
+  layer=$(basename "$dir")
+  if [ -z "${ALLOW[$layer]+x}" ]; then
+    echo "check_layering: unknown layer '$layer' — register it in tools/check_layering.sh" >&2
+    status=1
+    continue
+  fi
+  allow="${ALLOW[$layer]}"
+  while IFS= read -r line; do
+    file=${line%%:*}
+    dep=${line#*:}
+    dep=${dep#\#include \"}
+    dep=${dep%/}
+    [ "$dep" = "$layer" ] && continue
+    case " $allow " in
+      *" $dep "*) ;;
+      *)
+        echo "check_layering: $file includes \"$dep/...\" — edge $layer -> $dep is not in the layer DAG" >&2
+        status=1
+        ;;
+    esac
+  done < <(grep -rHoE '#include "[A-Za-z0-9_]+/' "$dir" --include='*.h' --include='*.cc')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_layering: OK ($(ls -d src/*/ | wc -l | tr -d ' ') layers clean)"
+fi
+exit "$status"
