@@ -4,14 +4,17 @@
 // plus the effect of join indexes on DBMS polling traffic.
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <atomic>
 #include <memory>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/env.h"
 #include "common/strings.h"
 #include "db/database.h"
+#include "invalidator/durability.h"
 #include "invalidator/invalidator.h"
 #include "sniffer/qiurl_map.h"
 
@@ -392,6 +395,83 @@ BENCHMARK(BM_RegistrationDuringCycle)
     ->Arg(8)
     ->ArgName("shards")
     ->UseRealTime();
+
+/// Restart cost versus registered instances, with and without a
+/// snapshot covering them. The timed region is DurabilityCoordinator
+/// Open(): snapshot load + WAL-suffix replay — the time until the
+/// process can serve again (the registry itself rebuilds lazily, inside
+/// the first cycle). With snapshot=1 the WAL suffix is 3 commits
+/// regardless of instance count; with snapshot=0 the suffix IS the full
+/// registration history, so Open degrades to O(total state) — the
+/// contrast the snapshot machinery exists to buy.
+void BM_RecoveryVsInstances(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  const bool snapshot = state.range(1) != 0;
+  ManualClock clock;
+  db::Database db(&clock);
+  db.CreateTable(db::TableSchema("Car",
+                                 {{"maker", db::ColumnType::kString},
+                                  {"model", db::ColumnType::kString},
+                                  {"price", db::ColumnType::kInt}}))
+      .ok();
+  sniffer::QiUrlMap map;
+  SimEnv env;
+  invalidator::DurabilityOptions dopts;
+  dopts.dir = "meta";
+  dopts.env = &env;
+  dopts.snapshot_every_cycles = 0;
+
+  // The doomed process: register everything, journal it, maybe snapshot,
+  // then commit a short post-snapshot suffix.
+  {
+    invalidator::Invalidator inv(&db, &map, &clock);
+    invalidator::DurabilityCoordinator coord(&inv, dopts);
+    if (!coord.Open().ok()) state.SkipWithError("setup open failed");
+    for (int i = 0; i < instances; ++i) {
+      map.Add(StrCat("SELECT model FROM Car WHERE maker = 'maker", i, "'"),
+              StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+    coord.RunCycle().value();
+    if (snapshot && !coord.Snapshot().ok()) {
+      state.SkipWithError("setup snapshot failed");
+    }
+    for (int r = 0; r < 3; ++r) {
+      db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('nobody', 'zz", r,
+                           "', ", 500000 + r, ")"))
+          .value();
+      coord.RunCycle().value();
+    }
+  }
+
+  uint64_t replayed = 0;
+  uint64_t staged = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    env.Recover();  // Power-cut the previous incarnation's handles.
+    invalidator::Invalidator inv(&db, &map, &clock);
+    invalidator::DurabilityCoordinator coord(&inv, dopts);
+    state.ResumeTiming();
+    if (!coord.Open().ok()) state.SkipWithError("recovery open failed");
+    state.PauseTiming();
+    replayed = coord.store().stats().records_recovered;
+    staged = inv.pending_restore_ops();
+    inv.ApplyPendingRestore();  // The lazy drain, outside the timing.
+    benchmark::DoNotOptimize(inv.metadata().NumInstances());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * instances);
+  state.counters["wal-records-replayed"] = static_cast<double>(replayed);
+  state.counters["staged-restore-ops"] = static_cast<double>(staged);
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    state.counters["maxrss-mb"] =
+        static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+}
+BENCHMARK(BM_RecoveryVsInstances)
+    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}})
+    ->ArgNames({"instances", "snapshot"})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

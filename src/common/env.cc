@@ -1,0 +1,399 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cacheportal {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(StrCat(op, " '", path, "': ", std::strerror(errno)));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return ErrnoStatus("close", path_);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+PosixEnv* PosixEnv::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Result<std::unique_ptr<WritableFile>> PosixEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+}
+
+Result<std::string> PosixEnv::ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrCat("no such file: ", path));
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::DeleteFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+  return Status::OK();
+}
+
+Status PosixEnv::CreateDir(const std::string& path) {
+  // mkdir -p: create every prefix, tolerating ones that already exist.
+  for (size_t i = 1; i <= path.size(); ++i) {
+    if (i != path.size() && path[i] != '/') continue;
+    std::string prefix = path.substr(0, i);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync dir", dir);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixEnv::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ErrnoStatus("opendir", dir);
+  std::vector<std::string> out;
+  for (struct dirent* entry = ::readdir(d); entry != nullptr;
+       entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    std::string full = StrCat(dir, "/", name);
+    if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      out.push_back(std::move(name));
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool PosixEnv::FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status PosixEnv::TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SimEnv
+
+/// A handle into the simulated filesystem. Holds the inode directly (not
+/// the path) so renames don't detach it — exactly like a POSIX fd.
+class SimWritableFile : public WritableFile {
+ public:
+  SimWritableFile(SimEnv* env, SimEnv::InodePtr inode, uint64_t generation)
+      : env_(env), inode_(std::move(inode)), generation_(generation) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    CACHEPORTAL_RETURN_NOT_OK(CheckLiveLocked());
+    if (env_->MaybeCrashLocked("env:append:before")) {
+      return env_->CrashedStatus();
+    }
+    inode_->live.append(data.data(), data.size());
+    if (env_->MaybeCrashLocked("env:append:after")) {
+      return env_->CrashedStatus();
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    CACHEPORTAL_RETURN_NOT_OK(CheckLiveLocked());
+    if (env_->MaybeCrashLocked("env:sync:before")) {
+      return env_->CrashedStatus();
+    }
+    // The torn-tail point: the kernel got half the dirty range to the
+    // platter before power died.
+    if (env_->faults_ != nullptr &&
+        env_->faults_->CrashAt("env:sync:partial")) {
+      if (inode_->live.size() > inode_->durable.size()) {
+        size_t unsynced = inode_->live.size() - inode_->durable.size();
+        inode_->durable =
+            inode_->live.substr(0, inode_->durable.size() + (unsynced + 1) / 2);
+      } else {
+        inode_->durable = inode_->live;
+      }
+      env_->crashed_ = true;
+      return env_->CrashedStatus();
+    }
+    inode_->durable = inode_->live;
+    if (env_->MaybeCrashLocked("env:sync:after")) {
+      return env_->CrashedStatus();
+    }
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  /// Caller holds env_->mu_.
+  Status CheckLiveLocked() const {
+    if (env_->crashed_) return env_->CrashedStatus();
+    if (generation_ != env_->generation_) {
+      return Status::Internal("stale file handle (SimEnv recovered)");
+    }
+    return Status::OK();
+  }
+
+  SimEnv* env_;
+  SimEnv::InodePtr inode_;
+  uint64_t generation_;
+};
+
+bool SimEnv::MaybeCrashLocked(const char* point) {
+  if (faults_ != nullptr && faults_->CrashAt(point)) {
+    crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
+std::string SimEnv::DirOf(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";  // Matches AtomicFileWriter.
+  return path.substr(0, slash);
+}
+
+Result<std::unique_ptr<WritableFile>> SimEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  InodePtr& inode = live_ns_[path];
+  if (inode == nullptr) inode = std::make_shared<Inode>();
+  // O_TRUNC clears what readers see; the durable bytes linger until the
+  // next Sync (a crash in between may resurrect pre-truncate content —
+  // the strictest reading of POSIX, which recovery code must tolerate).
+  if (truncate) inode->live.clear();
+  return std::unique_ptr<WritableFile>(
+      new SimWritableFile(this, inode, generation_));
+}
+
+Result<std::string> SimEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) {
+    return Status::NotFound(StrCat("no such file: ", path));
+  }
+  return it->second->live;
+}
+
+Status SimEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  auto it = live_ns_.find(from);
+  if (it == live_ns_.end()) {
+    return Status::NotFound(StrCat("no such file: ", from));
+  }
+  if (MaybeCrashLocked("env:rename:before")) return CrashedStatus();
+  InodePtr inode = it->second;
+  live_ns_.erase(it);
+  live_ns_[to] = std::move(inode);
+  if (MaybeCrashLocked("env:rename:after")) return CrashedStatus();
+  return Status::OK();
+}
+
+Status SimEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) {
+    return Status::NotFound(StrCat("no such file: ", path));
+  }
+  if (MaybeCrashLocked("env:delete:before")) return CrashedStatus();
+  live_ns_.erase(it);
+  if (MaybeCrashLocked("env:delete:after")) return CrashedStatus();
+  return Status::OK();
+}
+
+Status SimEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  // Directory creation is modeled as immediately durable — the store
+  // creates its directory once at deploy time, long before any crash
+  // the tests care about.
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Status SimEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  if (MaybeCrashLocked("env:dirsync:before")) return CrashedStatus();
+  // Promote the directory's namespace: durable entries under `dir`
+  // become exactly the live ones. File CONTENT durability is untouched
+  // (that's Sync's job) — the inodes are shared between the namespaces.
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (DirOf(it->first) == dir) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : live_ns_) {
+    if (DirOf(path) == dir) durable_ns_[path] = inode;
+  }
+  if (MaybeCrashLocked("env:dirsync:after")) return CrashedStatus();
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SimEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  std::vector<std::string> out;
+  for (const auto& [path, inode] : live_ns_) {
+    if (DirOf(path) == dir) out.push_back(path.substr(dir.size() + 1));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SimEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ns_.count(path) != 0;
+}
+
+Status SimEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedStatus();
+  auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) {
+    return Status::NotFound(StrCat("no such file: ", path));
+  }
+  if (MaybeCrashLocked("env:truncate:before")) return CrashedStatus();
+  Inode& inode = *it->second;
+  if (size < inode.live.size()) inode.live.resize(size);
+  if (MaybeCrashLocked("env:truncate:after")) return CrashedStatus();
+  return Status::OK();
+}
+
+bool SimEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void SimEnv::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, inode] : durable_ns_) {
+    inode->live = inode->durable;
+  }
+  live_ns_ = durable_ns_;
+  crashed_ = false;
+  ++generation_;
+}
+
+Status SimEnv::CorruptFile(const std::string& path, uint64_t offset,
+                           std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_ns_.find(path);
+  if (it == live_ns_.end()) {
+    return Status::NotFound(StrCat("no such file: ", path));
+  }
+  Inode& inode = *it->second;
+  if (offset + bytes.size() > inode.live.size()) {
+    return Status::InvalidArgument("corruption range past end of file");
+  }
+  inode.live.replace(offset, bytes.size(), bytes);
+  // The corruption models bad bytes ON MEDIA, so it hits the durable
+  // image too (clamped to its length).
+  if (offset < inode.durable.size()) {
+    size_t n = std::min<size_t>(bytes.size(), inode.durable.size() - offset);
+    inode.durable.replace(offset, n, bytes.substr(0, n));
+  }
+  return Status::OK();
+}
+
+}  // namespace cacheportal

@@ -1,0 +1,172 @@
+#ifndef CACHEPORTAL_COMMON_ENV_H_
+#define CACHEPORTAL_COMMON_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+
+namespace cacheportal {
+
+/// An open file accepting appended bytes. Append() buffers (the bytes
+/// may be lost on a crash); Sync() makes everything appended so far
+/// durable. Close() does NOT sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The filesystem surface the storage layer is written against. Two
+/// implementations: PosixEnv (the real thing) and SimEnv (an in-memory
+/// filesystem with an explicit durable/volatile split and crash
+/// injection, for the crash-point sweep tests).
+///
+/// Durability contract — the same one POSIX gives:
+///   - Appended bytes survive a crash only after WritableFile::Sync().
+///   - A created/renamed/deleted NAME survives a crash only after
+///     SyncDir() on its parent directory; the file's CONTENT still only
+///     survives up to its last Sync().
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if absent. With `truncate`,
+  /// existing content is discarded first.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// The file's full current (volatile) content.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Renames `from` onto `to`, atomically replacing any existing `to`.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Creates `path` (and parents) if absent; OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Makes `dir`'s namespace operations (creates, renames, deletes)
+  /// durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Names (not paths) of the regular files directly inside `dir`,
+  /// sorted ascending.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Shrinks `path` to its first `size` bytes (torn-tail repair).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+};
+
+/// The real filesystem. Stateless; one shared instance.
+class PosixEnv : public Env {
+ public:
+  static PosixEnv* Default();
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+};
+
+/// In-memory filesystem with an explicit volatile/durable split, the
+/// substrate of the crash-point sweep. Every file is an inode holding
+/// `live` bytes (what readers see now) and `durable` bytes (what
+/// survives a crash); the namespace is likewise doubled. Sync() promotes
+/// a file's live bytes to durable; SyncDir() promotes the directory's
+/// namespace. Crash() throws away everything volatile — exactly the
+/// state a machine reboot leaves on a POSIX filesystem that honors
+/// fsync.
+///
+/// Crash injection: when built over a FaultInjector with an armed crash
+/// point (FaultInjector::ArmCrash), every filesystem mutation consults
+/// CrashAt() at named points — before and after each append, sync,
+/// rename, delete, and directory sync, plus a "partial sync" point that
+/// makes only half the unsynced bytes durable (a torn tail). When the
+/// armed point fires the env crashes itself: the mutation fails with
+/// Status::Internal("simulated crash..."), and every subsequent
+/// operation fails until Recover() is called.
+///
+/// Thread-safe (one mutex); determinstic given the injector's arming.
+class SimEnv : public Env {
+ public:
+  /// `faults` may be null (no crash injection); not owned.
+  explicit SimEnv(FaultInjector* faults = nullptr) : faults_(faults) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+  /// True once an armed crash point fired (every op fails until
+  /// Recover()).
+  bool crashed() const;
+
+  /// Simulated reboot: volatile state is discarded (live := durable for
+  /// every surviving inode, namespace := durable namespace), open file
+  /// handles from before the crash go stale, and operations work again.
+  /// Also usable without a prior crash to model a clean power cut.
+  void Recover();
+
+  /// Test hook: replaces `path`'s bytes in place — live AND durable —
+  /// without moving through the crash-point machinery. For building
+  /// corruption corpora (bit flips, truncations) between incarnations.
+  Status CorruptFile(const std::string& path, uint64_t offset,
+                     std::string_view bytes);
+
+ private:
+  friend class SimWritableFile;
+
+  struct Inode {
+    std::string live;
+    std::string durable;
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+
+  /// Caller holds mu_. Consults the injector; on fire, marks the env
+  /// crashed and returns true (the caller fails its operation).
+  bool MaybeCrashLocked(const char* point);
+  Status CrashedStatus() const {
+    return Status::Internal("simulated crash (SimEnv)");
+  }
+  static std::string DirOf(const std::string& path);
+
+  FaultInjector* faults_;
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  /// Bumped by Recover(); handles opened before a recovery are stale.
+  uint64_t generation_ = 0;
+  std::map<std::string, InodePtr> live_ns_;
+  std::map<std::string, InodePtr> durable_ns_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_ENV_H_

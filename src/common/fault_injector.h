@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -152,6 +153,58 @@ class FaultInjector {
   /// differs from the input and does not parse as an HTTP message.
   std::string Malform(std::string bytes);
 
+  // ---- Crash points (the storage layer's kill switch). ----
+  //
+  // Durable-storage code calls CrashAt("name") at every point where a
+  // process death would leave a distinct on-disk state — before and
+  // after each append, fsync, rename, delete, and directory sync. While
+  // a crash is armed, every such call is COUNTED, and the nth one
+  // (0-based) fires: CrashAt returns true exactly once, then disarms.
+  // The sweep harness first arms an unreachable index to count a clean
+  // run's points, then replays the run once per index.
+
+  /// Arms the crash: the `nth` crash point consulted from now on fires.
+  /// Resets the per-arming counter.
+  void ArmCrash(uint64_t nth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_armed_ = nth;
+    crash_points_seen_ = 0;
+  }
+
+  /// Disarms without firing; the point counter keeps its last value.
+  void DisarmCrash() {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_armed_ = kCrashDisarmed;
+  }
+
+  /// Consult-and-maybe-fire. Counts only while armed.
+  bool CrashAt(std::string_view point) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crash_armed_ == kCrashDisarmed) return false;
+    uint64_t index = crash_points_seen_++;
+    if (index != crash_armed_) return false;
+    crash_armed_ = kCrashDisarmed;
+    ++crashes_injected_;
+    last_crash_point_ = std::string(point);
+    return true;
+  }
+
+  /// Crash points consulted since the last ArmCrash (the sweep's upper
+  /// bound when armed past the end of the run).
+  uint64_t crash_points_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crash_points_seen_;
+  }
+  uint64_t crashes_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashes_injected_;
+  }
+  /// Name of the most recently fired crash point ("" if none yet).
+  std::string last_crash_point() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_crash_point_;
+  }
+
   // Lifetime counters (survive Heal()).
   uint64_t drops_injected() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -193,6 +246,8 @@ class FaultInjector {
     return config_;
   }
 
+  static constexpr uint64_t kCrashDisarmed = ~uint64_t{0};
+
   mutable std::mutex mu_;
   Random rng_;
   FaultConfig config_;
@@ -202,6 +257,10 @@ class FaultInjector {
   uint64_t errors_injected_ = 0;
   uint64_t malforms_injected_ = 0;
   uint64_t delays_injected_ = 0;
+  uint64_t crash_armed_ = kCrashDisarmed;
+  uint64_t crash_points_seen_ = 0;
+  uint64_t crashes_injected_ = 0;
+  std::string last_crash_point_;
 };
 
 }  // namespace cacheportal

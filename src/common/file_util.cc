@@ -1,0 +1,84 @@
+#include "common/file_util.h"
+
+#include <array>
+#include <memory>
+
+namespace cacheportal {
+
+namespace {
+
+/// Table-driven CRC-32 (IEEE, reflected: polynomial 0xEDB88320), the
+/// same function zlib's crc32() computes.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  const auto& table = CrcTable();
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 8);
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return value;
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return value;
+}
+
+Status AtomicFileWriter::Write(Env* env, const std::string& path,
+                               std::string_view contents) {
+  std::string tmp = path + ".tmp";
+  {
+    CACHEPORTAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                                 env->NewWritableFile(tmp, /*truncate=*/true));
+    CACHEPORTAL_RETURN_NOT_OK(file->Append(contents));
+    // The content must be durable BEFORE the rename publishes the name:
+    // rename-then-sync can leave the new name pointing at a hole.
+    CACHEPORTAL_RETURN_NOT_OK(file->Sync());
+    CACHEPORTAL_RETURN_NOT_OK(file->Close());
+  }
+  CACHEPORTAL_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  size_t slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return env->SyncDir(dir);
+}
+
+}  // namespace cacheportal

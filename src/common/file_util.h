@@ -1,0 +1,36 @@
+#ifndef CACHEPORTAL_COMMON_FILE_UTIL_H_
+#define CACHEPORTAL_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace cacheportal {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`, optionally
+/// continuing from a previous value: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+/// Little-endian fixed-width integer framing (the WAL's record headers).
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+/// `p` must have 4 (8) readable bytes.
+uint32_t GetFixed32(const char* p);
+uint64_t GetFixed64(const char* p);
+
+/// Crash-safe whole-file replacement: write `path`.tmp, fsync it, rename
+/// over `path`, fsync the directory. At every kill point the target is
+/// either the complete old content or the complete new content — never a
+/// prefix, never absent once it existed.
+class AtomicFileWriter {
+ public:
+  static Status Write(Env* env, const std::string& path,
+                      std::string_view contents);
+};
+
+}  // namespace cacheportal
+
+#endif  // CACHEPORTAL_COMMON_FILE_UTIL_H_

@@ -1,5 +1,8 @@
 #include "core/cache_portal.h"
 
+#include "common/logging.h"
+#include "common/strings.h"
+
 namespace cacheportal::core {
 
 CachePortal::CachePortal(db::Database* database, const Clock* clock,
@@ -20,6 +23,22 @@ CachePortal::CachePortal(db::Database* database, const Clock* clock,
         return invalidator_.policy().IsServletCacheable(servlet_name);
       });
   invalidator_.AddSink(&sink_);
+  if (!options_.durability.dir.empty()) {
+    durability_ = std::make_unique<invalidator::DurabilityCoordinator>(
+        &invalidator_, options_.durability);
+  }
+}
+
+Status CachePortal::RecoverDurableState() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "durability not configured (options.durability.dir is empty)");
+  }
+  CACHEPORTAL_RETURN_NOT_OK(durability_->Open());
+  // Warm the registry before traffic: sniffer threads registering while
+  // recovery drains would race the journal-suppression window.
+  durability_->FinishRecovery();
+  return Status::OK();
 }
 
 std::unique_ptr<server::Driver> CachePortal::WrapDriver(
@@ -62,6 +81,22 @@ CachingProxy* CachePortal::CreateProxy(server::RequestHandler* upstream,
 }
 
 std::string CachePortal::Checkpoint() {
+  if (durability_ != nullptr) {
+    // Install a fresh snapshot, then trim only through the position the
+    // on-disk state durably covers: if the install failed part-way, the
+    // old manifest still governs and durable_update_seq() still names a
+    // position recovery can actually reach — never trim past it.
+    Status installed = durability_->Snapshot();
+    if (!installed.ok()) {
+      LogMessage(LogLevel::kWarning,
+                 StrCat("checkpoint snapshot failed; trimming only to the "
+                        "last durable position: ",
+                        installed.message()));
+    }
+    std::string state = invalidator_.Checkpoint();
+    database_->update_log().TrimThrough(durability_->durable_update_seq());
+    return state;
+  }
   std::string state = invalidator_.Checkpoint();
   // The cursor (and un-acked delivery state) is captured in `state`;
   // everything at or below it is now unreachable by any consumer path,
@@ -72,12 +107,19 @@ std::string CachePortal::Checkpoint() {
 
 Result<invalidator::CycleReport> CachePortal::RunCycle() {
   mapper_.Run();
-  CACHEPORTAL_ASSIGN_OR_RETURN(invalidator::CycleReport report,
-                               invalidator_.RunCycle());
+  Result<invalidator::CycleReport> cycle =
+      durability_ != nullptr ? durability_->RunCycle()
+                             : invalidator_.RunCycle();
+  CACHEPORTAL_RETURN_NOT_OK(cycle.status());
   if (options_.truncate_update_log) {
-    database_->update_log().Truncate(invalidator_.consumed_update_seq());
+    // With durability on, a record past the durable position is still
+    // needed by the post-crash replay — the WAL hasn't captured its
+    // effects yet.
+    database_->update_log().Truncate(
+        durability_ != nullptr ? durability_->durable_update_seq()
+                               : invalidator_.consumed_update_seq());
   }
-  return report;
+  return *std::move(cycle);
 }
 
 }  // namespace cacheportal::core

@@ -10,6 +10,7 @@
 #include "core/caching_proxy.h"
 #include "core/page_cache_sink.h"
 #include "db/database.h"
+#include "invalidator/durability.h"
 #include "invalidator/invalidator.h"
 #include "server/app_server.h"
 #include "sniffer/mapper.h"
@@ -32,6 +33,12 @@ struct CachePortalOptions {
   /// temporally sensitive servlets from caching.
   Micros invalidation_cycle = kMicrosPerSecond;
   invalidator::InvalidatorOptions invalidator;
+  /// Crash-safe metadata. Enabled iff `durability.dir` is non-empty:
+  /// the portal then journals registration/cycle state to a WAL in that
+  /// directory, snapshots periodically, and RecoverDurableState()
+  /// resumes after a crash. Empty dir = in-memory only (the historical
+  /// behavior).
+  invalidator::DurabilityOptions durability;
 };
 
 /// The CachePortal system facade: wires the sniffer (request logger,
@@ -104,16 +111,32 @@ class CachePortal {
     return invalidator_.CreateJoinIndex(table, column);
   }
 
+  /// Recovers durable metadata from `options.durability.dir` into the
+  /// invalidator and arms journaling. Call after construction (sinks are
+  /// wired) and before serving traffic. InvalidArgument when durability
+  /// is not configured.
+  Status RecoverDurableState();
+
+  /// The durability coordinator, or nullptr when not configured.
+  invalidator::DurabilityCoordinator* durability() {
+    return durability_.get();
+  }
+
   /// One synchronization point: run the request-to-query mapper, then an
-  /// invalidation cycle.
+  /// invalidation cycle (durably committed when durability is
+  /// configured). Update-log truncation (when enabled) advances only
+  /// through the DURABLE position — a record the WAL hasn't captured
+  /// yet must survive for the post-crash replay.
   Result<invalidator::CycleReport> RunCycle();
 
   /// Serializes the invalidator's resumption state (see
-  /// Invalidator::Checkpoint; format v3 — update-log cursor, per-shard
-  /// QI/URL-map cursors, sink backlogs) and, having durably captured the
-  /// cursor, trims the update log through the consumed position — the
-  /// log's bounded-memory story: records at or below the checkpointed
-  /// cursor can never be needed again, even across a crash+Restore.
+  /// Invalidator::Checkpoint; format v4 — update-log cursor, per-shard
+  /// QI/URL-map cursors, full registry, sink backlogs) and trims the
+  /// update log — the log's bounded-memory story: records at or below
+  /// the checkpointed cursor can never be needed again, even across a
+  /// crash+Restore. With durability configured this also installs a
+  /// fresh on-disk snapshot, and the trim advances only through the
+  /// position that snapshot (or the last synced commit) durably covers.
   std::string Checkpoint();
 
   /// Rebuilds resumption state from Checkpoint() output. Accepts any
@@ -148,6 +171,8 @@ class CachePortal {
   cache::PageCache page_cache_;
   invalidator::Invalidator invalidator_;
   PageCacheSink sink_;
+  // Non-null iff options_.durability.dir is non-empty.
+  std::unique_ptr<invalidator::DurabilityCoordinator> durability_;
 
   server::ApplicationServer* attached_app_server_ = nullptr;
   std::vector<std::unique_ptr<CachingProxy>> proxies_;

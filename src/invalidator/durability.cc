@@ -1,0 +1,174 @@
+#include "invalidator/durability.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cacheportal::invalidator {
+
+DurabilityCoordinator::DurabilityCoordinator(Invalidator* invalidator,
+                                             DurabilityOptions options)
+    : invalidator_(invalidator),
+      options_(std::move(options)),
+      store_(options_.env != nullptr ? options_.env : PosixEnv::Default(),
+             options_.dir, options_.store) {}
+
+DurabilityCoordinator::~DurabilityCoordinator() {
+  if (opened_) {
+    invalidator_->SetMetadataMutationObserver(nullptr);
+    invalidator_->SetStorageReporter(nullptr);
+  }
+}
+
+Status DurabilityCoordinator::Open() {
+  if (opened_) {
+    return Status::InvalidArgument("durability coordinator already open");
+  }
+  storage::RecoveredState recovered;
+  CACHEPORTAL_RETURN_NOT_OK(store_.Open(&recovered));
+  if (!recovered.snapshot.empty()) {
+    CACHEPORTAL_RETURN_NOT_OK(invalidator_->Restore(recovered.snapshot));
+  }
+  // Commit-granular replay: registrations/retirements buffer until their
+  // cycle's kCommit proves the cycle completed. The tail past the last
+  // commit is work the dead process never finished — its updates are
+  // still in the update log and will simply be re-processed, so applying
+  // half of it would double-count, not help.
+  std::vector<std::pair<bool, const std::string*>> cycle_ops;
+  for (const storage::WalRecord& record : recovered.records) {
+    switch (record.type) {
+      case storage::RecordType::kRegistration:
+        cycle_ops.emplace_back(true, &record.payload);
+        break;
+      case storage::RecordType::kRetirement:
+        cycle_ops.emplace_back(false, &record.payload);
+        break;
+      case storage::RecordType::kCommit: {
+        for (const auto& [registered, sql] : cycle_ops) {
+          if (registered) {
+            invalidator_->QueueRestoredRegistration(*sql);
+          } else {
+            invalidator_->QueueRestoredRetirement(*sql);
+          }
+        }
+        cycle_ops.clear();
+        CACHEPORTAL_RETURN_NOT_OK(
+            invalidator_->ApplyDurableDelta(record.payload));
+        ++replayed_commits_;
+        break;
+      }
+    }
+  }
+  discarded_tail_records_ = cycle_ops.size();
+  durable_update_seq_.store(invalidator_->consumed_update_seq(),
+                            std::memory_order_release);
+  invalidator_->SetMetadataMutationObserver(
+      [this](bool registered, const std::string& sql) {
+        OnMutation(registered, sql);
+      });
+  invalidator_->SetStorageReporter([this] { return Report(); });
+  opened_ = true;
+  return Status::OK();
+}
+
+void DurabilityCoordinator::FinishRecovery() {
+  suppress_journal_.store(true, std::memory_order_release);
+  invalidator_->ApplyPendingRestore();
+  suppress_journal_.store(false, std::memory_order_release);
+}
+
+void DurabilityCoordinator::OnMutation(bool registered,
+                                       const std::string& sql) {
+  if (suppress_journal_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_status_.ok()) return;  // Already failed; latched.
+  Status appended = store_.Append(registered
+                                      ? storage::RecordType::kRegistration
+                                      : storage::RecordType::kRetirement,
+                                  sql);
+  if (!appended.ok()) journal_status_ = appended;
+}
+
+Result<CycleReport> DurabilityCoordinator::RunCycle() {
+  if (!opened_) {
+    return Status::InvalidArgument("durability coordinator not opened");
+  }
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    CACHEPORTAL_RETURN_NOT_OK(journal_status_);
+  }
+  // Drain staged restore work before the cycle AND before taking
+  // journal_mu_ below: ApplyPendingRestore fires the (suppressed)
+  // observer, and Checkpoint() inside a snapshot would otherwise apply
+  // it while we hold the journal lock the observer wants.
+  FinishRecovery();
+  CACHEPORTAL_ASSIGN_OR_RETURN(CycleReport report, invalidator_->RunCycle());
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  CACHEPORTAL_RETURN_NOT_OK(CommitCycleLocked());
+  return report;
+}
+
+Status DurabilityCoordinator::CommitCycleLocked() {
+  // A failed registration append means the WAL is missing an op from
+  // this cycle; a commit marker after the gap would make recovery trust
+  // an incomplete journal. Refuse instead.
+  CACHEPORTAL_RETURN_NOT_OK(journal_status_);
+  std::string delta = invalidator_->EncodeDurableDelta(&baseline_);
+  CACHEPORTAL_RETURN_NOT_OK(
+      store_.Append(storage::RecordType::kCommit, delta));
+  if (options_.sync_every_commit) {
+    CACHEPORTAL_RETURN_NOT_OK(store_.Sync());
+    durable_update_seq_.store(invalidator_->consumed_update_seq(),
+                              std::memory_order_release);
+  }
+  ++cycles_since_snapshot_;
+  if (options_.snapshot_every_cycles > 0 &&
+      cycles_since_snapshot_ >= options_.snapshot_every_cycles) {
+    CACHEPORTAL_RETURN_NOT_OK(SnapshotLocked());
+  }
+  return Status::OK();
+}
+
+Status DurabilityCoordinator::Snapshot() {
+  if (!opened_) {
+    return Status::InvalidArgument("durability coordinator not opened");
+  }
+  FinishRecovery();  // Checkpoint() must not fire the observer under us.
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return SnapshotLocked();
+}
+
+Status DurabilityCoordinator::SnapshotLocked() {
+  // Rotate first: journal records racing the snapshot land in the new
+  // segment, which stays in the replay chain, so nothing between
+  // Checkpoint() and InstallSnapshot() can be lost.
+  CACHEPORTAL_RETURN_NOT_OK(store_.RotateWal());
+  std::string payload = invalidator_->Checkpoint();
+  CACHEPORTAL_RETURN_NOT_OK(store_.InstallSnapshot(payload));
+  cycles_since_snapshot_ = 0;
+  // RotateWal synced everything the checkpoint captured.
+  durable_update_seq_.store(invalidator_->consumed_update_seq(),
+                            std::memory_order_release);
+  return Status::OK();
+}
+
+Status DurabilityCoordinator::journal_status() const {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return journal_status_;
+}
+
+std::string DurabilityCoordinator::Report() const {
+  std::string out = store_.Report();
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  out += StrCat(" replayed-commits=", replayed_commits_,
+                " discarded-tail=", discarded_tail_records_,
+                " durable-seq=",
+                durable_update_seq_.load(std::memory_order_acquire));
+  if (!journal_status_.ok()) {
+    out += StrCat(" JOURNAL-FAILED: ", journal_status_.message());
+  }
+  return out;
+}
+
+}  // namespace cacheportal::invalidator

@@ -1,0 +1,137 @@
+#ifndef CACHEPORTAL_INVALIDATOR_DURABILITY_H_
+#define CACHEPORTAL_INVALIDATOR_DURABILITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "invalidator/cycle.h"
+#include "invalidator/invalidator.h"
+#include "storage/metadata_store.h"
+
+namespace cacheportal::invalidator {
+
+struct DurabilityOptions {
+  /// Directory for the MANIFEST, WAL segments, and snapshots. Created if
+  /// missing.
+  std::string dir;
+  /// Filesystem to write through; nullptr means the real one
+  /// (PosixEnv::Default()). Tests inject a SimEnv to crash at will.
+  Env* env = nullptr;
+  /// Install a fresh snapshot every N committed cycles (0 = only when
+  /// Snapshot() is called explicitly). Bounds the WAL suffix recovery
+  /// must replay: restart cost is O(records since the last snapshot).
+  uint64_t snapshot_every_cycles = 64;
+  /// fsync the WAL at every cycle commit. Turning this off trades the
+  /// tail of un-synced cycles for fewer fsyncs; recovery still lands on
+  /// the last durable commit boundary either way.
+  bool sync_every_commit = true;
+  storage::StoreOptions store;
+};
+
+/// Wires an Invalidator to a storage::DurableMetadataStore so its
+/// resumption state survives crashes:
+///
+///   - every fresh registration/retirement journals to the WAL through
+///     the metadata plane's mutation observer, as it happens;
+///   - every completed cycle appends a kCommit record carrying the
+///     invalidator's durable delta (cursors, counters, changed sink
+///     state) and fsyncs — the commit marker makes recovery
+///     cycle-atomic: a crash mid-cycle replays to the previous boundary,
+///     and the uncommitted tail is discarded;
+///   - periodically the WAL rotates, Checkpoint() becomes the new
+///     snapshot, and covered segments are garbage-collected.
+///
+/// Recovery (Open) is the reverse: restore the newest snapshot, replay
+/// the WAL suffix commit by commit (registrations/retirements stage
+/// lazily; each kCommit applies its delta), and count — not crash on —
+/// whatever the store quarantined.
+///
+/// Install contract: construct the Invalidator, AddSink in the same
+/// order as the dead process, then Open() before serving traffic —
+/// replay applies sink state by index, and registrations racing the
+/// recovery window would miss the journal.
+///
+/// Threading: Open/RunCycle/Snapshot/FinishRecovery are cycle-thread
+/// only. The journaling observer fires from any registering thread; one
+/// internal mutex serializes it against the commit path.
+class DurabilityCoordinator {
+ public:
+  /// `invalidator` is borrowed and must outlive the coordinator.
+  DurabilityCoordinator(Invalidator* invalidator, DurabilityOptions options);
+
+  /// Detaches the observer and reporter seams.
+  ~DurabilityCoordinator();
+
+  DurabilityCoordinator(const DurabilityCoordinator&) = delete;
+  DurabilityCoordinator& operator=(const DurabilityCoordinator&) = delete;
+
+  /// Recovers the directory into the invalidator and attaches the
+  /// journaling seams. O(snapshot types + WAL suffix): instance SQLs
+  /// stage for lazy re-registration, drained by FinishRecovery or the
+  /// first RunCycle.
+  Status Open();
+
+  /// Drains the invalidator's staged restore work with journaling
+  /// suppressed (replayed registrations are already in the WAL or the
+  /// snapshot; re-journaling them would write the full registry back out
+  /// every restart). RunCycle calls this; tests call it to compare
+  /// recovered state without running a cycle.
+  void FinishRecovery();
+
+  /// One invalidation cycle followed by its durable commit. Fails fast
+  /// if a journaling append ever failed (the WAL is missing a
+  /// registration, so a commit marker would persist a lie).
+  Result<CycleReport> RunCycle();
+
+  /// Rotate + checkpoint + install, immediately.
+  Status Snapshot();
+
+  /// Update-log position covered by durable state — everything at or
+  /// below it survives a crash, so the update log may trim through it.
+  uint64_t durable_update_seq() const {
+    return durable_update_seq_.load(std::memory_order_acquire);
+  }
+
+  /// First journaling failure, latched (OK while healthy).
+  Status journal_status() const;
+
+  const storage::DurableMetadataStore& store() const { return store_; }
+
+  /// One-line summary (store counters + recovery counts) — installed as
+  /// the invalidator's storage reporter.
+  std::string Report() const;
+
+ private:
+  /// The metadata plane's mutation observer: journal one op.
+  void OnMutation(bool registered, const std::string& sql);
+  /// Caller holds journal_mu_ and has drained pending restore work.
+  Status CommitCycleLocked();
+  Status SnapshotLocked();
+
+  Invalidator* invalidator_;
+  DurabilityOptions options_;
+  storage::DurableMetadataStore store_;
+  bool opened_ = false;
+
+  /// True while recovery replay drains — the observer drops mutations
+  /// instead of re-journaling them.
+  std::atomic<bool> suppress_journal_{false};
+  std::atomic<uint64_t> durable_update_seq_{0};
+
+  /// Serializes the observer's appends against the commit/snapshot path
+  /// and guards the latched status + counters below.
+  mutable std::mutex journal_mu_;
+  Status journal_status_ = Status::OK();
+  Invalidator::DurableDeltaBaseline baseline_;
+  uint64_t cycles_since_snapshot_ = 0;
+  uint64_t replayed_commits_ = 0;
+  uint64_t discarded_tail_records_ = 0;
+};
+
+}  // namespace cacheportal::invalidator
+
+#endif  // CACHEPORTAL_INVALIDATOR_DURABILITY_H_

@@ -2,8 +2,10 @@
 #define CACHEPORTAL_INVALIDATOR_INVALIDATOR_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -106,24 +108,82 @@ class Invalidator {
   /// consumers are past it too.
   uint64_t consumed_update_seq() const { return last_update_seq_; }
 
-  /// Serializes the invalidator's resumption state: the consumed
-  /// update-log position, the per-shard QI/URL-map cursors (checkpoint
-  /// v3), plus each CheckpointableSink's durable state (un-acked
-  /// delivery-queue messages). Persist the returned bytes at every
-  /// synchronization point; after a crash, build a fresh Invalidator
-  /// (same database/map, sinks re-added in the same order) and Restore()
-  /// to resume without missing an update.
-  std::string Checkpoint() const;
+  /// Serializes the invalidator's full resumption state (checkpoint v4,
+  /// the durable store's snapshot payload): the consumed update-log
+  /// position, the per-shard QI/URL-map cursors, the lifetime counters,
+  /// every query type (name + canonical template + statistics +
+  /// cacheability), every live instance's SQL, and each
+  /// CheckpointableSink's durable state (un-acked delivery-queue
+  /// messages). Folds any pending restore ops in first. After a crash,
+  /// build a fresh Invalidator (same database/map, sinks re-added in the
+  /// same order) and Restore() to resume without missing an update.
+  std::string Checkpoint();
 
-  /// Rebuilds resumption state from Checkpoint() output — the current v3
-  /// format or a legacy v1/v2 blob (single map cursor, shard count 1
-  /// assumed). The update-log cursor rewinds to the persisted position,
-  /// so updates that committed after the checkpoint (including during
-  /// the outage) are replayed — at-least-once, made safe by idempotent
-  /// ejects. The QI/URL-map cursors rewind to zero: the in-memory
-  /// registry died with the old process, and re-registering live map
-  /// entries is idempotent.
+  /// Rebuilds resumption state from Checkpoint() output — the current v4
+  /// format or a legacy v1/v2/v3 blob. The update-log cursor rewinds to
+  /// the persisted position, so updates that committed after the
+  /// checkpoint (including during the outage) are replayed — at least
+  /// once, made safe by idempotent ejects.
+  ///
+  /// v4 restores the registry WITHOUT the O(N) parse cost up front:
+  /// types, statistics, and cursors rebuild eagerly (cursors restore to
+  /// their persisted positions — no map rescan), while instance SQLs are
+  /// queued and re-registered lazily by ApplyPendingRestore() (run
+  /// automatically at the next cycle) — restart-to-ready is O(types),
+  /// not O(instances). v1–v3 keep their historical semantics: map
+  /// cursors rewind to zero and live map rows re-register on the next
+  /// scan.
   Status Restore(const std::string& checkpoint);
+
+  // ---- Durability seams (storage::DurableMetadataStore wiring). ----
+
+  /// Change detector state for EncodeDurableDelta: what the last emitted
+  /// delta said, so unchanged types/sinks are skipped.
+  struct DurableDeltaBaseline {
+    std::map<uint64_t, std::string> type_lines;
+    std::map<size_t, std::string> sink_states;
+  };
+
+  /// Serializes the per-cycle durable delta — the commit record's
+  /// payload: the consumed update-log position, the map cursors, the
+  /// absolute lifetime counters, and only the types/sinks whose state
+  /// changed since `baseline` (which is updated in place). O(active
+  /// types + changed sinks) — flat in the instance count, which is what
+  /// keeps commit cost and recovery O(delta).
+  std::string EncodeDurableDelta(DurableDeltaBaseline* baseline);
+
+  /// Applies a delta produced by EncodeDurableDelta: cursors, counters,
+  /// and sink states apply immediately; per-type statistics are staged
+  /// with the pending restore ops (their types may themselves still be
+  /// queued) and land in ApplyPendingRestore().
+  Status ApplyDurableDelta(const std::string& payload);
+
+  /// Recovery replay: stages a registration/retirement recovered from
+  /// the WAL, in order, without the parse cost of applying it now.
+  void QueueRestoredRegistration(const std::string& sql);
+  void QueueRestoredRetirement(const std::string& sql);
+  /// Staged-but-unapplied restore work (ops + per-type stat overrides).
+  size_t pending_restore_ops() const;
+  /// Drains the staged restore work into the metadata plane: replays
+  /// queued registrations/retirements in order (unparseable SQL is
+  /// logged and skipped, matching the ingest scan), then overwrites the
+  /// affected types' statistics with their persisted values. Runs
+  /// automatically at the top of RunCycle and Checkpoint.
+  void ApplyPendingRestore();
+
+  /// Passthrough to the metadata plane's mutation observer — the
+  /// durability coordinator's journaling hook. Null detaches.
+  void SetMetadataMutationObserver(
+      std::function<void(bool registered, const std::string& sql)> observer) {
+    plane_.SetMutationObserver(std::move(observer));
+  }
+
+  /// When set, StatsReport() appends a "  storage: ..." line from this
+  /// callback (the durable store's counters — recovery quarantine
+  /// totals included).
+  void SetStorageReporter(std::function<std::string()> reporter) {
+    storage_reporter_ = std::move(reporter);
+  }
 
   /// The sharded registration metadata (registry partitions, matchers,
   /// bind indexes).
@@ -199,6 +259,23 @@ class Invalidator {
   std::optional<uint64_t> last_map_epoch_;
   Micros last_cycle_duration_ = 0;
   InvalidatorStats stats_;
+
+  // ---- Staged restore state (drained by ApplyPendingRestore). ----
+  struct RestoredOp {
+    bool registered = true;  // false = retirement.
+    std::string sql;
+  };
+  struct TypeOverride {
+    bool cacheable = true;
+    QueryTypeStats stats;
+  };
+  std::vector<RestoredOp> pending_restore_ops_;
+  // Absolute per-type stats from the last applied snapshot/delta; keyed
+  // by type_id, last write wins. Applied AFTER the ops (registration
+  // bumps instances_seen; the persisted absolute value must overwrite
+  // those bumps or recovered reports would double-count).
+  std::map<uint64_t, TypeOverride> pending_type_overrides_;
+  std::function<std::string()> storage_reporter_;
 };
 
 }  // namespace cacheportal::invalidator

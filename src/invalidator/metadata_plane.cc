@@ -66,9 +66,11 @@ Result<const QueryInstance*> MetadataPlane::RegisterInstance(
                                sql::ExtractTemplate(*select));
   uint64_t type_id = tmpl.type_id;
   const QueryInstance* instance = nullptr;
+  bool fresh = false;
   {
     ShardSlot& slot = SlotOfType(type_id);
     std::lock_guard<std::mutex> lock(slot.mu);
+    fresh = slot.shard.registry.FindInstance(sql) == nullptr;
     CACHEPORTAL_ASSIGN_OR_RETURN(
         instance, slot.shard.registry.RegisterParsedInstance(
                       sql, std::move(select), std::move(tmpl)));
@@ -78,6 +80,7 @@ Result<const QueryInstance*> MetadataPlane::RegisterInstance(
     std::unique_lock<std::shared_mutex> route(route_mu_);
     type_by_sql_[sql] = type_id;
   }
+  if (fresh) NotifyObserver(/*registered=*/true, sql);
   return instance;
 }
 
@@ -102,6 +105,7 @@ void MetadataPlane::RetireInstance(const std::string& sql) {
     std::unique_lock<std::shared_mutex> route(route_mu_);
     type_by_sql_.erase(sql);
   }
+  NotifyObserver(/*registered=*/false, sql);
 }
 
 const QueryInstance* MetadataPlane::FindInstance(const std::string& sql) const {
@@ -274,6 +278,42 @@ void MetadataPlane::ResetMapCursors() {
     std::lock_guard<std::mutex> lock(slot->mu);
     slot->shard.map_cursor = 0;
   }
+}
+
+void MetadataPlane::SetMapCursors(const std::vector<uint64_t>& cursors) {
+  if (cursors.size() == shards_.size()) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i]->mu);
+      shards_[i]->shard.map_cursor = cursors[i];
+    }
+    return;
+  }
+  // Shard count changed across the restart: only the minimum position
+  // is known to be absorbed by every new shard's worth of types.
+  uint64_t min = 0;
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    min = i == 0 ? cursors[i] : std::min(min, cursors[i]);
+  }
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->shard.map_cursor = min;
+  }
+}
+
+void MetadataPlane::SetMutationObserver(
+    std::function<void(bool, const std::string&)> observer) {
+  std::unique_lock<std::shared_mutex> lock(observer_mu_);
+  observer_ = std::move(observer);
+}
+
+void MetadataPlane::NotifyObserver(bool registered, const std::string& sql) {
+  std::function<void(bool, const std::string&)> observer;
+  {
+    std::shared_lock<std::shared_mutex> lock(observer_mu_);
+    if (observer_ == nullptr) return;
+    observer = observer_;
+  }
+  observer(registered, sql);
 }
 
 void MetadataPlane::IndexInstanceLocked(Shard& shard,

@@ -143,6 +143,30 @@ class MetadataPlane {
   /// Rewinds every cursor to zero (restore: the in-memory registry died
   /// with the old process; re-registering live map rows is idempotent).
   void ResetMapCursors();
+  /// Restores persisted cursor positions (checkpoint v4, whose snapshot
+  /// carries the full registry — no rescan needed). With a matching
+  /// shard count the positions restore exactly; otherwise every cursor
+  /// rewinds to the minimum (re-scanning some rows, which registration
+  /// idempotency absorbs).
+  void SetMapCursors(const std::vector<uint64_t>& cursors);
+
+  /// The plane-global count of types ever created (discovered-type
+  /// naming continues from it after a restore).
+  uint64_t TypeCount() const {
+    return type_count_.load(std::memory_order_relaxed);
+  }
+  void SetTypeCount(uint64_t count) {
+    type_count_.store(count, std::memory_order_relaxed);
+  }
+
+  /// Observer of metadata mutations, called OUTSIDE all plane locks as
+  /// `observer(registered, sql)` — true for a fresh instance
+  /// registration, false for a retirement. Idempotent re-registrations
+  /// (the common sniffer path) do not fire. The durability layer
+  /// journals through this seam. Install before concurrent use; pass
+  /// nullptr to detach.
+  void SetMutationObserver(
+      std::function<void(bool registered, const std::string& sql)> observer);
 
  private:
   struct ShardSlot {
@@ -153,6 +177,10 @@ class MetadataPlane {
   ShardSlot& SlotOfType(uint64_t type_id) const {
     return *shards_[type_id % shards_.size()];
   }
+
+  /// Copies the observer out under its lock and fires it with no plane
+  /// lock held.
+  void NotifyObserver(bool registered, const std::string& sql);
 
   /// Adds a freshly registered instance to its shard's bind index,
   /// compiling the type's template on first contact (the FROM tables
@@ -179,6 +207,11 @@ class MetadataPlane {
   // the shard) so the two lock orders cannot deadlock.
   mutable std::shared_mutex route_mu_;
   std::unordered_map<std::string, uint64_t> type_by_sql_;
+
+  // The mutation observer, under its own lock (copied out shared, then
+  // invoked with no plane lock held — the callback may do I/O).
+  mutable std::shared_mutex observer_mu_;
+  std::function<void(bool, const std::string&)> observer_;
 };
 
 }  // namespace cacheportal::invalidator

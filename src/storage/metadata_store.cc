@@ -1,0 +1,298 @@
+#include "storage/metadata_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cacheportal::storage {
+
+DurableMetadataStore::DurableMetadataStore(Env* env, std::string dir,
+                                           StoreOptions options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+Status DurableMetadataStore::Open(RecoveredState* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->snapshot.clear();
+  out->records.clear();
+  CACHEPORTAL_RETURN_NOT_OK(env_->CreateDir(dir_));
+
+  // ---- Root pointer. ----
+  Result<Manifest> manifest = ReadManifest(env_, dir_);
+  if (manifest.ok()) {
+    manifest_ = *manifest;
+  } else if (manifest.status().IsNotFound()) {
+    manifest_ = Manifest{};  // Genesis: no snapshot, replay from segment 1.
+  } else {
+    return manifest.status();  // Corrupt manifest: loud, never silent-empty.
+  }
+
+  // ---- Snapshot (the recovery base — its integrity is not optional). ----
+  if (!manifest_.snapshot_file.empty()) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(
+        out->snapshot,
+        env_->ReadFile(StrCat(dir_, "/", manifest_.snapshot_file)));
+    if (out->snapshot.size() != manifest_.snapshot_size ||
+        Crc32(out->snapshot) != manifest_.snapshot_crc) {
+      return Status::ParseError(
+          StrCat("snapshot ", manifest_.snapshot_file,
+                 " does not match its manifest checksum"));
+    }
+  }
+
+  // ---- The WAL chain. ----
+  CACHEPORTAL_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                               env_->ListDir(dir_));
+  std::vector<uint64_t> segments;
+  for (const std::string& name : names) {
+    Result<uint64_t> number = ParseWalSegmentFileName(name);
+    if (number.ok() && *number >= manifest_.wal_start) {
+      segments.push_back(*number);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  uint64_t next_seq = manifest_.next_seq;
+  uint64_t expected_seq = 0;  // First replayed record: any seq.
+  // Where the writer resumes: reopen the last clean segment, or create
+  // a fresh one after corruption / a fully-torn tail segment.
+  bool reopen_last = false;
+  uint64_t last_segment = 0;
+  uint64_t last_valid_bytes = 0;
+  uint64_t create_segment = manifest_.wal_start;
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    // The chain must be contiguous: our writer only ever creates
+    // segment N+1 after N, so a hole means files were lost.
+    if (i > 0 && segments[i] != segments[i - 1] + 1) {
+      stats_.last_quarantine_reason =
+          StrCat("WAL chain hole: segment ", segments[i - 1] + 1,
+                 " missing before ", segments[i]);
+      CACHEPORTAL_RETURN_NOT_OK(QuarantineSegmentLocked(segments[i]));
+      reopen_last = false;
+      create_segment = segments[i];
+      break;
+    }
+    std::string path = StrCat(dir_, "/", WalSegmentFileName(segments[i]));
+    Result<WalSegmentContents> read =
+        ReadWalSegment(env_, path, expected_seq);
+    if (!read.ok()) {
+      // Unreadable file / foreign magic: corruption-class.
+      stats_.last_quarantine_reason = read.status().message();
+      CACHEPORTAL_RETURN_NOT_OK(QuarantineSegmentLocked(segments[i]));
+      reopen_last = false;
+      create_segment = segments[i];
+      break;
+    }
+    for (WalRecord& record : read->records) {
+      expected_seq = record.seq + 1;
+      next_seq = std::max(next_seq, record.seq + 1);
+      out->records.push_back(std::move(record));
+      ++stats_.records_recovered;
+    }
+    bool is_last = i + 1 == segments.size();
+    if (read->quarantined_bytes > 0) {
+      if (read->torn_tail && is_last) {
+        // Benign crash residue: un-fsynced bytes at the end of the
+        // chain. Truncate and keep appending to this segment.
+        stats_.torn_tail_bytes_truncated += read->quarantined_bytes;
+        stats_.last_quarantine_reason = read->quarantine_reason;
+        if (read->valid_bytes > 0) {
+          CACHEPORTAL_RETURN_NOT_OK(
+              env_->TruncateFile(path, read->valid_bytes));
+          reopen_last = true;
+          last_segment = segments[i];
+          last_valid_bytes = read->valid_bytes;
+        } else {
+          // Even the segment header is gone; recreate the file whole.
+          CACHEPORTAL_RETURN_NOT_OK(env_->DeleteFile(path));
+          reopen_last = false;
+          create_segment = segments[i];
+        }
+      } else {
+        // Active corruption (bad CRC, sequence break, bad type) or a
+        // tear with more chain after it: refuse everything from here,
+        // move it aside, and surface the byte count.
+        stats_.quarantined_bytes += read->quarantined_bytes;
+        stats_.last_quarantine_reason = read->quarantine_reason;
+        CACHEPORTAL_RETURN_NOT_OK(QuarantineSegmentLocked(segments[i]));
+        reopen_last = false;
+        create_segment = segments[i];
+      }
+      break;
+    }
+    if (is_last) {
+      reopen_last = true;
+      last_segment = segments[i];
+      last_valid_bytes = read->valid_bytes;
+    }
+  }
+  if (segments.empty()) {
+    reopen_last = false;
+    create_segment = manifest_.wal_start;
+  }
+
+  if (reopen_last && options_.max_segment_bytes > 0 &&
+      last_valid_bytes >= options_.max_segment_bytes) {
+    // Full segment: start the next one rather than ping-ponging over
+    // the size limit on every restart.
+    reopen_last = false;
+    create_segment = last_segment + 1;
+  }
+
+  if (reopen_last) {
+    CACHEPORTAL_ASSIGN_OR_RETURN(
+        writer_, WalWriter::OpenForAppend(env_, dir_, last_segment,
+                                          last_valid_bytes, next_seq));
+  } else {
+    CACHEPORTAL_ASSIGN_OR_RETURN(
+        writer_, WalWriter::Create(env_, dir_, create_segment, next_seq));
+    ++stats_.segments_created;
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status DurableMetadataStore::QuarantineSegmentLocked(uint64_t segment_number) {
+  // Move this segment and everything after it aside: a replay chain
+  // with a hole in the middle would silently hide the records past the
+  // hole on the NEXT recovery, so the chain must stay contiguous.
+  CACHEPORTAL_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                               env_->ListDir(dir_));
+  for (const std::string& name : names) {
+    Result<uint64_t> number = ParseWalSegmentFileName(name);
+    if (!number.ok() || *number < segment_number) continue;
+    std::string from = StrCat(dir_, "/", name);
+    std::string to = StrCat(dir_, "/quarantine-", name);
+    int suffix = 0;
+    while (env_->FileExists(to)) {
+      to = StrCat(dir_, "/quarantine-", name, ".", ++suffix);
+    }
+    CACHEPORTAL_RETURN_NOT_OK(env_->RenameFile(from, to));
+    ++stats_.segments_quarantined;
+  }
+  return env_->SyncDir(dir_);
+}
+
+Status DurableMetadataStore::Append(RecordType type,
+                                    std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return Status::Internal("store not opened");
+  if (options_.max_segment_bytes > 0 &&
+      writer_->bytes() >= options_.max_segment_bytes) {
+    CACHEPORTAL_RETURN_NOT_OK(RotateWalLocked());
+  }
+  CACHEPORTAL_RETURN_NOT_OK(writer_->Append(type, payload));
+  ++stats_.records_appended;
+  return Status::OK();
+}
+
+Status DurableMetadataStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return Status::Internal("store not opened");
+  CACHEPORTAL_RETURN_NOT_OK(writer_->Sync());
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status DurableMetadataStore::RotateWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return Status::Internal("store not opened");
+  return RotateWalLocked();
+}
+
+Status DurableMetadataStore::RotateWalLocked() {
+  // The old segment must be durable before the chain grows past it —
+  // a successor full of synced records after an unsynced predecessor
+  // would read as a mid-chain tear.
+  CACHEPORTAL_RETURN_NOT_OK(writer_->Sync());
+  ++stats_.syncs;
+  CACHEPORTAL_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> next,
+      WalWriter::Create(env_, dir_, writer_->segment_number() + 1,
+                        writer_->next_seq()));
+  writer_ = std::move(next);
+  ++stats_.segments_created;
+  return Status::OK();
+}
+
+Status DurableMetadataStore::InstallSnapshot(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) return Status::Internal("store not opened");
+  // Unique name per install: the writer's segment advances with every
+  // rotation, and next_seq disambiguates installs within one segment —
+  // reusing a name could pair an old manifest with new bytes.
+  std::string name = StrCat("snap-", writer_->segment_number(), "-",
+                            writer_->next_seq(), ".ckpt");
+  CACHEPORTAL_RETURN_NOT_OK(
+      AtomicFileWriter::Write(env_, StrCat(dir_, "/", name), payload));
+
+  Manifest next;
+  next.snapshot_file = name;
+  next.snapshot_crc = Crc32(payload);
+  next.snapshot_size = payload.size();
+  next.wal_start = writer_->segment_number();
+  next.next_seq = writer_->next_seq();
+  CACHEPORTAL_RETURN_NOT_OK(WriteManifest(env_, dir_, next));
+  manifest_ = next;
+  ++stats_.snapshots_written;
+
+  // GC: everything the new manifest no longer references. Best effort —
+  // a segment that survives deletion is simply skipped by the next
+  // replay (it is below wal_start), so failures here don't matter for
+  // correctness.
+  Result<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (names.ok()) {
+    for (const std::string& entry : *names) {
+      Result<uint64_t> number = ParseWalSegmentFileName(entry);
+      bool stale_segment = number.ok() && *number < manifest_.wal_start;
+      // Catches superseded snapshots AND leftover snap-*.tmp files from
+      // an install that crashed mid-write.
+      bool stale_snapshot = entry.rfind("snap-", 0) == 0 &&
+                            entry != manifest_.snapshot_file;
+      bool old_quarantine = entry.rfind("quarantine-", 0) == 0;
+      if (stale_segment || stale_snapshot || old_quarantine) {
+        if (env_->DeleteFile(StrCat(dir_, "/", entry)).ok()) {
+          ++stats_.segments_deleted;
+        }
+      }
+    }
+    (void)env_->SyncDir(dir_);
+  }
+  return Status::OK();
+}
+
+uint64_t DurableMetadataStore::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_ == nullptr ? 0 : writer_->next_seq();
+}
+
+uint64_t DurableMetadataStore::current_segment() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_ == nullptr ? 0 : writer_->segment_number();
+}
+
+StoreStats DurableMetadataStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string DurableMetadataStore::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrCat(
+      "storage: segment=", writer_ == nullptr ? 0 : writer_->segment_number(),
+      " next-seq=", writer_ == nullptr ? 0 : writer_->next_seq(),
+      " appended=", stats_.records_appended, " syncs=", stats_.syncs,
+      " snapshots=", stats_.snapshots_written,
+      " recovered=", stats_.records_recovered,
+      " torn-bytes-truncated=", stats_.torn_tail_bytes_truncated,
+      " quarantined-bytes=", stats_.quarantined_bytes);
+  if (!stats_.last_quarantine_reason.empty()) {
+    out += StrCat(" last-quarantine='", stats_.last_quarantine_reason, "'");
+  }
+  return out;
+}
+
+}  // namespace cacheportal::storage

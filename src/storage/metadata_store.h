@@ -1,0 +1,127 @@
+#ifndef CACHEPORTAL_STORAGE_METADATA_STORE_H_
+#define CACHEPORTAL_STORAGE_METADATA_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "storage/manifest.h"
+#include "storage/wal.h"
+
+namespace cacheportal::storage {
+
+struct StoreOptions {
+  /// A segment past this size rotates before the next append (0 = never
+  /// rotate on size; explicit RotateWal() still works).
+  uint64_t max_segment_bytes = 4u << 20;
+};
+
+/// Lifetime counters; surfaced through Report() so recovery anomalies
+/// (torn tails repaired, corrupt bytes quarantined) reach StatsReport()
+/// instead of vanishing into a log nobody reads.
+struct StoreStats {
+  uint64_t records_appended = 0;
+  uint64_t records_recovered = 0;
+  uint64_t syncs = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t segments_created = 0;
+  uint64_t segments_deleted = 0;
+  /// Bytes of torn tail truncated away on open (benign crash residue).
+  uint64_t torn_tail_bytes_truncated = 0;
+  /// Bytes refused during replay — everything from the first corrupt
+  /// record (bad CRC, sequence break, bad type) to the end of the chain.
+  uint64_t quarantined_bytes = 0;
+  /// Segment files moved aside (quarantine-*) because of corruption.
+  uint64_t segments_quarantined = 0;
+  std::string last_quarantine_reason;
+};
+
+/// What Open() recovered: the live snapshot payload (the invalidator's
+/// Checkpoint() string) plus the valid WAL suffix, in sequence order.
+/// The caller applies the snapshot, then replays the records —
+/// registrations and retirements buffered until each kCommit, so a cycle
+/// that never committed leaves no half-applied trace.
+struct RecoveredState {
+  std::string snapshot;
+  std::vector<WalRecord> records;
+};
+
+/// The durable metadata plane: one directory holding a MANIFEST, a chain
+/// of WAL segments, and the newest snapshot. Writes go to the WAL
+/// (Append + batched Sync); periodically the owner rotates the WAL,
+/// serializes a snapshot, and InstallSnapshot() makes it live and
+/// garbage-collects the covered segments — so recovery costs the
+/// snapshot load plus the WAL suffix (O(delta) since the last
+/// snapshot), never a full-history replay.
+///
+/// Thread-safe: Append may race Sync/rotation (sniffer threads register
+/// while the cycle commits); one internal mutex serializes everything.
+class DurableMetadataStore {
+ public:
+  /// `env` not owned. Nothing touches the filesystem until Open().
+  DurableMetadataStore(Env* env, std::string dir, StoreOptions options = {});
+
+  DurableMetadataStore(const DurableMetadataStore&) = delete;
+  DurableMetadataStore& operator=(const DurableMetadataStore&) = delete;
+
+  /// Recovers the directory: loads the manifest and snapshot, replays
+  /// the WAL chain (repairing a torn tail, quarantining corruption), and
+  /// leaves the store ready to append. Fails loudly on a corrupt
+  /// manifest or snapshot (the base state cannot be trusted); WAL-suffix
+  /// damage is contained — replay stops at the last valid record and the
+  /// damage is counted in stats(), not crashed on.
+  Status Open(RecoveredState* out);
+
+  /// Journals one record. Buffered — not durable until Sync().
+  Status Append(RecordType type, std::string_view payload);
+
+  /// Makes every appended record durable (one batched fsync).
+  Status Sync();
+
+  /// Syncs and switches appends to a fresh segment. Call before
+  /// serializing a snapshot: records landing after the rotation go to
+  /// the new segment, which stays in the replay chain.
+  Status RotateWal();
+
+  /// Durably installs `payload` as the live snapshot (write-temp +
+  /// fsync + rename + dirsync), points the manifest at it and at the
+  /// current segment, then garbage-collects covered segments and the
+  /// previous snapshot. On any failure the old manifest still governs.
+  Status InstallSnapshot(std::string_view payload);
+
+  /// Sequence number the next appended record will carry.
+  uint64_t next_seq() const;
+  /// Segment currently accepting appends.
+  uint64_t current_segment() const;
+  const std::string& dir() const { return dir_; }
+  StoreStats stats() const;
+  /// One-line summary for StatsReport().
+  std::string Report() const;
+
+ private:
+  /// Caller holds mu_. Moves a corrupt segment (and the chain after it)
+  /// aside under quarantine-* names so the next recovery's replay chain
+  /// stays contiguous.
+  Status QuarantineSegmentLocked(uint64_t segment_number);
+  /// Caller holds mu_. Sync + fresh segment.
+  Status RotateWalLocked();
+
+  Env* env_;
+  std::string dir_;
+  StoreOptions options_;
+
+  mutable std::mutex mu_;
+  bool opened_ = false;
+  std::unique_ptr<WalWriter> writer_;
+  Manifest manifest_;
+  StoreStats stats_;
+};
+
+}  // namespace cacheportal::storage
+
+#endif  // CACHEPORTAL_STORAGE_METADATA_STORE_H_

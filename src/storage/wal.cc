@@ -1,0 +1,161 @@
+#include "storage/wal.h"
+
+#include <utility>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+
+namespace cacheportal::storage {
+
+namespace {
+
+/// 8-byte file magic + fixed64 segment number.
+constexpr char kSegmentMagic[] = "CPWAL001";
+constexpr size_t kSegmentHeaderSize = 16;
+/// len(4) + crc(4) + seq(8) + type(1).
+constexpr size_t kRecordHeaderSize = 17;
+/// A length field above this is garbage, not a big record — without a
+/// cap, a bit-flipped length would masquerade as a torn tail and truncate
+/// away everything after it.
+constexpr uint32_t kMaxRecordLen = 1u << 30;
+
+}  // namespace
+
+std::string WalSegmentFileName(uint64_t segment_number) {
+  std::string digits = StrCat(segment_number);
+  while (digits.size() < 6) digits.insert(digits.begin(), '0');
+  return StrCat("wal-", digits, ".log");
+}
+
+Result<uint64_t> ParseWalSegmentFileName(const std::string& name) {
+  if (name.size() < 9 || name.substr(0, 4) != "wal-" ||
+      name.substr(name.size() - 4) != ".log") {
+    return Status::NotFound(StrCat("not a WAL segment name: ", name));
+  }
+  return ParseUint64(name.substr(4, name.size() - 8));
+}
+
+Result<WalSegmentContents> ReadWalSegment(Env* env, const std::string& path,
+                                          uint64_t expect_first_seq) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(std::string content, env->ReadFile(path));
+  WalSegmentContents out;
+  if (content.size() < kSegmentHeaderSize) {
+    // The file header itself never became durable — the residue of a
+    // crash between segment creation and the first sync. Nothing valid
+    // to keep.
+    out.valid_bytes = 0;
+    out.quarantined_bytes = content.size();
+    out.quarantine_reason = "segment header cut short";
+    out.torn_tail = true;
+    return out;
+  }
+  if (content.compare(0, 8, kSegmentMagic, 8) != 0) {
+    return Status::ParseError(StrCat("bad WAL segment magic in ", path));
+  }
+  out.segment_number = GetFixed64(content.data() + 8);
+
+  size_t pos = kSegmentHeaderSize;
+  uint64_t expected = expect_first_seq;
+  auto stop = [&](std::string reason, bool torn) {
+    out.quarantine_reason = std::move(reason);
+    out.torn_tail = torn;
+  };
+  while (pos < content.size()) {
+    if (content.size() - pos < kRecordHeaderSize) {
+      stop("record header cut short", /*torn=*/true);
+      break;
+    }
+    uint32_t len = GetFixed32(content.data() + pos);
+    uint32_t crc = GetFixed32(content.data() + pos + 4);
+    uint64_t seq = GetFixed64(content.data() + pos + 8);
+    uint8_t type = static_cast<uint8_t>(content[pos + 16]);
+    if (len > kMaxRecordLen) {
+      stop(StrCat("absurd record length ", len), /*torn=*/false);
+      break;
+    }
+    if (pos + kRecordHeaderSize + len > content.size()) {
+      stop("record payload cut short", /*torn=*/true);
+      break;
+    }
+    // The CRC covers (seq || type || payload) — exactly the bytes from
+    // offset 8 of the record header through the payload's end.
+    std::string_view covered(content.data() + pos + 8, 9 + len);
+    if (Crc32(covered) != crc) {
+      stop(StrCat("crc mismatch at seq ", seq), /*torn=*/false);
+      break;
+    }
+    if (type < static_cast<uint8_t>(RecordType::kRegistration) ||
+        type > static_cast<uint8_t>(RecordType::kCommit)) {
+      stop(StrCat("unknown record type ", static_cast<uint64_t>(type)),
+           /*torn=*/false);
+      break;
+    }
+    if (expected != 0 && seq != expected) {
+      stop(StrCat("sequence break: got ", seq, ", expected ", expected),
+           /*torn=*/false);
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    record.type = static_cast<RecordType>(type);
+    record.payload = content.substr(pos + kRecordHeaderSize, len);
+    out.records.push_back(std::move(record));
+    pos += kRecordHeaderSize + len;
+    expected = seq + 1;
+  }
+  out.valid_bytes = pos;
+  out.quarantined_bytes = content.size() - pos;
+  return out;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& dir,
+                                                     uint64_t segment_number,
+                                                     uint64_t next_seq) {
+  std::string path = StrCat(dir, "/", WalSegmentFileName(segment_number));
+  if (env->FileExists(path)) {
+    return Status::AlreadyExists(StrCat("WAL segment exists: ", path));
+  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                               env->NewWritableFile(path, /*truncate=*/false));
+  std::string header(kSegmentMagic, 8);
+  PutFixed64(&header, segment_number);
+  CACHEPORTAL_RETURN_NOT_OK(file->Append(header));
+  // Publish the name now; the header bytes ride with the first batch
+  // sync (an unsynced empty segment recovers as a torn header, which the
+  // store recreates).
+  CACHEPORTAL_RETURN_NOT_OK(env->SyncDir(dir));
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      std::move(file), segment_number, next_seq, kSegmentHeaderSize));
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    Env* env, const std::string& dir, uint64_t segment_number,
+    uint64_t valid_bytes, uint64_t next_seq) {
+  std::string path = StrCat(dir, "/", WalSegmentFileName(segment_number));
+  CACHEPORTAL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                               env->NewWritableFile(path, /*truncate=*/false));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), segment_number, next_seq, valid_bytes));
+}
+
+Status WalWriter::Append(RecordType type, std::string_view payload) {
+  std::string body;
+  body.reserve(9 + payload.size());
+  PutFixed64(&body, next_seq_);
+  body.push_back(static_cast<char>(type));
+  body.append(payload.data(), payload.size());
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&record, Crc32(body));
+  record += body;
+  CACHEPORTAL_RETURN_NOT_OK(file_->Append(record));
+  ++next_seq_;
+  bytes_ += record.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+}  // namespace cacheportal::storage

@@ -1,0 +1,115 @@
+#ifndef CACHEPORTAL_STORAGE_WAL_H_
+#define CACHEPORTAL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace cacheportal::storage {
+
+/// What a WAL record carries. Values are wire format — never renumber.
+enum class RecordType : uint8_t {
+  /// Payload: the SQL of a query instance that registered.
+  kRegistration = 1,
+  /// Payload: the SQL of a query instance that retired.
+  kRetirement = 2,
+  /// Payload: the invalidator's per-cycle durable delta (cursor
+  /// positions, statistics, changed sink state). A commit marks every
+  /// record before it as part of a completed cycle; recovery discards
+  /// the uncommitted tail.
+  kCommit = 3,
+};
+
+/// One recovered WAL record.
+struct WalRecord {
+  uint64_t seq = 0;
+  RecordType type = RecordType::kRegistration;
+  std::string payload;
+};
+
+/// The parse of one segment file. `records` is the longest valid prefix;
+/// everything after it is quarantined, with a reason, rather than
+/// trusted or crashed on.
+struct WalSegmentContents {
+  uint64_t segment_number = 0;
+  std::vector<WalRecord> records;
+  /// Byte length of the valid prefix (file-header included).
+  uint64_t valid_bytes = 0;
+  /// Bytes after the valid prefix (0 when the file parses cleanly).
+  uint64_t quarantined_bytes = 0;
+  /// Why parsing stopped ("" when clean). Torn tails (a record cut off
+  /// mid-bytes) and corrupt records (bad CRC, bad length, sequence
+  /// break) both land here; the caller decides which are repairable.
+  std::string quarantine_reason;
+  /// True when the quarantined suffix is a bare torn tail: a final
+  /// record whose bytes simply stop early — the expected residue of a
+  /// crash mid-append, safe to truncate away. False for active
+  /// corruption (CRC mismatch, sequence break) inside complete records.
+  bool torn_tail = false;
+};
+
+/// "wal-000042.log" for segment 42. Sorts numerically as text.
+std::string WalSegmentFileName(uint64_t segment_number);
+/// Inverse of WalSegmentFileName; NotFound for non-WAL names.
+Result<uint64_t> ParseWalSegmentFileName(const std::string& name);
+
+/// Parses segment file `path`. `expect_first_seq` of 0 accepts any
+/// starting sequence; otherwise the first record must carry exactly that
+/// seq (cross-segment continuity). Each record must chain +1 from its
+/// predecessor — duplicates and reorderings quarantine the suffix.
+/// Only I/O errors and a bad file header fail the call.
+Result<WalSegmentContents> ReadWalSegment(Env* env, const std::string& path,
+                                          uint64_t expect_first_seq);
+
+/// Appender for one open segment. Records are framed
+///   [len u32][crc u32][seq u64][type u8][payload]
+/// little-endian, CRC-32 over (seq || type || payload); `len` counts the
+/// payload alone. Appends buffer in the env; Sync() makes the batch
+/// durable.
+class WalWriter {
+ public:
+  /// Creates segment `segment_number` in `dir` (fails if the file
+  /// exists). `next_seq` numbers the first record appended.
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& dir,
+                                                   uint64_t segment_number,
+                                                   uint64_t next_seq);
+
+  /// Reopens an existing, fully validated segment for append.
+  /// `valid_bytes`/`next_seq` come from ReadWalSegment (the caller has
+  /// already truncated any torn tail).
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      Env* env, const std::string& dir, uint64_t segment_number,
+      uint64_t valid_bytes, uint64_t next_seq);
+
+  Status Append(RecordType type, std::string_view payload);
+  Status Sync();
+
+  uint64_t segment_number() const { return segment_number_; }
+  /// Sequence the next appended record will carry.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Segment size if every appended byte reaches the file.
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, uint64_t segment_number,
+            uint64_t next_seq, uint64_t bytes)
+      : file_(std::move(file)),
+        segment_number_(segment_number),
+        next_seq_(next_seq),
+        bytes_(bytes) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t segment_number_;
+  uint64_t next_seq_;
+  uint64_t bytes_;
+};
+
+}  // namespace cacheportal::storage
+
+#endif  // CACHEPORTAL_STORAGE_WAL_H_

@@ -1,0 +1,245 @@
+#include "common/file_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injector.h"
+#include "common/strings.h"
+
+namespace cacheportal {
+namespace {
+
+// ---- Crc32. ----
+
+TEST(Crc32Test, KnownVectors) {
+  // The CRC-32/IEEE check value ("123456789" -> 0xCBF43926) pins the
+  // polynomial, reflection, and final XOR — any implementation drift and
+  // every WAL record ever written becomes unreadable.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, Chains) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    EXPECT_EQ(Crc32(data.substr(split), Crc32(data.substr(0, split))),
+              Crc32(data))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "invalidator metadata record";
+  uint32_t clean = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(flipped), clean);
+    }
+  }
+}
+
+TEST(FixedCodecTest, RoundTripsAndIsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304u);
+  PutFixed64(&buf, 0x0102030405060708ull);
+  ASSERT_EQ(buf.size(), 12u);
+  // Wire format is little-endian regardless of host.
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(buf[4]), 0x08);
+  EXPECT_EQ(GetFixed32(buf.data()), 0x01020304u);
+  EXPECT_EQ(GetFixed64(buf.data() + 4), 0x0102030405060708ull);
+
+  std::string extremes;
+  PutFixed32(&extremes, 0);
+  PutFixed32(&extremes, ~uint32_t{0});
+  PutFixed64(&extremes, ~uint64_t{0});
+  EXPECT_EQ(GetFixed32(extremes.data()), 0u);
+  EXPECT_EQ(GetFixed32(extremes.data() + 4), ~uint32_t{0});
+  EXPECT_EQ(GetFixed64(extremes.data() + 8), ~uint64_t{0});
+}
+
+// ---- SimEnv durability semantics. ----
+
+TEST(SimEnvTest, UnsyncedBytesDieInACrash) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto file = env.NewWritableFile("d/f", /*truncate=*/false).value();
+  ASSERT_TRUE(env.SyncDir("d").ok());  // Make the NAME durable too.
+  ASSERT_TRUE(file->Append("synced").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append("volatile").ok());
+  EXPECT_EQ(env.ReadFile("d/f").value(), "syncedvolatile");
+
+  env.Recover();  // Power cut.
+  EXPECT_EQ(env.ReadFile("d/f").value(), "synced");
+  // The pre-crash handle is stale; a fresh open is required.
+  EXPECT_FALSE(file->Append("more").ok());
+}
+
+TEST(SimEnvTest, UnsyncedNamesDieInACrash) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  {
+    auto file = env.NewWritableFile("d/f", false).value();
+    ASSERT_TRUE(file->Append("x").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  // Content synced, name not: the file vanishes wholesale.
+  env.Recover();
+  EXPECT_FALSE(env.FileExists("d/f"));
+
+  {
+    auto file = env.NewWritableFile("d/g", false).value();
+    ASSERT_TRUE(file->Append("y").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  env.Recover();
+  ASSERT_TRUE(env.FileExists("d/g"));
+  EXPECT_EQ(env.ReadFile("d/g").value(), "y");
+}
+
+TEST(SimEnvTest, RenameIsAtomicAcrossCrash) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  for (const char* name : {"d/old", "d/new"}) {
+    auto file = env.NewWritableFile(name, false).value();
+    ASSERT_TRUE(file->Append(name).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  ASSERT_TRUE(env.RenameFile("d/new", "d/old").ok());
+  // Rename not yet dir-synced: the crash rolls the namespace back.
+  env.Recover();
+  EXPECT_EQ(env.ReadFile("d/old").value(), "d/old");
+  EXPECT_EQ(env.ReadFile("d/new").value(), "d/new");
+}
+
+TEST(SimEnvTest, PartialSyncTearsTheTail) {
+  FaultInjector faults(1);
+  SimEnv env(&faults);
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto file = env.NewWritableFile("d/f", false).value();
+  ASSERT_TRUE(env.SyncDir("d").ok());  // Name durable; content is at stake.
+  ASSERT_TRUE(file->Append("0123456789").ok());
+
+  // Find and fire the env:sync:partial point inside Sync().
+  faults.ArmCrash(1u << 30);
+  ASSERT_TRUE(file->Sync().ok());
+  uint64_t points = faults.crash_points_seen();
+  ASSERT_GE(points, 3u);  // before, partial, after.
+  faults.DisarmCrash();
+
+  auto file2 = env.NewWritableFile("d/f", false).value();
+  ASSERT_TRUE(file2->Append("ABCDEFGHIJ").ok());
+  faults.ArmCrash(1);  // 0 = sync:before, 1 = sync:partial.
+  EXPECT_FALSE(file2->Sync().ok());
+  EXPECT_EQ(faults.last_crash_point(), "env:sync:partial");
+  EXPECT_TRUE(env.crashed());
+  env.Recover();
+  std::string after = env.ReadFile("d/f").value();
+  // The first 10 bytes were durable; the torn batch left a PREFIX of the
+  // new bytes — more than nothing, less than everything.
+  EXPECT_TRUE(after.size() > 10 && after.size() < 20) << after;
+  EXPECT_EQ(after.substr(0, 10), "0123456789");
+}
+
+TEST(SimEnvTest, CrashedEnvFailsEverythingUntilRecover) {
+  FaultInjector faults(1);
+  SimEnv env(&faults);
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  faults.ArmCrash(0);
+  auto file = env.NewWritableFile("d/f", false).value();
+  EXPECT_FALSE(file->Append("x").ok());  // env:append:before fires.
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE(env.ReadFile("d/f").ok());
+  EXPECT_FALSE(env.SyncDir("d").ok());
+  env.Recover();
+  EXPECT_FALSE(env.crashed());
+  EXPECT_TRUE(env.ListDir("d").ok());
+}
+
+// ---- AtomicFileWriter. ----
+
+TEST(AtomicFileWriterTest, WritesAndReplaces) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  ASSERT_TRUE(AtomicFileWriter::Write(&env, "d/target", "first").ok());
+  EXPECT_EQ(env.ReadFile("d/target").value(), "first");
+  ASSERT_TRUE(AtomicFileWriter::Write(&env, "d/target", "second").ok());
+  EXPECT_EQ(env.ReadFile("d/target").value(), "second");
+  // Everything it wrote survives an immediate crash un-synced-nothing.
+  env.Recover();
+  EXPECT_EQ(env.ReadFile("d/target").value(), "second");
+}
+
+/// The satellite-1 sweep: kill AtomicFileWriter at EVERY crash point and
+/// assert the old-or-new-never-partial contract after recovery.
+TEST(AtomicFileWriterTest, CrashSweepOldOrNewNeverPartial) {
+  // Dry run to count the points.
+  uint64_t total_points = 0;
+  {
+    FaultInjector faults(1);
+    SimEnv env(&faults);
+    ASSERT_TRUE(env.CreateDir("d").ok());
+    ASSERT_TRUE(AtomicFileWriter::Write(&env, "d/target", "OLD-CONTENT").ok());
+    faults.ArmCrash(1u << 30);
+    ASSERT_TRUE(
+        AtomicFileWriter::Write(&env, "d/target", "NEW-CONTENT!!").ok());
+    total_points = faults.crash_points_seen();
+    faults.DisarmCrash();
+  }
+  ASSERT_GE(total_points, 6u);
+
+  for (uint64_t k = 0; k < total_points; ++k) {
+    FaultInjector faults(1);
+    SimEnv env(&faults);
+    ASSERT_TRUE(env.CreateDir("d").ok());
+    ASSERT_TRUE(AtomicFileWriter::Write(&env, "d/target", "OLD-CONTENT").ok());
+    faults.ArmCrash(k);
+    Status written = AtomicFileWriter::Write(&env, "d/target", "NEW-CONTENT!!");
+    ASSERT_FALSE(written.ok()) << "point " << k << " did not fire";
+    SCOPED_TRACE(StrCat("crash point ", k, " = ", faults.last_crash_point()));
+    env.Recover();
+    std::string content = env.ReadFile("d/target").value();
+    EXPECT_TRUE(content == "OLD-CONTENT" || content == "NEW-CONTENT!!")
+        << "partial content: '" << content << "'";
+  }
+}
+
+/// A file that never existed may legitimately be absent after a crash,
+/// but once Write() returned OK the new content must be there.
+TEST(AtomicFileWriterTest, CrashSweepFreshFileIsAbsentOrComplete) {
+  uint64_t total_points = 0;
+  {
+    FaultInjector faults(1);
+    SimEnv env(&faults);
+    ASSERT_TRUE(env.CreateDir("d").ok());
+    faults.ArmCrash(1u << 30);
+    ASSERT_TRUE(AtomicFileWriter::Write(&env, "d/fresh", "PAYLOAD").ok());
+    total_points = faults.crash_points_seen();
+    faults.DisarmCrash();
+  }
+  for (uint64_t k = 0; k < total_points; ++k) {
+    FaultInjector faults(1);
+    SimEnv env(&faults);
+    ASSERT_TRUE(env.CreateDir("d").ok());
+    faults.ArmCrash(k);
+    ASSERT_FALSE(AtomicFileWriter::Write(&env, "d/fresh", "PAYLOAD").ok());
+    env.Recover();
+    if (env.FileExists("d/fresh")) {
+      EXPECT_EQ(env.ReadFile("d/fresh").value(), "PAYLOAD")
+          << "point " << k << " (" << faults.last_crash_point() << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cacheportal

@@ -184,11 +184,13 @@ TEST(InvalidatorCheckpointTest, LegacyV1CheckpointStillRestores) {
           .ok());
 }
 
-/// v3 round-trip: the current format carries one QI/URL-map cursor per
-/// metadata shard, and restores into a process with a DIFFERENT live
-/// shard count (the persisted partitioning never constrains the new
-/// configuration — cursors rewind either way).
-TEST(InvalidatorCheckpointTest, V3RoundTripsAcrossShardCounts) {
+/// v4 round-trip: the current format carries one QI/URL-map cursor per
+/// metadata shard PLUS the full registry (types + instance SQLs), and
+/// restores into a process with a DIFFERENT live shard count (the
+/// persisted partitioning never constrains the new configuration —
+/// mismatched cursors fall back to the minimum position, and the
+/// snapshot's own instances rebuild the registry without a rescan).
+TEST(InvalidatorCheckpointTest, V4RoundTripsAcrossShardCounts) {
   ManualClock clock;
   db::Database db(&clock);
   CreateCarTables(&db);
@@ -200,7 +202,7 @@ TEST(InvalidatorCheckpointTest, V3RoundTripsAcrossShardCounts) {
   Invalidator inv(&db, &map, &clock, three);
   inv.RunCycle().value();
   std::string checkpoint = inv.Checkpoint();
-  EXPECT_NE(checkpoint.find("cacheportal-invalidator-checkpoint 3\n"),
+  EXPECT_NE(checkpoint.find("cacheportal-invalidator-checkpoint 4\n"),
             std::string::npos);
   EXPECT_NE(checkpoint.find("shards 3\n"), std::string::npos);
   // All three cursors advanced in lockstep to the scanned map row.
@@ -210,6 +212,9 @@ TEST(InvalidatorCheckpointTest, V3RoundTripsAcrossShardCounts) {
               std::string::npos)
         << checkpoint;
   }
+  // The registry travels in the snapshot: the instance's SQL is there.
+  EXPECT_NE(checkpoint.find("SELECT * FROM Car WHERE price < 20000"),
+            std::string::npos);
 
   db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
   RecordingSink sink;
@@ -218,8 +223,77 @@ TEST(InvalidatorCheckpointTest, V3RoundTripsAcrossShardCounts) {
   Invalidator inv2(&db, &map, &clock, two);
   inv2.AddSink(&sink);
   ASSERT_TRUE(inv2.Restore(checkpoint).ok());
+  // The instance is staged, not parsed yet; the first cycle drains it.
+  EXPECT_GE(inv2.pending_restore_ops(), 1u);
+  inv2.RunCycle().value();
+  EXPECT_EQ(inv2.pending_restore_ops(), 0u);
+  EXPECT_TRUE(sink.invalidated.contains("shop/cheap?##"));
+}
+
+/// v4 restores cursors to their persisted positions — the map is NOT
+/// rescanned (v1–v3 rewound to zero and depended on the rescan). A row
+/// retired before the checkpoint must not resurrect.
+TEST(InvalidatorCheckpointTest, V4RestoresCursorsWithoutRescan) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM Car WHERE price < 20000", "shop/cheap?##", "/r", 0);
+
+  Invalidator inv(&db, &map, &clock);
+  inv.RunCycle().value();
+  std::string checkpoint = inv.Checkpoint();
+
+  Invalidator inv2(&db, &map, &clock);
+  ASSERT_TRUE(inv2.Restore(checkpoint).ok());
+  inv2.RunCycle().value();
+  // Cursor restored past the existing row: the map scan absorbed nothing
+  // new, yet the registry is whole (rebuilt from the snapshot itself).
+  EXPECT_EQ(inv2.metadata().MinMapCursor(), map.LastId());
+  EXPECT_EQ(inv2.metadata().NumInstances(), 1u);
+  // Give the original the same second (empty) cycle, then the reports —
+  // per-type statistics included — must be byte-identical: the restored
+  // side's re-registration bumps were overwritten by the persisted
+  // absolute values, not double-counted.
+  inv.RunCycle().value();
+  EXPECT_EQ(inv2.StatsReport(), inv.StatsReport());
+}
+
+/// The exact bytes the v3 writer produced still restore (legacy path:
+/// cursors rewind to zero, live map rows re-register on the next scan).
+TEST(InvalidatorCheckpointTest, LegacyV3CheckpointStillRestores) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM Car WHERE price < 20000", "shop/cheap?##", "/r", 0);
+
+  Invalidator inv(&db, &map, &clock);
+  inv.RunCycle().value();
+  const uint64_t seq = inv.consumed_update_seq();
+
+  const std::string legacy =
+      StrCat("cacheportal-invalidator-checkpoint 3\n",
+             "update_seq ", seq, "\n", "shards 2\n",
+             "shard_map_id 0 ", map.LastId(), "\n",
+             "shard_map_id 1 ", map.LastId(), "\n", "end\n");
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
+
+  RecordingSink sink;
+  Invalidator inv2(&db, &map, &clock);
+  inv2.AddSink(&sink);
+  ASSERT_TRUE(inv2.Restore(legacy).ok());
+  EXPECT_EQ(inv2.consumed_update_seq(), seq);
+  EXPECT_EQ(inv2.metadata().MinMapCursor(), 0u);  // v3 rewinds.
   inv2.RunCycle().value();
   EXPECT_TRUE(sink.invalidated.contains("shop/cheap?##"));
+
+  // v3 corruption is still loud: a v3 blob must not carry v4 records.
+  EXPECT_TRUE(inv2.Restore(StrCat("cacheportal-invalidator-checkpoint 3\n",
+                                  "update_seq ", seq, "\n", "shards 1\n",
+                                  "shard_map_id 0 0\n", "type_counter 1\n",
+                                  "end\n"))
+                  .IsParseError());
 }
 
 /// Checkpoints embed CheckpointableSink state: messages stuck in a

@@ -1,0 +1,287 @@
+#include "storage/metadata_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injector.h"
+#include "common/strings.h"
+#include "storage/manifest.h"
+
+namespace cacheportal::storage {
+namespace {
+
+std::vector<std::string> Payloads(const RecoveredState& state) {
+  std::vector<std::string> out;
+  for (const WalRecord& record : state.records) out.push_back(record.payload);
+  return out;
+}
+
+TEST(DurableMetadataStoreTest, GenesisOpensEmptyAndRecovers) {
+  SimEnv env;
+  {
+    DurableMetadataStore store(&env, "meta");
+    RecoveredState state;
+    ASSERT_TRUE(store.Open(&state).ok());
+    EXPECT_EQ(state.snapshot, "");
+    EXPECT_TRUE(state.records.empty());
+    ASSERT_TRUE(store.Append(RecordType::kRegistration, "SELECT 1").ok());
+    ASSERT_TRUE(store.Append(RecordType::kCommit, "delta-1").ok());
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  env.Recover();  // Hard power cut; only synced state survives.
+  DurableMetadataStore store(&env, "meta");
+  RecoveredState state;
+  ASSERT_TRUE(store.Open(&state).ok());
+  EXPECT_EQ(state.snapshot, "");
+  EXPECT_EQ(Payloads(state), (std::vector<std::string>{"SELECT 1", "delta-1"}));
+  EXPECT_EQ(store.stats().records_recovered, 2u);
+  // Appends continue the global sequence, not restart it.
+  EXPECT_EQ(store.next_seq(), 3u);
+}
+
+TEST(DurableMetadataStoreTest, UnsyncedSuffixIsLostCommitsBeforeSurvive) {
+  SimEnv env;
+  DurableMetadataStore store1(&env, "meta");
+  RecoveredState state;
+  ASSERT_TRUE(store1.Open(&state).ok());
+  ASSERT_TRUE(store1.Append(RecordType::kCommit, "durable").ok());
+  ASSERT_TRUE(store1.Sync().ok());
+  ASSERT_TRUE(store1.Append(RecordType::kCommit, "in flight").ok());
+  env.Recover();
+
+  DurableMetadataStore store2(&env, "meta");
+  ASSERT_TRUE(store2.Open(&state).ok());
+  EXPECT_EQ(Payloads(state), std::vector<std::string>{"durable"});
+}
+
+TEST(DurableMetadataStoreTest, SnapshotBoundsReplayAndCollectsGarbage) {
+  SimEnv env;
+  DurableMetadataStore store1(&env, "meta");
+  RecoveredState state;
+  ASSERT_TRUE(store1.Open(&state).ok());
+  ASSERT_TRUE(store1.Append(RecordType::kRegistration, "covered-1").ok());
+  ASSERT_TRUE(store1.Append(RecordType::kCommit, "covered-2").ok());
+  ASSERT_TRUE(store1.RotateWal().ok());
+  ASSERT_TRUE(store1.InstallSnapshot("THE SNAPSHOT").ok());
+  ASSERT_TRUE(store1.Append(RecordType::kCommit, "suffix").ok());
+  ASSERT_TRUE(store1.Sync().ok());
+  // The covered segment is gone; the chain restarts at the snapshot.
+  EXPECT_FALSE(env.FileExists("meta/wal-000001.log"));
+  ASSERT_TRUE(env.FileExists("meta/wal-000002.log"));
+  env.Recover();
+
+  DurableMetadataStore store2(&env, "meta");
+  ASSERT_TRUE(store2.Open(&state).ok());
+  EXPECT_EQ(state.snapshot, "THE SNAPSHOT");
+  // O(delta): replay is the post-snapshot suffix, not history.
+  EXPECT_EQ(Payloads(state), std::vector<std::string>{"suffix"});
+  EXPECT_EQ(store2.stats().records_recovered, 1u);
+}
+
+TEST(DurableMetadataStoreTest, SecondSnapshotReplacesTheFirst) {
+  SimEnv env;
+  DurableMetadataStore store(&env, "meta");
+  RecoveredState state;
+  ASSERT_TRUE(store.Open(&state).ok());
+  ASSERT_TRUE(store.RotateWal().ok());
+  ASSERT_TRUE(store.InstallSnapshot("old snapshot").ok());
+  ASSERT_TRUE(store.RotateWal().ok());
+  ASSERT_TRUE(store.InstallSnapshot("new snapshot").ok());
+
+  std::vector<std::string> names = env.ListDir("meta").value();
+  int snapshots = 0;
+  for (const std::string& name : names) {
+    if (name.rfind("snap-", 0) == 0) ++snapshots;
+  }
+  EXPECT_EQ(snapshots, 1);  // The superseded snapshot was collected.
+
+  env.Recover();
+  DurableMetadataStore reopened(&env, "meta");
+  ASSERT_TRUE(reopened.Open(&state).ok());
+  EXPECT_EQ(state.snapshot, "new snapshot");
+}
+
+TEST(DurableMetadataStoreTest, SegmentsRotateBySize) {
+  SimEnv env;
+  StoreOptions options;
+  options.max_segment_bytes = 256;
+  DurableMetadataStore store(&env, "meta", options);
+  RecoveredState state;
+  ASSERT_TRUE(store.Open(&state).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        store.Append(RecordType::kRegistration, std::string(64, 'x')).ok());
+  }
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_GT(store.current_segment(), 2u);
+  env.Recover();
+
+  DurableMetadataStore reopened(&env, "meta", options);
+  ASSERT_TRUE(reopened.Open(&state).ok());
+  EXPECT_EQ(state.records.size(), 20u);  // The whole multi-segment chain.
+}
+
+TEST(DurableMetadataStoreTest, CorruptManifestIsLoudNotSilentlyEmpty) {
+  SimEnv env;
+  {
+    DurableMetadataStore store(&env, "meta");
+    RecoveredState state;
+    ASSERT_TRUE(store.Open(&state).ok());
+    ASSERT_TRUE(store.RotateWal().ok());
+    ASSERT_TRUE(store.InstallSnapshot("snapshot").ok());
+  }
+  ASSERT_TRUE(env.CorruptFile("meta/MANIFEST", 0, "X").ok());
+  DurableMetadataStore store(&env, "meta");
+  RecoveredState state;
+  EXPECT_TRUE(store.Open(&state).IsParseError());
+}
+
+TEST(DurableMetadataStoreTest, CorruptSnapshotIsLoudNotSilentlyEmpty) {
+  SimEnv env;
+  std::string snapshot_name;
+  {
+    DurableMetadataStore store(&env, "meta");
+    RecoveredState state;
+    ASSERT_TRUE(store.Open(&state).ok());
+    ASSERT_TRUE(store.RotateWal().ok());
+    ASSERT_TRUE(store.InstallSnapshot("precious bytes").ok());
+  }
+  std::vector<std::string> names = env.ListDir("meta").value();
+  for (const std::string& name : names) {
+    if (name.rfind("snap-", 0) == 0) snapshot_name = name;
+  }
+  ASSERT_FALSE(snapshot_name.empty());
+  ASSERT_TRUE(env.CorruptFile(StrCat("meta/", snapshot_name), 3, "!").ok());
+  DurableMetadataStore store(&env, "meta");
+  RecoveredState state;
+  Status opened = store.Open(&state);
+  EXPECT_TRUE(opened.IsParseError()) << opened.message();
+}
+
+TEST(DurableMetadataStoreTest, CorruptWalRecordQuarantinesReportsAndContinues) {
+  SimEnv env;
+  {
+    DurableMetadataStore store(&env, "meta");
+    RecoveredState state;
+    ASSERT_TRUE(store.Open(&state).ok());
+    ASSERT_TRUE(store.Append(RecordType::kRegistration, "good-1").ok());
+    ASSERT_TRUE(store.Append(RecordType::kRegistration, "good-2").ok());
+    ASSERT_TRUE(store.Append(RecordType::kCommit, "doomed").ok());
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  // Flip a payload bit inside the LAST record (its payload is the file
+  // tail).
+  uint64_t size = env.ReadFile("meta/wal-000001.log")->size();
+  ASSERT_TRUE(env.CorruptFile("meta/wal-000001.log", size - 3, "X").ok());
+  env.Recover();
+
+  DurableMetadataStore store(&env, "meta");
+  RecoveredState state;
+  ASSERT_TRUE(store.Open(&state).ok());  // Never crashes on damage.
+  EXPECT_EQ(Payloads(state), (std::vector<std::string>{"good-1", "good-2"}));
+  StoreStats stats = store.stats();
+  EXPECT_GT(stats.quarantined_bytes, 0u);
+  EXPECT_EQ(stats.segments_quarantined, 1u);
+  EXPECT_NE(stats.last_quarantine_reason.find("crc mismatch"),
+            std::string::npos);
+  EXPECT_NE(store.Report().find("quarantined-bytes="), std::string::npos);
+  // The damaged file was moved aside, not destroyed (forensics), and a
+  // fresh segment took its number so the chain stays contiguous.
+  EXPECT_TRUE(env.FileExists("meta/quarantine-wal-000001.log"));
+  ASSERT_TRUE(store.Append(RecordType::kRegistration, "after").ok());
+  ASSERT_TRUE(store.Sync().ok());
+  env.Recover();
+  DurableMetadataStore again(&env, "meta");
+  ASSERT_TRUE(again.Open(&state).ok());
+  EXPECT_EQ(Payloads(state), std::vector<std::string>{"after"});
+}
+
+TEST(DurableMetadataStoreTest, TornTailIsTruncatedAndAppendContinues) {
+  FaultInjector faults(1);
+  SimEnv env(&faults);
+  DurableMetadataStore store1(&env, "meta");
+  RecoveredState state;
+  ASSERT_TRUE(store1.Open(&state).ok());
+  ASSERT_TRUE(store1.Append(RecordType::kRegistration, "whole").ok());
+  ASSERT_TRUE(store1.Sync().ok());
+  ASSERT_TRUE(
+      store1.Append(RecordType::kRegistration, std::string(200, 't')).ok());
+  faults.ArmCrash(1);  // env:sync:partial tears the in-flight record.
+  ASSERT_FALSE(store1.Sync().ok());
+  env.Recover();
+
+  DurableMetadataStore store2(&env, "meta");
+  ASSERT_TRUE(store2.Open(&state).ok());
+  EXPECT_EQ(Payloads(state), std::vector<std::string>{"whole"});
+  EXPECT_GT(store2.stats().torn_tail_bytes_truncated, 0u);
+  EXPECT_EQ(store2.stats().quarantined_bytes, 0u);  // Benign, not corrupt.
+  ASSERT_TRUE(store2.Append(RecordType::kCommit, "resumed").ok());
+  ASSERT_TRUE(store2.Sync().ok());
+  env.Recover();
+  DurableMetadataStore store3(&env, "meta");
+  ASSERT_TRUE(store3.Open(&state).ok());
+  EXPECT_EQ(Payloads(state),
+            (std::vector<std::string>{"whole", "resumed"}));
+}
+
+/// The tentpole sweep at the store level: crash at EVERY filesystem
+/// crash point inside InstallSnapshot and assert the next Open() finds a
+/// consistent root — the old snapshot or the new one, never garbage.
+TEST(DurableMetadataStoreTest, CrashSweepDuringSnapshotInstall) {
+  // Dry run: count the points one install consults.
+  uint64_t total_points = 0;
+  {
+    FaultInjector faults(1);
+    SimEnv env(&faults);
+    DurableMetadataStore store(&env, "meta");
+    RecoveredState state;
+    ASSERT_TRUE(store.Open(&state).ok());
+    ASSERT_TRUE(store.Append(RecordType::kCommit, "pre").ok());
+    ASSERT_TRUE(store.Sync().ok());
+    ASSERT_TRUE(store.RotateWal().ok());
+    ASSERT_TRUE(store.InstallSnapshot("OLD").ok());
+    faults.ArmCrash(1u << 30);
+    ASSERT_TRUE(store.RotateWal().ok());
+    ASSERT_TRUE(store.InstallSnapshot("NEW").ok());
+    total_points = faults.crash_points_seen();
+    faults.DisarmCrash();
+  }
+  ASSERT_GE(total_points, 8u);
+
+  for (uint64_t k = 0; k < total_points; ++k) {
+    SCOPED_TRACE(StrCat("crash point ", k, " of ", total_points));
+    FaultInjector faults(1);
+    SimEnv env(&faults);
+    {
+      DurableMetadataStore store(&env, "meta");
+      RecoveredState state;
+      ASSERT_TRUE(store.Open(&state).ok());
+      ASSERT_TRUE(store.Append(RecordType::kCommit, "pre").ok());
+      ASSERT_TRUE(store.Sync().ok());
+      ASSERT_TRUE(store.RotateWal().ok());
+      ASSERT_TRUE(store.InstallSnapshot("OLD").ok());
+      faults.ArmCrash(k);
+      Status rotated = store.RotateWal();
+      if (rotated.ok()) (void)store.InstallSnapshot("NEW");
+      EXPECT_EQ(faults.crashes_injected(), 1u);
+    }
+    env.Recover();
+    DurableMetadataStore store(&env, "meta");
+    RecoveredState state;
+    ASSERT_TRUE(store.Open(&state).ok())
+        << faults.last_crash_point() << ": " << store.Open(&state).message();
+    EXPECT_TRUE(state.snapshot == "OLD" || state.snapshot == "NEW")
+        << faults.last_crash_point() << " left snapshot '" << state.snapshot
+        << "'";
+    // And the store still works after whatever the crash left behind.
+    ASSERT_TRUE(store.Append(RecordType::kCommit, "post-crash").ok());
+    ASSERT_TRUE(store.Sync().ok());
+  }
+}
+
+}  // namespace
+}  // namespace cacheportal::storage

@@ -1,0 +1,267 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/env.h"
+#include "common/fault_injector.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+
+namespace cacheportal::storage {
+namespace {
+
+// Raw-bytes builders for the corruption corpus: the tests must be able
+// to write byte-exact (and byte-broken) segment files without going
+// through the writer under test.
+std::string SegmentHeader(uint64_t segment_number) {
+  std::string header("CPWAL001", 8);
+  PutFixed64(&header, segment_number);
+  return header;
+}
+
+std::string RawRecord(uint64_t seq, uint8_t type, std::string_view payload) {
+  std::string body;
+  PutFixed64(&body, seq);
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  std::string record;
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&record, Crc32(body));
+  record += body;
+  return record;
+}
+
+void WriteRaw(Env* env, const std::string& path, std::string_view bytes) {
+  auto file = env->NewWritableFile(path, /*truncate=*/true).value();
+  ASSERT_TRUE(file->Append(bytes).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+}
+
+TEST(WalSegmentNameTest, RoundTrips) {
+  EXPECT_EQ(WalSegmentFileName(1), "wal-000001.log");
+  EXPECT_EQ(WalSegmentFileName(1234567), "wal-1234567.log");
+  EXPECT_EQ(ParseWalSegmentFileName("wal-000042.log").value(), 42u);
+  EXPECT_TRUE(ParseWalSegmentFileName("MANIFEST").status().IsNotFound());
+  EXPECT_TRUE(
+      ParseWalSegmentFileName("quarantine-wal-000001.log").status()
+          .IsNotFound());
+}
+
+TEST(WalWriterTest, RoundTripsRecords) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto writer = WalWriter::Create(&env, "d", 1, 1).value();
+  ASSERT_TRUE(writer->Append(RecordType::kRegistration, "SELECT 1").ok());
+  ASSERT_TRUE(writer->Append(RecordType::kRetirement, "").ok());
+  ASSERT_TRUE(writer->Append(RecordType::kCommit, "delta\nbytes\n").ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  EXPECT_EQ(writer->next_seq(), 4u);
+
+  WalSegmentContents read =
+      ReadWalSegment(&env, "d/wal-000001.log", 1).value();
+  EXPECT_EQ(read.segment_number, 1u);
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.records[0].seq, 1u);
+  EXPECT_EQ(read.records[0].type, RecordType::kRegistration);
+  EXPECT_EQ(read.records[0].payload, "SELECT 1");
+  EXPECT_EQ(read.records[1].payload, "");
+  EXPECT_EQ(read.records[2].type, RecordType::kCommit);
+  EXPECT_EQ(read.records[2].payload, "delta\nbytes\n");
+  EXPECT_EQ(read.quarantined_bytes, 0u);
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.valid_bytes, env.ReadFile("d/wal-000001.log")->size());
+}
+
+TEST(WalWriterTest, UnsyncedBatchVanishesCleanly) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto writer = WalWriter::Create(&env, "d", 1, 1).value();
+  ASSERT_TRUE(writer->Append(RecordType::kRegistration, "durable").ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  ASSERT_TRUE(writer->Append(RecordType::kRegistration, "volatile-1").ok());
+  ASSERT_TRUE(writer->Append(RecordType::kCommit, "volatile-2").ok());
+  env.Recover();  // Crash before the second sync.
+
+  WalSegmentContents read =
+      ReadWalSegment(&env, "d/wal-000001.log", 0).value();
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.records[0].payload, "durable");
+  // Whole records vanished with the page cache — no tear, no residue.
+  EXPECT_EQ(read.quarantined_bytes, 0u);
+  EXPECT_FALSE(read.torn_tail);
+}
+
+TEST(WalWriterTest, PartialSyncLeavesTornTail) {
+  FaultInjector faults(1);
+  SimEnv env(&faults);
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  auto writer = WalWriter::Create(&env, "d", 1, 1).value();
+  ASSERT_TRUE(
+      writer->Append(RecordType::kRegistration, std::string(100, 'a')).ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  ASSERT_TRUE(
+      writer->Append(RecordType::kRegistration, std::string(100, 'b')).ok());
+  faults.ArmCrash(1);  // env:sync:partial — half the new bytes land.
+  ASSERT_FALSE(writer->Sync().ok());
+  env.Recover();
+
+  WalSegmentContents read =
+      ReadWalSegment(&env, "d/wal-000001.log", 1).value();
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.records[0].payload, std::string(100, 'a'));
+  EXPECT_TRUE(read.torn_tail) << read.quarantine_reason;
+  EXPECT_GT(read.quarantined_bytes, 0u);
+  EXPECT_EQ(read.quarantine_reason, "record payload cut short");
+}
+
+TEST(WalWriterTest, OpenForAppendContinuesTheChain) {
+  SimEnv env;
+  ASSERT_TRUE(env.CreateDir("d").ok());
+  {
+    auto writer = WalWriter::Create(&env, "d", 7, 10).value();
+    ASSERT_TRUE(writer->Append(RecordType::kRegistration, "one").ok());
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  WalSegmentContents first = ReadWalSegment(&env, "d/wal-000007.log", 0).value();
+  ASSERT_EQ(first.records.size(), 1u);
+  EXPECT_EQ(first.records[0].seq, 10u);
+
+  auto writer = WalWriter::OpenForAppend(&env, "d", 7, first.valid_bytes, 11)
+                    .value();
+  ASSERT_TRUE(writer->Append(RecordType::kCommit, "two").ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  WalSegmentContents both = ReadWalSegment(&env, "d/wal-000007.log", 10).value();
+  ASSERT_EQ(both.records.size(), 2u);
+  EXPECT_EQ(both.records[1].seq, 11u);
+  EXPECT_EQ(both.records[1].payload, "two");
+  EXPECT_EQ(both.quarantined_bytes, 0u);
+}
+
+// ---- The corruption corpus (satellite 2): every class of damage stops
+// replay at the last valid record and reports, never crashes. ----
+
+class WalCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.CreateDir("d").ok());
+    clean_ = SegmentHeader(1) + RawRecord(1, 1, "first") +
+             RawRecord(2, 2, "second") + RawRecord(3, 3, "third");
+  }
+
+  WalSegmentContents Read() {
+    return ReadWalSegment(&env_, "d/wal-000001.log", 1).value();
+  }
+
+  SimEnv env_;
+  std::string clean_;
+};
+
+TEST_F(WalCorruptionTest, CleanFileParsesWhole) {
+  WriteRaw(&env_, "d/wal-000001.log", clean_);
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.quarantined_bytes, 0u);
+}
+
+TEST_F(WalCorruptionTest, BitFlippedPayloadStopsAtCrc) {
+  std::string damaged = clean_;
+  damaged[damaged.size() - 2] ^= 0x40;  // Inside record 3's payload.
+  WriteRaw(&env_, "d/wal-000001.log", damaged);
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 2u);
+  EXPECT_FALSE(read.torn_tail);  // Complete bytes that LIE are not a tear.
+  EXPECT_GT(read.quarantined_bytes, 0u);
+  EXPECT_NE(read.quarantine_reason.find("crc mismatch at seq 3"),
+            std::string::npos)
+      << read.quarantine_reason;
+}
+
+TEST_F(WalCorruptionTest, BitFlippedLengthIsCorruptionNotTornTail) {
+  std::string damaged = clean_;
+  // Record 1's length field starts right after the 16-byte header; set a
+  // high bit so it reads as ~2^31 — far past kMaxRecordLen.
+  damaged[16 + 3] = static_cast<char>(0x80);
+  WriteRaw(&env_, "d/wal-000001.log", damaged);
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 0u);
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_NE(read.quarantine_reason.find("absurd record length"),
+            std::string::npos);
+}
+
+TEST_F(WalCorruptionTest, TruncationMidRecordIsATornTail) {
+  for (size_t cut = 1; cut < 20; ++cut) {
+    WriteRaw(&env_, "d/wal-000001.log",
+             std::string_view(clean_).substr(0, clean_.size() - cut));
+    WalSegmentContents read = Read();
+    EXPECT_EQ(read.records.size(), 2u) << "cut " << cut;
+    EXPECT_TRUE(read.torn_tail) << "cut " << cut;
+    EXPECT_EQ(read.quarantined_bytes + read.valid_bytes, clean_.size() - cut);
+  }
+}
+
+TEST_F(WalCorruptionTest, DuplicateSequenceIsASequenceBreak) {
+  WriteRaw(&env_, "d/wal-000001.log",
+           SegmentHeader(1) + RawRecord(1, 1, "first") +
+               RawRecord(1, 1, "again") + RawRecord(2, 1, "more"));
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 1u);
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_NE(read.quarantine_reason.find("sequence break: got 1, expected 2"),
+            std::string::npos)
+      << read.quarantine_reason;
+}
+
+TEST_F(WalCorruptionTest, OutOfOrderSequenceIsASequenceBreak) {
+  WriteRaw(&env_, "d/wal-000001.log",
+           SegmentHeader(1) + RawRecord(1, 1, "first") +
+               RawRecord(3, 1, "skipped ahead"));
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 1u);
+  EXPECT_NE(read.quarantine_reason.find("sequence break"), std::string::npos);
+}
+
+TEST_F(WalCorruptionTest, UnknownRecordTypeStopsReplay) {
+  WriteRaw(&env_, "d/wal-000001.log",
+           SegmentHeader(1) + RawRecord(1, 1, "first") +
+               RawRecord(2, 99, "from the future"));
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 1u);
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_NE(read.quarantine_reason.find("unknown record type 99"),
+            std::string::npos);
+}
+
+TEST_F(WalCorruptionTest, WrongFirstSequenceRejectsTheWholeSegment) {
+  WriteRaw(&env_, "d/wal-000001.log", clean_);
+  // Cross-segment continuity: the caller expected this segment to start
+  // at 5 (the previous segment ended at 4); starting at 1 means the
+  // chain is inconsistent.
+  WalSegmentContents read = ReadWalSegment(&env_, "d/wal-000001.log", 5).value();
+  EXPECT_EQ(read.records.size(), 0u);
+  EXPECT_NE(read.quarantine_reason.find("sequence break: got 1, expected 5"),
+            std::string::npos);
+}
+
+TEST_F(WalCorruptionTest, HeaderShorterThanMagicIsATornHeader) {
+  WriteRaw(&env_, "d/wal-000001.log", "CPWAL0");
+  WalSegmentContents read = Read();
+  EXPECT_EQ(read.records.size(), 0u);
+  EXPECT_EQ(read.valid_bytes, 0u);
+  EXPECT_TRUE(read.torn_tail);
+}
+
+TEST_F(WalCorruptionTest, ForeignMagicIsLoud) {
+  WriteRaw(&env_, "d/wal-000001.log",
+           "NOTAWAL!" + std::string(8, '\0') + "junk");
+  EXPECT_TRUE(
+      ReadWalSegment(&env_, "d/wal-000001.log", 0).status().IsParseError());
+}
+
+}  // namespace
+}  // namespace cacheportal::storage

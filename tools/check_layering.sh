@@ -14,6 +14,7 @@ cd "$(dirname "$0")/.."
 # layer -> space-separated allowed dependency layers.
 declare -A ALLOW=(
   [common]=""
+  [storage]="common"
   [sql]="common"
   [http]="common"
   [net]="common"
@@ -22,8 +23,8 @@ declare -A ALLOW=(
   [server]="common db http"
   [sniffer]="common http server"
   [cache]="common sql db http server"
-  [invalidator]="common sql db http server sniffer cache"
-  [core]="common db server sniffer cache invalidator"
+  [invalidator]="common storage sql db http server sniffer cache"
+  [core]="common storage db server sniffer cache invalidator"
   [workload]="common db server core"
 )
 
