@@ -94,14 +94,18 @@ struct World {
 /// per tuple while the bind-value index answers each tuple with one
 /// hash probe — the tentpole's O(instances) vs O(1) contrast.
 struct EqWorld {
-  EqWorld(int instances, bool use_matcher) : db(&clock) {
+  /// mode 0 = interpreted (per-instance AST substitution), 1 = compiled
+  /// matcher with per-tuple index probes, 2 = compiled matcher with
+  /// columnar batch probes + fast-path instance skipping.
+  EqWorld(int instances, int mode) : db(&clock) {
     db.CreateTable(db::TableSchema("Car",
                                    {{"maker", db::ColumnType::kString},
                                     {"model", db::ColumnType::kString},
                                     {"price", db::ColumnType::kInt}}))
         .ok();
     invalidator::InvalidatorOptions options;
-    options.use_type_matcher = use_matcher;
+    options.use_type_matcher = mode >= 1;
+    options.batch_impact = mode >= 2;
     invalidator =
         std::make_unique<invalidator::Invalidator>(&db, &map, &clock,
                                                    options);
@@ -126,13 +130,16 @@ struct EqWorld {
   std::unique_ptr<invalidator::Invalidator> invalidator;
 };
 
-/// Full cycle cost as the instance count grows, indexed (range(1)=1, the
-/// compiled matcher probes bind-value indexes) versus interpreted
-/// (range(1)=0, per-instance AST substitution). Updates match no
-/// instance, so instances stay registered and the measurement is
-/// steady-state.
+/// Full cycle cost as the instance count grows, across the three impact
+/// modes (range(1)): 0 interpreted per-instance AST substitution, 1 the
+/// compiled matcher probing bind-value indexes per tuple, 2 the columnar
+/// batch evaluator (whole-column probes + fast-path instance skipping).
+/// Updates match no instance, so instances stay registered and the
+/// measurement is steady-state. The 10^6-instance point runs only the
+/// matcher modes — the interpreted path is quadratic there.
 void BM_CycleVsInstances(benchmark::State& state) {
-  EqWorld world(static_cast<int>(state.range(0)), state.range(1) != 0);
+  EqWorld world(static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)));
   for (auto _ : state) {
     state.PauseTiming();
     world.AddUpdates(4);
@@ -145,10 +152,14 @@ void BM_CycleVsInstances(benchmark::State& state) {
   state.counters["tuples-excluded"] = static_cast<double>(ms.tuples_excluded);
   state.counters["short-circuits"] =
       static_cast<double>(ms.instances_short_circuited);
+  state.counters["fast-path"] = static_cast<double>(ms.fast_path_instances);
+  state.counters["batch-probes"] = static_cast<double>(ms.batch_probes);
 }
 BENCHMARK(BM_CycleVsInstances)
-    ->ArgsProduct({{100, 1000, 10000, 100000}, {0, 1}})
-    ->ArgNames({"instances", "indexed"})
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {0, 1, 2}})
+    ->Args({1000000, 1})
+    ->Args({1000000, 2})
+    ->ArgNames({"instances", "mode"})
     ->Unit(benchmark::kMillisecond);
 
 /// Residual-poll consolidation: `range(0)` join instances of one type,
@@ -168,9 +179,11 @@ void BM_ConsolidatedPolls(benchmark::State& state) {
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
-  state.counters["polls/cycle"] = static_cast<double>(
-      world.invalidator->stats().polls_issued /
-      std::max<uint64_t>(1, world.invalidator->stats().cycles));
+  // polls_issued counts LOGICAL member polls and is identical in both
+  // modes by design; the round-trip counter is what consolidation cuts.
+  state.counters["round-trips/cycle"] =
+      static_cast<double>(world.invalidator->matcher_stats().poll_round_trips) /
+      static_cast<double>(std::max<uint64_t>(1, world.invalidator->stats().cycles));
 }
 BENCHMARK(BM_ConsolidatedPolls)
     ->ArgsProduct({{16, 64, 256}, {0, 1}})

@@ -11,6 +11,14 @@ const TableDelta& EmptyDelta() {
 }
 }  // namespace
 
+std::vector<const Row*> TableDelta::MergedRows() const {
+  std::vector<const Row*> rows;
+  rows.reserve(inserts.size() + deletes.size());
+  for (const Row& row : inserts) rows.push_back(&row);
+  for (const Row& row : deletes) rows.push_back(&row);
+  return rows;
+}
+
 DeltaSet DeltaSet::FromRecords(const std::vector<UpdateRecord>& records) {
   DeltaSet set;
   for (const UpdateRecord& record : records) set.Add(record);

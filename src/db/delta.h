@@ -18,6 +18,11 @@ struct TableDelta {
 
   bool empty() const { return inserts.empty() && deletes.empty(); }
   size_t size() const { return inserts.size() + deletes.size(); }
+
+  /// Borrowed pointers to every delta row, inserts first then deletes —
+  /// the merged-view order the invalidator's group analysis processes.
+  /// Valid until the delta's row vectors are mutated.
+  std::vector<const Row*> MergedRows() const;
 };
 
 /// Groups a batch of update records by table into TableDeltas. This is the

@@ -8,8 +8,10 @@
 #include <utility>
 #include <vector>
 
+#include "invalidator/options.h"
 #include "invalidator/registry.h"
 #include "invalidator/type_matcher.h"
+#include "sql/column_batch.h"
 #include "sql/value.h"
 
 namespace cacheportal::invalidator {
@@ -39,6 +41,14 @@ namespace cacheportal::invalidator {
 ///  - NULL or boolean tuple values return everything (bool = bool can
 ///    fold FALSE, but template extraction keeps booleans structural, so
 ///    they are rare; returning all candidates is always sound).
+///  - Non-finite numerics: ±inf keys are totally ordered and hash
+///    cleanly, so they index normally. NaN does neither — a NaN key
+///    would silently break the sorted maps' strict weak ordering and
+///    never match its own hash lookup — so NaN binds go to the
+///    always-candidate lists (Value::Compare treats NaN as equal to
+///    every numeric, so NaN comparisons never definitely fold FALSE and
+///    exclusion would be unsound anyway) and a NaN tuple value probes
+///    as "all candidates".
 class BindIndex {
  public:
   struct Candidates {
@@ -66,6 +76,28 @@ class BindIndex {
   Candidates Probe(uint64_t type_id, const std::string& table_lower,
                    const CompiledAnchor& anchor,
                    const sql::Value& tuple_value) const;
+
+  /// Columnar probe result for a whole (type, table) batch: the rows
+  /// every instance must consider (NULL/boolean/NaN/missing cells) plus
+  /// each candidate instance's row list. Both ascending and
+  /// duplicate-free — element-for-element what per-tuple Probe calls
+  /// would have accumulated, so the two paths are interchangeable.
+  struct BatchProbe {
+    std::vector<uint32_t> all_rows;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> per_id;
+  };
+
+  /// Probes an entire column batch in one call. Strategy is picked per
+  /// value class by entry count: few entries run the tight per-column
+  /// evaluation kernels (sql/column_batch.h) once per entry; many
+  /// entries sort the batch's probe keys once and merge them against
+  /// the index's sorted maps (equality keys hash-probe once per
+  /// distinct key), touching only matching entries. `stats` (may be
+  /// null) accumulates batch_kernel_evals / batch_merge_probes.
+  void ProbeBatch(uint64_t type_id, const std::string& table_lower,
+                  const CompiledAnchor& anchor,
+                  const sql::ColumnVector& column, BatchProbe* out,
+                  MatcherStats* stats) const;
 
   size_t NumIndexedInstances() const { return postings_.size(); }
 

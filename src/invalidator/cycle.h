@@ -24,6 +24,7 @@
 #include "invalidator/sinks.h"
 #include "sniffer/qiurl_map.h"
 #include "sql/ast.h"
+#include "sql/column_batch.h"
 
 namespace cacheportal::invalidator {
 
@@ -102,6 +103,10 @@ struct CycleContext {
   /// One merged tuple view per updated table, borrowed by every
   /// analysis.
   std::vector<TableTuples> merged;
+  /// Columnar materialization of `merged` (parallel by index), built
+  /// when options.batch_impact && options.use_type_matcher; empty
+  /// otherwise. Borrows the same rows as `merged`.
+  std::vector<sql::ColumnBatch> batch_columns;
 
   // ---- ImpactStage output. ----
   /// The per-instance work snapshot with verdicts merged in.
@@ -138,6 +143,12 @@ struct StageEnv {
   /// scan skip ReadSince when the row set is untouched. May be null
   /// (always scan); nullopt forces the next scan (e.g. after Restore).
   std::optional<uint64_t>* last_map_epoch = nullptr;
+  /// QiUrlMap removals_epoch() snapshot from the last retire sweep; an
+  /// unchanged epoch proves no instance lost its last page since, so
+  /// the per-instance page-count sweep is skipped. May be null (always
+  /// sweep); nullopt forces the next sweep (e.g. after Restore, when
+  /// recovered instances may reference pages a rebuilt map never had).
+  std::optional<uint64_t>* last_retire_epoch = nullptr;
   /// Executes one polling query against the configured target. Must be
   /// safe to call from pool workers.
   std::function<Result<db::QueryResult>(const std::string&)> execute_poll;

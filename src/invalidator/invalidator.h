@@ -257,6 +257,9 @@ class Invalidator {
   uint64_t last_update_seq_ = 0;
   // QiUrlMap epoch at the last ingest scan (nullopt = must scan).
   std::optional<uint64_t> last_map_epoch_;
+  // QiUrlMap removals epoch at the last retire sweep (nullopt = must
+  // sweep).
+  std::optional<uint64_t> last_retire_epoch_;
   Micros last_cycle_duration_ = 0;
   InvalidatorStats stats_;
 

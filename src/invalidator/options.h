@@ -56,12 +56,26 @@ struct InvalidatorOptions {
   /// and StatsReport() are byte-identical with this off (the ablation
   /// baseline / differential-test oracle).
   bool use_type_matcher = true;
+  /// Run the compiled matcher's candidate discovery column-wise: each
+  /// cycle materializes the merged delta views as typed column batches
+  /// and every (type, table) anchor is evaluated over a whole column in
+  /// one call — tight per-entry kernels when a type has few instances,
+  /// sorted-key merges against the bind index's sorted maps when it has
+  /// many — instead of one BindIndex::Probe per tuple. Instances none of
+  /// the cycle's tuples can affect skip the analysis fan-out entirely.
+  /// Candidate sets (and therefore decisions, summaries, and
+  /// StatsReport()) are byte-identical with this off; only MatcherStats'
+  /// batch counters and wall-clock time differ. Ignored unless
+  /// use_type_matcher is on.
+  bool batch_impact = true;
   /// Merge the residual polls of instances sharing a query type and a
   /// polling target into one disjunctive polling query per chunk,
   /// demultiplexing the result rows per instance in-process — O(types)
   /// DBMS round trips instead of O(polling instances). Which pages get
-  /// invalidated is unchanged; only polls_issued (and, on poll failure,
-  /// the blast radius of conservatism) differs.
+  /// invalidated is unchanged, and polls_issued still counts the
+  /// logical member polls the serial path would have issued (identical
+  /// at every chunk size); only MatcherStats' poll_round_trips (and, on
+  /// poll failure, the blast radius of conservatism) differs.
   bool consolidate_polls = true;
   /// Maximum member polls folded into one consolidated query (0 =
   /// unlimited). Bounds the disjunction's size.
@@ -81,6 +95,17 @@ struct MatcherStats {
                                            // skipped entirely.
   uint64_t consolidated_polls = 0;    // Merged polling statements issued.
   uint64_t consolidated_members = 0;  // Residual polls folded into them.
+  uint64_t poll_round_trips = 0;      // Polling statements sent to the
+                                      // target (consolidation merges
+                                      // many member polls into one).
+  uint64_t batch_probes = 0;        // (type, table) columnar probes.
+  uint64_t batch_kernel_evals = 0;  // Index entries evaluated by a
+                                    // whole-column kernel pass.
+  uint64_t batch_merge_probes = 0;  // Sorted/hashed probe-key merge
+                                    // steps against the index's maps.
+  uint64_t fast_path_instances = 0;  // Instances skipped before the
+                                     // analysis fan-out (no candidate
+                                     // rows anywhere in the cycle).
 };
 
 /// Lifetime counters for the whole invalidator.

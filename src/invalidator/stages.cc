@@ -125,10 +125,18 @@ Status IngestStage::Run(CycleContext& ctx) {
     const db::TableDelta& delta = ctx.deltas.ForTable(table);
     TableTuples view;
     view.table = table;
-    view.tuples.reserve(delta.inserts.size() + delta.deletes.size());
-    for (const db::Row& row : delta.inserts) view.tuples.push_back(&row);
-    for (const db::Row& row : delta.deletes) view.tuples.push_back(&row);
+    view.tuples = delta.MergedRows();
     if (!view.tuples.empty()) ctx.merged.push_back(std::move(view));
+  }
+
+  // Columnar materialization of the merged views (parallel by index),
+  // built once here and probed whole-column per (type, table) anchor by
+  // ImpactStage. Borrows the same rows as `merged`.
+  if (env_.options->use_type_matcher && env_.options->batch_impact) {
+    ctx.batch_columns.reserve(ctx.merged.size());
+    for (const TableTuples& view : ctx.merged) {
+      ctx.batch_columns.push_back(sql::ColumnBatch::FromRows(view.tuples));
+    }
   }
 
   ctx.proceed = true;
@@ -185,30 +193,59 @@ Status ImpactStage::Run(CycleContext& ctx) {
   }
 
   // ---- Impact analysis (Section 4.1.2's grouping). ----
-  // Serial pre-pass: snapshot the per-instance work list and retire
-  // instances whose pages already left the cache (evicted or invalidated
-  // through another instance). The snapshot's QueryInstance pointers
-  // stay valid without holding shard locks: instances are node-mapped
-  // and only the cycle thread (below, or DeliverStage) erases them.
-  // Registration may insert concurrently; inserts never move nodes.
+  const bool batch = plane.use_type_matcher() && env_.options->batch_impact &&
+                     ctx.batch_columns.size() == ctx.merged.size();
+
+  // Retire sweep gate: checking every instance costs a page-count map
+  // lookup per instance, but a query's page count can only DROP through
+  // a RemovePage — so when the map's removal epoch is unchanged since
+  // the last sweep, every live instance provably still has a page and
+  // the sweep would retire nothing. A null slot (stage isolation tests)
+  // or an empty one (first cycle, post-restore — recovered instances may
+  // reference pages a rebuilt map never had) forces the sweep.
+  const uint64_t removal_epoch = env_.map->removals_epoch();
+  const bool sweep = env_.last_retire_epoch == nullptr ||
+                     !env_.last_retire_epoch->has_value() ||
+                     **env_.last_retire_epoch != removal_epoch;
+  if (env_.last_retire_epoch != nullptr) {
+    *env_.last_retire_epoch = removal_epoch;
+  }
+
+  // Serial pre-pass: retire instances whose pages already left the cache
+  // (evicted or invalidated through another instance), and — on the
+  // interpreted/scalar path — snapshot the per-instance work list in the
+  // same walk. The snapshot's QueryInstance pointers stay valid without
+  // holding shard locks: instances are node-mapped and only the cycle
+  // thread (below, or DeliverStage) erases them. Registration may insert
+  // concurrently; inserts never move nodes. The columnar path builds its
+  // (much smaller) work list type by type after the probes instead.
   std::vector<std::string> retired;
-  ctx.work.reserve(plane.NumInstances());
-  plane.ForEachInstance([&](const QueryType& type,
-                            const QueryInstance& instance) {
-    if (env_.map->NumPagesForQuery(instance.sql) == 0) {
-      retired.push_back(instance.sql);
-      return;
-    }
-    InstanceAnalysis analysis;
-    analysis.type_id = type.type_id;
-    analysis.instance_id = instance.instance_id;
-    analysis.instance = &instance;
-    ctx.work.push_back(std::move(analysis));
-  });
+  std::vector<InstanceAnalysis>& work = ctx.work;
+  if (!batch) {
+    ctx.work.reserve(plane.NumInstances());
+    plane.ForEachInstance([&](const QueryType& type,
+                              const QueryInstance& instance) {
+      if (sweep && env_.map->NumPagesForQuery(instance.sql) == 0) {
+        retired.push_back(instance.sql);
+        return;
+      }
+      InstanceAnalysis analysis;
+      analysis.type_id = type.type_id;
+      analysis.instance_id = instance.instance_id;
+      analysis.instance = &instance;
+      ctx.work.push_back(std::move(analysis));
+    });
+  } else if (sweep) {
+    plane.ForEachInstance(
+        [&](const QueryType&, const QueryInstance& instance) {
+          if (env_.map->NumPagesForQuery(instance.sql) == 0) {
+            retired.push_back(instance.sql);
+          }
+        });
+  }
   for (const std::string& instance_sql : retired) {
     plane.RetireInstance(instance_sql);
   }
-  std::vector<InstanceAnalysis>& work = ctx.work;
 
   // ---- Index probe phase: each delta tuple probes the bind index once
   // per covered (type, table), producing per-instance candidate tuple
@@ -218,7 +255,63 @@ Status ImpactStage::Run(CycleContext& ctx) {
   // same type is serialized (and keeps the live/indexed counts in step —
   // both change under the same lock).
   std::map<std::pair<uint64_t, size_t>, TableProbe> probes;
-  if (plane.use_type_matcher() && !work.empty()) {
+
+  /// Per-type snapshot driving the columnar partition: the live instance
+  /// count is captured under the type's shard lock at probe time, so it
+  /// is consistent with the probes' candidate sets.
+  struct TypeBlock {
+    uint64_t type_id = 0;
+    const QueryType* type = nullptr;
+    size_t live = 0;
+  };
+  std::vector<TypeBlock> blocks;  // Ascending type_id — the scan order.
+
+  if (batch) {
+    // Columnar path: enumerate TYPES, not instances. One whole-column
+    // probe per (type, table) pair; the anchored column's kAlways rows
+    // (NULL / boolean / NaN / missing cells, and every row when the
+    // column index is beyond the batch width) come back as all_rows —
+    // exactly the per-tuple probe's `all` answers.
+    plane.ForEachType([&](const QueryType& type) {
+      blocks.push_back({type.type_id, &type, 0});
+    });
+    for (TypeBlock& block : blocks) {
+      plane.WithShardOfType(block.type_id, [&](MetadataPlane::Shard& shard) {
+        block.live = shard.registry.NumInstancesOfType(block.type_id);
+        if (block.live == 0) return;
+        auto matcher_it = shard.matchers.find(block.type_id);
+        if (matcher_it == shard.matchers.end() ||
+            !matcher_it->second.handled()) {
+          return;
+        }
+        // Exclusion is only sound if every live instance of the type is
+        // indexed; a mismatch (cannot happen while all registrations and
+        // retirements flow through the plane) falls back to the
+        // interpreted path for the whole type.
+        if (shard.bind_index.IndexedCountOfType(block.type_id) !=
+            block.live) {
+          return;
+        }
+        for (size_t t = 0; t < ctx.merged.size(); ++t) {
+          const CompiledAnchor* anchor =
+              matcher_it->second.AnchorFor(ctx.merged[t].table);
+          if (anchor == nullptr) continue;
+          env_.cycle_matcher_stats->probes += ctx.merged[t].tuples.size();
+          ++env_.cycle_matcher_stats->batch_probes;
+          BindIndex::BatchProbe batch_probe;
+          shard.bind_index.ProbeBatch(
+              block.type_id, ctx.merged[t].table, *anchor,
+              ctx.batch_columns[t].Column(anchor->column_index),
+              &batch_probe, env_.cycle_matcher_stats);
+          TableProbe probe;
+          probe.all_tuples = std::move(batch_probe.all_rows);
+          probe.per_id = std::move(batch_probe.per_id);
+          probes.emplace(std::make_pair(block.type_id, t),
+                         std::move(probe));
+        }
+      });
+    }
+  } else if (plane.use_type_matcher() && !work.empty()) {
     std::vector<uint64_t> work_types;  // Distinct, in work (type) order.
     for (const InstanceAnalysis& a : work) {
       if (work_types.empty() || work_types.back() != a.type_id) {
@@ -232,10 +325,7 @@ Status ImpactStage::Run(CycleContext& ctx) {
             !matcher_it->second.handled()) {
           return;
         }
-        // Exclusion is only sound if every live instance of the type is
-        // indexed; a mismatch (cannot happen while all registrations and
-        // retirements flow through the plane) falls back to the
-        // interpreted path for the whole type.
+        // Same live/indexed cross-check as the columnar path above.
         if (shard.bind_index.IndexedCountOfType(type_id) !=
             shard.registry.NumInstancesOfType(type_id)) {
           return;
@@ -271,20 +361,142 @@ Status ImpactStage::Run(CycleContext& ctx) {
     }
   }
 
-  // Soundness guard input, hoisted per type: polling queries run against
-  // the post-update database, so a batch touching two or more of a
-  // query's FROM relations must invalidate conservatively (a poll can
-  // miss impacts, e.g. both join partners deleted together). The count
-  // depends only on the type's FROM list — identical for every instance
-  // of the type — so compute it once per type, not once per instance.
+  // The multi-table soundness guard's input (see the fan-out below): how
+  // many of a statement's FROM relations this batch updated. Identical
+  // for every instance of a type, so the partition evaluates it per type
+  // from the type's template; the per-instance map for the fan-out is
+  // filled from the final work list further down.
+  const auto count_delta_tables = [&](const sql::SelectStatement& statement) {
+    int n = 0;
+    for (const sql::TableRef& ref : statement.from) {
+      if (!ctx.deltas.ForTable(ref.table).empty()) ++n;
+    }
+    return n;
+  };
+
+  // ---- Columnar partition: build the work list per type, skipping the
+  // fan-out — and the per-instance state entirely — for instances the
+  // probes proved unaffected. A type is eligible when no multi-table
+  // guard applies and every merged view either (a) has a probe whose
+  // all_tuples list is empty — then an instance absent from per_id would
+  // short-circuit that table with zero AST work — or (b) is a table
+  // outside the type's FROM list, which AnalyzeDelta dismisses without
+  // reading a tuple. An eligible type materializes only the candidates
+  // in some covering per_id (in SQL-text order, the scalar snapshot's
+  // order — polling order downstream depends on it); the rest fold into
+  // one aggregate record per type, merged below with counters identical
+  // to the scalar walk's. An ineligible type materializes everyone.
+  struct SkippedBlock {
+    uint64_t type_id = 0;
+    uint64_t count = 0;           // Instances proven unaffected.
+    uint64_t covered_tuples = 0;  // Tuples excluded per instance.
+    uint64_t covered_views = 0;   // Tables short-circuited per instance.
+  };
+  std::vector<SkippedBlock> skipped;
+  if (batch) {
+    std::vector<const QueryInstance*> fetched;
+    for (const TypeBlock& block : blocks) {
+      if (block.live == 0) continue;
+      const sql::SelectStatement* statement = block.type->tmpl.statement.get();
+
+      std::vector<const TableProbe*> covering(ctx.merged.size(), nullptr);
+      uint64_t covered_tuples = 0;
+      uint64_t covered_views = 0;
+      bool eligible =
+          statement != nullptr && count_delta_tables(*statement) < 2;
+      if (eligible) {
+        for (size_t t = 0; eligible && t < ctx.merged.size(); ++t) {
+          auto probe_it = probes.find(std::make_pair(block.type_id, t));
+          if (probe_it != probes.end()) {
+            if (!probe_it->second.all_tuples.empty()) {
+              eligible = false;  // Some tuples reach every instance.
+              break;
+            }
+            covering[t] = &probe_it->second;
+            covered_tuples += ctx.merged[t].tuples.size();
+            ++covered_views;
+            continue;
+          }
+          // Uncovered view: only harmless when the table is not in the
+          // type's FROM list (identical for every instance of the type).
+          for (const sql::TableRef& ref : statement->from) {
+            if (AsciiToLower(ref.table) == ctx.merged[t].table) {
+              eligible = false;
+              break;
+            }
+          }
+        }
+      }
+
+      if (!eligible) {
+        plane.WithShardOfType(
+            block.type_id, [&](MetadataPlane::Shard& shard) {
+              shard.registry.ForEachInstanceOfType(
+                  block.type_id, [&](const QueryInstance& instance) {
+                    InstanceAnalysis analysis;
+                    analysis.type_id = block.type_id;
+                    analysis.instance_id = instance.instance_id;
+                    analysis.instance = &instance;
+                    work.push_back(std::move(analysis));
+                  });
+            });
+        continue;
+      }
+
+      // Candidates: the union of the covering probes' per_id keys. Every
+      // key is a live indexed instance of this type, so the remainder —
+      // live minus candidates — is exactly the skipped population.
+      std::vector<uint64_t> candidate_ids;
+      for (size_t t = 0; t < ctx.merged.size(); ++t) {
+        if (covering[t] == nullptr) continue;
+        for (const auto& [id, rows] : covering[t]->per_id) {
+          candidate_ids.push_back(id);
+        }
+      }
+      std::sort(candidate_ids.begin(), candidate_ids.end());
+      candidate_ids.erase(
+          std::unique(candidate_ids.begin(), candidate_ids.end()),
+          candidate_ids.end());
+      fetched.clear();
+      if (!candidate_ids.empty()) {
+        plane.WithShardOfType(
+            block.type_id, [&](MetadataPlane::Shard& shard) {
+              for (uint64_t id : candidate_ids) {
+                const QueryInstance* instance =
+                    shard.registry.FindInstanceById(id);
+                if (instance != nullptr &&
+                    instance->type_id == block.type_id) {
+                  fetched.push_back(instance);
+                }
+              }
+            });
+        std::sort(fetched.begin(), fetched.end(),
+                  [](const QueryInstance* a, const QueryInstance* b) {
+                    return a->sql < b->sql;
+                  });
+        for (const QueryInstance* instance : fetched) {
+          InstanceAnalysis analysis;
+          analysis.type_id = block.type_id;
+          analysis.instance_id = instance->instance_id;
+          analysis.instance = instance;
+          work.push_back(std::move(analysis));
+        }
+      }
+      if (block.live > fetched.size()) {
+        skipped.push_back({block.type_id, block.live - fetched.size(),
+                           covered_tuples, covered_views});
+      }
+    }
+  }
+
+  // Per-type multi-table guard counts for the fan-out, from the final
+  // work list (an instance's FROM list equals its type's template FROM
+  // list — templates parameterize only WHERE literals).
   std::unordered_map<uint64_t, int> delta_tables_by_type;
   for (const InstanceAnalysis& a : work) {
     if (delta_tables_by_type.contains(a.type_id)) continue;
-    int n = 0;
-    for (const sql::TableRef& ref : a.instance->statement->from) {
-      if (!ctx.deltas.ForTable(ref.table).empty()) ++n;
-    }
-    delta_tables_by_type.emplace(a.type_id, n);
+    delta_tables_by_type.emplace(a.type_id,
+                                 count_delta_tables(*a.instance->statement));
   }
 
   // Fan out: instances are independent given the batch's deltas. Workers
@@ -294,8 +506,8 @@ Status ImpactStage::Run(CycleContext& ctx) {
   // analyzer is stateless; one per cycle, shared by all workers.
   const std::vector<TableTuples>& merged = ctx.merged;
   const ImpactAnalyzer analyzer(env_.database);
-  RunStageParallel(env_.pool, work.size(), [&](size_t i) {
-    InstanceAnalysis& a = work[i];
+  RunStageParallel(env_.pool, work.size(), [&](size_t slot) {
+    InstanceAnalysis& a = work[slot];
     const QueryInstance& instance = *a.instance;
 
     if (delta_tables_by_type.find(a.type_id)->second >= 2) {
@@ -482,6 +694,29 @@ Status ImpactStage::Run(CycleContext& ctx) {
     i = j;
   }
 
+  // Fold the partition's fully-skipped type blocks: the columnar probes
+  // short-circuited every table for `count` instances before any
+  // per-instance state existed. Record exactly what the scalar walk
+  // would have per instance — one check, every covered tuple excluded,
+  // one short-circuit per covered table, verdict unaffected (check_time
+  // zero; the fast path reads no clock). All the touched counters are
+  // order-insensitive sums, so folding after the per-instance merge is
+  // byte-identical to interleaving.
+  for (const SkippedBlock& block : skipped) {
+    plane.WithShardOfType(block.type_id, [&](MetadataPlane::Shard& shard) {
+      QueryType* mutable_type = shard.registry.FindType(block.type_id);
+      if (mutable_type != nullptr) mutable_type->stats.checks += block.count;
+    });
+    env_.cycle_matcher_stats->tuples_excluded +=
+        block.covered_tuples * block.count;
+    env_.cycle_matcher_stats->instances_short_circuited +=
+        block.covered_views * block.count;
+    env_.cycle_matcher_stats->fast_path_instances += block.count;
+    ctx.report.checks += block.count;
+    env_.stats->instance_checks += block.count;
+    env_.stats->unaffected += block.count;
+  }
+
   return Status::OK();
 }
 
@@ -520,10 +755,13 @@ struct MergedPoll {
   std::vector<MemberRef> members;
   std::unique_ptr<sql::SelectStatement> statement;
 
-  // Outcome (written by the one worker owning this poll).
+  // Outcome (written by the one worker owning this poll). `hit_best`
+  // maps each hit member group to the smallest satisfied query index —
+  // the query the group's own serial loop would have stopped at — so
+  // the merge can charge the group the identical polls_issued count.
   bool failed = false;
   std::string failure;
-  std::set<size_t> hit_groups;
+  std::map<size_t, size_t> hit_best;
 };
 
 /// Does `row` (a SELECT * result over `from`) satisfy a member poll's
@@ -606,9 +844,10 @@ Status PollStage::Run(CycleContext& ctx) {
   // `SELECT * FROM target WHERE (r1) OR (r2) OR ...` — one DBMS round
   // trip per chunk — and each returned row is matched back to its member
   // residuals in-process. Buckets with a single instance keep the exact
-  // per-query path (same polls_issued as ever). Which instances end up
-  // affected is unchanged; only the round-trip count (and, if a merged
-  // statement fails, the blast radius of conservatism) differs.
+  // per-query path. Which instances end up affected is unchanged, and so
+  // is polls_issued (the merge below reconstructs each member's serial
+  // short-circuit count from the demux); only poll_round_trips (and, if
+  // a merged statement fails, the blast radius of conservatism) differs.
   std::vector<MergedPoll> merged_polls;
   std::vector<size_t> classic_groups;
   if (env_.options->consolidate_polls && poll_groups.size() > 1) {
@@ -712,13 +951,28 @@ Status PollStage::Run(CycleContext& ctx) {
           poll.failure = result.status().ToString();
           return;
         }
+        // Demultiplex: find each member group's FIRST satisfied query.
+        // A later row can satisfy an earlier query of an already-hit
+        // group, so a member is settled only once its group's best index
+        // reaches it; when every group bottoms out at query 0 the
+        // remaining rows can't change anything.
+        size_t settled = 0;
         for (const db::Row& row : result->rows) {
-          if (poll.hit_groups.size() == poll.groups.size()) break;
+          if (settled == poll.groups.size()) break;
           for (const MergedPoll::MemberRef& member : poll.members) {
-            if (poll.hit_groups.contains(member.group)) continue;
+            auto best_it = poll.hit_best.find(member.group);
+            if (best_it != poll.hit_best.end() &&
+                best_it->second <= member.query) {
+              continue;
+            }
             const auto& query = poll_groups[member.group].queries[member.query];
             if (RowSatisfies(*query->where, poll.from, result->columns, row)) {
-              poll.hit_groups.insert(member.group);
+              if (best_it == poll.hit_best.end()) {
+                poll.hit_best.emplace(member.group, member.query);
+              } else {
+                best_it->second = member.query;
+              }
+              if (member.query == 0) ++settled;
             }
           }
         }
@@ -730,6 +984,7 @@ Status PollStage::Run(CycleContext& ctx) {
     PollGroup& group = poll_groups[g];
     env_.stats->polls_issued += group.polls_issued;
     ctx.report.polls_issued += group.polls_issued;
+    env_.cycle_matcher_stats->poll_round_trips += group.polls_issued;
     if (group.conservative) {
       // A failed poll must not leak staleness: invalidate conservatively.
       LogMessage(LogLevel::kWarning,
@@ -746,17 +1001,24 @@ Status PollStage::Run(CycleContext& ctx) {
     }
   }
   for (MergedPoll& poll : merged_polls) {
-    ++env_.stats->polls_issued;
-    ++ctx.report.polls_issued;
+    // polls_issued stays the LOGICAL member-poll count — what the serial
+    // per-query loop would have issued — so StatsReport() is identical
+    // at every consolidation setting and chunk size; the physical
+    // statement count rides in MatcherStats as poll_round_trips.
+    ++env_.cycle_matcher_stats->poll_round_trips;
     ++env_.cycle_matcher_stats->consolidated_polls;
     env_.cycle_matcher_stats->consolidated_members += poll.members.size();
     if (poll.failed) {
-      // One failed round trip decides every member conservatively.
+      // One failed round trip decides every member conservatively; each
+      // member is charged one poll, exactly like a serial group whose
+      // first poll fails.
       LogMessage(LogLevel::kWarning,
                  StrCat("consolidated polling query failed (", poll.failure,
                         "); invalidating ", poll.groups.size(),
                         " instances conservatively"));
       for (size_t g : poll.groups) {
+        ++env_.stats->polls_issued;
+        ++ctx.report.polls_issued;
         ctx.affected.insert(poll_groups[g].instance_sql);
         ++env_.stats->conservative_invalidations;
         ++ctx.report.conservative_invalidations;
@@ -764,7 +1026,15 @@ Status PollStage::Run(CycleContext& ctx) {
       continue;
     }
     for (size_t g : poll.groups) {
-      if (poll.hit_groups.contains(g)) {
+      auto hit_it = poll.hit_best.find(g);
+      // Serial equivalence: a hit group stops at its first satisfied
+      // query (best + 1 polls); a miss group runs them all.
+      uint64_t issued = hit_it != poll.hit_best.end()
+                            ? hit_it->second + 1
+                            : poll_groups[g].queries.size();
+      env_.stats->polls_issued += issued;
+      ctx.report.polls_issued += issued;
+      if (hit_it != poll.hit_best.end()) {
         ++env_.stats->poll_hits;
         ctx.affected.insert(poll_groups[g].instance_sql);
       }

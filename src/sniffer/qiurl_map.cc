@@ -18,6 +18,8 @@ QiUrlMap::QiUrlMap(QiUrlMap&& other) noexcept {
   next_id_ = other.next_id_;
   epoch_.store(other.epoch_.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+  removals_epoch_.store(other.removals_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
 }
 
 QiUrlMap& QiUrlMap::operator=(QiUrlMap&& other) noexcept {
@@ -29,6 +31,9 @@ QiUrlMap& QiUrlMap::operator=(QiUrlMap&& other) noexcept {
     next_id_ = other.next_id_;
     epoch_.store(other.epoch_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+    removals_epoch_.store(
+        other.removals_epoch_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   return *this;
 }
@@ -110,7 +115,10 @@ size_t QiUrlMap::RemovePage(const std::string& page_key) {
     }
   }
   by_page_.erase(it);
-  if (removed > 0) epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (removed > 0) {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    removals_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
   return removed;
 }
 

@@ -80,6 +80,14 @@ class QiUrlMap {
   /// observations mean no rows appeared or disappeared in between.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// Removal-only counter: bumped by every RemovePage that removes at
+  /// least one row, never by Add. A query's page count can only DROP
+  /// through a removal, so a consumer that swept for page-less queries
+  /// at removal epoch E needs no re-sweep while the epoch stays E.
+  uint64_t removals_epoch() const {
+    return removals_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Serializes all rows to the sniffer's line format (see log_io.h); the
   /// invalidator machine can persist its view of the map across restarts.
   std::string Serialize() const;
@@ -93,6 +101,7 @@ class QiUrlMap {
  private:
   mutable std::shared_mutex mu_;
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> removals_epoch_{0};
   // id -> entry, ordered for ReadSince.
   std::map<uint64_t, QiUrlEntry> entries_;
   // (query, page) -> id for dedup.

@@ -1,0 +1,594 @@
+// Columnar batch impact analysis: ProbeBatch vs scalar Probe property
+// tests, the NaN bind-index regression, batch on/off differential
+// sweeps, and consolidated-poll accounting across chunk sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "invalidator/bind_index.h"
+#include "invalidator/invalidator.h"
+#include "invalidator/registry.h"
+#include "invalidator/type_matcher.h"
+#include "server/jdbc.h"
+#include "sniffer/qiurl_map.h"
+#include "sql/column_batch.h"
+#include "sql/template.h"
+
+namespace cacheportal::invalidator {
+namespace {
+
+using sql::Value;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class RecordingSink : public InvalidationSink {
+ public:
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string& cache_key) override {
+    invalidated.insert(cache_key);
+    return Status::OK();
+  }
+  std::set<std::string> invalidated;
+};
+
+/// A polling target whose every query fails, for exercising the
+/// conservative degradation path.
+class FailingConnection : public server::Connection {
+ public:
+  Result<db::QueryResult> ExecuteQuery(const std::string&) override {
+    return Status::Internal("injected poll failure");
+  }
+  Result<int64_t> ExecuteUpdate(const std::string&) override {
+    return Status::Internal("injected poll failure");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ProbeBatch vs per-tuple Probe: the columnar probe must reproduce the
+// scalar accumulation element for element, for every anchor relation,
+// on both the kernel path (few index entries) and the sorted-merge path
+// (many entries), across the full value zoo — NULL, booleans, strings,
+// duplicates, ±inf, -0.0, and NaN.
+// ---------------------------------------------------------------------------
+
+/// Compiles `sql` as the template of a fresh query type against `db`.
+TypeMatcher CompileType(const db::Database& db, uint64_t type_id,
+                        const std::string& sql, QueryType* type) {
+  type->type_id = type_id;
+  type->name = StrCat("type", type_id);
+  type->tmpl = sql::ExtractTemplateFromSql(sql).value();
+  return TypeMatcher::Compile(*type, db);
+}
+
+/// An instance of a hand-compiled type. AddInstance/Probe read only the
+/// IDs and the bindings, so no parsed statement is needed — and bindings
+/// can hold values SQL text cannot spell (NaN, ±inf, -0.0).
+QueryInstance MakeInstance(uint64_t instance_id, uint64_t type_id,
+                           std::vector<Value> bindings) {
+  QueryInstance instance;
+  instance.instance_id = instance_id;
+  instance.type_id = type_id;
+  instance.sql = StrCat("instance-", instance_id);
+  instance.bindings = std::move(bindings);
+  return instance;
+}
+
+Value RandomValue(Random& rng) {
+  switch (rng.Uniform(12)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng.OneIn(0.5));
+    case 2:
+    case 3:
+      return Value::String(StrCat("s", rng.Uniform(5)));
+    case 4:
+      return Value::Double(kInf);
+    case 5:
+      return Value::Double(-kInf);
+    case 6:
+      return Value::Double(kNaN);
+    case 7:
+      return Value::Double(-0.0);
+    case 8:
+      return Value::Double(static_cast<double>(rng.Uniform(8)) - 3.5);
+    default:
+      return Value::Int(static_cast<int64_t>(rng.Uniform(8)) - 4);
+  }
+}
+
+TEST(ProbeBatchPropertyTest, MatchesScalarProbeElementForElement) {
+  const struct {
+    const char* sql;
+    size_t operands;
+  } kCases[] = {
+      {"SELECT * FROM T WHERE c = 1", 1},
+      {"SELECT * FROM T WHERE c < 1", 1},
+      {"SELECT * FROM T WHERE c <= 1", 1},
+      {"SELECT * FROM T WHERE c > 1", 1},
+      {"SELECT * FROM T WHERE c >= 1", 1},
+      {"SELECT * FROM T WHERE c BETWEEN 1 AND 2", 2},
+      {"SELECT * FROM T WHERE c IN (1, 2, 3)", 3},
+  };
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE(StrCat("seed=", seed));
+    Random rng(seed);
+    ManualClock clock;
+    db::Database db(&clock);
+    ASSERT_TRUE(
+        db.CreateTable(db::TableSchema("T", {{"c", db::ColumnType::kInt},
+                                             {"pad", db::ColumnType::kString}}))
+            .ok());
+
+    BindIndex index;
+    std::vector<std::pair<uint64_t, TypeMatcher>> matchers;
+    uint64_t next_instance = 1;
+    uint64_t next_type = 1;
+    for (const auto& c : kCases) {
+      QueryType type;
+      TypeMatcher matcher = CompileType(db, next_type, c.sql, &type);
+      ASSERT_TRUE(matcher.handled()) << c.sql;
+      // 3 entries stays on the per-entry kernel path, 12 crosses the
+      // sorted-merge threshold.
+      size_t count = rng.OneIn(0.5) ? 3 : 12;
+      for (size_t i = 0; i < count; ++i) {
+        std::vector<Value> bindings;
+        for (size_t k = 0; k < c.operands; ++k) {
+          bindings.push_back(RandomValue(rng));
+        }
+        index.AddInstance(matcher,
+                          MakeInstance(next_instance++, next_type,
+                                       std::move(bindings)));
+      }
+      matchers.emplace_back(next_type, std::move(matcher));
+      ++next_type;
+    }
+
+    size_t num_rows = 1 + rng.Uniform(60);
+    std::vector<db::Row> rows;
+    rows.reserve(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      rows.push_back({RandomValue(rng), Value::String("pad")});
+    }
+    std::vector<const db::Row*> row_ptrs;
+    for (const db::Row& row : rows) row_ptrs.push_back(&row);
+    sql::ColumnBatch batch = sql::ColumnBatch::FromRows(row_ptrs);
+
+    for (const auto& [type_id, matcher] : matchers) {
+      SCOPED_TRACE(StrCat("type=", type_id));
+      const CompiledAnchor* anchor = matcher.AnchorFor("t");
+      ASSERT_NE(anchor, nullptr);
+
+      BindIndex::BatchProbe expect;
+      for (uint32_t ti = 0; ti < rows.size(); ++ti) {
+        BindIndex::Candidates candidates =
+            index.Probe(type_id, "t", *anchor, rows[ti][anchor->column_index]);
+        if (candidates.all) {
+          expect.all_rows.push_back(ti);
+          continue;
+        }
+        for (uint64_t id : candidates.ids) expect.per_id[id].push_back(ti);
+      }
+
+      BindIndex::BatchProbe got;
+      MatcherStats stats;
+      index.ProbeBatch(type_id, "t", *anchor,
+                       batch.Column(anchor->column_index), &got, &stats);
+      EXPECT_EQ(got.all_rows, expect.all_rows);
+      EXPECT_EQ(got.per_id, expect.per_id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite bind regression (the std::map strict-weak-ordering bug): a
+// NaN bind value must never become a sorted-map or hash key — it routes
+// to the always-candidate lists — and a NaN tuple value probes as "all
+// candidates". ±inf keys order and hash fine and index normally.
+// ---------------------------------------------------------------------------
+
+class NaNBindTest : public ::testing::Test {
+ protected:
+  NaNBindTest() : db_(&clock_) {}
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.CreateTable(db::TableSchema("T", {{"c", db::ColumnType::kInt}}))
+            .ok());
+  }
+
+  std::vector<uint64_t> ProbeIds(const BindIndex& index, uint64_t type_id,
+                                 const CompiledAnchor& anchor,
+                                 const Value& tuple) {
+    BindIndex::Candidates candidates = index.Probe(type_id, "t", anchor, tuple);
+    EXPECT_FALSE(candidates.all);
+    std::sort(candidates.ids.begin(), candidates.ids.end());
+    return candidates.ids;
+  }
+
+  ManualClock clock_;
+  db::Database db_;
+};
+
+TEST_F(NaNBindTest, RangeNaNBindIsAlwaysCandidateAndMapStaysOrdered) {
+  QueryType type;
+  TypeMatcher matcher = CompileType(db_, 1, "SELECT * FROM T WHERE c < 10",
+                                    &type);
+  ASSERT_TRUE(matcher.handled());
+  const CompiledAnchor& anchor = *matcher.AnchorFor("t");
+
+  BindIndex index;
+  // Interleave the NaN bind between ordinary keys: before the fix it
+  // landed inside range_num and silently broke the map's ordering.
+  index.AddInstance(matcher, MakeInstance(1, 1, {Value::Int(10)}));
+  index.AddInstance(matcher, MakeInstance(2, 1, {Value::Double(kNaN)}));
+  index.AddInstance(matcher, MakeInstance(3, 1, {Value::Int(20)}));
+  index.AddInstance(matcher, MakeInstance(4, 1, {Value::Int(30)}));
+  index.AddInstance(matcher, MakeInstance(5, 1, {Value::Double(kInf)}));
+
+  // c < bind survives for binds > 15: instances 3, 4, the +inf bind 5 —
+  // and the NaN bind 2, which no comparison can definitely exclude.
+  EXPECT_EQ(ProbeIds(index, 1, anchor, Value::Int(15)),
+            (std::vector<uint64_t>{2, 3, 4, 5}));
+  // Far right of every finite key: only +inf and NaN remain.
+  EXPECT_EQ(ProbeIds(index, 1, anchor, Value::Int(1000)),
+            (std::vector<uint64_t>{2, 5}));
+  // A NaN TUPLE value is unordered against every key: all candidates.
+  EXPECT_TRUE(index.Probe(1, "t", anchor, Value::Double(kNaN)).all);
+
+  // The always-routing must be fully removable (postings recorded).
+  index.RemoveInstance(2);
+  EXPECT_FALSE(index.ContainsInstance(2));
+  EXPECT_EQ(ProbeIds(index, 1, anchor, Value::Int(1000)),
+            (std::vector<uint64_t>{5}));
+}
+
+TEST_F(NaNBindTest, EqInAndBetweenNaNBindsRouteToAlwaysLists) {
+  BindIndex index;
+  QueryType eq_type, in_type, between_type;
+  TypeMatcher eq = CompileType(db_, 1, "SELECT * FROM T WHERE c = 1",
+                               &eq_type);
+  TypeMatcher in = CompileType(db_, 2, "SELECT * FROM T WHERE c IN (1, 2)",
+                               &in_type);
+  TypeMatcher between = CompileType(
+      db_, 3, "SELECT * FROM T WHERE c BETWEEN 1 AND 2", &between_type);
+  ASSERT_TRUE(eq.handled() && in.handled() && between.handled());
+
+  index.AddInstance(eq, MakeInstance(1, 1, {Value::Double(kNaN)}));
+  index.AddInstance(eq, MakeInstance(2, 1, {Value::Int(7)}));
+  // A NaN IN item taints the whole list (Value::Compare folds NaN
+  // "equal" to every numeric, so no miss is definite).
+  index.AddInstance(in, MakeInstance(3, 2,
+                                     {Value::Int(1), Value::Double(kNaN)}));
+  index.AddInstance(in, MakeInstance(4, 2, {Value::Int(1), Value::Int(2)}));
+  // One NaN BETWEEN bound de-indexes the pair.
+  index.AddInstance(between,
+                    MakeInstance(5, 3, {Value::Double(kNaN), Value::Int(9)}));
+  index.AddInstance(between,
+                    MakeInstance(6, 3, {Value::Int(1), Value::Int(9)}));
+
+  const CompiledAnchor& eq_anchor = *eq.AnchorFor("t");
+  const CompiledAnchor& in_anchor = *in.AnchorFor("t");
+  const CompiledAnchor& between_anchor = *between.AnchorFor("t");
+
+  // Equality: tuple 8 misses bind 7 but can never exclude the NaN bind.
+  EXPECT_EQ(ProbeIds(index, 1, eq_anchor, Value::Int(8)),
+            (std::vector<uint64_t>{1}));
+  // For STRING tuples every numeric-bind instance is an always
+  // candidate (cross-class comparisons fold NULL), and the NaN bind
+  // sits on both always lists — so both survive.
+  EXPECT_EQ(ProbeIds(index, 1, eq_anchor, Value::String("x")),
+            (std::vector<uint64_t>{1, 2}));
+  // IN: tuple 5 is in neither list, but the NaN-tainted member stays.
+  EXPECT_EQ(ProbeIds(index, 2, in_anchor, Value::Int(5)),
+            (std::vector<uint64_t>{3}));
+  // BETWEEN: tuple 20 is outside [1, 9]; the NaN-bounded pair stays.
+  EXPECT_EQ(ProbeIds(index, 3, between_anchor, Value::Int(20)),
+            (std::vector<uint64_t>{5}));
+}
+
+// ---------------------------------------------------------------------------
+// Batch on/off differential sweep: the columnar pipeline must produce
+// byte-identical ejected pages, cycle summaries, and StatsReport() at
+// every (workers x shards) point, with the scalar path as the oracle.
+// ---------------------------------------------------------------------------
+
+void CreateCarTables(db::Database* db) {
+  ASSERT_TRUE(db->CreateTable(db::TableSchema(
+                                  "Car", {{"maker", db::ColumnType::kString},
+                                          {"model", db::ColumnType::kString},
+                                          {"price", db::ColumnType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(
+      db->CreateTable(db::TableSchema(
+                          "Mileage", {{"model", db::ColumnType::kString},
+                                      {"EPA", db::ColumnType::kInt}}))
+          .ok());
+}
+
+std::string ReportKey(const CycleReport& r) {
+  return StrCat(r.updates, "/", r.new_instances, "/", r.checks, "/",
+                r.affected_instances, "/", r.polls_issued, "/",
+                r.polls_answered_by_index, "/", r.conservative_invalidations,
+                "/", r.pages_invalidated, "/", DegradationModeName(r.mode));
+}
+
+struct MatrixResult {
+  std::vector<std::set<std::string>> cycle_invalidated;
+  std::vector<std::string> cycle_reports;
+  std::string stats_report;
+};
+
+MatrixResult RunBatchScenario(uint64_t seed, size_t shards, size_t workers,
+                              bool batch) {
+  Random rng(seed);
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  const char* makers[] = {"Toyota", "Honda", "Mitsubishi", "Ford"};
+  const char* models[] = {"Avalon", "Civic", "Eclipse", "Corolla"};
+  for (int i = 0; i < 16; ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('", makers[rng.Uniform(4)],
+                         "', '", models[rng.Uniform(4)], "', ",
+                         rng.Uniform(30000), ")"))
+        .value();
+  }
+  for (int i = 0; i < 4; ++i) {
+    db.ExecuteSql(StrCat("INSERT INTO Mileage VALUES ('",
+                         models[rng.Uniform(4)], "', ", 20 + rng.Uniform(15),
+                         ")"))
+        .value();
+  }
+
+  sniffer::QiUrlMap map;
+  InvalidatorOptions options;
+  options.metadata_shards = shards;
+  options.worker_threads = workers;
+  options.batch_impact = batch;
+  options.max_polls_per_cycle = 3;  // Budget pressure: condemnations.
+  options.polling_cache_capacity = 8;
+  Invalidator inv(&db, &map, &clock, options);
+  EXPECT_TRUE(inv.CreateJoinIndex("Mileage", "model").ok());
+  RecordingSink sink;
+  inv.AddSink(&sink);
+
+  // Twelve instances of the maker-equality type push its bucket past
+  // the kernel/merge threshold; the other shapes cover interval, IN,
+  // BETWEEN, join, and a type the compiler cannot anchor (stays on the
+  // interpreted path alongside the batched types).
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 12; ++i) {
+    sqls.push_back(StrCat("SELECT * FROM Car WHERE maker = '",
+                          makers[rng.Uniform(4)], "'"));
+  }
+  for (int i = 0; i < 4; ++i) {
+    sqls.push_back(StrCat("SELECT * FROM Car WHERE price < ",
+                          4000 + rng.Uniform(26000)));
+    sqls.push_back(StrCat("SELECT * FROM Car WHERE price BETWEEN ",
+                          2000 + rng.Uniform(8000), " AND ",
+                          15000 + rng.Uniform(15000)));
+    sqls.push_back(StrCat("SELECT * FROM Car WHERE model IN ('",
+                          models[rng.Uniform(4)], "', '",
+                          models[rng.Uniform(4)], "')"));
+    sqls.push_back(
+        StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+               "Mileage.model AND Car.price < ",
+               6000 + rng.Uniform(20000)));
+    sqls.push_back(
+        StrCat("SELECT * FROM Mileage WHERE EPA > ", 18 + rng.Uniform(14)));
+  }
+  // De-duplicate: identical SQL re-registers the same instance.
+  std::sort(sqls.begin(), sqls.end());
+  sqls.erase(std::unique(sqls.begin(), sqls.end()), sqls.end());
+
+  auto recache = [&map, &sqls]() {
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      map.Add(sqls[i], StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+  };
+  recache();
+  inv.RunCycle().value();  // Register the pages; the log is quiet.
+
+  MatrixResult result;
+  for (int round = 0; round < 6; ++round) {
+    for (int u = 0; u < 1 + static_cast<int>(rng.Uniform(3)); ++u) {
+      switch (rng.Uniform(4)) {
+        case 0:
+          db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('",
+                               makers[rng.Uniform(4)], "', '",
+                               models[rng.Uniform(4)], "', ",
+                               rng.Uniform(30000), ")"))
+              .value();
+          break;
+        case 1:
+          db.ExecuteSql(StrCat("DELETE FROM Car WHERE price > ",
+                               15000 + rng.Uniform(15000)))
+              .value();
+          break;
+        case 2:
+          db.ExecuteSql(StrCat("INSERT INTO Mileage VALUES ('",
+                               models[rng.Uniform(4)], "', ",
+                               20 + rng.Uniform(15), ")"))
+              .value();
+          break;
+        default:
+          db.ExecuteSql(StrCat("DELETE FROM Mileage WHERE EPA > ",
+                               25 + rng.Uniform(10)))
+              .value();
+          break;
+      }
+    }
+    sink.invalidated.clear();
+    CycleReport report = inv.RunCycle().value();
+    result.cycle_invalidated.push_back(sink.invalidated);
+    result.cycle_reports.push_back(ReportKey(report));
+    recache();
+    inv.RunCycle().value();  // Consume the re-cached pages.
+  }
+  result.stats_report = inv.StatsReport();
+  return result;
+}
+
+class BatchDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchDifferentialTest, BatchOnOffIsByteIdenticalAcrossTheMatrix) {
+  MatrixResult oracle = RunBatchScenario(GetParam(), 1, 1, /*batch=*/false);
+  size_t total = 0;
+  for (const auto& cycle : oracle.cycle_invalidated) total += cycle.size();
+  EXPECT_GT(total, 0u);
+
+  for (bool batch : {false, true}) {
+    for (size_t shards : {1u, 4u}) {
+      for (size_t workers : {1u, 4u}) {
+        if (!batch && shards == 1 && workers == 1) continue;
+        SCOPED_TRACE(StrCat("batch=", batch, " shards=", shards,
+                            " workers=", workers));
+        MatrixResult got = RunBatchScenario(GetParam(), shards, workers, batch);
+        EXPECT_EQ(oracle.cycle_invalidated, got.cycle_invalidated);
+        EXPECT_EQ(oracle.cycle_reports, got.cycle_reports);
+        EXPECT_EQ(oracle.stats_report, got.stats_report);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 12));
+
+// ---------------------------------------------------------------------------
+// Consolidated-poll accounting: polls_issued and the per-member failure
+// degradation must be identical across every consolidated_poll_chunk
+// value — including the last partial chunk, single-member buckets, and
+// chunk=0 (unlimited) — with the serial (consolidation-off) path as the
+// oracle. Asserted on the full StatsReport string.
+// ---------------------------------------------------------------------------
+
+struct ChunkResult {
+  std::string stats_report;
+  std::set<std::string> ejected;
+};
+
+ChunkResult RunChunkScenario(bool consolidate, size_t chunk, bool fail_polls) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  db.ExecuteSql("INSERT INTO Mileage VALUES ('Avalon', 25)").value();
+
+  sniffer::QiUrlMap map;
+  InvalidatorOptions options;
+  options.consolidate_polls = consolidate;
+  options.consolidated_poll_chunk = chunk;
+  Invalidator inv(&db, &map, &clock, options);
+  RecordingSink sink;
+  inv.AddSink(&sink);
+  FailingConnection failing;
+  if (fail_polls) inv.SetPollingConnection(&failing);
+
+  // A ten-member bucket (EPA thresholds straddling the lone row at 25:
+  // hits for 30..100, misses for 10 and 20), plus a single-member bucket
+  // of a second type, which must keep the exact per-query path.
+  for (int t = 10; t <= 100; t += 10) {
+    map.Add(StrCat("SELECT Car.model FROM Car, Mileage WHERE Car.model = "
+                   "Mileage.model AND Mileage.EPA < ",
+                   t),
+            StrCat("shop/epa", t, "?##"), "/r", 0);
+  }
+  map.Add("SELECT Car.maker FROM Car, Mileage WHERE Car.model = "
+          "Mileage.model AND Mileage.EPA > 99",
+          "shop/single?##", "/r", 0);
+  db.ExecuteSql("INSERT INTO Car VALUES ('Toyota', 'Avalon', 15000)").value();
+  inv.RunCycle().value();
+
+  ChunkResult result;
+  result.stats_report = inv.StatsReport();
+  result.ejected = sink.invalidated;
+  return result;
+}
+
+TEST(PollAccountingTest, ChunkSizeNeverChangesStatsReportOrEjections) {
+  for (bool fail_polls : {false, true}) {
+    SCOPED_TRACE(StrCat("fail_polls=", fail_polls));
+    ChunkResult oracle =
+        RunChunkScenario(/*consolidate=*/false, 64, fail_polls);
+    EXPECT_FALSE(oracle.ejected.empty());
+    // chunk=1 (degenerate single-member statements), 2, 4 (last chunk
+    // partial: 10 = 4+4+2), 10 (exact bucket size), 64 (one statement),
+    // 0 (unlimited).
+    for (size_t chunk : {1u, 2u, 4u, 10u, 64u, 0u}) {
+      SCOPED_TRACE(StrCat("chunk=", chunk));
+      ChunkResult got = RunChunkScenario(/*consolidate=*/true, chunk,
+                                         fail_polls);
+      EXPECT_EQ(got.stats_report, oracle.stats_report);
+      EXPECT_EQ(got.ejected, oracle.ejected);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Large-world smoke: a single-table equality world at smoke scale (see
+// CACHEPORTAL_SMOKE_INSTANCES; the benchmark suite drives the same shape
+// to 10^6) — batch on and off must eject exactly the touched pages and
+// produce identical summaries.
+// ---------------------------------------------------------------------------
+
+TEST(BatchSmokeTest, LargeEqualityWorldIsIdenticalBatchOnAndOff) {
+  size_t instances = 20000;
+  if (const char* env = std::getenv("CACHEPORTAL_SMOKE_INSTANCES")) {
+    instances = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  std::set<std::string> ejected[2];
+  std::string reports[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    bool batch = pass == 1;
+    ManualClock clock;
+    db::Database db(&clock);
+    ASSERT_TRUE(
+        db.CreateTable(db::TableSchema("Item", {{"k", db::ColumnType::kInt},
+                                                {"v", db::ColumnType::kInt}}))
+            .ok());
+    sniffer::QiUrlMap map;
+    InvalidatorOptions options;
+    options.batch_impact = batch;
+    Invalidator inv(&db, &map, &clock, options);
+    RecordingSink sink;
+    inv.AddSink(&sink);
+    for (size_t i = 0; i < instances; ++i) {
+      map.Add(StrCat("SELECT * FROM Item WHERE k = ", i),
+              StrCat("item/", i, "?##"), "/r", 0);
+    }
+    inv.RunCycle().value();
+    // Touch a sample of keys spread across the world, plus misses.
+    Random rng(7);
+    std::set<std::string> expect;
+    for (int u = 0; u < 32; ++u) {
+      size_t k = rng.Uniform(instances + 100);  // Some beyond every key.
+      db.ExecuteSql(StrCat("INSERT INTO Item VALUES (", k, ", 1)")).value();
+      if (k < instances) expect.insert(StrCat("item/", k, "?##"));
+    }
+    CycleReport report = inv.RunCycle().value();
+    EXPECT_EQ(sink.invalidated, expect);
+    ejected[pass] = sink.invalidated;
+    reports[pass] = ReportKey(report);
+    if (batch) {
+      EXPECT_GT(inv.matcher_stats().batch_probes, 0u);
+      EXPECT_GT(inv.matcher_stats().fast_path_instances, 0u);
+    }
+  }
+  EXPECT_EQ(ejected[0], ejected[1]);
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+}  // namespace
+}  // namespace cacheportal::invalidator

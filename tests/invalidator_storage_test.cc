@@ -311,6 +311,88 @@ TEST(InvalidatorStorageTest, TrimThroughDurablePositionSurvivesCrash) {
   EXPECT_TRUE(in2.sink.invalidated.contains("shop/honda?##"));
 }
 
+/// Satellite regression: the record whose seq equals durable_update_seq()
+/// EXACTLY must land on the same side of every boundary. TrimThrough
+/// drops seq <= durable, replay re-reads seq > durable, and a restarted
+/// process attaches AT durable — so the boundary record is consumed
+/// exactly once (before the snapshot), is trimmable immediately after
+/// it, and is never wanted back by recovery. An off-by-one in any of
+/// the three (trim keeping it, replay re-consuming it, or restart
+/// attaching one past it) would either double-apply or lose it; this
+/// test pins all three against a no-crash oracle.
+TEST(InvalidatorStorageTest, BoundaryRecordAtDurableSeqTrimsAndReplaysOnce) {
+  Site site;
+  SimEnv env;
+  IncarnationOptions opts;
+  opts.sync_every_commit = false;
+  opts.snapshot_every_cycles = 0;  // Durable position moves only on demand.
+
+  // No-crash oracle over the identical workload (its own site + env).
+  std::string oracle_report;
+  std::set<std::string> oracle_ejects;
+  {
+    Site osite;
+    SimEnv oenv;
+    Incarnation oracle(&osite, &oenv, opts);
+    ASSERT_TRUE(oracle.coord->Open().ok());
+    DoMapAdds(&osite);
+    oracle.coord->RunCycle().value();
+    DoUpdates(&osite, 0);
+    DoMapAdds(&osite);
+    oracle.coord->RunCycle().value();
+    ASSERT_TRUE(oracle.coord->Snapshot().ok());
+    DoUpdates(&osite, 1);
+    DoMapAdds(&osite);
+    oracle.coord->RunCycle().value();
+    oracle_report = StripStorage(oracle.inv->StatsReport());
+    oracle_ejects = oracle.sink.invalidated;
+  }
+
+  uint64_t boundary = 0;
+  {
+    Incarnation in1(&site, &env, opts);
+    ASSERT_TRUE(in1.coord->Open().ok());
+    DoMapAdds(&site);
+    in1.coord->RunCycle().value();
+    DoUpdates(&site, 0);
+    DoMapAdds(&site);
+    in1.coord->RunCycle().value();
+    ASSERT_TRUE(in1.coord->Snapshot().ok());
+    boundary = in1.coord->durable_update_seq();
+    // The snapshot pinned the durable position at the log tail: the last
+    // consumed record IS the boundary record.
+    ASSERT_EQ(boundary, in1.inv->consumed_update_seq());
+    ASSERT_EQ(boundary, site.db.update_log().LastSeq());
+    // Replay's view and trim's view agree about seq == boundary: replay
+    // does not want it back...
+    EXPECT_TRUE(site.db.update_log().ReadSince(boundary).empty());
+    // ...and trim may drop it (inclusive upper bound).
+    EXPECT_GT(site.db.update_log().TrimThrough(boundary), 0u);
+    EXPECT_EQ(site.db.update_log().size(), 0u);
+    // One record PAST the boundary commits before the crash; a repeated
+    // trim at the same position must spare it for the post-crash replay.
+    DoUpdates(&site, 1);
+    EXPECT_EQ(site.db.update_log().TrimThrough(boundary), 0u);
+    ASSERT_GT(site.db.update_log().size(), 0u);
+  }
+  env.Recover();
+
+  Incarnation in2(&site, &env, opts);
+  ASSERT_TRUE(in2.coord->Open().ok());
+  in2.coord->FinishRecovery();
+  // Restart attaches exactly AT the boundary — not one past it (which
+  // would skip the first unconsumed record) and not one before it (which
+  // would re-consume the trimmed boundary record, double-counting it).
+  EXPECT_EQ(in2.inv->consumed_update_seq(), boundary);
+  DoMapAdds(&site);
+  in2.coord->RunCycle().value();
+  // The post-boundary suffix was applied exactly once: every lifetime
+  // counter matches the process that never crashed, and the eject set is
+  // identical.
+  EXPECT_EQ(StripStorage(in2.inv->StatsReport()), oracle_report);
+  EXPECT_EQ(in2.sink.invalidated, oracle_ejects);
+}
+
 /// The same contract through the CachePortal facade: with durability
 /// configured, automatic truncation stops at the durable position, and
 /// Checkpoint() trims only after its snapshot is safely installed.

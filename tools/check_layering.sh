@@ -23,6 +23,10 @@ declare -A ALLOW=(
   [server]="common db http"
   [sniffer]="common http server"
   [cache]="common sql db http server"
+  # invalidator -> sql also carries the columnar delta batches
+  # (sql/column_batch.h): the batch layout lives with the value model it
+  # classifies; the invalidator's bind indexes and cycle context consume
+  # it through this existing edge.
   [invalidator]="common storage sql db http server sniffer cache"
   [core]="common storage db server sniffer cache invalidator"
   [workload]="common db server core"
