@@ -1,0 +1,142 @@
+// Microbenchmarks of the real-socket invalidation wire: end-to-end eject
+// throughput through the full delivery stack (ReliableDeliveryQueue →
+// WireCacheSink → WireInvalidationClient → loopback TCP →
+// InvalidationServer → ack), the raw framed round trip without the
+// queue, and the same storm ground through injected ack drops — the
+// at-least-once tax when the network misbehaves.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "core/reliable_delivery.h"
+#include "core/remote_cache.h"
+#include "net/invalidation_server.h"
+#include "net/wire_client.h"
+#include "tools/storm.h"
+
+namespace {
+
+using namespace cacheportal;
+
+struct WireFixture {
+  std::unique_ptr<net::InvalidationServer> server;
+  std::unique_ptr<net::WireInvalidationClient> client;
+  std::atomic<uint64_t> applied{0};
+
+  explicit WireFixture(const Clock* clock, FaultInjector* server_faults) {
+    net::InvalidationServerOptions server_options;
+    server_options.io_timeout = 2 * kMicrosPerSecond;
+    server_options.faults = server_faults;
+    auto started = net::InvalidationServer::Start(
+        [this](const std::string&, uint64_t, uint64_t) {
+          applied.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        },
+        std::move(server_options));
+    server = std::move(started).value();
+
+    net::WireClientOptions client_options;
+    client_options.port = server->port();
+    client_options.client_id = "bench";
+    client_options.io_timeout = 500 * kMicrosPerMilli;
+    client_options.reconnect_backoff = kMicrosPerMilli;
+    client = std::make_unique<net::WireInvalidationClient>(
+        clock, std::move(client_options));
+  }
+};
+
+// End-to-end throughput of the full delivery stack over a healthy
+// loopback socket: every eject pays the queue, the framed encode, a TCP
+// round trip, the server's dedup ledger, and the ack parse. items/s is
+// ejects confirmed per second — the per-cache delivery ceiling of one
+// invalidator connection.
+void BM_WireDeliveryThroughput(benchmark::State& state) {
+  ManualClock clock;
+  WireFixture wire(&clock, nullptr);
+  core::WireCacheSink sink(
+      [&wire](const std::string& bytes, const std::string& key) {
+        return wire.client->Deliver(key, bytes);
+      });
+  core::ReliableDeliveryQueue queue(&clock, {});
+  queue.AddSink(&sink, "cache-0");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    queue.SendInvalidation(tools::StormEject(1, i), tools::StormKey(1, i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["acks"] = static_cast<double>(wire.client->acks_received());
+}
+BENCHMARK(BM_WireDeliveryThroughput)->UseRealTime();
+
+// The raw framed round trip: client → socket → dedup → ack, no delivery
+// queue in front. The gap to BM_WireDeliveryThroughput is the queue's
+// bookkeeping overhead on the healthy path.
+void BM_WireRawDeliver(benchmark::State& state) {
+  ManualClock clock;
+  WireFixture wire(&clock, nullptr);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Status sent =
+        wire.client->Deliver(tools::StormKey(2, i), "payload");
+    benchmark::DoNotOptimize(sent);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireRawDeliver)->UseRealTime();
+
+// Delivery with the server dropping arg0% of acks: the client times out,
+// the queue retries, the server dedups the replay by (epoch, seq).
+// items/s counts ejects fully confirmed, so the slowdown versus 0% IS
+// the price of at-least-once over a lossy wire (dominated by the ack
+// timeout, which is why it is kept short here).
+void BM_WireDeliveryUnderAckDrops(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 100.0;
+  constexpr int kBatch = 16;
+  ManualClock clock;
+  FaultConfig config;
+  config.drop_probability = drop;
+  FaultInjector faults(11, config);
+  WireFixture wire(&clock, drop > 0 ? &faults : nullptr);
+  // Shorten the ack wait so retry grinding measures queue+dedup work,
+  // not multi-second timeout sleeps.
+  net::WireClientOptions client_options;
+  client_options.port = wire.server->port();
+  client_options.io_timeout = 50 * kMicrosPerMilli;
+  client_options.reconnect_backoff = kMicrosPerMilli;
+  net::WireInvalidationClient client(&clock, std::move(client_options));
+  core::WireCacheSink sink(
+      [&client](const std::string& bytes, const std::string& key) {
+        return client.Deliver(key, bytes);
+      });
+  core::DeliveryOptions options;
+  options.initial_backoff = kMicrosPerMilli;
+  options.max_attempts = 1 << 16;
+  options.delivery_deadline = 0;
+  core::ReliableDeliveryQueue queue(&clock, options);
+  queue.AddSink(&sink, "cache-0");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    for (int b = 0; b < kBatch; ++b) {
+      queue.SendInvalidation(tools::StormEject(3, i), tools::StormKey(3, i));
+      ++i;
+    }
+    size_t drained = queue.DrainWith(&clock);
+    benchmark::DoNotOptimize(drained);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["retries"] = static_cast<double>(queue.stats().retries);
+  state.counters["dup_acks"] =
+      static_cast<double>(wire.server->stats().ejects_duplicate);
+}
+BENCHMARK(BM_WireDeliveryUnderAckDrops)->Arg(0)->Arg(20)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

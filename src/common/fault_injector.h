@@ -30,6 +30,24 @@ struct FaultConfig {
   double delay_probability = 0.0;
   /// Injected latency when a delay fires.
   Micros delay = 50 * kMicrosPerMilli;
+
+  // ---- Socket-level faults (consulted by the wire transports). ----
+  // These model what TCP actually does to a connection, as opposed to
+  // the message-level faults above: net::WireInvalidationClient consults
+  // them around every socket write, and net::InvalidationServer around
+  // every reply.
+
+  /// Only a prefix of the bytes reaches the wire before the connection
+  /// dies — the peer sees a torn frame, the classic crash-mid-write
+  /// residue (the socket analogue of a WAL torn tail).
+  double partial_write_probability = 0.0;
+  /// The connection is reset (RST) mid-exchange: the write fails and the
+  /// socket is unusable; reconnecting may succeed.
+  double reset_probability = 0.0;
+  /// The network is partitioned: connects are refused and in-flight
+  /// bytes are blackholed until the partition (typically a FaultWindow)
+  /// lifts.
+  double partition_probability = 0.0;
 };
 
 /// A scheduled fault burst: while the injector's clock reads a time in
@@ -50,9 +68,10 @@ struct FaultWindow {
 ///   - server::FaultInjectingConnection wraps a server::Connection,
 ///   - net::WrapWireHandlerWithFaults wraps an HttpServer::WireHandler.
 ///
-/// Decisions consume the internal RNG in a fixed order (drop, error,
-/// malform, delay), so two injectors with the same seed and config make
-/// identical decisions — tests replay exactly.
+/// Decisions consume the internal RNG in the order the wrapper consults
+/// them (each Should* call draws exactly one value), so two injectors
+/// with the same seed, config, and decision sequence make identical
+/// decisions — tests replay exactly.
 ///
 /// Thread-safe: wire-level wrappers consult the injector from server
 /// threads while the test thread stages fault windows via SetConfig /
@@ -139,6 +158,32 @@ class FaultInjector {
     return true;
   }
 
+  /// True if the current write should deliver only a prefix and then
+  /// kill the connection (torn frame on the peer's side).
+  bool ShouldPartialWrite() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!Fires(Effective().partial_write_probability)) return false;
+    ++partial_writes_injected_;
+    return true;
+  }
+
+  /// True if the current operation's connection should be reset.
+  bool ShouldReset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!Fires(Effective().reset_probability)) return false;
+    ++resets_injected_;
+    return true;
+  }
+
+  /// True if the network is partitioned for the current operation
+  /// (connect refused / bytes blackholed).
+  bool ShouldPartition() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!Fires(Effective().partition_probability)) return false;
+    ++partitions_injected_;
+    return true;
+  }
+
   /// The latency to inject into the current operation, if any.
   std::optional<Micros> ShouldDelay() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -222,10 +267,23 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return delays_injected_;
   }
+  uint64_t partial_writes_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return partial_writes_injected_;
+  }
+  uint64_t resets_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resets_injected_;
+  }
+  uint64_t partitions_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return partitions_injected_;
+  }
   uint64_t faults_injected() const {
     std::lock_guard<std::mutex> lock(mu_);
     return drops_injected_ + errors_injected_ + malforms_injected_ +
-           delays_injected_;
+           delays_injected_ + partial_writes_injected_ + resets_injected_ +
+           partitions_injected_;
   }
 
  private:
@@ -257,6 +315,9 @@ class FaultInjector {
   uint64_t errors_injected_ = 0;
   uint64_t malforms_injected_ = 0;
   uint64_t delays_injected_ = 0;
+  uint64_t partial_writes_injected_ = 0;
+  uint64_t resets_injected_ = 0;
+  uint64_t partitions_injected_ = 0;
   uint64_t crash_armed_ = kCrashDisarmed;
   uint64_t crash_points_seen_ = 0;
   uint64_t crashes_injected_ = 0;

@@ -22,6 +22,15 @@ class Status {
     kNotSupported,
     kParseError,
     kInternal,
+    /// The operation failed for a transient, environmental reason — a
+    /// peer was unreachable, a connection reset, a timeout expired, a
+    /// partition is in force — and retrying the SAME operation may
+    /// succeed. Transport layers return this (rather than kInternal) so
+    /// retry machinery can tell "try again" from "give up":
+    /// core::ReliableDeliveryQueue retries kUnavailable/kInternal but
+    /// dead-letters fatal codes (kNotSupported, kParseError,
+    /// kInvalidArgument) without burning attempts.
+    kUnavailable,
   };
 
   /// Creates a success status.
@@ -52,6 +61,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -60,6 +72,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsParseError() const { return code_ == Code::kParseError; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
 

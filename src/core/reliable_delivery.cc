@@ -111,6 +111,21 @@ bool ReliableDeliveryQueue::Attempt(SinkState& state, PendingMessage message,
     return true;
   }
   Micros now = clock_->NowMicros();
+  if (IsFatalDeliveryError(sent)) {
+    // A version mismatch or corrupt frame fails identically on every
+    // retry — burning the attempt budget just delays the escalation the
+    // undelivered eject requires (the cache may be serving the stale
+    // page right now).
+    LogMessage(LogLevel::kWarning,
+               StrCat("delivery to sink '", state.name,
+                      "' hit a fatal error on '", message.cache_key,
+                      "'; dead-lettering without retries (",
+                      sent.ToString(), ")"));
+    ++stats_.dead_lettered;
+    ++stats_.fatal_dead_letters;
+    Escalate(state);
+    return false;
+  }
   if (is_probe) {
     // Failed probe: the sink is still down. Reopen for another full
     // cooldown; the probe message is dead-lettered like any message
@@ -313,6 +328,7 @@ std::string ReliableDeliveryQueue::HealthReport() const {
   std::string report = StrCat(
       "delivery: pending=", pending(), " delivered=", stats_.delivered,
       " dead-letters=", stats_.dead_lettered,
+      " fatal-dead-letters=", stats_.fatal_dead_letters,
       " escalations=", stats_.escalations,
       " breaker-opens=", stats_.breaker_opens,
       " breaker-rejections=", stats_.breaker_rejections);
@@ -320,6 +336,16 @@ std::string ReliableDeliveryQueue::HealthReport() const {
     report += StrCat(" ", state.name, "=",
                      state.quarantined ? "quarantined"
                                        : BreakerName(breaker_state(state.name)));
+  }
+  // Per-peer connection health travels with the queue's line: the
+  // operator reading delivery state sees reconnects/epochs/quarantines
+  // of each observable downstream sink in the same place.
+  for (const SinkState& state : sinks_) {
+    if (auto* observable =
+            dynamic_cast<const invalidator::ObservableSink*>(state.sink)) {
+      report += StrCat("\n  [", state.name, "] ",
+                       observable->HealthReport());
+    }
   }
   return report;
 }

@@ -70,6 +70,7 @@ struct DeliveryStats {
   uint64_t attempts = 0;              // SendInvalidation calls made.
   uint64_t retries = 0;               // Attempts after the first.
   uint64_t dead_lettered = 0;         // Given up (escalation/quarantine).
+  uint64_t fatal_dead_letters = 0;    // Subset: fatal status, no retries.
   uint64_t escalations = 0;           // Sink flush/quarantine events.
   uint64_t breaker_opens = 0;         // Closed/half-open -> open.
   uint64_t breaker_probes = 0;        // Half-open delivery attempts.
@@ -113,6 +114,19 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
   /// cache through a channel that does not depend on the failing
   /// transport (e.g. cache::PageCache::Clear on a management interface).
   using FlushFn = std::function<void()>;
+
+  /// The retry-vs-give-up split: retrying is for failures time can fix.
+  /// kUnavailable (connection refused, reset, timeout, partition) and
+  /// kInternal (legacy sinks' transient code) earn retries; a protocol
+  /// version mismatch (kNotSupported), frame/stream corruption
+  /// (kParseError), or a malformed message (kInvalidArgument) will fail
+  /// identically forever, so the queue dead-letters the message on the
+  /// spot — and escalates, because an undeliverable eject means the
+  /// cache may be serving the stale page right now.
+  static bool IsFatalDeliveryError(const Status& status) {
+    return status.IsNotSupported() || status.IsParseError() ||
+           status.IsInvalidArgument();
+  }
 
   /// `clock` drives backoff and deadlines; not owned.
   explicit ReliableDeliveryQueue(const Clock* clock,

@@ -43,13 +43,33 @@ std::string RemoteCacheEndpoint::HandleWire(
 Status WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
                                        const std::string& cache_key) {
   ++messages_sent_;
+  if (framed_transport_) {
+    // The framed wire acks explicitly and classifies its own failures;
+    // pass the taxonomy through untranslated so the delivery queue can
+    // tell retryable (kUnavailable) from fatal (kNotSupported,
+    // kParseError).
+    Status sent = framed_transport_(eject_message.Serialize(), cache_key);
+    if (sent.ok()) {
+      ++ejections_confirmed_;
+      return sent;
+    }
+    ++ejections_failed_;
+    if (sent.IsNotSupported() || sent.IsParseError() ||
+        sent.IsInvalidArgument()) {
+      ++ejections_fatal_;
+    }
+    LogMessage(LogLevel::kWarning,
+               StrCat("framed eject for '", cache_key,
+                      "' failed: ", sent.ToString()));
+    return sent;
+  }
   std::string response_bytes = transport_(eject_message.Serialize());
   if (response_bytes.empty()) {
     ++ejections_failed_;
     LogMessage(LogLevel::kWarning,
                StrCat("eject for '", cache_key,
                       "' got no response (message lost?)"));
-    return Status::Internal("eject message got no response");
+    return Status::Unavailable("eject message got no response");
   }
   Result<http::HttpResponse> response =
       http::HttpResponse::Parse(response_bytes);
@@ -58,7 +78,11 @@ Status WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
     LogMessage(LogLevel::kWarning,
                StrCat("unparseable eject response for '", cache_key,
                       "': ", response.status().ToString()));
-    return Status::Internal(
+    // Retryable, not fatal: a malformed HTTP ack usually means the bytes
+    // were damaged in flight this once, not that the peer speaks a
+    // different protocol (the framed wire makes that distinction; plain
+    // HTTP cannot).
+    return Status::Unavailable(
         StrCat("unparseable eject response: ", response.status().ToString()));
   }
   if (response->status_code == 204) {
@@ -75,8 +99,17 @@ Status WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
   LogMessage(LogLevel::kWarning,
              StrCat("eject for '", cache_key, "' answered ",
                     response->status_code, " (expected 204/404)"));
-  return Status::Internal(
+  return Status::Unavailable(
       StrCat("eject answered status ", response->status_code));
+}
+
+std::string WireCacheSink::HealthReport() const {
+  std::string report =
+      StrCat("wire-sink: sent=", messages_sent_,
+             " confirmed=", ejections_confirmed_,
+             " failed=", ejections_failed_, " fatal=", ejections_fatal_);
+  if (health_) report += StrCat(" | ", health_());
+  return report;
 }
 
 }  // namespace cacheportal::core

@@ -52,16 +52,34 @@ class RemoteCacheEndpoint {
 /// (Section 4.2.4: "an HTTP message which contains the invalidation
 /// requests").
 ///
-/// SendInvalidation returns non-OK when the eject was not confirmed
-/// (empty/unparseable response, or a status other than 204/404), so a
-/// core::ReliableDeliveryQueue in front of this sink can retry it; 404
-/// counts as success (the page is not cached — the idempotent-redelivery
-/// case).
-class WireCacheSink : public invalidator::InvalidationSink {
+/// SendInvalidation's status carries the retry-vs-give-up split a
+/// core::ReliableDeliveryQueue keys off: a transient failure (empty or
+/// unparseable response, connection lost, unexpected status) returns
+/// kUnavailable so the queue retries it, while a framed transport may
+/// return a fatal code — kNotSupported (protocol version mismatch) or
+/// kParseError (frame corruption) — that no retry can fix, which the
+/// queue dead-letters immediately. 404 counts as success (the page is
+/// not cached — the idempotent-redelivery case).
+class WireCacheSink : public invalidator::InvalidationSink,
+                      public invalidator::ObservableSink {
  public:
   /// Raw request bytes in, raw response bytes out. An empty response
   /// means the message was lost (dropped connection).
   using Transport = std::function<std::string(const std::string&)>;
+
+  /// Status-bearing transport for the framed invalidation wire: the
+  /// serialized eject plus its stable cache key (the redelivery identity
+  /// a session-resume transport deduplicates on) go down, and the
+  /// transport's own taxonomy — OK / retryable kUnavailable / fatal
+  /// kNotSupported, kParseError — comes back untranslated. Typically a
+  /// closure over a net::WireInvalidationClient (the layer DAG keeps
+  /// core from naming net types, so the wiring happens in tools/tests).
+  using FramedTransport = std::function<Status(
+      const std::string& eject_bytes, const std::string& cache_key)>;
+
+  /// One diagnostic line describing the peer connection (e.g. the wire
+  /// client's HealthReport); optional, surfaces in StatsReport().
+  using HealthFn = std::function<std::string()>;
 
   /// Delivers through an in-process endpoint (not owned).
   explicit WireCacheSink(RemoteCacheEndpoint* endpoint)
@@ -74,6 +92,11 @@ class WireCacheSink : public invalidator::InvalidationSink {
   explicit WireCacheSink(Transport transport)
       : transport_(std::move(transport)) {}
 
+  /// Delivers through a framed, ack-based transport that reports its own
+  /// status taxonomy.
+  explicit WireCacheSink(FramedTransport transport, HealthFn health = nullptr)
+      : framed_transport_(std::move(transport)), health_(std::move(health)) {}
+
   Status SendInvalidation(const http::HttpRequest& eject_message,
                           const std::string& cache_key) override;
 
@@ -82,12 +105,24 @@ class WireCacheSink : public invalidator::InvalidationSink {
   /// Ejects whose response was missing, unparseable, or an unexpected
   /// status — deliveries that must be retried or escalated.
   uint64_t ejections_failed() const { return ejections_failed_; }
+  /// Subset of ejections_failed: fatal statuses (version mismatch, frame
+  /// corruption) that retrying cannot fix.
+  uint64_t ejections_fatal() const { return ejections_fatal_; }
+
+  // ObservableSink: this sink holds no queue of its own (retry backlog
+  // lives in the delivery queue in front of it); HealthReport surfaces
+  // the peer connection's health line plus delivery counters.
+  size_t PendingBacklog() const override { return 0; }
+  std::string HealthReport() const override;
 
  private:
   Transport transport_;
+  FramedTransport framed_transport_;
+  HealthFn health_;
   uint64_t messages_sent_ = 0;
   uint64_t ejections_confirmed_ = 0;
   uint64_t ejections_failed_ = 0;
+  uint64_t ejections_fatal_ = 0;
 };
 
 }  // namespace cacheportal::core

@@ -1,17 +1,15 @@
 #include "net/http_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
 #include <thread>
 
 #include "common/strings.h"
+#include "net/socket_util.h"
 
 namespace cacheportal::net {
 
@@ -62,16 +60,6 @@ std::string ReadRequest(int fd, bool* timed_out) {
   return data;
 }
 
-bool WriteAll(int fd, const std::string& bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 Result<std::unique_ptr<HttpServer>> HttpServer::Start(WireHandler handler,
@@ -79,28 +67,11 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Start(WireHandler handler,
   if (!handler) {
     return Status::InvalidArgument("HttpServer requires a handler");
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
-  }
-  int reuse = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options.port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::Internal(StrCat("bind(): ", std::strerror(errno)));
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  if (::listen(fd, options.backlog) != 0) {
-    ::close(fd);
-    return Status::Internal(StrCat("listen(): ", std::strerror(errno)));
-  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(
+      BoundListener listener,
+      BindLoopbackListener(options.port, options.backlog));
   return std::unique_ptr<HttpServer>(
-      new HttpServer(std::move(handler), fd, ntohs(addr.sin_port),
+      new HttpServer(std::move(handler), listener.fd, listener.port,
                      std::move(options)));
 }
 
@@ -134,15 +105,9 @@ void HttpServer::AcceptLoop() {
       if (!running_.load(std::memory_order_relaxed)) break;
       continue;  // Transient accept failure.
     }
-    if (io_timeout_ > 0) {
-      // Bound every read/write so one hung or slow-loris peer cannot
-      // stall the single-threaded accept loop forever.
-      timeval tv{};
-      tv.tv_sec = static_cast<time_t>(io_timeout_ / kMicrosPerSecond);
-      tv.tv_usec = static_cast<suseconds_t>(io_timeout_ % kMicrosPerSecond);
-      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-      ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    }
+    // Bound every read/write so one hung or slow-loris peer cannot
+    // stall the single-threaded accept loop forever.
+    SetSocketIoTimeout(conn, io_timeout_);
     ServeConnection(conn);
     ::close(conn);
   }
@@ -166,12 +131,12 @@ void HttpServer::ServeConnection(int fd) {
         "HTTP/1.1 503 Service Unavailable\r\nRetry-After: ",
         retry_after_seconds_, "\r\nContent-Length: ", sizeof(kShedBody) - 1,
         "\r\n\r\n", kShedBody);
-    WriteAll(fd, shed);
+    WriteAllBytes(fd, shed);
     return;
   }
   std::string response = handler_(request);
   requests_handled_.fetch_add(1, std::memory_order_relaxed);
-  if (!WriteAll(fd, response) &&
+  if (!WriteAllBytes(fd, response) &&
       (errno == EAGAIN || errno == EWOULDBLOCK)) {
     connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -179,21 +144,10 @@ void HttpServer::ServeConnection(int fd) {
 
 Result<std::string> FetchWire(uint16_t port,
                               const std::string& request_bytes) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  CACHEPORTAL_ASSIGN_OR_RETURN(int fd, ConnectLoopback(port));
+  if (!WriteAllBytes(fd, request_bytes)) {
     ::close(fd);
-    return Status::Internal(StrCat("connect(): ", std::strerror(errno)));
-  }
-  if (!WriteAll(fd, request_bytes)) {
-    ::close(fd);
-    return Status::Internal("short write");
+    return Status::Unavailable("short write");
   }
   ::shutdown(fd, SHUT_WR);
   std::string response;
@@ -204,7 +158,9 @@ Result<std::string> FetchWire(uint16_t port,
     response.append(buf, static_cast<size_t>(n));
   }
   ::close(fd);
-  if (response.empty()) return Status::Internal("empty response");
+  // Empty = the peer closed without answering (drop fault, overload kill,
+  // crash): transient by definition, so retryable.
+  if (response.empty()) return Status::Unavailable("empty response");
   return response;
 }
 

@@ -1,0 +1,298 @@
+#include "net/invalidation_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "net/socket_util.h"
+
+namespace cacheportal::net {
+
+Result<std::unique_ptr<InvalidationServer>> InvalidationServer::Start(
+    ApplyFn apply, InvalidationServerOptions options) {
+  if (!apply) {
+    return Status::InvalidArgument("InvalidationServer requires an ApplyFn");
+  }
+  CACHEPORTAL_ASSIGN_OR_RETURN(
+      BoundListener listener,
+      BindLoopbackListener(options.port, options.backlog));
+  return std::unique_ptr<InvalidationServer>(new InvalidationServer(
+      std::move(apply), listener.fd, listener.port, std::move(options)));
+}
+
+InvalidationServer::InvalidationServer(ApplyFn apply, int listen_fd,
+                                       uint16_t port,
+                                       InvalidationServerOptions options)
+    : apply_(std::move(apply)),
+      listen_fd_(listen_fd),
+      port_(port),
+      options_(std::move(options)),
+      session_epoch_(options_.session_epoch),
+      ledger_(options_.ledger) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+InvalidationServer::~InvalidationServer() { Stop(); }
+
+void InvalidationServer::Stop() {
+  bool was_running = running_.exchange(false);
+  if (was_running) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unblock every live session's read so its thread can exit.
+    for (int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& session : sessions) {
+    if (session.joinable()) session.join();
+  }
+}
+
+void InvalidationServer::AcceptLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (!running_.load(std::memory_order_relaxed)) break;
+      continue;  // Transient accept failure.
+    }
+    SetSocketIoTimeout(conn, options_.io_timeout);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_accepted;
+    session_fds_.push_back(conn);
+    sessions_.emplace_back([this, conn] { ServeSession(conn); });
+  }
+}
+
+void InvalidationServer::ServeSession(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool hello_done = false;
+  bool open = true;
+  while (open && running_.load(std::memory_order_relaxed)) {
+    // Drain every complete frame at the head of the buffer.
+    while (open) {
+      DecodeResult decoded = DecodeFrame(buffer);
+      if (decoded.outcome == DecodeOutcome::kCorrupt) {
+        Quarantine(fd, decoded.reason);
+        open = false;
+        break;
+      }
+      if (decoded.outcome == DecodeOutcome::kNeedMore) break;
+      buffer.erase(0, decoded.consumed);
+      if (!HandleFrame(fd, decoded.frame, &hello_done)) open = false;
+    }
+    if (!open) break;
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        !buffer.empty()) {
+      // A torn frame sat unfinished past io_timeout: the slow-loris
+      // variant of a partial write. Unlike corruption the bytes are
+      // fine — the peer just stopped — so drop the connection quietly
+      // and let it reconnect and resume.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.partial_frame_timeouts;
+      break;
+    }
+    break;  // EOF, idle timeout with an empty buffer, or a read error.
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  session_fds_.erase(
+      std::remove(session_fds_.begin(), session_fds_.end(), fd),
+      session_fds_.end());
+}
+
+bool InvalidationServer::HandleFrame(int fd, const WireFrame& frame,
+                                     bool* hello_done) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      Result<HelloInfo> hello = ParseHelloPayload(frame.payload);
+      if (!hello.ok()) {
+        Quarantine(fd, StrCat("bad HELLO: ", hello.status().ToString()));
+        return false;
+      }
+      if (hello->version != kWireProtocolVersion) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.version_mismatches;
+        }
+        LogMessage(LogLevel::kWarning,
+                   StrCat("invalidation server: refusing client '",
+                          hello->client_id, "' speaking protocol version ",
+                          hello->version, " (ours: ", kWireProtocolVersion,
+                          ")"));
+        WireFrame error;
+        error.type = FrameType::kError;
+        error.payload = StrCat("version mismatch: server speaks ",
+                               kWireProtocolVersion);
+        SendFrame(fd, error);
+        return false;
+      }
+      *hello_done = true;
+      WireFrame ack;
+      ack.type = FrameType::kHelloAck;
+      ack.epoch = session_epoch_;
+      ack.payload = EncodeHelloAckPayload(kWireProtocolVersion);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hellos_accepted;
+        ack.seq = ledger_.last_applied(session_epoch_);
+      }
+      return SendFrame(fd, ack);
+    }
+    case FrameType::kEject: {
+      if (!*hello_done) {
+        Quarantine(fd, "EJECT before HELLO");
+        return false;
+      }
+      if (frame.epoch != session_epoch_) {
+        // A seq minted against a dead incarnation; the client must
+        // re-handshake and rebase onto the current epoch.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.stale_epoch_frames;
+        WireFrame error;
+        error.type = FrameType::kError;
+        error.payload = StrCat("stale epoch ", frame.epoch, " (current ",
+                               session_epoch_, ")");
+        SendFrame(fd, error);
+        return false;
+      }
+      {
+        // Dedup-then-apply under one lock: two sessions replaying the
+        // same (epoch, seq) must resolve to exactly one apply.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (ledger_.Admit(frame.epoch, frame.seq) ==
+            ResumeLedger::Verdict::kApply) {
+          Status applied = apply_(frame.payload, frame.epoch, frame.seq);
+          if (!applied.ok()) {
+            ++stats_.apply_failures;
+            LogMessage(LogLevel::kWarning,
+                       StrCat("invalidation server: apply failed for seq ",
+                              frame.seq, ": ", applied.ToString()));
+            WireFrame error;
+            error.type = FrameType::kError;
+            error.payload = StrCat("apply failed: ", applied.ToString());
+            SendFrame(fd, error);
+            return false;
+          }
+          ++stats_.ejects_applied;
+        } else {
+          // Replay of something already applied (the ack was lost):
+          // ack again, apply nothing — this is the dedup that turns
+          // at-least-once transport into exactly-once applies.
+          ++stats_.ejects_duplicate;
+        }
+      }
+      WireFrame ack;
+      ack.type = FrameType::kAck;
+      ack.epoch = frame.epoch;
+      ack.seq = frame.seq;
+      return SendFrame(fd, ack);
+    }
+    case FrameType::kHeartbeat: {
+      if (!*hello_done) {
+        Quarantine(fd, "HEARTBEAT before HELLO");
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.heartbeats_answered;
+      }
+      WireFrame ack;
+      ack.type = FrameType::kHeartbeatAck;
+      ack.epoch = session_epoch_;
+      ack.seq = frame.seq;
+      return SendFrame(fd, ack);
+    }
+    case FrameType::kError:
+      LogMessage(LogLevel::kWarning,
+                 StrCat("invalidation server: peer error: ", frame.payload));
+      return false;
+    default:
+      // HELLO_ACK / ACK / HEARTBEAT_ACK are server-to-client only.
+      Quarantine(fd, StrCat("client sent server-only frame type ",
+                            static_cast<int>(frame.type)));
+      return false;
+  }
+}
+
+bool InvalidationServer::SendFrame(int fd, const WireFrame& frame) {
+  std::string bytes = EncodeFrame(frame);
+  if (options_.faults != nullptr) {
+    if (std::optional<Micros> delay = options_.faults->ShouldDelay()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(*delay));
+    }
+    if (options_.faults->ShouldDrop()) {
+      // The reply vanishes: the client times out and resends, which is
+      // exactly the replay the ResumeLedger dedups.
+      return true;
+    }
+    if (options_.faults->ShouldReset()) {
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+    if (options_.faults->ShouldPartialWrite()) {
+      WriteAllBytes(fd, std::string_view(bytes).substr(0, bytes.size() / 2));
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+  }
+  return WriteAllBytes(fd, bytes);
+}
+
+void InvalidationServer::Quarantine(int fd, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_quarantined;
+  }
+  // Loud by design: a desynced stream silently resynced is how caches
+  // end up applying garbage. The connection dies here; the client's
+  // resume machinery recovers anything un-acked.
+  LogMessage(LogLevel::kError,
+             StrCat("invalidation server: quarantining connection: ", reason));
+  WireFrame error;
+  error.type = FrameType::kError;
+  error.payload = StrCat("connection quarantined: ", reason);
+  WriteAllBytes(fd, EncodeFrame(error));  // Best effort, faults bypassed.
+}
+
+ResumeLedger InvalidationServer::ledger_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_;
+}
+
+InvalidationServerStats InvalidationServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string InvalidationServer::HealthReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StrCat("invalidation-server: epoch=", session_epoch_,
+                " sessions=", stats_.sessions_accepted,
+                " hellos=", stats_.hellos_accepted,
+                " applied=", stats_.ejects_applied,
+                " dups=", stats_.ejects_duplicate,
+                " stale-epoch=", stats_.stale_epoch_frames,
+                " quarantined=", stats_.frames_quarantined,
+                " partial-timeouts=", stats_.partial_frame_timeouts,
+                " version-mismatches=", stats_.version_mismatches);
+}
+
+}  // namespace cacheportal::net

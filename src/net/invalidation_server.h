@@ -1,0 +1,133 @@
+#ifndef CACHEPORTAL_NET_INVALIDATION_SERVER_H_
+#define CACHEPORTAL_NET_INVALIDATION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace cacheportal::net {
+
+/// Lifetime counters of an InvalidationServer, aggregated across
+/// sessions. Copy returned under the server's lock.
+struct InvalidationServerStats {
+  uint64_t sessions_accepted = 0;    // Connections accepted.
+  uint64_t hellos_accepted = 0;      // Successful handshakes (reconnects
+                                     // show up here: hellos - 1).
+  uint64_t version_mismatches = 0;   // HELLOs refused: wrong protocol.
+  uint64_t ejects_applied = 0;       // Fresh (epoch, seq): apply ran.
+  uint64_t ejects_duplicate = 0;     // Replays acked without re-apply.
+  uint64_t stale_epoch_frames = 0;   // EJECTs for a dead epoch.
+  uint64_t heartbeats_answered = 0;
+  uint64_t frames_quarantined = 0;   // Corrupt frames: connection killed.
+  uint64_t partial_frame_timeouts = 0;  // Slow-loris torn frames.
+  uint64_t apply_failures = 0;       // ApplyFn returned non-OK.
+};
+
+struct InvalidationServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// via port() — the bind-port-0-and-report pattern).
+  uint16_t port = 0;
+  int backlog = 16;
+  /// Read/write timeout per session socket. A peer that leaves a frame
+  /// torn longer than this (slow loris) is dropped and counted.
+  Micros io_timeout = 5 * kMicrosPerSecond;
+  /// This incarnation's session epoch. The caller persists the previous
+  /// epoch and passes previous+1 after a restart, so seqs assigned to a
+  /// dead incarnation can never collide with fresh ones.
+  uint64_t session_epoch = 1;
+  /// Restored dedup state (empty for a fresh cache).
+  ResumeLedger ledger;
+  /// When set, the server's replies are fault-injected: dropped acks
+  /// (the client times out and resends — exercising dedup), resets, and
+  /// delays. Not owned; must outlive the server.
+  FaultInjector* faults = nullptr;
+};
+
+/// The cache process's side of the invalidation wire (net/wire.h): a
+/// real TCP server that accepts invalidator connections, performs the
+/// versioned HELLO handshake, dedups ejects by (epoch, seq) against the
+/// ResumeLedger, applies fresh ones through the ApplyFn, and acks. One
+/// accept loop; each session gets its own thread (an invalidator
+/// reconnecting must not wait behind its own half-dead predecessor).
+///
+/// Corrupt frames (bad magic, bad CRC, absurd length) quarantine the
+/// connection LOUDLY — log, count, best-effort ERROR frame, close —
+/// because a byte stream that has desynced can never be trusted again;
+/// the client reconnects and resumes from its last ack (the same
+/// torn-tail-vs-corruption split the WAL applies to segment files).
+class InvalidationServer {
+ public:
+  /// Applies one fresh eject payload (a serialized HTTP eject request).
+  /// Called with the server's session lock HELD — dedup-then-apply must
+  /// be atomic against concurrent sessions — so it must not block on the
+  /// network or call back into the server. A non-OK return fails the
+  /// session (the frame is NOT recorded as applied; the client retries).
+  using ApplyFn = std::function<Status(const std::string& payload,
+                                       uint64_t epoch, uint64_t seq)>;
+
+  static Result<std::unique_ptr<InvalidationServer>> Start(
+      ApplyFn apply, InvalidationServerOptions options = {});
+
+  ~InvalidationServer();
+
+  InvalidationServer(const InvalidationServer&) = delete;
+  InvalidationServer& operator=(const InvalidationServer&) = delete;
+
+  /// The bound port (the resolved one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  uint64_t session_epoch() const { return session_epoch_; }
+
+  /// Snapshot of the dedup ledger (for persistence across restarts).
+  ResumeLedger ledger_snapshot() const;
+
+  InvalidationServerStats stats() const;
+
+  /// One diagnostic line (no trailing newline).
+  std::string HealthReport() const;
+
+  /// Stops accepting, closes live sessions, joins threads; idempotent.
+  void Stop();
+
+ private:
+  InvalidationServer(ApplyFn apply, int listen_fd, uint16_t port,
+                     InvalidationServerOptions options);
+
+  void AcceptLoop();
+  void ServeSession(int fd);
+  /// Handles one decoded frame; false ends the session.
+  bool HandleFrame(int fd, const WireFrame& frame, bool* hello_done);
+  /// Sends a frame through the (optional) fault injector. False when the
+  /// session should end (reset injected or write failed).
+  bool SendFrame(int fd, const WireFrame& frame);
+  void Quarantine(int fd, const std::string& reason);
+
+  ApplyFn apply_;
+  int listen_fd_;
+  uint16_t port_;
+  InvalidationServerOptions options_;
+  uint64_t session_epoch_;
+
+  std::atomic<bool> running_{true};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  ResumeLedger ledger_;
+  InvalidationServerStats stats_;
+  std::vector<std::thread> sessions_;
+  std::vector<int> session_fds_;
+};
+
+}  // namespace cacheportal::net
+
+#endif  // CACHEPORTAL_NET_INVALIDATION_SERVER_H_

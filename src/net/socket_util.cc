@@ -1,0 +1,80 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace cacheportal::net {
+
+Result<BoundListener> BindLoopbackListener(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(StrCat("bind(): ", std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Status::Internal(StrCat("listen(): ", std::strerror(errno)));
+  }
+  BoundListener listener;
+  listener.fd = fd;
+  listener.port = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<int> ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable(StrCat("connect(): ", std::strerror(errno)));
+  }
+  return fd;
+}
+
+void SetSocketIoTimeout(int fd, Micros timeout) {
+  if (timeout <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout / kMicrosPerSecond);
+  tv.tv_usec = static_cast<suseconds_t>(timeout % kMicrosPerSecond);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool WriteAllBytes(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-exchange must surface as a
+    // failed write (EPIPE), not a process-killing SIGPIPE.
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace cacheportal::net

@@ -1,0 +1,40 @@
+#ifndef CACHEPORTAL_NET_SOCKET_UTIL_H_
+#define CACHEPORTAL_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace cacheportal::net {
+
+/// A bound, listening loopback socket plus the port the kernel actually
+/// assigned. Binding port 0 and reading the resolved port back is THE
+/// way to get a test/tool port — hardcoded ports race with whatever else
+/// runs on the machine. Every listener in this layer (HttpServer,
+/// InvalidationServer) goes through here so they all report their real
+/// port.
+struct BoundListener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+/// Creates a TCP listener on 127.0.0.1:`port` (0 picks an ephemeral
+/// port), with SO_REUSEADDR set so a restarted process can rebind the
+/// same port without waiting out TIME_WAIT. Returns the fd and the
+/// resolved port.
+Result<BoundListener> BindLoopbackListener(uint16_t port, int backlog);
+
+/// Blocking connect to 127.0.0.1:`port`; returns the connected fd.
+Result<int> ConnectLoopback(uint16_t port);
+
+/// Applies SO_RCVTIMEO/SO_SNDTIMEO of `timeout` to `fd` (0 disables).
+void SetSocketIoTimeout(int fd, Micros timeout);
+
+/// Writes all of `bytes` to `fd`; false on any error or short write.
+bool WriteAllBytes(int fd, std::string_view bytes);
+
+}  // namespace cacheportal::net
+
+#endif  // CACHEPORTAL_NET_SOCKET_UTIL_H_

@@ -1,0 +1,367 @@
+#include "net/wire_client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "net/socket_util.h"
+
+namespace cacheportal::net {
+
+namespace {
+
+bool Contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+WireInvalidationClient::WireInvalidationClient(const Clock* clock,
+                                               WireClientOptions options)
+    : clock_(clock),
+      options_(std::move(options)),
+      current_backoff_(options_.reconnect_backoff) {}
+
+WireInvalidationClient::~WireInvalidationClient() { Disconnect(); }
+
+void WireInvalidationClient::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DropConnectionLocked(/*schedule_backoff=*/false);
+}
+
+Status WireInvalidationClient::Deliver(const std::string& key,
+                                       const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fatal_.ok()) return fatal_;
+  if (fd_ < 0) {
+    if (clock_->NowMicros() < next_connect_at_) {
+      return Status::Unavailable("reconnect backoff pending");
+    }
+    CACHEPORTAL_RETURN_NOT_OK(ConnectLocked());
+  }
+  // A redelivery of the same key reuses its assigned (epoch, seq): the
+  // server's ResumeLedger turns the replay into an ack-without-apply.
+  uint64_t seq;
+  auto it = inflight_.find(key);
+  if (it != inflight_.end() && it->second.epoch == epoch_) {
+    seq = it->second.seq;
+    ++replays_;
+  } else {
+    seq = ++last_assigned_seq_;
+    inflight_[key] = Assigned{epoch_, seq};
+  }
+  WireFrame eject;
+  eject.type = FrameType::kEject;
+  eject.epoch = epoch_;
+  eject.seq = seq;
+  eject.payload = payload;
+  if (!SendBytesLocked(EncodeFrame(eject))) {
+    DropConnectionLocked(/*schedule_backoff=*/true);
+    return Status::Unavailable("eject write failed (connection died)");
+  }
+  // Await the ack for OUR seq; late acks for earlier sends clear their
+  // own in-flight entries along the way.
+  while (true) {
+    Result<WireFrame> frame = ReadFrameLocked();
+    if (!frame.ok()) {
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      return frame.status();
+    }
+    switch (frame->type) {
+      case FrameType::kAck: {
+        if (frame->epoch != epoch_) continue;  // Ack from a dead epoch.
+        ++acks_received_;
+        for (auto entry = inflight_.begin(); entry != inflight_.end();
+             ++entry) {
+          if (entry->second.epoch == frame->epoch &&
+              entry->second.seq == frame->seq) {
+            inflight_.erase(entry);
+            break;
+          }
+        }
+        if (frame->seq == seq) return Status::OK();
+        continue;
+      }
+      case FrameType::kHeartbeatAck:
+        continue;
+      case FrameType::kError: {
+        const std::string& reason = frame->payload;
+        if (Contains(reason, "version mismatch")) {
+          fatal_ = Status::NotSupported(
+              StrCat("wire protocol: ", reason));
+          DropConnectionLocked(/*schedule_backoff=*/false);
+          return fatal_;
+        }
+        DropConnectionLocked(/*schedule_backoff=*/false);
+        if (Contains(reason, "stale epoch")) {
+          // Not fatal: the next Deliver re-handshakes and rebases onto
+          // the server's current epoch.
+          next_connect_at_ = 0;
+          return Status::Unavailable(StrCat("wire: ", reason));
+        }
+        if (Contains(reason, "quarantined")) {
+          // The server judged our stream corrupt. The connection is
+          // gone either way; the message itself is dead-lettered.
+          return Status::ParseError(StrCat("wire: ", reason));
+        }
+        return Status::Unavailable(StrCat("wire: ", reason));
+      }
+      default:
+        // HELLO / EJECT / HEARTBEAT from a server: protocol violation.
+        ++corrupt_frames_;
+        DropConnectionLocked(/*schedule_backoff=*/true);
+        return Status::ParseError(
+            StrCat("unexpected frame type ",
+                   static_cast<int>(frame->type), " from server"));
+    }
+  }
+}
+
+Status WireInvalidationClient::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fatal_.ok()) return fatal_;
+  if (fd_ < 0) {
+    if (clock_->NowMicros() < next_connect_at_) {
+      return Status::Unavailable("reconnect backoff pending");
+    }
+    CACHEPORTAL_RETURN_NOT_OK(ConnectLocked());
+  }
+  WireFrame heartbeat;
+  heartbeat.type = FrameType::kHeartbeat;
+  heartbeat.epoch = epoch_;
+  heartbeat.seq = ++heartbeat_seq_;
+  if (!SendBytesLocked(EncodeFrame(heartbeat))) {
+    DropConnectionLocked(/*schedule_backoff=*/true);
+    return Status::Unavailable("heartbeat write failed");
+  }
+  ++heartbeats_sent_;
+  while (true) {
+    Result<WireFrame> frame = ReadFrameLocked();
+    if (!frame.ok()) {
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      return frame.status();
+    }
+    if (frame->type == FrameType::kHeartbeatAck) return Status::OK();
+    if (frame->type == FrameType::kAck) {
+      // A late eject ack surfacing during the probe still counts.
+      ++acks_received_;
+      continue;
+    }
+    if (frame->type == FrameType::kError) {
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      return Status::Unavailable(StrCat("wire: ", frame->payload));
+    }
+    ++corrupt_frames_;
+    DropConnectionLocked(/*schedule_backoff=*/true);
+    return Status::ParseError("unexpected frame during heartbeat");
+  }
+}
+
+Status WireInvalidationClient::ConnectLocked() {
+  auto schedule = [this] {
+    next_connect_at_ = clock_->NowMicros() + current_backoff_;
+    current_backoff_ =
+        std::min(static_cast<Micros>(static_cast<double>(current_backoff_) *
+                                     options_.backoff_multiplier),
+                 options_.max_backoff);
+  };
+  if (options_.faults != nullptr && options_.faults->ShouldPartition()) {
+    schedule();
+    return Status::Unavailable("partition injected: connect refused");
+  }
+  Result<int> fd = ConnectLoopback(options_.port);
+  if (!fd.ok()) {
+    schedule();
+    return fd.status();
+  }
+  fd_ = *fd;
+  read_buffer_.clear();
+  SetSocketIoTimeout(fd_, options_.io_timeout);
+  WireFrame hello;
+  hello.type = FrameType::kHello;
+  hello.epoch = epoch_;  // Last known server epoch (0 on first contact).
+  hello.seq = 0;
+  hello.payload = EncodeHelloPayload(kWireProtocolVersion,
+                                     options_.client_id);
+  if (!SendBytesLocked(EncodeFrame(hello))) {
+    DropConnectionLocked(/*schedule_backoff=*/true);
+    return Status::Unavailable("HELLO write failed");
+  }
+  while (true) {
+    Result<WireFrame> frame = ReadFrameLocked();
+    if (!frame.ok()) {
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      return frame.status().IsParseError()
+                 ? frame.status()
+                 : Status::Unavailable("handshake timed out");
+    }
+    if (frame->type == FrameType::kError) {
+      if (Contains(frame->payload, "version mismatch")) {
+        fatal_ = Status::NotSupported(
+            StrCat("wire protocol: ", frame->payload));
+        DropConnectionLocked(/*schedule_backoff=*/false);
+        return fatal_;
+      }
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      return Status::Unavailable(StrCat("wire: ", frame->payload));
+    }
+    if (frame->type != FrameType::kHelloAck) continue;
+    Result<uint32_t> version = ParseHelloAckPayload(frame->payload);
+    if (!version.ok()) {
+      ++corrupt_frames_;
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      return version.status();
+    }
+    if (*version != kWireProtocolVersion) {
+      fatal_ = Status::NotSupported(
+          StrCat("wire protocol: server speaks version ", *version,
+                 ", we speak ", kWireProtocolVersion));
+      DropConnectionLocked(/*schedule_backoff=*/false);
+      return fatal_;
+    }
+    uint64_t server_epoch = frame->epoch;
+    uint64_t server_acked = frame->seq;
+    if (server_epoch != epoch_) {
+      // New cache incarnation: old (epoch, seq) assignments are
+      // meaningless — clear them so redeliveries mint fresh seqs in
+      // the new epoch, starting beyond whatever the server already has.
+      epoch_ = server_epoch;
+      inflight_.clear();
+      last_assigned_seq_ = server_acked;
+      LogMessage(LogLevel::kInfo,
+                 StrCat("wire client: cache session epoch ", server_epoch,
+                        ", resuming after seq ", server_acked));
+    } else {
+      // Same incarnation: keep in-flight assignments (their replays
+      // dedup), and never reuse a seq the server has already seen.
+      last_assigned_seq_ = std::max(last_assigned_seq_, server_acked);
+    }
+    ++connects_;
+    epochs_.insert(server_epoch);
+    current_backoff_ = options_.reconnect_backoff;
+    next_connect_at_ = 0;
+    return Status::OK();
+  }
+}
+
+void WireInvalidationClient::DropConnectionLocked(bool schedule_backoff) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+  if (schedule_backoff) {
+    next_connect_at_ = clock_->NowMicros() + current_backoff_;
+    current_backoff_ =
+        std::min(static_cast<Micros>(static_cast<double>(current_backoff_) *
+                                     options_.backoff_multiplier),
+                 options_.max_backoff);
+  }
+}
+
+bool WireInvalidationClient::SendBytesLocked(const std::string& bytes) {
+  if (options_.faults != nullptr) {
+    if (std::optional<Micros> delay = options_.faults->ShouldDelay()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(*delay));
+    }
+    if (options_.faults->ShouldPartition() || options_.faults->ShouldDrop()) {
+      // Blackholed: "sent" from our side, never arrives. The loss
+      // surfaces as an ack timeout, exactly like a real partition.
+      return true;
+    }
+    if (options_.faults->ShouldReset()) {
+      return false;  // RST: the write fails outright.
+    }
+    if (options_.faults->ShouldPartialWrite()) {
+      // A prefix reaches the wire, then the connection dies: the server
+      // sees a torn frame (its slow-loris/partial accounting, not
+      // corruption — the bytes that arrived are valid).
+      WriteAllBytes(fd_, std::string_view(bytes).substr(0, bytes.size() / 2));
+      return false;
+    }
+  }
+  return WriteAllBytes(fd_, bytes);
+}
+
+Result<WireFrame> WireInvalidationClient::ReadFrameLocked() {
+  char chunk[4096];
+  while (true) {
+    DecodeResult decoded = DecodeFrame(read_buffer_);
+    if (decoded.outcome == DecodeOutcome::kCorrupt) {
+      ++corrupt_frames_;
+      LogMessage(LogLevel::kError,
+                 StrCat("wire client: corrupt frame from server: ",
+                        decoded.reason));
+      return Status::ParseError(
+          StrCat("corrupt frame from server: ", decoded.reason));
+    }
+    if (decoded.outcome == DecodeOutcome::kFrame) {
+      read_buffer_.erase(0, decoded.consumed);
+      return decoded.frame;
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return Status::Unavailable("ack read timed out or connection closed");
+    }
+    read_buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool WireInvalidationClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+uint64_t WireInvalidationClient::connects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connects_;
+}
+
+uint64_t WireInvalidationClient::reconnects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connects_ > 0 ? connects_ - 1 : 0;
+}
+
+uint64_t WireInvalidationClient::epochs_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_.size();
+}
+
+uint64_t WireInvalidationClient::acks_received() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acks_received_;
+}
+
+uint64_t WireInvalidationClient::replays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replays_;
+}
+
+uint64_t WireInvalidationClient::heartbeats_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heartbeats_sent_;
+}
+
+uint64_t WireInvalidationClient::corrupt_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_frames_;
+}
+
+std::string WireInvalidationClient::HealthReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StrCat("wire-client: connected=", fd_ >= 0 ? 1 : 0,
+                " connects=", connects_,
+                " reconnects=", connects_ > 0 ? connects_ - 1 : 0,
+                " epochs-seen=", epochs_.size(),
+                " acks=", acks_received_, " replays=", replays_,
+                " inflight=", inflight_.size(),
+                " heartbeats=", heartbeats_sent_,
+                " corrupt-frames=", corrupt_frames_,
+                fatal_.ok() ? "" : StrCat(" FATAL=", fatal_.ToString()));
+}
+
+}  // namespace cacheportal::net

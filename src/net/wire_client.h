@@ -1,0 +1,145 @@
+#ifndef CACHEPORTAL_NET_WIRE_CLIENT_H_
+#define CACHEPORTAL_NET_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace cacheportal::net {
+
+struct WireClientOptions {
+  /// Target InvalidationServer port on 127.0.0.1.
+  uint16_t port = 0;
+  /// Identifies this invalidator in the HELLO (diagnostics only).
+  std::string client_id = "invalidator";
+  /// Socket read/write timeout (real time): bounds how long a Deliver
+  /// waits for an ack before declaring the attempt lost.
+  Micros io_timeout = 2 * kMicrosPerSecond;
+  /// Reconnect backoff: after a failed connect or a dead connection,
+  /// Deliver returns Unavailable immediately (no blocking) until this
+  /// much injected-Clock time has passed; doubles per consecutive
+  /// failure up to max_backoff, resets on success.
+  Micros reconnect_backoff = 100 * kMicrosPerMilli;
+  double backoff_multiplier = 2.0;
+  Micros max_backoff = 5 * kMicrosPerSecond;
+  /// Client-side socket faults (drops, resets, partial writes,
+  /// partitions, delays). Not owned; must outlive the client.
+  FaultInjector* faults = nullptr;
+};
+
+/// The invalidator's side of the invalidation wire (net/wire.h): a
+/// persistent connection to one cache's InvalidationServer with the
+/// versioned HELLO handshake, per-message (epoch, seq) assignment,
+/// ack-based confirmation, and reconnect-with-backoff paced by the
+/// injected Clock.
+///
+/// Deliver() is deliberately one-shot: a failed attempt returns
+/// immediately (Status::Unavailable) instead of blocking in a retry
+/// loop, because retry pacing belongs to core::ReliableDeliveryQueue —
+/// the client only remembers which (epoch, seq) each un-acked key was
+/// assigned, so a redelivery of the same key reuses the same seq and the
+/// server's ResumeLedger can dedup the replay. When the server restarts
+/// (new session epoch in the HELLO_ACK), the in-flight map is cleared
+/// and redeliveries mint fresh seqs in the new epoch.
+///
+/// Error taxonomy (what the delivery queue keys retry-vs-dead-letter
+/// off): connect failures, resets, timeouts, and partitions return
+/// kUnavailable (retryable); a protocol version mismatch returns
+/// kNotSupported and a corrupt frame kParseError (both fatal — no
+/// amount of retrying fixes a peer speaking a different protocol or a
+/// stream that desynced).
+///
+/// Threading: matches the InvalidationSink contract — one caller at a
+/// time; the stats accessors are safe from other threads.
+class WireInvalidationClient {
+ public:
+  WireInvalidationClient(const Clock* clock, WireClientOptions options);
+  ~WireInvalidationClient();
+
+  WireInvalidationClient(const WireInvalidationClient&) = delete;
+  WireInvalidationClient& operator=(const WireInvalidationClient&) = delete;
+
+  /// Delivers one eject payload identified by `key` (the cache key:
+  /// stable across redeliveries of the same message). OK means the
+  /// server ACKED it — applied or deduped.
+  Status Deliver(const std::string& key, const std::string& payload);
+
+  /// Liveness probe: HEARTBEAT round trip on the session connection
+  /// (connecting first if needed, subject to the same backoff).
+  Status Ping();
+
+  /// Drops the connection (test hook / shutdown); the next Deliver
+  /// reconnects immediately (no backoff penalty for a local close).
+  void Disconnect();
+
+  bool connected() const;
+  uint64_t connects() const;
+  /// Re-handshakes after the first connect.
+  uint64_t reconnects() const;
+  /// Distinct server session epochs observed.
+  uint64_t epochs_seen() const;
+  uint64_t acks_received() const;
+  /// Deliveries that reused an already-assigned (epoch, seq) — replays
+  /// the server may dedup.
+  uint64_t replays() const;
+  uint64_t heartbeats_sent() const;
+  /// Frames from the server that failed to decode (stream quarantined).
+  uint64_t corrupt_frames() const;
+
+  /// One diagnostic line (no trailing newline) — per-peer connection
+  /// health for StatsReport().
+  std::string HealthReport() const;
+
+ private:
+  /// Connects and completes the HELLO handshake. Caller holds mu_.
+  Status ConnectLocked();
+  /// Closes the socket and schedules the reconnect backoff. Caller
+  /// holds mu_.
+  void DropConnectionLocked(bool schedule_backoff);
+  /// Sends raw bytes through the fault injector. False = connection is
+  /// dead (caller drops it). A "drop" fault returns true with nothing
+  /// sent — the loss surfaces as an ack timeout, like a real partition.
+  bool SendBytesLocked(const std::string& bytes);
+  /// Blocking read of the next frame (bounded by io_timeout). Caller
+  /// holds mu_.
+  Result<WireFrame> ReadFrameLocked();
+
+  const Clock* clock_;
+  WireClientOptions options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string read_buffer_;
+  uint64_t epoch_ = 0;
+  uint64_t last_assigned_seq_ = 0;
+  /// Un-acked key -> assigned (epoch, seq).
+  struct Assigned {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+  };
+  std::map<std::string, Assigned> inflight_;
+  /// Sticky fatal state (version mismatch): every future Deliver fails
+  /// fast with the same status.
+  Status fatal_ = Status::OK();
+  Micros next_connect_at_ = 0;
+  Micros current_backoff_ = 0;
+  uint64_t heartbeat_seq_ = 0;
+
+  uint64_t connects_ = 0;
+  std::set<uint64_t> epochs_;
+  uint64_t acks_received_ = 0;
+  uint64_t replays_ = 0;
+  uint64_t heartbeats_sent_ = 0;
+  uint64_t corrupt_frames_ = 0;
+};
+
+}  // namespace cacheportal::net
+
+#endif  // CACHEPORTAL_NET_WIRE_CLIENT_H_

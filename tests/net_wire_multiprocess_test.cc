@@ -1,0 +1,196 @@
+// The capstone: real processes on a real socket. Forks the cache_node
+// and invalidator_node binaries (paths injected by CMake), sustains a
+// seeded eject storm through client-side injected faults, SIGKILLs the
+// cache mid-storm, restarts it on the same port, and then requires the
+// cache's applied log to be byte-identical to the in-process oracle —
+// every key exactly once, across two cache incarnations.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/storm.h"
+
+#ifndef CACHEPORTAL_CACHE_NODE_BIN
+#error "CACHEPORTAL_CACHE_NODE_BIN must be defined by the build"
+#endif
+#ifndef CACHEPORTAL_INVALIDATOR_NODE_BIN
+#error "CACHEPORTAL_INVALIDATOR_NODE_BIN must be defined by the build"
+#endif
+
+namespace cacheportal {
+namespace {
+
+pid_t Spawn(const std::string& binary,
+            const std::vector<std::string>& args) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  execv(binary.c_str(), argv.data());
+  _exit(127);
+}
+
+int WaitFor(pid_t pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return contents;
+}
+
+// Polls `predicate` every 20ms for up to `seconds`.
+bool PollFor(double seconds, const std::function<bool()>& predicate) {
+  for (int i = 0; i < static_cast<int>(seconds * 50); ++i) {
+    if (predicate()) return true;
+    usleep(20 * 1000);
+  }
+  return predicate();
+}
+
+class MultiprocessWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/cacheportal_wire_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::system(("rm -rf " + dir_).c_str());
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  pid_t SpawnCache(const std::vector<std::string>& extra = {}) {
+    std::vector<std::string> args = {
+        "--port-file=" + Path("port.txt"),
+        "--state-file=" + Path("state.txt"),
+        "--applied-log=" + Path("applied.txt"),
+    };
+    args.insert(args.end(), extra.begin(), extra.end());
+    return Spawn(CACHEPORTAL_CACHE_NODE_BIN, args);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MultiprocessWireTest, CleanStormDeliversExactlyOnce) {
+  pid_t cache = SpawnCache();
+  ASSERT_TRUE(PollFor(5, [&] { return !ReadAll(Path("port.txt")).empty(); }))
+      << "cache_node never published its port";
+
+  pid_t invalidator = Spawn(
+      CACHEPORTAL_INVALIDATOR_NODE_BIN,
+      {"--port-file=" + Path("port.txt"), "--count=200", "--seed=5",
+       "--report-file=" + Path("report.txt")});
+  int inv_status = WaitFor(invalidator);
+  EXPECT_TRUE(WIFEXITED(inv_status) && WEXITSTATUS(inv_status) == 0)
+      << ReadAll(Path("report.txt"));
+
+  kill(cache, SIGTERM);
+  int cache_status = WaitFor(cache);
+  EXPECT_TRUE(WIFEXITED(cache_status) && WEXITSTATUS(cache_status) == 0);
+
+  std::vector<std::string> applied = ReadLines(Path("applied.txt"));
+  std::set<std::string> unique(applied.begin(), applied.end());
+  EXPECT_EQ(unique.size(), applied.size()) << "duplicate applies";
+  std::sort(applied.begin(), applied.end());
+  EXPECT_EQ(applied, tools::StormOracle(5, 200));
+}
+
+TEST_F(MultiprocessWireTest, StormSurvivesPartitionsAndCacheRestart) {
+  pid_t cache = SpawnCache();
+  ASSERT_TRUE(PollFor(5, [&] { return !ReadAll(Path("port.txt")).empty(); }))
+      << "cache_node never published its port";
+  std::string port = ReadAll(Path("port.txt"));
+  port.erase(port.find_last_not_of("\n \t") + 1);
+
+  // Client-side faults on: drops blackhole ejects, partitions refuse
+  // reconnects. The invalidator must still deliver all 600.
+  pid_t invalidator = Spawn(
+      CACHEPORTAL_INVALIDATOR_NODE_BIN,
+      {"--port-file=" + Path("port.txt"), "--count=600", "--seed=13",
+       "--drop=0.05", "--partition=0.03", "--reset=0.03",
+       "--drain-seconds=90", "--report-file=" + Path("report.txt")});
+
+  // Let the storm get going, then kill the cache without warning.
+  ASSERT_TRUE(PollFor(30, [&] {
+    return ReadLines(Path("applied.txt")).size() >= 25;
+  })) << "storm never started applying";
+  kill(cache, SIGKILL);
+  WaitFor(cache);
+  size_t applied_at_kill = ReadLines(Path("applied.txt")).size();
+
+  // Give the invalidator a moment to hit the dead port, then restart the
+  // cache on the SAME port — epoch bumps, ledger and applied keys replay
+  // from the on-disk state.
+  usleep(300 * 1000);
+  pid_t cache2 = SpawnCache({"--port=" + port});
+
+  int inv_status = WaitFor(invalidator);
+  EXPECT_TRUE(WIFEXITED(inv_status) && WEXITSTATUS(inv_status) == 0)
+      << "invalidator_node failed:\n"
+      << ReadAll(Path("report.txt"));
+
+  kill(cache2, SIGTERM);
+  int cache2_status = WaitFor(cache2);
+  EXPECT_TRUE(WIFEXITED(cache2_status) && WEXITSTATUS(cache2_status) == 0);
+
+  // Oracle equality across both incarnations: all 600 keys, no key
+  // applied twice — the (epoch, seq) ledger deduped intra-session
+  // replays and the applied-key replay deduped restart replays.
+  std::vector<std::string> applied = ReadLines(Path("applied.txt"));
+  std::set<std::string> unique(applied.begin(), applied.end());
+  EXPECT_EQ(unique.size(), applied.size()) << "duplicate applies";
+  std::sort(applied.begin(), applied.end());
+  EXPECT_EQ(applied, tools::StormOracle(13, 600));
+  EXPECT_GT(applied.size(), applied_at_kill)
+      << "no progress after the restart";
+
+  // The second incarnation must have announced a bumped epoch.
+  std::vector<std::string> state = ReadLines(Path("state.txt"));
+  int epoch_lines = 0;
+  for (const std::string& line : state) {
+    if (line.rfind("epoch ", 0) == 0) ++epoch_lines;
+  }
+  EXPECT_EQ(epoch_lines, 2) << "expected two incarnations in state file";
+
+  // The report must show a complete storm with no dead letters.
+  std::string report = ReadAll(Path("report.txt"));
+  EXPECT_NE(report.find("complete=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("dead-letters=0"), std::string::npos) << report;
+  EXPECT_NE(report.find("epochs-seen=2"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace cacheportal

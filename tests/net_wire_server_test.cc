@@ -1,0 +1,399 @@
+// InvalidationServer + WireInvalidationClient over real loopback
+// sockets: handshake, ack-based resume, (epoch, seq) dedup, restart
+// epoch bumps, version-mismatch refusal, corruption quarantine, and the
+// slow-loris partial-frame timeout. Raw-socket sessions drive the
+// protocol-violation cases the well-behaved client cannot produce.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "http/message.h"
+#include "net/invalidation_server.h"
+#include "net/socket_util.h"
+#include "net/wire_client.h"
+
+namespace cacheportal::net {
+namespace {
+
+http::HttpRequest Eject(const std::string& url) {
+  http::HttpRequest message = *http::HttpRequest::Get(url);
+  message.headers.Set("Cache-Control", "eject");
+  return message;
+}
+
+/// Thread-safe record of what the server applied.
+struct ApplyLog {
+  std::mutex mu;
+  std::vector<std::string> payloads;
+  InvalidationServer::ApplyFn Fn() {
+    return [this](const std::string& payload, uint64_t, uint64_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      payloads.push_back(payload);
+      return Status::OK();
+    };
+  }
+  size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return payloads.size();
+  }
+};
+
+/// A hand-rolled wire session for protocol-violation tests.
+class RawSession {
+ public:
+  explicit RawSession(uint16_t port) {
+    Result<int> fd = ConnectLoopback(port);
+    EXPECT_TRUE(fd.ok());
+    fd_ = *fd;
+    SetSocketIoTimeout(fd_, 2 * kMicrosPerSecond);
+  }
+  ~RawSession() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const WireFrame& frame) {
+    return WriteAllBytes(fd_, EncodeFrame(frame));
+  }
+  bool SendRaw(const std::string& bytes) {
+    return WriteAllBytes(fd_, bytes);
+  }
+
+  /// Next frame from the server; nullopt on timeout/close/corrupt.
+  std::optional<WireFrame> Read() {
+    char chunk[4096];
+    while (true) {
+      DecodeResult decoded = DecodeFrame(buffer_);
+      if (decoded.outcome == DecodeOutcome::kFrame) {
+        buffer_.erase(0, decoded.consumed);
+        return decoded.frame;
+      }
+      if (decoded.outcome == DecodeOutcome::kCorrupt) return std::nullopt;
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the server has closed its end (read returns 0/EOF).
+  bool ServerClosed() {
+    char chunk[64];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    return n == 0;
+  }
+
+  std::optional<WireFrame> Handshake(uint32_t version = kWireProtocolVersion,
+                                     uint64_t known_epoch = 0) {
+    WireFrame hello;
+    hello.type = FrameType::kHello;
+    hello.epoch = known_epoch;
+    hello.payload = EncodeHelloPayload(version, "raw-test");
+    if (!Send(hello)) return std::nullopt;
+    return Read();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(InvalidationServerTest, BindsEphemeralPortAndReportsIt) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+  EXPECT_GT((*server)->port(), 0);
+
+  // The bound port can be rebound by a successor after Stop (the
+  // restart-on-same-port path SO_REUSEADDR enables).
+  uint16_t port = (*server)->port();
+  (*server)->Stop();
+  InvalidationServerOptions options;
+  options.port = port;
+  auto successor = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(successor.ok());
+  EXPECT_EQ((*successor)->port(), port);
+}
+
+TEST(InvalidationServerTest, ClientHandshakesAndDeliversEjects) {
+  ApplyLog log;
+  InvalidationServerOptions options;
+  options.session_epoch = 5;
+  auto server = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  ManualClock clock;
+  WireClientOptions client_options;
+  client_options.port = (*server)->port();
+  WireInvalidationClient client(&clock, client_options);
+
+  std::string eject = Eject("http://edge/p?id=1").Serialize();
+  EXPECT_TRUE(client.Deliver("k1", eject).ok());
+  EXPECT_TRUE(client.Deliver("k2", Eject("http://edge/p?id=2").Serialize())
+                  .ok());
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(client.epochs_seen(), 1u);
+  EXPECT_EQ(client.acks_received(), 2u);
+
+  ASSERT_EQ(log.size(), 2u);
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    EXPECT_EQ(log.payloads[0], eject);
+  }
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.hellos_accepted, 1u);
+  EXPECT_EQ(stats.ejects_applied, 2u);
+  EXPECT_EQ(stats.ejects_duplicate, 0u);
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(5), 2u);
+
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.heartbeats_sent(), 1u);
+  EXPECT_EQ((*server)->stats().heartbeats_answered, 1u);
+}
+
+TEST(InvalidationServerTest, ReplayedSeqIsAckedWithoutReapply) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  std::optional<WireFrame> hello_ack = session.Handshake();
+  ASSERT_TRUE(hello_ack.has_value());
+  ASSERT_EQ(hello_ack->type, FrameType::kHelloAck);
+  uint64_t epoch = hello_ack->epoch;
+
+  WireFrame eject;
+  eject.type = FrameType::kEject;
+  eject.epoch = epoch;
+  eject.seq = 1;
+  eject.payload = "payload";
+  ASSERT_TRUE(session.Send(eject));
+  std::optional<WireFrame> ack = session.Read();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, FrameType::kAck);
+  EXPECT_EQ(ack->seq, 1u);
+
+  // The replay (lost ack) is acked again but applied exactly once.
+  ASSERT_TRUE(session.Send(eject));
+  ack = session.Read();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, FrameType::kAck);
+  EXPECT_EQ(log.size(), 1u);
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ejects_applied, 1u);
+  EXPECT_EQ(stats.ejects_duplicate, 1u);
+}
+
+TEST(InvalidationServerTest, HelloAckCarriesResumePoint) {
+  ApplyLog log;
+  InvalidationServerOptions options;
+  options.session_epoch = 3;
+  options.ledger.Admit(3, 17);  // Restored: seq 17 already applied.
+  auto server = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  std::optional<WireFrame> hello_ack = session.Handshake();
+  ASSERT_TRUE(hello_ack.has_value());
+  EXPECT_EQ(hello_ack->epoch, 3u);
+  EXPECT_EQ(hello_ack->seq, 17u);  // Resume after this.
+}
+
+TEST(InvalidationServerTest, DroppedAckLeadsToReplayAndDedup) {
+  ApplyLog log;
+  FaultInjector faults(/*seed=*/42);
+  InvalidationServerOptions options;
+  options.faults = &faults;
+  auto server = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  ManualClock clock;
+  WireClientOptions client_options;
+  client_options.port = (*server)->port();
+  client_options.io_timeout = 200 * kMicrosPerMilli;  // Real time.
+  WireInvalidationClient client(&clock, client_options);
+
+  ASSERT_TRUE(client.Deliver("k1", "first").ok());
+
+  // Every server reply vanishes: the eject applies but its ack is lost,
+  // so the client times out and the delivery fails retryably.
+  FaultConfig drop_all;
+  drop_all.drop_probability = 1.0;
+  faults.SetConfig(drop_all);
+  Status lost = client.Deliver("k2", "second");
+  ASSERT_FALSE(lost.ok());
+  EXPECT_TRUE(lost.IsUnavailable());
+
+  // Heal, let the reconnect backoff lapse, redeliver: the client reuses
+  // k2's (epoch, seq), the server dedups, and the ack finally lands.
+  faults.Heal();
+  clock.Advance(kMicrosPerSecond);
+  ASSERT_TRUE(client.Deliver("k2", "second").ok());
+  EXPECT_EQ(client.replays(), 1u);
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ejects_applied, 2u);
+  EXPECT_EQ(stats.ejects_duplicate, 1u);
+}
+
+TEST(InvalidationServerTest, RestartBumpsEpochAndClientRebases) {
+  ApplyLog log;
+  auto first = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(first.ok());
+  uint16_t port = (*first)->port();
+
+  ManualClock clock;
+  WireClientOptions client_options;
+  client_options.port = port;
+  client_options.io_timeout = 200 * kMicrosPerMilli;
+  WireInvalidationClient client(&clock, client_options);
+  ASSERT_TRUE(client.Deliver("k1", "one").ok());
+
+  // The cache dies mid-storm...
+  (*first)->Stop();
+  Status down = client.Deliver("k2", "two");
+  ASSERT_FALSE(down.ok());
+  EXPECT_TRUE(down.IsUnavailable());
+
+  // ...and its successor restarts on the same port with a bumped epoch
+  // (what cache_node does by persisting the epoch line).
+  InvalidationServerOptions successor_options;
+  successor_options.port = port;
+  successor_options.session_epoch = 2;
+  auto second =
+      InvalidationServer::Start(log.Fn(), std::move(successor_options));
+  ASSERT_TRUE(second.ok());
+
+  clock.Advance(kMicrosPerSecond);
+  ASSERT_TRUE(client.Deliver("k2", "two").ok());
+  EXPECT_EQ(client.epochs_seen(), 2u);
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ((*second)->stats().ejects_applied, 1u);
+  EXPECT_EQ((*second)->session_epoch(), 2u);
+}
+
+TEST(InvalidationServerTest, VersionMismatchIsRefusedExplicitly) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  std::optional<WireFrame> reply = session.Handshake(/*version=*/99);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->payload.find("version mismatch"), std::string::npos);
+  EXPECT_TRUE(session.ServerClosed());
+  EXPECT_EQ((*server)->stats().version_mismatches, 1u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, CorruptStreamIsQuarantinedLoudly) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  // Garbage from the first byte (an HTTP client on the wrong port).
+  {
+    RawSession session((*server)->port());
+    ASSERT_TRUE(session.SendRaw("GET / HTTP/1.1\r\n\r\n"));
+    std::optional<WireFrame> reply = session.Read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::kError);
+    EXPECT_NE(reply->payload.find("quarantined"), std::string::npos);
+    EXPECT_TRUE(session.ServerClosed());
+  }
+  // A bit-flipped frame after a clean handshake.
+  {
+    RawSession session((*server)->port());
+    ASSERT_TRUE(session.Handshake().has_value());
+    WireFrame eject;
+    eject.type = FrameType::kEject;
+    eject.epoch = 1;
+    eject.seq = 1;
+    eject.payload = "payload";
+    std::string wire = EncodeFrame(eject);
+    wire[kFrameHeaderSize] ^= 0x40;  // Flip a payload bit: CRC mismatch.
+    ASSERT_TRUE(session.SendRaw(wire));
+    std::optional<WireFrame> reply = session.Read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::kError);
+    EXPECT_NE(reply->payload.find("quarantined"), std::string::npos);
+  }
+  EXPECT_EQ((*server)->stats().frames_quarantined, 2u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, EjectBeforeHelloIsQuarantined) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  WireFrame eject;
+  eject.type = FrameType::kEject;
+  eject.epoch = 1;
+  eject.seq = 1;
+  ASSERT_TRUE(session.Send(eject));
+  std::optional<WireFrame> reply = session.Read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ((*server)->stats().frames_quarantined, 1u);
+}
+
+TEST(InvalidationServerTest, StaleEpochEjectIsRejected) {
+  ApplyLog log;
+  InvalidationServerOptions options;
+  options.session_epoch = 4;
+  auto server = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  ASSERT_TRUE(session.Handshake().has_value());
+  WireFrame eject;
+  eject.type = FrameType::kEject;
+  eject.epoch = 3;  // Minted against the previous incarnation.
+  eject.seq = 9;
+  ASSERT_TRUE(session.Send(eject));
+  std::optional<WireFrame> reply = session.Read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->payload.find("stale epoch"), std::string::npos);
+  EXPECT_EQ((*server)->stats().stale_epoch_frames, 1u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, SlowLorisPartialFrameTimesOutQuietly) {
+  ApplyLog log;
+  InvalidationServerOptions options;
+  options.io_timeout = 100 * kMicrosPerMilli;  // Real time.
+  auto server = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  ASSERT_TRUE(session.Handshake().has_value());
+  // Half an eject frame, then silence: a torn frame is NOT corruption —
+  // the connection is dropped and counted, but not quarantined.
+  WireFrame eject;
+  eject.type = FrameType::kEject;
+  eject.epoch = 1;
+  eject.seq = 1;
+  eject.payload = "payload";
+  std::string wire = EncodeFrame(eject);
+  ASSERT_TRUE(session.SendRaw(wire.substr(0, wire.size() / 2)));
+  EXPECT_TRUE(session.ServerClosed());  // Blocks until the timeout fires.
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.partial_frame_timeouts, 1u);
+  EXPECT_EQ(stats.frames_quarantined, 0u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cacheportal::net

@@ -530,6 +530,109 @@ TEST(CircuitBreakerTest, BreakerStateSurvivesCheckpointRestore) {
   EXPECT_EQ(sink_b.delivered, std::vector<std::string>{"k9"});
 }
 
+/// Sink that fails with a fixed status until `fail_next` runs out.
+class StatusSink : public invalidator::InvalidationSink {
+ public:
+  explicit StatusSink(Status failure) : failure_(std::move(failure)) {}
+
+  Status SendInvalidation(const http::HttpRequest&,
+                          const std::string& cache_key) override {
+    ++attempts;
+    if (fail_next > 0) {
+      --fail_next;
+      return failure_;
+    }
+    delivered.push_back(cache_key);
+    return Status::OK();
+  }
+
+  int fail_next = 0;
+  int attempts = 0;
+  std::vector<std::string> delivered;
+
+ private:
+  Status failure_;
+};
+
+TEST(DeliveryTaxonomyTest, FatalStatusDeadLettersWithoutRetries) {
+  // A protocol version mismatch fails identically forever: the queue
+  // must not burn its attempt budget, and MUST escalate — an
+  // undeliverable eject means the cache may be serving the stale page.
+  for (Status fatal :
+       {Status::NotSupported("wire protocol: version mismatch"),
+        Status::ParseError("corrupt frame from server"),
+        Status::InvalidArgument("malformed eject")}) {
+    ManualClock clock;
+    StatusSink sink(fatal);
+    sink.fail_next = 1000;
+    int flushes = 0;
+    ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+    queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+    queue.SendInvalidation(Eject("/p1"), "k1");
+    EXPECT_EQ(sink.attempts, 1) << fatal.ToString();  // No retries.
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_EQ(queue.stats().dead_lettered, 1u);
+    EXPECT_EQ(queue.stats().fatal_dead_letters, 1u);
+    EXPECT_EQ(queue.stats().escalations, 1u);
+    EXPECT_EQ(flushes, 1);
+    EXPECT_FALSE(queue.NextRetryAt().has_value());
+  }
+}
+
+TEST(DeliveryTaxonomyTest, RetryableStatusesEarnTheFullBudget) {
+  // kUnavailable (the wire's transient code) and kInternal (legacy
+  // sinks') both retry to eventual success.
+  for (Status transient : {Status::Unavailable("connection reset"),
+                           Status::Internal("scripted failure")}) {
+    ManualClock clock;
+    StatusSink sink(transient);
+    sink.fail_next = 3;
+    ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+    queue.AddSink(&sink, "edge");
+
+    queue.SendInvalidation(Eject("/p1"), "k1");
+    queue.DrainWith(&clock);
+    EXPECT_EQ(sink.delivered, std::vector<std::string>{"k1"})
+        << transient.ToString();
+    EXPECT_EQ(sink.attempts, 4);
+    EXPECT_EQ(queue.stats().dead_lettered, 0u);
+    EXPECT_EQ(queue.stats().fatal_dead_letters, 0u);
+  }
+}
+
+TEST(DeliveryTaxonomyTest, EveryFatalMessageDiesOnArrival) {
+  // While the sink keeps returning a fatal status, every message is
+  // dead-lettered on its first (and only) attempt, each with its own
+  // escalation — no backlog ever forms behind a broken protocol.
+  ManualClock clock;
+  StatusSink sink(Status::NotSupported("version mismatch"));
+  sink.fail_next = 1000;
+  int flushes = 0;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&sink, "edge", [&flushes] { ++flushes; });
+
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  queue.SendInvalidation(Eject("/p2"), "k2");
+  EXPECT_EQ(sink.attempts, 2);
+  EXPECT_EQ(queue.stats().dead_lettered, 2u);
+  EXPECT_EQ(queue.stats().fatal_dead_letters, 2u);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(flushes, 2);
+}
+
+TEST(DeliveryTaxonomyTest, HealthReportCountsFatalDeadLetters) {
+  ManualClock clock;
+  StatusSink sink(Status::ParseError("corrupt frame"));
+  sink.fail_next = 1000;
+  ReliableDeliveryQueue queue(&clock, NoJitterOptions());
+  queue.AddSink(&sink, "edge", [] {});
+  queue.SendInvalidation(Eject("/p1"), "k1");
+  std::string report = queue.HealthReport();
+  EXPECT_NE(report.find("fatal-dead-letters=1"), std::string::npos)
+      << report;
+}
+
 TEST(CircuitBreakerTest, HealthReportNamesSinkStates) {
   ManualClock clock;
   ScriptedSink healthy, down;

@@ -1,0 +1,199 @@
+// A cache process: runs a net::InvalidationServer in front of a
+// cache::PageCache, applying eject messages delivered over the framed
+// invalidation wire. This is the cache half of the multi-process
+// topology (invalidator_node is the other half); the multiprocess test
+// SIGKILLs and restarts it mid-storm to prove session resume.
+//
+// Flags:
+//   --port=N          port to bind (0 = ephemeral). A restart must pass
+//                     the previously bound port so the running
+//                     invalidator can still reach it.
+//   --port-file=PATH  written (atomically) with the bound port once the
+//                     server is accepting — the startup barrier the
+//                     launcher polls.
+//   --state-file=PATH append-only session state: the epoch line each
+//                     incarnation writes at startup and one line per
+//                     applied (epoch, seq). A restart replays it to bump
+//                     the epoch and rebuild the ResumeLedger.
+//   --applied-log=PATH one line (the canonical cache key) per eject
+//                     applied, in apply order. Never contains duplicates:
+//                     the replayed key set dedups across incarnations,
+//                     where the per-epoch ledger cannot.
+//
+// Runs until SIGTERM/SIGINT; exits 0 after a clean stop, printing the
+// server's health line to stderr.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cache/page_cache.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "http/message.h"
+#include "net/invalidation_server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+// Writes `contents` to `path` atomically (tmp + rename), so a polling
+// reader never observes a torn file.
+bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << contents;
+    if (!out.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cacheportal;
+
+  signal(SIGTERM, HandleSignal);
+  signal(SIGINT, HandleSignal);
+  signal(SIGPIPE, SIG_IGN);
+
+  uint16_t port = static_cast<uint16_t>(
+      std::atoi(FlagValue(argc, argv, "port", "0").c_str()));
+  std::string port_file = FlagValue(argc, argv, "port-file", "");
+  std::string state_file = FlagValue(argc, argv, "state-file", "");
+  std::string applied_log = FlagValue(argc, argv, "applied-log", "");
+
+  // Recover session state from previous incarnations: the highest epoch
+  // any of them used (we run at epoch+1 so their seqs can never collide
+  // with ours) and the per-epoch apply high-water marks.
+  uint64_t last_epoch = 0;
+  net::ResumeLedger ledger;
+  if (!state_file.empty()) {
+    std::ifstream in(state_file);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::vector<std::string> fields = StrSplit(line, ' ');
+      if (fields.size() == 2 && fields[0] == "epoch") {
+        Result<uint64_t> epoch = ParseUint64(fields[1]);
+        if (epoch.ok()) last_epoch = std::max(last_epoch, *epoch);
+      } else if (fields.size() == 3 && fields[0] == "applied") {
+        Result<uint64_t> epoch = ParseUint64(fields[1]);
+        Result<uint64_t> seq = ParseUint64(fields[2]);
+        // A torn tail (killed mid-line) loses at most the final apply
+        // record; the redelivery it permits is caught by the applied-key
+        // set below.
+        if (epoch.ok() && seq.ok()) ledger.Admit(*epoch, *seq);
+      }
+    }
+  }
+  uint64_t session_epoch = last_epoch + 1;
+
+  // Content-level dedup across incarnations: a new epoch renames every
+  // seq, so the protocol ledger alone cannot tell a restart replay from
+  // a fresh eject — the applied-log key set can.
+  std::set<std::string> applied_keys;
+  if (!applied_log.empty()) {
+    std::ifstream in(applied_log);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) applied_keys.insert(line);
+    }
+  }
+
+  std::FILE* state_out = nullptr;
+  if (!state_file.empty()) {
+    state_out = std::fopen(state_file.c_str(), "a");
+    if (state_out == nullptr) {
+      std::cerr << "cache_node: cannot open state file " << state_file
+                << "\n";
+      return 2;
+    }
+    std::fprintf(state_out, "epoch %llu\n",
+                 static_cast<unsigned long long>(session_epoch));
+    std::fflush(state_out);
+  }
+  std::FILE* applied_out = nullptr;
+  if (!applied_log.empty()) {
+    applied_out = std::fopen(applied_log.c_str(), "a");
+    if (applied_out == nullptr) {
+      std::cerr << "cache_node: cannot open applied log " << applied_log
+                << "\n";
+      return 2;
+    }
+  }
+
+  SystemClock clock;
+  cache::PageCache cache(/*capacity=*/1024, &clock);
+
+  net::InvalidationServerOptions options;
+  options.port = port;
+  options.session_epoch = session_epoch;
+  options.ledger = ledger;
+  auto apply = [&](const std::string& payload, uint64_t epoch,
+                   uint64_t seq) -> Status {
+    Result<http::HttpRequest> eject = http::HttpRequest::Parse(payload);
+    if (!eject.ok()) return eject.status();
+    std::string key = eject->ToPageId().CacheKey();
+    cache.HandleInvalidationRequest(*eject);  // 404 for uncached is fine.
+    if (applied_keys.insert(key).second && applied_out != nullptr) {
+      std::fprintf(applied_out, "%s\n", key.c_str());
+      std::fflush(applied_out);
+    }
+    if (state_out != nullptr) {
+      std::fprintf(state_out, "applied %llu %llu\n",
+                   static_cast<unsigned long long>(epoch),
+                   static_cast<unsigned long long>(seq));
+      std::fflush(state_out);
+    }
+    return Status::OK();
+  };
+
+  Result<std::unique_ptr<net::InvalidationServer>> server =
+      net::InvalidationServer::Start(apply, std::move(options));
+  if (!server.ok()) {
+    std::cerr << "cache_node: " << server.status().ToString() << "\n";
+    return 2;
+  }
+
+  if (!port_file.empty()) {
+    std::ostringstream contents;
+    contents << (*server)->port() << "\n";
+    if (!WriteFileAtomic(port_file, contents.str())) {
+      std::cerr << "cache_node: cannot write port file " << port_file
+                << "\n";
+      return 2;
+    }
+  }
+  std::cerr << "cache_node: epoch " << session_epoch << " listening on port "
+            << (*server)->port() << "\n";
+
+  while (!g_stop.load()) usleep(20 * 1000);
+
+  (*server)->Stop();
+  std::cerr << "cache_node: " << (*server)->HealthReport() << "\n";
+  if (state_out != nullptr) std::fclose(state_out);
+  if (applied_out != nullptr) std::fclose(applied_out);
+  return 0;
+}

@@ -1,0 +1,164 @@
+// An invalidator process: generates a deterministic storm of eject
+// messages (tools/storm.h) and delivers them to a cache_node over the
+// framed invalidation wire, through the full reliability stack — a
+// core::ReliableDeliveryQueue in front of a core::WireCacheSink backed
+// by a net::WireInvalidationClient — with client-side socket faults
+// injected on demand. The multiprocess test runs it against a cache it
+// kills and restarts mid-storm.
+//
+// Flags:
+//   --port-file=PATH   polled until the cache_node publishes its port.
+//   --count=N          ejects to send (storm indices 0..N-1).
+//   --seed=S           storm seed (must match the verifying oracle) and
+//                      fault-injector RNG seed.
+//   --drop=P --reset=P --partial=P --partition=P
+//                      client-side fault probabilities.
+//   --delay-us=N --delay-p=P  injected send delay.
+//   --drain-seconds=N  give-up bound for the final drain (default 60).
+//   --report-file=PATH final health report (also printed to stderr).
+//
+// Exits 0 iff every eject was delivered: nothing pending, nothing
+// dead-lettered. Retry pacing is real time (SystemClock); backoffs are
+// kept short so a storm through heavy faults still converges quickly.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "common/strings.h"
+#include "core/reliable_delivery.h"
+#include "core/remote_cache.h"
+#include "net/wire_client.h"
+#include "storm.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const std::string& name,
+                  double fallback) {
+  std::string value = FlagValue(argc, argv, name, "");
+  return value.empty() ? fallback : std::atof(value.c_str());
+}
+
+uint64_t FlagUint(int argc, char** argv, const std::string& name,
+                  uint64_t fallback) {
+  std::string value = FlagValue(argc, argv, name, "");
+  return value.empty() ? fallback
+                       : std::strtoull(value.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cacheportal;
+
+  std::string port_file = FlagValue(argc, argv, "port-file", "");
+  uint64_t count = FlagUint(argc, argv, "count", 100);
+  uint64_t seed = FlagUint(argc, argv, "seed", 1);
+  uint64_t drain_seconds = FlagUint(argc, argv, "drain-seconds", 60);
+  std::string report_file = FlagValue(argc, argv, "report-file", "");
+
+  // Startup barrier: the cache_node writes its bound port atomically
+  // once it is accepting.
+  uint16_t port = 0;
+  for (int attempt = 0; attempt < 500 && port == 0; ++attempt) {
+    std::ifstream in(port_file);
+    uint32_t value = 0;
+    if (in >> value && value > 0) {
+      port = static_cast<uint16_t>(value);
+      break;
+    }
+    usleep(20 * 1000);
+  }
+  if (port == 0) {
+    std::cerr << "invalidator_node: no port in " << port_file << "\n";
+    return 2;
+  }
+
+  SystemClock clock;
+
+  FaultConfig fault_config;
+  fault_config.drop_probability = FlagDouble(argc, argv, "drop", 0.0);
+  fault_config.reset_probability = FlagDouble(argc, argv, "reset", 0.0);
+  fault_config.partial_write_probability =
+      FlagDouble(argc, argv, "partial", 0.0);
+  fault_config.partition_probability =
+      FlagDouble(argc, argv, "partition", 0.0);
+  fault_config.delay_probability = FlagDouble(argc, argv, "delay-p", 0.0);
+  fault_config.delay = static_cast<Micros>(
+      FlagUint(argc, argv, "delay-us", 0));
+  FaultInjector faults(seed, fault_config);
+
+  net::WireClientOptions client_options;
+  client_options.port = port;
+  client_options.client_id = StrCat("invalidator-", seed);
+  client_options.io_timeout = 500 * kMicrosPerMilli;
+  client_options.reconnect_backoff = 20 * kMicrosPerMilli;
+  client_options.max_backoff = 500 * kMicrosPerMilli;
+  client_options.faults = &faults;
+  net::WireInvalidationClient client(&clock, client_options);
+
+  core::WireCacheSink sink(
+      [&client](const std::string& bytes, const std::string& key) {
+        return client.Deliver(key, bytes);
+      },
+      [&client] { return client.HealthReport(); });
+
+  // Breakers stay off and the deadline is disabled: the storm must
+  // survive arbitrary injected partitions and a full cache restart, so
+  // the only give-up is the drain bound below (and a fatal status, which
+  // dead-letters regardless of budget — that failure mode is the point).
+  core::DeliveryOptions delivery_options;
+  delivery_options.max_attempts = 1000000;
+  delivery_options.delivery_deadline = 0;
+  delivery_options.initial_backoff = 5 * kMicrosPerMilli;
+  delivery_options.max_backoff = 100 * kMicrosPerMilli;
+  delivery_options.breaker_failure_threshold = 0;
+  core::ReliableDeliveryQueue queue(&clock, delivery_options);
+  queue.AddSink(&sink, "wire-cache");
+
+  for (uint64_t i = 0; i < count; ++i) {
+    queue.SendInvalidation(tools::StormEject(seed, i),
+                           tools::StormKey(seed, i));
+    queue.Pump();
+  }
+
+  Micros deadline = clock.NowMicros() +
+                    static_cast<Micros>(drain_seconds) * kMicrosPerSecond;
+  while (queue.pending() > 0 && clock.NowMicros() < deadline) {
+    if (queue.Pump() == 0) usleep(5 * 1000);
+  }
+
+  const core::DeliveryStats& stats = queue.stats();
+  std::ostringstream report;
+  report << queue.HealthReport() << "\n"
+         << "faults: injected=" << faults.faults_injected() << "\n";
+  bool complete = queue.pending() == 0 && stats.dead_lettered == 0 &&
+                  stats.delivered == count;
+  report << "storm: count=" << count << " delivered=" << stats.delivered
+         << " pending=" << queue.pending()
+         << " dead-lettered=" << stats.dead_lettered
+         << " complete=" << (complete ? 1 : 0) << "\n";
+  std::cerr << "invalidator_node:\n" << report.str();
+  if (!report_file.empty()) {
+    std::ofstream out(report_file, std::ios::trunc);
+    out << report.str();
+  }
+  return complete ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#ifndef CACHEPORTAL_TOOLS_STORM_H_
+#define CACHEPORTAL_TOOLS_STORM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "http/message.h"
+
+namespace cacheportal::tools {
+
+/// A deterministic invalidation storm: the invalidator_node sends eject
+/// i of seed s, the cache_node records what it applied, and the test
+/// compares against StormOracle — same (seed, count) on both sides means
+/// the applied set is reproducible regardless of which faults fired in
+/// between. Keys are unique per (seed, i), so any duplicate line in the
+/// cache's applied log is a dedup failure, not storm noise.
+
+inline std::string StormUrl(uint64_t seed, uint64_t index) {
+  return StrCat("http://edge/page?id=", seed, "-", index);
+}
+
+inline http::HttpRequest StormEject(uint64_t seed, uint64_t index) {
+  http::HttpRequest message =
+      *http::HttpRequest::Get(StormUrl(seed, index));
+  message.headers.Set("Cache-Control", "eject");
+  return message;
+}
+
+/// The canonical cache key the eject addresses — the line the cache_node
+/// writes to its applied log.
+inline std::string StormKey(uint64_t seed, uint64_t index) {
+  return StormEject(seed, index).ToPageId().CacheKey();
+}
+
+/// Sorted keys a cache must have applied after a storm of `count` ejects.
+inline std::vector<std::string> StormOracle(uint64_t seed, uint64_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) keys.push_back(StormKey(seed, i));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace cacheportal::tools
+
+#endif  // CACHEPORTAL_TOOLS_STORM_H_
