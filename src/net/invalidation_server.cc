@@ -53,7 +53,14 @@ void InvalidationServer::Stop() {
   std::vector<std::thread> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    sessions.swap(sessions_);
+    for (auto& [id, session] : sessions_) {
+      sessions.push_back(std::move(session));
+    }
+    sessions_.clear();
+    for (std::thread& session : finished_sessions_) {
+      sessions.push_back(std::move(session));
+    }
+    finished_sessions_.clear();
   }
   for (std::thread& session : sessions) {
     if (session.joinable()) session.join();
@@ -63,6 +70,7 @@ void InvalidationServer::Stop() {
 void InvalidationServer::AcceptLoop() {
   while (running_.load(std::memory_order_relaxed)) {
     int conn = ::accept(listen_fd_, nullptr, nullptr);
+    ReapFinishedSessions();
     if (conn < 0) {
       if (!running_.load(std::memory_order_relaxed)) break;
       continue;  // Transient accept failure.
@@ -71,11 +79,26 @@ void InvalidationServer::AcceptLoop() {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.sessions_accepted;
     session_fds_.push_back(conn);
-    sessions_.emplace_back([this, conn] { ServeSession(conn); });
+    uint64_t id = next_session_id_++;
+    sessions_.emplace(
+        id, std::thread([this, conn, id] { ServeSession(conn, id); }));
   }
 }
 
-void InvalidationServer::ServeSession(int fd) {
+void InvalidationServer::ReapFinishedSessions() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(finished_sessions_);
+  }
+  // A handle lands in finished_sessions_ as the very last thing its
+  // thread does, so these joins return near-instantly.
+  for (std::thread& session : done) {
+    if (session.joinable()) session.join();
+  }
+}
+
+void InvalidationServer::ServeSession(int fd, uint64_t session_id) {
   std::string buffer;
   char chunk[4096];
   bool hello_done = false;
@@ -111,11 +134,26 @@ void InvalidationServer::ServeSession(int fd) {
     }
     break;  // EOF, idle timeout with an empty buffer, or a read error.
   }
+  {
+    // Drop the fd from the live set BEFORE close(): once closed, the
+    // kernel can hand the same fd number to a new connection, and an
+    // erase-by-value after that would remove the live session's entry
+    // (Stop() would then skip shutting it down, or shutdown() a reused
+    // fd that is no longer ours).
+    std::lock_guard<std::mutex> lock(mu_);
+    session_fds_.erase(
+        std::remove(session_fds_.begin(), session_fds_.end(), fd),
+        session_fds_.end());
+  }
   ::close(fd);
   std::lock_guard<std::mutex> lock(mu_);
-  session_fds_.erase(
-      std::remove(session_fds_.begin(), session_fds_.end(), fd),
-      session_fds_.end());
+  auto self = sessions_.find(session_id);
+  if (self != sessions_.end()) {
+    // Hand our own thread handle to AcceptLoop for joining. When Stop()
+    // already claimed the handle the entry is gone — Stop() joins it.
+    finished_sessions_.push_back(std::move(self->second));
+    sessions_.erase(self);
+  }
 }
 
 bool InvalidationServer::HandleFrame(int fd, const WireFrame& frame,
@@ -175,10 +213,13 @@ bool InvalidationServer::HandleFrame(int fd, const WireFrame& frame,
       }
       {
         // Dedup-then-apply under one lock: two sessions replaying the
-        // same (epoch, seq) must resolve to exactly one apply.
+        // same (epoch, seq) must resolve to exactly one apply. The
+        // ledger advances only AFTER apply_ succeeds — if it advanced
+        // first, a failed apply would leave the high-water mark past
+        // the frame and the client's retry would be duplicate-acked
+        // without ever applying (a silently lost invalidation).
         std::lock_guard<std::mutex> lock(mu_);
-        if (ledger_.Admit(frame.epoch, frame.seq) ==
-            ResumeLedger::Verdict::kApply) {
+        if (frame.seq > ledger_.last_applied(frame.epoch)) {
           Status applied = apply_(frame.payload, frame.epoch, frame.seq);
           if (!applied.ok()) {
             ++stats_.apply_failures;
@@ -191,6 +232,7 @@ bool InvalidationServer::HandleFrame(int fd, const WireFrame& frame,
             SendFrame(fd, error);
             return false;
           }
+          ledger_.Admit(frame.epoch, frame.seq);
           ++stats_.ejects_applied;
         } else {
           // Replay of something already applied (the ack was lost):

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -104,7 +105,12 @@ class InvalidationServer {
                      InvalidationServerOptions options);
 
   void AcceptLoop();
-  void ServeSession(int fd);
+  void ServeSession(int fd, uint64_t session_id);
+  /// Joins session threads that have already finished (ServeSession
+  /// moves its own handle to finished_sessions_ on exit). Called by
+  /// AcceptLoop on every wakeup so reconnect churn cannot accumulate
+  /// unjoined threads for the server's lifetime.
+  void ReapFinishedSessions();
   /// Handles one decoded frame; false ends the session.
   bool HandleFrame(int fd, const WireFrame& frame, bool* hello_done);
   /// Sends a frame through the (optional) fault injector. False when the
@@ -124,7 +130,9 @@ class InvalidationServer {
   mutable std::mutex mu_;
   ResumeLedger ledger_;
   InvalidationServerStats stats_;
-  std::vector<std::thread> sessions_;
+  uint64_t next_session_id_ = 0;
+  std::map<uint64_t, std::thread> sessions_;     // Live, by session id.
+  std::vector<std::thread> finished_sessions_;   // Exited, awaiting join.
   std::vector<int> session_fds_;
 };
 

@@ -152,6 +152,15 @@ Status WireInvalidationClient::Ping() {
       continue;
     }
     if (frame->type == FrameType::kError) {
+      // Same ERROR classification as Deliver(): a version mismatch is
+      // fatal — retrying a peer that speaks a different protocol can
+      // never succeed, so latch it rather than spin on reconnects.
+      if (Contains(frame->payload, "version mismatch")) {
+        fatal_ = Status::NotSupported(
+            StrCat("wire protocol: ", frame->payload));
+        DropConnectionLocked(/*schedule_backoff=*/false);
+        return fatal_;
+      }
       DropConnectionLocked(/*schedule_backoff=*/true);
       return Status::Unavailable(StrCat("wire: ", frame->payload));
     }

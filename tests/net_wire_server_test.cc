@@ -5,10 +5,12 @@
 // protocol-violation cases the well-behaved client cannot produce.
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -190,6 +192,58 @@ TEST(InvalidationServerTest, ReplayedSeqIsAckedWithoutReapply) {
   EXPECT_EQ(stats.ejects_duplicate, 1u);
 }
 
+TEST(InvalidationServerTest, FailedApplyIsNotRecordedAndRetryReapplies) {
+  // The ApplyFn contract: a non-OK return must NOT advance the dedup
+  // ledger, so the client's retry of the same (epoch, seq) is re-applied
+  // rather than duplicate-acked (which would silently lose the eject).
+  std::mutex mu;
+  int calls = 0;
+  auto flaky = [&](const std::string&, uint64_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    return ++calls == 1 ? Status::Internal("cache busy") : Status::OK();
+  };
+  auto server = InvalidationServer::Start(flaky);
+  ASSERT_TRUE(server.ok());
+
+  WireFrame eject;
+  eject.type = FrameType::kEject;
+  eject.epoch = 1;
+  eject.seq = 1;
+  eject.payload = "payload";
+  {
+    RawSession session((*server)->port());
+    ASSERT_TRUE(session.Handshake().has_value());
+    ASSERT_TRUE(session.Send(eject));
+    std::optional<WireFrame> reply = session.Read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::kError);
+    EXPECT_NE(reply->payload.find("apply failed"), std::string::npos);
+    EXPECT_TRUE(session.ServerClosed());
+  }
+  // The failed seq is not in the ledger: the retry must apply.
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(1), 0u);
+  {
+    RawSession retry((*server)->port());
+    std::optional<WireFrame> hello_ack = retry.Handshake();
+    ASSERT_TRUE(hello_ack.has_value());
+    EXPECT_EQ(hello_ack->seq, 0u);  // Resume point excludes the failure.
+    ASSERT_TRUE(retry.Send(eject));
+    std::optional<WireFrame> ack = retry.Read();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->type, FrameType::kAck);
+    EXPECT_EQ(ack->seq, 1u);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(calls, 2);
+  }
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.apply_failures, 1u);
+  EXPECT_EQ(stats.ejects_applied, 1u);
+  EXPECT_EQ(stats.ejects_duplicate, 0u);
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(1), 1u);
+}
+
 TEST(InvalidationServerTest, HelloAckCarriesResumePoint) {
   ApplyLog log;
   InvalidationServerOptions options;
@@ -368,6 +422,65 @@ TEST(InvalidationServerTest, StaleEpochEjectIsRejected) {
   EXPECT_NE(reply->payload.find("stale epoch"), std::string::npos);
   EXPECT_EQ((*server)->stats().stale_epoch_frames, 1u);
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(WireClientTest, PingLatchesFatalOnVersionMismatchError) {
+  // A hand-rolled server that handshakes cleanly, then answers the first
+  // heartbeat with an ERROR carrying "version mismatch" (a mid-session
+  // downgrade). Ping must latch this as fatal exactly like Deliver and
+  // ConnectLocked do — retrying a peer speaking another protocol can
+  // never succeed.
+  auto listener = BindLoopbackListener(/*port=*/0, /*backlog=*/1);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([fd = listener->fd] {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) return;
+    std::string buffer;
+    char chunk[4096];
+    auto read_frame = [&]() -> std::optional<WireFrame> {
+      while (true) {
+        DecodeResult decoded = DecodeFrame(buffer);
+        if (decoded.outcome == DecodeOutcome::kFrame) {
+          buffer.erase(0, decoded.consumed);
+          return decoded.frame;
+        }
+        if (decoded.outcome == DecodeOutcome::kCorrupt) return std::nullopt;
+        ssize_t n = ::read(conn, chunk, sizeof(chunk));
+        if (n <= 0) return std::nullopt;
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+    };
+    if (read_frame().has_value()) {  // HELLO.
+      WireFrame hello_ack;
+      hello_ack.type = FrameType::kHelloAck;
+      hello_ack.epoch = 1;
+      hello_ack.payload = EncodeHelloAckPayload(kWireProtocolVersion);
+      WriteAllBytes(conn, EncodeFrame(hello_ack));
+      if (read_frame().has_value()) {  // HEARTBEAT.
+        WireFrame error;
+        error.type = FrameType::kError;
+        error.payload = "version mismatch: server speaks 2";
+        WriteAllBytes(conn, EncodeFrame(error));
+      }
+    }
+    ::close(conn);
+  });
+
+  ManualClock clock;
+  WireClientOptions options;
+  options.port = listener->port;
+  options.io_timeout = 2 * kMicrosPerSecond;
+  WireInvalidationClient client(&clock, options);
+  Status ping = client.Ping();
+  ASSERT_FALSE(ping.ok());
+  EXPECT_TRUE(ping.IsNotSupported());
+  EXPECT_FALSE(client.connected());
+  // Latched: every later call fails fatally WITHOUT reconnecting.
+  EXPECT_TRUE(client.Ping().IsNotSupported());
+  EXPECT_TRUE(client.Deliver("k", "payload").IsNotSupported());
+  EXPECT_EQ(client.connects(), 1u);
+  server.join();
+  ::close(listener->fd);
 }
 
 TEST(InvalidationServerTest, SlowLorisPartialFrameTimesOutQuietly) {
