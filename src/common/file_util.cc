@@ -1,6 +1,7 @@
 #include "common/file_util.h"
 
 #include <array>
+#include <cstring>
 #include <memory>
 
 namespace cacheportal {
@@ -8,29 +9,61 @@ namespace cacheportal {
 namespace {
 
 /// Table-driven CRC-32 (IEEE, reflected: polynomial 0xEDB88320), the
-/// same function zlib's crc32() computes.
-const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
+/// same function zlib's crc32() computes — with the slicing-by-8
+/// variant's 8 derived tables so the hot loop eats 8 bytes per step
+/// instead of 1. Table 0 alone is the classic byte-at-a-time table
+/// (used for the tail); table j maps "what does this byte contribute
+/// j positions later", which is what lets 8 lookups replace 8
+/// dependent iterations. Identical output to the 1-byte loop.
+const std::array<std::array<uint32_t, 256>, 8>& CrcTables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<uint32_t, 256>, 8> t{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int j = 1; j < 8; ++j) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[j][i] = c;
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
 }
 
 }  // namespace
 
 uint32_t Crc32(std::string_view data, uint32_t crc) {
-  const auto& table = CrcTable();
+  const auto& t = CrcTables();
   crc = ~crc;
-  for (unsigned char byte : data) {
-    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  // 8 bytes per step. The two 32-bit loads are little-endian reads of
+  // the stream (memcpy: alignment-safe), matching the reflected
+  // polynomial's bit order — same assumption the wire format itself
+  // makes (all integers little-endian).
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    crc ^= lo;
+    crc = t[7][crc & 0xFF] ^ t[6][(crc >> 8) & 0xFF] ^
+          t[5][(crc >> 16) & 0xFF] ^ t[4][crc >> 24] ^ t[3][hi & 0xFF] ^
+          t[2][(hi >> 8) & 0xFF] ^ t[1][(hi >> 16) & 0xFF] ^
+          t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
   }
   return ~crc;
 }

@@ -1,0 +1,65 @@
+#include "core/delivery_router.h"
+
+#include "common/strings.h"
+
+namespace cacheportal::core {
+
+uint64_t HashRing::Hash(std::string_view bytes) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void HashRing::AddNode(const std::string& name) {
+  size_t index = names_.size();
+  names_.push_back(name);
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    ring_[Hash(StrCat(name, "#", i))] = index;
+  }
+}
+
+std::string HashRing::NodeFor(std::string_view key) const {
+  if (ring_.empty()) return "";
+  auto it = ring_.lower_bound(Hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the circle.
+  return names_[it->second];
+}
+
+void DeliveryRouter::AddPeer(invalidator::InvalidationSink* sink,
+                             const std::string& name,
+                             ReliableDeliveryQueue::FlushFn flush) {
+  ring_.AddNode(name);
+  peer_names_.push_back(name);
+  queue_->AddSink(sink, name, std::move(flush));
+}
+
+Status DeliveryRouter::SendInvalidation(const http::HttpRequest& eject_message,
+                                        const std::string& cache_key) {
+  std::string peer = ring_.NodeFor(cache_key);
+  if (peer.empty()) {
+    return Status::InvalidArgument("DeliveryRouter has no peers");
+  }
+  ++routed_[peer];
+  ++routed_total_;
+  return queue_->SendInvalidationTo(peer, eject_message, cache_key);
+}
+
+uint64_t DeliveryRouter::routed_to(const std::string& name) const {
+  auto it = routed_.find(name);
+  return it == routed_.end() ? 0 : it->second;
+}
+
+std::string DeliveryRouter::HealthReport() const {
+  std::string report = StrCat("router: peers=", peer_names_.size(),
+                              " routed=", routed_total_);
+  for (const std::string& name : peer_names_) {
+    report += StrCat(" ", name, "=", routed_to(name));
+  }
+  report += StrCat("\n", queue_->HealthReport());
+  return report;
+}
+
+}  // namespace cacheportal::core

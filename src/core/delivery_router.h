@@ -1,0 +1,103 @@
+#ifndef CACHEPORTAL_CORE_DELIVERY_ROUTER_H_
+#define CACHEPORTAL_CORE_DELIVERY_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/reliable_delivery.h"
+#include "invalidator/invalidator.h"
+
+namespace cacheportal::core {
+
+/// Consistent-hash ring over named nodes. Each node is planted at
+/// `virtual_nodes` pseudo-random points on a 64-bit circle; a key maps
+/// to the first node point at or clockwise after its own hash. Adding or
+/// removing one node therefore remaps only ~1/N of the keyspace — the
+/// property that lets a cache fleet grow without a global reshuffle.
+///
+/// Hashing is FNV-1a 64 (not std::hash, whose value is implementation-
+/// defined): two processes that build a ring from the same node names in
+/// any order agree on every key's owner. That determinism is load-bearing
+/// — the multi-process fan-out test recomputes each node's expected key
+/// set on the verifying side.
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 64)
+      : virtual_nodes_(virtual_nodes < 1 ? 1 : virtual_nodes) {}
+
+  /// Plants `name` on the ring. Duplicate names collapse onto the same
+  /// points (the ring is a set of (point, name) pairs).
+  void AddNode(const std::string& name);
+
+  /// The owning node for `key`, or empty if the ring has no nodes.
+  std::string NodeFor(std::string_view key) const;
+
+  size_t node_count() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// FNV-1a 64-bit — deterministic across processes and platforms.
+  static uint64_t Hash(std::string_view bytes);
+
+ private:
+  int virtual_nodes_;
+  std::vector<std::string> names_;
+  // point on the circle -> index into names_.
+  std::map<uint64_t, size_t> ring_;
+};
+
+/// Fans invalidations out across many cache nodes: each cache key is
+/// routed by consistent hash to exactly one peer's ReliableDeliveryQueue
+/// sink, so N caches each hold (and each invalidate) ~1/N of the
+/// keyspace. This is the paper's single-invalidator/many-caches topology
+/// (Figure 1 positions A-D) scaled horizontally: the invalidator computes
+/// staleness once and the router decides which wire carries each eject.
+///
+/// The router is itself an InvalidationSink, so it drops into the same
+/// slot a single WireCacheSink occupies — the invalidator pipeline does
+/// not know the fleet exists. Reliability (retries, breakers, batching)
+/// stays in the underlying queue; the router only chooses the lane.
+class DeliveryRouter : public invalidator::InvalidationSink,
+                       public invalidator::ObservableSink {
+ public:
+  /// `queue` is not owned and must outlive the router.
+  explicit DeliveryRouter(ReliableDeliveryQueue* queue,
+                          int virtual_nodes = 64)
+      : queue_(queue), ring_(virtual_nodes) {}
+
+  /// Registers a peer: plants `name` on the ring and adds `sink` to the
+  /// underlying queue under that name. Call before any SendInvalidation.
+  void AddPeer(invalidator::InvalidationSink* sink, const std::string& name,
+               ReliableDeliveryQueue::FlushFn flush = nullptr);
+
+  /// The peer that owns `cache_key` (empty if no peers registered).
+  std::string PeerFor(const std::string& cache_key) const {
+    return ring_.NodeFor(cache_key);
+  }
+
+  /// Routes the eject to its owning peer's delivery queue.
+  Status SendInvalidation(const http::HttpRequest& eject_message,
+                          const std::string& cache_key) override;
+
+  /// Messages routed to `name` so far (0 for unknown names).
+  uint64_t routed_to(const std::string& name) const;
+  uint64_t routed_total() const { return routed_total_; }
+
+  // ObservableSink: backlog and health delegate to the delivery queue,
+  // prefixed with the per-peer routing split.
+  size_t PendingBacklog() const override { return queue_->pending(); }
+  std::string HealthReport() const override;
+
+ private:
+  ReliableDeliveryQueue* queue_;
+  HashRing ring_;
+  std::vector<std::string> peer_names_;  // AddPeer order.
+  std::map<std::string, uint64_t> routed_;
+  uint64_t routed_total_ = 0;
+};
+
+}  // namespace cacheportal::core
+
+#endif  // CACHEPORTAL_CORE_DELIVERY_ROUTER_H_

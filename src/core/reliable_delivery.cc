@@ -38,9 +38,33 @@ void ReliableDeliveryQueue::AddSink(invalidator::InvalidationSink* sink,
                                     std::string name, FlushFn flush) {
   SinkState state;
   state.sink = sink;
+  state.batch = dynamic_cast<invalidator::BatchInvalidationSink*>(sink);
+  if (state.batch != nullptr && !state.batch->BatchingEnabled()) {
+    state.batch = nullptr;
+  }
   state.name = std::move(name);
   state.flush = std::move(flush);
   sinks_.push_back(std::move(state));
+}
+
+void ReliableDeliveryQueue::EnqueueLocked(
+    SinkState& state, const http::HttpRequest& eject_message,
+    const std::string& cache_key, Micros now) {
+  ++stats_.enqueued;
+  PendingMessage message;
+  message.request = eject_message;
+  message.cache_key = cache_key;
+  message.first_attempt = now;
+  if (!state.queue.empty() || BatchEligible(state)) {
+    // Backlogged: keep per-sink FIFO order rather than letting a fresh
+    // message overtake queued ones. Batch-eligible sinks always defer to
+    // Pump() so consecutive sends coalesce into one flush instead of
+    // paying a transport round trip each.
+    message.next_retry = now;
+    state.queue.push_back(std::move(message));
+    return;
+  }
+  Attempt(state, std::move(message), /*is_retry=*/false);
 }
 
 Status ReliableDeliveryQueue::SendInvalidation(
@@ -61,21 +85,31 @@ Status ReliableDeliveryQueue::SendInvalidation(
       ++stats_.dead_lettered;
       continue;
     }
-    ++stats_.enqueued;
-    PendingMessage message;
-    message.request = eject_message;
-    message.cache_key = cache_key;
-    message.first_attempt = now;
-    if (!state.queue.empty()) {
-      // The sink is already backlogged: keep per-sink FIFO order rather
-      // than letting a fresh message overtake queued ones. It becomes
-      // eligible on the next Pump() after the head clears.
-      message.next_retry = now;
-      state.queue.push_back(std::move(message));
-      continue;
-    }
-    Attempt(state, std::move(message), /*is_retry=*/false);
+    EnqueueLocked(state, eject_message, cache_key, now);
   }
+  return Status::OK();
+}
+
+Status ReliableDeliveryQueue::SendInvalidationTo(
+    const std::string& sink_name, const http::HttpRequest& eject_message,
+    const std::string& cache_key) {
+  SinkState* state = FindSink(sink_name);
+  if (state == nullptr) {
+    return Status::InvalidArgument(
+        StrCat("SendInvalidationTo: unknown sink '", sink_name, "'"));
+  }
+  Micros now = clock_->NowMicros();
+  if (state->quarantined) {
+    ++stats_.dead_lettered;
+    return Status::OK();
+  }
+  MaybeHalfOpen(*state, now);
+  if (state->breaker == BreakerState::kOpen) {
+    ++stats_.breaker_rejections;
+    ++stats_.dead_lettered;
+    return Status::OK();
+  }
+  EnqueueLocked(*state, eject_message, cache_key, now);
   return Status::OK();
 }
 
@@ -246,6 +280,98 @@ void ReliableDeliveryQueue::CloseBreakerAfterProbe(SinkState& state) {
                     "until reinstated"));
 }
 
+size_t ReliableDeliveryQueue::FlushBatch(SinkState& state, Micros now,
+                                         bool* keep_going) {
+  // Pop every due message up to batch_max; the batch is sent as one
+  // transport operation and confirmed as a prefix.
+  std::vector<PendingMessage> batch;
+  size_t cap = static_cast<size_t>(std::max(options_.batch_max, 1));
+  while (batch.size() < cap && !state.queue.empty() &&
+         state.queue.front().next_retry <= now) {
+    batch.push_back(std::move(state.queue.front()));
+    state.queue.pop_front();
+  }
+  if (batch.empty()) {
+    *keep_going = false;
+    return 0;
+  }
+  ++stats_.batch_flushes;
+  stats_.batched_messages += batch.size();
+  std::vector<invalidator::BatchItem> items;
+  items.reserve(batch.size());
+  for (PendingMessage& message : batch) {
+    ++stats_.attempts;
+    if (message.attempts > 0) ++stats_.retries;
+    ++message.attempts;
+    items.push_back({&message.request, &message.cache_key});
+  }
+  invalidator::BatchSendResult sent =
+      state.batch->SendInvalidationBatch(items);
+  size_t confirmed = std::min(sent.confirmed, batch.size());
+  for (size_t i = 0; i < confirmed; ++i) {
+    ++stats_.delivered;
+    if (batch[i].attempts == 1) ++stats_.delivered_first_try;
+  }
+  if (confirmed == batch.size()) {
+    state.consecutive_failures = 0;
+    *keep_going = true;
+    return confirmed;
+  }
+  *keep_going = false;
+  size_t remainder = batch.size() - confirmed;
+  // The head of the unconfirmed suffix owns the failure: it is the
+  // message the sink stopped at, so the escalation rules that Attempt()
+  // applies per message apply to it, and the rest ride along (they were
+  // never individually refused).
+  Status cause = sent.status.ok()
+                     ? Status::Unavailable(
+                           "batch sink confirmed only a prefix")
+                     : sent.status;
+  now = clock_->NowMicros();
+  if (IsFatalDeliveryError(cause)) {
+    LogMessage(LogLevel::kWarning,
+               StrCat("batch delivery to sink '", state.name,
+                      "' hit a fatal error at '",
+                      batch[confirmed].cache_key,
+                      "'; dead-lettering without retries (",
+                      cause.ToString(), ")"));
+    stats_.dead_lettered += remainder;
+    ++stats_.fatal_dead_letters;  // The message the fatal error named.
+    Escalate(state);
+    return confirmed;
+  }
+  if (options_.breaker_failure_threshold > 0) {
+    ++state.consecutive_failures;
+    if (state.consecutive_failures >= options_.breaker_failure_threshold) {
+      stats_.dead_lettered += remainder;  // Tripping batch remainder.
+      OpenBreaker(state);
+      return confirmed;
+    }
+  }
+  PendingMessage& head = batch[confirmed];
+  bool deadline_passed =
+      options_.delivery_deadline > 0 &&
+      now - head.first_attempt >= options_.delivery_deadline;
+  if (head.attempts >= options_.max_attempts || deadline_passed) {
+    LogMessage(LogLevel::kWarning,
+               StrCat("batch delivery to sink '", state.name,
+                      "' gave up on '", head.cache_key, "' after ",
+                      head.attempts, " attempts (", cause.ToString(), ")"));
+    stats_.dead_lettered += remainder;
+    Escalate(state);
+    return confirmed;
+  }
+  // Requeue the unconfirmed suffix at the FRONT in original order so the
+  // per-sink FIFO holds; the whole suffix shares the head's backoff (it
+  // travels in the head's next batch anyway).
+  Micros next_retry = now + BackoffAfter(head.attempts);
+  for (size_t i = batch.size(); i-- > confirmed;) {
+    batch[i].next_retry = next_retry;
+    state.queue.push_front(std::move(batch[i]));
+  }
+  return confirmed;
+}
+
 size_t ReliableDeliveryQueue::Pump() {
   size_t delivered = 0;
   Micros now = clock_->NowMicros();
@@ -255,6 +381,19 @@ size_t ReliableDeliveryQueue::Pump() {
     // Pump still advances it toward half-open as time passes.
     MaybeHalfOpen(state, now);
     if (state.breaker == BreakerState::kOpen) continue;
+    if (BatchEligible(state) && state.breaker != BreakerState::kHalfOpen) {
+      // Batched drain: up to batch_max messages per transport operation.
+      // Half-open probes stay single-message (below) so a recovering
+      // sink is tested with one message, not a whole batch.
+      bool keep_going = true;
+      while (keep_going) {
+        delivered += FlushBatch(state, now, &keep_going);
+        if (state.quarantined || state.breaker != BreakerState::kClosed) {
+          break;
+        }
+      }
+      continue;
+    }
     while (!state.queue.empty() && state.queue.front().next_retry <= now) {
       PendingMessage message = std::move(state.queue.front());
       state.queue.pop_front();

@@ -34,6 +34,14 @@ struct DeliveryOptions {
   /// dead-lettered even if attempts remain. 0 disables the deadline.
   Micros delivery_deadline = 60 * kMicrosPerSecond;
 
+  /// Most queued messages drained per flush through a batch-capable
+  /// sink's SendInvalidationBatch (invalidator::BatchInvalidationSink).
+  /// 1 disables batching entirely; sinks without the capability always
+  /// use the single-message path. For batch-capable sinks, enqueues
+  /// defer to Pump() instead of attempting inline, so consecutive sends
+  /// coalesce into one transport operation.
+  int batch_max = 64;
+
   /// Consecutive failed attempts (across messages) that trip the sink's
   /// circuit breaker. While the breaker is open no attempts are made at
   /// all — no retry/backoff churn against a sink that is plainly down —
@@ -76,6 +84,8 @@ struct DeliveryStats {
   uint64_t breaker_probes = 0;        // Half-open delivery attempts.
   uint64_t breaker_recoveries = 0;    // Successful probes (-> closed).
   uint64_t breaker_rejections = 0;    // Messages refused while open.
+  uint64_t batch_flushes = 0;         // Batch transport operations made.
+  uint64_t batched_messages = 0;      // Messages those flushes carried.
 };
 
 /// At-least-once delivery in front of fire-and-forget invalidation sinks
@@ -148,6 +158,14 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
   Status SendInvalidation(const http::HttpRequest& eject_message,
                           const std::string& cache_key) override;
 
+  /// Targeted send: same contract as SendInvalidation but for the one
+  /// named sink — the primitive a partitioning router (DeliveryRouter)
+  /// builds fan-out on, with each message owed to exactly one peer.
+  /// kInvalidArgument for unknown names.
+  Status SendInvalidationTo(const std::string& sink_name,
+                            const http::HttpRequest& eject_message,
+                            const std::string& cache_key);
+
   /// Retries every message whose backoff has elapsed (per the clock) and
   /// applies deadline/attempt escalation. Returns messages delivered.
   size_t Pump();
@@ -204,6 +222,9 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
 
   struct SinkState {
     invalidator::InvalidationSink* sink = nullptr;
+    /// Non-null when the sink advertises batch capability (resolved once
+    /// at AddSink); Pump() then drains it batch_max messages per flush.
+    invalidator::BatchInvalidationSink* batch = nullptr;
     std::string name;
     FlushFn flush;
     bool quarantined = false;
@@ -223,6 +244,23 @@ class ReliableDeliveryQueue : public invalidator::InvalidationSink,
   /// One delivery attempt; queues/escalates on failure. Returns true if
   /// the sink acked.
   bool Attempt(SinkState& state, PendingMessage message, bool is_retry);
+
+  /// True when `state` should coalesce queued messages into batch sends.
+  bool BatchEligible(const SinkState& state) const {
+    return state.batch != nullptr && options_.batch_max > 1;
+  }
+
+  /// Enqueues one message for `state` (the per-sink body of the Send*
+  /// entry points): immediate attempt when the sink is idle and not
+  /// batch-eligible, FIFO append otherwise.
+  void EnqueueLocked(SinkState& state, const http::HttpRequest& eject_message,
+                     const std::string& cache_key, Micros now);
+
+  /// Drains up to batch_max due messages from `state`'s queue head
+  /// through its batch sink. Returns messages confirmed; *keep_going is
+  /// false when the flush did not fully succeed (the caller stops
+  /// draining this sink).
+  size_t FlushBatch(SinkState& state, Micros now, bool* keep_going);
 
   /// Dead-letters `state`'s entire queue and applies the configured
   /// escalation.

@@ -103,11 +103,53 @@ Status WireCacheSink::SendInvalidation(const http::HttpRequest& eject_message,
       StrCat("eject answered status ", response->status_code));
 }
 
+invalidator::BatchSendResult WireCacheSink::SendInvalidationBatch(
+    const std::vector<invalidator::BatchItem>& items) {
+  if (!framed_batch_transport_) {
+    // Fallback for completeness: sequential sends, stopping at the
+    // first failure so the confirmation stays a prefix. (The delivery
+    // queue never takes this path — BatchingEnabled() is false.)
+    invalidator::BatchSendResult result;
+    for (const invalidator::BatchItem& item : items) {
+      Status sent = SendInvalidation(*item.eject_message, *item.cache_key);
+      if (!sent.ok()) {
+        result.status = sent;
+        return result;
+      }
+      ++result.confirmed;
+    }
+    return result;
+  }
+  ++batch_sends_;
+  messages_sent_ += items.size();
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(items.size());
+  for (const invalidator::BatchItem& item : items) {
+    entries.emplace_back(*item.cache_key, item.eject_message->Serialize());
+  }
+  invalidator::BatchSendResult result = framed_batch_transport_(entries);
+  if (result.confirmed > items.size()) result.confirmed = items.size();
+  ejections_confirmed_ += result.confirmed;
+  size_t unconfirmed = items.size() - result.confirmed;
+  if (unconfirmed > 0) {
+    ejections_failed_ += unconfirmed;
+    if (result.status.IsNotSupported() || result.status.IsParseError() ||
+        result.status.IsInvalidArgument()) {
+      ejections_fatal_ += unconfirmed;
+    }
+    LogMessage(LogLevel::kWarning,
+               StrCat("framed batch of ", items.size(), " confirmed only ",
+                      result.confirmed, ": ", result.status.ToString()));
+  }
+  return result;
+}
+
 std::string WireCacheSink::HealthReport() const {
   std::string report =
       StrCat("wire-sink: sent=", messages_sent_,
              " confirmed=", ejections_confirmed_,
-             " failed=", ejections_failed_, " fatal=", ejections_fatal_);
+             " failed=", ejections_failed_, " fatal=", ejections_fatal_,
+             " batch-sends=", batch_sends_);
   if (health_) report += StrCat(" | ", health_());
   return report;
 }

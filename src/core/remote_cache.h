@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cache/page_cache.h"
 #include "core/caching_proxy.h"
@@ -61,7 +63,8 @@ class RemoteCacheEndpoint {
 /// queue dead-letters immediately. 404 counts as success (the page is
 /// not cached — the idempotent-redelivery case).
 class WireCacheSink : public invalidator::InvalidationSink,
-                      public invalidator::ObservableSink {
+                      public invalidator::ObservableSink,
+                      public invalidator::BatchInvalidationSink {
  public:
   /// Raw request bytes in, raw response bytes out. An empty response
   /// means the message was lost (dropped connection).
@@ -76,6 +79,15 @@ class WireCacheSink : public invalidator::InvalidationSink,
   /// core from naming net types, so the wiring happens in tools/tests).
   using FramedTransport = std::function<Status(
       const std::string& eject_bytes, const std::string& cache_key)>;
+
+  /// Batch counterpart of FramedTransport: (key, serialized eject)
+  /// pairs in FIFO order, confirmed-prefix-plus-status back — typically
+  /// a closure over net::WireInvalidationClient::DeliverBatch. Only
+  /// sinks constructed with one advertise BatchingEnabled(), so legacy
+  /// wirings keep the exact single-message delivery path.
+  using FramedBatchTransport = std::function<invalidator::BatchSendResult(
+      const std::vector<std::pair<std::string, std::string>>&
+          keys_and_ejects)>;
 
   /// One diagnostic line describing the peer connection (e.g. the wire
   /// client's HealthReport); optional, surfaces in StatsReport().
@@ -97,11 +109,30 @@ class WireCacheSink : public invalidator::InvalidationSink,
   explicit WireCacheSink(FramedTransport transport, HealthFn health = nullptr)
       : framed_transport_(std::move(transport)), health_(std::move(health)) {}
 
+  /// Same, plus a batch path: the delivery queue's batch drain goes
+  /// through `batch` while single probes/sends still use `transport`.
+  WireCacheSink(FramedTransport transport, FramedBatchTransport batch,
+                HealthFn health = nullptr)
+      : framed_transport_(std::move(transport)),
+        framed_batch_transport_(std::move(batch)),
+        health_(std::move(health)) {}
+
   Status SendInvalidation(const http::HttpRequest& eject_message,
                           const std::string& cache_key) override;
 
+  // BatchInvalidationSink: delegates to the batch transport when one was
+  // provided, otherwise falls back to sequential SendInvalidation calls
+  // (stopping at the first failure, so confirmation stays a prefix).
+  invalidator::BatchSendResult SendInvalidationBatch(
+      const std::vector<invalidator::BatchItem>& items) override;
+  bool BatchingEnabled() const override {
+    return framed_batch_transport_ != nullptr;
+  }
+
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t ejections_confirmed() const { return ejections_confirmed_; }
+  /// Batch transport operations performed (each covering many messages).
+  uint64_t batch_sends() const { return batch_sends_; }
   /// Ejects whose response was missing, unparseable, or an unexpected
   /// status — deliveries that must be retried or escalated.
   uint64_t ejections_failed() const { return ejections_failed_; }
@@ -118,11 +149,13 @@ class WireCacheSink : public invalidator::InvalidationSink,
  private:
   Transport transport_;
   FramedTransport framed_transport_;
+  FramedBatchTransport framed_batch_transport_;
   HealthFn health_;
   uint64_t messages_sent_ = 0;
   uint64_t ejections_confirmed_ = 0;
   uint64_t ejections_failed_ = 0;
   uint64_t ejections_fatal_ = 0;
+  uint64_t batch_sends_ = 0;
 };
 
 }  // namespace cacheportal::core

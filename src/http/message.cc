@@ -62,27 +62,50 @@ PageId HttpRequest::ToPageId() const {
 }
 
 std::string HttpRequest::Serialize() const {
-  std::string target = path;
+  // Single-buffer append: one serialization per eject per delivery
+  // attempt makes this the invalidation wire's hottest function, so
+  // everything goes into one reserved string — no StrCat temporaries.
   std::string query = BuildQueryString(get_params);
+  const bool form_post = method == Method::kPost && !post_params.empty();
+  std::string payload = form_post ? BuildQueryString(post_params) : body;
+  std::string cookie_line =
+      cookies.empty() ? std::string() : BuildCookieString(cookies);
+
+  std::string out;
+  size_t size = 96 + path.size() + query.size() + host.size() +
+                cookie_line.size() + payload.size();
+  for (const auto& [name, value] : headers.entries()) {
+    size += name.size() + value.size() + 4;
+  }
+  out.reserve(size);
+  out += MethodName(method);
+  out += ' ';
+  out += path;
   if (!query.empty()) {
-    target += '?';
-    target += query;
+    out += '?';
+    out += query;
   }
-  std::string out = StrCat(MethodName(method), " ", target, " HTTP/1.1\r\n");
-  out += StrCat("Host: ", host, "\r\n");
-  if (!cookies.empty()) {
-    out += StrCat("Cookie: ", BuildCookieString(cookies), "\r\n");
+  out += " HTTP/1.1\r\nHost: ";
+  out += host;
+  out += "\r\n";
+  if (!cookie_line.empty()) {
+    out += "Cookie: ";
+    out += cookie_line;
+    out += "\r\n";
   }
-  std::string payload = body;
-  if (method == Method::kPost && !post_params.empty()) {
-    payload = BuildQueryString(post_params);
+  if (form_post) {
     out += "Content-Type: application/x-www-form-urlencoded\r\n";
   }
   for (const auto& [name, value] : headers.entries()) {
-    out += StrCat(name, ": ", value, "\r\n");
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
   }
   if (!payload.empty()) {
-    out += StrCat("Content-Length: ", payload.size(), "\r\n");
+    out += "Content-Length: ";
+    out += std::to_string(payload.size());
+    out += "\r\n";
   }
   out += "\r\n";
   out += payload;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "http/message.h"
@@ -31,6 +32,45 @@ class InvalidationSink {
 
   virtual Status SendInvalidation(const http::HttpRequest& eject_message,
                                   const std::string& cache_key) = 0;
+};
+
+/// One entry of a batch send: borrowed pointers into the caller's
+/// pending messages (valid for the duration of the call only).
+struct BatchItem {
+  const http::HttpRequest* eject_message = nullptr;
+  const std::string* cache_key = nullptr;
+};
+
+/// What a batch send achieved. The sink confirmed the first `confirmed`
+/// items (in call order) — each with the same "acked downstream"
+/// meaning as a successful SendInvalidation — and `status` explains the
+/// first unconfirmed one (it is ignored when everything confirmed). The
+/// retryable-vs-fatal taxonomy is unchanged: kUnavailable earns the
+/// remainder a retry, kNotSupported/kParseError/kInvalidArgument
+/// dead-letter it.
+struct BatchSendResult {
+  size_t confirmed = 0;
+  Status status = Status::OK();
+};
+
+/// Optional capability of an InvalidationSink: amortized delivery of
+/// many ejects per transport operation (e.g. the pipelined invalidation
+/// wire's EJECT_BATCH frames). core::ReliableDeliveryQueue discovers it
+/// by dynamic_cast and, when BatchingEnabled(), drains up to batch_max
+/// queued messages per flush through SendInvalidationBatch instead of
+/// one SendInvalidation at a time. Items arrive in the sink's FIFO
+/// order; a partial confirmation MUST be a prefix (the queue requeues
+/// the unconfirmed suffix in order, preserving per-sink FIFO).
+class BatchInvalidationSink {
+ public:
+  virtual ~BatchInvalidationSink() = default;
+
+  virtual BatchSendResult SendInvalidationBatch(
+      const std::vector<BatchItem>& items) = 0;
+
+  /// Lets an adapter implement the interface unconditionally but opt in
+  /// per instance (e.g. only when constructed with a batch transport).
+  virtual bool BatchingEnabled() const { return true; }
 };
 
 /// Optional capability of an InvalidationSink: delivery health the

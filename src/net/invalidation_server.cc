@@ -76,6 +76,9 @@ void InvalidationServer::AcceptLoop() {
       continue;  // Transient accept failure.
     }
     SetSocketIoTimeout(conn, options_.io_timeout);
+    // Acks are tiny; Nagle would hold each one hostage to the previous
+    // ack's round trip and stall the client's pipeline window.
+    SetTcpNoDelay(conn);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.sessions_accepted;
     session_fds_.push_back(conn);
@@ -247,6 +250,68 @@ bool InvalidationServer::HandleFrame(int fd, const WireFrame& frame,
       ack.seq = frame.seq;
       return SendFrame(fd, ack);
     }
+    case FrameType::kEjectBatch: {
+      if (!*hello_done) {
+        Quarantine(fd, "EJECT_BATCH before HELLO");
+        return false;
+      }
+      if (frame.epoch != session_epoch_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.stale_epoch_frames;
+        WireFrame error;
+        error.type = FrameType::kError;
+        error.payload = StrCat("stale epoch ", frame.epoch, " (current ",
+                               session_epoch_, ")");
+        SendFrame(fd, error);
+        return false;
+      }
+      Result<std::vector<std::string_view>> entries =
+          ParseEjectBatchPayload(frame.payload);
+      if (!entries.ok()) {
+        // A malformed batch blob is stream corruption one layer up from
+        // the frame CRC: same quarantine, same loudness.
+        Quarantine(fd, entries.status().ToString());
+        return false;
+      }
+      {
+        // Same dedup-then-apply as kEject, per entry, under ONE lock so
+        // a concurrent session replaying the overlapping run resolves to
+        // exactly one apply per seq. Entry i carries seq base + i; the
+        // ledger advances entry by entry, so a mid-batch apply failure
+        // leaves the applied prefix recorded — the client's replay of
+        // the whole run dedups that prefix and resumes at the failure.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.batch_frames;
+        for (size_t i = 0; i < entries->size(); ++i) {
+          uint64_t seq = frame.seq + i;
+          if (seq <= ledger_.last_applied(frame.epoch)) {
+            ++stats_.ejects_duplicate;
+            continue;
+          }
+          Status applied = apply_((*entries)[i], frame.epoch, seq);
+          if (!applied.ok()) {
+            ++stats_.apply_failures;
+            LogMessage(LogLevel::kWarning,
+                       StrCat("invalidation server: batch apply failed at "
+                              "seq ", seq, ": ", applied.ToString()));
+            WireFrame error;
+            error.type = FrameType::kError;
+            error.payload = StrCat("apply failed: ", applied.ToString());
+            SendFrame(fd, error);
+            // No ack: the cumulative ack would claim the whole run.
+            return false;
+          }
+          ledger_.Admit(frame.epoch, seq);
+          ++stats_.ejects_applied;
+        }
+      }
+      // One cumulative ack covers the run (and everything below it).
+      WireFrame ack;
+      ack.type = FrameType::kAck;
+      ack.epoch = frame.epoch;
+      ack.seq = frame.seq + entries->size() - 1;
+      return SendFrame(fd, ack);
+    }
     case FrameType::kHeartbeat: {
       if (!*hello_done) {
         Quarantine(fd, "HEARTBEAT before HELLO");
@@ -331,6 +396,7 @@ std::string InvalidationServer::HealthReport() const {
                 " hellos=", stats_.hellos_accepted,
                 " applied=", stats_.ejects_applied,
                 " dups=", stats_.ejects_duplicate,
+                " batches=", stats_.batch_frames,
                 " stale-epoch=", stats_.stale_epoch_frames,
                 " quarantined=", stats_.frames_quarantined,
                 " partial-timeouts=", stats_.partial_frame_timeouts,

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -27,6 +28,8 @@ struct InvalidationServerStats {
   uint64_t version_mismatches = 0;   // HELLOs refused: wrong protocol.
   uint64_t ejects_applied = 0;       // Fresh (epoch, seq): apply ran.
   uint64_t ejects_duplicate = 0;     // Replays acked without re-apply.
+  uint64_t batch_frames = 0;         // EJECT_BATCH frames handled (their
+                                     // entries count under applied/dup).
   uint64_t stale_epoch_frames = 0;   // EJECTs for a dead epoch.
   uint64_t heartbeats_answered = 0;
   uint64_t frames_quarantined = 0;   // Corrupt frames: connection killed.
@@ -73,7 +76,11 @@ class InvalidationServer {
   /// be atomic against concurrent sessions — so it must not block on the
   /// network or call back into the server. A non-OK return fails the
   /// session (the frame is NOT recorded as applied; the client retries).
-  using ApplyFn = std::function<Status(const std::string& payload,
+  /// The payload view borrows from the received frame (valid only for
+  /// the duration of the call): batched entries apply straight out of
+  /// the EJECT_BATCH blob with zero per-entry copies, so an ApplyFn
+  /// that keeps the bytes must copy them itself.
+  using ApplyFn = std::function<Status(std::string_view payload,
                                        uint64_t epoch, uint64_t seq)>;
 
   static Result<std::unique_ptr<InvalidationServer>> Start(

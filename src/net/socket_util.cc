@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -62,6 +63,11 @@ void SetSocketIoTimeout(int fd, Micros timeout) {
   tv.tv_usec = static_cast<suseconds_t>(timeout % kMicrosPerSecond);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void SetTcpNoDelay(int fd) {
+  int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
 }
 
 bool WriteAllBytes(int fd, std::string_view bytes) {

@@ -32,6 +32,13 @@ Result<int> ConnectLoopback(uint16_t port);
 /// Applies SO_RCVTIMEO/SO_SNDTIMEO of `timeout` to `fd` (0 disables).
 void SetSocketIoTimeout(int fd, Micros timeout);
 
+/// Disables Nagle (TCP_NODELAY) on `fd`. The invalidation wire sends
+/// many small frames and pipelines without waiting for acks; with Nagle
+/// on, each sub-MSS frame sits in the kernel until the previous one is
+/// acked — turning the pipelined wire back into stop-and-wait and
+/// masking every batching gain (see bench/bench_wire.cc).
+void SetTcpNoDelay(int fd);
+
 /// Writes all of `bytes` to `fd`; false on any error or short write.
 bool WriteAllBytes(int fd, std::string_view bytes);
 

@@ -16,7 +16,7 @@ constexpr size_t kCrcCoveredHeader = 17;
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kError);
+         type <= static_cast<uint8_t>(FrameType::kEjectBatch);
 }
 
 }  // namespace
@@ -111,6 +111,60 @@ Result<uint32_t> ParseHelloAckPayload(const std::string& payload) {
   }
   CACHEPORTAL_ASSIGN_OR_RETURN(uint64_t version, ParseUint64(fields[1]));
   return static_cast<uint32_t>(version);
+}
+
+std::string EncodeEjectBatchPayload(
+    const std::vector<std::string_view>& entries) {
+  std::string out;
+  size_t total = 4;
+  for (std::string_view entry : entries) total += 4 + entry.size();
+  out.reserve(total);
+  PutFixed32(&out, static_cast<uint32_t>(entries.size()));
+  for (std::string_view entry : entries) {
+    PutFixed32(&out, static_cast<uint32_t>(entry.size()));
+    out.append(entry);
+  }
+  return out;
+}
+
+Result<std::vector<std::string_view>> ParseEjectBatchPayload(
+    std::string_view payload) {
+  if (payload.size() < 4) {
+    return Status::ParseError("EJECT_BATCH payload truncated before count");
+  }
+  uint32_t count = GetFixed32(payload.data());
+  if (count == 0) {
+    return Status::ParseError("EJECT_BATCH with zero entries");
+  }
+  if (count > kMaxBatchEntries) {
+    return Status::ParseError(
+        StrCat("absurd EJECT_BATCH count ", count, " (max ",
+               kMaxBatchEntries, ")"));
+  }
+  std::vector<std::string_view> entries;
+  entries.reserve(count);
+  size_t pos = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - pos < 4) {
+      return Status::ParseError(
+          StrCat("EJECT_BATCH truncated at entry ", i, " length"));
+    }
+    uint32_t len = GetFixed32(payload.data() + pos);
+    pos += 4;
+    if (payload.size() - pos < len) {
+      return Status::ParseError(
+          StrCat("EJECT_BATCH truncated inside entry ", i, " (len ", len,
+                 ", remaining ", payload.size() - pos, ")"));
+    }
+    entries.push_back(payload.substr(pos, len));
+    pos += len;
+  }
+  if (pos != payload.size()) {
+    return Status::ParseError(
+        StrCat("EJECT_BATCH has ", payload.size() - pos,
+               " trailing bytes after entry ", count - 1));
+  }
+  return entries;
 }
 
 ResumeLedger::Verdict ResumeLedger::Admit(uint64_t epoch, uint64_t seq) {

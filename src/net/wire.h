@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -33,7 +34,11 @@ namespace cacheportal::net {
 ///   server -> HELLO_ACK {epoch: server session epoch, seq: last acked
 ///                        seq in that epoch; payload "cachewire <v>"}
 ///   client -> EJECT   {epoch, seq, payload: serialized HTTP eject}
-///   server -> ACK     {epoch, seq}   (also for duplicates — idempotent)
+///   client -> EJECT_BATCH {epoch, seq: base_seq, payload: batch blob}
+///                     (entry i of the blob carries implicit seq
+///                      base_seq + i — one contiguous run)
+///   server -> ACK     {epoch, seq}   (CUMULATIVE: confirms every seq
+///                      <= seq in that epoch — also for duplicates)
 ///   client -> HEARTBEAT {seq: counter}; server -> HEARTBEAT_ACK
 ///   either -> ERROR   {payload: reason} then close
 ///
@@ -42,6 +47,15 @@ namespace cacheportal::net {
 /// (epoch, seq) via a ResumeLedger. The server's session epoch bumps on
 /// every process restart, so seqs from a dead incarnation can never
 /// collide with fresh ones.
+///
+/// Cumulative acks are sound because the client streams seqs in
+/// ascending order on every connection, always starting from its lowest
+/// un-acked seq, and a loss on a connection kills every LATER send on it
+/// too (TCP loses suffixes, not middles). The server therefore never
+/// admits seq N before every lower seq it was ever sent, so "high-water
+/// mark reached N" really does mean "everything <= N applied or deduped"
+/// — which is why the per-epoch ResumeLedger needs no change for
+/// batching or pipelining.
 enum class FrameType : uint8_t {
   kHello = 1,
   kHelloAck = 2,
@@ -50,6 +64,7 @@ enum class FrameType : uint8_t {
   kHeartbeat = 5,
   kHeartbeatAck = 6,
   kError = 7,
+  kEjectBatch = 8,
 };
 
 /// Protocol version carried in HELLO/HELLO_ACK payloads. A mismatch is
@@ -106,6 +121,30 @@ Result<HelloInfo> ParseHelloPayload(const std::string& payload);
 /// HELLO_ACK payload: "cachewire <version>".
 std::string EncodeHelloAckPayload(uint32_t version);
 Result<uint32_t> ParseHelloAckPayload(const std::string& payload);
+
+/// Entries one EJECT_BATCH frame may carry. A count above this is
+/// corruption (like kMaxFramePayload for lengths): no conforming sender
+/// builds bigger batches, so an absurd count must not drive allocation.
+inline constexpr uint32_t kMaxBatchEntries = 4096;
+
+/// EJECT_BATCH payload: [count u32] then count x ([len u32][len bytes]).
+/// Entry i carries implicit seq = frame.seq + i; the server answers the
+/// whole frame with ONE cumulative ACK of frame.seq + count - 1.
+/// Encode requires 1..kMaxBatchEntries entries whose total stays under
+/// kMaxFramePayload (the caller chunks; see WireInvalidationClient).
+/// Entries are views: each is copied exactly once, into the blob.
+std::string EncodeEjectBatchPayload(
+    const std::vector<std::string_view>& entries);
+
+/// Strict parse of an EJECT_BATCH payload: every length is bounds-checked
+/// against the remaining bytes BEFORE anything is referenced, the count
+/// must be 1..kMaxBatchEntries, and the entries must consume the payload
+/// exactly (trailing bytes are corruption, not padding). The returned
+/// views borrow from `payload` — they are valid only while the caller
+/// keeps that buffer alive (the server applies entries straight out of
+/// the received frame, so the hot path never copies them).
+Result<std::vector<std::string_view>> ParseEjectBatchPayload(
+    std::string_view payload);
 
 /// The receiver's dedup state: the highest invalidation seq applied per
 /// session epoch. At-least-once delivery means replays are normal (ack

@@ -24,7 +24,8 @@ WireInvalidationClient::WireInvalidationClient(const Clock* clock,
                                                WireClientOptions options)
     : clock_(clock),
       options_(std::move(options)),
-      current_backoff_(options_.reconnect_backoff) {}
+      current_backoff_(options_.reconnect_backoff),
+      backoff_jitter_rng_(options_.backoff_jitter_seed) {}
 
 WireInvalidationClient::~WireInvalidationClient() { Disconnect(); }
 
@@ -63,8 +64,16 @@ Status WireInvalidationClient::Deliver(const std::string& key,
     DropConnectionLocked(/*schedule_backoff=*/true);
     return Status::Unavailable("eject write failed (connection died)");
   }
-  // Await the ack for OUR seq; late acks for earlier sends clear their
-  // own in-flight entries along the way.
+  // Await the cumulative ack covering OUR seq; acks for earlier sends
+  // retire their own in-flight entries along the way.
+  uint64_t acked_high = 0;
+  while (acked_high < seq) {
+    CACHEPORTAL_RETURN_NOT_OK(ReapAckLocked(&acked_high));
+  }
+  return Status::OK();
+}
+
+Status WireInvalidationClient::ReapAckLocked(uint64_t* acked_high) {
   while (true) {
     Result<WireFrame> frame = ReadFrameLocked();
     if (!frame.ok()) {
@@ -75,16 +84,19 @@ Status WireInvalidationClient::Deliver(const std::string& key,
       case FrameType::kAck: {
         if (frame->epoch != epoch_) continue;  // Ack from a dead epoch.
         ++acks_received_;
-        for (auto entry = inflight_.begin(); entry != inflight_.end();
-             ++entry) {
+        // Cumulative: the ack confirms everything at or below its seq,
+        // so retire every covered in-flight assignment, not just an
+        // exact match (a batch run is confirmed by its last seq alone).
+        for (auto entry = inflight_.begin(); entry != inflight_.end();) {
           if (entry->second.epoch == frame->epoch &&
-              entry->second.seq == frame->seq) {
-            inflight_.erase(entry);
-            break;
+              entry->second.seq <= frame->seq) {
+            entry = inflight_.erase(entry);
+          } else {
+            ++entry;
           }
         }
-        if (frame->seq == seq) return Status::OK();
-        continue;
+        *acked_high = std::max(*acked_high, frame->seq);
+        return Status::OK();
       }
       case FrameType::kHeartbeatAck:
         continue;
@@ -119,6 +131,133 @@ Status WireInvalidationClient::Deliver(const std::string& key,
                    static_cast<int>(frame->type), " from server"));
     }
   }
+}
+
+WireBatchResult WireInvalidationClient::DeliverBatch(
+    const std::vector<BatchEntry>& entries) {
+  WireBatchResult result;
+  if (entries.empty()) return result;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fatal_.ok()) {
+    result.status = fatal_;
+    return result;
+  }
+  if (fd_ < 0) {
+    if (clock_->NowMicros() < next_connect_at_) {
+      result.status = Status::Unavailable("reconnect backoff pending");
+      return result;
+    }
+    Status connected = ConnectLocked();
+    if (!connected.ok()) {
+      result.status = connected;
+      return result;
+    }
+  }
+  // Assign (or reuse) a seq per entry, exactly as Deliver() does.
+  const size_t n = entries.size();
+  std::vector<uint64_t> seqs(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto it = inflight_.find(entries[i].key);
+    if (it != inflight_.end() && it->second.epoch == epoch_) {
+      seqs[i] = it->second.seq;
+      ++replays_;
+    } else {
+      seqs[i] = ++last_assigned_seq_;
+      inflight_.insert_or_assign(std::string(entries[i].key),
+                                 Assigned{epoch_, seqs[i]});
+    }
+  }
+  // Stream in ascending-seq order. The FIFO delivery queue already hands
+  // entries that way (replayed heads first, fresh mints after), but the
+  // cumulative-ack invariant — no connection sends a seq before a lower
+  // un-acked one — is load-bearing enough to enforce, not assume: a
+  // higher seq landing first would advance the server's high-water mark
+  // past the lower one, and its replay would be dedup-swallowed without
+  // ever applying.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&seqs](size_t a, size_t b) { return seqs[a] < seqs[b]; });
+
+  const size_t batch_cap = std::max<size_t>(
+      1, std::min<size_t>(options_.batch_max, kMaxBatchEntries));
+  const size_t window_cap = std::max<size_t>(1, options_.window_frames);
+  std::deque<uint64_t> window;  // Last seq of each un-acked frame.
+  uint64_t acked_high = 0;
+  Status failure = Status::OK();
+  size_t pos = 0;
+  while (pos < n) {
+    // The next contiguous-seq run, chunked to batch_cap and the frame
+    // payload cap. Duplicate keys in one call share a seq; the repeat
+    // breaks contiguity, travels as its own frame, and dedups serverside.
+    uint64_t base = seqs[order[pos]];
+    size_t run = 1;
+    size_t bytes = entries[order[pos]].payload.size() + 8;
+    while (pos + run < n && seqs[order[pos + run]] == base + run &&
+           run < batch_cap &&
+           bytes + entries[order[pos + run]].payload.size() + 8 <
+               kMaxFramePayload) {
+      bytes += entries[order[pos + run]].payload.size() + 8;
+      ++run;
+    }
+    // Window control: block for one ack before streaming past the cap.
+    while (failure.ok() && window.size() >= window_cap) {
+      failure = ReapAckLocked(&acked_high);
+      while (!window.empty() && window.front() <= acked_high) {
+        window.pop_front();
+      }
+    }
+    if (!failure.ok()) break;
+    WireFrame frame;
+    frame.epoch = epoch_;
+    frame.seq = base;
+    if (run == 1) {
+      frame.type = FrameType::kEject;
+      frame.payload = entries[order[pos]].payload;
+    } else {
+      frame.type = FrameType::kEjectBatch;
+      // Views straight into the caller's entries: each payload is
+      // copied once, into the blob, and never again per layer.
+      std::vector<std::string_view> payloads;
+      payloads.reserve(run);
+      for (size_t i = 0; i < run; ++i) {
+        payloads.push_back(entries[order[pos + i]].payload);
+      }
+      frame.payload = EncodeEjectBatchPayload(payloads);
+      ++batch_frames_sent_;
+      batched_entries_ += run;
+    }
+    if (!SendBytesLocked(EncodeFrame(frame))) {
+      DropConnectionLocked(/*schedule_backoff=*/true);
+      failure = Status::Unavailable("eject write failed (connection died)");
+      break;
+    }
+    window.push_back(base + run - 1);
+    pos += run;
+  }
+  // Reap the tail of the pipeline: the call blocks until everything it
+  // streamed is acked (or the connection fails), so "confirmed" keeps
+  // the same meaning as a Deliver() OK — just amortized.
+  while (failure.ok() && !window.empty()) {
+    failure = ReapAckLocked(&acked_high);
+    while (!window.empty() && window.front() <= acked_high) {
+      window.pop_front();
+    }
+  }
+  // Confirmed = the leading entries (call order) the cumulative acks
+  // cover; unconfirmed ones keep their assignments for replay.
+  while (result.confirmed < n && seqs[result.confirmed] <= acked_high) {
+    ++result.confirmed;
+  }
+  if (result.confirmed == n) {
+    result.status = Status::OK();
+  } else {
+    result.status =
+        failure.ok()
+            ? Status::Unavailable("batch ended before every ack arrived")
+            : failure;
+  }
+  return result;
 }
 
 Status WireInvalidationClient::Ping() {
@@ -171,25 +310,22 @@ Status WireInvalidationClient::Ping() {
 }
 
 Status WireInvalidationClient::ConnectLocked() {
-  auto schedule = [this] {
-    next_connect_at_ = clock_->NowMicros() + current_backoff_;
-    current_backoff_ =
-        std::min(static_cast<Micros>(static_cast<double>(current_backoff_) *
-                                     options_.backoff_multiplier),
-                 options_.max_backoff);
-  };
   if (options_.faults != nullptr && options_.faults->ShouldPartition()) {
-    schedule();
+    ScheduleBackoffLocked();
     return Status::Unavailable("partition injected: connect refused");
   }
   Result<int> fd = ConnectLoopback(options_.port);
   if (!fd.ok()) {
-    schedule();
+    ScheduleBackoffLocked();
     return fd.status();
   }
   fd_ = *fd;
   read_buffer_.clear();
+  blackholed_ = false;
   SetSocketIoTimeout(fd_, options_.io_timeout);
+  // Nagle would hold each small frame until the previous one is acked —
+  // stop-and-wait reimposed by the kernel, pipelining defeated.
+  SetTcpNoDelay(fd_);
   WireFrame hello;
   hello.type = FrameType::kHello;
   hello.epoch = epoch_;  // Last known server epoch (0 on first contact).
@@ -263,23 +399,40 @@ void WireInvalidationClient::DropConnectionLocked(bool schedule_backoff) {
     fd_ = -1;
   }
   read_buffer_.clear();
-  if (schedule_backoff) {
-    next_connect_at_ = clock_->NowMicros() + current_backoff_;
-    current_backoff_ =
-        std::min(static_cast<Micros>(static_cast<double>(current_backoff_) *
-                                     options_.backoff_multiplier),
-                 options_.max_backoff);
+  blackholed_ = false;
+  if (schedule_backoff) ScheduleBackoffLocked();
+}
+
+void WireInvalidationClient::ScheduleBackoffLocked() {
+  double backoff = static_cast<double>(current_backoff_);
+  if (options_.backoff_jitter > 0.0) {
+    // Seeded +/- jitter (the FaultInjector pattern): many peers backing
+    // off from the same server restart must not reconnect in lockstep.
+    double jitter = (backoff_jitter_rng_.NextDouble() * 2.0 - 1.0) *
+                    options_.backoff_jitter;
+    backoff *= 1.0 + jitter;
   }
+  next_connect_at_ =
+      clock_->NowMicros() + std::max<Micros>(1, static_cast<Micros>(backoff));
+  current_backoff_ =
+      std::min(static_cast<Micros>(static_cast<double>(current_backoff_) *
+                                   options_.backoff_multiplier),
+               options_.max_backoff);
 }
 
 bool WireInvalidationClient::SendBytesLocked(const std::string& bytes) {
+  if (blackholed_) return true;  // Everything after the loss is lost too.
   if (options_.faults != nullptr) {
     if (std::optional<Micros> delay = options_.faults->ShouldDelay()) {
       std::this_thread::sleep_for(std::chrono::microseconds(*delay));
     }
     if (options_.faults->ShouldPartition() || options_.faults->ShouldDrop()) {
-      // Blackholed: "sent" from our side, never arrives. The loss
-      // surfaces as an ack timeout, exactly like a real partition.
+      // Blackholed: "sent" from our side, never arrives — and the latch
+      // makes the loss a SUFFIX of the connection's stream, as real TCP
+      // loss is. A lost middle with delivered successors would let the
+      // server's high-water mark jump the gap and dedup-swallow the
+      // gap's replay. The loss surfaces as an ack timeout.
+      blackholed_ = true;
       return true;
     }
     if (options_.faults->ShouldReset()) {
@@ -360,6 +513,16 @@ uint64_t WireInvalidationClient::corrupt_frames() const {
   return corrupt_frames_;
 }
 
+uint64_t WireInvalidationClient::batch_frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_frames_sent_;
+}
+
+uint64_t WireInvalidationClient::batched_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batched_entries_;
+}
+
 std::string WireInvalidationClient::HealthReport() const {
   std::lock_guard<std::mutex> lock(mu_);
   return StrCat("wire-client: connected=", fd_ >= 0 ? 1 : 0,
@@ -370,6 +533,8 @@ std::string WireInvalidationClient::HealthReport() const {
                 " inflight=", inflight_.size(),
                 " heartbeats=", heartbeats_sent_,
                 " corrupt-frames=", corrupt_frames_,
+                " batch-frames=", batch_frames_sent_,
+                " batched-entries=", batched_entries_,
                 fatal_.ok() ? "" : StrCat(" FATAL=", fatal_.ToString()));
 }
 

@@ -2,13 +2,18 @@
 #define CACHEPORTAL_NET_WIRE_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "net/wire.h"
 
@@ -29,9 +34,32 @@ struct WireClientOptions {
   Micros reconnect_backoff = 100 * kMicrosPerMilli;
   double backoff_multiplier = 2.0;
   Micros max_backoff = 5 * kMicrosPerSecond;
+  /// Uniform jitter applied to each reconnect backoff, as a fraction of
+  /// it (0.2 = +/-20%). With many clients reconnecting to a restarted
+  /// server, pure doubling from the same instant produces a synchronized
+  /// herd; jitter decorrelates them. Seeded (the FaultInjector pattern)
+  /// so tests replay exactly.
+  double backoff_jitter = 0.2;
+  uint64_t backoff_jitter_seed = 0x7ec0ffee;
+  /// Most eject entries one EJECT_BATCH frame carries (contiguous-seq
+  /// runs are chunked to this); 1 disables batching. Capped at
+  /// kMaxBatchEntries.
+  size_t batch_max = 64;
+  /// Most un-acked frames DeliverBatch keeps in flight while streaming;
+  /// 1 degenerates to stop-and-wait per frame.
+  size_t window_frames = 128;
   /// Client-side socket faults (drops, resets, partial writes,
   /// partitions, delays). Not owned; must outlive the client.
   FaultInjector* faults = nullptr;
+};
+
+/// What a DeliverBatch call achieved: the server cumulatively acked the
+/// first `confirmed` entries (in call order); `status` explains why the
+/// remainder — if any — did not confirm. confirmed == entries.size()
+/// implies status.ok().
+struct WireBatchResult {
+  size_t confirmed = 0;
+  Status status = Status::OK();
 };
 
 /// The invalidator's side of the invalidation wire (net/wire.h): a
@@ -71,6 +99,30 @@ class WireInvalidationClient {
   /// server ACKED it — applied or deduped.
   Status Deliver(const std::string& key, const std::string& payload);
 
+  /// One entry of a DeliverBatch call: the stable cache key (redelivery
+  /// identity) and the serialized eject it carries. Both are views —
+  /// DeliverBatch is synchronous, so the caller only needs to keep the
+  /// backing strings alive for the duration of the call. This keeps the
+  /// hot path copy-free: a batched eject's bytes are copied exactly once
+  /// on the client (into the frame blob), not per API layer.
+  struct BatchEntry {
+    std::string_view key;
+    std::string_view payload;
+  };
+
+  /// Pipelined delivery of many ejects in one call: entries are grouped
+  /// into contiguous-seq runs (each an EJECT_BATCH frame of up to
+  /// batch_max entries; singleton runs go as plain EJECTs), streamed
+  /// with up to window_frames frames un-acked, and the cumulative acks
+  /// reaped as they arrive. The call returns only once every entry is
+  /// acked or the connection fails — so `confirmed` has the same
+  /// meaning as a Deliver() OK, just amortized: the callers' crash-
+  /// safety story (ReliableDeliveryQueue checkpoints) never sees a
+  /// "sent but maybe not applied" state. Unconfirmed entries keep their
+  /// (epoch, seq) assignments; redelivering them replays the same run
+  /// and the server's ledger dedups whatever did land.
+  WireBatchResult DeliverBatch(const std::vector<BatchEntry>& entries);
+
   /// Liveness probe: HEARTBEAT round trip on the session connection
   /// (connecting first if needed, subject to the same backoff).
   Status Ping();
@@ -92,6 +144,9 @@ class WireInvalidationClient {
   uint64_t heartbeats_sent() const;
   /// Frames from the server that failed to decode (stream quarantined).
   uint64_t corrupt_frames() const;
+  /// EJECT_BATCH frames sent, and eject entries they carried.
+  uint64_t batch_frames_sent() const;
+  uint64_t batched_entries() const;
 
   /// One diagnostic line (no trailing newline) — per-peer connection
   /// health for StatsReport().
@@ -103,13 +158,27 @@ class WireInvalidationClient {
   /// Closes the socket and schedules the reconnect backoff. Caller
   /// holds mu_.
   void DropConnectionLocked(bool schedule_backoff);
+  /// Schedules the jittered reconnect backoff and doubles it for the
+  /// next failure. Caller holds mu_.
+  void ScheduleBackoffLocked();
   /// Sends raw bytes through the fault injector. False = connection is
-  /// dead (caller drops it). A "drop" fault returns true with nothing
-  /// sent — the loss surfaces as an ack timeout, like a real partition.
+  /// dead (caller drops it). A "drop" or "partition" fault returns true
+  /// with nothing sent AND latches the connection blackholed: every
+  /// later send on it is swallowed too. TCP loses suffixes, never
+  /// middles — modeling a single lost frame with delivered successors
+  /// would let the server's high-water mark jump a gap and dedup-swallow
+  /// the gap's replay (a lost invalidation the real transport cannot
+  /// produce).
   bool SendBytesLocked(const std::string& bytes);
   /// Blocking read of the next frame (bounded by io_timeout). Caller
   /// holds mu_.
   Result<WireFrame> ReadFrameLocked();
+  /// Reads frames until one cumulative ack for the current epoch
+  /// arrives, raising *acked_high and retiring in-flight assignments at
+  /// or below it. Any failure drops the connection and returns the
+  /// Deliver() error taxonomy (fatal version mismatch latched, stale
+  /// epoch retryable-now, quarantine kParseError). Caller holds mu_.
+  Status ReapAckLocked(uint64_t* acked_high);
 
   const Clock* clock_;
   WireClientOptions options_;
@@ -119,18 +188,23 @@ class WireInvalidationClient {
   std::string read_buffer_;
   uint64_t epoch_ = 0;
   uint64_t last_assigned_seq_ = 0;
-  /// Un-acked key -> assigned (epoch, seq).
+  /// Un-acked key -> assigned (epoch, seq). Transparent comparator so
+  /// the batch path can probe with string_view keys without allocating.
   struct Assigned {
     uint64_t epoch = 0;
     uint64_t seq = 0;
   };
-  std::map<std::string, Assigned> inflight_;
+  std::map<std::string, Assigned, std::less<>> inflight_;
   /// Sticky fatal state (version mismatch): every future Deliver fails
   /// fast with the same status.
   Status fatal_ = Status::OK();
   Micros next_connect_at_ = 0;
   Micros current_backoff_ = 0;
   uint64_t heartbeat_seq_ = 0;
+  Random backoff_jitter_rng_;
+  /// A drop/partition fault fired on this connection: all later sends on
+  /// it are swallowed until reconnect (suffix loss, like real TCP).
+  bool blackholed_ = false;
 
   uint64_t connects_ = 0;
   std::set<uint64_t> epochs_;
@@ -138,6 +212,8 @@ class WireInvalidationClient {
   uint64_t replays_ = 0;
   uint64_t heartbeats_sent_ = 0;
   uint64_t corrupt_frames_ = 0;
+  uint64_t batch_frames_sent_ = 0;
+  uint64_t batched_entries_ = 0;
 };
 
 }  // namespace cacheportal::net

@@ -31,8 +31,9 @@ struct AppliedKeys {
   std::mutex mu;
   std::vector<std::string> keys;
   net::InvalidationServer::ApplyFn Fn() {
-    return [this](const std::string& payload, uint64_t, uint64_t) {
-      Result<http::HttpRequest> eject = http::HttpRequest::Parse(payload);
+    return [this](std::string_view payload, uint64_t, uint64_t) {
+      Result<http::HttpRequest> eject =
+          http::HttpRequest::Parse(std::string(payload));
       if (!eject.ok()) return eject.status();
       std::lock_guard<std::mutex> lock(mu);
       keys.push_back(eject->ToPageId().CacheKey());
@@ -41,11 +42,15 @@ struct AppliedKeys {
   }
 };
 
-// One storm, parameterized by the fault mix. Returns the applied keys.
+// One storm, parameterized by the fault mix and (for the pipelined
+// variants) the wire batch size and in-flight window. batch == 1 keeps
+// the original stop-and-wait single-message path. Returns the applied
+// keys.
 std::vector<std::string> RunStorm(uint64_t seed, uint64_t count,
                                   const FaultConfig& client_faults,
                                   const FaultConfig& server_faults,
-                                  core::DeliveryStats* stats_out) {
+                                  core::DeliveryStats* stats_out,
+                                  size_t batch = 1, size_t window = 1) {
   AppliedKeys applied;
   FaultInjector server_injector(seed * 2 + 1, server_faults);
   net::InvalidationServerOptions server_options;
@@ -61,14 +66,38 @@ std::vector<std::string> RunStorm(uint64_t seed, uint64_t count,
   client_options.port = (*server)->port();
   client_options.io_timeout = 100 * kMicrosPerMilli;  // Real ack bound.
   client_options.reconnect_backoff = 10 * kMicrosPerMilli;
+  client_options.batch_max = batch;
+  client_options.window_frames = window;
   client_options.faults = &client_injector;
   net::WireInvalidationClient client(&clock, client_options);
 
-  core::WireCacheSink sink(
+  core::WireCacheSink::FramedTransport single =
       [&client](const std::string& bytes, const std::string& key) {
         return client.Deliver(key, bytes);
-      },
-      [&client] { return client.HealthReport(); });
+      };
+  core::WireCacheSink::HealthFn health = [&client] {
+    return client.HealthReport();
+  };
+  // batch == 1 constructs the legacy single-message sink so the original
+  // tests keep their exact delivery path.
+  core::WireCacheSink sink =
+      batch > 1 ? core::WireCacheSink(
+                      single,
+                      [&client](const std::vector<
+                                std::pair<std::string, std::string>>& kv) {
+                        std::vector<net::WireInvalidationClient::BatchEntry>
+                            entries;
+                        entries.reserve(kv.size());
+                        for (const auto& [key, bytes] : kv) {
+                          entries.push_back({key, bytes});
+                        }
+                        net::WireBatchResult sent =
+                            client.DeliverBatch(entries);
+                        return invalidator::BatchSendResult{sent.confirmed,
+                                                            sent.status};
+                      },
+                      health)
+                : core::WireCacheSink(single, health);
 
   core::DeliveryOptions delivery_options;
   delivery_options.max_attempts = 10000;
@@ -76,6 +105,7 @@ std::vector<std::string> RunStorm(uint64_t seed, uint64_t count,
   delivery_options.initial_backoff = 5 * kMicrosPerMilli;
   delivery_options.max_backoff = 50 * kMicrosPerMilli;
   delivery_options.jitter_fraction = 0.0;
+  delivery_options.batch_max = static_cast<int>(batch);
   core::ReliableDeliveryQueue queue(&clock, delivery_options);
   queue.AddSink(&sink, "wire-cache");
 
@@ -157,6 +187,173 @@ TEST(WireFaultStormTest, StormSurvivesFaultsOnBothSides) {
   std::sort(applied.begin(), applied.end());
   EXPECT_EQ(applied, tools::StormOracle(31, 100));
   EXPECT_EQ(stats.dead_lettered, 0u);
+}
+
+TEST(WireFaultStormTest, PipelinedStormSurvivesDroppedAndLateAcks) {
+  // Dropped ack frames under pipelining: a lost ACK for seq N followed
+  // by a delivered cumulative ACK for N+k is exactly the reordered-ack
+  // case — the later ack confirms the earlier run, and replays of
+  // already-applied entries must dedup against the ledger.
+  FaultConfig server_faults;
+  server_faults.drop_probability = 0.15;
+  server_faults.reset_probability = 0.05;
+  core::DeliveryStats stats;
+  std::vector<std::string> applied =
+      RunStorm(41, 150, FaultConfig{}, server_faults, &stats,
+               /*batch=*/16, /*window=*/32);
+
+  std::set<std::string> unique(applied.begin(), applied.end());
+  EXPECT_EQ(unique.size(), applied.size()) << "duplicate applies";
+  std::sort(applied.begin(), applied.end());
+  EXPECT_EQ(applied, tools::StormOracle(41, 150));
+  EXPECT_EQ(stats.delivered, 150u);
+  EXPECT_EQ(stats.dead_lettered, 0u);
+  EXPECT_GT(stats.batch_flushes, 0u) << "batch path never exercised";
+}
+
+TEST(WireFaultStormTest, PipelinedStormSurvivesMidBatchResets) {
+  // Client-side resets and partitions kill connections with whole batch
+  // runs un-acked; the replay starts from the last cumulative ack, so
+  // entries that DID apply before the reset come back as dups.
+  FaultConfig client_faults;
+  client_faults.reset_probability = 0.06;
+  client_faults.partition_probability = 0.05;
+  client_faults.drop_probability = 0.05;
+  core::DeliveryStats stats;
+  std::vector<std::string> applied =
+      RunStorm(43, 150, client_faults, FaultConfig{}, &stats,
+               /*batch=*/16, /*window=*/32);
+
+  std::set<std::string> unique(applied.begin(), applied.end());
+  EXPECT_EQ(unique.size(), applied.size()) << "duplicate applies";
+  std::sort(applied.begin(), applied.end());
+  EXPECT_EQ(applied, tools::StormOracle(43, 150));
+  EXPECT_EQ(stats.delivered, 150u);
+  EXPECT_EQ(stats.dead_lettered, 0u);
+  EXPECT_GT(stats.retries, 0u) << "faults configured but none disturbed "
+                                  "delivery; the test lost its teeth";
+}
+
+TEST(WireFaultStormTest, PipelinedStormSurvivesFaultsOnBothSides) {
+  FaultConfig client_faults;
+  client_faults.drop_probability = 0.05;
+  client_faults.partition_probability = 0.04;
+  client_faults.partial_write_probability = 0.04;
+  FaultConfig server_faults;
+  server_faults.drop_probability = 0.08;
+  server_faults.partial_write_probability = 0.03;
+  core::DeliveryStats stats;
+  std::vector<std::string> applied =
+      RunStorm(47, 200, client_faults, server_faults, &stats,
+               /*batch=*/64, /*window=*/128);
+
+  std::set<std::string> unique(applied.begin(), applied.end());
+  EXPECT_EQ(unique.size(), applied.size()) << "duplicate applies";
+  std::sort(applied.begin(), applied.end());
+  EXPECT_EQ(applied, tools::StormOracle(47, 200));
+  EXPECT_EQ(stats.delivered, 200u);
+  EXPECT_EQ(stats.dead_lettered, 0u);
+}
+
+TEST(WireFaultStormTest, PipelinedStormSurvivesServerRestartEpochBump) {
+  // The server dies mid-storm with whole batch runs un-acked and its
+  // successor restarts at a bumped epoch with an EMPTY ledger: protocol
+  // dedup cannot span the bump (every seq is renamed), so — exactly as
+  // cache_node does — the apply fn dedups by content. The applied key
+  // SET must equal the oracle, with each key applied-and-logged once.
+  const uint64_t seed = 53;
+  const uint64_t count = 120;
+  std::mutex mu;
+  std::set<std::string> applied_keys;
+  std::vector<std::string> applied_log;
+  auto apply = [&](std::string_view payload, uint64_t, uint64_t) {
+    Result<http::HttpRequest> eject =
+        http::HttpRequest::Parse(std::string(payload));
+    if (!eject.ok()) return eject.status();
+    std::string key = eject->ToPageId().CacheKey();
+    std::lock_guard<std::mutex> lock(mu);
+    if (applied_keys.insert(key).second) applied_log.push_back(key);
+    return Status::OK();
+  };
+
+  net::InvalidationServerOptions first_options;
+  first_options.session_epoch = 1;
+  auto first = net::InvalidationServer::Start(apply, std::move(first_options));
+  ASSERT_TRUE(first.ok());
+  uint16_t port = (*first)->port();
+
+  ManualClock clock;
+  FaultInjector client_injector(seed, [] {
+    FaultConfig faults;
+    faults.drop_probability = 0.05;  // Some acks vanish pre-restart too.
+    return faults;
+  }());
+  net::WireClientOptions client_options;
+  client_options.port = port;
+  client_options.io_timeout = 100 * kMicrosPerMilli;
+  client_options.reconnect_backoff = 10 * kMicrosPerMilli;
+  client_options.batch_max = 16;
+  client_options.window_frames = 32;
+  client_options.faults = &client_injector;
+  net::WireInvalidationClient client(&clock, client_options);
+
+  core::WireCacheSink sink(
+      [&client](const std::string& bytes, const std::string& key) {
+        return client.Deliver(key, bytes);
+      },
+      [&client](
+          const std::vector<std::pair<std::string, std::string>>& kv) {
+        std::vector<net::WireInvalidationClient::BatchEntry> entries;
+        entries.reserve(kv.size());
+        for (const auto& [key, bytes] : kv) entries.push_back({key, bytes});
+        net::WireBatchResult sent = client.DeliverBatch(entries);
+        return invalidator::BatchSendResult{sent.confirmed, sent.status};
+      },
+      [&client] { return client.HealthReport(); });
+
+  core::DeliveryOptions delivery_options;
+  delivery_options.max_attempts = 10000;
+  delivery_options.delivery_deadline = 0;
+  delivery_options.initial_backoff = 5 * kMicrosPerMilli;
+  delivery_options.max_backoff = 50 * kMicrosPerMilli;
+  delivery_options.jitter_fraction = 0.0;
+  delivery_options.batch_max = 16;
+  core::ReliableDeliveryQueue queue(&clock, delivery_options);
+  queue.AddSink(&sink, "wire-cache");
+
+  // First half of the storm reaches the first incarnation (partially —
+  // one Pump flushes at most batch_max per sink pass, and faults bite).
+  for (uint64_t i = 0; i < count / 2; ++i) {
+    queue.SendInvalidation(tools::StormEject(seed, i),
+                           tools::StormKey(seed, i));
+  }
+  queue.Pump();
+  (*first)->Stop();
+
+  // Second half arrives while the cache is down; the successor restarts
+  // on the same port with a bumped epoch.
+  for (uint64_t i = count / 2; i < count; ++i) {
+    queue.SendInvalidation(tools::StormEject(seed, i),
+                           tools::StormKey(seed, i));
+  }
+  net::InvalidationServerOptions successor_options;
+  successor_options.port = port;
+  successor_options.session_epoch = 2;
+  auto second =
+      net::InvalidationServer::Start(apply, std::move(successor_options));
+  ASSERT_TRUE(second.ok());
+
+  clock.Advance(kMicrosPerSecond);
+  queue.DrainWith(&clock);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.stats().dead_lettered, 0u);
+  EXPECT_EQ(queue.stats().delivered, count);
+  EXPECT_EQ(client.epochs_seen(), 2u);
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(applied_log.size(), applied_keys.size()) << "duplicate applies";
+  std::vector<std::string> sorted(applied_keys.begin(), applied_keys.end());
+  EXPECT_EQ(sorted, tools::StormOracle(seed, count));
 }
 
 }  // namespace

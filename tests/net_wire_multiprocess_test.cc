@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delivery_router.h"
 #include "tools/storm.h"
 
 #ifndef CACHEPORTAL_CACHE_NODE_BIN
@@ -101,6 +102,19 @@ class MultiprocessWireTest : public ::testing::Test {
     return Spawn(CACHEPORTAL_CACHE_NODE_BIN, args);
   }
 
+  /// A cache in the fan-out fleet: per-index state files, matching the
+  /// "peer-<i>" names the invalidator's ring uses.
+  pid_t SpawnPeer(int i, const std::vector<std::string>& extra = {}) {
+    std::string n = std::to_string(i);
+    std::vector<std::string> args = {
+        "--port-file=" + Path("port" + n + ".txt"),
+        "--state-file=" + Path("state" + n + ".txt"),
+        "--applied-log=" + Path("applied" + n + ".txt"),
+    };
+    args.insert(args.end(), extra.begin(), extra.end());
+    return Spawn(CACHEPORTAL_CACHE_NODE_BIN, args);
+  }
+
   std::string dir_;
 };
 
@@ -136,10 +150,15 @@ TEST_F(MultiprocessWireTest, StormSurvivesPartitionsAndCacheRestart) {
   port.erase(port.find_last_not_of("\n \t") + 1);
 
   // Client-side faults on: drops blackhole ejects, partitions refuse
-  // reconnects. The invalidator must still deliver all 600.
+  // reconnects. The invalidator must still deliver all 600. Pinned to
+  // stop-and-wait (batch=1) — this test's premise is a kill landing
+  // mid-storm, and the single-message wire paces the storm slowly
+  // enough for that; the batched-pipeline variant below has its own
+  // restart coverage.
   pid_t invalidator = Spawn(
       CACHEPORTAL_INVALIDATOR_NODE_BIN,
       {"--port-file=" + Path("port.txt"), "--count=600", "--seed=13",
+       "--batch=1", "--window=1",
        "--drop=0.05", "--partition=0.03", "--reset=0.03",
        "--drain-seconds=90", "--report-file=" + Path("report.txt")});
 
@@ -156,6 +175,11 @@ TEST_F(MultiprocessWireTest, StormSurvivesPartitionsAndCacheRestart) {
   // from the on-disk state.
   usleep(300 * 1000);
   pid_t cache2 = SpawnCache({"--port=" + port});
+  // Startup barrier before any signal can reach cache2: its second
+  // epoch line proves it is past signal-handler installation.
+  ASSERT_TRUE(PollFor(5, [&] {
+    return ReadAll(Path("state.txt")).find("epoch 2") != std::string::npos;
+  })) << "restarted cache_node never announced its epoch";
 
   int inv_status = WaitFor(invalidator);
   EXPECT_TRUE(WIFEXITED(inv_status) && WEXITSTATUS(inv_status) == 0)
@@ -190,6 +214,115 @@ TEST_F(MultiprocessWireTest, StormSurvivesPartitionsAndCacheRestart) {
   EXPECT_NE(report.find("complete=1"), std::string::npos) << report;
   EXPECT_NE(report.find("dead-letters=0"), std::string::npos) << report;
   EXPECT_NE(report.find("epochs-seen=2"), std::string::npos) << report;
+}
+
+TEST_F(MultiprocessWireTest, BatchedFanOutStormSurvivesFaultsAndRestart) {
+  // 1 invalidator -> 3 cache_nodes through the pipelined batched wire:
+  // consistent-hash fan-out, EJECT_BATCH frames with cumulative acks,
+  // server-side ack drops/resets on every node, client-side socket
+  // faults, and a SIGKILL restart of one node mid-storm. Each node's
+  // applied log must be byte-identical to the oracle subset the hash
+  // ring assigns it — exactly once per key, across incarnations.
+  const uint64_t seed = 21;
+  const uint64_t count = 600;
+  const int peers = 3;
+
+  std::vector<pid_t> caches;
+  for (int i = 0; i < peers; ++i) {
+    caches.push_back(SpawnPeer(
+        i, {"--ack-drop=0.05", "--ack-reset=0.03",
+            "--fault-seed=" + std::to_string(100 + i)}));
+  }
+  std::vector<std::string> ports(peers);
+  for (int i = 0; i < peers; ++i) {
+    std::string port_file = Path("port" + std::to_string(i) + ".txt");
+    ASSERT_TRUE(PollFor(5, [&] { return !ReadAll(port_file).empty(); }))
+        << "cache_node " << i << " never published its port";
+    ports[i] = ReadAll(port_file);
+    ports[i].erase(ports[i].find_last_not_of("\n \t") + 1);
+  }
+
+  pid_t invalidator = Spawn(
+      CACHEPORTAL_INVALIDATOR_NODE_BIN,
+      {"--port-file=" + Path("port0.txt") + "," + Path("port1.txt") + "," +
+           Path("port2.txt"),
+       "--count=" + std::to_string(count), "--seed=" + std::to_string(seed),
+       "--batch=64", "--window=128", "--drop=0.04", "--reset=0.03",
+       "--partition=0.02", "--drain-seconds=90",
+       "--report-file=" + Path("report.txt")});
+
+  // Let the storm get going, then SIGKILL one peer without warning and
+  // restart it on the SAME port (epoch bump + ledger/applied replay).
+  const int victim = 1;
+  std::string victim_log = Path("applied" + std::to_string(victim) + ".txt");
+  ASSERT_TRUE(PollFor(30, [&] {
+    return ReadLines(victim_log).size() >= 10;
+  })) << "storm never started applying on the victim node";
+  kill(caches[victim], SIGKILL);
+  WaitFor(caches[victim]);
+  usleep(300 * 1000);
+  caches[victim] = SpawnPeer(
+      victim, {"--port=" + ports[victim], "--ack-drop=0.05",
+               "--fault-seed=" + std::to_string(200 + victim)});
+  // Startup barrier before any signal can reach the restarted victim.
+  ASSERT_TRUE(PollFor(5, [&] {
+    return ReadAll(Path("state" + std::to_string(victim) + ".txt"))
+               .find("epoch 2") != std::string::npos;
+  })) << "restarted victim never announced its epoch";
+
+  int inv_status = WaitFor(invalidator);
+  EXPECT_TRUE(WIFEXITED(inv_status) && WEXITSTATUS(inv_status) == 0)
+      << "invalidator_node failed:\n"
+      << ReadAll(Path("report.txt"));
+
+  for (int i = 0; i < peers; ++i) {
+    kill(caches[i], SIGTERM);
+    int status = WaitFor(caches[i]);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "cache_node " << i << " did not exit cleanly";
+  }
+
+  // Recompute each node's expected subset with the same deterministic
+  // ring the invalidator used: names "peer-0..2", FNV-1a hashing.
+  core::HashRing ring;
+  for (int i = 0; i < peers; ++i) {
+    ring.AddNode("peer-" + std::to_string(i));
+  }
+  std::vector<std::vector<std::string>> expected(peers);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key = tools::StormKey(seed, i);
+    std::string owner = ring.NodeFor(key);
+    expected[owner.back() - '0'].push_back(key);
+  }
+
+  std::vector<std::string> all_applied;
+  for (int i = 0; i < peers; ++i) {
+    std::vector<std::string> applied =
+        ReadLines(Path("applied" + std::to_string(i) + ".txt"));
+    std::set<std::string> unique(applied.begin(), applied.end());
+    EXPECT_EQ(unique.size(), applied.size())
+        << "duplicate applies on node " << i;
+    all_applied.insert(all_applied.end(), applied.begin(), applied.end());
+    std::sort(applied.begin(), applied.end());
+    std::sort(expected[i].begin(), expected[i].end());
+    EXPECT_EQ(applied, expected[i])
+        << "node " << i << " applied set diverges from its ring subset";
+  }
+  std::sort(all_applied.begin(), all_applied.end());
+  EXPECT_EQ(all_applied, tools::StormOracle(seed, count));
+
+  // The victim's state file must show both incarnations.
+  std::vector<std::string> state =
+      ReadLines(Path("state" + std::to_string(victim) + ".txt"));
+  int epoch_lines = 0;
+  for (const std::string& line : state) {
+    if (line.rfind("epoch ", 0) == 0) ++epoch_lines;
+  }
+  EXPECT_EQ(epoch_lines, 2) << "expected two incarnations on the victim";
+
+  std::string report = ReadAll(Path("report.txt"));
+  EXPECT_NE(report.find("complete=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("peers=3"), std::string::npos) << report;
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
+#include "common/strings.h"
 #include "http/message.h"
 #include "net/invalidation_server.h"
 #include "net/socket_util.h"
@@ -34,9 +35,9 @@ struct ApplyLog {
   std::mutex mu;
   std::vector<std::string> payloads;
   InvalidationServer::ApplyFn Fn() {
-    return [this](const std::string& payload, uint64_t, uint64_t) {
+    return [this](std::string_view payload, uint64_t, uint64_t) {
       std::lock_guard<std::mutex> lock(mu);
-      payloads.push_back(payload);
+      payloads.emplace_back(payload);
       return Status::OK();
     };
   }
@@ -198,7 +199,7 @@ TEST(InvalidationServerTest, FailedApplyIsNotRecordedAndRetryReapplies) {
   // rather than duplicate-acked (which would silently lose the eject).
   std::mutex mu;
   int calls = 0;
-  auto flaky = [&](const std::string&, uint64_t, uint64_t) {
+  auto flaky = [&](std::string_view, uint64_t, uint64_t) {
     std::lock_guard<std::mutex> lock(mu);
     return ++calls == 1 ? Status::Internal("cache busy") : Status::OK();
   };
@@ -422,6 +423,270 @@ TEST(InvalidationServerTest, StaleEpochEjectIsRejected) {
   EXPECT_NE(reply->payload.find("stale epoch"), std::string::npos);
   EXPECT_EQ((*server)->stats().stale_epoch_frames, 1u);
   EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, BatchAppliesAllEntriesWithOneCumulativeAck) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  std::optional<WireFrame> hello_ack = session.Handshake();
+  ASSERT_TRUE(hello_ack.has_value());
+  uint64_t epoch = hello_ack->epoch;
+
+  WireFrame batch;
+  batch.type = FrameType::kEjectBatch;
+  batch.epoch = epoch;
+  batch.seq = 1;  // Entries carry seqs 1, 2, 3.
+  batch.payload = EncodeEjectBatchPayload({"e1", "e2", "e3"});
+  ASSERT_TRUE(session.Send(batch));
+  std::optional<WireFrame> ack = session.Read();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, FrameType::kAck);
+  EXPECT_EQ(ack->seq, 3u);  // One cumulative ack for the whole run.
+
+  ASSERT_EQ(log.size(), 3u);
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    EXPECT_EQ(log.payloads, (std::vector<std::string>{"e1", "e2", "e3"}));
+  }
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ejects_applied, 3u);
+  EXPECT_EQ(stats.batch_frames, 1u);
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(epoch), 3u);
+}
+
+TEST(InvalidationServerTest, ReplayedBatchIsDupAckedWithoutReapply) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  std::optional<WireFrame> hello_ack = session.Handshake();
+  ASSERT_TRUE(hello_ack.has_value());
+
+  WireFrame batch;
+  batch.type = FrameType::kEjectBatch;
+  batch.epoch = hello_ack->epoch;
+  batch.seq = 1;
+  batch.payload = EncodeEjectBatchPayload({"e1", "e2"});
+  ASSERT_TRUE(session.Send(batch));
+  ASSERT_TRUE(session.Read().has_value());
+
+  // The replay (lost ack) is acked again but applied exactly once.
+  ASSERT_TRUE(session.Send(batch));
+  std::optional<WireFrame> ack = session.Read();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, FrameType::kAck);
+  EXPECT_EQ(ack->seq, 2u);
+  EXPECT_EQ(log.size(), 2u);
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ejects_applied, 2u);
+  EXPECT_EQ(stats.ejects_duplicate, 2u);
+  EXPECT_EQ(stats.batch_frames, 2u);
+}
+
+TEST(InvalidationServerTest, OverlappingBatchAppliesOnlyFreshSuffix) {
+  // A replayed run that extends past the old high-water mark (the client
+  // regrouped after a partial ack): the prefix dedups, the suffix
+  // applies, one ack covers everything.
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  std::optional<WireFrame> hello_ack = session.Handshake();
+  ASSERT_TRUE(hello_ack.has_value());
+  uint64_t epoch = hello_ack->epoch;
+
+  WireFrame first;
+  first.type = FrameType::kEjectBatch;
+  first.epoch = epoch;
+  first.seq = 1;
+  first.payload = EncodeEjectBatchPayload({"e1", "e2", "e3"});
+  ASSERT_TRUE(session.Send(first));
+  ASSERT_TRUE(session.Read().has_value());
+
+  WireFrame overlap;
+  overlap.type = FrameType::kEjectBatch;
+  overlap.epoch = epoch;
+  overlap.seq = 2;  // Seqs 2..5: 2 and 3 are dups, 4 and 5 are fresh.
+  overlap.payload = EncodeEjectBatchPayload({"e2", "e3", "e4", "e5"});
+  ASSERT_TRUE(session.Send(overlap));
+  std::optional<WireFrame> ack = session.Read();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->seq, 5u);
+  EXPECT_EQ(log.size(), 5u);
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ejects_applied, 5u);
+  EXPECT_EQ(stats.ejects_duplicate, 2u);
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(epoch), 5u);
+}
+
+TEST(InvalidationServerTest, MalformedBatchPayloadIsQuarantined) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  ASSERT_TRUE(session.Handshake().has_value());
+  WireFrame batch;
+  batch.type = FrameType::kEjectBatch;
+  batch.epoch = 1;
+  batch.seq = 1;
+  batch.payload = "not a batch payload";  // Valid frame, garbage inside.
+  ASSERT_TRUE(session.Send(batch));
+  std::optional<WireFrame> reply = session.Read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->payload.find("quarantined"), std::string::npos);
+  EXPECT_TRUE(session.ServerClosed());
+  EXPECT_EQ((*server)->stats().frames_quarantined, 1u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, BatchBeforeHelloIsQuarantined) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  WireFrame batch;
+  batch.type = FrameType::kEjectBatch;
+  batch.epoch = 1;
+  batch.seq = 1;
+  batch.payload = EncodeEjectBatchPayload({"e1"});
+  ASSERT_TRUE(session.Send(batch));
+  std::optional<WireFrame> reply = session.Read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ((*server)->stats().frames_quarantined, 1u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, StaleEpochBatchIsRejected) {
+  ApplyLog log;
+  InvalidationServerOptions options;
+  options.session_epoch = 4;
+  auto server = InvalidationServer::Start(log.Fn(), std::move(options));
+  ASSERT_TRUE(server.ok());
+
+  RawSession session((*server)->port());
+  ASSERT_TRUE(session.Handshake().has_value());
+  WireFrame batch;
+  batch.type = FrameType::kEjectBatch;
+  batch.epoch = 3;  // Minted against the previous incarnation.
+  batch.seq = 1;
+  batch.payload = EncodeEjectBatchPayload({"e1", "e2"});
+  ASSERT_TRUE(session.Send(batch));
+  std::optional<WireFrame> reply = session.Read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->payload.find("stale epoch"), std::string::npos);
+  EXPECT_EQ((*server)->stats().stale_epoch_frames, 1u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(InvalidationServerTest, MidBatchApplyFailureRecordsPrefixAndRetryResumes) {
+  // An apply failure mid-batch must NOT produce the cumulative ack (it
+  // would claim the whole run) but MUST keep the applied prefix in the
+  // ledger, so the retry dedups the prefix and applies only the rest.
+  std::mutex mu;
+  int calls = 0;
+  std::vector<std::string> applied;
+  auto flaky = [&](std::string_view payload, uint64_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (++calls == 2) return Status::Internal("cache busy");
+    applied.emplace_back(payload);
+    return Status::OK();
+  };
+  auto server = InvalidationServer::Start(flaky);
+  ASSERT_TRUE(server.ok());
+
+  WireFrame batch;
+  batch.type = FrameType::kEjectBatch;
+  batch.epoch = 1;
+  batch.seq = 1;
+  batch.payload = EncodeEjectBatchPayload({"e1", "e2", "e3"});
+  {
+    RawSession session((*server)->port());
+    ASSERT_TRUE(session.Handshake().has_value());
+    ASSERT_TRUE(session.Send(batch));
+    std::optional<WireFrame> reply = session.Read();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, FrameType::kError);
+    EXPECT_NE(reply->payload.find("apply failed"), std::string::npos);
+    EXPECT_TRUE(session.ServerClosed());
+  }
+  // Only the pre-failure prefix is recorded.
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(1), 1u);
+  {
+    RawSession retry((*server)->port());
+    std::optional<WireFrame> hello_ack = retry.Handshake();
+    ASSERT_TRUE(hello_ack.has_value());
+    EXPECT_EQ(hello_ack->seq, 1u);  // Resume point: the applied prefix.
+    ASSERT_TRUE(retry.Send(batch));
+    std::optional<WireFrame> ack = retry.Read();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->type, FrameType::kAck);
+    EXPECT_EQ(ack->seq, 3u);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(calls, 4);  // e1 ok, e2 fail, then e2 and e3 on retry.
+    EXPECT_EQ(applied, (std::vector<std::string>{"e1", "e2", "e3"}));
+  }
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.apply_failures, 1u);
+  EXPECT_EQ(stats.ejects_applied, 3u);
+  EXPECT_EQ(stats.ejects_duplicate, 1u);
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(1), 3u);
+}
+
+TEST(WireClientTest, DeliverBatchPipelinesFramesAndConfirmsAll) {
+  ApplyLog log;
+  auto server = InvalidationServer::Start(log.Fn());
+  ASSERT_TRUE(server.ok());
+
+  ManualClock clock;
+  WireClientOptions client_options;
+  client_options.port = (*server)->port();
+  client_options.batch_max = 2;  // 5 entries -> 3 frames in flight.
+  client_options.window_frames = 8;
+  WireInvalidationClient client(&clock, client_options);
+
+  // BatchEntry holds views, so the backing strings must outlive the
+  // DeliverBatch call — owned vectors, not StrCat temporaries.
+  std::vector<std::string> keys;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 5; ++i) {
+    keys.push_back(StrCat("k", i));
+    payloads.push_back(StrCat("payload-", i));
+  }
+  std::vector<WireInvalidationClient::BatchEntry> entries;
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back({keys[i], payloads[i]});
+  }
+  WireBatchResult sent = client.DeliverBatch(entries);
+  EXPECT_TRUE(sent.status.ok()) << sent.status.ToString();
+  EXPECT_EQ(sent.confirmed, 5u);
+  EXPECT_EQ(client.batch_frames_sent(), 2u);  // Two full runs of 2...
+  EXPECT_EQ(client.batched_entries(), 4u);
+  EXPECT_EQ(log.size(), 5u);
+  InvalidationServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ejects_applied, 5u);
+  EXPECT_EQ(stats.batch_frames, 2u);  // ...plus one singleton kEject.
+
+  // Everything acked: a follow-up batch continues the seq run on the
+  // same connection.
+  WireBatchResult more = client.DeliverBatch(
+      {{"k5", "payload-5"}, {"k6", "payload-6"}});
+  EXPECT_TRUE(more.status.ok());
+  EXPECT_EQ(more.confirmed, 2u);
+  EXPECT_EQ(client.connects(), 1u);  // Still the first connection.
+  EXPECT_EQ(log.size(), 7u);
+  EXPECT_EQ((*server)->ledger_snapshot().last_applied(1), 7u);
 }
 
 TEST(WireClientTest, PingLatchesFatalOnVersionMismatchError) {

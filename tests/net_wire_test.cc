@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "net/wire.h"
 
@@ -23,7 +24,7 @@ WireFrame SampleFrame() {
 }
 
 TEST(WireFrameTest, RoundTripsEveryFrameType) {
-  for (uint8_t type = 1; type <= 7; ++type) {
+  for (uint8_t type = 1; type <= 8; ++type) {
     WireFrame frame;
     frame.type = static_cast<FrameType>(type);
     frame.epoch = 0x0123456789abcdefULL;
@@ -147,12 +148,107 @@ TEST(WireFrameTest, UnknownFrameTypeIsCorrupt) {
   std::string wire = EncodeFrame(frame);
   // Type byte is CRC-covered, so patch both type and a recomputed CRC by
   // re-encoding with a raw out-of-range type.
-  for (uint8_t bad_type : {uint8_t{0}, uint8_t{8}, uint8_t{255}}) {
+  for (uint8_t bad_type : {uint8_t{0}, uint8_t{9}, uint8_t{255}}) {
     WireFrame patched = frame;
     patched.type = static_cast<FrameType>(bad_type);
     DecodeResult decoded = DecodeFrame(EncodeFrame(patched));
     EXPECT_EQ(decoded.outcome, DecodeOutcome::kCorrupt)
         << "type=" << int(bad_type);
+  }
+}
+
+TEST(EjectBatchPayloadTest, RoundTripsTypicalAndBinaryEntries) {
+  std::vector<std::string> entries = {
+      "GET /a?id=1 HTTP/1.1\r\nCache-Control: eject\r\n\r\n",
+      "",  // An empty entry is legal at this layer.
+      std::string("\x00\xff\r\nCPW1", 8),  // Binary, embedded magic.
+      std::string(1000, 'x'),
+  };
+  // The parsed views borrow from the blob, so it must be a named local
+  // that outlives the assertions (not a temporary).
+  std::string blob = EncodeEjectBatchPayload(
+      std::vector<std::string_view>(entries.begin(), entries.end()));
+  Result<std::vector<std::string_view>> parsed = ParseEjectBatchPayload(blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], entries[i]) << "entry " << i;
+  }
+
+  std::string single_blob = EncodeEjectBatchPayload({"one"});
+  parsed = ParseEjectBatchPayload(single_blob);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0], "one");
+}
+
+TEST(EjectBatchPayloadTest, RejectsEmptyZeroCountAndAbsurdCount) {
+  EXPECT_FALSE(ParseEjectBatchPayload("").ok());
+  EXPECT_FALSE(ParseEjectBatchPayload("abc").ok());  // Short of a count.
+  // count = 0: a batch frame with nothing in it is malformed, not empty.
+  EXPECT_FALSE(
+      ParseEjectBatchPayload(std::string("\x00\x00\x00\x00", 4)).ok());
+  // count = 2^32-1: must reject by bound-check, not by allocating.
+  EXPECT_FALSE(
+      ParseEjectBatchPayload(std::string("\xff\xff\xff\xff", 4)).ok());
+  // count just over the cap.
+  std::string over(4, '\0');
+  uint32_t count = kMaxBatchEntries + 1;
+  for (int i = 0; i < 4; ++i) over[i] = static_cast<char>(count >> (8 * i));
+  EXPECT_FALSE(ParseEjectBatchPayload(over).ok());
+}
+
+TEST(EjectBatchPayloadTest, TruncationAtEveryBoundaryIsParseError) {
+  // Inside a decoded frame there is no "more bytes coming": the frame
+  // length already bounded the payload, so any cut is corruption.
+  std::string payload =
+      EncodeEjectBatchPayload({"alpha", "", "gamma-longer-entry"});
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::string prefix = payload.substr(0, cut);
+    Result<std::vector<std::string_view>> parsed =
+        ParseEjectBatchPayload(prefix);
+    EXPECT_FALSE(parsed.ok()) << "cut=" << cut;
+  }
+  // Trailing garbage after the last entry is equally malformed.
+  EXPECT_FALSE(ParseEjectBatchPayload(payload + "x").ok());
+}
+
+TEST(EjectBatchFrameTest, TruncationAtEveryBoundaryNeedsMore) {
+  WireFrame frame;
+  frame.type = FrameType::kEjectBatch;
+  frame.epoch = 3;
+  frame.seq = 100;
+  frame.payload = EncodeEjectBatchPayload({"first", "second", "third"});
+  std::string wire = EncodeFrame(frame);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    DecodeResult decoded = DecodeFrame(std::string_view(wire).substr(0, cut));
+    EXPECT_EQ(decoded.outcome, DecodeOutcome::kNeedMore) << "cut=" << cut;
+  }
+  DecodeResult whole = DecodeFrame(wire);
+  ASSERT_EQ(whole.outcome, DecodeOutcome::kFrame);
+  Result<std::vector<std::string_view>> parsed =
+      ParseEjectBatchPayload(whole.frame.payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
+TEST(EjectBatchFrameTest, SingleBitFlipsNeverDecodeAsTheSameFrame) {
+  WireFrame frame;
+  frame.type = FrameType::kEjectBatch;
+  frame.epoch = 9;
+  frame.seq = 7;
+  frame.payload = EncodeEjectBatchPayload({"entry-a", "entry-b"});
+  std::string wire = EncodeFrame(frame);
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = wire;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      DecodeResult decoded = DecodeFrame(flipped);
+      if (decoded.outcome == DecodeOutcome::kFrame) {
+        ADD_FAILURE() << "bit flip at byte " << byte << " bit " << bit
+                      << " decoded as a valid frame";
+      }
+    }
   }
 }
 

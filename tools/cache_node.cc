@@ -19,6 +19,11 @@
 //                     applied, in apply order. Never contains duplicates:
 //                     the replayed key set dedups across incarnations,
 //                     where the per-epoch ledger cannot.
+//   --ack-drop=P --ack-reset=P --ack-partial=P --fault-seed=S
+//                     server-side fault probabilities on outgoing frames
+//                     (ACKs vanish, connections reset mid-ack, acks torn
+//                     in half) — the fault surface that stresses the
+//                     client's cumulative-ack replay under pipelining.
 //
 // Runs until SIGTERM/SIGINT; exits 0 after a clean stop, printing the
 // server's health line to stderr.
@@ -37,6 +42,7 @@
 
 #include "cache/page_cache.h"
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "common/strings.h"
 #include "http/message.h"
 #include "net/invalidation_server.h"
@@ -84,6 +90,16 @@ int main(int argc, char** argv) {
   std::string port_file = FlagValue(argc, argv, "port-file", "");
   std::string state_file = FlagValue(argc, argv, "state-file", "");
   std::string applied_log = FlagValue(argc, argv, "applied-log", "");
+  FaultConfig fault_config;
+  fault_config.drop_probability =
+      std::atof(FlagValue(argc, argv, "ack-drop", "0").c_str());
+  fault_config.reset_probability =
+      std::atof(FlagValue(argc, argv, "ack-reset", "0").c_str());
+  fault_config.partial_write_probability =
+      std::atof(FlagValue(argc, argv, "ack-partial", "0").c_str());
+  uint64_t fault_seed = std::strtoull(
+      FlagValue(argc, argv, "fault-seed", "7").c_str(), nullptr, 10);
+  FaultInjector faults(fault_seed, fault_config);
 
   // Recover session state from previous incarnations: the highest epoch
   // any of them used (we run at epoch+1 so their seqs can never collide
@@ -151,9 +167,15 @@ int main(int argc, char** argv) {
   options.port = port;
   options.session_epoch = session_epoch;
   options.ledger = ledger;
-  auto apply = [&](const std::string& payload, uint64_t epoch,
+  if (fault_config.drop_probability > 0 ||
+      fault_config.reset_probability > 0 ||
+      fault_config.partial_write_probability > 0) {
+    options.faults = &faults;
+  }
+  auto apply = [&](std::string_view payload, uint64_t epoch,
                    uint64_t seq) -> Status {
-    Result<http::HttpRequest> eject = http::HttpRequest::Parse(payload);
+    Result<http::HttpRequest> eject =
+        http::HttpRequest::Parse(std::string(payload));
     if (!eject.ok()) return eject.status();
     std::string key = eject->ToPageId().CacheKey();
     cache.HandleInvalidationRequest(*eject);  // 404 for uncached is fine.

@@ -1,18 +1,23 @@
 // An invalidator process: generates a deterministic storm of eject
-// messages (tools/storm.h) and delivers them to a cache_node over the
-// framed invalidation wire, through the full reliability stack — a
-// core::ReliableDeliveryQueue in front of a core::WireCacheSink backed
-// by a net::WireInvalidationClient — with client-side socket faults
-// injected on demand. The multiprocess test runs it against a cache it
-// kills and restarts mid-storm.
+// messages (tools/storm.h) and delivers them to one or more cache_nodes
+// over the framed invalidation wire, through the full reliability stack
+// — a core::DeliveryRouter fanning out by consistent hash to per-peer
+// core::WireCacheSinks behind one core::ReliableDeliveryQueue, each sink
+// backed by its own net::WireInvalidationClient — with client-side
+// socket faults injected on demand. The multiprocess tests run it
+// against caches they kill and restart mid-storm.
 //
 // Flags:
-//   --port-file=PATH   polled until the cache_node publishes its port.
+//   --port-file=PATHS  comma-separated port files, one per cache_node,
+//                      each polled until its node publishes a port. The
+//                      i-th path becomes ring peer "peer-i".
 //   --count=N          ejects to send (storm indices 0..N-1).
 //   --seed=S           storm seed (must match the verifying oracle) and
 //                      fault-injector RNG seed.
+//   --batch=N          delivery/wire batch size (1 = stop-and-wait).
+//   --window=N         client in-flight frame window.
 //   --drop=P --reset=P --partial=P --partition=P
-//                      client-side fault probabilities.
+//                      client-side fault probabilities (shared injector).
 //   --delay-us=N --delay-p=P  injected send delay.
 //   --drain-seconds=N  give-up bound for the final drain (default 60).
 //   --report-file=PATH final health report (also printed to stderr).
@@ -27,12 +32,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/fault_injector.h"
 #include "common/strings.h"
+#include "core/delivery_router.h"
 #include "core/reliable_delivery.h"
 #include "core/remote_cache.h"
 #include "net/wire_client.h"
@@ -68,26 +76,38 @@ uint64_t FlagUint(int argc, char** argv, const std::string& name,
 int main(int argc, char** argv) {
   using namespace cacheportal;
 
-  std::string port_file = FlagValue(argc, argv, "port-file", "");
+  std::string port_files = FlagValue(argc, argv, "port-file", "");
   uint64_t count = FlagUint(argc, argv, "count", 100);
   uint64_t seed = FlagUint(argc, argv, "seed", 1);
+  uint64_t batch = FlagUint(argc, argv, "batch", 64);
+  uint64_t window = FlagUint(argc, argv, "window", 128);
   uint64_t drain_seconds = FlagUint(argc, argv, "drain-seconds", 60);
   std::string report_file = FlagValue(argc, argv, "report-file", "");
 
-  // Startup barrier: the cache_node writes its bound port atomically
-  // once it is accepting.
-  uint16_t port = 0;
-  for (int attempt = 0; attempt < 500 && port == 0; ++attempt) {
-    std::ifstream in(port_file);
-    uint32_t value = 0;
-    if (in >> value && value > 0) {
-      port = static_cast<uint16_t>(value);
-      break;
+  std::vector<std::string> paths = StrSplit(port_files, ',');
+  std::vector<uint16_t> ports;
+  for (const std::string& path : paths) {
+    if (path.empty()) continue;
+    // Startup barrier: each cache_node writes its bound port atomically
+    // once it is accepting.
+    uint16_t port = 0;
+    for (int attempt = 0; attempt < 500 && port == 0; ++attempt) {
+      std::ifstream in(path);
+      uint32_t value = 0;
+      if (in >> value && value > 0) {
+        port = static_cast<uint16_t>(value);
+        break;
+      }
+      usleep(20 * 1000);
     }
-    usleep(20 * 1000);
+    if (port == 0) {
+      std::cerr << "invalidator_node: no port in " << path << "\n";
+      return 2;
+    }
+    ports.push_back(port);
   }
-  if (port == 0) {
-    std::cerr << "invalidator_node: no port in " << port_file << "\n";
+  if (ports.empty()) {
+    std::cerr << "invalidator_node: --port-file is required\n";
     return 2;
   }
 
@@ -105,20 +125,37 @@ int main(int argc, char** argv) {
       FlagUint(argc, argv, "delay-us", 0));
   FaultInjector faults(seed, fault_config);
 
-  net::WireClientOptions client_options;
-  client_options.port = port;
-  client_options.client_id = StrCat("invalidator-", seed);
-  client_options.io_timeout = 500 * kMicrosPerMilli;
-  client_options.reconnect_backoff = 20 * kMicrosPerMilli;
-  client_options.max_backoff = 500 * kMicrosPerMilli;
-  client_options.faults = &faults;
-  net::WireInvalidationClient client(&clock, client_options);
-
-  core::WireCacheSink sink(
-      [&client](const std::string& bytes, const std::string& key) {
-        return client.Deliver(key, bytes);
-      },
-      [&client] { return client.HealthReport(); });
+  std::vector<std::unique_ptr<net::WireInvalidationClient>> clients;
+  std::vector<std::unique_ptr<core::WireCacheSink>> sinks;
+  for (size_t i = 0; i < ports.size(); ++i) {
+    net::WireClientOptions client_options;
+    client_options.port = ports[i];
+    client_options.client_id = StrCat("invalidator-", seed, "-peer-", i);
+    client_options.io_timeout = 500 * kMicrosPerMilli;
+    client_options.reconnect_backoff = 20 * kMicrosPerMilli;
+    client_options.max_backoff = 500 * kMicrosPerMilli;
+    client_options.batch_max = batch == 0 ? 1 : batch;
+    client_options.window_frames = window == 0 ? 1 : window;
+    client_options.faults = &faults;
+    clients.push_back(std::make_unique<net::WireInvalidationClient>(
+        &clock, client_options));
+    net::WireInvalidationClient* client = clients.back().get();
+    sinks.push_back(std::make_unique<core::WireCacheSink>(
+        [client](const std::string& bytes, const std::string& key) {
+          return client->Deliver(key, bytes);
+        },
+        [client](const std::vector<std::pair<std::string, std::string>>&
+                     entries) {
+          std::vector<net::WireInvalidationClient::BatchEntry> wire_entries;
+          wire_entries.reserve(entries.size());
+          for (const auto& [key, bytes] : entries) {
+            wire_entries.push_back({key, bytes});
+          }
+          net::WireBatchResult sent = client->DeliverBatch(wire_entries);
+          return invalidator::BatchSendResult{sent.confirmed, sent.status};
+        },
+        [client] { return client->HealthReport(); }));
+  }
 
   // Breakers stay off and the deadline is disabled: the storm must
   // survive arbitrary injected partitions and a full cache restart, so
@@ -130,14 +167,22 @@ int main(int argc, char** argv) {
   delivery_options.initial_backoff = 5 * kMicrosPerMilli;
   delivery_options.max_backoff = 100 * kMicrosPerMilli;
   delivery_options.breaker_failure_threshold = 0;
+  delivery_options.batch_max = static_cast<int>(batch == 0 ? 1 : batch);
   core::ReliableDeliveryQueue queue(&clock, delivery_options);
-  queue.AddSink(&sink, "wire-cache");
-
-  for (uint64_t i = 0; i < count; ++i) {
-    queue.SendInvalidation(tools::StormEject(seed, i),
-                           tools::StormKey(seed, i));
-    queue.Pump();
+  core::DeliveryRouter router(&queue);
+  for (size_t i = 0; i < sinks.size(); ++i) {
+    router.AddPeer(sinks[i].get(), StrCat("peer-", i));
   }
+
+  // Enqueue in batch-sized chunks so consecutive ejects for the same
+  // peer coalesce into EJECT_BATCH frames at each Pump.
+  uint64_t pump_every = batch == 0 ? 1 : batch;
+  for (uint64_t i = 0; i < count; ++i) {
+    router.SendInvalidation(tools::StormEject(seed, i),
+                            tools::StormKey(seed, i));
+    if ((i + 1) % pump_every == 0) queue.Pump();
+  }
+  queue.Pump();
 
   Micros deadline = clock.NowMicros() +
                     static_cast<Micros>(drain_seconds) * kMicrosPerSecond;
@@ -147,13 +192,15 @@ int main(int argc, char** argv) {
 
   const core::DeliveryStats& stats = queue.stats();
   std::ostringstream report;
-  report << queue.HealthReport() << "\n"
+  report << router.HealthReport() << "\n"
          << "faults: injected=" << faults.faults_injected() << "\n";
   bool complete = queue.pending() == 0 && stats.dead_lettered == 0 &&
                   stats.delivered == count;
   report << "storm: count=" << count << " delivered=" << stats.delivered
          << " pending=" << queue.pending()
          << " dead-lettered=" << stats.dead_lettered
+         << " batch-flushes=" << stats.batch_flushes
+         << " batched-messages=" << stats.batched_messages
          << " complete=" << (complete ? 1 : 0) << "\n";
   std::cerr << "invalidator_node:\n" << report.str();
   if (!report_file.empty()) {
