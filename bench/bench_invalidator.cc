@@ -210,6 +210,94 @@ void BM_CycleVsInstancesWithIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_CycleVsInstancesWithIndex)->Arg(10)->Arg(100)->Arg(1000);
 
+/// A world where the false-eject rate has a by-construction ground
+/// truth: `instances` exact-eligible range instances (`SELECT maker,
+/// model ... WHERE price < T`) over a Car table with a `stock` column,
+/// and every cycle's updates are in-place UPDATEs touching only
+/// `stock` — a column no instance's result reads and no WHERE mentions.
+/// No cached page's bytes can change, so every eject is a false eject.
+struct StrategyWorld {
+  StrategyWorld(int instances, bool exact) : db(&clock) {
+    db.CreateTable(db::TableSchema("Car",
+                                   {{"maker", db::ColumnType::kString},
+                                    {"model", db::ColumnType::kString},
+                                    {"price", db::ColumnType::kInt},
+                                    {"stock", db::ColumnType::kInt}}))
+        .ok();
+    for (int i = 0; i < 200; ++i) {
+      // All prices below every instance threshold: each updated row's
+      // WHERE verdict is TRUE, so the conservative walk ejects.
+      db.ExecuteSql(StrCat("INSERT INTO Car VALUES ('mk', 'm", i, "', ",
+                           (i % 200) * 100, ", 5)"))
+          .value();
+    }
+    invalidator::InvalidatorOptions options;
+    options.exact_strategy = exact;
+    invalidator =
+        std::make_unique<invalidator::Invalidator>(&db, &map, &clock,
+                                                   options);
+    invalidator->RunCycle().value();  // Drain seeding.
+    num_instances = instances;
+    RecacheMissing();
+    invalidator->RunCycle().value();  // Register instances untimed.
+  }
+
+  void RecacheMissing() {
+    for (int i = 0; i < num_instances; ++i) {
+      std::string sql =
+          StrCat("SELECT maker, model FROM Car WHERE price < ", 20000 + i);
+      if (!map.PagesForQuery(sql).empty()) continue;
+      map.Add(sql, StrCat("shop/p", i, "?##"), "/r", 0);
+    }
+  }
+
+  void Mutate(int n) {
+    for (int i = 0; i < n; ++i) {
+      db.ExecuteSql(StrCat("UPDATE Car SET stock = ", next_stock++,
+                           " WHERE model = 'm", i % 200, "'"))
+          .value();
+    }
+  }
+
+  ManualClock clock;
+  db::Database db;
+  sniffer::QiUrlMap map;
+  std::unique_ptr<invalidator::Invalidator> invalidator;
+  int num_instances = 0;
+  int next_stock = 100;
+};
+
+/// Cycle cost and eject precision, exact tier (range(1)=1) versus the
+/// conservative impact walk (range(1)=0), on the irrelevant-update
+/// workload above. The counters carry the tentpole's claim: the
+/// conservative walk ejects ~every instance every cycle (all false),
+/// the exact tier ejects none, and neither path issues DBMS polls.
+void BM_CycleVsStrategy(benchmark::State& state) {
+  StrategyWorld world(static_cast<int>(state.range(0)),
+                      state.range(1) == 1);
+  uint64_t ejects = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    world.RecacheMissing();  // Refill what the previous cycle ejected.
+    world.Mutate(8);
+    state.ResumeTiming();
+    auto report = world.invalidator->RunCycle().value();
+    ejects += report.affected_instances;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  double decisions =
+      static_cast<double>(state.iterations()) * state.range(0);
+  state.counters["false-ejects"] = static_cast<double>(ejects);
+  state.counters["false-eject-rate"] =
+      decisions > 0 ? static_cast<double>(ejects) / decisions : 0;
+  state.counters["polls"] =
+      static_cast<double>(world.invalidator->stats().polls_issued);
+}
+BENCHMARK(BM_CycleVsStrategy)
+    ->ArgsProduct({{100, 1000}, {0, 1}})
+    ->ArgNames({"instances", "exact"})
+    ->Unit(benchmark::kMillisecond);
+
 /// Cycle cost versus update-batch size at a fixed 100 instances.
 void BM_CycleVsBatchSize(benchmark::State& state) {
   World world(100, false);

@@ -289,11 +289,10 @@ Result<int64_t> Database::ExecuteUpdate(const sql::UpdateStatement& stmt) {
   for (auto& [id, new_row] : changes) {
     CACHEPORTAL_ASSIGN_OR_RETURN(Row old_row, table->Get(id));
     CACHEPORTAL_RETURN_NOT_OK(table->Update(id, new_row));
-    // Logged as delete(old) + insert(new), the paper's Δ⁻/Δ⁺ formulation.
-    update_log_.Append(now, schema.name(), UpdateOp::kDelete,
-                       std::move(old_row));
-    update_log_.Append(now, schema.name(), UpdateOp::kInsert,
-                       std::move(new_row));
+    // Logged as delete(old) + insert(new), the paper's Δ⁻/Δ⁺ formulation,
+    // pair-stamped because the row was updated in place (RowId stable).
+    update_log_.AppendUpdate(now, schema.name(), std::move(old_row),
+                             std::move(new_row));
   }
   ++dml_executed_;
   return static_cast<int64_t>(changes.size());

@@ -26,11 +26,25 @@ DeltaSet DeltaSet::FromRecords(const std::vector<UpdateRecord>& records) {
 }
 
 void DeltaSet::Add(const UpdateRecord& record) {
-  TableDelta& delta = deltas_[AsciiToLower(record.table)];
+  std::string key = AsciiToLower(record.table);
+  TableDelta& delta = deltas_[key];
   if (record.op == UpdateOp::kInsert) {
     delta.inserts.push_back(record.row);
+    if (record.pair != 0) {
+      auto& pending = pending_pairs_[key];
+      auto it = pending.find(record.pair);
+      if (it != pending.end()) {
+        delta.update_pairs.emplace_back(
+            it->second, static_cast<uint32_t>(delta.inserts.size() - 1));
+        pending.erase(it);
+      }
+    }
   } else {
     delta.deletes.push_back(record.row);
+    if (record.pair != 0) {
+      pending_pairs_[key][record.pair] =
+          static_cast<uint32_t>(delta.deletes.size() - 1);
+    }
   }
 }
 

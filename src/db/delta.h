@@ -1,8 +1,10 @@
 #ifndef CACHEPORTAL_DB_DELTA_H_
 #define CACHEPORTAL_DB_DELTA_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "db/update_log.h"
@@ -15,6 +17,13 @@ namespace cacheportal::db {
 struct TableDelta {
   std::vector<Row> inserts;  // Δ⁺R
   std::vector<Row> deletes;  // Δ⁻R
+
+  /// (index into `deletes`, index into `inserts`) for each in-place
+  /// UPDATE whose two halves both landed in this interval, reassociated
+  /// via UpdateRecord::pair tokens. A pair split across two intervals
+  /// stays unpaired in both, which only costs precision (the exact
+  /// strategy falls back to the insert/delete rule), never correctness.
+  std::vector<std::pair<uint32_t, uint32_t>> update_pairs;
 
   bool empty() const { return inserts.empty() && deletes.empty(); }
   size_t size() const { return inserts.size() + deletes.size(); }
@@ -51,6 +60,10 @@ class DeltaSet {
 
  private:
   std::map<std::string, TableDelta> deltas_;
+  // pair token -> index into that table's `deletes`, for kDelete halves
+  // whose kInsert partner has not arrived yet. Keyed per table because
+  // tokens are global log sequence numbers but indices are per delta.
+  std::map<std::string, std::map<uint64_t, uint32_t>> pending_pairs_;
 };
 
 }  // namespace cacheportal::db

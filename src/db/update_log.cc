@@ -16,6 +16,17 @@ uint64_t UpdateLog::Append(Micros timestamp, const std::string& table,
   return records_.back().seq;
 }
 
+uint64_t UpdateLog::AppendUpdate(Micros timestamp, const std::string& table,
+                                 Row old_row, Row new_row) {
+  uint64_t token = Append(timestamp, table, UpdateOp::kDelete,
+                          std::move(old_row));
+  records_.back().pair = token;
+  uint64_t insert_seq = Append(timestamp, table, UpdateOp::kInsert,
+                               std::move(new_row));
+  records_.back().pair = token;
+  return insert_seq;
+}
+
 std::vector<UpdateRecord> UpdateLog::ReadSince(uint64_t after_seq) const {
   std::vector<UpdateRecord> out;
   if (records_.empty() || after_seq >= records_.back().seq) return out;

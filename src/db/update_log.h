@@ -23,6 +23,16 @@ struct UpdateRecord {
   std::string table;
   UpdateOp op = UpdateOp::kInsert;
   Row row;                // Full row image (inserted or deleted).
+
+  /// Non-zero iff this record is one half of an in-place UPDATE of a
+  /// single physical row: the kDelete carries the old image, the kInsert
+  /// with the same token the new image, and the row's identity (RowId,
+  /// hence unqualified scan position) is unchanged. Only Database's
+  /// UPDATE path stamps this — a coincidentally adjacent DELETE + INSERT
+  /// pair is NOT an update (the re-inserted row gets a fresh RowId and
+  /// may surface at a different scan position), and treating it as one
+  /// would let the exact invalidation strategy retain a stale page.
+  uint64_t pair = 0;
 };
 
 /// Append-only log of modifications, the invalidator's observation point.
@@ -37,6 +47,14 @@ class UpdateLog {
   /// Appends a record; assigns and returns its sequence number.
   uint64_t Append(Micros timestamp, const std::string& table, UpdateOp op,
                   Row row);
+
+  /// Appends an in-place UPDATE of one row as the paper's Δ⁻/Δ⁺ pair —
+  /// kDelete(old image) then kInsert(new image), adjacent, same
+  /// timestamp — with both records stamped with a shared `pair` token so
+  /// consumers can reassociate them. Returns the kInsert's sequence
+  /// number (the pair's upper bound).
+  uint64_t AppendUpdate(Micros timestamp, const std::string& table,
+                        Row old_row, Row new_row);
 
   /// Records with seq > `after_seq`, in order.
   std::vector<UpdateRecord> ReadSince(uint64_t after_seq) const;

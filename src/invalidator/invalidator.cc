@@ -18,7 +18,8 @@ Invalidator::Invalidator(db::Database* database, sniffer::QiUrlMap* map,
       map_(map),
       clock_(clock),
       options_(options),
-      plane_(database, options.metadata_shards, options.use_type_matcher),
+      plane_(database, options.metadata_shards,
+             StrategyConfig::FromOptions(options)),
       info_(database),
       scheduler_(options.max_polls_per_cycle) {
   policy_.SetThresholds(options_.thresholds);
@@ -79,6 +80,7 @@ MatcherStats Invalidator::matcher_stats() const {
   MatcherStats compile = plane_.CompileStats();
   merged.types_compiled = compile.types_compiled;
   merged.types_handled = compile.types_handled;
+  merged.fallback_reasons = compile.fallback_reasons;
   return merged;
 }
 
@@ -106,6 +108,32 @@ std::string Invalidator::StatsReport() const {
     if (observable == nullptr) continue;
     out += StrCat("  sink ", i, " ", observable->HealthReport(), "\n");
   }
+  // Strategy census (DESIGN.md §16). Snapshotted BEFORE the ForEachType
+  // walk below: TierAssignments locks shards one at a time, while the
+  // walk holds every shard lock — calling TierOf from inside it would
+  // self-deadlock. The census derives from the assigned tiers (persisted
+  // ones included), never from live matcher counters, so a report taken
+  // right after a v5 restore is byte-identical to the dead process's.
+  std::map<uint64_t, TierDecision> tiers = plane_.TierAssignments();
+  {
+    size_t census[4] = {0, 0, 0, 0};
+    std::map<std::string, size_t> demotions;
+    for (const auto& [tid, decision] : tiers) {
+      (void)tid;
+      census[static_cast<size_t>(decision.tier)]++;
+      if (!decision.reason.empty()) ++demotions[decision.reason];
+    }
+    out += StrCat("  strategy: exact=", census[0],
+                  " compiled-batch=", census[1], " interpret=", census[2],
+                  " poll=", census[3], "\n");
+    if (!demotions.empty()) {
+      out += "  strategy-demotions:";
+      for (const auto& [reason, count] : demotions) {
+        out += StrCat(" '", reason, "'=", count);
+      }
+      out += "\n";
+    }
+  }
   // The plane's merged iteration is ascending type_id across all shards,
   // so this block is byte-identical at any shard count. Types whose
   // persisted statistics are still staged (restore ran, the next cycle
@@ -119,13 +147,17 @@ std::string Invalidator::StatsReport() const {
       ts = &it->second.stats;
       cacheable = it->second.cacheable;
     }
+    auto tier_it = tiers.find(type.type_id);
     out += StrCat("  type '", type.name, "'",
                   cacheable ? "" : " [non-cacheable]",
                   ": instances=", ts->instances_seen, " checks=", ts->checks,
                   " affected=", ts->affected, " polls=", ts->polling_queries,
                   " inval-ratio=", ts->InvalidationRatio(),
                   " avg-time-us=", ts->AvgInvalidationTime(),
-                  " max-time-us=", ts->max_invalidation_time, "\n");
+                  " max-time-us=", ts->max_invalidation_time, " tier=",
+                  tier_it != tiers.end() ? StrategyTierName(tier_it->second.tier)
+                                         : "unassigned",
+                  "\n");
   });
   if (storage_reporter_ != nullptr) {
     out += StrCat("  ", storage_reporter_(), "\n");
@@ -147,12 +179,12 @@ namespace {
 ///   sink I LEN \n <LEN bytes> \n   (per checkpointable sink)
 ///   end
 ///
-/// v4 (current, the durable store's snapshot payload): adds the full
-/// registry — the plane-global type counter, the lifetime counters,
-/// every type (statistics + cacheability + name + canonical template
-/// text as length-prefixed blocks), and every live instance's SQL — so
-/// restore needs no QI/URL-map rescan and the map cursors restore to
-/// their persisted positions:
+/// v4 (legacy, still restorable — the pre-tier snapshot payload): adds
+/// the full registry — the plane-global type counter, the lifetime
+/// counters, every type (statistics + cacheability + name + canonical
+/// template text as length-prefixed blocks), and every live instance's
+/// SQL — so restore needs no QI/URL-map rescan and the map cursors
+/// restore to their persisted positions:
 ///   cacheportal-invalidator-checkpoint 4
 ///   update_seq N
 ///   shards K
@@ -165,6 +197,20 @@ namespace {
 ///   sink I LEN \n <LEN bytes> \n (per checkpointable sink)
 ///   end
 ///
+/// v5 (current, the durable store's snapshot payload): the v4 grammar
+/// with the type record widened by the strategy tier (DESIGN.md §16) —
+/// TIER is the StrategyTier enum value (0 exact, 1 compiled-batch,
+/// 2 interpret, 3 poll) or 4 for a type whose tier is still unassigned
+/// (declared offline, no instance yet) — plus the demotion reason as a
+/// third length-prefixed block:
+///   type TID CACHEABLE SEEN CHECKS AFFECTED POLLS TOTAL_US MAX_US
+///        TIER NAMELEN TMPLLEN REASONLEN
+///        \n <name> \n <template> \n <reason> \n   (per type)
+/// Restore installs the persisted tier eagerly (InstallTier) so a
+/// StatsReport taken right after recovery prints the same census and
+/// per-type tiers the dead process would have — tiers are pinned, never
+/// re-derived from a possibly-drifted analyzer.
+///
 /// v1/v2 (legacy, still restorable): one `map_id N` line instead of the
 /// shards/shard_map_id block — shard count 1 assumed, the single cursor
 /// standing for the merged (minimum) position. On v1–v3 restore the
@@ -173,6 +219,10 @@ namespace {
 constexpr char kCheckpointMagicV1[] = "cacheportal-invalidator-checkpoint 1";
 constexpr char kCheckpointMagicV3[] = "cacheportal-invalidator-checkpoint 3";
 constexpr char kCheckpointMagicV4[] = "cacheportal-invalidator-checkpoint 4";
+constexpr char kCheckpointMagicV5[] = "cacheportal-invalidator-checkpoint 5";
+
+/// The TIER field's "no tier assigned yet" sentinel (valid tiers 0..3).
+constexpr uint64_t kTierUnassigned = 4;
 
 /// Per-cycle durable delta (the WAL commit record's payload): cursors,
 /// lifetime counters, and only the types/sinks that changed since the
@@ -251,7 +301,7 @@ std::string Invalidator::Checkpoint() {
   // half-restored state (types without their queued instances).
   ApplyPendingRestore();
   std::vector<uint64_t> cursors = plane_.MapCursors();
-  std::string out = StrCat(kCheckpointMagicV4, "\n",
+  std::string out = StrCat(kCheckpointMagicV5, "\n",
                            "update_seq ", last_update_seq_, "\n",
                            "shards ", cursors.size(), "\n");
   for (size_t i = 0; i < cursors.size(); ++i) {
@@ -259,13 +309,25 @@ std::string Invalidator::Checkpoint() {
   }
   out += StrCat("type_counter ", plane_.TypeCount(), "\n");
   out += StrCat("stats ", EncodeLifetimeStats(stats_), "\n");
+  // Snapshot before the walk: TierAssignments takes shard locks one at a
+  // time, the walk below holds them all.
+  std::map<uint64_t, TierDecision> tiers = plane_.TierAssignments();
   plane_.ForEachType([&](const QueryType& type) {
+    auto tier_it = tiers.find(type.type_id);
+    uint64_t tier = tier_it != tiers.end()
+                        ? static_cast<uint64_t>(tier_it->second.tier)
+                        : kTierUnassigned;
+    const std::string reason =
+        tier_it != tiers.end() ? tier_it->second.reason : std::string();
     out += StrCat("type ", type.type_id, " ", type.cacheable ? 1 : 0, " ",
-                  EncodeTypeStats(type.stats), " ", type.name.size(), " ",
-                  type.tmpl.canonical_text.size(), "\n");
+                  EncodeTypeStats(type.stats), " ", tier, " ",
+                  type.name.size(), " ", type.tmpl.canonical_text.size(), " ",
+                  reason.size(), "\n");
     out += type.name;
     out += "\n";
     out += type.tmpl.canonical_text;
+    out += "\n";
+    out += reason;
     out += "\n";
   });
   plane_.ForEachInstance([&](const QueryType&, const QueryInstance& instance) {
@@ -307,6 +369,8 @@ Status Invalidator::Restore(const std::string& checkpoint) {
     version = 3;
   } else if (*magic == kCheckpointMagicV4) {
     version = 4;
+  } else if (*magic == kCheckpointMagicV5) {
+    version = 5;
   } else {
     return Status::ParseError("not an invalidator checkpoint");
   }
@@ -333,8 +397,10 @@ Status Invalidator::Restore(const std::string& checkpoint) {
   struct StagedType {
     uint64_t type_id = 0;
     TypeOverride override_;
+    uint64_t tier = kTierUnassigned;  // v4 blobs carry no tier.
     std::string name;
     std::string tmpl_text;
+    std::string tier_reason;
   };
   std::vector<StagedType> staged_types;
   std::vector<std::string> staged_instances;
@@ -398,11 +464,17 @@ Status Invalidator::Restore(const std::string& checkpoint) {
     } else if (version >= 4 && fields[0] == "stats" && fields.size() == 15) {
       CACHEPORTAL_RETURN_NOT_OK(ParseLifetimeStats(fields, 1, &staged_stats));
       saw_stats = true;
-    } else if (version >= 4 && fields[0] == "type" && fields.size() == 11) {
+    } else if (fields[0] == "type" &&
+               ((version == 4 && fields.size() == 11) ||
+                (version >= 5 && fields.size() == 13))) {
+      // v4: type TID CACHEABLE <6 stats> NAMELEN TMPLLEN + 2 blocks.
+      // v5: type TID CACHEABLE <6 stats> TIER NAMELEN TMPLLEN REASONLEN
+      //     + 3 blocks (the third is the demotion reason, possibly empty).
       StagedType staged;
+      size_t len_at = version >= 5 ? 10 : 9;
       Result<uint64_t> tid = ParseUint64(fields[1]);
-      Result<uint64_t> name_len = ParseUint64(fields[9]);
-      Result<uint64_t> tmpl_len = ParseUint64(fields[10]);
+      Result<uint64_t> name_len = ParseUint64(fields[len_at]);
+      Result<uint64_t> tmpl_len = ParseUint64(fields[len_at + 1]);
       if (!tid.ok() || !name_len.ok() || !tmpl_len.ok()) {
         return Status::ParseError(
             StrCat("bad type record in checkpoint: ", *line));
@@ -410,8 +482,21 @@ Status Invalidator::Restore(const std::string& checkpoint) {
       staged.type_id = *tid;
       CACHEPORTAL_RETURN_NOT_OK(ParseTypeStats(
           fields, 2, &staged.override_.cacheable, &staged.override_.stats));
+      std::optional<uint64_t> reason_len;
+      if (version >= 5) {
+        Result<uint64_t> tier = ParseUint64(fields[9]);
+        Result<uint64_t> r_len = ParseUint64(fields[12]);
+        if (!tier.ok() || *tier > kTierUnassigned || !r_len.ok()) {
+          return Status::ParseError(
+              StrCat("bad type tier record in checkpoint: ", *line));
+        }
+        staged.tier = *tier;
+        reason_len = *r_len;
+      }
       if (!next_block(*name_len, &staged.name) ||
-          !next_block(*tmpl_len, &staged.tmpl_text)) {
+          !next_block(*tmpl_len, &staged.tmpl_text) ||
+          (reason_len.has_value() &&
+           !next_block(*reason_len, &staged.tier_reason))) {
         return Status::ParseError("truncated type blocks in checkpoint");
       }
       // The template must still parse, and to the same identity: the
@@ -524,6 +609,15 @@ Status Invalidator::Restore(const std::string& checkpoint) {
           type->cacheable = staged.override_.cacheable;
         }
       });
+      // Pin the persisted tier eagerly (before any instance re-registers)
+      // so the census and the next cycle's strategy dispatch match the
+      // dead process exactly — a re-derivation against drifted schema or
+      // analyzer behavior would be a silent strategy change on recovery.
+      if (staged.tier < kTierUnassigned) {
+        plane_.InstallTier(staged.type_id,
+                           static_cast<StrategyTier>(staged.tier),
+                           staged.tier_reason);
+      }
       pending_type_overrides_[staged.type_id] = staged.override_;
     }
     // After the creations above, so the persisted counter (which already

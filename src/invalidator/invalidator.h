@@ -108,24 +108,30 @@ class Invalidator {
   /// consumers are past it too.
   uint64_t consumed_update_seq() const { return last_update_seq_; }
 
-  /// Serializes the invalidator's full resumption state (checkpoint v4,
+  /// Serializes the invalidator's full resumption state (checkpoint v5,
   /// the durable store's snapshot payload): the consumed update-log
   /// position, the per-shard QI/URL-map cursors, the lifetime counters,
   /// every query type (name + canonical template + statistics +
-  /// cacheability), every live instance's SQL, and each
+  /// cacheability + strategy tier), every live instance's SQL, and each
   /// CheckpointableSink's durable state (un-acked delivery-queue
   /// messages). Folds any pending restore ops in first. After a crash,
   /// build a fresh Invalidator (same database/map, sinks re-added in the
   /// same order) and Restore() to resume without missing an update.
   std::string Checkpoint();
 
-  /// Rebuilds resumption state from Checkpoint() output — the current v4
-  /// format or a legacy v1/v2/v3 blob. The update-log cursor rewinds to
+  /// Rebuilds resumption state from Checkpoint() output — the current v5
+  /// format or a legacy v1–v4 blob. The update-log cursor rewinds to
   /// the persisted position, so updates that committed after the
   /// checkpoint (including during the outage) are replayed — at least
   /// once, made safe by idempotent ejects.
   ///
-  /// v4 restores the registry WITHOUT the O(N) parse cost up front:
+  /// v5 additionally pins each type's persisted strategy tier
+  /// (MetadataPlane::InstallTier) before any instance re-registers, so
+  /// the strategy census and dispatch match the dead process exactly;
+  /// v4 blobs carry no tiers, so restored types re-derive them at their
+  /// first instance registration.
+  ///
+  /// v4/v5 restore the registry WITHOUT the O(N) parse cost up front:
   /// types, statistics, and cursors rebuild eagerly (cursors restore to
   /// their persisted positions — no map rescan), while instance SQLs are
   /// queued and re-registered lazily by ApplyPendingRestore() (run

@@ -9,8 +9,8 @@
 namespace cacheportal::invalidator {
 
 MetadataPlane::MetadataPlane(db::Database* database, size_t num_shards,
-                             bool use_type_matcher)
-    : database_(database), use_type_matcher_(use_type_matcher) {
+                             StrategyConfig strategy)
+    : database_(database), strategy_(strategy) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -20,6 +20,13 @@ MetadataPlane::MetadataPlane(db::Database* database, size_t num_shards,
     shards_.back()->shard.registry.SetTypeCounter(&type_count_);
   }
 }
+
+MetadataPlane::MetadataPlane(db::Database* database, size_t num_shards,
+                             bool use_type_matcher)
+    : MetadataPlane(database, num_shards, StrategyConfig{
+                                              /*exact=*/true,
+                                              /*compiled=*/use_type_matcher,
+                                              /*batch=*/true}) {}
 
 Status MetadataPlane::RegisterType(const std::string& name,
                                    const std::string& parameterized_sql) {
@@ -241,8 +248,38 @@ MatcherStats MetadataPlane::CompileStats() const {
     std::lock_guard<std::mutex> lock(slot->mu);
     out.types_compiled += slot->shard.compile_stats.types_compiled;
     out.types_handled += slot->shard.compile_stats.types_handled;
+    for (const auto& [reason, count] :
+         slot->shard.compile_stats.fallback_reasons) {
+      out.fallback_reasons[reason] += count;
+    }
   }
   return out;
+}
+
+std::optional<TierDecision> MetadataPlane::TierOf(uint64_t type_id) const {
+  ShardSlot& slot = SlotOfType(type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  auto it = slot.shard.tiers.find(type_id);
+  if (it == slot.shard.tiers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<uint64_t, TierDecision> MetadataPlane::TierAssignments() const {
+  std::map<uint64_t, TierDecision> out;
+  for (const auto& slot : shards_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    for (const auto& [type_id, decision] : slot->shard.tiers) {
+      out.emplace(type_id, decision);
+    }
+  }
+  return out;
+}
+
+void MetadataPlane::InstallTier(uint64_t type_id, StrategyTier tier,
+                                const std::string& reason) {
+  ShardSlot& slot = SlotOfType(type_id);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.shard.tiers[type_id] = TierDecision{tier, reason};
 }
 
 uint64_t MetadataPlane::MinMapCursor() const {
@@ -318,17 +355,36 @@ void MetadataPlane::NotifyObserver(bool registered, const std::string& sql) {
 
 void MetadataPlane::IndexInstanceLocked(Shard& shard,
                                         const QueryInstance& instance) {
-  if (!use_type_matcher_) return;
+  const QueryType* type = shard.registry.FindType(instance.type_id);
+  if (type == nullptr) return;
+  // The matcher compiles even when the compiled execution path is off:
+  // tier assignment needs its verdict, and tier naming must not depend
+  // on which execution path the options picked (StatsReport() is diffed
+  // between the two). The compile COUNTERS describe the matching layer's
+  // activity, so they only move when that layer is enabled — as does the
+  // bind index, which only the compiled path consults.
   auto it = shard.matchers.find(instance.type_id);
   if (it == shard.matchers.end()) {
-    const QueryType* type = shard.registry.FindType(instance.type_id);
-    if (type == nullptr) return;
     TypeMatcher matcher = TypeMatcher::Compile(*type, *database_);
-    ++shard.compile_stats.types_compiled;
-    if (matcher.handled()) ++shard.compile_stats.types_handled;
+    if (strategy_.compiled) {
+      ++shard.compile_stats.types_compiled;
+      if (matcher.handled()) {
+        ++shard.compile_stats.types_handled;
+      } else {
+        ++shard.compile_stats.fallback_reasons[matcher.fallback_reason()];
+      }
+    }
     it = shard.matchers.emplace(instance.type_id, std::move(matcher)).first;
   }
-  if (it->second.handled()) shard.bind_index.AddInstance(it->second, instance);
+  if (strategy_.compiled && it->second.handled()) {
+    shard.bind_index.AddInstance(it->second, instance);
+  }
+  if (shard.tiers.find(instance.type_id) == shard.tiers.end()) {
+    shard.tiers.emplace(
+        instance.type_id,
+        DecideTier(*type, *database_, strategy_, it->second.handled(),
+                   it->second.fallback_reason()));
+  }
 }
 
 }  // namespace cacheportal::invalidator

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -17,6 +18,7 @@
 #include "invalidator/bind_index.h"
 #include "invalidator/options.h"
 #include "invalidator/registry.h"
+#include "invalidator/strategy.h"
 #include "invalidator/type_matcher.h"
 
 namespace cacheportal::invalidator {
@@ -65,10 +67,21 @@ class MetadataPlane {
     /// absorbed. Advanced in lockstep by the ingest scan; persisted
     /// per shard by checkpoint v3.
     uint64_t map_cursor = 0;
+    /// Strategy tier of each type this shard owns, assigned at the
+    /// type's first instance registration (or pinned by checkpoint
+    /// restore) and immutable afterwards (DESIGN.md §16). Tier naming is
+    /// matcher-flag-independent so StatsReport() stays byte-identical
+    /// between the compiled and interpreted execution paths.
+    std::map<uint64_t, TierDecision> tiers;
   };
 
   /// `database` is needed to compile type matchers (schema lookups); not
   /// owned. `num_shards` of 0 is treated as 1.
+  MetadataPlane(db::Database* database, size_t num_shards,
+                StrategyConfig strategy);
+
+  /// Historical convenience ctor: exact tier on, batch on, matcher as
+  /// given (the pre-strategy-seam call sites and tests).
   MetadataPlane(db::Database* database, size_t num_shards,
                 bool use_type_matcher);
 
@@ -79,7 +92,8 @@ class MetadataPlane {
   size_t ShardOfType(uint64_t type_id) const {
     return type_id % shards_.size();
   }
-  bool use_type_matcher() const { return use_type_matcher_; }
+  bool use_type_matcher() const { return strategy_.compiled; }
+  const StrategyConfig& strategy() const { return strategy_; }
 
   /// Offline registration: declare a query type (routed by its
   /// template's type_id).
@@ -130,6 +144,20 @@ class MetadataPlane {
 
   /// Summed compile-side matcher counters (probes etc. stay zero here).
   MatcherStats CompileStats() const;
+
+  // ---- Strategy tiers (DESIGN.md §16). ----
+  /// The tier assigned to `type_id`, or nullopt before its first
+  /// instance registered (and no checkpoint pinned it).
+  std::optional<TierDecision> TierOf(uint64_t type_id) const;
+  /// Snapshot of every assigned tier, keyed by type_id (sorted — the
+  /// census/checkpoint order). Locks shards one at a time; safe to call
+  /// from StatsReport and checkpointing.
+  std::map<uint64_t, TierDecision> TierAssignments() const;
+  /// Pins a restored tier assignment: later registrations of the type
+  /// keep it instead of re-deriving from the (possibly drifted)
+  /// analyzer. Overwrites any live assignment.
+  void InstallTier(uint64_t type_id, StrategyTier tier,
+                   const std::string& reason);
 
   // ---- QI/URL-map cursors (one per shard, advanced in lockstep). ----
   /// The scan origin: the smallest per-shard cursor (rows above it may
@@ -194,7 +222,7 @@ class MetadataPlane {
       const std::function<void(size_t, const QueryType&)>& fn) const;
 
   db::Database* database_;
-  bool use_type_matcher_;
+  StrategyConfig strategy_;
   std::vector<std::unique_ptr<ShardSlot>> shards_;
   /// Plane-global count of types ever created, shared with every shard's
   /// registry so discovered-type names are shard-count-invariant.

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "common/clock.h"
 #include "invalidator/overload.h"
@@ -56,6 +58,14 @@ struct InvalidatorOptions {
   /// and StatsReport() are byte-identical with this off (the ablation
   /// baseline / differential-test oracle).
   bool use_type_matcher = true;
+  /// Allow the exact single-table strategy tier: eligible templates
+  /// (single FROM table, no aggregation/self-join, WHERE decidable from
+  /// one row under 3VL, all references schema-resolved) are invalidated
+  /// exactly from the delta's old/new row images — no impact-analysis
+  /// fan-out, no polling, no false ejects — instead of the conservative
+  /// path (DESIGN.md §16). Off = every type lands on the tier it had
+  /// before the strategy seam existed (the differential-test oracle).
+  bool exact_strategy = true;
   /// Run the compiled matcher's candidate discovery column-wise: each
   /// cycle materializes the merged delta views as typed column batches
   /// and every (type, table) anchor is evaluated over a whole column in
@@ -106,6 +116,10 @@ struct MatcherStats {
   uint64_t fast_path_instances = 0;  // Instances skipped before the
                                      // analysis fan-out (no candidate
                                      // rows anywhere in the cycle).
+  /// Per-reason tally of templates the compiler declined to anchor
+  /// (TypeMatcher::fallback_reason()), aggregated at compile time so
+  /// tier demotions are observable without a debugger.
+  std::map<std::string, uint64_t> fallback_reasons;
 };
 
 /// Lifetime counters for the whole invalidator.

@@ -41,6 +41,11 @@ StagePolicy MakeStagePolicy(DegradationMode mode,
     case DegradationMode::kEmergency:
       policy.skip_polls = true;
       policy.flush_only = true;
+      // The one rung that overrides the exact tier: a table-scoped flush
+      // abandons precision wholesale, exact types included. The economy
+      // and conservative rungs above keep exact_exempt true — they only
+      // ration polls, and the exact tier issues none to ration.
+      policy.exact_exempt = false;
       break;
   }
   return policy;
@@ -131,8 +136,10 @@ Status IngestStage::Run(CycleContext& ctx) {
 
   // Columnar materialization of the merged views (parallel by index),
   // built once here and probed whole-column per (type, table) anchor by
-  // ImpactStage. Borrows the same rows as `merged`.
-  if (env_.options->use_type_matcher && env_.options->batch_impact) {
+  // ImpactStage. Borrows the same rows as `merged`. Gated on the plane's
+  // strategy config (the options resolved once at construction) — the
+  // stages read strategy knobs from one place, not scattered booleans.
+  if (env_.plane->strategy().compiled && env_.plane->strategy().batch) {
     ctx.batch_columns.reserve(ctx.merged.size());
     for (const TableTuples& view : ctx.merged) {
       ctx.batch_columns.push_back(sql::ColumnBatch::FromRows(view.tuples));
@@ -193,8 +200,20 @@ Status ImpactStage::Run(CycleContext& ctx) {
   }
 
   // ---- Impact analysis (Section 4.1.2's grouping). ----
-  const bool batch = plane.use_type_matcher() && env_.options->batch_impact &&
+  const bool batch = plane.strategy().compiled && plane.strategy().batch &&
                      ctx.batch_columns.size() == ctx.merged.size();
+
+  // Exact-tier types (DESIGN.md §16): decided per instance from the
+  // delta's row images — no index probes, no impact fan-out, no polls.
+  // Snapshotted up front because the ForEach* callbacks below must not
+  // re-enter the plane. Empty when the policy's rung revoked the
+  // exemption (kEmergency never reaches this point anyway).
+  std::set<uint64_t> exact_types;
+  if (ctx.policy.exact_exempt) {
+    for (const auto& [type_id, decision] : plane.TierAssignments()) {
+      if (decision.tier == StrategyTier::kExact) exact_types.insert(type_id);
+    }
+  }
 
   // Retire sweep gate: checking every instance costs a page-count map
   // lookup per instance, but a query's page count can only DROP through
@@ -233,6 +252,7 @@ Status ImpactStage::Run(CycleContext& ctx) {
       analysis.type_id = type.type_id;
       analysis.instance_id = instance.instance_id;
       analysis.instance = &instance;
+      analysis.exact = exact_types.count(type.type_id) > 0;
       ctx.work.push_back(std::move(analysis));
     });
   } else if (sweep) {
@@ -279,6 +299,9 @@ Status ImpactStage::Run(CycleContext& ctx) {
       plane.WithShardOfType(block.type_id, [&](MetadataPlane::Shard& shard) {
         block.live = shard.registry.NumInstancesOfType(block.type_id);
         if (block.live == 0) return;
+        // Exact-tier types need no candidate discovery: every instance
+        // is decided from row images in the fan-out below.
+        if (exact_types.count(block.type_id) > 0) return;
         auto matcher_it = shard.matchers.find(block.type_id);
         if (matcher_it == shard.matchers.end() ||
             !matcher_it->second.handled()) {
@@ -319,6 +342,7 @@ Status ImpactStage::Run(CycleContext& ctx) {
       }
     }
     for (uint64_t type_id : work_types) {
+      if (exact_types.count(type_id) > 0) continue;
       plane.WithShardOfType(type_id, [&](MetadataPlane::Shard& shard) {
         auto matcher_it = shard.matchers.find(type_id);
         if (matcher_it == shard.matchers.end() ||
@@ -397,6 +421,24 @@ Status ImpactStage::Run(CycleContext& ctx) {
     std::vector<const QueryInstance*> fetched;
     for (const TypeBlock& block : blocks) {
       if (block.live == 0) continue;
+      // Exact-tier types bypass the probe-driven partition: every live
+      // instance enters the work list (SQL-text order — the scalar
+      // snapshot's order) and is decided from row images in the fan-out.
+      if (exact_types.count(block.type_id) > 0) {
+        plane.WithShardOfType(
+            block.type_id, [&](MetadataPlane::Shard& shard) {
+              shard.registry.ForEachInstanceOfType(
+                  block.type_id, [&](const QueryInstance& instance) {
+                    InstanceAnalysis analysis;
+                    analysis.type_id = block.type_id;
+                    analysis.instance_id = instance.instance_id;
+                    analysis.instance = &instance;
+                    analysis.exact = true;
+                    work.push_back(std::move(analysis));
+                  });
+            });
+        continue;
+      }
       const sql::SelectStatement* statement = block.type->tmpl.statement.get();
 
       std::vector<const TableProbe*> covering(ctx.merged.size(), nullptr);
@@ -509,6 +551,40 @@ Status ImpactStage::Run(CycleContext& ctx) {
   RunStageParallel(env_.pool, work.size(), [&](size_t slot) {
     InstanceAnalysis& a = work[slot];
     const QueryInstance& instance = *a.instance;
+
+    if (a.exact) {
+      // Exact tier: the delta for the instance's single FROM table
+      // decides membership changes from its row images — no impact
+      // analysis, no polls, never condemned. Views over other tables
+      // cannot affect a single-table query and are skipped outright
+      // (the checked bit still arms so the merge counts the analysis,
+      // exactly like the conservative walk does).
+      Micros check_start = env_.clock->NowMicros();
+      const sql::SelectStatement& statement = *instance.statement;
+      const db::Table* table =
+          statement.from.empty()
+              ? nullptr
+              : env_.database->FindTable(statement.from[0].table);
+      bool affected = false;
+      for (const TableTuples& view : merged) {
+        a.checked = true;
+        if (table == nullptr) {
+          // Schema vanished under an assigned tier: eject conservatively
+          // rather than risk staleness.
+          affected = true;
+          break;
+        }
+        if (!EqualsIgnoreCase(statement.from[0].table, view.table)) continue;
+        if (ExactInstanceAffected(statement, table->schema(),
+                                  ctx.deltas.ForTable(view.table))) {
+          affected = true;
+          break;
+        }
+      }
+      a.check_time = env_.clock->NowMicros() - check_start;
+      if (a.checked && affected) a.affected = true;
+      return;
+    }
 
     if (delta_tables_by_type.find(a.type_id)->second >= 2) {
       a.multi_table_guard = true;

@@ -382,6 +382,167 @@ std::vector<const Expression*> SplitConjuncts(const Expression& expr) {
   return conjuncts;
 }
 
+namespace {
+
+/// True if any node of `expr` is an aggregate function call.
+bool ContainsAggregate(const Expression& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+    case ExprKind::kParameter:
+      return false;
+    case ExprKind::kUnary:
+      return ContainsAggregate(static_cast<const UnaryExpr&>(expr).operand());
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return ContainsAggregate(b.left()) || ContainsAggregate(b.right());
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (call.IsAggregate()) return true;
+      for (const ExpressionPtr& arg : call.args()) {
+        if (ContainsAggregate(*arg)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (ContainsAggregate(in.operand())) return true;
+      for (const ExpressionPtr& item : in.items()) {
+        if (ContainsAggregate(*item)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      return ContainsAggregate(between.operand()) ||
+             ContainsAggregate(between.low()) ||
+             ContainsAggregate(between.high());
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggregate(static_cast<const IsNullExpr&>(expr).operand());
+  }
+  return false;
+}
+
+/// Walks a WHERE clause checking every node is row-decidable under 3VL.
+/// Returns the first blocker found ("" when clean). The disallowed forms
+/// are exactly the ones whose 3VL outcome the exact strategy's
+/// row-substitution evaluation cannot be trusted to mirror the executor
+/// on (LIKE), or the paper's single-table algorithm excludes outright
+/// (NULL comparands, function calls standing in for subqueries).
+std::string WhereBlocker(const Expression& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      if (static_cast<const LiteralExpr&>(expr).value().is_null()) {
+        return "NULL comparand";
+      }
+      return "";
+    case ExprKind::kColumnRef:
+    case ExprKind::kParameter:
+      return "";
+    case ExprKind::kUnary:
+      return WhereBlocker(static_cast<const UnaryExpr&>(expr).operand());
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      if (b.op() == BinaryOp::kLike) return "LIKE pattern";
+      std::string blocker = WhereBlocker(b.left());
+      if (!blocker.empty()) return blocker;
+      return WhereBlocker(b.right());
+    }
+    case ExprKind::kFunctionCall:
+      return static_cast<const FunctionCallExpr&>(expr).IsAggregate()
+                 ? "aggregation"
+                 : "unsupported function call";
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      std::string blocker = WhereBlocker(in.operand());
+      if (!blocker.empty()) return blocker;
+      for (const ExpressionPtr& item : in.items()) {
+        blocker = WhereBlocker(*item);
+        if (!blocker.empty()) return blocker;
+      }
+      return "";
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      std::string blocker = WhereBlocker(between.operand());
+      if (!blocker.empty()) return blocker;
+      blocker = WhereBlocker(between.low());
+      if (!blocker.empty()) return blocker;
+      return WhereBlocker(between.high());
+    }
+    case ExprKind::kIsNull:
+      // IS [NOT] NULL is the sanctioned way to mention NULL: its outcome
+      // is two-valued and row-decidable.
+      return WhereBlocker(static_cast<const IsNullExpr&>(expr).operand());
+  }
+  return "";
+}
+
+}  // namespace
+
+TemplateShape ClassifyTemplateShape(const SelectStatement& statement) {
+  TemplateShape shape;
+
+  // FROM shape. A table aliased twice is a self-join even though the
+  // aliases differ — what matters is one relation's delta reaching the
+  // statement through two scans.
+  shape.single_table = statement.from.size() == 1;
+  for (size_t i = 0; i < statement.from.size() && !shape.self_join; ++i) {
+    for (size_t j = i + 1; j < statement.from.size(); ++j) {
+      if (statement.from[i].table.size() == statement.from[j].table.size() &&
+          std::equal(statement.from[i].table.begin(),
+                     statement.from[i].table.end(),
+                     statement.from[j].table.begin(),
+                     [](char a, char b) {
+                       return std::tolower(static_cast<unsigned char>(a)) ==
+                              std::tolower(static_cast<unsigned char>(b));
+                     })) {
+        shape.self_join = true;
+        break;
+      }
+    }
+  }
+
+  // Aggregation anywhere: select items, GROUP BY / HAVING presence, or an
+  // aggregate call inside WHERE (the parser admits it; the executor does
+  // not evaluate it per row).
+  shape.has_aggregation = !statement.group_by.empty() ||
+                          statement.having != nullptr;
+  for (const SelectItem& item : statement.items) {
+    if (!shape.has_aggregation && item.expr != nullptr &&
+        ContainsAggregate(*item.expr)) {
+      shape.has_aggregation = true;
+    }
+  }
+  if (!shape.has_aggregation && statement.where != nullptr &&
+      ContainsAggregate(*statement.where)) {
+    shape.has_aggregation = true;
+  }
+
+  std::string where_blocker;
+  if (statement.where != nullptr) {
+    where_blocker = WhereBlocker(*statement.where);
+  }
+  shape.where_row_decidable = where_blocker.empty();
+
+  // First disqualifier wins, in severity order: the census counts these
+  // strings, so they must be deterministic per template.
+  if (shape.self_join) {
+    shape.blocker = "self-join";
+  } else if (!shape.single_table) {
+    shape.blocker = "multi-table FROM";
+  } else if (shape.has_aggregation) {
+    shape.blocker = "aggregation";
+  } else if (shape.has_subquery) {
+    shape.blocker = "subquery";
+  } else if (!where_blocker.empty()) {
+    shape.blocker = where_blocker;
+  }
+  return shape;
+}
+
 ExpressionPtr QualifyColumns(
     const Expression& expr,
     const std::function<std::optional<std::string>(const std::string&)>&

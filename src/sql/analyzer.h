@@ -76,6 +76,37 @@ ExpressionPtr QualifyColumns(
     const std::function<std::optional<std::string>(const std::string& column)>&
         owner_of);
 
+/// Structural classification of a query template, the input to per-type
+/// invalidation strategy selection (DESIGN.md §16). Purely syntactic:
+/// schema resolution (does every referenced column exist in the FROM
+/// table?) is the caller's concern — this layer must not know schemas.
+struct TemplateShape {
+  bool single_table = false;   // Exactly one FROM entry.
+  bool self_join = false;      // The same table appears twice in FROM.
+  bool has_aggregation = false;  // Aggregate call, GROUP BY, or HAVING.
+  bool has_subquery = false;   // The grammar cannot express subqueries
+                               // today; kept so the eligibility contract
+                               // is explicit when it learns to.
+  /// The WHERE clause (if any) can be decided from a single row of the
+  /// FROM table under 3VL: only literals, parameters, column references,
+  /// NOT/negation, AND/OR, arithmetic, comparisons, IN, BETWEEN, and
+  /// IS [NOT] NULL — no LIKE, no NULL comparands, no function calls.
+  bool where_row_decidable = false;
+
+  /// Empty when the template qualifies for the exact single-table
+  /// invalidation tier; otherwise the first disqualifier, phrased for
+  /// the strategy census ("multi-table FROM", "self-join",
+  /// "aggregation", "LIKE pattern", "NULL comparand", ...).
+  std::string blocker;
+
+  bool exact_eligible() const { return blocker.empty(); }
+};
+
+/// Classifies `statement` for strategy selection. Deterministic: equal
+/// templates always classify identically, so tier assignment is
+/// shard-count- and worker-count-invariant.
+TemplateShape ClassifyTemplateShape(const SelectStatement& statement);
+
 }  // namespace cacheportal::sql
 
 #endif  // CACHEPORTAL_SQL_ANALYZER_H_

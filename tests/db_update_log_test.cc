@@ -160,5 +160,87 @@ TEST(DeltaSetTest, UnknownTableYieldsEmptyDelta) {
   EXPECT_EQ(deltas.TotalRows(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Update pairing (Δ⁻/Δ⁺ tokens for the exact strategy)
+// ---------------------------------------------------------------------
+
+TEST(UpdateLogTest, AppendUpdateStampsSharedPairToken) {
+  UpdateLog log;
+  log.Append(5, "Car", UpdateOp::kInsert, R(1));  // Plain append: no token.
+  log.AppendUpdate(7, "Car", R(1), R(2));
+  log.AppendUpdate(9, "Car", R(2), R(3));
+
+  auto records = log.ReadSince(0);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].pair, 0u);
+
+  // Each update is an adjacent kDelete/kInsert with one shared, nonzero
+  // token and the same commit timestamp.
+  EXPECT_EQ(records[1].op, UpdateOp::kDelete);
+  EXPECT_EQ(records[2].op, UpdateOp::kInsert);
+  EXPECT_NE(records[1].pair, 0u);
+  EXPECT_EQ(records[1].pair, records[2].pair);
+  EXPECT_EQ(records[1].timestamp, records[2].timestamp);
+  EXPECT_EQ(records[1].row[0], Value::Int(1));
+  EXPECT_EQ(records[2].row[0], Value::Int(2));
+
+  // Distinct updates get distinct tokens.
+  EXPECT_EQ(records[3].pair, records[4].pair);
+  EXPECT_NE(records[1].pair, records[3].pair);
+}
+
+TEST(DeltaSetTest, ReassociatesUpdatePairsByToken) {
+  UpdateLog log;
+  log.Append(0, "Car", UpdateOp::kInsert, R(10));
+  log.AppendUpdate(0, "Car", R(1), R(2));
+  log.Append(0, "Car", UpdateOp::kDelete, R(20));
+
+  DeltaSet deltas = DeltaSet::FromRecords(log.ReadSince(0));
+  const TableDelta& car = deltas.ForTable("Car");
+  ASSERT_EQ(car.inserts.size(), 2u);
+  ASSERT_EQ(car.deletes.size(), 2u);
+  ASSERT_EQ(car.update_pairs.size(), 1u);
+  auto [d_idx, i_idx] = car.update_pairs[0];
+  EXPECT_EQ(car.deletes[d_idx][0], Value::Int(1));
+  EXPECT_EQ(car.inserts[i_idx][0], Value::Int(2));
+}
+
+TEST(DeltaSetTest, AdjacentDeleteInsertWithoutTokenDoesNotPair) {
+  // A DELETE immediately followed by an INSERT is not an update: the
+  // re-inserted row has a fresh RowId and may surface at a different
+  // scan position. Only the token pairs — adjacency never does.
+  UpdateLog log;
+  log.Append(0, "Car", UpdateOp::kDelete, R(1));
+  log.Append(0, "Car", UpdateOp::kInsert, R(2));
+
+  DeltaSet deltas = DeltaSet::FromRecords(log.ReadSince(0));
+  const TableDelta& car = deltas.ForTable("Car");
+  EXPECT_EQ(car.inserts.size(), 1u);
+  EXPECT_EQ(car.deletes.size(), 1u);
+  EXPECT_TRUE(car.update_pairs.empty());
+}
+
+TEST(DeltaSetTest, PairSplitAcrossIntervalsStaysUnpairedInBoth) {
+  UpdateLog log;
+  uint64_t insert_seq = log.AppendUpdate(0, "Car", R(1), R(2));
+  uint64_t delete_seq = insert_seq - 1;
+
+  // One cycle consumes through the kDelete half, the next the rest.
+  DeltaSet first = DeltaSet::FromRecords(log.ReadSince(0));
+  DeltaSet older;
+  for (const UpdateRecord& r : log.ReadSince(0)) {
+    if (r.seq <= delete_seq) older.Add(r);
+  }
+  DeltaSet newer = DeltaSet::FromRecords(log.ReadSince(delete_seq));
+
+  // Together they'd pair; split they degrade to plain Δ⁻ and Δ⁺ rows,
+  // which the exact strategy treats conservatively.
+  EXPECT_EQ(first.ForTable("Car").update_pairs.size(), 1u);
+  EXPECT_EQ(older.ForTable("Car").deletes.size(), 1u);
+  EXPECT_TRUE(older.ForTable("Car").update_pairs.empty());
+  EXPECT_EQ(newer.ForTable("Car").inserts.size(), 1u);
+  EXPECT_TRUE(newer.ForTable("Car").update_pairs.empty());
+}
+
 }  // namespace
 }  // namespace cacheportal::db

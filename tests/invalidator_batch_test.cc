@@ -561,6 +561,9 @@ TEST(BatchSmokeTest, LargeEqualityWorldIsIdenticalBatchOnAndOff) {
     sniffer::QiUrlMap map;
     InvalidatorOptions options;
     options.batch_impact = batch;
+    // The subject is the batch-probe machinery; the exact tier would
+    // otherwise claim these single-table equality types and bypass it.
+    options.exact_strategy = false;
     Invalidator inv(&db, &map, &clock, options);
     RecordingSink sink;
     inv.AddSink(&sink);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "invalidator/baseline.h"
 #include "invalidator/invalidator.h"
 #include "sniffer/qiurl_map.h"
+#include "sql/template.h"
 
 namespace cacheportal::invalidator {
 namespace {
@@ -184,13 +187,14 @@ TEST(InvalidatorCheckpointTest, LegacyV1CheckpointStillRestores) {
           .ok());
 }
 
-/// v4 round-trip: the current format carries one QI/URL-map cursor per
-/// metadata shard PLUS the full registry (types + instance SQLs), and
-/// restores into a process with a DIFFERENT live shard count (the
-/// persisted partitioning never constrains the new configuration —
-/// mismatched cursors fall back to the minimum position, and the
-/// snapshot's own instances rebuild the registry without a rescan).
-TEST(InvalidatorCheckpointTest, V4RoundTripsAcrossShardCounts) {
+/// v5 round-trip: the current format carries one QI/URL-map cursor per
+/// metadata shard PLUS the full registry (types + instance SQLs +
+/// strategy tiers), and restores into a process with a DIFFERENT live
+/// shard count (the persisted partitioning never constrains the new
+/// configuration — mismatched cursors fall back to the minimum position,
+/// and the snapshot's own instances rebuild the registry without a
+/// rescan).
+TEST(InvalidatorCheckpointTest, V5RoundTripsAcrossShardCounts) {
   ManualClock clock;
   db::Database db(&clock);
   CreateCarTables(&db);
@@ -202,7 +206,7 @@ TEST(InvalidatorCheckpointTest, V4RoundTripsAcrossShardCounts) {
   Invalidator inv(&db, &map, &clock, three);
   inv.RunCycle().value();
   std::string checkpoint = inv.Checkpoint();
-  EXPECT_NE(checkpoint.find("cacheportal-invalidator-checkpoint 4\n"),
+  EXPECT_NE(checkpoint.find("cacheportal-invalidator-checkpoint 5\n"),
             std::string::npos);
   EXPECT_NE(checkpoint.find("shards 3\n"), std::string::npos);
   // All three cursors advanced in lockstep to the scanned map row.
@@ -294,6 +298,103 @@ TEST(InvalidatorCheckpointTest, LegacyV3CheckpointStillRestores) {
                                   "shard_map_id 0 0\n", "type_counter 1\n",
                                   "end\n"))
                   .IsParseError());
+}
+
+/// The exact bytes the v4 writer produced (11-field type records, no
+/// tier) still restore: the type and instance rebuild, and the tier —
+/// absent from the blob — re-derives at the instance's re-registration.
+TEST(InvalidatorCheckpointTest, LegacyV4CheckpointStillRestores) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  sniffer::QiUrlMap map;
+  map.Add("SELECT * FROM Car WHERE price < 20000", "shop/cheap?##", "/r", 0);
+
+  const std::string sql = "SELECT * FROM Car WHERE price < 20000";
+  sql::QueryTemplate tmpl = sql::ExtractTemplateFromSql(sql).value();
+  const std::string name = "Q1";
+  const std::string legacy = StrCat(
+      "cacheportal-invalidator-checkpoint 4\n", "update_seq 0\n",
+      "shards 1\n", "shard_map_id 0 ", map.LastId(), "\n",
+      "type_counter 1\n", "stats 1 0 1 0 0 0 0 0 0 0 0 0 0 0\n",
+      "type ", tmpl.type_id, " 1 1 0 0 0 0 0 ", name.size(), " ",
+      tmpl.canonical_text.size(), "\n", name, "\n", tmpl.canonical_text,
+      "\n", "instance ", sql.size(), "\n", sql, "\n", "end\n");
+
+  RecordingSink sink;
+  Invalidator inv(&db, &map, &clock);
+  inv.AddSink(&sink);
+  ASSERT_TRUE(inv.Restore(legacy).ok());
+  // No tier travels in v4: unassigned until the staged instance replays.
+  EXPECT_FALSE(inv.metadata().TierOf(tmpl.type_id).has_value());
+  db.ExecuteSql("INSERT INTO Car VALUES ('Honda', 'Civic', 15000)").value();
+  inv.RunCycle().value();
+  EXPECT_TRUE(sink.invalidated.contains("shop/cheap?##"));
+  std::optional<TierDecision> tier = inv.metadata().TierOf(tmpl.type_id);
+  ASSERT_TRUE(tier.has_value());
+  EXPECT_EQ(tier->tier, StrategyTier::kExact);
+
+  // v5 corruption is loud: a tier outside [0, 4] fails the parse, and a
+  // v4 blob must not carry 13-field v5 type records.
+  EXPECT_TRUE(inv.Restore(StrCat(
+                              "cacheportal-invalidator-checkpoint 5\n",
+                              "update_seq 0\n", "shards 1\n",
+                              "shard_map_id 0 0\n", "type_counter 1\n",
+                              "stats 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n",
+                              "type ", tmpl.type_id, " 1 0 0 0 0 0 0 9 ",
+                              name.size(), " ", tmpl.canonical_text.size(),
+                              " 0\n", name, "\n", tmpl.canonical_text,
+                              "\n\n", "end\n"))
+                  .IsParseError());
+  EXPECT_TRUE(inv.Restore(StrCat(
+                              "cacheportal-invalidator-checkpoint 4\n",
+                              "update_seq 0\n", "shards 1\n",
+                              "shard_map_id 0 0\n", "type_counter 1\n",
+                              "stats 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n",
+                              "type ", tmpl.type_id, " 1 0 0 0 0 0 0 0 ",
+                              name.size(), " ", tmpl.canonical_text.size(),
+                              " 0\n", name, "\n", tmpl.canonical_text,
+                              "\n\n", "end\n"))
+                  .IsParseError());
+}
+
+/// Strategy tiers round-trip: a plane restored from a v5 checkpoint
+/// reports byte-identical tier assignments (tier AND demotion reason,
+/// per type) and a byte-identical StatsReport — BEFORE any instance
+/// re-registers, so the pins come from the blob, not a re-derivation.
+TEST(InvalidatorCheckpointTest, V5RestoredTiersAreByteIdentical) {
+  ManualClock clock;
+  db::Database db(&clock);
+  CreateCarTables(&db);
+  sniffer::QiUrlMap map;
+  // A spread of tiers: exact, demoted-by-join, demoted-by-LIKE.
+  map.Add("SELECT * FROM Car WHERE price < 20000", "shop/cheap?##", "/r", 0);
+  map.Add(
+      "SELECT Car.maker FROM Car, Mileage WHERE Car.model = Mileage.model",
+      "shop/epa?##", "/r", 0);
+  map.Add("SELECT * FROM Car WHERE maker LIKE 'F%'", "shop/f?##", "/r", 0);
+
+  InvalidatorOptions three;
+  three.metadata_shards = 3;
+  Invalidator inv(&db, &map, &clock, three);
+  inv.RunCycle().value();
+  std::map<uint64_t, TierDecision> before = inv.metadata().TierAssignments();
+  ASSERT_EQ(before.size(), 3u);
+  std::string checkpoint = inv.Checkpoint();
+
+  InvalidatorOptions two;
+  two.metadata_shards = 2;
+  Invalidator inv2(&db, &map, &clock, two);
+  ASSERT_TRUE(inv2.Restore(checkpoint).ok());
+  std::map<uint64_t, TierDecision> after = inv2.metadata().TierAssignments();
+  ASSERT_EQ(after.size(), before.size());
+  for (const auto& [tid, decision] : before) {
+    auto it = after.find(tid);
+    ASSERT_NE(it, after.end()) << "type " << tid << " lost its tier";
+    EXPECT_EQ(it->second.tier, decision.tier) << "type " << tid;
+    EXPECT_EQ(it->second.reason, decision.reason) << "type " << tid;
+  }
+  EXPECT_EQ(inv2.StatsReport(), inv.StatsReport());
 }
 
 /// Checkpoints embed CheckpointableSink state: messages stuck in a

@@ -241,7 +241,11 @@ class MatcherBoundaryTest : public ::testing::Test {
             .ok());
     sniffer::QiUrlMap map;
     RecordingSink sink;
-    Invalidator inv(&db, &map, &clock, {});
+    // The subject is the matcher's index probe; the exact tier would
+    // otherwise claim these single-table types and bypass it.
+    InvalidatorOptions options;
+    options.exact_strategy = false;
+    Invalidator inv(&db, &map, &clock, options);
     inv.AddSink(&sink);
     map.Add(sql, "shop/page?##", "/r", 0);
     db.ExecuteSql(insert_sql).value();

@@ -180,5 +180,97 @@ TEST(QualifyTest, AddsOwnersToUnqualifiedRefs) {
   EXPECT_EQ(ExprToSql(*out), "Car.price < 100 AND Car.model = model2");
 }
 
+// ---------------------------------------------------------------------
+// ClassifyTemplateShape: the exact-tier eligibility contract
+// ---------------------------------------------------------------------
+
+TemplateShape Classify(const std::string& sql) {
+  auto result = Parser::ParseSelect(sql);
+  EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+  return ClassifyTemplateShape(**result);
+}
+
+TEST(TemplateShapeTest, SingleTableParameterizedShapesAreEligible) {
+  const std::string eligible[] = {
+      "SELECT * FROM Car WHERE price = $1",
+      "SELECT maker FROM Car WHERE model IN ($1, 'Focus', $2)",
+      "SELECT * FROM Car WHERE price BETWEEN $1 AND $2",
+      "SELECT maker, model FROM Car WHERE price < 20000 AND stock > 0 "
+      "ORDER BY price",
+      "SELECT * FROM Car",
+      "SELECT model FROM Car WHERE maker IS NOT NULL",
+      "SELECT model FROM Car WHERE NOT (price > $1 OR stock = 0)",
+  };
+  for (const std::string& sql : eligible) {
+    TemplateShape shape = Classify(sql);
+    EXPECT_TRUE(shape.exact_eligible()) << sql << ": " << shape.blocker;
+    EXPECT_TRUE(shape.single_table) << sql;
+    EXPECT_TRUE(shape.where_row_decidable) << sql;
+  }
+}
+
+TEST(TemplateShapeTest, IneligibleShapesNameTheirBlocker) {
+  struct Case {
+    std::string sql;
+    std::string blocker;
+  };
+  const Case cases[] = {
+      // Comparing against NULL yields UNKNOWN for every row; IS NULL is
+      // the sanctioned spelling.
+      {"SELECT * FROM Car WHERE maker = NULL", "NULL comparand"},
+      // One relation's delta reaches the statement through two scans.
+      {"SELECT a.model FROM Car a, Car b WHERE a.price < b.price",
+       "self-join"},
+      // OR across tables: a single row image cannot decide membership.
+      {"SELECT Car.model FROM Car, Mileage "
+       "WHERE Car.model = Mileage.model OR Car.price < $1",
+       "multi-table FROM"},
+      {"SELECT COUNT(*) FROM Car", "aggregation"},
+      {"SELECT maker FROM Car GROUP BY maker", "aggregation"},
+      {"SELECT * FROM Car WHERE maker LIKE 'F%'", "LIKE pattern"},
+      // The parser only admits aggregate calls, so an aggregate inside
+      // WHERE is how a function call reaches classification at all.
+      {"SELECT * FROM Car WHERE MAX(price) = 4", "aggregation"},
+  };
+  for (const Case& c : cases) {
+    TemplateShape shape = Classify(c.sql);
+    EXPECT_FALSE(shape.exact_eligible()) << c.sql;
+    EXPECT_EQ(shape.blocker, c.blocker) << c.sql;
+  }
+}
+
+TEST(TemplateShapeTest, FirstDisqualifierWinsInSeverityOrder) {
+  // A self-joining aggregate with a LIKE: the census must count it once,
+  // under the most structural blocker.
+  TemplateShape shape = Classify(
+      "SELECT COUNT(*) FROM Car a, Car b "
+      "WHERE a.model = b.model AND a.maker LIKE 'F%'");
+  EXPECT_EQ(shape.blocker, "self-join");
+  // Same statement without the self-join: FROM shape still outranks
+  // aggregation and the WHERE blockers.
+  shape = Classify(
+      "SELECT COUNT(*) FROM Car, Mileage "
+      "WHERE Car.model = Mileage.model AND Car.maker LIKE 'F%'");
+  EXPECT_EQ(shape.blocker, "multi-table FROM");
+}
+
+TEST(TemplateShapeTest, SelfJoinDetectionIgnoresAliasAndCase) {
+  TemplateShape shape =
+      Classify("SELECT x.model FROM Car x, CAR y WHERE x.price < y.price");
+  EXPECT_TRUE(shape.self_join);
+  EXPECT_EQ(shape.blocker, "self-join");
+}
+
+TEST(TemplateShapeTest, SubqueriesAreUnparseableTodayByContract) {
+  // The grammar cannot express subqueries; TemplateShape::has_subquery
+  // documents the eligibility contract for when it learns to. Until
+  // then a subquery never reaches classification at all.
+  auto result = Parser::ParseSelect(
+      "SELECT * FROM Car WHERE id IN (SELECT id FROM Mileage)");
+  EXPECT_FALSE(result.ok());
+  TemplateShape shape;
+  EXPECT_FALSE(shape.has_subquery);
+}
+
 }  // namespace
 }  // namespace cacheportal::sql

@@ -26,7 +26,11 @@ declare -A ALLOW=(
   # invalidator -> sql also carries the columnar delta batches
   # (sql/column_batch.h): the batch layout lives with the value model it
   # classifies; the invalidator's bind indexes and cycle context consume
-  # it through this existing edge.
+  # it through this existing edge. The strategy-tier seam rides the same
+  # edges: template shape classification (ClassifyTemplateShape) lives
+  # in sql/ because it is purely syntactic, while the exact tier's
+  # row-image evaluation (invalidator/strategy.cc) consumes sql/eval.h
+  # and db/ row images — no new layer dependencies (DESIGN.md §16).
   [invalidator]="common storage sql db http server sniffer cache"
   [core]="common storage db server sniffer cache invalidator"
   [workload]="common db server core"
